@@ -1,0 +1,43 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure, prints it (visible with
+``pytest -s`` or in the captured output), and writes the rendered text to
+``benchmarks/output/`` so the artifacts can be inspected and diffed against
+EXPERIMENTS.md.  Signature collections are shared session-wide because
+several tables reuse the same pool, as in the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.table4_svm_workloads import collect_workload_signatures
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+SEED = 2012
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return save
+
+
+@pytest.fixture(scope="session")
+def workload_collection():
+    """The scp/kcompile/dbench pool used by Table 4 and Figures 4-6.
+
+    230 intervals per workload — enough to support Figure 5/6's largest
+    sample count (220 per class), matching the paper's ~250.
+    """
+    return collect_workload_signatures(
+        seed=SEED, intervals_per_workload=230
+    )

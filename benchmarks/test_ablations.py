@@ -1,0 +1,48 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+
+def test_signature_construction_ablation(benchmark, save_table):
+    outcome = benchmark.pedantic(
+        ablations.run_signature_ablation,
+        kwargs={"seed": 2012, "intervals_per_workload": 40},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_signature", outcome.table.render())
+
+    # The full construction must be competitive with every ablation.
+    full = outcome.values["full (tf-idf, unit-scaled)"]
+    assert full > 0.9
+    for name, value in outcome.values.items():
+        assert value > 0.5, name  # nothing collapses to chance
+
+
+def test_hot_cache_ablation(benchmark, save_table):
+    outcome = benchmark.pedantic(
+        ablations.run_hot_cache_ablation,
+        kwargs={"seed": 2012, "cache_sizes": (0, 8, 32, 128, 512)},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_hot_cache", outcome.table.render())
+
+    costs = [outcome.values[str(s)] for s in (0, 8, 32, 128, 512)]
+    # Per-event cost decreases monotonically with cache size (Section 6).
+    assert all(a >= b for a, b in zip(costs, costs[1:]))
+    assert costs[-1] < costs[0] * 0.7
+
+
+def test_distance_metric_ablation(benchmark, save_table, workload_collection):
+    outcome = benchmark.pedantic(
+        ablations.run_metric_ablation,
+        kwargs={"seed": 2012, "collection": workload_collection},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_metric", outcome.table.render())
+
+    # The paper's L2 default is adequate; all metrics separate workloads.
+    for metric, accuracy in outcome.values.items():
+        assert accuracy > 0.85, metric

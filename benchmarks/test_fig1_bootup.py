@@ -1,0 +1,16 @@
+"""Figure 1: boot-up call-count power law."""
+
+from repro.experiments import fig1_bootup
+
+
+def test_fig1_bootup(benchmark, save_table):
+    result = benchmark.pedantic(
+        fig1_bootup.run, kwargs={"seed": 2012}, rounds=1, iterations=1
+    )
+    save_table("fig1_bootup", result.table().render() + "\n\n" + result.plot())
+
+    # Shape assertions mirroring the paper's figure.
+    assert result.functions_called > 1500
+    assert result.decades_spanned > 5.0
+    assert result.fit.slope < -1.5
+    assert result.fit.r_squared > 0.8

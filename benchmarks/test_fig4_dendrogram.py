@@ -1,0 +1,34 @@
+"""Figure 4: single-linkage clustering of 10 scp + 10 kcompile signatures."""
+
+from repro.experiments import fig4_dendrogram
+
+
+def test_fig4_dendrogram(benchmark, save_table, workload_collection):
+    result = benchmark.pedantic(
+        fig4_dendrogram.run,
+        kwargs={"seed": 2012, "collection": workload_collection},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig4_dendrogram", result.table().render())
+
+    # The paper's headline: perfect separation immediately below the root.
+    assert result.perfectly_separated
+    notation = result.notation()
+    assert notation.startswith("(") and notation.endswith(")")
+    for leaf in range(20):
+        assert str(leaf) in notation
+
+
+def test_fig4_all_linkages(save_table, workload_collection):
+    """The paper: complete- and average-linkage results were similar."""
+    lines = []
+    for linkage in ("single", "complete", "average"):
+        result = fig4_dendrogram.run(
+            seed=2012, linkage=linkage, collection=workload_collection
+        )
+        lines.append(
+            f"{linkage:9s} top-split purity: {result.top_split_purity:.3f}"
+        )
+        assert result.top_split_purity > 0.9, linkage
+    save_table("fig4_linkage_comparison", "\n".join(lines))

@@ -1,0 +1,31 @@
+"""Figure 5: k-means purity vs. sampled vectors per class."""
+
+from repro.experiments import fig5_purity_samples
+
+
+def test_fig5_purity_samples(benchmark, save_table, workload_collection):
+    result = benchmark.pedantic(
+        fig5_purity_samples.run,
+        kwargs={
+            "seed": 2012,
+            "sample_counts": (20, 60, 100, 140, 180, 220),  # paper x-axis
+            "runs": 12,                                     # paper: 12 runs
+            "collection": workload_collection,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig5_purity_samples", result.table().render())
+
+    # Observation 1: purity is high across the board.
+    for name, points in result.curves.items():
+        for _n, ms in points:
+            assert ms.mean > 0.7, (name, _n)
+    # Observation 3: the 3-class clustering scores below the best pair.
+    three_way = result.final_purity("scp, kcompile, dbench")
+    pair_scores = [
+        result.final_purity("scp, kcompile"),
+        result.final_purity("scp, dbench"),
+        result.final_purity("kcompile, dbench"),
+    ]
+    assert three_way <= max(pair_scores) + 1e-9

@@ -1,0 +1,27 @@
+"""Figure 6: k-means purity vs. number of target clusters."""
+
+from repro.experiments import fig6_purity_k
+
+
+def test_fig6_purity_k(benchmark, save_table, workload_collection):
+    result = benchmark.pedantic(
+        fig6_purity_k.run,
+        kwargs={
+            "seed": 2012,
+            "k_values": tuple(range(2, 21)),      # paper x-axis: 2..20
+            "sample_counts": (60, 140, 220),      # paper's three curves
+            "runs": 12,
+            "collection": workload_collection,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig6_purity_k", result.table().render())
+
+    for per_class, points in result.curves.items():
+        purities = [ms.mean for _k, ms in points]
+        # Rapid convergence to 1.0 as K grows past the true class count.
+        assert max(purities[3:]) > 0.97, per_class
+        assert purities[-1] > 0.97, per_class
+        # Monotone-ish: the tail never collapses back below the start.
+        assert purities[-1] >= purities[0] - 1e-9, per_class

@@ -1,0 +1,112 @@
+"""Micro-benchmarks of the library's hot paths (pytest-benchmark timing).
+
+These are the performance-regression guards: tracer recording throughput,
+the debugfs export/parse round trip, tf-idf transformation, similarity
+search, and the ML kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.corpus import Corpus
+from repro.core.index import SignatureIndex
+from repro.core.signature import stack_signatures
+from repro.core.tfidf import TfIdfModel
+from repro.core.vocabulary import Vocabulary
+from repro.kernel.callgraph import CallGraph
+from repro.kernel.machine import MachineConfig, SimulatedMachine
+from repro.kernel.symbols import build_symbol_table
+from repro.ml.hierarchical import agglomerative
+from repro.ml.kmeans import kmeans
+from repro.ml.svm import train_svm
+from repro.tracing.fmeter import FmeterTracer
+
+SEED = 2012
+
+
+@pytest.fixture(scope="module")
+def shared_build():
+    symbols = build_symbol_table(SEED)
+    return symbols, CallGraph(symbols, SEED)
+
+
+@pytest.fixture()
+def fmeter_machine(shared_build):
+    symbols, callgraph = shared_build
+    return SimulatedMachine(
+        config=MachineConfig(n_cpus=4, seed=SEED, symbol_seed=SEED),
+        tracer=FmeterTracer(),
+        symbols=symbols,
+        callgraph=callgraph,
+    )
+
+
+def test_bench_machine_execute(benchmark, fmeter_machine):
+    """Throughput of traced operation batches (the collection hot loop)."""
+    fmeter_machine.execute("read", 10)  # warm stubs
+
+    benchmark(fmeter_machine.execute, "read", 1000)
+
+
+def test_bench_debugfs_roundtrip(benchmark, fmeter_machine):
+    """Counter export + parse, the daemon's per-interval cost."""
+    fmeter_machine.execute("apache_request", 100)
+
+    def roundtrip():
+        text = fmeter_machine.debugfs.read(FmeterTracer.COUNTERS_PATH)
+        return FmeterTracer.parse_counters(text)
+
+    parsed = benchmark(roundtrip)
+    assert len(parsed) == len(fmeter_machine.symbols)
+
+
+def test_bench_callgraph_expand(benchmark, shared_build):
+    """Operation-profile expansion (cached in production, cold here)."""
+    _, callgraph = shared_build
+    result = benchmark(callgraph.expand, {"sys_read": 1.0, "do_fork": 0.1})
+    assert result.sum() > 0
+
+
+def test_bench_tfidf_transform(benchmark, workload_collection):
+    """Corpus-to-signatures transformation."""
+    corpus = workload_collection.corpus
+    model = TfIdfModel().fit(corpus)
+    signatures = benchmark(model.transform_corpus, corpus)
+    assert len(signatures) == len(corpus)
+
+
+def test_bench_index_search(benchmark, workload_collection):
+    """Top-k similarity search over an inverted index."""
+    signatures = [s.unit() for s in workload_collection.signatures]
+    index = SignatureIndex()
+    index.add_all(signatures[1:])
+    results = benchmark(index.search, signatures[0], 10)
+    assert len(results) == 10
+
+
+def test_bench_svm_train(benchmark, workload_collection):
+    """SMO training on a Table 4-sized task."""
+    scp = [s.unit() for s in workload_collection.signatures
+           if s.label == "scp"][:60]
+    kc = [s.unit() for s in workload_collection.signatures
+          if s.label == "kcompile"][:60]
+    x = stack_signatures(scp + kc)
+    y = np.array([1] * len(scp) + [-1] * len(kc))
+    model = benchmark(train_svm, x, y, 1.0)
+    assert (model.predict(x) == y).mean() > 0.95
+
+
+def test_bench_kmeans(benchmark, workload_collection):
+    """K-means at Figure 5 scale."""
+    signatures = [s.unit() for s in workload_collection.signatures][:300]
+    x = stack_signatures(signatures)
+    result = benchmark(kmeans, x, 3, 0)
+    assert result.k == 3
+
+
+def test_bench_hierarchical(benchmark, workload_collection):
+    """Agglomerative clustering at Figure 4 scale (20 points)."""
+    signatures = [s.unit() for s in workload_collection.signatures][:20]
+    x = stack_signatures(signatures)
+    tree = benchmark(agglomerative, x, "single")
+    assert tree.n_points == 20

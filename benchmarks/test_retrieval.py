@@ -1,0 +1,36 @@
+"""Retrieval-quality bench: the 'indexable' claim, quantified."""
+
+from repro.experiments import retrieval
+
+
+def test_retrieval_quality(benchmark, save_table, workload_collection):
+    result = benchmark.pedantic(
+        retrieval.run,
+        kwargs={"seed": 2012, "collection": workload_collection},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("retrieval_quality", result.table().render())
+
+    for metric, scores in result.scores.items():
+        assert scores["p@1"] > 0.95, metric
+        assert scores["map"] > 0.85, metric
+        assert scores["mrr"] > 0.95, metric
+
+
+def test_classifier_comparison(benchmark, save_table, workload_collection):
+    from repro.experiments import ablations
+
+    outcome = benchmark.pedantic(
+        ablations.run_classifier_comparison,
+        kwargs={"seed": 2012, "collection": workload_collection},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("classifier_comparison", outcome.table.render())
+
+    # Everything separates the workloads; the SVM (the paper's choice)
+    # stays at the top, the tree ensembles close behind.
+    assert outcome.values["SVM (poly kernel, SMO)"] > 0.95
+    for name, accuracy in outcome.values.items():
+        assert accuracy > 0.85, name

@@ -1,0 +1,26 @@
+"""Table 1: lmbench latencies under vanilla / Ftrace / Fmeter."""
+
+from repro.experiments import table1_lmbench
+
+
+def test_table1_lmbench(benchmark, save_table):
+    result = benchmark.pedantic(
+        table1_lmbench.run,
+        kwargs={"seed": 2012, "iterations": 40},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("table1_lmbench", result.table().render())
+
+    assert len(result.rows) == 23
+    # Paper: Fmeter averages ~1.4x vanilla, Ftrace ~6.69x.
+    assert 1.2 < result.mean_fmeter_slowdown < 1.7
+    assert 5.0 < result.mean_ftrace_slowdown < 8.5
+    # Paper: Ftrace between 2.125x and 8.046x slower than Fmeter per row.
+    for row in result.rows:
+        assert 1.5 < row.ratio < 10.0, row.test.name
+    # Ordering holds on every row: ftrace > fmeter > vanilla (modulo the
+    # semaphore row, where the paper itself measured fmeter below vanilla).
+    for row in result.rows:
+        assert row.ftrace.mean > row.fmeter.mean
+        assert row.fmeter.mean > row.baseline.mean * 0.95

@@ -1,0 +1,22 @@
+"""Table 2: apachebench requests/second."""
+
+from repro.experiments import table2_apachebench
+
+
+def test_table2_apachebench(benchmark, save_table):
+    result = benchmark.pedantic(
+        table2_apachebench.run,
+        kwargs={"seed": 2012, "repetitions": 16},  # the paper's 16 runs
+        rounds=1,
+        iterations=1,
+    )
+    save_table("table2_apachebench", result.table().render())
+
+    vanilla = result.row("vanilla")
+    fmeter = result.row("fmeter")
+    ftrace = result.row("ftrace")
+    assert vanilla.requests_per_second.mean > fmeter.requests_per_second.mean
+    assert fmeter.requests_per_second.mean > ftrace.requests_per_second.mean
+    # Paper: 24.07 % and 61.13 % slowdowns.
+    assert 15 < fmeter.slowdown_percent < 35
+    assert 50 < ftrace.slowdown_percent < 75

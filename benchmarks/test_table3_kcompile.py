@@ -1,0 +1,23 @@
+"""Table 3: kernel compile real/user/sys."""
+
+from repro.experiments import table3_kcompile
+
+
+def test_table3_kcompile(benchmark, save_table):
+    result = benchmark.pedantic(
+        table3_kcompile.run, kwargs={"seed": 2012}, rounds=1, iterations=1
+    )
+    save_table("table3_kcompile", result.table().render())
+
+    # User time identical everywhere: user code is not instrumented.
+    users = {row.user_s for row in result.rows}
+    assert len(users) == 1
+    # Paper: sys inflates ~1.22x under Fmeter, ~5.2x under Ftrace.
+    assert result.row("Fmeter").sys_slowdown < 1.8
+    assert 4.0 < result.row("Ftrace").sys_slowdown < 6.5
+    # Real time ordering follows sys inflation.
+    assert (
+        result.row("Unmodified").real_s
+        < result.row("Fmeter").real_s
+        < result.row("Ftrace").real_s
+    )

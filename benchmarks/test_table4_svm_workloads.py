@@ -1,0 +1,29 @@
+"""Table 4: SVM on workload signatures, 10-fold, six groupings."""
+
+from repro.experiments import table4_svm_workloads
+
+
+def test_table4_svm_workloads(benchmark, save_table, workload_collection):
+    result = benchmark.pedantic(
+        table4_svm_workloads.run,
+        kwargs={
+            "seed": 2012,
+            "k_folds": 10,               # the paper's 10-fold protocol
+            "collection": workload_collection,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_table("table4_svm_workloads", result.table().render())
+
+    assert len(result.groupings) == 6
+    for grouping in result.groupings:
+        accuracy, _stdev = grouping.result.accuracy
+        # Paper: three groupings at 100 %, the rest >= 99.39 %.
+        assert accuracy > 0.97, grouping.name
+        assert accuracy > grouping.result.baseline_accuracy + 0.25
+    # Pairwise groupings have ~50 % baselines, one-vs-rest ~66 %.
+    for grouping in result.groupings[:3]:
+        assert abs(grouping.result.baseline_accuracy - 0.5) < 0.05
+    for grouping in result.groupings[3:]:
+        assert abs(grouping.result.baseline_accuracy - 2 / 3) < 0.05

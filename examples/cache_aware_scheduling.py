@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Meta-clustering and cache-aware co-scheduling (Sections 2.2 and 6).
+
+Clusters each workload class into a syndrome centroid, then meta-clusters
+the centroids to learn which *classes of behaviour* use the kernel alike,
+and finally assigns task classes to the machine's two L3 cache domains
+(one per Nehalem socket) so that classes sharing kernel code-paths share a
+cache.
+
+Run:  python examples/cache_aware_scheduling.py
+"""
+
+import numpy as np
+
+from repro import DbenchWorkload, IdleWorkload, KernelCompileWorkload, ScpWorkload, SignaturePipeline
+from repro.kernel.modules import make_myri10ge
+from repro.ml import assign_cache_domains, meta_cluster
+from repro.workloads import NetperfWorkload
+
+
+def main() -> None:
+    pipeline = SignaturePipeline(seed=5, interval_s=10.0)
+    netperf = NetperfWorkload(make_myri10ge("1.5.1", seed=5), seed=4)
+    netperf.label = "netperf"
+    result = pipeline.collect(
+        [
+            ScpWorkload(seed=1),
+            KernelCompileWorkload(seed=2),
+            DbenchWorkload(seed=3),
+            netperf,
+            IdleWorkload(seed=6),
+        ],
+        intervals_per_workload=15,
+    )
+
+    labels = result.labels()
+    centroids = np.stack([
+        np.mean([s.unit().weights for s in result.signatures_with_label(label)], axis=0)
+        for label in labels
+    ])
+    print(f"classes: {labels}\n")
+
+    # Meta-clustering: which classes invoke the kernel similarly?
+    meta = meta_cluster(centroids, k=2, seed=5)
+    for cluster in range(meta.k):
+        members = [l for l, a in zip(labels, meta.assignments) if a == cluster]
+        print(f"meta-cluster {cluster}: {members}")
+
+    # Co-schedule onto the testbed's two L3 cache domains.
+    assignment = assign_cache_domains(labels, centroids, n_domains=2, seed=5)
+    print()
+    for domain in range(assignment.n_domains):
+        tasks = assignment.tasks_in_domain(domain)
+        print(f"L3 domain {domain} (socket {domain}): {tasks}")
+    # How similar are the classes pairwise?  (cosine of centroids)
+    print("\npairwise class similarity (cosine of centroids):")
+    for i, a in enumerate(labels):
+        for j in range(i + 1, len(labels)):
+            b = labels[j]
+            cos = float(
+                centroids[i] @ centroids[j]
+                / (np.linalg.norm(centroids[i]) * np.linalg.norm(centroids[j]))
+            )
+            marker = "  <- colocated" if assignment.colocated(a, b) else ""
+            print(f"  {a:10s} ~ {b:10s} {cos:.3f}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment is offline and lacks the ``wheel`` package, so the PEP 517
+editable path (which shells out to ``bdist_wheel``) is unavailable.  Keeping
+a ``setup.py`` lets ``pip install -e . --no-build-isolation --no-use-pep517``
+fall back to the legacy ``setup.py develop`` code path.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro — a full reproduction of *Fmeter: Extracting Indexable Low-level
+System Signatures by Counting Kernel Function Calls* (Middleware 2012).
+
+The package layers, bottom to top:
+
+- :mod:`repro.kernel` — a simulated Linux kernel: symbol table, call
+  graph, syscall ABI, per-CPU state, mcount instrumentation, loadable
+  modules, debugfs.
+- :mod:`repro.tracing` — the Fmeter per-CPU counting tracer, the stock
+  Ftrace ring-buffer tracer it is compared against, and the user-space
+  logging daemon.
+- :mod:`repro.workloads` — stochastic models of the paper's workloads
+  (kcompile, scp, dbench, apachebench, lmbench, Netperf, boot-up).
+- :mod:`repro.core` — the contribution: kernel function calls embedded in
+  the vector space model; tf-idf signatures, similarity, search index,
+  labeled signature database.
+- :mod:`repro.ml` — SVM (SMO), k-means, hierarchical clustering, the
+  paper's cross-validation protocol, clustering metrics, PCA,
+  meta-clustering.
+- :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quick start::
+
+    from repro import SignaturePipeline, ScpWorkload, KernelCompileWorkload
+
+    pipeline = SignaturePipeline(seed=42)
+    result = pipeline.collect(
+        [ScpWorkload(seed=1), KernelCompileWorkload(seed=2)],
+        intervals_per_workload=30,
+    )
+    sig = result.signatures[0]
+    print(sig.label, sig.top_terms(5))
+"""
+
+from repro.core import (
+    Corpus,
+    CountDocument,
+    Signature,
+    SignatureDatabase,
+    SignatureIndex,
+    SignaturePipeline,
+    TfIdfModel,
+    Vocabulary,
+)
+from repro.kernel import MachineConfig, SimulatedMachine, build_symbol_table
+from repro.tracing import FmeterTracer, FtraceTracer, LoggingDaemon
+from repro.workloads import (
+    ApacheBenchWorkload,
+    BootWorkload,
+    DbenchWorkload,
+    IdleWorkload,
+    KernelCompileWorkload,
+    NetperfWorkload,
+    ScpWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApacheBenchWorkload",
+    "BootWorkload",
+    "Corpus",
+    "CountDocument",
+    "DbenchWorkload",
+    "FmeterTracer",
+    "FtraceTracer",
+    "IdleWorkload",
+    "KernelCompileWorkload",
+    "LoggingDaemon",
+    "MachineConfig",
+    "NetperfWorkload",
+    "ScpWorkload",
+    "Signature",
+    "SignatureDatabase",
+    "SignatureIndex",
+    "SignaturePipeline",
+    "SimulatedMachine",
+    "TfIdfModel",
+    "Vocabulary",
+    "build_symbol_table",
+    "__version__",
+]

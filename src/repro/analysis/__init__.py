@@ -1,0 +1,10 @@
+"""Analysis helpers: power-law fitting and rank/frequency tools (Figure 1)."""
+
+from repro.analysis.powerlaw import (
+    PowerLawFit,
+    ascii_loglog_plot,
+    fit_power_law,
+    rank_counts,
+)
+
+__all__ = ["PowerLawFit", "ascii_loglog_plot", "fit_power_law", "rank_counts"]

@@ -1,0 +1,104 @@
+"""Rank/frequency analysis for kernel function call counts (Figure 1).
+
+The paper's Figure 1 plots call counts against function rank on log-log
+axes and observes a power law — the property motivating the tf-idf
+embedding (the same heavy-tailed shape as word frequencies in a corpus).
+These helpers turn a raw count vector into ranked data, fit the log-log
+slope over a configurable count range, and render an ASCII rendition of
+the figure for terminal output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "ascii_loglog_plot", "fit_power_law", "rank_counts"]
+
+
+def rank_counts(counts: np.ndarray) -> np.ndarray:
+    """Nonzero counts sorted descending (rank 1 first)."""
+    counts = np.asarray(counts)
+    if counts.ndim != 1:
+        raise ValueError(f"counts must be 1-D, got shape {counts.shape}")
+    if (counts < 0).any():
+        raise ValueError("counts must be non-negative")
+    nz = counts[counts > 0]
+    return np.sort(nz)[::-1]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares log-log fit: count ~ scale * rank^slope."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n_points: int
+
+    @property
+    def scale(self) -> float:
+        return float(np.exp(self.intercept))
+
+    def predict(self, rank: float) -> float:
+        return self.scale * rank**self.slope
+
+
+def fit_power_law(counts: np.ndarray, min_count: int = 10) -> PowerLawFit:
+    """Fit the rank/count relation on log-log axes.
+
+    ``min_count`` truncates the noisy count tail (ranks with just a few
+    observations), the standard practice for rank/frequency fits.
+    """
+    ranked = rank_counts(counts)
+    ranked = ranked[ranked >= min_count]
+    if len(ranked) < 3:
+        raise ValueError(
+            f"need at least 3 ranks with count >= {min_count} to fit"
+        )
+    log_rank = np.log(np.arange(1, len(ranked) + 1, dtype=float))
+    log_count = np.log(ranked.astype(float))
+    slope, intercept = np.polyfit(log_rank, log_count, 1)
+    predicted = slope * log_rank + intercept
+    ss_res = float(((log_count - predicted) ** 2).sum())
+    ss_tot = float(((log_count - log_count.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=r_squared,
+        n_points=len(ranked),
+    )
+
+
+def ascii_loglog_plot(
+    counts: np.ndarray, width: int = 72, height: int = 20
+) -> str:
+    """An ASCII log-log rank/count plot in the spirit of Figure 1."""
+    if width < 10 or height < 5:
+        raise ValueError("plot must be at least 10x5 characters")
+    ranked = rank_counts(counts).astype(float)
+    if len(ranked) == 0:
+        raise ValueError("no nonzero counts to plot")
+    ranks = np.arange(1, len(ranked) + 1, dtype=float)
+    lx = np.log10(ranks)
+    ly = np.log10(ranked)
+    x_max = max(lx.max(), 1e-9)
+    y_max = max(ly.max(), 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    for xv, yv in zip(lx, ly):
+        col = int(xv / x_max * (width - 1))
+        row = int((1.0 - yv / y_max) * (height - 1))
+        grid[row][col] = "*"
+    lines = [
+        f"count 1e{y_max:.1f} |" + "".join(grid[0]),
+    ]
+    for row in grid[1:-1]:
+        lines.append(" " * 12 + "|" + "".join(row))
+    lines.append(f"{'count 1':>11} |" + "".join(grid[-1]))
+    lines.append(" " * 12 + "+" + "-" * width)
+    lines.append(
+        " " * 13 + f"rank 1 {'':{max(width - 20, 1)}} rank {len(ranked)}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list-workloads``
+    Show the available workload models.
+``collect``
+    Run workloads under Fmeter, build a labeled signature database, and
+    save it to a ``.npz`` file.
+``diagnose``
+    Collect fresh signatures from one workload and diagnose them against
+    a saved database (nearest syndrome + k-NN vote).
+``experiment``
+    Regenerate a paper table or figure and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["build_parser", "main"]
+
+#: Workload name -> factory (seed) -> Workload.
+WORKLOAD_FACTORIES = {
+    "scp": lambda seed: _workloads().ScpWorkload(seed=seed),
+    "kcompile": lambda seed: _workloads().KernelCompileWorkload(seed=seed),
+    "dbench": lambda seed: _workloads().DbenchWorkload(seed=seed),
+    "idle": lambda seed: _workloads().IdleWorkload(seed=seed),
+    "apachebench": lambda seed: _workloads().ApacheBenchWorkload(seed=seed),
+}
+
+EXPERIMENTS = (
+    "fig1", "table1", "table2", "table3", "table4", "table5",
+    "fig4", "fig5", "fig6", "retrieval", "classifiers",
+)
+
+
+def _workloads():
+    import repro.workloads as w
+
+    return w
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fmeter reproduction (Middleware 2012): collect, "
+                    "diagnose, and regenerate the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="list available workload models")
+
+    collect = sub.add_parser(
+        "collect", help="collect signatures and save a labeled database"
+    )
+    collect.add_argument(
+        "--workloads", default="scp,kcompile,dbench",
+        help="comma-separated workload names (default: scp,kcompile,dbench)",
+    )
+    collect.add_argument("--intervals", type=int, default=20,
+                         help="logging intervals per workload")
+    collect.add_argument("--interval-seconds", type=float, default=10.0)
+    collect.add_argument("--seed", type=int, default=2012)
+    collect.add_argument("--out", required=True, help="output .npz path")
+
+    diagnose = sub.add_parser(
+        "diagnose", help="diagnose fresh signatures against a saved database"
+    )
+    diagnose.add_argument("--db", required=True, help="database .npz path")
+    diagnose.add_argument("--workload", required=True,
+                          choices=sorted(WORKLOAD_FACTORIES))
+    diagnose.add_argument("--intervals", type=int, default=5)
+    diagnose.add_argument("--seed", type=int, default=2012)
+    diagnose.add_argument("--k", type=int, default=5, help="k-NN votes")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table or figure"
+    )
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument("--seed", type=int, default=2012)
+    experiment.add_argument(
+        "--fast", action="store_true",
+        help="reduced scale (quick sanity run instead of paper scale)",
+    )
+    return parser
+
+
+def _cmd_list_workloads(_args) -> int:
+    for name in sorted(WORKLOAD_FACTORIES):
+        workload = WORKLOAD_FACTORIES[name](0)
+        print(f"{name:12s} label={workload.label!r} load={workload.load}")
+    return 0
+
+
+def _parse_workloads(spec: str, seed: int):
+    names = [n.strip() for n in spec.split(",") if n.strip()]
+    if not names:
+        raise SystemExit("no workloads given")
+    unknown = [n for n in names if n not in WORKLOAD_FACTORIES]
+    if unknown:
+        raise SystemExit(
+            f"unknown workloads: {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(WORKLOAD_FACTORIES))})"
+        )
+    return [
+        WORKLOAD_FACTORIES[name](seed + i) for i, name in enumerate(names, 1)
+    ]
+
+
+def _cmd_collect(args) -> int:
+    from repro.core.database import SignatureDatabase
+    from repro.core.pipeline import SignaturePipeline
+
+    workloads = _parse_workloads(args.workloads, args.seed)
+    pipeline = SignaturePipeline(
+        seed=args.seed, interval_s=args.interval_seconds
+    )
+    result = pipeline.collect(workloads, args.intervals)
+    db = SignatureDatabase(result.vocabulary, idf=result.model.idf())
+    db.add_all([sig.unit() for sig in result.signatures])
+    db.build_all_syndromes()
+    db.save(args.out)
+    print(
+        f"collected {len(result.signatures)} signatures "
+        f"({', '.join(result.labels())}); database -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from repro.core.corpus import Corpus
+    from repro.core.database import SignatureDatabase
+    from repro.core.pipeline import SignaturePipeline
+    from repro.core.tfidf import TfIdfModel
+
+    db = SignatureDatabase.load(args.db)
+    pipeline = SignaturePipeline(seed=args.seed)
+    if pipeline.vocabulary != db.vocabulary:
+        raise SystemExit(
+            "database was built from a different kernel build (vocabulary "
+            "fingerprints differ) — signatures are not comparable"
+        )
+    workload = WORKLOAD_FACTORIES[args.workload](args.seed + 99)
+    docs = pipeline.collect_documents(workload, args.intervals, run_seed=99)
+    if db.idf is not None:
+        # Transform fresh counts with the same weighting that built the DB.
+        model = db.make_model()
+    else:
+        # Legacy database without idf: fit on the fresh documents only.
+        model = TfIdfModel().fit(Corpus(pipeline.vocabulary, docs))
+    print(f"diagnosing {len(docs)} intervals of {args.workload!r}:")
+    for i, doc in enumerate(docs):
+        sig = model.transform(doc).unit()
+        syndrome, distance = db.nearest_syndrome(sig)
+        votes = db.diagnose(sig, k=args.k)
+        vote_text = ", ".join(f"{l}={f:.0%}" for l, f in votes.items())
+        print(
+            f"  interval {i}: nearest={syndrome.label} (d={distance:.3f})"
+            f"   votes: {vote_text or 'none'}"
+        )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    name, fast, seed = args.name, args.fast, args.seed
+    if name == "fig1":
+        from repro.experiments import fig1_bootup
+
+        result = fig1_bootup.run(seed=seed)
+        print(result.table().render())
+        print()
+        print(result.plot())
+    elif name == "table1":
+        from repro.experiments import table1_lmbench
+
+        print(table1_lmbench.run(
+            seed=seed, iterations=10 if fast else 40
+        ).table().render())
+    elif name == "table2":
+        from repro.experiments import table2_apachebench
+
+        print(table2_apachebench.run(
+            seed=seed, repetitions=4 if fast else 16
+        ).table().render())
+    elif name == "table3":
+        from repro.experiments import table3_kcompile
+
+        print(table3_kcompile.run(seed=seed).table().render())
+    elif name == "table4":
+        from repro.experiments import table4_svm_workloads
+
+        print(table4_svm_workloads.run(
+            seed=seed,
+            intervals_per_workload=30 if fast else 230,
+            k_folds=5 if fast else 10,
+        ).table().render())
+    elif name == "table5":
+        from repro.experiments import table5_svm_myri10ge
+
+        print(table5_svm_myri10ge.run(
+            seed=seed,
+            intervals_per_variant=24 if fast else 80,
+            k_folds=4 if fast else 8,
+        ).table().render())
+    elif name == "fig4":
+        from repro.experiments import fig4_dendrogram
+
+        result = fig4_dendrogram.run(seed=seed)
+        print(result.table().render())
+    elif name == "fig5":
+        from repro.experiments import fig5_purity_samples
+
+        print(fig5_purity_samples.run(
+            seed=seed,
+            sample_counts=(10, 20, 28) if fast else (20, 60, 100, 140, 180, 220),
+            runs=4 if fast else 12,
+        ).table().render())
+    elif name == "fig6":
+        from repro.experiments import fig6_purity_k
+
+        print(fig6_purity_k.run(
+            seed=seed,
+            k_values=(2, 4, 8) if fast else tuple(range(2, 21)),
+            sample_counts=(20,) if fast else (60, 140, 220),
+            runs=4 if fast else 12,
+        ).table().render())
+    elif name == "retrieval":
+        from repro.experiments import retrieval
+
+        print(retrieval.run(
+            seed=seed, intervals_per_workload=20 if fast else 50
+        ).table().render())
+    elif name == "classifiers":
+        from repro.experiments import ablations
+
+        print(ablations.run_classifier_comparison(
+            seed=seed, intervals_per_workload=20 if fast else 40
+        ).table.render())
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown experiment {name!r}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-workloads":
+        return _cmd_list_workloads(args)
+    if args.command == "collect":
+        return _cmd_collect(args)
+    if args.command == "diagnose":
+        return _cmd_diagnose(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

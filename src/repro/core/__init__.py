@@ -1,0 +1,59 @@
+"""The paper's contribution: indexable low-level system signatures.
+
+Kernel function calls are embedded into the classical vector space model
+(Salton et al.):
+
+- a **term** is a kernel function (identified by its start address),
+- a **document** (:class:`~repro.core.document.CountDocument`) is the
+  per-function call counts observed over one logging interval,
+- a **corpus** (:class:`~repro.core.corpus.Corpus`) is a collection of
+  documents, supplying document frequencies,
+- the **tf-idf model** (:class:`~repro.core.tfidf.TfIdfModel`) turns raw
+  counts into weight vectors — the *signatures*
+  (:class:`~repro.core.signature.Signature`),
+- signatures are compared by cosine similarity or Minkowski distance
+  (:mod:`~repro.core.similarity`), searched through an inverted index
+  (:mod:`~repro.core.index`), and stored with labels and syndromes in a
+  :class:`~repro.core.database.SignatureDatabase`.
+"""
+
+from repro.core.corpus import Corpus
+from repro.core.database import SignatureDatabase, Syndrome
+from repro.core.document import CountDocument
+from repro.core.index import SearchResult, SignatureIndex
+from repro.core.monitor import Alert, StreamingDetector, Verdict
+from repro.core.pipeline import CollectionResult, SignaturePipeline
+from repro.core.signature import Signature
+from repro.core.similarity import (
+    cosine_similarity,
+    euclidean_distance,
+    l2_normalize,
+    minkowski_distance,
+    pairwise_euclidean,
+)
+from repro.core.sparse import SparseVector
+from repro.core.tfidf import TfIdfModel
+from repro.core.vocabulary import Vocabulary
+
+__all__ = [
+    "Alert",
+    "CollectionResult",
+    "Corpus",
+    "CountDocument",
+    "SearchResult",
+    "StreamingDetector",
+    "Verdict",
+    "Signature",
+    "SignatureDatabase",
+    "SignatureIndex",
+    "SignaturePipeline",
+    "SparseVector",
+    "Syndrome",
+    "TfIdfModel",
+    "Vocabulary",
+    "cosine_similarity",
+    "euclidean_distance",
+    "l2_normalize",
+    "minkowski_distance",
+    "pairwise_euclidean",
+]

@@ -1,0 +1,103 @@
+"""Document corpora: collections supplying document-frequency statistics.
+
+The corpus is the paper's "collection of low-level system activities".  Its
+document frequencies feed the idf term of the tf-idf model; helpers for
+label-based slicing support the classification and clustering experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.core.document import CountDocument
+from repro.core.vocabulary import Vocabulary
+
+__all__ = ["Corpus"]
+
+
+class Corpus:
+    """An ordered collection of :class:`CountDocument` over one vocabulary."""
+
+    def __init__(self, vocabulary: Vocabulary, documents: Iterable[CountDocument] = ()):
+        self.vocabulary = vocabulary
+        self._documents: list[CountDocument] = []
+        self._df: np.ndarray = np.zeros(len(vocabulary), dtype=np.int64)
+        for doc in documents:
+            self.add(doc)
+
+    def add(self, document: CountDocument) -> None:
+        if document.vocabulary != self.vocabulary:
+            raise ValueError(
+                "document vocabulary does not match corpus vocabulary "
+                f"({document.vocabulary.fingerprint()} != "
+                f"{self.vocabulary.fingerprint()})"
+            )
+        self._documents.append(document)
+        self._df += (document.counts > 0).astype(np.int64)
+
+    def extend(self, documents: Iterable[CountDocument]) -> None:
+        for doc in documents:
+            self.add(doc)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[CountDocument]:
+        return iter(self._documents)
+
+    def __getitem__(self, i: int) -> CountDocument:
+        return self._documents[i]
+
+    @property
+    def documents(self) -> list[CountDocument]:
+        return list(self._documents)
+
+    def document_frequencies(self) -> np.ndarray:
+        """df_i: the number of documents in which term i appears."""
+        return self._df.copy()
+
+    def labels(self) -> list[str | None]:
+        return [doc.label for doc in self._documents]
+
+    def distinct_labels(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for doc in self._documents:
+            if doc.label is not None and doc.label not in seen:
+                seen[doc.label] = None
+        return list(seen)
+
+    def counts_matrix(self) -> np.ndarray:
+        """Dense |D| x N matrix of raw counts (row per document)."""
+        if not self._documents:
+            return np.zeros((0, len(self.vocabulary)), dtype=np.int64)
+        return np.stack([doc.counts for doc in self._documents])
+
+    def filtered(self, predicate: Callable[[CountDocument], bool]) -> "Corpus":
+        """A new corpus of the documents matching ``predicate``."""
+        return Corpus(
+            self.vocabulary, (d for d in self._documents if predicate(d))
+        )
+
+    def with_label(self, label: str) -> "Corpus":
+        return self.filtered(lambda doc: doc.label == label)
+
+    def merged(self, other: "Corpus") -> "Corpus":
+        """Concatenate two corpora over the same vocabulary."""
+        if other.vocabulary != self.vocabulary:
+            raise ValueError("cannot merge corpora over different vocabularies")
+        merged = Corpus(self.vocabulary, self._documents)
+        merged.extend(other._documents)
+        return merged
+
+    def summary(self) -> dict:
+        totals = [doc.total_calls for doc in self._documents]
+        return {
+            "documents": len(self._documents),
+            "vocabulary": len(self.vocabulary),
+            "labels": self.distinct_labels(),
+            "total_calls": int(sum(totals)),
+            "mean_document_length": float(np.mean(totals)) if totals else 0.0,
+            "terms_with_df_gt0": int((self._df > 0).sum()),
+        }

@@ -1,0 +1,203 @@
+"""The labeled signature database and syndrome store (Section 2.2).
+
+The paper envisions operators keeping a database of labeled signatures —
+normal behaviours, known bugs, compromised configurations — plus
+*syndromes*: cluster centroids that characterize a class of behaviour.
+New, unlabeled signatures are diagnosed by nearest-syndrome lookup or
+k-NN over the labeled population.
+
+Persistence uses ``numpy``'s ``.npz`` container: one archive holds the
+vocabulary, the weight matrix, labels, and syndromes, so a database
+snapshot survives process restarts (the "past diagnostics leveraged in
+future problem detection" loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.index import SignatureIndex
+from repro.core.signature import Signature
+from repro.core.similarity import euclidean_distance
+from repro.core.vocabulary import Vocabulary
+
+__all__ = ["SignatureDatabase", "Syndrome"]
+
+
+@dataclass(frozen=True)
+class Syndrome:
+    """A labeled centroid characterizing one class of system behaviour."""
+
+    label: str
+    centroid: np.ndarray
+    support: int
+
+    def __post_init__(self) -> None:
+        if self.support <= 0:
+            raise ValueError("syndrome support must be positive")
+
+
+class SignatureDatabase:
+    """Labeled signatures + syndromes, with similarity-based diagnosis.
+
+    ``idf`` optionally stores the tf-idf model's idf vector so that new
+    raw count documents can be transformed with the same weighting that
+    produced the stored signatures (see :meth:`make_model`).
+    """
+
+    def __init__(self, vocabulary: Vocabulary, idf: np.ndarray | None = None):
+        self.vocabulary = vocabulary
+        self.index = SignatureIndex()
+        self._signatures: list[Signature] = []
+        self._syndromes: dict[str, Syndrome] = {}
+        if idf is not None:
+            idf = np.asarray(idf, dtype=float)
+            if idf.shape != (len(vocabulary),):
+                raise ValueError(
+                    f"idf shape {idf.shape} does not match vocabulary size "
+                    f"{len(vocabulary)}"
+                )
+        self.idf = idf
+
+    def make_model(self):
+        """A :class:`~repro.core.tfidf.TfIdfModel` rehydrated from ``idf``."""
+        from repro.core.tfidf import TfIdfModel
+
+        if self.idf is None:
+            raise RuntimeError(
+                "database stores no idf vector; pass idf= when building it"
+            )
+        return TfIdfModel.from_idf(self.vocabulary, self.idf)
+
+    # -- population -------------------------------------------------------------
+
+    def add(self, signature: Signature) -> int:
+        if signature.vocabulary != self.vocabulary:
+            raise ValueError("signature vocabulary does not match the database")
+        if signature.label is None:
+            raise ValueError(
+                "database signatures must be labeled; diagnose unlabeled "
+                "signatures with diagnose()/nearest_syndrome() instead"
+            )
+        self._signatures.append(signature)
+        return self.index.add(signature)
+
+    def add_all(self, signatures: list[Signature]) -> list[int]:
+        return [self.add(sig) for sig in signatures]
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def labels(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for sig in self._signatures:
+            seen.setdefault(sig.label, None)
+        return list(seen)
+
+    def with_label(self, label: str) -> list[Signature]:
+        return [sig for sig in self._signatures if sig.label == label]
+
+    # -- syndromes -------------------------------------------------------------
+
+    def build_syndrome(self, label: str) -> Syndrome:
+        """Compute and store the centroid of all signatures with ``label``."""
+        members = self.with_label(label)
+        if not members:
+            raise KeyError(f"no signatures labeled {label!r}")
+        centroid = np.mean([sig.weights for sig in members], axis=0)
+        syndrome = Syndrome(label=label, centroid=centroid, support=len(members))
+        self._syndromes[label] = syndrome
+        return syndrome
+
+    def build_all_syndromes(self) -> list[Syndrome]:
+        return [self.build_syndrome(label) for label in self.labels()]
+
+    def syndromes(self) -> list[Syndrome]:
+        return list(self._syndromes.values())
+
+    def syndrome(self, label: str) -> Syndrome:
+        try:
+            return self._syndromes[label]
+        except KeyError:
+            raise KeyError(f"no syndrome labeled {label!r}") from None
+
+    # -- diagnosis -------------------------------------------------------------
+
+    def nearest_syndrome(self, signature: Signature) -> tuple[Syndrome, float]:
+        """The closest syndrome (Euclidean) and its distance."""
+        if not self._syndromes:
+            raise RuntimeError("no syndromes built yet")
+        best: tuple[Syndrome, float] | None = None
+        for syndrome in self._syndromes.values():
+            d = euclidean_distance(signature.weights, syndrome.centroid)
+            if best is None or d < best[1]:
+                best = (syndrome, d)
+        return best
+
+    def diagnose(
+        self, signature: Signature, k: int = 5, metric: str = "cosine"
+    ) -> dict[str, float]:
+        """k-NN diagnosis: normalized label vote fractions, descending."""
+        votes = self.index.label_votes(signature, k=k, metric=metric)
+        total = sum(votes.values())
+        if total == 0:
+            return {}
+        fractions = {label: n / total for label, n in votes.items()}
+        return dict(sorted(fractions.items(), key=lambda kv: -kv[1]))
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the database (vocabulary, signatures, syndromes) to .npz."""
+        path = Path(path)
+        arrays: dict[str, np.ndarray] = {
+            "terms": np.array(list(self.vocabulary), dtype=np.uint64),
+            "names": np.array(self.vocabulary.names(), dtype=object),
+            "weights": np.stack([s.weights for s in self._signatures])
+            if self._signatures
+            else np.zeros((0, len(self.vocabulary))),
+            "labels": np.array(
+                [s.label for s in self._signatures], dtype=object
+            ),
+        }
+        arrays["idf"] = (
+            self.idf if self.idf is not None else np.zeros(0)
+        )
+        syn_labels = list(self._syndromes)
+        arrays["syndrome_labels"] = np.array(syn_labels, dtype=object)
+        arrays["syndrome_support"] = np.array(
+            [self._syndromes[l].support for l in syn_labels], dtype=np.int64
+        )
+        arrays["syndrome_centroids"] = (
+            np.stack([self._syndromes[l].centroid for l in syn_labels])
+            if syn_labels
+            else np.zeros((0, len(self.vocabulary)))
+        )
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SignatureDatabase":
+        path = Path(path)
+        with np.load(path, allow_pickle=True) as data:
+            vocabulary = Vocabulary(
+                [int(t) for t in data["terms"]],
+                [str(n) for n in data["names"]],
+            )
+            idf = data["idf"] if "idf" in data and data["idf"].size else None
+            db = cls(vocabulary, idf=idf)
+            for weights, label in zip(data["weights"], data["labels"]):
+                db.add(
+                    Signature(vocabulary, weights, label=str(label))
+                )
+            for label, centroid, support in zip(
+                data["syndrome_labels"],
+                data["syndrome_centroids"],
+                data["syndrome_support"],
+            ):
+                db._syndromes[str(label)] = Syndrome(
+                    label=str(label), centroid=centroid, support=int(support)
+                )
+        return db

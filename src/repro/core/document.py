@@ -1,0 +1,115 @@
+"""Count documents: the raw material of signatures.
+
+A :class:`CountDocument` holds the number of times each kernel function was
+called during one logging interval — the difference between two consecutive
+debugfs counter reads, exactly what the paper's user-space daemon logs.
+Documents carry a label (for supervised experiments) and free-form metadata
+(interval length, machine configuration, workload parameters).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.vocabulary import Vocabulary
+
+__all__ = ["CountDocument"]
+
+
+class CountDocument:
+    """Per-interval kernel function call counts over a fixed vocabulary."""
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        counts: np.ndarray,
+        label: str | None = None,
+        metadata: dict | None = None,
+    ):
+        counts = np.asarray(counts)
+        if counts.shape != (len(vocabulary),):
+            raise ValueError(
+                f"counts shape {counts.shape} does not match vocabulary size "
+                f"{len(vocabulary)}"
+            )
+        if not np.issubdtype(counts.dtype, np.integer):
+            raise TypeError(f"counts must be integers, got {counts.dtype}")
+        if (counts < 0).any():
+            raise ValueError("counts must be non-negative")
+        self.vocabulary = vocabulary
+        self.counts = counts.astype(np.int64, copy=True)
+        self.counts.setflags(write=False)
+        self.label = label
+        self.metadata = dict(metadata or {})
+
+    @classmethod
+    def from_mapping(
+        cls,
+        vocabulary: Vocabulary,
+        counts_by_address: Mapping[int, int],
+        label: str | None = None,
+        metadata: dict | None = None,
+        strict: bool = True,
+    ) -> "CountDocument":
+        """Build from an ``{address: count}`` mapping (daemon parse output).
+
+        With ``strict`` (default), addresses outside the vocabulary raise —
+        a count for an unknown function means the daemon and the kernel
+        disagree about the symbol table, which is a real bug.  Non-strict
+        mode drops them, for tolerant offline re-analysis.
+        """
+        counts = np.zeros(len(vocabulary), dtype=np.int64)
+        for address, count in counts_by_address.items():
+            if address not in vocabulary:
+                if strict:
+                    raise KeyError(
+                        f"count for unknown function {address:#x}"
+                    )
+                continue
+            counts[vocabulary.index_of(address)] = count
+        return cls(vocabulary, counts, label=label, metadata=metadata)
+
+    @property
+    def total_calls(self) -> int:
+        """Document length: total function calls in the interval."""
+        return int(self.counts.sum())
+
+    @property
+    def distinct_terms(self) -> int:
+        """Number of distinct functions invoked during the interval."""
+        return int((self.counts > 0).sum())
+
+    @property
+    def is_empty(self) -> bool:
+        return self.total_calls == 0
+
+    def count_of(self, address: int) -> int:
+        return int(self.counts[self.vocabulary.index_of(address)])
+
+    def term_frequencies(self) -> np.ndarray:
+        """Length-normalized term frequencies: tf_i = n_i / sum_k n_k.
+
+        The normalization prevents bias toward longer runs (Section 2.1);
+        an empty document maps to the zero vector.
+        """
+        total = self.counts.sum()
+        if total == 0:
+            return np.zeros(len(self.vocabulary))
+        return self.counts / float(total)
+
+    def relabeled(self, label: str) -> "CountDocument":
+        """A copy with a different label (counts are shared, immutable)."""
+        doc = CountDocument.__new__(CountDocument)
+        doc.vocabulary = self.vocabulary
+        doc.counts = self.counts
+        doc.label = label
+        doc.metadata = dict(self.metadata)
+        return doc
+
+    def __repr__(self) -> str:
+        return (
+            f"CountDocument(label={self.label!r}, total={self.total_calls}, "
+            f"distinct={self.distinct_terms})"
+        )

@@ -1,0 +1,138 @@
+"""Similarity search over signatures via an inverted index.
+
+"Indexable" is the paper's headline property: signatures can be stored and
+later retrieved by similarity against a query signature.  The index keeps a
+posting list per term (dimension), so a query only scores signatures that
+share at least one nonzero term with it — the standard IR trick, effective
+here because different workloads light up substantially different function
+subsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.signature import Signature
+from repro.core.sparse import SparseVector
+
+__all__ = ["SearchResult", "SignatureIndex"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked hit: the stored signature, its id, and the score.
+
+    ``score`` is cosine similarity (higher is better) or negated Euclidean
+    distance (so higher is always better), per the query's metric.
+    """
+
+    signature_id: int
+    signature: Signature
+    score: float
+
+
+class SignatureIndex:
+    """An append-only inverted index of signatures."""
+
+    METRICS = ("cosine", "euclidean")
+
+    def __init__(self):
+        self._signatures: dict[int, Signature] = {}
+        self._sparse: dict[int, SparseVector] = {}
+        self._postings: dict[int, set[int]] = {}
+        self._next_id = 0
+        self._vocabulary = None
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def add(self, signature: Signature) -> int:
+        """Index a signature; returns its id."""
+        if self._vocabulary is None:
+            self._vocabulary = signature.vocabulary
+        elif signature.vocabulary != self._vocabulary:
+            raise ValueError(
+                "signature vocabulary does not match the index vocabulary"
+            )
+        sig_id = self._next_id
+        self._next_id += 1
+        sparse = signature.to_sparse()
+        self._signatures[sig_id] = signature
+        self._sparse[sig_id] = sparse
+        for dim in sparse.dimensions():
+            self._postings.setdefault(dim, set()).add(sig_id)
+        return sig_id
+
+    def add_all(self, signatures: list[Signature]) -> list[int]:
+        return [self.add(sig) for sig in signatures]
+
+    def get(self, sig_id: int) -> Signature:
+        try:
+            return self._signatures[sig_id]
+        except KeyError:
+            raise KeyError(f"no signature with id {sig_id}") from None
+
+    def remove(self, sig_id: int) -> Signature:
+        signature = self.get(sig_id)
+        sparse = self._sparse.pop(sig_id)
+        del self._signatures[sig_id]
+        for dim in sparse.dimensions():
+            postings = self._postings[dim]
+            postings.discard(sig_id)
+            if not postings:
+                del self._postings[dim]
+        return signature
+
+    def posting_list(self, dim: int) -> set[int]:
+        """Ids of signatures with a nonzero weight on dimension ``dim``."""
+        return set(self._postings.get(dim, ()))
+
+    def candidates(self, query: Signature) -> set[int]:
+        """Ids sharing at least one nonzero term with the query."""
+        ids: set[int] = set()
+        for dim in query.to_sparse().dimensions():
+            ids |= self._postings.get(dim, set())
+        return ids
+
+    def search(
+        self, query: Signature, k: int = 10, metric: str = "cosine"
+    ) -> list[SearchResult]:
+        """Top-k most similar stored signatures.
+
+        With the ``euclidean`` metric, signatures sharing no term with the
+        query still have a finite distance, so the candidate pruning is an
+        approximation there; for the paper's normalized signatures the
+        nearest neighbours always share terms, making it exact in practice.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if metric not in self.METRICS:
+            raise ValueError(f"unknown metric {metric!r}; choose from {self.METRICS}")
+        if self._vocabulary is not None and query.vocabulary != self._vocabulary:
+            raise ValueError("query vocabulary does not match the index")
+        query_sparse = query.to_sparse()
+        results: list[SearchResult] = []
+        for sig_id in self.candidates(query):
+            stored = self._sparse[sig_id]
+            if metric == "cosine":
+                score = query_sparse.cosine(stored)
+            else:
+                score = -query_sparse.euclidean(stored)
+            results.append(
+                SearchResult(
+                    signature_id=sig_id,
+                    signature=self._signatures[sig_id],
+                    score=score,
+                )
+            )
+        results.sort(key=lambda r: (-r.score, r.signature_id))
+        return results[:k]
+
+    def label_votes(self, query: Signature, k: int = 5, metric: str = "cosine") -> dict[str, int]:
+        """k-NN label histogram for the query — simple diagnosis primitive."""
+        votes: dict[str, int] = {}
+        for result in self.search(query, k=k, metric=metric):
+            label = result.signature.label
+            if label is not None:
+                votes[label] = votes.get(label, 0) + 1
+        return votes

@@ -1,0 +1,152 @@
+"""Continuous monitoring: streaming signature classification with alerts.
+
+The paper's deployment story (Sections 1-2): Fmeter's overhead is low
+enough to leave on in production, the daemon logs a signature every few
+seconds, and an operator's tooling classifies each against a database of
+known behaviours — raising an alert when a machine drifts into a known-bad
+syndrome or away from everything known.
+
+:class:`StreamingDetector` is that tooling: it consumes raw count
+documents as they are harvested, transforms them with a fitted tf-idf
+model, diagnoses them against a :class:`SignatureDatabase`, and applies
+hysteresis (``consecutive`` matching intervals required) so a single noisy
+interval does not page anyone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.database import SignatureDatabase
+from repro.core.document import CountDocument
+from repro.core.tfidf import TfIdfModel
+
+__all__ = ["Alert", "StreamingDetector", "Verdict"]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Per-interval classification outcome."""
+
+    interval: int
+    label: str | None
+    distance: float
+    novel: bool
+
+    @property
+    def matched(self) -> bool:
+        return self.label is not None and not self.novel
+
+
+@dataclass(frozen=True)
+class Alert:
+    """Raised after ``consecutive`` matching intervals."""
+
+    interval: int
+    label: str
+    kind: str  # "syndrome" or "novel"
+    streak: int
+
+
+@dataclass
+class StreamingDetector:
+    """Classify a stream of count documents against known syndromes.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`TfIdfModel` (typically the one that built the
+        database, so weights are comparable).
+    database:
+        A :class:`SignatureDatabase` with syndromes built.
+    watch_labels:
+        Labels considered alert-worthy (e.g. known-bad behaviours).  An
+        empty set watches everything.
+    novelty_threshold:
+        Nearest-syndrome distance beyond which an interval counts as
+        *novel* — behaviour unlike anything in the database (the paper:
+        unknown behaviours cluster into new classes of their own).
+    consecutive:
+        Hysteresis: how many matching intervals in a row raise an alert.
+    """
+
+    model: TfIdfModel
+    database: SignatureDatabase
+    watch_labels: frozenset[str] = frozenset()
+    novelty_threshold: float = 1.0
+    consecutive: int = 3
+    history: list[Verdict] = field(default_factory=list)
+    alerts: list[Alert] = field(default_factory=list)
+    _streak_label: str | None = None
+    _streak: int = 0
+
+    def __post_init__(self) -> None:
+        if self.consecutive < 1:
+            raise ValueError("consecutive must be >= 1")
+        if self.novelty_threshold <= 0:
+            raise ValueError("novelty_threshold must be positive")
+        if not self.model.fitted:
+            raise ValueError("detector needs a fitted tf-idf model")
+        if not self.database.syndromes():
+            raise ValueError("detector needs a database with syndromes built")
+
+    # -- streaming ------------------------------------------------------------
+
+    def observe(self, document: CountDocument) -> Verdict:
+        """Classify one interval; may append an :class:`Alert`."""
+        signature = self.model.transform(document).unit()
+        syndrome, distance = self.database.nearest_syndrome(signature)
+        novel = distance > self.novelty_threshold
+        verdict = Verdict(
+            interval=len(self.history),
+            label=None if novel else syndrome.label,
+            distance=distance,
+            novel=novel,
+        )
+        self.history.append(verdict)
+        self._update_streak(verdict)
+        return verdict
+
+    def observe_all(self, documents) -> list[Verdict]:
+        return [self.observe(doc) for doc in documents]
+
+    def _update_streak(self, verdict: Verdict) -> None:
+        streak_key = "<novel>" if verdict.novel else verdict.label
+        watched = (
+            verdict.novel
+            or not self.watch_labels
+            or verdict.label in self.watch_labels
+        )
+        if not watched:
+            self._streak_label, self._streak = None, 0
+            return
+        if streak_key == self._streak_label:
+            self._streak += 1
+        else:
+            self._streak_label, self._streak = streak_key, 1
+        if self._streak == self.consecutive:
+            self.alerts.append(
+                Alert(
+                    interval=verdict.interval,
+                    label=verdict.label if not verdict.novel else "<novel>",
+                    kind="novel" if verdict.novel else "syndrome",
+                    streak=self._streak,
+                )
+            )
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def current_streak(self) -> tuple[str | None, int]:
+        return self._streak_label, self._streak
+
+    def summary(self) -> dict:
+        labels: dict[str, int] = {}
+        for verdict in self.history:
+            key = "<novel>" if verdict.novel else (verdict.label or "?")
+            labels[key] = labels.get(key, 0) + 1
+        return {
+            "intervals": len(self.history),
+            "alerts": len(self.alerts),
+            "label_histogram": labels,
+        }

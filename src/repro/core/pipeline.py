@@ -1,0 +1,138 @@
+"""End-to-end signature collection: machine + workload -> corpus -> signatures.
+
+:class:`SignaturePipeline` wires the full paper stack together: it boots a
+simulated machine per workload (all machines share one kernel build, i.e.
+one symbol table and call graph), attaches an Fmeter tracer, loads any
+module the workload depends on, runs the logging daemon for the requested
+number of intervals, pools the documents into one corpus, and fits the
+tf-idf model — producing the labeled signatures the evaluation sections
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.corpus import Corpus
+from repro.core.signature import Signature
+from repro.core.tfidf import TfIdfModel
+from repro.core.vocabulary import Vocabulary
+from repro.kernel.callgraph import CallGraph
+from repro.kernel.machine import MachineConfig, SimulatedMachine
+from repro.kernel.symbols import build_symbol_table
+
+__all__ = ["CollectionResult", "SignaturePipeline"]
+
+
+@dataclass
+class CollectionResult:
+    """Everything a collection run produces."""
+
+    vocabulary: Vocabulary
+    corpus: Corpus
+    model: TfIdfModel
+    signatures: list[Signature] = field(default_factory=list)
+
+    def signatures_with_label(self, label: str) -> list[Signature]:
+        return [sig for sig in self.signatures if sig.label == label]
+
+    def labels(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for sig in self.signatures:
+            if sig.label is not None:
+                seen.setdefault(sig.label, None)
+        return list(seen)
+
+
+class SignaturePipeline:
+    """Collect labeled tf-idf signatures from a set of workloads."""
+
+    def __init__(
+        self,
+        seed: int = 2012,
+        n_cpus: int = 16,
+        interval_s: float = 10.0,
+        use_idf: bool = True,
+        normalize_tf: bool = True,
+        self_interference: bool = True,
+        count_dispersion: float = 0.12,
+    ):
+        self.seed = seed
+        self.interval_s = interval_s
+        self.use_idf = use_idf
+        self.normalize_tf = normalize_tf
+        self.self_interference = self_interference
+        self.machine_config = MachineConfig(
+            n_cpus=n_cpus, seed=seed, symbol_seed=seed,
+            count_dispersion=count_dispersion,
+        )
+        # One kernel build shared by every machine in this pipeline.
+        self.symbols = build_symbol_table(seed)
+        self.callgraph = CallGraph(self.symbols, seed)
+        self.vocabulary = Vocabulary.from_symbol_table(self.symbols)
+
+    # -- machines --------------------------------------------------------------
+
+    def make_machine(self, machine_seed: int, tracer=None) -> SimulatedMachine:
+        """A machine of this pipeline's kernel build, optionally traced."""
+        config = MachineConfig(
+            n_cpus=self.machine_config.n_cpus,
+            cpu_ghz=self.machine_config.cpu_ghz,
+            seed=machine_seed,
+            symbol_seed=self.seed,
+            count_dispersion=self.machine_config.count_dispersion,
+        )
+        return SimulatedMachine(
+            config=config,
+            tracer=tracer,
+            symbols=self.symbols,
+            callgraph=self.callgraph,
+        )
+
+    # -- collection ---------------------------------------------------------------
+
+    def collect_documents(self, workload, n_intervals: int, run_seed: int = 0) -> list:
+        """Run one workload under a fresh Fmeter-traced machine."""
+        # Imported here: repro.tracing.daemon itself imports repro.core
+        # (for CountDocument), so a module-level import would be circular.
+        from repro.tracing.daemon import LoggingDaemon
+        from repro.tracing.fmeter import FmeterTracer
+
+        if n_intervals <= 0:
+            raise ValueError("n_intervals must be positive")
+        machine_seed = (self.seed * 1_000_003 + run_seed) & ((1 << 62) - 1)
+        machine = self.make_machine(machine_seed, tracer=FmeterTracer())
+        module = getattr(workload, "module", None)
+        if module is not None:
+            machine.load_module(module)
+        daemon = LoggingDaemon(
+            machine,
+            interval_s=self.interval_s,
+            self_interference=self.self_interference,
+        )
+        return daemon.collect(
+            workload.interval_runner(machine, self.interval_s),
+            n_intervals,
+            label=workload.label,
+            metadata={"workload": workload.name},
+        )
+
+    def collect(self, workloads, intervals_per_workload: int) -> CollectionResult:
+        """Collect signatures for all workloads and fit tf-idf on the pool."""
+        corpus = Corpus(self.vocabulary)
+        for run_seed, workload in enumerate(workloads):
+            corpus.extend(
+                self.collect_documents(
+                    workload, intervals_per_workload, run_seed=run_seed
+                )
+            )
+        model = TfIdfModel(
+            use_idf=self.use_idf, normalize_tf=self.normalize_tf
+        )
+        signatures = model.fit_transform(corpus)
+        return CollectionResult(
+            vocabulary=self.vocabulary,
+            corpus=corpus,
+            model=model,
+            signatures=signatures,
+        )

@@ -1,0 +1,133 @@
+"""Signatures: tf-idf weight vectors describing low-level system behaviour.
+
+A :class:`Signature` is the paper's central object — one point in the
+vector space spanned by the kernel's functions.  It is immutable, carries
+its label and provenance metadata, and offers the comparison operations
+the evaluation uses (cosine similarity, Lp distance, L2 unit scaling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.similarity import (
+    cosine_similarity,
+    l2_normalize,
+    minkowski_distance,
+)
+from repro.core.sparse import SparseVector
+from repro.core.vocabulary import Vocabulary
+
+__all__ = ["Signature", "stack_signatures"]
+
+
+class Signature:
+    """A tf-idf weight vector over a vocabulary, plus label and metadata."""
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        weights: np.ndarray,
+        label: str | None = None,
+        metadata: dict | None = None,
+    ):
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (len(vocabulary),):
+            raise ValueError(
+                f"weights shape {weights.shape} does not match vocabulary "
+                f"size {len(vocabulary)}"
+            )
+        if not np.isfinite(weights).all():
+            raise ValueError("signature weights must be finite")
+        if (weights < 0).any():
+            raise ValueError("tf-idf weights are non-negative by construction")
+        self.vocabulary = vocabulary
+        self.weights = weights.copy()
+        self.weights.setflags(write=False)
+        self.label = label
+        self.metadata = dict(metadata or {})
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        return len(self.vocabulary)
+
+    @property
+    def nnz(self) -> int:
+        return int((self.weights != 0.0).sum())
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.weights.any()
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.weights))
+
+    def weight_of(self, address: int) -> float:
+        return float(self.weights[self.vocabulary.index_of(address)])
+
+    def top_terms(self, k: int = 10) -> list[tuple[str, float]]:
+        """The k highest-weighted kernel functions, for interpretability."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        k = min(k, self.dimension)
+        idx = np.argsort(self.weights)[::-1][:k]
+        return [
+            (self.vocabulary.name_at(int(i)), float(self.weights[int(i)]))
+            for i in idx
+            if self.weights[int(i)] > 0.0
+        ]
+
+    def to_sparse(self) -> SparseVector:
+        return SparseVector.from_dense(self.weights)
+
+    # -- comparison ------------------------------------------------------------
+
+    def _check_compatible(self, other: "Signature") -> None:
+        if self.vocabulary != other.vocabulary:
+            raise ValueError(
+                "signatures from different vocabularies are not comparable"
+            )
+
+    def cosine(self, other: "Signature") -> float:
+        self._check_compatible(other)
+        return cosine_similarity(self.weights, other.weights)
+
+    def distance(self, other: "Signature", p: float = 2.0) -> float:
+        """Minkowski distance; p=2 is the paper's default Euclidean."""
+        self._check_compatible(other)
+        return minkowski_distance(self.weights, other.weights, p)
+
+    # -- derivation ------------------------------------------------------------
+
+    def unit(self) -> "Signature":
+        """L2 unit-ball scaled copy (the paper's pre-SVM scaling)."""
+        return Signature(
+            self.vocabulary,
+            l2_normalize(self.weights),
+            label=self.label,
+            metadata=dict(self.metadata),
+        )
+
+    def relabeled(self, label: str) -> "Signature":
+        return Signature(
+            self.vocabulary, self.weights, label=label, metadata=dict(self.metadata)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Signature(label={self.label!r}, dim={self.dimension}, "
+            f"nnz={self.nnz}, norm={self.norm():.4f})"
+        )
+
+
+def stack_signatures(signatures: list[Signature]) -> np.ndarray:
+    """Stack signatures into an n x N dense matrix (shared vocabulary)."""
+    if not signatures:
+        raise ValueError("cannot stack an empty signature list")
+    vocab = signatures[0].vocabulary
+    for sig in signatures[1:]:
+        if sig.vocabulary != vocab:
+            raise ValueError("signatures span different vocabularies")
+    return np.stack([sig.weights for sig in signatures])

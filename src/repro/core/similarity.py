@@ -1,0 +1,106 @@
+"""Similarity and distance measures on signature vectors (Section 2.1).
+
+The paper compares signatures by cosine similarity or by the Minkowski
+distance induced by the Lp norm, defaulting to Euclidean (L2) throughout
+its evaluation; these are the reference implementations used by the search
+index, clustering, and the SVM's input scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cosine_similarity",
+    "euclidean_distance",
+    "l2_normalize",
+    "lp_norm",
+    "minkowski_distance",
+    "pairwise_euclidean",
+    "cosine_similarity_matrix",
+]
+
+
+def _as_1d(x) -> np.ndarray:
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {arr.shape}")
+    return arr
+
+
+def _check_same_shape(x: np.ndarray, y: np.ndarray) -> None:
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+
+
+def lp_norm(x, p: float = 2.0) -> float:
+    """The Lp norm; p must be >= 1 for a proper norm."""
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    arr = _as_1d(x)
+    if np.isinf(p):
+        return float(np.abs(arr).max(initial=0.0))
+    return float(np.power(np.abs(arr), p).sum() ** (1.0 / p))
+
+
+def cosine_similarity(x, y) -> float:
+    """cos(theta) = x.y / (||x|| ||y||); zero vectors yield 0.0.
+
+    1.0 means identical direction, 0.0 means orthogonal ("independent" in
+    the paper's Figure 2 sketch).
+    """
+    a, b = _as_1d(x), _as_1d(y)
+    _check_same_shape(a, b)
+    na, nb = np.linalg.norm(a), np.linalg.norm(b)
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.clip(a @ b / (na * nb), -1.0, 1.0))
+
+
+def minkowski_distance(x, y, p: float = 2.0) -> float:
+    """d_p(x, y) = (sum_i |x_i - y_i|^p)^(1/p)."""
+    a, b = _as_1d(x), _as_1d(y)
+    _check_same_shape(a, b)
+    return lp_norm(a - b, p)
+
+
+def euclidean_distance(x, y) -> float:
+    """The paper's default metric: the distance induced by the L2 norm."""
+    return minkowski_distance(x, y, 2.0)
+
+
+def l2_normalize(x) -> np.ndarray:
+    """Scale a vector onto the unit ball; the zero vector stays zero."""
+    arr = _as_1d(x)
+    norm = np.linalg.norm(arr)
+    if norm == 0.0:
+        return arr.copy()
+    return arr / norm
+
+
+def pairwise_euclidean(matrix) -> np.ndarray:
+    """All-pairs Euclidean distances for row vectors (n x n, symmetric)."""
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {m.shape}")
+    sq = (m * m).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (m @ m.T)
+    np.maximum(d2, 0.0, out=d2)
+    d = np.sqrt(d2)
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+def cosine_similarity_matrix(matrix) -> np.ndarray:
+    """All-pairs cosine similarities for row vectors; zero rows give 0."""
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {m.shape}")
+    norms = np.linalg.norm(m, axis=1)
+    safe = np.where(norms == 0.0, 1.0, norms)
+    unit = m / safe[:, None]
+    sims = np.clip(unit @ unit.T, -1.0, 1.0)
+    zero = norms == 0.0
+    sims[zero, :] = 0.0
+    sims[:, zero] = 0.0
+    return sims

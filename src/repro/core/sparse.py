@@ -1,0 +1,124 @@
+"""An immutable sparse vector for the signature search path.
+
+Signatures typically touch a few hundred of the ~3800 dimensions (most
+kernel functions are silent in any given interval), so the inverted index
+and similarity search (:mod:`repro.core.index`) operate on sparse vectors.
+Batch statistics (tf-idf fitting, clustering, SVM training) use dense
+matrices instead — converting back and forth is explicit and cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["SparseVector"]
+
+
+class SparseVector:
+    """Immutable mapping dimension -> nonzero float value."""
+
+    __slots__ = ("_data", "_norm_cache")
+
+    def __init__(self, data: Mapping[int, float]):
+        cleaned: dict[int, float] = {}
+        for dim, value in data.items():
+            if dim < 0:
+                raise ValueError(f"negative dimension {dim}")
+            value = float(value)
+            if math.isnan(value) or math.isinf(value):
+                raise ValueError(f"non-finite value at dimension {dim}")
+            if value != 0.0:
+                cleaned[int(dim)] = value
+        self._data = cleaned
+        self._norm_cache: float | None = None
+
+    @classmethod
+    def from_dense(cls, dense) -> "SparseVector":
+        arr = np.asarray(dense, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError(f"expected a 1-D vector, got shape {arr.shape}")
+        idx = np.flatnonzero(arr)
+        return cls({int(i): float(arr[i]) for i in idx})
+
+    def to_dense(self, size: int) -> np.ndarray:
+        if self._data and size <= max(self._data):
+            raise ValueError(
+                f"size {size} too small for dimension {max(self._data)}"
+            )
+        out = np.zeros(size)
+        for dim, value in self._data.items():
+            out[dim] = value
+        return out
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return len(self._data)
+
+    def dimensions(self) -> set[int]:
+        return set(self._data)
+
+    def get(self, dim: int, default: float = 0.0) -> float:
+        return self._data.get(dim, default)
+
+    def items(self) -> Iterator[tuple[int, float]]:
+        return iter(sorted(self._data.items()))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return self._data == other._data
+
+    def __repr__(self) -> str:
+        return f"SparseVector(nnz={self.nnz})"
+
+    # -- algebra ---------------------------------------------------------------
+
+    def dot(self, other: "SparseVector") -> float:
+        """Dot product; iterates over the smaller support."""
+        a, b = self._data, other._data
+        if len(b) < len(a):
+            a, b = b, a
+        return sum(value * b.get(dim, 0.0) for dim, value in a.items())
+
+    def norm(self) -> float:
+        if self._norm_cache is None:
+            self._norm_cache = math.sqrt(
+                sum(v * v for v in self._data.values())
+            )
+        return self._norm_cache
+
+    def cosine(self, other: "SparseVector") -> float:
+        na, nb = self.norm(), other.norm()
+        if na == 0.0 or nb == 0.0:
+            return 0.0
+        return max(-1.0, min(1.0, self.dot(other) / (na * nb)))
+
+    def euclidean(self, other: "SparseVector") -> float:
+        dims = set(self._data) | set(other._data)
+        return math.sqrt(
+            sum((self.get(d) - other.get(d)) ** 2 for d in dims)
+        )
+
+    def scaled(self, factor: float) -> "SparseVector":
+        return SparseVector({d: v * factor for d, v in self._data.items()})
+
+    def unit(self) -> "SparseVector":
+        """L2-normalized copy; the zero vector stays zero."""
+        n = self.norm()
+        if n == 0.0:
+            return SparseVector({})
+        return self.scaled(1.0 / n)
+
+    def add(self, other: "SparseVector") -> "SparseVector":
+        out = dict(self._data)
+        for dim, value in other._data.items():
+            out[dim] = out.get(dim, 0.0) + value
+        return SparseVector(out)

@@ -1,0 +1,156 @@
+"""The tf-idf weighting model (Section 2.1).
+
+Weights follow the paper exactly:
+
+- term frequency  ``tf_{i,j} = n_{i,j} / sum_k n_{k,j}`` — counts
+  normalized by document length, so the logging interval does not bias the
+  signature;
+- inverse document frequency ``idf_i = log(|D| / |{d : t_i in d}|)`` —
+  attenuates ubiquitous functions (the locking/slab "prepositions" of the
+  kernel) and, the paper argues, the daemon's own measurement
+  interference.
+
+Terms never seen in the corpus get weight 0 (their idf is undefined; a
+downstream document containing them carries no usable evidence for them).
+The two paper-motivated ablation switches — ``use_idf`` and
+``normalize_tf`` — exist so the benchmarks can quantify each factor's
+contribution.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.corpus import Corpus
+from repro.core.document import CountDocument
+from repro.core.signature import Signature
+from repro.core.vocabulary import Vocabulary
+
+__all__ = ["TfIdfModel"]
+
+
+class TfIdfModel:
+    """Fit idf on a corpus; transform documents into signatures."""
+
+    def __init__(self, use_idf: bool = True, normalize_tf: bool = True):
+        self.use_idf = use_idf
+        self.normalize_tf = normalize_tf
+        self.vocabulary: Vocabulary | None = None
+        self._idf: np.ndarray | None = None
+        self._corpus_size: int = 0
+
+    # -- fitting ---------------------------------------------------------------
+
+    @classmethod
+    def from_idf(
+        cls,
+        vocabulary: Vocabulary,
+        idf: np.ndarray,
+        corpus_size: int = 0,
+        use_idf: bool = True,
+        normalize_tf: bool = True,
+    ) -> "TfIdfModel":
+        """Rehydrate a fitted model from a stored idf vector.
+
+        The operator workflow needs this: a saved signature database must
+        let *new* raw count documents be transformed with the same
+        weighting that built the database.
+        """
+        idf = np.asarray(idf, dtype=float)
+        if idf.shape != (len(vocabulary),):
+            raise ValueError(
+                f"idf shape {idf.shape} does not match vocabulary size "
+                f"{len(vocabulary)}"
+            )
+        if (idf < 0).any():
+            raise ValueError("idf values are non-negative by construction")
+        model = cls(use_idf=use_idf, normalize_tf=normalize_tf)
+        model.vocabulary = vocabulary
+        model._idf = idf.copy()
+        model._corpus_size = corpus_size
+        return model
+
+    def fit(self, corpus: Corpus) -> "TfIdfModel":
+        """Compute idf from the corpus document frequencies."""
+        if len(corpus) == 0:
+            raise ValueError("cannot fit tf-idf on an empty corpus")
+        self.vocabulary = corpus.vocabulary
+        self._corpus_size = len(corpus)
+        df = corpus.document_frequencies().astype(float)
+        idf = np.zeros(len(corpus.vocabulary))
+        seen = df > 0
+        idf[seen] = np.log(self._corpus_size / df[seen])
+        self._idf = idf
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        return self._idf is not None
+
+    @property
+    def corpus_size(self) -> int:
+        return self._corpus_size
+
+    def idf(self) -> np.ndarray:
+        if self._idf is None:
+            raise RuntimeError("model is not fitted")
+        return self._idf.copy()
+
+    def idf_of(self, address: int) -> float:
+        if self._idf is None or self.vocabulary is None:
+            raise RuntimeError("model is not fitted")
+        return float(self._idf[self.vocabulary.index_of(address)])
+
+    # -- transforming ------------------------------------------------------------
+
+    def transform(self, document: CountDocument) -> Signature:
+        """Turn one count document into a tf-idf signature."""
+        if self._idf is None:
+            raise RuntimeError("model is not fitted")
+        if document.vocabulary != self.vocabulary:
+            raise ValueError("document vocabulary does not match fitted corpus")
+        if self.normalize_tf:
+            tf = document.term_frequencies()
+        else:
+            tf = document.counts.astype(float)
+        weights = tf * self._idf if self.use_idf else tf
+        return Signature(
+            vocabulary=document.vocabulary,
+            weights=weights,
+            label=document.label,
+            metadata=dict(document.metadata),
+        )
+
+    def transform_corpus(self, corpus: Corpus) -> list[Signature]:
+        """Transform every document; vectorized over the corpus matrix."""
+        if self._idf is None:
+            raise RuntimeError("model is not fitted")
+        if corpus.vocabulary != self.vocabulary:
+            raise ValueError("corpus vocabulary does not match fitted corpus")
+        matrix = corpus.counts_matrix().astype(float)
+        if self.normalize_tf and matrix.size:
+            totals = matrix.sum(axis=1, keepdims=True)
+            np.divide(matrix, totals, out=matrix, where=totals > 0)
+        if self.use_idf:
+            matrix *= self._idf
+        return [
+            Signature(
+                vocabulary=corpus.vocabulary,
+                weights=matrix[i],
+                label=doc.label,
+                metadata=dict(doc.metadata),
+            )
+            for i, doc in enumerate(corpus)
+        ]
+
+    def fit_transform(self, corpus: Corpus) -> list[Signature]:
+        return self.fit(corpus).transform_corpus(corpus)
+
+    def __repr__(self) -> str:
+        state = f"fitted on {self._corpus_size} docs" if self.fitted else "unfitted"
+        return (
+            f"TfIdfModel(use_idf={self.use_idf}, "
+            f"normalize_tf={self.normalize_tf}, {state})"
+        )

@@ -1,0 +1,96 @@
+"""The term vocabulary: kernel function addresses as vector dimensions.
+
+The set of distinct kernel functions induces the orthonormal basis of the
+signature space (Section 2.1).  Terms are function *start addresses* —
+names are ambiguous in a real kernel (duplicate ``static`` functions) —
+but the vocabulary keeps the names for interpretability of results.
+
+Signatures are only comparable within one vocabulary: the paper notes that
+addresses are stable across reboots of one kernel build but not across
+kernel versions, so :meth:`Vocabulary.fingerprint` gives a cheap identity
+check that guards against mixing corpora from different "builds".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Immutable bidirectional mapping term (address) <-> dimension index."""
+
+    def __init__(self, addresses: Sequence[int], names: Sequence[str] | None = None):
+        self._addresses: tuple[int, ...] = tuple(int(a) for a in addresses)
+        if not self._addresses:
+            raise ValueError("vocabulary must contain at least one term")
+        if len(set(self._addresses)) != len(self._addresses):
+            raise ValueError("vocabulary terms must be unique")
+        if names is not None:
+            names = tuple(names)
+            if len(names) != len(self._addresses):
+                raise ValueError(
+                    f"got {len(names)} names for {len(self._addresses)} terms"
+                )
+        self._names: tuple[str, ...] | None = names
+        self._index: dict[int, int] = {
+            addr: i for i, addr in enumerate(self._addresses)
+        }
+
+    @classmethod
+    def from_symbol_table(cls, symbols) -> "Vocabulary":
+        """Build from a :class:`repro.kernel.symbols.SymbolTable`."""
+        functions = list(symbols)
+        return cls(
+            [fn.address for fn in functions], [fn.name for fn in functions]
+        )
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._addresses)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._index
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._addresses == other._addresses
+
+    def __hash__(self) -> int:
+        return hash(self._addresses)
+
+    def index_of(self, address: int) -> int:
+        try:
+            return self._index[address]
+        except KeyError:
+            raise KeyError(f"term {address:#x} not in vocabulary") from None
+
+    def term_at(self, index: int) -> int:
+        if not 0 <= index < len(self._addresses):
+            raise IndexError(f"dimension {index} out of range")
+        return self._addresses[index]
+
+    def name_at(self, index: int) -> str:
+        """Human-readable name for a dimension (address hex if unnamed)."""
+        if self._names is None:
+            return f"{self.term_at(index):#x}"
+        return self._names[index]
+
+    def names(self) -> list[str]:
+        return [self.name_at(i) for i in range(len(self))]
+
+    def fingerprint(self) -> str:
+        """Stable digest of the term set; same build -> same fingerprint."""
+        h = hashlib.blake2b(digest_size=16)
+        for addr in self._addresses:
+            h.update(addr.to_bytes(8, "little"))
+        return h.hexdigest()
+
+    def subset_indices(self, addresses: Iterable[int]) -> list[int]:
+        """Dimension indices for a set of terms (for feature selection)."""
+        return [self.index_of(a) for a in addresses]

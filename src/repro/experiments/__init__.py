@@ -1,0 +1,26 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every harness exposes a ``run(...)`` function returning a result object
+with the measured rows and a ``table()`` (or ``render()``) method that
+prints in the paper's format.  Benchmarks under ``benchmarks/`` and the
+example scripts both delegate here, so the reproduction logic lives in
+exactly one place.
+
+| Harness                 | Paper artifact                         |
+|-------------------------|----------------------------------------|
+| ``fig1_bootup``         | Fig. 1 boot-up call-count power law    |
+| ``table1_lmbench``      | Table 1 lmbench latencies              |
+| ``table2_apachebench``  | Table 2 HTTP throughput                |
+| ``table3_kcompile``     | Table 3 kernel compile times           |
+| ``table4_svm_workloads``| Table 4 SVM on workload signatures     |
+| ``table5_svm_myri10ge`` | Table 5 SVM on driver variants         |
+| ``fig4_dendrogram``     | Fig. 4 single-linkage clustering       |
+| ``fig5_purity_samples`` | Fig. 5 k-means purity vs. sample count |
+| ``fig6_purity_k``       | Fig. 6 purity vs. target cluster count |
+| ``retrieval``           | similarity-search quality (IR metrics) |
+| ``ablations``           | design-choice ablations (DESIGN.md §5) |
+"""
+
+from repro.experiments.common import ExperimentTable, make_configurations
+
+__all__ = ["ExperimentTable", "make_configurations"]

@@ -1,0 +1,77 @@
+"""Shared experiment plumbing.
+
+The overhead experiments (Tables 1-3) compare the same kernel build in the
+paper's three configurations; :func:`make_configurations` builds the three
+machines over one shared symbol table and call graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.kernel.callgraph import CallGraph
+from repro.kernel.machine import MachineConfig, SimulatedMachine
+from repro.kernel.symbols import build_symbol_table
+from repro.tracing.fmeter import FmeterTracer
+from repro.tracing.ftrace import FtraceTracer
+from repro.util.tables import render_table
+
+__all__ = ["ExperimentTable", "make_configurations"]
+
+
+@dataclass
+class ExperimentTable:
+    """A paper-style table: headers, rows, title, free-form notes."""
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        text = render_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return text
+
+    def column(self, header: str) -> list:
+        try:
+            idx = self.headers.index(header)
+        except ValueError:
+            raise KeyError(f"no column {header!r}") from None
+        return [row[idx] for row in self.rows]
+
+
+def make_configurations(
+    seed: int = 2012,
+    n_cpus: int = 16,
+    configs: Sequence[str] = ("vanilla", "ftrace", "fmeter"),
+) -> dict[str, SimulatedMachine]:
+    """The paper's three machine configurations over one kernel build."""
+    symbols = build_symbol_table(seed)
+    callgraph = CallGraph(symbols, seed)
+    machines: dict[str, SimulatedMachine] = {}
+    for name in configs:
+        if name == "vanilla":
+            tracer = None
+        elif name == "ftrace":
+            tracer = FtraceTracer()
+        elif name == "fmeter":
+            tracer = FmeterTracer()
+        else:
+            raise ValueError(f"unknown configuration {name!r}")
+        machines[name] = SimulatedMachine(
+            config=MachineConfig(n_cpus=n_cpus, seed=seed, symbol_seed=seed),
+            tracer=tracer,
+            symbols=symbols,
+            callgraph=callgraph,
+        )
+    return machines

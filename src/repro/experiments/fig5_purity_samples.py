@@ -1,0 +1,123 @@
+"""Figure 5: K-means cluster purity vs. number of sampled vectors.
+
+For each workload combination — all three together (K=3) and the three
+pairs (K=2) — sample n vectors per class without replacement, cluster with
+K-means at the true K, and report purity averaged over 12 runs with SEM
+error bars.  The paper's observations to reproduce:
+
+1. purity is high across the board,
+2. it rises only slightly with more samples (centroids stabilize early),
+3. the K=3 combination scores *below* every K=2 pair — clustering quality
+   degrades as more classes are mixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import CollectionResult
+from repro.core.signature import Signature, stack_signatures
+from repro.experiments.common import ExperimentTable
+from repro.experiments.table4_svm_workloads import collect_workload_signatures
+from repro.ml.kmeans import kmeans
+from repro.ml.metrics import purity
+from repro.util.rng import RngStream
+from repro.util.stats import MeanSem, mean_sem
+
+__all__ = ["Fig5Result", "run", "sampled_purity"]
+
+#: The paper's four curves.
+COMBINATIONS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("scp, kcompile, dbench", ("scp", "kcompile", "dbench")),
+    ("scp, kcompile", ("scp", "kcompile")),
+    ("scp, dbench", ("scp", "dbench")),
+    ("kcompile, dbench", ("kcompile", "dbench")),
+)
+
+
+@dataclass
+class Fig5Result:
+    #: curve name -> list of (samples per class, purity mean±sem)
+    curves: dict[str, list[tuple[int, MeanSem]]]
+    collection: CollectionResult
+
+    def curve(self, name: str) -> list[tuple[int, MeanSem]]:
+        try:
+            return self.curves[name]
+        except KeyError:
+            raise KeyError(f"no curve {name!r}") from None
+
+    def final_purity(self, name: str) -> float:
+        return self.curve(name)[-1][1].mean
+
+    def table(self) -> ExperimentTable:
+        sample_counts = [n for n, _ in next(iter(self.curves.values()))]
+        table = ExperimentTable(
+            title="Figure 5: K-means cluster purity vs sampled vectors per class",
+            headers=["combination"] + [f"n={n}" for n in sample_counts],
+        )
+        for name, points in self.curves.items():
+            table.add_row(name, *(ms.format(3) for _, ms in points))
+        table.notes.append(
+            "paper: high purity throughout; 3-class clustering scores below "
+            "every 2-class pair"
+        )
+        return table
+
+
+def sampled_purity(
+    by_label: dict[str, list[Signature]],
+    labels: tuple[str, ...],
+    per_class: int,
+    runs: int,
+    seed: int,
+) -> MeanSem:
+    """Purity of K-means (K = #labels) on per-class samples, over runs."""
+    if per_class <= 0:
+        raise ValueError("per_class must be positive")
+    scores = []
+    for run_idx in range(runs):
+        rng = RngStream(seed, f"fig5/{'+'.join(labels)}/{per_class}/{run_idx}")
+        sampled: list[Signature] = []
+        classes: list[str] = []
+        for label in labels:
+            pool = by_label[label]
+            if len(pool) < per_class:
+                raise ValueError(
+                    f"need {per_class} {label!r} signatures, have {len(pool)}"
+                )
+            chosen = rng.choice(len(pool), size=per_class, replace=False)
+            sampled.extend(pool[int(i)] for i in chosen)
+            classes.extend([label] * per_class)
+        x = stack_signatures(sampled)
+        result = kmeans(x, len(labels), seed=int(rng.integers(0, 2**31)))
+        scores.append(purity(result.assignments.tolist(), classes))
+    return mean_sem(scores)
+
+
+def run(
+    seed: int = 2012,
+    sample_counts: tuple[int, ...] = (20, 60, 100, 140, 180, 220),
+    runs: int = 12,
+    collection: CollectionResult | None = None,
+) -> Fig5Result:
+    """Compute all four purity curves."""
+    max_needed = max(sample_counts)
+    if collection is None:
+        collection = collect_workload_signatures(
+            seed=seed, intervals_per_workload=max_needed + 10
+        )
+    by_label = {
+        label: [s.unit() for s in collection.signatures_with_label(label)]
+        for label in ("scp", "kcompile", "dbench")
+    }
+    curves: dict[str, list[tuple[int, MeanSem]]] = {}
+    for name, labels in COMBINATIONS:
+        points = [
+            (n, sampled_purity(by_label, labels, n, runs, seed))
+            for n in sample_counts
+        ]
+        curves[name] = points
+    return Fig5Result(curves=curves, collection=collection)

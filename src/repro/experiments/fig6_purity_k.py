@@ -1,0 +1,99 @@
+"""Figure 6: K-means purity as the number of target clusters grows.
+
+Clustering ``scp`` and ``dbench`` signatures (two actual classes) with
+K = 2..20: purity converges rapidly to 1.0 as K exceeds the true class
+count — a few extra clusters absorb the boundary mistakes — while the SEM
+shrinks.  The paper plots three curves for 60, 140, and 220 sampled
+vectors per class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import CollectionResult
+from repro.core.signature import Signature, stack_signatures
+from repro.experiments.common import ExperimentTable
+from repro.experiments.table4_svm_workloads import collect_workload_signatures
+from repro.ml.kmeans import kmeans
+from repro.ml.metrics import purity
+from repro.util.rng import RngStream
+from repro.util.stats import MeanSem, mean_sem
+
+__all__ = ["Fig6Result", "run"]
+
+LABELS: tuple[str, str] = ("scp", "dbench")
+
+
+@dataclass
+class Fig6Result:
+    #: samples-per-class -> list of (K, purity mean±sem)
+    curves: dict[int, list[tuple[int, MeanSem]]]
+    collection: CollectionResult
+
+    def purity_at(self, per_class: int, k: int) -> MeanSem:
+        for kk, ms in self.curves[per_class]:
+            if kk == k:
+                return ms
+        raise KeyError(f"no K={k} point for per_class={per_class}")
+
+    def table(self) -> ExperimentTable:
+        ks = [k for k, _ in next(iter(self.curves.values()))]
+        table = ExperimentTable(
+            title="Figure 6: K-means purity vs target clusters "
+                  "(scp+dbench, 2 actual classes)",
+            headers=["samples/class"] + [f"K={k}" for k in ks],
+        )
+        for per_class, points in sorted(self.curves.items()):
+            table.add_row(str(per_class), *(ms.format(3) for _, ms in points))
+        table.notes.append(
+            "paper: purity converges rapidly to 1.0 as K grows past the "
+            "actual class count"
+        )
+        return table
+
+
+def run(
+    seed: int = 2012,
+    k_values: tuple[int, ...] = tuple(range(2, 21)),
+    sample_counts: tuple[int, ...] = (60, 140, 220),
+    runs: int = 12,
+    collection: CollectionResult | None = None,
+) -> Fig6Result:
+    """Compute the purity-vs-K curves."""
+    max_needed = max(sample_counts)
+    if collection is None:
+        collection = collect_workload_signatures(
+            seed=seed, intervals_per_workload=max_needed + 10
+        )
+    by_label: dict[str, list[Signature]] = {
+        label: [s.unit() for s in collection.signatures_with_label(label)]
+        for label in LABELS
+    }
+    curves: dict[int, list[tuple[int, MeanSem]]] = {}
+    for per_class in sample_counts:
+        points: list[tuple[int, MeanSem]] = []
+        for k in k_values:
+            scores = []
+            for run_idx in range(runs):
+                rng = RngStream(seed, f"fig6/{per_class}/{k}/{run_idx}")
+                sampled: list[Signature] = []
+                classes: list[str] = []
+                for label in LABELS:
+                    pool = by_label[label]
+                    if len(pool) < per_class:
+                        raise ValueError(
+                            f"need {per_class} {label!r} signatures, "
+                            f"have {len(pool)}"
+                        )
+                    chosen = rng.choice(
+                        len(pool), size=per_class, replace=False
+                    )
+                    sampled.extend(pool[int(i)] for i in chosen)
+                    classes.extend([label] * per_class)
+                x = stack_signatures(sampled)
+                result = kmeans(x, k, seed=int(rng.integers(0, 2**31)))
+                scores.append(purity(result.assignments.tolist(), classes))
+            points.append((k, mean_sem(scores)))
+        curves[per_class] = points
+    return Fig6Result(curves=curves, collection=collection)

@@ -1,0 +1,108 @@
+"""Similarity-based retrieval quality — the "indexable" in the title.
+
+The paper positions signatures as *indexable*: an operator searches past
+system history by similarity.  This harness measures retrieval quality
+with standard IR metrics over the workload signature pool: each signature
+queries the index of all the others; a hit is relevant iff it carries the
+query's label.
+
+Reported: precision@k for several k, mean average precision (mAP), and
+mean reciprocal rank (MRR), per metric (cosine and Euclidean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.index import SignatureIndex
+from repro.core.pipeline import CollectionResult
+from repro.experiments.common import ExperimentTable
+from repro.experiments.table4_svm_workloads import collect_workload_signatures
+from repro.util.stats import mean
+
+__all__ = ["RetrievalResult", "run"]
+
+
+@dataclass
+class RetrievalResult:
+    #: metric -> {"p@1": ..., "p@5": ..., "p@10": ..., "map": ..., "mrr": ...}
+    scores: dict[str, dict[str, float]]
+    n_queries: int
+
+    def table(self) -> ExperimentTable:
+        table = ExperimentTable(
+            title=f"Retrieval quality over {self.n_queries} "
+                  "leave-one-out queries",
+            headers=["metric", "P@1", "P@5", "P@10", "mAP", "MRR"],
+        )
+        for metric, s in self.scores.items():
+            table.add_row(
+                metric,
+                f"{s['p@1']:.3f}", f"{s['p@5']:.3f}", f"{s['p@10']:.3f}",
+                f"{s['map']:.3f}", f"{s['mrr']:.3f}",
+            )
+        return table
+
+
+def _average_precision(relevances: list[bool], n_relevant: int) -> float:
+    """AP over a ranked relevance list (standard IR definition)."""
+    if n_relevant == 0:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for rank, relevant in enumerate(relevances, start=1):
+        if relevant:
+            hits += 1
+            precision_sum += hits / rank
+    return precision_sum / min(n_relevant, len(relevances))
+
+
+def run(
+    seed: int = 2012,
+    intervals_per_workload: int = 50,
+    depth: int = 20,
+    collection: CollectionResult | None = None,
+) -> RetrievalResult:
+    """Leave-one-out retrieval over the three-workload pool."""
+    if depth < 10:
+        raise ValueError("depth must be >= 10 (P@10 is reported)")
+    if collection is None:
+        collection = collect_workload_signatures(
+            seed=seed, intervals_per_workload=intervals_per_workload
+        )
+    signatures = [s.unit() for s in collection.signatures]
+    label_counts: dict[str, int] = {}
+    for sig in signatures:
+        label_counts[sig.label] = label_counts.get(sig.label, 0) + 1
+
+    # One index of the full pool; each query skips its own entry in the
+    # ranking (leave-one-out without n index rebuilds).
+    index = SignatureIndex()
+    ids = index.add_all(signatures)
+    scores: dict[str, dict[str, float]] = {}
+    for metric in ("cosine", "euclidean"):
+        p1, p5, p10, aps, rrs = [], [], [], [], []
+        for i, query in enumerate(signatures):
+            results = [
+                r for r in index.search(query, k=depth + 1, metric=metric)
+                if r.signature_id != ids[i]
+            ][:depth]
+            relevances = [r.signature.label == query.label for r in results]
+            p1.append(float(relevances[0]))
+            p5.append(sum(relevances[:5]) / 5.0)
+            p10.append(sum(relevances[:10]) / 10.0)
+            aps.append(
+                _average_precision(relevances, label_counts[query.label] - 1)
+            )
+            first_hit = next(
+                (rank for rank, rel in enumerate(relevances, 1) if rel), None
+            )
+            rrs.append(1.0 / first_hit if first_hit else 0.0)
+        scores[metric] = {
+            "p@1": mean(p1),
+            "p@5": mean(p5),
+            "p@10": mean(p10),
+            "map": mean(aps),
+            "mrr": mean(rrs),
+        }
+    return RetrievalResult(scores=scores, n_queries=len(signatures))

@@ -1,0 +1,103 @@
+"""Table 1: lmbench micro-benchmark latencies under the three configurations.
+
+For every Table 1 row, measures the mean latency (± SEM) on the vanilla,
+Ftrace, and Fmeter machines and derives the slowdown columns.  The
+reproduction target is the *shape*: Ftrace several times slower than
+Fmeter on every test, Fmeter within ~2x of vanilla on most, and the
+Ftrace/Fmeter ratio roughly between 2 and 8 — not the absolute
+microseconds of the authors' hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentTable, make_configurations
+from repro.tracing.overhead import slowdown
+from repro.util.stats import MeanSem, mean
+from repro.workloads.lmbench import LMBENCH_TESTS, LmbenchTest, measure_latency
+
+__all__ = ["Table1Result", "Table1Row", "run"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One measured lmbench row."""
+
+    test: LmbenchTest
+    baseline: MeanSem
+    ftrace: MeanSem
+    fmeter: MeanSem
+
+    @property
+    def ftrace_slowdown(self) -> float:
+        return slowdown(self.ftrace.mean, self.baseline.mean)
+
+    @property
+    def fmeter_slowdown(self) -> float:
+        return slowdown(self.fmeter.mean, self.baseline.mean)
+
+    @property
+    def ratio(self) -> float:
+        """Ftrace latency / Fmeter latency (the paper's last column)."""
+        return self.ftrace.mean / self.fmeter.mean
+
+
+@dataclass
+class Table1Result:
+    rows: list[Table1Row]
+
+    @property
+    def mean_fmeter_slowdown(self) -> float:
+        return mean(r.fmeter_slowdown for r in self.rows)
+
+    @property
+    def mean_ftrace_slowdown(self) -> float:
+        return mean(r.ftrace_slowdown for r in self.rows)
+
+    def table(self) -> ExperimentTable:
+        table = ExperimentTable(
+            title="Table 1: lmbench latencies (us), vanilla vs Ftrace vs Fmeter",
+            headers=[
+                "Test", "Baseline", "Ftrace", "Fmeter",
+                "Ftrace x", "Fmeter x", "Ratio",
+            ],
+        )
+        for row in self.rows:
+            table.add_row(
+                row.test.name,
+                row.baseline.format(3),
+                row.ftrace.format(3),
+                row.fmeter.format(3),
+                f"{row.ftrace_slowdown:.3f}",
+                f"{row.fmeter_slowdown:.3f}",
+                f"{row.ratio:.3f}",
+            )
+        table.notes.append(
+            f"mean slowdown: fmeter {self.mean_fmeter_slowdown:.2f}x, "
+            f"ftrace {self.mean_ftrace_slowdown:.2f}x "
+            "(paper: ~1.4x and ~6.69x)"
+        )
+        return table
+
+
+def run(seed: int = 2012, iterations: int = 40) -> Table1Result:
+    """Measure all 23 lmbench rows on the three configurations."""
+    machines = make_configurations(seed=seed)
+    rows: list[Table1Row] = []
+    for test in LMBENCH_TESTS:
+        rows.append(
+            Table1Row(
+                test=test,
+                baseline=measure_latency(
+                    machines["vanilla"], test.op, iterations, seed=seed
+                ),
+                ftrace=measure_latency(
+                    machines["ftrace"], test.op, iterations, seed=seed
+                ),
+                fmeter=measure_latency(
+                    machines["fmeter"], test.op, iterations, seed=seed
+                ),
+            )
+        )
+    return Table1Result(rows=rows)

@@ -1,0 +1,141 @@
+"""Table 4: SVM classification of workload signatures.
+
+Signatures are collected from the ``scp``, ``kcompile``, and ``dbench``
+workloads (the paper: ~250 per workload, every 10 s), L2-scaled into the
+unit ball, and classified with the polynomial-kernel SVM under the paper's
+K-fold protocol (10 folds) across six groupings: the three pairwise tasks
+plus the three one-vs-rest tasks.  The reproduction target: near-perfect
+accuracy/precision/recall against ~50-68 % majority baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import CollectionResult, SignaturePipeline
+from repro.core.signature import Signature, stack_signatures
+from repro.experiments.common import ExperimentTable
+from repro.ml.crossval import CrossValResult, kfold_cross_validate
+from repro.workloads.dbench import DbenchWorkload
+from repro.workloads.kcompile import KernelCompileWorkload
+from repro.workloads.scp import ScpWorkload
+
+__all__ = ["Table4Result", "Grouping", "run", "collect_workload_signatures"]
+
+#: The paper's six groupings: (display name, positive labels, negative labels).
+GROUPINGS: tuple[tuple[str, tuple[str, ...], tuple[str, ...]], ...] = (
+    ("dbench(+1), kcompile(-1)", ("dbench",), ("kcompile",)),
+    ("scp(+1), kcompile(-1)", ("scp",), ("kcompile",)),
+    ("scp(+1), dbench(-1)", ("scp",), ("dbench",)),
+    ("dbench(+1), kcompile+scp(-1)", ("dbench",), ("kcompile", "scp")),
+    ("scp(+1), kcompile+dbench(-1)", ("scp",), ("kcompile", "dbench")),
+    ("kcompile(+1), scp+dbench(-1)", ("kcompile",), ("scp", "dbench")),
+)
+
+
+@dataclass(frozen=True)
+class Grouping:
+    """One classification task and its cross-validated outcome."""
+
+    name: str
+    result: CrossValResult
+
+
+@dataclass
+class Table4Result:
+    groupings: list[Grouping]
+    collection: CollectionResult
+
+    def table(self) -> ExperimentTable:
+        table = ExperimentTable(
+            title="Table 4: SVM performance on workload signatures "
+                  "(mean±stdev over folds)",
+            headers=[
+                "Signature grouping", "Baseline %", "Accuracy %",
+                "Precision %", "Recall %",
+            ],
+        )
+        for grouping in self.groupings:
+            cv = grouping.result
+            acc, acc_sd = cv.accuracy
+            prec, prec_sd = cv.precision
+            rec, rec_sd = cv.recall
+            table.add_row(
+                grouping.name,
+                f"{100 * cv.baseline_accuracy:.3f}",
+                f"{100 * acc:.2f}±{100 * acc_sd:.2f}",
+                f"{100 * prec:.2f}±{100 * prec_sd:.2f}",
+                f"{100 * rec:.2f}±{100 * rec_sd:.2f}",
+            )
+        table.notes.append(
+            "paper: 100% on three groupings, >=99% on the rest, against "
+            "51.2-68.0% baselines"
+        )
+        return table
+
+
+def collect_workload_signatures(
+    seed: int = 2012,
+    intervals_per_workload: int = 80,
+    interval_s: float = 10.0,
+    use_idf: bool = True,
+    normalize_tf: bool = True,
+    self_interference: bool = True,
+) -> CollectionResult:
+    """Collect the scp/kcompile/dbench signature pool."""
+    pipeline = SignaturePipeline(
+        seed=seed,
+        interval_s=interval_s,
+        use_idf=use_idf,
+        normalize_tf=normalize_tf,
+        self_interference=self_interference,
+    )
+    workloads = [
+        ScpWorkload(seed=seed + 1),
+        KernelCompileWorkload(seed=seed + 2),
+        DbenchWorkload(seed=seed + 3),
+    ]
+    return pipeline.collect(workloads, intervals_per_workload)
+
+
+def build_task(
+    signatures: list[Signature],
+    positive: tuple[str, ...],
+    negative: tuple[str, ...],
+    unit_scale: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(x, y) for one grouping; signatures scaled into the unit ball."""
+    rows: list[Signature] = []
+    labels: list[int] = []
+    for sig in signatures:
+        if sig.label in positive:
+            labels.append(1)
+        elif sig.label in negative:
+            labels.append(-1)
+        else:
+            continue
+        rows.append(sig.unit() if unit_scale else sig)
+    if not rows:
+        raise ValueError("grouping selected no signatures")
+    return stack_signatures(rows), np.array(labels)
+
+
+def run(
+    seed: int = 2012,
+    intervals_per_workload: int = 80,
+    k_folds: int = 10,
+    collection: CollectionResult | None = None,
+) -> Table4Result:
+    """Collect (or reuse) signatures and evaluate all six groupings."""
+    if collection is None:
+        collection = collect_workload_signatures(
+            seed=seed, intervals_per_workload=intervals_per_workload
+        )
+    groupings: list[Grouping] = []
+    for name, positive, negative in GROUPINGS:
+        x, y = build_task(collection.signatures, positive, negative)
+        cv = kfold_cross_validate(x, y, k=k_folds, seed=seed)
+        groupings.append(Grouping(name=name, result=cv))
+    return Table4Result(groupings=groupings, collection=collection)

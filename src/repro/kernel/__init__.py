@@ -1,0 +1,59 @@
+"""Simulated Linux-kernel substrate.
+
+The paper instruments a real Linux 2.6.28 kernel; this package provides the
+closest synthetic equivalent that exercises the same downstream code path:
+
+- a deterministic **symbol table** of ~3800 core-kernel functions
+  (:mod:`repro.kernel.symbols`),
+- a preferential-attachment **call graph** whose per-operation expansion
+  yields realistic, power-law distributed function call counts
+  (:mod:`repro.kernel.callgraph`),
+- a **syscall layer** mapping ABI-level operations to kernel entry points
+  (:mod:`repro.kernel.syscalls`),
+- **per-CPU state** with preemption accounting (:mod:`repro.kernel.cpu`),
+- the **mcount instrumentation registry** with Fmeter's stub-patching
+  lifecycle (:mod:`repro.kernel.mcount`),
+- **loadable modules** excluded from instrumentation, including the three
+  ``myri10ge`` driver variants of the paper's Table 5
+  (:mod:`repro.kernel.modules`),
+- a **debugfs-style export** of counter state (:mod:`repro.kernel.debugfs`),
+- and the :class:`repro.kernel.machine.SimulatedMachine` tying it together.
+"""
+
+from repro.kernel.callgraph import CallGraph, OperationProfile
+from repro.kernel.cpu import Cpu, PreemptionError
+from repro.kernel.debugfs import DebugFs
+from repro.kernel.functions import KernelFunction, Subsystem
+from repro.kernel.machine import MachineConfig, SimulatedMachine
+from repro.kernel.mcount import McountRegistry, McountSite, StubState
+from repro.kernel.modules import (
+    KernelModule,
+    ModuleFunction,
+    make_myri10ge,
+    MYRI10GE_VARIANTS,
+)
+from repro.kernel.symbols import SymbolTable, build_symbol_table
+from repro.kernel.syscalls import KernelOp, SyscallTable
+
+__all__ = [
+    "CallGraph",
+    "Cpu",
+    "DebugFs",
+    "KernelFunction",
+    "KernelModule",
+    "KernelOp",
+    "MachineConfig",
+    "McountRegistry",
+    "McountSite",
+    "ModuleFunction",
+    "MYRI10GE_VARIANTS",
+    "OperationProfile",
+    "PreemptionError",
+    "SimulatedMachine",
+    "StubState",
+    "Subsystem",
+    "SymbolTable",
+    "SyscallTable",
+    "build_symbol_table",
+    "make_myri10ge",
+]

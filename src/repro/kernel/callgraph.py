@@ -1,0 +1,756 @@
+"""The simulated kernel's call graph and per-operation count expansion.
+
+Fmeter's downstream machinery consumes one thing: *how many times each
+core-kernel function was called* during an interval.  The call graph is the
+mechanism that turns ABI-level operations (a ``read()`` syscall, a received
+network interrupt) into realistic per-function call counts:
+
+- **Canonical edges** encode real Linux call chains between the curated
+  anchor functions (``sys_read -> vfs_read -> generic_file_aio_read ->
+  do_generic_file_read -> find_get_page``, the TCP transmit path, the NAPI
+  receive path, ...).  These give each operation its distinctive footprint —
+  the structure the paper's classifiers exploit.
+- **Random edges** are generated with preferential attachment on function
+  hotness: hot utility functions (locks, slab allocators, RCU) accumulate
+  in-edges from everywhere, which is what reproduces the power-law call
+  count distribution of the paper's Figure 1.
+
+Expected per-function call counts for an operation are obtained by seeding
+the operation's entry functions and propagating expectations along weighted
+edges: ``x = seed + W^T x``, solved iteratively.  Random edges are generated
+strictly "downward" in call depth, so they cannot create cycles; canonical
+edges may close loops (the TCP ACK path calls back into the transmit path),
+and the builder verifies that the propagation still converges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.kernel.functions import KernelFunction, Subsystem
+from repro.kernel.symbols import SymbolTable
+from repro.util.rng import RngStream
+
+__all__ = ["CallGraph", "OperationProfile", "CANONICAL_EDGES", "ANCHOR_DEPTHS"]
+
+#: Approximate call depth of each anchor function (0 = syscall/interrupt
+#: entry).  Depths guide random-edge generation; canonical edges are free to
+#: disagree (real kernels have upward calls), the propagation handles it.
+ANCHOR_DEPTHS: dict[str, int] = {
+    # entries
+    "sys_read": 0, "sys_write": 0, "sys_open": 0, "sys_close": 0,
+    "sys_newstat": 0, "sys_newfstat": 0, "sys_fcntl": 0, "sys_select": 0,
+    "sys_wait4": 0, "sys_brk": 0, "sys_pipe": 0, "sys_kill": 0,
+    "sys_rt_sigaction": 0, "sys_semop": 0, "sys_semtimedop": 0,
+    "sys_shmat": 0, "sys_socketcall": 0, "sys_connect": 0, "sys_accept": 0,
+    "do_page_fault": 0, "do_IRQ": 0, "do_fork": 0, "do_execve": 0,
+    "do_exit": 0, "do_futex": 0, "schedule": 0, "scheduler_tick": 0,
+    "sys_getpid": 0, "__schedule_bug": 1,
+    # vfs / fs chains
+    "vfs_read": 1, "vfs_write": 1, "do_filp_open": 1, "vfs_stat": 1,
+    "vfs_fstat": 1, "core_sys_select": 1, "do_sys_poll": 1,
+    "generic_file_aio_read": 2, "generic_file_aio_write": 2,
+    "do_select": 2, "path_walk": 2, "vfs_getattr": 2, "notify_change": 3,
+    "do_lookup": 3, "do_generic_file_read": 3, "fcntl_setlk": 1,
+    "page_cache_readahead": 4, "touch_atime": 4,
+    "ext3_lookup": 4, "ext3_create": 4, "ext3_unlink": 4, "ext3_mkdir": 4,
+    "ext3_readpage": 4, "ext3_writepage": 4, "write_cache_pages": 4,
+    "journal_start": 4, "journal_stop": 4, "ext3_get_block": 5,
+    "journal_dirty_metadata": 5, "ext3_do_update_inode": 5,
+    "journal_commit_transaction": 5,
+    "add_to_page_cache_lru": 5, "__set_page_dirty_buffers": 5,
+    "security_file_permission": 5, "find_get_page": 6,
+    "mark_page_accessed": 6, "fget_light": 6, "fput": 6, "dget": 6,
+    "dput": 6, "iput": 6, "igrab": 6, "mntput": 6,
+    # block
+    "submit_bio": 5, "generic_make_request": 6, "__make_request": 7,
+    "blk_queue_bio": 7, "elv_merge": 8, "blk_complete_request": 4,
+    "end_bio_bh_io_sync": 5,
+    # mm
+    "handle_mm_fault": 1, "__do_fault": 2, "do_anonymous_page": 3,
+    "do_wp_page": 3, "do_mmap_pgoff": 3, "do_munmap": 1, "exit_mmap": 1,
+    "unmap_vmas": 2, "vma_merge": 4, "anon_vma_prepare": 5,
+    "copy_page_range": 2, "get_user_pages": 3,
+    "__alloc_pages_internal": 7, "free_pages": 7,
+    # slab (deep utilities)
+    "kmem_cache_alloc": 8, "kmem_cache_free": 8, "__kmalloc": 8, "kfree": 8,
+    # proc lifecycle
+    "copy_process": 1, "wait_task_zombie": 1, "search_binary_handler": 1,
+    "load_elf_binary": 2,
+    # scheduler internals
+    "pick_next_task_fair": 1, "finish_task_switch": 1,
+    "try_to_wake_up": 2, "enqueue_task_fair": 3, "dequeue_task_fair": 3,
+    "update_curr": 4,
+    # futex / ipc / signal
+    "futex_wait": 1, "futex_wake": 1, "do_sigaction": 1, "send_signal": 1,
+    "get_signal_to_deliver": 1, "handle_signal": 2, "ipc_lock": 1,
+    # sockets / net tx
+    "sock_sendmsg": 1, "sock_recvmsg": 1, "sock_alloc_file": 1,
+    "sock_poll": 3, "unix_stream_sendmsg": 2, "unix_stream_recvmsg": 2,
+    "unix_stream_connect": 1, "inet_csk_accept": 1, "tcp_close": 1,
+    "tcp_v4_connect": 1, "security_socket_sendmsg": 2,
+    "tcp_sendmsg": 2, "tcp_recvmsg": 2, "tcp_write_xmit": 3,
+    "tcp_transmit_skb": 4, "ip_queue_xmit": 5, "ip_route_output_flow": 6,
+    "ip_output": 6, "dev_queue_xmit": 7, "dev_hard_start_xmit": 8,
+    "skb_copy_datagram_iovec": 3,
+    # net rx
+    "irq_enter": 1, "irq_exit": 1, "handle_edge_irq": 1,
+    "__do_softirq": 2, "raise_softirq": 6, "tasklet_action": 3,
+    "net_rx_action": 3, "napi_complete": 4, "napi_schedule": 5,
+    "napi_gro_receive": 5, "napi_gro_frags": 5, "__napi_gro_flush": 6,
+    "netif_receive_skb": 6, "__netif_receive_skb_core": 7,
+    "eth_type_trans": 7, "ip_rcv": 8, "ip_local_deliver": 9,
+    "tcp_v4_rcv": 10, "tcp_v4_do_rcv": 11, "tcp_rcv_established": 12,
+    "tcp_ack": 13, "tcp_send_ack": 13,
+    # skb utilities
+    "alloc_skb": 8, "kfree_skb": 9, "skb_clone": 8,
+    # timers
+    "run_timer_softirq": 3, "hrtimer_interrupt": 1, "tick_sched_timer": 2,
+    # locks / rcu (deepest, called from everywhere)
+    "_spin_lock": 11, "_spin_unlock": 11, "_spin_lock_irqsave": 11,
+    "mutex_lock": 10, "mutex_unlock": 10, "down_read": 10, "up_read": 10,
+    "__rcu_read_lock": 11, "__rcu_read_unlock": 11, "call_rcu": 9,
+    # workqueue / crypto / security / misc
+    "queue_work": 4, "run_workqueue": 2,
+    "crypto_aes_encrypt": 4, "crypto_aes_decrypt": 4,
+    "crypto_sha1_update": 4, "crypto_blkcipher_encrypt": 3,
+    "cap_capable": 6, "tty_write": 1, "n_tty_read": 1,
+    "pipe_read": 2, "pipe_write": 2,
+    "proc_reg_read": 2, "proc_pid_readdir": 2, "sysfs_read_file": 2,
+    "kobject_get": 7, "kobject_put": 7,
+    "dma_map_single": 8, "dma_unmap_single": 8,
+}
+
+#: Canonical call edges (caller, callee, expected calls per caller call).
+#: These encode real Linux call chains among the anchors.
+CANONICAL_EDGES: tuple[tuple[str, str, float], ...] = (
+    # read path
+    ("sys_read", "fget_light", 1.0),
+    ("sys_read", "vfs_read", 1.0),
+    ("sys_read", "fput", 1.0),
+    ("vfs_read", "security_file_permission", 1.0),
+    ("vfs_read", "generic_file_aio_read", 0.85),
+    ("vfs_read", "pipe_read", 0.08),
+    ("vfs_read", "n_tty_read", 0.02),
+    ("vfs_read", "proc_reg_read", 0.03),
+    ("vfs_read", "sysfs_read_file", 0.02),
+    ("generic_file_aio_read", "do_generic_file_read", 1.0),
+    ("do_generic_file_read", "find_get_page", 2.2),
+    ("do_generic_file_read", "page_cache_readahead", 0.35),
+    ("do_generic_file_read", "mark_page_accessed", 1.6),
+    ("do_generic_file_read", "touch_atime", 0.9),
+    ("page_cache_readahead", "ext3_readpage", 1.7),
+    ("page_cache_readahead", "add_to_page_cache_lru", 1.7),
+    ("ext3_readpage", "ext3_get_block", 1.1),
+    ("ext3_readpage", "submit_bio", 0.8),
+    # write path
+    ("sys_write", "fget_light", 1.0),
+    ("sys_write", "vfs_write", 1.0),
+    ("sys_write", "fput", 1.0),
+    ("vfs_write", "security_file_permission", 1.0),
+    ("vfs_write", "generic_file_aio_write", 0.85),
+    ("vfs_write", "pipe_write", 0.08),
+    ("vfs_write", "tty_write", 0.04),
+    ("generic_file_aio_write", "find_get_page", 1.4),
+    ("generic_file_aio_write", "add_to_page_cache_lru", 0.8),
+    ("generic_file_aio_write", "__set_page_dirty_buffers", 1.1),
+    ("generic_file_aio_write", "journal_start", 0.6),
+    ("generic_file_aio_write", "journal_dirty_metadata", 0.7),
+    ("generic_file_aio_write", "journal_stop", 0.6),
+    ("generic_file_aio_write", "ext3_get_block", 0.8),
+    ("write_cache_pages", "ext3_writepage", 2.4),
+    ("ext3_writepage", "journal_start", 0.9),
+    ("ext3_writepage", "ext3_get_block", 1.0),
+    ("ext3_writepage", "submit_bio", 0.9),
+    ("ext3_writepage", "journal_stop", 0.9),
+    ("journal_commit_transaction", "journal_dirty_metadata", 3.0),
+    ("journal_commit_transaction", "submit_bio", 2.2),
+    ("ext3_do_update_inode", "journal_dirty_metadata", 1.0),
+    # open / namei
+    ("sys_open", "do_filp_open", 1.0),
+    ("sys_open", "kmem_cache_alloc", 0.8),
+    ("do_filp_open", "path_walk", 1.0),
+    ("do_filp_open", "dget", 1.2),
+    ("do_filp_open", "mntput", 0.6),
+    ("path_walk", "do_lookup", 2.6),
+    ("path_walk", "dput", 1.8),
+    ("path_walk", "igrab", 0.4),
+    ("do_lookup", "ext3_lookup", 0.55),
+    ("do_lookup", "dget", 0.9),
+    ("ext3_lookup", "ext3_get_block", 0.7),
+    ("ext3_create", "journal_start", 1.0),
+    ("ext3_create", "ext3_do_update_inode", 1.0),
+    ("ext3_create", "journal_stop", 1.0),
+    ("ext3_unlink", "journal_start", 1.0),
+    ("ext3_unlink", "ext3_do_update_inode", 1.0),
+    ("ext3_unlink", "journal_stop", 1.0),
+    ("ext3_mkdir", "journal_start", 1.0),
+    ("ext3_mkdir", "ext3_do_update_inode", 1.0),
+    ("ext3_mkdir", "journal_stop", 1.0),
+    ("sys_close", "fput", 1.0),
+    ("sys_close", "dput", 0.9),
+    ("sys_close", "iput", 0.4),
+    ("sys_close", "kmem_cache_free", 0.7),
+    # stat / fstat
+    ("sys_newstat", "vfs_stat", 1.0),
+    ("vfs_stat", "path_walk", 1.0),
+    ("vfs_stat", "vfs_getattr", 1.0),
+    ("sys_newfstat", "vfs_fstat", 1.0),
+    ("sys_newfstat", "fget_light", 1.0),
+    ("vfs_fstat", "vfs_getattr", 1.0),
+    ("vfs_getattr", "security_file_permission", 0.6),
+    # select / poll
+    ("sys_select", "core_sys_select", 1.0),
+    ("core_sys_select", "do_select", 1.0),
+    ("core_sys_select", "kmem_cache_alloc", 0.3),
+    ("do_select", "fget_light", 4.0),
+    ("do_select", "fput", 4.0),
+    ("do_select", "sock_poll", 1.6),
+    ("do_sys_poll", "fget_light", 3.0),
+    ("do_sys_poll", "fput", 3.0),
+    ("do_sys_poll", "sock_poll", 1.4),
+    # fcntl
+    ("sys_fcntl", "fget_light", 1.0),
+    ("sys_fcntl", "fcntl_setlk", 0.7),
+    ("sys_fcntl", "fput", 1.0),
+    ("fcntl_setlk", "security_file_permission", 0.5),
+    ("fcntl_setlk", "kmem_cache_alloc", 0.5),
+    # pipes
+    ("sys_pipe", "do_filp_open", 0.4),
+    ("sys_pipe", "kmem_cache_alloc", 1.6),
+    ("sys_pipe", "dget", 1.0),
+    ("pipe_read", "mutex_lock", 1.0),
+    ("pipe_read", "mutex_unlock", 1.0),
+    ("pipe_read", "try_to_wake_up", 0.6),
+    ("pipe_write", "mutex_lock", 1.0),
+    ("pipe_write", "mutex_unlock", 1.0),
+    ("pipe_write", "try_to_wake_up", 0.7),
+    ("pipe_write", "__alloc_pages_internal", 0.3),
+    # page fault / mm
+    ("do_page_fault", "handle_mm_fault", 0.92),
+    ("do_page_fault", "down_read", 1.0),
+    ("do_page_fault", "up_read", 1.0),
+    ("handle_mm_fault", "__do_fault", 0.55),
+    ("handle_mm_fault", "do_anonymous_page", 0.3),
+    ("handle_mm_fault", "do_wp_page", 0.12),
+    ("__do_fault", "find_get_page", 0.9),
+    ("__do_fault", "__alloc_pages_internal", 0.4),
+    ("do_anonymous_page", "__alloc_pages_internal", 0.95),
+    ("do_anonymous_page", "anon_vma_prepare", 0.5),
+    ("do_wp_page", "__alloc_pages_internal", 0.8),
+    ("do_mmap_pgoff", "vma_merge", 0.8),
+    ("do_mmap_pgoff", "kmem_cache_alloc", 0.7),
+    ("do_mmap_pgoff", "anon_vma_prepare", 0.4),
+    ("do_munmap", "unmap_vmas", 1.0),
+    ("do_munmap", "kmem_cache_free", 0.8),
+    ("unmap_vmas", "free_pages", 2.6),
+    ("sys_brk", "vma_merge", 0.7),
+    ("sys_brk", "do_munmap", 0.15),
+    ("exit_mmap", "unmap_vmas", 1.0),
+    ("exit_mmap", "free_pages", 1.8),
+    ("exit_mmap", "kmem_cache_free", 1.2),
+    ("get_user_pages", "handle_mm_fault", 0.5),
+    ("get_user_pages", "find_get_page", 0.8),
+    ("copy_page_range", "__alloc_pages_internal", 0.9),
+    ("copy_page_range", "kmem_cache_alloc", 0.6),
+    ("__alloc_pages_internal", "_spin_lock_irqsave", 0.35),
+    ("free_pages", "_spin_lock_irqsave", 0.3),
+    ("add_to_page_cache_lru", "_spin_lock_irqsave", 1.0),
+    ("add_to_page_cache_lru", "__alloc_pages_internal", 0.9),
+    ("find_get_page", "__rcu_read_lock", 1.0),
+    ("find_get_page", "__rcu_read_unlock", 1.0),
+    # process lifecycle
+    ("do_fork", "copy_process", 1.0),
+    ("copy_process", "kmem_cache_alloc", 4.5),
+    ("copy_process", "copy_page_range", 1.0),
+    ("copy_process", "__alloc_pages_internal", 2.2),
+    ("copy_process", "dget", 1.6),
+    ("copy_process", "anon_vma_prepare", 0.6),
+    ("copy_process", "try_to_wake_up", 1.0),
+    ("do_execve", "do_filp_open", 1.0),
+    ("do_execve", "search_binary_handler", 1.0),
+    ("do_execve", "get_user_pages", 2.0),
+    ("search_binary_handler", "load_elf_binary", 0.85),
+    ("load_elf_binary", "do_mmap_pgoff", 4.0),
+    ("load_elf_binary", "vfs_read", 2.0),
+    ("do_exit", "exit_mmap", 1.0),
+    ("do_exit", "fput", 3.0),
+    ("do_exit", "dput", 2.0),
+    ("do_exit", "kmem_cache_free", 3.0),
+    ("do_exit", "send_signal", 0.8),
+    ("sys_wait4", "wait_task_zombie", 0.8),
+    ("wait_task_zombie", "kmem_cache_free", 1.2),
+    # scheduler
+    ("schedule", "pick_next_task_fair", 0.95),
+    ("schedule", "dequeue_task_fair", 0.6),
+    ("schedule", "finish_task_switch", 0.9),
+    ("schedule", "_spin_lock", 1.0),
+    ("schedule", "_spin_unlock", 1.0),
+    ("pick_next_task_fair", "update_curr", 0.9),
+    ("dequeue_task_fair", "update_curr", 1.0),
+    ("enqueue_task_fair", "update_curr", 1.0),
+    ("try_to_wake_up", "enqueue_task_fair", 0.85),
+    ("try_to_wake_up", "_spin_lock_irqsave", 1.0),
+    ("scheduler_tick", "update_curr", 1.0),
+    ("scheduler_tick", "_spin_lock", 1.0),
+    ("scheduler_tick", "_spin_unlock", 1.0),
+    # futex
+    ("do_futex", "futex_wait", 0.55),
+    ("do_futex", "futex_wake", 0.45),
+    ("futex_wait", "schedule", 0.8),
+    ("futex_wake", "try_to_wake_up", 0.9),
+    # signals
+    ("sys_rt_sigaction", "do_sigaction", 1.0),
+    ("sys_kill", "send_signal", 1.0),
+    ("send_signal", "try_to_wake_up", 0.7),
+    ("send_signal", "kmem_cache_alloc", 0.6),
+    ("get_signal_to_deliver", "handle_signal", 0.8),
+    ("handle_signal", "kmem_cache_free", 0.4),
+    # ipc
+    ("sys_semop", "ipc_lock", 1.0),
+    ("sys_semtimedop", "ipc_lock", 1.0),
+    ("sys_semtimedop", "schedule", 0.4),
+    ("sys_shmat", "do_mmap_pgoff", 1.0),
+    ("ipc_lock", "__rcu_read_lock", 1.0),
+    ("ipc_lock", "__rcu_read_unlock", 1.0),
+    # sockets, tx path
+    ("sys_socketcall", "sock_sendmsg", 0.42),
+    ("sys_socketcall", "sock_recvmsg", 0.42),
+    ("sys_socketcall", "fget_light", 1.0),
+    ("sys_socketcall", "fput", 1.0),
+    ("sock_sendmsg", "security_socket_sendmsg", 1.0),
+    ("sock_sendmsg", "tcp_sendmsg", 0.8),
+    ("sock_sendmsg", "unix_stream_sendmsg", 0.2),
+    ("sock_recvmsg", "tcp_recvmsg", 0.8),
+    ("sock_recvmsg", "unix_stream_recvmsg", 0.2),
+    ("unix_stream_sendmsg", "alloc_skb", 1.0),
+    ("unix_stream_sendmsg", "try_to_wake_up", 0.8),
+    ("unix_stream_recvmsg", "skb_copy_datagram_iovec", 1.0),
+    ("unix_stream_recvmsg", "kfree_skb", 0.9),
+    ("unix_stream_connect", "alloc_skb", 1.0),
+    ("unix_stream_connect", "sock_alloc_file", 1.0),
+    ("tcp_sendmsg", "alloc_skb", 0.9),
+    ("tcp_sendmsg", "tcp_write_xmit", 0.8),
+    ("tcp_write_xmit", "tcp_transmit_skb", 1.5),
+    ("tcp_transmit_skb", "skb_clone", 1.0),
+    ("tcp_transmit_skb", "ip_queue_xmit", 1.0),
+    ("ip_queue_xmit", "ip_route_output_flow", 0.25),
+    ("ip_queue_xmit", "ip_output", 1.0),
+    ("ip_output", "dev_queue_xmit", 1.0),
+    ("dev_queue_xmit", "dev_hard_start_xmit", 0.95),
+    ("dev_queue_xmit", "_spin_lock", 1.0),
+    ("dev_queue_xmit", "_spin_unlock", 1.0),
+    ("tcp_recvmsg", "skb_copy_datagram_iovec", 1.4),
+    ("tcp_recvmsg", "kfree_skb", 1.2),
+    ("tcp_recvmsg", "tcp_send_ack", 0.35),
+    ("sys_connect", "tcp_v4_connect", 0.7),
+    ("sys_connect", "unix_stream_connect", 0.3),
+    ("sys_connect", "fget_light", 1.0),
+    ("tcp_v4_connect", "ip_route_output_flow", 1.0),
+    ("tcp_v4_connect", "alloc_skb", 1.0),
+    ("tcp_v4_connect", "tcp_transmit_skb", 1.0),
+    ("sys_accept", "inet_csk_accept", 0.8),
+    ("sys_accept", "sock_alloc_file", 1.0),
+    ("inet_csk_accept", "kmem_cache_alloc", 1.0),
+    ("tcp_close", "tcp_transmit_skb", 1.0),
+    ("tcp_close", "kfree_skb", 1.5),
+    # interrupts, softirq, rx path
+    ("do_IRQ", "irq_enter", 1.0),
+    ("do_IRQ", "handle_edge_irq", 1.0),
+    ("do_IRQ", "irq_exit", 1.0),
+    ("irq_exit", "__do_softirq", 0.7),
+    ("__do_softirq", "net_rx_action", 0.45),
+    ("__do_softirq", "run_timer_softirq", 0.3),
+    ("__do_softirq", "tasklet_action", 0.15),
+    ("__do_softirq", "__rcu_read_lock", 0.5),
+    ("__do_softirq", "__rcu_read_unlock", 0.5),
+    ("net_rx_action", "napi_complete", 0.8),
+    ("napi_complete", "__napi_gro_flush", 0.8),
+    ("napi_gro_receive", "netif_receive_skb", 0.55),
+    ("napi_gro_frags", "napi_gro_receive", 1.0),
+    ("__napi_gro_flush", "netif_receive_skb", 1.0),
+    ("netif_receive_skb", "__netif_receive_skb_core", 1.0),
+    ("__netif_receive_skb_core", "ip_rcv", 0.95),
+    ("__netif_receive_skb_core", "__rcu_read_lock", 1.0),
+    ("__netif_receive_skb_core", "__rcu_read_unlock", 1.0),
+    ("ip_rcv", "ip_route_input", 0.9),
+    ("ip_rcv", "ip_local_deliver", 0.95),
+    ("ip_local_deliver", "tcp_v4_rcv", 0.95),
+    ("tcp_v4_rcv", "tcp_v4_do_rcv", 0.95),
+    ("tcp_v4_rcv", "_spin_lock", 1.0),
+    ("tcp_v4_rcv", "_spin_unlock", 1.0),
+    ("tcp_v4_do_rcv", "tcp_rcv_established", 0.95),
+    ("tcp_rcv_established", "tcp_ack", 0.8),
+    ("tcp_rcv_established", "tcp_send_ack", 0.4),
+    ("tcp_rcv_established", "kfree_skb", 0.5),
+    ("tcp_rcv_established", "try_to_wake_up", 0.45),
+    ("tcp_ack", "kfree_skb", 0.8),
+    ("tcp_ack", "tcp_write_xmit", 0.35),  # upward edge: ACK opens cwnd
+    ("tcp_send_ack", "alloc_skb", 1.0),
+    ("tcp_send_ack", "tcp_transmit_skb", 1.0),  # upward edge
+    ("eth_type_trans", "__rcu_read_lock", 0.3),
+    # timers
+    ("run_timer_softirq", "_spin_lock_irqsave", 1.2),
+    ("hrtimer_interrupt", "tick_sched_timer", 0.9),
+    ("tick_sched_timer", "scheduler_tick", 1.0),  # upward edge
+    ("tasklet_action", "_spin_lock", 0.8),
+    # skb lifecycle
+    ("alloc_skb", "kmem_cache_alloc", 1.0),
+    ("alloc_skb", "__kmalloc", 0.9),
+    ("kfree_skb", "kmem_cache_free", 1.0),
+    ("kfree_skb", "kfree", 0.9),
+    ("skb_clone", "kmem_cache_alloc", 1.0),
+    # crypto
+    ("crypto_blkcipher_encrypt", "crypto_aes_encrypt", 4.0),
+    ("crypto_sha1_update", "__kmalloc", 0.1),
+    # workqueue
+    ("queue_work", "try_to_wake_up", 0.8),
+    ("run_workqueue", "_spin_lock_irqsave", 1.0),
+    # kobject / driver-core glue
+    ("kobject_get", "_spin_lock", 0.2),
+    ("kobject_put", "_spin_lock", 0.2),
+    # slab internals
+    ("kmem_cache_alloc", "_spin_lock", 0.12),
+    ("kmem_cache_free", "_spin_lock", 0.12),
+    ("__kmalloc", "_spin_lock", 0.12),
+    ("kfree", "_spin_lock", 0.12),
+    # lock slowpaths park on the scheduler
+    ("mutex_lock", "_spin_lock", 0.4),
+    ("mutex_unlock", "_spin_lock", 0.4),
+    ("down_read", "_spin_lock", 0.25),
+    ("up_read", "_spin_lock", 0.25),
+    # dma
+    ("dma_map_single", "_spin_lock_irqsave", 0.2),
+    ("dma_unmap_single", "_spin_lock_irqsave", 0.2),
+)
+
+#: Cross-subsystem affinity for random-edge target selection.  Key absent
+#: means the default affinity.  Values multiply callee hotness.
+_DEFAULT_AFFINITY = 0.04
+_SAME_SUBSYSTEM_AFFINITY = 1.0
+_AFFINITY_OVERRIDES: dict[Subsystem, dict[Subsystem, float]] = {
+    Subsystem.VFS: {Subsystem.PAGECACHE: 0.5, Subsystem.EXT3: 0.35,
+                    Subsystem.SECURITY: 0.25, Subsystem.BLOCK: 0.1,
+                    Subsystem.SLAB: 0.3, Subsystem.LOCKING: 0.5},
+    Subsystem.EXT3: {Subsystem.BLOCK: 0.5, Subsystem.PAGECACHE: 0.4,
+                     Subsystem.SLAB: 0.3, Subsystem.LOCKING: 0.4},
+    Subsystem.PAGECACHE: {Subsystem.SLAB: 0.3, Subsystem.MM: 0.3,
+                          Subsystem.RCU: 0.4, Subsystem.LOCKING: 0.5},
+    Subsystem.BLOCK: {Subsystem.SLAB: 0.3, Subsystem.IRQ: 0.15,
+                      Subsystem.LOCKING: 0.5, Subsystem.DMA: 0.25},
+    Subsystem.MM: {Subsystem.SLAB: 0.5, Subsystem.PAGECACHE: 0.3,
+                   Subsystem.LOCKING: 0.5, Subsystem.RCU: 0.3},
+    Subsystem.TCP: {Subsystem.IP: 0.5, Subsystem.NET_CORE: 0.35,
+                    Subsystem.SLAB: 0.3, Subsystem.LOCKING: 0.45,
+                    Subsystem.TIMER: 0.2},
+    Subsystem.IP: {Subsystem.NET_CORE: 0.5, Subsystem.SLAB: 0.25,
+                   Subsystem.LOCKING: 0.4, Subsystem.RCU: 0.35},
+    Subsystem.NET_CORE: {Subsystem.NAPI: 0.3, Subsystem.DMA: 0.25,
+                         Subsystem.SLAB: 0.4, Subsystem.LOCKING: 0.45,
+                         Subsystem.RCU: 0.4},
+    Subsystem.SOCKET: {Subsystem.TCP: 0.45, Subsystem.NET_CORE: 0.3,
+                       Subsystem.SECURITY: 0.2, Subsystem.VFS: 0.25,
+                       Subsystem.LOCKING: 0.4},
+    Subsystem.NAPI: {Subsystem.NET_CORE: 0.5, Subsystem.SOFTIRQ: 0.2,
+                     Subsystem.LOCKING: 0.3},
+    Subsystem.IRQ: {Subsystem.SOFTIRQ: 0.4, Subsystem.TIMER: 0.25,
+                    Subsystem.LOCKING: 0.45},
+    Subsystem.SOFTIRQ: {Subsystem.NAPI: 0.35, Subsystem.TIMER: 0.3,
+                        Subsystem.RCU: 0.3, Subsystem.LOCKING: 0.4},
+    Subsystem.SCHED: {Subsystem.LOCKING: 0.55, Subsystem.TIMER: 0.3,
+                      Subsystem.RCU: 0.25},
+    Subsystem.TIMER: {Subsystem.LOCKING: 0.5, Subsystem.SCHED: 0.2},
+    Subsystem.PIPE: {Subsystem.PAGECACHE: 0.3, Subsystem.SCHED: 0.25,
+                     Subsystem.LOCKING: 0.45},
+    Subsystem.FUTEX: {Subsystem.SCHED: 0.4, Subsystem.LOCKING: 0.5},
+    Subsystem.SIGNAL: {Subsystem.SCHED: 0.35, Subsystem.SLAB: 0.25,
+                       Subsystem.LOCKING: 0.45},
+    Subsystem.IPC: {Subsystem.LOCKING: 0.5, Subsystem.RCU: 0.3,
+                    Subsystem.SLAB: 0.25},
+    Subsystem.CRYPTO: {Subsystem.SLAB: 0.3, Subsystem.LOCKING: 0.2},
+    Subsystem.SECURITY: {Subsystem.RCU: 0.3, Subsystem.LOCKING: 0.3},
+    Subsystem.DRIVER_CORE: {Subsystem.KOBJECT: 0.4, Subsystem.SYSFS: 0.3,
+                            Subsystem.LOCKING: 0.4, Subsystem.SLAB: 0.3},
+    Subsystem.TTY: {Subsystem.SCHED: 0.2, Subsystem.LOCKING: 0.4,
+                    Subsystem.SLAB: 0.25},
+    Subsystem.PROC: {Subsystem.VFS: 0.4, Subsystem.SLAB: 0.25,
+                     Subsystem.LOCKING: 0.35},
+    Subsystem.SYSFS: {Subsystem.KOBJECT: 0.4, Subsystem.VFS: 0.3,
+                      Subsystem.LOCKING: 0.3},
+    Subsystem.KOBJECT: {Subsystem.LOCKING: 0.3, Subsystem.SLAB: 0.25},
+    Subsystem.WORKQUEUE: {Subsystem.SCHED: 0.35, Subsystem.LOCKING: 0.45},
+    Subsystem.RCU: {Subsystem.LOCKING: 0.35},
+    Subsystem.LOCKING: {Subsystem.SCHED: 0.1},
+    Subsystem.DMA: {Subsystem.LOCKING: 0.35, Subsystem.SLAB: 0.2},
+    Subsystem.SLAB: {Subsystem.LOCKING: 0.3, Subsystem.MM: 0.2},
+}
+
+#: Depth model for generated (non-anchor) functions and random out-edges.
+MAX_DEPTH = 14
+
+
+def _affinity(caller: Subsystem, callee: Subsystem) -> float:
+    if caller == callee:
+        return _SAME_SUBSYSTEM_AFFINITY
+    return _AFFINITY_OVERRIDES.get(caller, {}).get(callee, _DEFAULT_AFFINITY)
+
+
+@dataclass(frozen=True)
+class OperationProfile:
+    """Expected per-function call counts for one kernel operation.
+
+    ``expected`` is indexed in symbol-table (address) order.  ``total_calls``
+    is the expected number of instrumented function call events a single
+    invocation of the operation triggers — the quantity that drives tracer
+    overhead.
+    """
+
+    name: str
+    expected: np.ndarray
+    total_calls: float
+
+    def sample(self, n_ops: int, rng: RngStream, dispersion: float = 0.12) -> np.ndarray:
+        """Sample an integer count vector for ``n_ops`` invocations.
+
+        Counts are drawn from a gamma-mixed Poisson (negative-binomial-like)
+        model: the whole vector is modulated by a lognormal run-level factor
+        and each function by gamma noise, capturing the burstiness of real
+        workloads while keeping expectations calibrated.
+        """
+        if n_ops < 0:
+            raise ValueError(f"n_ops must be non-negative, got {n_ops}")
+        if n_ops == 0:
+            return np.zeros_like(self.expected, dtype=np.int64)
+        run_factor = rng.lognormal(0.0, dispersion / 2.0)
+        shape = 1.0 / max(dispersion, 1e-6) ** 2
+        gamma_noise = rng.generator.gamma(shape, 1.0 / shape, size=self.expected.shape)
+        lam = self.expected * float(n_ops) * run_factor * gamma_noise
+        return rng.generator.poisson(lam).astype(np.int64)
+
+
+class CallGraph:
+    """Weighted call graph over a :class:`SymbolTable`.
+
+    Exposes :meth:`expand` to turn entry-point seeds into expected
+    per-function call counts, and :meth:`profile` to build cached
+    :class:`OperationProfile` objects.
+    """
+
+    #: Out-weight budget for random edges at depth d: hot shallow functions
+    #: fan out more; deep utilities are near-leaves.
+    _RANDOM_BUDGET_SCALE = 1.35
+    _RANDOM_BUDGET_DECAY = 0.30
+
+    def __init__(self, symbols: SymbolTable, seed: int = 2012):
+        self.symbols = symbols
+        self.seed = seed
+        self.functions: list[KernelFunction] = list(symbols)
+        self.index_of: dict[int, int] = {
+            fn.address: i for i, fn in enumerate(self.functions)
+        }
+        self._name_index: dict[str, int] = {
+            fn.name: i for i, fn in enumerate(self.functions)
+        }
+        self.n = len(self.functions)
+        self.depths = self._assign_depths(RngStream(seed, "callgraph/depths"))
+        self.graph = nx.DiGraph()
+        for fn in self.functions:
+            self.graph.add_node(fn.address, name=fn.name, subsystem=fn.subsystem)
+        self._add_canonical_edges()
+        self._add_random_edges(RngStream(seed, "callgraph/random"))
+        self._connect_orphans(RngStream(seed, "callgraph/orphans"))
+        self._matrix = self._build_matrix()
+        self._profile_cache: dict[str, OperationProfile] = {}
+        self._check_convergence()
+
+    # -- construction ---------------------------------------------------------
+
+    def _assign_depths(self, rng: RngStream) -> np.ndarray:
+        depths = np.zeros(self.n, dtype=np.int64)
+        hotness = np.array([fn.hotness for fn in self.functions])
+        # Percentile of hotness among generated functions: hotter -> deeper
+        # (hot functions are leaf utilities callable from everywhere).
+        order = hotness.argsort().argsort() / max(self.n - 1, 1)
+        for i, fn in enumerate(self.functions):
+            if fn.name in ANCHOR_DEPTHS:
+                depths[i] = ANCHOR_DEPTHS[fn.name]
+            else:
+                jitter = int(rng.integers(-1, 2))
+                depths[i] = int(np.clip(2 + order[i] * (MAX_DEPTH - 3) + jitter, 1, MAX_DEPTH - 1))
+        return depths
+
+    def _add_canonical_edges(self) -> None:
+        for caller, callee, weight in CANONICAL_EDGES:
+            if weight <= 0.0:
+                continue
+            u = self.symbols.by_name(caller).address
+            v = self.symbols.by_name(callee).address
+            if self.graph.has_edge(u, v):
+                raise ValueError(f"duplicate canonical edge {caller} -> {callee}")
+            self.graph.add_edge(u, v, weight=float(weight), canonical=True)
+
+    def _add_random_edges(self, rng: RngStream) -> None:
+        """Preferential-attachment edges from each function to deeper ones."""
+        hotness = np.array([fn.hotness for fn in self.functions])
+        subsystems = [fn.subsystem for fn in self.functions]
+        # Per-caller-subsystem base weights over all callees.
+        weight_by_sub: dict[Subsystem, np.ndarray] = {}
+        for sub in Subsystem:
+            aff = np.array([_affinity(sub, s) for s in subsystems])
+            weight_by_sub[sub] = hotness * aff
+
+        for i, fn in enumerate(self.functions):
+            depth = int(self.depths[i])
+            budget = self._RANDOM_BUDGET_SCALE * np.exp(
+                -self._RANDOM_BUDGET_DECAY * depth
+            )
+            budget *= float(rng.lognormal(0.0, 0.2))
+            if budget < 0.02:
+                continue
+            mask = self.depths > depth
+            mask[i] = False
+            weights = weight_by_sub[fn.subsystem] * mask
+            total = weights.sum()
+            if total <= 0.0:
+                continue
+            k = int(2 + rng.poisson(2.0))
+            k = min(k, int(mask.sum()))
+            if k == 0:
+                continue
+            p = weights / total
+            targets = rng.choice(self.n, size=k, replace=False, p=p)
+            shares = rng.generator.dirichlet(np.ones(k) * 1.5) * budget
+            for t, share in zip(targets, shares):
+                u, v = fn.address, self.functions[int(t)].address
+                if self.graph.has_edge(u, v):
+                    if self.graph[u][v]["canonical"]:
+                        continue  # curated chain weights are authoritative
+                    self.graph[u][v]["weight"] += float(share)
+                else:
+                    self.graph.add_edge(u, v, weight=float(share), canonical=False)
+
+    def _connect_orphans(self, rng: RngStream) -> None:
+        """Give every non-entry function at least one caller.
+
+        Preferential attachment leaves the coldest functions with in-degree
+        zero, but in a real kernel every linked function is reachable (the
+        linker would have discarded it otherwise).  Each orphan gets one
+        low-weight edge from a shallower function, so it shows up in
+        long-running aggregates (the count-1 tail of Figure 1) without
+        distorting the hot structure.
+        """
+        min_depth = int(self.depths.min())
+        for i, fn in enumerate(self.functions):
+            depth = int(self.depths[i])
+            if depth == min_depth:
+                continue
+            if self.graph.in_degree(fn.address) > 0:
+                continue
+            shallower = np.flatnonzero(self.depths < depth)
+            caller_idx = int(shallower[int(rng.integers(0, len(shallower)))])
+            caller = self.functions[caller_idx].address
+            weight = float(rng.generator.uniform(0.002, 0.02))
+            if self.graph.has_edge(caller, fn.address):
+                self.graph[caller][fn.address]["weight"] += weight
+            else:
+                self.graph.add_edge(caller, fn.address, weight=weight, canonical=False)
+
+    def _build_matrix(self) -> "np.ndarray":
+        from scipy import sparse
+
+        rows, cols, vals = [], [], []
+        for u, v, data in self.graph.edges(data=True):
+            rows.append(self.index_of[u])
+            cols.append(self.index_of[v])
+            vals.append(data["weight"])
+        return sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(self.n, self.n)
+        )
+
+    def _check_convergence(self) -> None:
+        """Verify the propagation converges (cycle gain well below 1)."""
+        x = np.ones(self.n) / self.n
+        prev_norm = 1.0
+        ratio = 0.0
+        for _ in range(60):
+            x = self._matrix.T @ x
+            norm = float(np.linalg.norm(x))
+            if norm < 1e-12:
+                return  # nilpotent enough: pure DAG
+            ratio = norm / prev_norm
+            prev_norm = norm
+            x = x / norm * prev_norm if norm > 1e6 else x
+        if ratio >= 0.97:
+            raise RuntimeError(
+                f"call-graph propagation may diverge: cycle gain ~{ratio:.3f}"
+            )
+
+    # -- queries --------------------------------------------------------------
+
+    def index_by_name(self, name: str) -> int:
+        try:
+            return self._name_index[name]
+        except KeyError:
+            raise KeyError(f"no kernel function named {name!r}") from None
+
+    def edge_weight(self, caller: str, callee: str) -> float:
+        u = self.symbols.by_name(caller).address
+        v = self.symbols.by_name(callee).address
+        if not self.graph.has_edge(u, v):
+            raise KeyError(f"no edge {caller} -> {callee}")
+        return float(self.graph[u][v]["weight"])
+
+    def callees(self, name: str) -> list[tuple[str, float]]:
+        u = self.symbols.by_name(name).address
+        out = []
+        for v in self.graph.successors(u):
+            out.append((self.graph.nodes[v]["name"], float(self.graph[u][v]["weight"])))
+        return sorted(out, key=lambda item: -item[1])
+
+    # -- expansion ------------------------------------------------------------
+
+    def expand(
+        self,
+        entry_weights: dict[str, float],
+        max_rounds: int = 200,
+        tolerance: float = 1e-10,
+    ) -> np.ndarray:
+        """Expected per-function call counts for one operation invocation.
+
+        ``entry_weights`` maps anchor function names to the expected number
+        of direct invocations per operation.  The result solves
+        ``x = seed + W^T x`` by fixed-point iteration (converges because
+        cycle gain < 1; see :meth:`_check_convergence`).
+        """
+        if not entry_weights:
+            raise ValueError("entry_weights must not be empty")
+        seed = np.zeros(self.n)
+        for name, weight in entry_weights.items():
+            if weight < 0:
+                raise ValueError(f"entry weight for {name} must be >= 0")
+            seed[self.index_by_name(name)] += weight
+        x = seed.copy()
+        delta = seed
+        for _ in range(max_rounds):
+            delta = self._matrix.T @ delta
+            x += delta
+            if float(np.abs(delta).sum()) < tolerance:
+                break
+        else:
+            raise RuntimeError("call-count expansion did not converge")
+        return x
+
+    def profile(self, name: str, entry_weights: dict[str, float]) -> OperationProfile:
+        """Build (and cache) an :class:`OperationProfile`."""
+        cached = self._profile_cache.get(name)
+        if cached is not None:
+            return cached
+        expected = self.expand(entry_weights)
+        prof = OperationProfile(
+            name=name, expected=expected, total_calls=float(expected.sum())
+        )
+        self._profile_cache[name] = prof
+        return prof

@@ -1,0 +1,73 @@
+"""Per-CPU state for the simulated machine.
+
+Fmeter's counting stubs disable preemption while they follow the two-index
+mapping and increment a slot (cheaper than atomics, as the paper argues in
+Section 3).  The simulation models the preemption counter explicitly so the
+stub lifecycle can be tested: an unbalanced disable/enable is a bug in a
+real kernel and raises here.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Cpu", "PreemptionError"]
+
+
+class PreemptionError(RuntimeError):
+    """Raised on unbalanced preempt_disable/preempt_enable pairs."""
+
+
+class Cpu:
+    """One logical processor: cycle accounting plus a preemption counter.
+
+    The paper's testbed exposes 16 logical CPUs (dual-socket Nehalem with
+    hyperthreading); :class:`repro.kernel.machine.SimulatedMachine` creates
+    one :class:`Cpu` per logical processor.
+    """
+
+    def __init__(self, cpu_id: int, ghz: float = 2.93):
+        if cpu_id < 0:
+            raise ValueError(f"cpu_id must be non-negative, got {cpu_id}")
+        if ghz <= 0:
+            raise ValueError(f"ghz must be positive, got {ghz}")
+        self.cpu_id = cpu_id
+        self.ghz = ghz
+        self.cycles = 0
+        self.preempt_count = 0
+        self.events_handled = 0
+
+    # -- preemption -----------------------------------------------------------
+
+    def preempt_disable(self) -> None:
+        """Increment the preemption counter (maps to ``preempt_count++``)."""
+        self.preempt_count += 1
+
+    def preempt_enable(self) -> None:
+        """Decrement the preemption counter; raises when unbalanced."""
+        if self.preempt_count == 0:
+            raise PreemptionError(
+                f"cpu{self.cpu_id}: preempt_enable without matching disable"
+            )
+        self.preempt_count -= 1
+
+    @property
+    def preemptible(self) -> bool:
+        return self.preempt_count == 0
+
+    # -- time -----------------------------------------------------------------
+
+    def advance_ns(self, ns: float) -> None:
+        """Charge ``ns`` nanoseconds of work to this CPU."""
+        if ns < 0:
+            raise ValueError(f"cannot advance time backwards ({ns} ns)")
+        self.cycles += int(ns * self.ghz)
+
+    @property
+    def time_ns(self) -> float:
+        """Wall time this CPU has spent executing, in nanoseconds."""
+        return self.cycles / self.ghz
+
+    def __repr__(self) -> str:
+        return (
+            f"Cpu(id={self.cpu_id}, cycles={self.cycles}, "
+            f"preempt_count={self.preempt_count})"
+        )

@@ -1,0 +1,71 @@
+"""A debugfs-like pseudo filesystem.
+
+Fmeter exports per-CPU invocation counts to user space through debugfs
+(Section 3); the logging daemon reads the counter file twice per interval
+and diffs.  The simulation keeps the same boundary: tracers *register
+files* (a path plus a provider callable), and the daemon — like any other
+user-space consumer — can only :meth:`read` rendered text, which it must
+parse back.  Keeping this layer honest (text in, text out) means the
+round-trip is exercised exactly as in the real system.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["DebugFs"]
+
+
+class DebugFs:
+    """Minimal pseudo-filesystem: registered paths backed by providers."""
+
+    def __init__(self):
+        self._files: dict[str, Callable[[], str]] = {}
+        self.read_count = 0
+
+    def register(self, path: str, provider: Callable[[], str]) -> None:
+        """Mount ``provider`` at ``path``; re-registering a path is an error."""
+        path = self._normalize(path)
+        if path in self._files:
+            raise ValueError(f"debugfs path already registered: {path}")
+        self._files[path] = provider
+
+    def unregister(self, path: str) -> None:
+        path = self._normalize(path)
+        if path not in self._files:
+            raise KeyError(f"debugfs path not registered: {path}")
+        del self._files[path]
+
+    def exists(self, path: str) -> bool:
+        return self._normalize(path) in self._files
+
+    def listdir(self, prefix: str = "/") -> list[str]:
+        """All registered paths under ``prefix``."""
+        prefix = self._normalize(prefix)
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sorted(
+            p for p in self._files if p.startswith(prefix) or p == prefix.rstrip("/")
+        )
+
+    def read(self, path: str) -> str:
+        """Read the rendered contents of ``path``.
+
+        Each read invokes the provider afresh, as reading a real debugfs
+        file re-runs its ``show`` callback.
+        """
+        path = self._normalize(path)
+        try:
+            provider = self._files[path]
+        except KeyError:
+            raise FileNotFoundError(f"no such debugfs file: {path}") from None
+        self.read_count += 1
+        return provider()
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        if not path.startswith("/"):
+            path = "/" + path
+        while "//" in path:
+            path = path.replace("//", "/")
+        return path.rstrip("/") if path != "/" else path

@@ -1,0 +1,170 @@
+"""Kernel function records and the subsystem taxonomy.
+
+The simulated kernel's functions are grouped into subsystems mirroring the
+layout of a monolithic Linux kernel (``kernel/sched``, ``mm``, ``fs``,
+``net/ipv4``, ...).  Subsystem membership drives both call-graph structure
+(functions mostly call within their subsystem, with characteristic
+cross-subsystem edges such as VFS -> memory management) and workload
+operation profiles (a file read touches VFS + page cache + block, a TCP send
+touches socket + TCP + IP + driver glue).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Subsystem(enum.Enum):
+    """Core-kernel subsystems of the simulated monolithic kernel."""
+
+    SCHED = "sched"
+    MM = "mm"
+    VFS = "vfs"
+    EXT3 = "ext3"
+    BLOCK = "block"
+    NET_CORE = "net_core"
+    TCP = "tcp"
+    IP = "ip"
+    SOCKET = "socket"
+    SIGNAL = "signal"
+    IPC = "ipc"
+    IRQ = "irq"
+    TIMER = "timer"
+    LOCKING = "locking"
+    RCU = "rcu"
+    WORKQUEUE = "workqueue"
+    CRYPTO = "crypto"
+    SECURITY = "security"
+    DRIVER_CORE = "driver_core"
+    TTY = "tty"
+    PIPE = "pipe"
+    FUTEX = "futex"
+    PROC = "proc"
+    SYSFS = "sysfs"
+    KOBJECT = "kobject"
+    PAGECACHE = "pagecache"
+    SLAB = "slab"
+    DMA = "dma"
+    NAPI = "napi"
+    SOFTIRQ = "softirq"
+
+    def __repr__(self) -> str:  # short, stable repr for debugging output
+        return f"Subsystem.{self.name}"
+
+
+#: Number of generated functions per subsystem.  The total is close to the
+#: 3815 traced functions the paper reports for Linux 2.6.28 on its testbed.
+SUBSYSTEM_SIZES: dict[Subsystem, int] = {
+    Subsystem.SCHED: 200,
+    Subsystem.MM: 310,
+    Subsystem.VFS: 300,
+    Subsystem.EXT3: 220,
+    Subsystem.BLOCK: 190,
+    Subsystem.NET_CORE: 210,
+    Subsystem.TCP: 230,
+    Subsystem.IP: 190,
+    Subsystem.SOCKET: 120,
+    Subsystem.SIGNAL: 110,
+    Subsystem.IPC: 90,
+    Subsystem.IRQ: 110,
+    Subsystem.TIMER: 110,
+    Subsystem.LOCKING: 90,
+    Subsystem.RCU: 70,
+    Subsystem.WORKQUEUE: 60,
+    Subsystem.CRYPTO: 120,
+    Subsystem.SECURITY: 90,
+    Subsystem.DRIVER_CORE: 130,
+    Subsystem.TTY: 90,
+    Subsystem.PIPE: 50,
+    Subsystem.FUTEX: 50,
+    Subsystem.PROC: 100,
+    Subsystem.SYSFS: 70,
+    Subsystem.KOBJECT: 60,
+    Subsystem.PAGECACHE: 120,
+    Subsystem.SLAB: 100,
+    Subsystem.DMA: 60,
+    Subsystem.NAPI: 70,
+    Subsystem.SOFTIRQ: 95,
+}
+
+#: Name-generation material per subsystem: (prefixes, nouns).  Verbs are
+#: shared across subsystems (see :data:`VERBS`).
+SUBSYSTEM_NAMING: dict[Subsystem, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    Subsystem.SCHED: (("sched", "__sched", "task", "rq", "cfs"), ("task", "rq", "entity", "class", "group", "load", "clock", "domain")),
+    Subsystem.MM: (("mm", "__mm", "vma", "anon_vma", "page"), ("vma", "page", "pte", "pmd", "pgd", "region", "fault", "map")),
+    Subsystem.VFS: (("vfs", "do", "generic", "dentry", "inode"), ("file", "dentry", "inode", "path", "mount", "namei", "attr", "lookup")),
+    Subsystem.EXT3: (("ext3", "__ext3", "journal", "jbd"), ("inode", "block", "extent", "journal", "handle", "bitmap", "group", "dir")),
+    Subsystem.BLOCK: (("blk", "__blk", "bio", "elv", "submit"), ("request", "queue", "bio", "segment", "merge", "plug", "tag", "disk")),
+    Subsystem.NET_CORE: (("net", "dev", "skb", "__skb", "netif"), ("skb", "dev", "queue", "frag", "gro", "xmit", "poll", "ring")),
+    Subsystem.TCP: (("tcp", "__tcp", "tcp_v4"), ("sock", "segment", "ack", "cwnd", "rtt", "wnd", "retrans", "queue")),
+    Subsystem.IP: (("ip", "__ip", "ip_route", "inet"), ("route", "frag", "header", "option", "dst", "neigh", "table", "rule")),
+    Subsystem.SOCKET: (("sock", "__sock", "sk", "sockfd"), ("sock", "buf", "opt", "wait", "poll", "fd", "wmem", "rmem")),
+    Subsystem.SIGNAL: (("signal", "sig", "do_signal", "__send"), ("signal", "pending", "queue", "mask", "frame", "handler", "info", "stop")),
+    Subsystem.IPC: (("ipc", "sem", "shm", "msg"), ("sem", "shm", "msg", "queue", "perm", "id", "undo", "array")),
+    Subsystem.IRQ: (("irq", "__irq", "handle", "generic"), ("irq", "desc", "chip", "action", "vector", "affinity", "thread", "flow")),
+    Subsystem.TIMER: (("timer", "hrtimer", "__timer", "clockevents"), ("timer", "expires", "base", "clock", "tick", "jiffies", "interval", "slack")),
+    Subsystem.LOCKING: (("spin", "mutex", "rwsem", "__lock"), ("lock", "owner", "waiter", "contention", "slowpath", "fastpath", "count", "ticket")),
+    Subsystem.RCU: (("rcu", "__rcu", "synchronize"), ("grace", "callback", "node", "quiescent", "batch", "state", "period", "head")),
+    Subsystem.WORKQUEUE: (("work", "wq", "__queue", "flush"), ("work", "worker", "pool", "cwq", "barrier", "delayed", "item", "thread")),
+    Subsystem.CRYPTO: (("crypto", "aes", "sha", "__crypto"), ("cipher", "digest", "block", "key", "tfm", "hash", "round", "ctx")),
+    Subsystem.SECURITY: (("security", "cap", "selinux", "avc"), ("cred", "cap", "context", "sid", "policy", "perm", "audit", "label")),
+    Subsystem.DRIVER_CORE: (("driver", "device", "bus", "__device"), ("device", "driver", "bus", "probe", "resource", "class", "attach", "match")),
+    Subsystem.TTY: (("tty", "n_tty", "__tty", "pty"), ("tty", "ldisc", "port", "buf", "termios", "flip", "write", "read")),
+    Subsystem.PIPE: (("pipe", "__pipe", "fifo"), ("pipe", "buf", "reader", "writer", "page", "wait", "fd", "ring")),
+    Subsystem.FUTEX: (("futex", "__futex", "do_futex"), ("futex", "key", "hash", "waiter", "pi", "requeue", "wake", "bucket")),
+    Subsystem.PROC: (("proc", "__proc", "pid"), ("entry", "dir", "stat", "maps", "fd", "task", "net", "sys")),
+    Subsystem.SYSFS: (("sysfs", "__sysfs"), ("dirent", "attr", "file", "link", "bin", "group", "mount", "name")),
+    Subsystem.KOBJECT: (("kobject", "kset", "kref"), ("kobject", "kset", "uevent", "ref", "name", "parent", "ktype", "env")),
+    Subsystem.PAGECACHE: (("pagecache", "find", "add_to", "__page"), ("page", "radix", "mapping", "index", "lru", "writeback", "dirty", "batch")),
+    Subsystem.SLAB: (("kmem", "slab", "__kmalloc", "cache"), ("cache", "slab", "object", "partial", "cpu", "node", "order", "freelist")),
+    Subsystem.DMA: (("dma", "__dma", "swiotlb"), ("map", "unmap", "sg", "coherent", "pool", "mask", "addr", "bounce")),
+    Subsystem.NAPI: (("napi", "__napi", "net_rx"), ("poll", "schedule", "complete", "weight", "budget", "list", "gro", "action")),
+    Subsystem.SOFTIRQ: (("softirq", "tasklet", "__do", "raise"), ("softirq", "tasklet", "vec", "pending", "action", "ksoftirqd", "context", "restart")),
+}
+
+#: Shared verb vocabulary for generated function names.
+VERBS: tuple[str, ...] = (
+    "init", "alloc", "free", "get", "put", "add", "del", "insert", "remove",
+    "lookup", "find", "update", "commit", "prepare", "finish", "start",
+    "stop", "enable", "disable", "check", "validate", "flush", "sync",
+    "wait", "wake", "lock", "unlock", "attach", "detach", "register",
+    "unregister", "open", "close", "read", "write", "map", "unmap",
+    "charge", "account", "reserve", "release", "grab", "drop", "fill",
+    "drain", "scan", "walk", "handle", "dispatch",
+)
+
+
+@dataclass(frozen=True)
+class KernelFunction:
+    """One core-kernel function: the unit of Fmeter's vector space.
+
+    Fmeter identifies functions by their *start address* (names are not
+    unique in a real kernel because of ``static`` duplicates); we carry both.
+    ``hotness`` is the function's intrinsic popularity weight used when the
+    call graph is generated — the mechanism through which the simulated
+    kernel reproduces the power-law of Figure 1.
+    """
+
+    address: int
+    name: str
+    subsystem: Subsystem
+    size_bytes: int
+    hotness: float
+    is_entry: bool = False
+    aliases: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.address <= 0:
+            raise ValueError(f"function address must be positive, got {self.address:#x}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"function size must be positive, got {self.size_bytes}")
+        if self.hotness <= 0:
+            raise ValueError(f"hotness must be positive, got {self.hotness}")
+
+    @property
+    def end_address(self) -> int:
+        return self.address + self.size_bytes
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.address:#x}"

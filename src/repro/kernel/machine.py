@@ -1,0 +1,241 @@
+"""The simulated machine: CPUs, kernel, modules, tracer attachment.
+
+:class:`SimulatedMachine` models the paper's testbed (a dual-socket Nehalem
+with 16 logical CPUs running Linux 2.6.28) at the granularity Fmeter cares
+about: ABI-level operations expand into per-function kernel call counts, a
+tracer (if attached) observes every call and charges its per-event cost,
+and wall-clock time advances accordingly.
+
+The machine runs in one of the paper's three configurations depending on
+what is attached:
+
+- ``tracer=None`` — the vanilla, uninstrumented kernel (zero overhead),
+- :class:`repro.tracing.fmeter.FmeterTracer` — the paper's system,
+- :class:`repro.tracing.ftrace.FtraceTracer` — the stock function tracer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kernel.callgraph import CallGraph, OperationProfile
+from repro.kernel.cpu import Cpu
+from repro.kernel.debugfs import DebugFs
+from repro.kernel.mcount import McountRegistry
+from repro.kernel.modules import KernelModule
+from repro.kernel.symbols import SymbolTable, build_symbol_table
+from repro.kernel.syscalls import SyscallTable
+from repro.util.rng import RngStream
+
+__all__ = ["ExecutionResult", "MachineConfig", "SimulatedMachine"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Hardware and determinism knobs for a simulated machine."""
+
+    n_cpus: int = 16
+    cpu_ghz: float = 2.93
+    seed: int = 2012
+    symbol_seed: int = 2012
+    count_dispersion: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.n_cpus <= 0:
+            raise ValueError(f"n_cpus must be positive, got {self.n_cpus}")
+        if self.cpu_ghz <= 0:
+            raise ValueError(f"cpu_ghz must be positive, got {self.cpu_ghz}")
+        if not 0.0 <= self.count_dispersion <= 1.0:
+            raise ValueError("count_dispersion must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one :meth:`SimulatedMachine.execute` batch."""
+
+    op_name: str
+    n_ops: int
+    cpu_id: int
+    counts: np.ndarray
+    events: int
+    kernel_ns: float
+    user_ns: float
+    overhead_ns: float
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Wall time for the batch: user + kernel + tracer overhead."""
+        return self.kernel_ns + self.user_ns + self.overhead_ns
+
+    @property
+    def sys_ns(self) -> float:
+        """Time attributable to kernel mode (what ``time`` reports as sys)."""
+        return self.kernel_ns + self.overhead_ns
+
+
+class SimulatedMachine:
+    """A bootable machine instance.
+
+    Sharing one :class:`SymbolTable`/:class:`CallGraph` across machines is
+    supported (pass them in) and recommended in experiments: the paper's
+    setup compares configurations of the *same kernel build*.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig | None = None,
+        tracer=None,
+        symbols: SymbolTable | None = None,
+        callgraph: CallGraph | None = None,
+    ):
+        self.config = config or MachineConfig()
+        self.symbols = symbols or build_symbol_table(self.config.symbol_seed)
+        self.callgraph = callgraph or CallGraph(self.symbols, self.config.symbol_seed)
+        if self.callgraph.symbols is not self.symbols:
+            raise ValueError("callgraph was built over a different symbol table")
+        self.syscalls = SyscallTable(self.callgraph)
+        self.cpus = [
+            Cpu(i, self.config.cpu_ghz) for i in range(self.config.n_cpus)
+        ]
+        self.debugfs = DebugFs()
+        self.mcount = McountRegistry(self.symbols)
+        self.modules: dict[str, KernelModule] = {}
+        self._clock_ns = 0.0
+        self._sample_rng = RngStream(self.config.seed, "machine/sample")
+        self._next_cpu = 0
+        self._booted = False
+        self.tracer = None
+        self.boot()
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def boot(self) -> None:
+        """Boot-time kernel introspection (records all mcount sites)."""
+        if self._booted:
+            raise RuntimeError("machine already booted")
+        self.mcount.boot_introspect()
+        self._booted = True
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a tracer; only one may be active at a time."""
+        if self.tracer is not None:
+            raise RuntimeError(
+                f"tracer {self.tracer.name!r} already attached; detach it first"
+            )
+        tracer.attach(self)
+        self.tracer = tracer
+
+    def detach_tracer(self) -> None:
+        if self.tracer is None:
+            raise RuntimeError("no tracer attached")
+        self.tracer.detach()
+        self.tracer = None
+
+    def load_module(self, module: KernelModule) -> None:
+        """Load a module: registers the operations it contributes.
+
+        Module functions are *not* added to the symbol table or the mcount
+        registry — modules are outside Fmeter's vector space by design.
+        """
+        if module.name in self.modules:
+            raise RuntimeError(f"module {module.name!r} already loaded")
+        for op in module.operations:
+            self.syscalls.register(op)
+        self.modules[module.name] = module
+
+    def unload_module(self, name: str) -> KernelModule:
+        if name not in self.modules:
+            raise RuntimeError(f"module {name!r} not loaded")
+        module = self.modules.pop(name)
+        # Operations stay registered but inert: a real rmmod also leaves
+        # core-kernel state (e.g. warmed caches) behind.  Re-loading the
+        # same module is modelled as a fresh load_module on a new machine.
+        return module
+
+    # -- execution --------------------------------------------------------------
+
+    @property
+    def now_ns(self) -> float:
+        """Wall-clock of the simulation, in nanoseconds since boot."""
+        return self._clock_ns
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self.symbols)
+
+    def profile(self, op_name: str) -> OperationProfile:
+        return self.syscalls.profile(op_name)
+
+    def execute(
+        self,
+        op_name: str,
+        n_ops: int = 1,
+        cpu: int | None = None,
+        load: float = 0.0,
+    ) -> ExecutionResult:
+        """Execute ``n_ops`` invocations of an operation as one batch.
+
+        ``load`` in [0, 1] expresses how saturated the machine is while the
+        batch runs; tracer cost models use it for contention/cache effects
+        (a single-threaded lmbench loop is ~0, apachebench at 512
+        concurrent connections is ~1).
+        """
+        if n_ops < 0:
+            raise ValueError(f"n_ops must be non-negative, got {n_ops}")
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must be in [0, 1], got {load}")
+        op = self.syscalls.op(op_name)
+        prof = self.syscalls.profile(op_name)
+        if cpu is None:
+            cpu = self._next_cpu
+            self._next_cpu = (self._next_cpu + 1) % len(self.cpus)
+        elif not 0 <= cpu < len(self.cpus):
+            raise ValueError(f"no such cpu: {cpu}")
+
+        counts = prof.sample(n_ops, self._sample_rng, self.config.count_dispersion)
+        events = int(counts.sum())
+        kernel_ns = op.kernel_ns * n_ops
+        user_ns = op.user_ns * n_ops
+        overhead_ns = 0.0
+        if self.tracer is not None:
+            overhead_ns = self.tracer.observe_batch(cpu, counts, events, load)
+
+        self.cpus[cpu].advance_ns(kernel_ns + user_ns + overhead_ns)
+        self._clock_ns += kernel_ns + user_ns + overhead_ns
+        return ExecutionResult(
+            op_name=op_name,
+            n_ops=n_ops,
+            cpu_id=cpu,
+            counts=counts,
+            events=events,
+            kernel_ns=kernel_ns,
+            user_ns=user_ns,
+            overhead_ns=overhead_ns,
+        )
+
+    def idle(self, ns: float) -> None:
+        """Advance wall time without executing kernel work."""
+        if ns < 0:
+            raise ValueError("cannot idle for negative time")
+        self._clock_ns += ns
+
+    def latency_ns(self, op_name: str, load: float = 0.0) -> float:
+        """Expected single-op latency under the current configuration.
+
+        Uses the operation's expected event count rather than a sampled
+        one, giving the deterministic figure micro-benchmark tables use.
+        """
+        op = self.syscalls.op(op_name)
+        prof = self.syscalls.profile(op_name)
+        overhead = 0.0
+        if self.tracer is not None:
+            overhead = self.tracer.expected_overhead_ns(prof.total_calls, load)
+        return op.kernel_ns + op.user_ns + overhead
+
+    def config_name(self) -> str:
+        """'vanilla', or the attached tracer's name."""
+        return "vanilla" if self.tracer is None else self.tracer.name

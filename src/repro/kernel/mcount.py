@@ -1,0 +1,170 @@
+"""The mcount instrumentation-site registry and stub-patching lifecycle.
+
+When the paper's kernel is compiled with ``gcc -pg``, every function starts
+with a call to ``mcount``.  During boot the kernel introspects itself,
+records every call site, and converts them to NOPs; a tracer later patches
+selected sites back.  Fmeter's twist (Section 3): the first time a function
+runs with tracing enabled, its generic ``mcount`` call is replaced by a
+*custom stub* that embeds two indices — the per-CPU page and the slot within
+the page — so subsequent calls increment their counter without any lookup.
+
+This module models that lifecycle as an explicit state machine so tests can
+assert the exact transitions:
+
+    MCOUNT --(boot introspection)--> NOP --(tracer enable)--> MCOUNT
+           --(first call)--> STUB --(tracer disable)--> NOP
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.kernel.symbols import SymbolTable
+
+__all__ = ["McountRegistry", "McountSite", "StubState", "SLOTS_PER_PAGE"]
+
+#: Page size 4096 bytes / 8-byte cache-aligned slot pairs -> slots per page.
+#: The paper packs cache-aligned 8-byte counters into free pages; with a
+#: 64-byte cache line per slot (to avoid false sharing across counters
+#: updated from hot paths) a 4 KiB page holds 64 slots.
+SLOTS_PER_PAGE = 64
+
+
+class StubState(enum.Enum):
+    """Patch state of one instrumentation site."""
+
+    MCOUNT = "mcount"  # original compiler-emitted call to mcount
+    NOP = "nop"        # boot-time conversion: tracing disabled, zero overhead
+    STUB = "stub"      # Fmeter's personalized counting stub
+
+
+@dataclass
+class McountSite:
+    """One instrumented call site (one per core-kernel function)."""
+
+    address: int
+    state: StubState = StubState.MCOUNT
+    page_index: int = -1
+    slot_index: int = -1
+    patch_count: int = 0
+
+    @property
+    def has_slot(self) -> bool:
+        return self.page_index >= 0 and self.slot_index >= 0
+
+
+class McountRegistry:
+    """All mcount sites of the simulated kernel and their patch state."""
+
+    def __init__(self, symbols: SymbolTable):
+        self.symbols = symbols
+        self._sites: dict[int, McountSite] = {
+            fn.address: McountSite(address=fn.address) for fn in symbols
+        }
+        self._introspected = False
+        self._slot_map_built = False
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def site(self, address: int) -> McountSite:
+        try:
+            return self._sites[address]
+        except KeyError:
+            raise KeyError(f"no mcount site at {address:#x}") from None
+
+    def site_by_name(self, name: str) -> McountSite:
+        return self.site(self.symbols.by_name(name).address)
+
+    @property
+    def introspected(self) -> bool:
+        return self._introspected
+
+    @property
+    def slot_map_built(self) -> bool:
+        return self._slot_map_built
+
+    def sites_in_state(self, state: StubState) -> list[McountSite]:
+        return [s for s in self._sites.values() if s.state == state]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def boot_introspect(self) -> int:
+        """Record all mcount call sites and convert them to NOPs.
+
+        Mirrors the boot-time pass the paper describes: the saved list is
+        what later allows selective re-patching.  Returns the number of
+        sites converted.  Idempotent calls are an error — a real kernel
+        boots once.
+        """
+        if self._introspected:
+            raise RuntimeError("boot introspection already performed")
+        for site in self._sites.values():
+            site.state = StubState.NOP
+            site.patch_count += 1
+        self._introspected = True
+        return len(self._sites)
+
+    def build_slot_map(self) -> int:
+        """Assign each function a (page, slot) pair; returns pages needed.
+
+        Fmeter allocates the function-to-slot mapping at boot, right after
+        introspection.  Slot order follows address order, packing
+        :data:`SLOTS_PER_PAGE` counters per page.
+        """
+        if not self._introspected:
+            raise RuntimeError("cannot build slot map before boot introspection")
+        if self._slot_map_built:
+            raise RuntimeError("slot map already built")
+        for i, fn in enumerate(self.symbols):
+            site = self._sites[fn.address]
+            site.page_index = i // SLOTS_PER_PAGE
+            site.slot_index = i % SLOTS_PER_PAGE
+        self._slot_map_built = True
+        return (len(self._sites) + SLOTS_PER_PAGE - 1) // SLOTS_PER_PAGE
+
+    def enable_tracing(self) -> int:
+        """Convert all NOP sites back into mcount calls (tracer switched on)."""
+        if not self._introspected:
+            raise RuntimeError("cannot enable tracing before boot introspection")
+        n = 0
+        for site in self._sites.values():
+            if site.state == StubState.NOP:
+                site.state = StubState.MCOUNT
+                site.patch_count += 1
+                n += 1
+        return n
+
+    def disable_tracing(self) -> int:
+        """Convert every MCOUNT/STUB site to NOP (tracer switched off)."""
+        n = 0
+        for site in self._sites.values():
+            if site.state != StubState.NOP:
+                site.state = StubState.NOP
+                site.patch_count += 1
+                n += 1
+        return n
+
+    def patch_stub(self, address: int) -> McountSite:
+        """First call of a function under Fmeter: install its custom stub.
+
+        The specialized ``mcount`` replaces the call site with a stub that
+        embeds the (page, slot) indices.  Only legal from the MCOUNT state
+        with the slot map built.
+        """
+        site = self.site(address)
+        if site.state != StubState.MCOUNT:
+            raise RuntimeError(
+                f"cannot patch stub at {address:#x} from state {site.state}"
+            )
+        if not self._slot_map_built:
+            raise RuntimeError("cannot patch stub before slot map is built")
+        site.state = StubState.STUB
+        site.patch_count += 1
+        return site
+
+    def stub_coverage(self) -> float:
+        """Fraction of sites already running their personalized stub."""
+        stubs = sum(1 for s in self._sites.values() if s.state == StubState.STUB)
+        return stubs / len(self._sites)

@@ -1,0 +1,424 @@
+"""Deterministic generation of the core-kernel symbol table.
+
+A real kernel exposes its text symbols through ``/proc/kallsyms``; Fmeter
+keys its vector space on the *start addresses* of those symbols.  This
+module builds the synthetic equivalent: ~3800 functions with realistic,
+subsystem-prefixed names, stable addresses, and intrinsic hotness weights
+drawn from a heavy-tailed distribution (the raw material from which the
+call graph produces Figure 1's power law).
+
+A curated set of *anchor* functions carries the well-known names
+(``vfs_read``, ``tcp_sendmsg``, ``schedule``, ...) that the syscall layer
+and the workload models reference explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.kernel.functions import (
+    SUBSYSTEM_NAMING,
+    SUBSYSTEM_SIZES,
+    VERBS,
+    KernelFunction,
+    Subsystem,
+)
+from repro.util.rng import RngStream
+
+__all__ = ["ANCHOR_FUNCTIONS", "SymbolTable", "build_symbol_table"]
+
+#: Kernel text segment base on x86-64, same as a real vmlinux layout.
+TEXT_BASE = 0xFFFF_FFFF_8100_0000
+
+#: Curated anchor functions: (name, subsystem, hotness boost).  These are
+#: the functions that syscall entry points and workload/driver profiles
+#: reference by name; all are marked as call-graph entry points.
+ANCHOR_FUNCTIONS: tuple[tuple[str, Subsystem, float], ...] = (
+    # --- scheduler ---
+    ("schedule", Subsystem.SCHED, 30.0),
+    ("__schedule_bug", Subsystem.SCHED, 1.0),
+    ("try_to_wake_up", Subsystem.SCHED, 20.0),
+    ("pick_next_task_fair", Subsystem.SCHED, 15.0),
+    ("update_curr", Subsystem.SCHED, 25.0),
+    ("enqueue_task_fair", Subsystem.SCHED, 12.0),
+    ("dequeue_task_fair", Subsystem.SCHED, 12.0),
+    ("scheduler_tick", Subsystem.SCHED, 10.0),
+    ("finish_task_switch", Subsystem.SCHED, 14.0),
+    ("do_fork", Subsystem.SCHED, 3.0),
+    ("copy_process", Subsystem.SCHED, 3.0),
+    ("do_exit", Subsystem.SCHED, 3.0),
+    ("wait_task_zombie", Subsystem.SCHED, 2.0),
+    ("sys_wait4", Subsystem.SCHED, 2.0),
+    ("do_execve", Subsystem.SCHED, 2.5),
+    ("search_binary_handler", Subsystem.SCHED, 2.0),
+    ("load_elf_binary", Subsystem.SCHED, 2.0),
+    ("sys_getpid", Subsystem.SCHED, 2.0),
+    # --- memory management ---
+    ("handle_mm_fault", Subsystem.MM, 22.0),
+    ("do_page_fault", Subsystem.MM, 22.0),
+    ("__do_fault", Subsystem.MM, 15.0),
+    ("do_anonymous_page", Subsystem.MM, 12.0),
+    ("do_wp_page", Subsystem.MM, 8.0),
+    ("do_mmap_pgoff", Subsystem.MM, 4.0),
+    ("do_munmap", Subsystem.MM, 4.0),
+    ("sys_brk", Subsystem.MM, 3.0),
+    ("vma_merge", Subsystem.MM, 4.0),
+    ("anon_vma_prepare", Subsystem.MM, 5.0),
+    ("__alloc_pages_internal", Subsystem.MM, 26.0),
+    ("free_pages", Subsystem.MM, 18.0),
+    ("get_user_pages", Subsystem.MM, 6.0),
+    ("copy_page_range", Subsystem.MM, 4.0),
+    ("unmap_vmas", Subsystem.MM, 4.0),
+    ("exit_mmap", Subsystem.MM, 2.5),
+    # --- VFS ---
+    ("vfs_read", Subsystem.VFS, 20.0),
+    ("vfs_write", Subsystem.VFS, 18.0),
+    ("sys_read", Subsystem.VFS, 20.0),
+    ("sys_write", Subsystem.VFS, 18.0),
+    ("sys_open", Subsystem.VFS, 10.0),
+    ("sys_close", Subsystem.VFS, 10.0),
+    ("do_filp_open", Subsystem.VFS, 9.0),
+    ("do_lookup", Subsystem.VFS, 14.0),
+    ("path_walk", Subsystem.VFS, 12.0),
+    ("generic_file_aio_read", Subsystem.VFS, 12.0),
+    ("generic_file_aio_write", Subsystem.VFS, 10.0),
+    ("vfs_stat", Subsystem.VFS, 8.0),
+    ("vfs_fstat", Subsystem.VFS, 8.0),
+    ("sys_newstat", Subsystem.VFS, 7.0),
+    ("sys_newfstat", Subsystem.VFS, 7.0),
+    ("sys_fcntl", Subsystem.VFS, 4.0),
+    ("fcntl_setlk", Subsystem.VFS, 3.0),
+    ("do_select", Subsystem.VFS, 8.0),
+    ("sys_select", Subsystem.VFS, 8.0),
+    ("core_sys_select", Subsystem.VFS, 7.0),
+    ("do_sys_poll", Subsystem.VFS, 5.0),
+    ("dput", Subsystem.VFS, 16.0),
+    ("dget", Subsystem.VFS, 16.0),
+    ("iput", Subsystem.VFS, 10.0),
+    ("igrab", Subsystem.VFS, 6.0),
+    ("mntput", Subsystem.VFS, 9.0),
+    ("fget_light", Subsystem.VFS, 22.0),
+    ("fput", Subsystem.VFS, 20.0),
+    ("notify_change", Subsystem.VFS, 2.0),
+    ("vfs_getattr", Subsystem.VFS, 8.0),
+    ("touch_atime", Subsystem.VFS, 7.0),
+    # --- ext3 / jbd ---
+    ("ext3_get_block", Subsystem.EXT3, 8.0),
+    ("ext3_readpage", Subsystem.EXT3, 7.0),
+    ("ext3_writepage", Subsystem.EXT3, 6.0),
+    ("ext3_lookup", Subsystem.EXT3, 6.0),
+    ("ext3_create", Subsystem.EXT3, 3.0),
+    ("ext3_unlink", Subsystem.EXT3, 3.0),
+    ("ext3_mkdir", Subsystem.EXT3, 2.0),
+    ("ext3_do_update_inode", Subsystem.EXT3, 5.0),
+    ("journal_start", Subsystem.EXT3, 6.0),
+    ("journal_stop", Subsystem.EXT3, 6.0),
+    ("journal_dirty_metadata", Subsystem.EXT3, 5.0),
+    ("journal_commit_transaction", Subsystem.EXT3, 3.0),
+    # --- block ---
+    ("generic_make_request", Subsystem.BLOCK, 8.0),
+    ("submit_bio", Subsystem.BLOCK, 8.0),
+    ("__make_request", Subsystem.BLOCK, 7.0),
+    ("blk_queue_bio", Subsystem.BLOCK, 6.0),
+    ("elv_merge", Subsystem.BLOCK, 5.0),
+    ("blk_complete_request", Subsystem.BLOCK, 6.0),
+    ("end_bio_bh_io_sync", Subsystem.BLOCK, 5.0),
+    # --- net core ---
+    ("dev_queue_xmit", Subsystem.NET_CORE, 14.0),
+    ("netif_receive_skb", Subsystem.NET_CORE, 16.0),
+    ("__netif_receive_skb_core", Subsystem.NET_CORE, 14.0),
+    ("alloc_skb", Subsystem.NET_CORE, 18.0),
+    ("kfree_skb", Subsystem.NET_CORE, 16.0),
+    ("skb_clone", Subsystem.NET_CORE, 8.0),
+    ("skb_copy_datagram_iovec", Subsystem.NET_CORE, 10.0),
+    ("eth_type_trans", Subsystem.NET_CORE, 10.0),
+    ("dev_hard_start_xmit", Subsystem.NET_CORE, 10.0),
+    ("net_rx_action", Subsystem.NET_CORE, 10.0),
+    # --- tcp ---
+    ("tcp_sendmsg", Subsystem.TCP, 14.0),
+    ("tcp_recvmsg", Subsystem.TCP, 14.0),
+    ("tcp_v4_rcv", Subsystem.TCP, 14.0),
+    ("tcp_rcv_established", Subsystem.TCP, 13.0),
+    ("tcp_ack", Subsystem.TCP, 12.0),
+    ("tcp_transmit_skb", Subsystem.TCP, 12.0),
+    ("tcp_write_xmit", Subsystem.TCP, 10.0),
+    ("tcp_v4_connect", Subsystem.TCP, 3.0),
+    ("tcp_close", Subsystem.TCP, 3.0),
+    ("tcp_v4_do_rcv", Subsystem.TCP, 12.0),
+    ("tcp_send_ack", Subsystem.TCP, 9.0),
+    ("inet_csk_accept", Subsystem.TCP, 4.0),
+    # --- ip ---
+    ("ip_rcv", Subsystem.IP, 12.0),
+    ("ip_local_deliver", Subsystem.IP, 11.0),
+    ("ip_queue_xmit", Subsystem.IP, 11.0),
+    ("ip_output", Subsystem.IP, 11.0),
+    ("ip_route_input", Subsystem.IP, 9.0),
+    ("ip_route_output_flow", Subsystem.IP, 8.0),
+    # --- socket ---
+    ("sys_socketcall", Subsystem.SOCKET, 6.0),
+    ("sock_sendmsg", Subsystem.SOCKET, 10.0),
+    ("sock_recvmsg", Subsystem.SOCKET, 10.0),
+    ("sys_connect", Subsystem.SOCKET, 3.0),
+    ("sys_accept", Subsystem.SOCKET, 3.0),
+    ("sock_alloc_file", Subsystem.SOCKET, 3.0),
+    ("sock_poll", Subsystem.SOCKET, 7.0),
+    ("unix_stream_sendmsg", Subsystem.SOCKET, 6.0),
+    ("unix_stream_recvmsg", Subsystem.SOCKET, 6.0),
+    ("unix_stream_connect", Subsystem.SOCKET, 3.0),
+    # --- signal ---
+    ("sys_rt_sigaction", Subsystem.SIGNAL, 4.0),
+    ("do_sigaction", Subsystem.SIGNAL, 4.0),
+    ("send_signal", Subsystem.SIGNAL, 5.0),
+    ("get_signal_to_deliver", Subsystem.SIGNAL, 5.0),
+    ("handle_signal", Subsystem.SIGNAL, 5.0),
+    ("sys_kill", Subsystem.SIGNAL, 2.0),
+    # --- ipc ---
+    ("sys_semop", Subsystem.IPC, 3.0),
+    ("sys_semtimedop", Subsystem.IPC, 3.0),
+    ("ipc_lock", Subsystem.IPC, 3.0),
+    ("sys_shmat", Subsystem.IPC, 1.5),
+    # --- irq / timer / softirq ---
+    ("do_IRQ", Subsystem.IRQ, 16.0),
+    ("handle_edge_irq", Subsystem.IRQ, 12.0),
+    ("irq_enter", Subsystem.IRQ, 14.0),
+    ("irq_exit", Subsystem.IRQ, 14.0),
+    ("run_timer_softirq", Subsystem.TIMER, 8.0),
+    ("hrtimer_interrupt", Subsystem.TIMER, 9.0),
+    ("tick_sched_timer", Subsystem.TIMER, 8.0),
+    ("__do_softirq", Subsystem.SOFTIRQ, 14.0),
+    ("raise_softirq", Subsystem.SOFTIRQ, 10.0),
+    ("tasklet_action", Subsystem.SOFTIRQ, 6.0),
+    # --- locking / rcu ---
+    ("_spin_lock", Subsystem.LOCKING, 35.0),
+    ("_spin_unlock", Subsystem.LOCKING, 35.0),
+    ("_spin_lock_irqsave", Subsystem.LOCKING, 28.0),
+    ("mutex_lock", Subsystem.LOCKING, 18.0),
+    ("mutex_unlock", Subsystem.LOCKING, 18.0),
+    ("down_read", Subsystem.LOCKING, 12.0),
+    ("up_read", Subsystem.LOCKING, 12.0),
+    ("__rcu_read_lock", Subsystem.RCU, 20.0),
+    ("__rcu_read_unlock", Subsystem.RCU, 20.0),
+    ("call_rcu", Subsystem.RCU, 8.0),
+    # --- workqueue ---
+    ("queue_work", Subsystem.WORKQUEUE, 5.0),
+    ("run_workqueue", Subsystem.WORKQUEUE, 5.0),
+    # --- crypto (scp's AES/SHA path) ---
+    ("crypto_aes_encrypt", Subsystem.CRYPTO, 6.0),
+    ("crypto_aes_decrypt", Subsystem.CRYPTO, 6.0),
+    ("crypto_sha1_update", Subsystem.CRYPTO, 6.0),
+    ("crypto_blkcipher_encrypt", Subsystem.CRYPTO, 5.0),
+    # --- security ---
+    ("security_file_permission", Subsystem.SECURITY, 14.0),
+    ("security_socket_sendmsg", Subsystem.SECURITY, 8.0),
+    ("cap_capable", Subsystem.SECURITY, 8.0),
+    # --- tty / pipe / futex ---
+    ("tty_write", Subsystem.TTY, 4.0),
+    ("n_tty_read", Subsystem.TTY, 4.0),
+    ("pipe_read", Subsystem.PIPE, 6.0),
+    ("pipe_write", Subsystem.PIPE, 6.0),
+    ("sys_pipe", Subsystem.PIPE, 2.0),
+    ("do_futex", Subsystem.FUTEX, 6.0),
+    ("futex_wait", Subsystem.FUTEX, 5.0),
+    ("futex_wake", Subsystem.FUTEX, 5.0),
+    # --- proc / sysfs / kobject ---
+    ("proc_reg_read", Subsystem.PROC, 4.0),
+    ("proc_pid_readdir", Subsystem.PROC, 2.0),
+    ("sysfs_read_file", Subsystem.SYSFS, 3.0),
+    ("kobject_get", Subsystem.KOBJECT, 4.0),
+    ("kobject_put", Subsystem.KOBJECT, 4.0),
+    # --- page cache ---
+    ("find_get_page", Subsystem.PAGECACHE, 20.0),
+    ("add_to_page_cache_lru", Subsystem.PAGECACHE, 10.0),
+    ("mark_page_accessed", Subsystem.PAGECACHE, 14.0),
+    ("__set_page_dirty_buffers", Subsystem.PAGECACHE, 7.0),
+    ("write_cache_pages", Subsystem.PAGECACHE, 5.0),
+    ("do_generic_file_read", Subsystem.PAGECACHE, 12.0),
+    ("page_cache_readahead", Subsystem.PAGECACHE, 7.0),
+    # --- slab ---
+    ("kmem_cache_alloc", Subsystem.SLAB, 30.0),
+    ("kmem_cache_free", Subsystem.SLAB, 28.0),
+    ("__kmalloc", Subsystem.SLAB, 24.0),
+    ("kfree", Subsystem.SLAB, 24.0),
+    # --- dma / napi (NIC receive path glue) ---
+    ("dma_map_single", Subsystem.DMA, 6.0),
+    ("dma_unmap_single", Subsystem.DMA, 6.0),
+    ("napi_schedule", Subsystem.NAPI, 9.0),
+    ("napi_complete", Subsystem.NAPI, 9.0),
+    ("napi_gro_receive", Subsystem.NAPI, 10.0),
+    ("napi_gro_frags", Subsystem.NAPI, 8.0),
+    ("__napi_gro_flush", Subsystem.NAPI, 7.0),
+)
+
+
+class SymbolTable:
+    """Immutable table of core-kernel functions, keyed by name and address.
+
+    Provides kallsyms-style queries: exact name lookup, exact address
+    lookup, and containing-symbol resolution for an arbitrary text address.
+    """
+
+    def __init__(self, functions: Iterable[KernelFunction]):
+        self._functions: tuple[KernelFunction, ...] = tuple(functions)
+        if not self._functions:
+            raise ValueError("symbol table must contain at least one function")
+        self._by_name: dict[str, KernelFunction] = {}
+        self._by_address: dict[int, KernelFunction] = {}
+        for fn in self._functions:
+            if fn.name in self._by_name:
+                raise ValueError(f"duplicate symbol name: {fn.name}")
+            if fn.address in self._by_address:
+                raise ValueError(f"duplicate symbol address: {fn.address:#x}")
+            self._by_name[fn.name] = fn
+            self._by_address[fn.address] = fn
+        self._sorted = sorted(self._functions, key=lambda f: f.address)
+        for prev, cur in zip(self._sorted, self._sorted[1:]):
+            if prev.end_address > cur.address:
+                raise ValueError(
+                    f"overlapping symbols: {prev.name} and {cur.name}"
+                )
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __iter__(self) -> Iterator[KernelFunction]:
+        return iter(self._sorted)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def by_name(self, name: str) -> KernelFunction:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no kernel symbol named {name!r}") from None
+
+    def by_address(self, address: int) -> KernelFunction:
+        try:
+            return self._by_address[address]
+        except KeyError:
+            raise KeyError(f"no kernel symbol at {address:#x}") from None
+
+    def resolve(self, address: int) -> KernelFunction | None:
+        """Return the symbol whose [start, end) range contains ``address``.
+
+        This mirrors ``kallsyms_lookup``: useful for mapping an arbitrary
+        instruction pointer back to its function.  Returns ``None`` when the
+        address falls outside every symbol.
+        """
+        lo, hi = 0, len(self._sorted) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            fn = self._sorted[mid]
+            if address < fn.address:
+                hi = mid - 1
+            elif address >= fn.end_address:
+                lo = mid + 1
+            else:
+                return fn
+        return None
+
+    def subsystem_functions(self, subsystem: Subsystem) -> list[KernelFunction]:
+        return [f for f in self._sorted if f.subsystem == subsystem]
+
+    def entry_points(self) -> list[KernelFunction]:
+        return [f for f in self._sorted if f.is_entry]
+
+    @property
+    def addresses(self) -> list[int]:
+        return [f.address for f in self._sorted]
+
+    def names(self) -> list[str]:
+        return [f.name for f in self._sorted]
+
+
+def _generate_names(
+    subsystem: Subsystem, count: int, taken: set[str], rng: RngStream
+) -> list[str]:
+    """Generate ``count`` unique plausible names for ``subsystem``."""
+    prefixes, nouns = SUBSYSTEM_NAMING[subsystem]
+    names: list[str] = []
+    attempts = 0
+    while len(names) < count:
+        attempts += 1
+        if attempts > count * 200:
+            raise RuntimeError(
+                f"could not generate {count} unique names for {subsystem}"
+            )
+        prefix = prefixes[int(rng.integers(0, len(prefixes)))]
+        noun = nouns[int(rng.integers(0, len(nouns)))]
+        verb = VERBS[int(rng.integers(0, len(VERBS)))]
+        style = int(rng.integers(0, 4))
+        if style == 0:
+            name = f"{prefix}_{verb}_{noun}"
+        elif style == 1:
+            name = f"{prefix}_{noun}_{verb}"
+        elif style == 2:
+            name = f"__{prefix}_{verb}_{noun}"
+        else:
+            name = f"{prefix}_{verb}_{noun}_slow"
+        if name in taken:
+            continue
+        taken.add(name)
+        names.append(name)
+    return names
+
+
+def build_symbol_table(seed: int = 2012) -> SymbolTable:
+    """Build the deterministic core-kernel symbol table.
+
+    The same seed always yields the same table (names, addresses, hotness),
+    which is what makes signatures comparable across simulated "reboots" —
+    mirroring the paper's observation that kernel symbols load at the same
+    address across reboots of the same kernel build.
+    """
+    rng = RngStream(seed, "symbols")
+    taken: set[str] = {name for name, _, _ in ANCHOR_FUNCTIONS}
+
+    specs: list[tuple[str, Subsystem, float, bool]] = []
+    for name, subsystem, boost in ANCHOR_FUNCTIONS:
+        specs.append((name, subsystem, boost, True))
+
+    anchor_counts: dict[Subsystem, int] = {}
+    for _, subsystem, _ in ANCHOR_FUNCTIONS:
+        anchor_counts[subsystem] = anchor_counts.get(subsystem, 0) + 1
+
+    for subsystem, total in SUBSYSTEM_SIZES.items():
+        remaining = total - anchor_counts.get(subsystem, 0)
+        if remaining < 0:
+            raise ValueError(
+                f"{subsystem} has more anchors than its configured size"
+            )
+        sub_rng = rng.child(f"names:{subsystem.value}")
+        # Intrinsic hotness is Pareto-distributed: most generated functions
+        # are cold helpers, a few are hot leaf utilities.
+        hotness = (1.0 + sub_rng.generator.pareto(1.3, size=remaining)).tolist()
+        for name, heat in zip(
+            _generate_names(subsystem, remaining, taken, sub_rng), hotness
+        ):
+            specs.append((name, subsystem, float(min(heat, 40.0)), False))
+
+    # Deterministic address layout: shuffle so subsystems interleave in the
+    # text segment (as a real link order does), then lay out sequentially.
+    layout_rng = rng.child("layout")
+    order = layout_rng.permutation(len(specs))
+    size_rng = rng.child("sizes")
+
+    functions: list[KernelFunction] = []
+    address = TEXT_BASE
+    for idx in order:
+        name, subsystem, heat, is_entry = specs[int(idx)]
+        size = int(size_rng.integers(32, 2048))
+        size = (size + 15) & ~15  # align sizes like the compiler would
+        functions.append(
+            KernelFunction(
+                address=address,
+                name=name,
+                subsystem=subsystem,
+                size_bytes=size,
+                hotness=heat,
+                is_entry=is_entry,
+            )
+        )
+        address += size + 16  # inter-function padding
+
+    return SymbolTable(functions)

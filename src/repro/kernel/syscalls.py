@@ -1,0 +1,283 @@
+"""The ABI layer: kernel operations and the syscall table.
+
+A :class:`KernelOp` describes one ABI-level operation (a syscall, a fault,
+an interrupt) by
+
+- **entry seeds** — which anchor functions it invokes directly and how many
+  times per operation (the call graph expands these into a full expected
+  per-function count vector),
+- **kernel_ns** — baseline in-kernel service time on the uninstrumented
+  kernel (taken from the paper's vanilla columns where it reports them),
+- **user_ns** — user-mode time per operation (user code is *not*
+  instrumented, so tracers never slow it down — the property the paper's
+  Table 3 demonstrates via the unchanged ``user`` row),
+- **target_calls** — expected number of instrumented call events per
+  operation.  Expansion results are rescaled to this total, which calibrates
+  tracer overhead against the paper's measured deltas (the paper's data
+  implies roughly one kernel function call per ~10 ns of in-kernel time).
+
+Entry seeds define each operation's *footprint shape* in the vector space;
+``target_calls`` defines its magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.callgraph import CallGraph, OperationProfile
+
+__all__ = ["KernelOp", "SyscallTable", "STANDARD_OPS"]
+
+
+@dataclass(frozen=True)
+class KernelOp:
+    """One ABI-level kernel operation."""
+
+    name: str
+    entries: dict[str, float]
+    kernel_ns: float
+    user_ns: float = 0.0
+    target_calls: float | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError(f"operation {self.name!r} has no entry seeds")
+        if self.kernel_ns < 0 or self.user_ns < 0:
+            raise ValueError(f"operation {self.name!r} has negative cost")
+        if self.target_calls is not None and self.target_calls <= 0:
+            raise ValueError(
+                f"operation {self.name!r} target_calls must be positive"
+            )
+
+
+def _op(name, entries, kernel_ns, user_ns=0.0, target_calls=None, description=""):
+    return KernelOp(
+        name=name,
+        entries=entries,
+        kernel_ns=kernel_ns,
+        user_ns=user_ns,
+        target_calls=target_calls,
+        description=description,
+    )
+
+
+#: The standard operation repertoire.  ``kernel_ns`` for the lmbench-shaped
+#: ops comes straight from Table 1's vanilla column; ``target_calls`` from
+#: the Ftrace deltas at ~40 ns/event (see module docstring).
+STANDARD_OPS: tuple[KernelOp, ...] = (
+    # --- trivial syscall ------------------------------------------------
+    _op("simple_syscall", {"sys_getpid": 1.0}, kernel_ns=41, target_calls=4,
+        description="lmbench 'Simple syscall' (getpid)"),
+    # --- file IO ---------------------------------------------------------
+    _op("read", {"sys_read": 1.0}, kernel_ns=101, target_calls=27,
+        description="lmbench 'Simple read': one-byte read from /dev/zero-like file"),
+    _op("write", {"sys_write": 1.0}, kernel_ns=86, target_calls=23,
+        description="lmbench 'Simple write'"),
+    _op("file_read_4k", {"sys_read": 1.0}, kernel_ns=480, target_calls=60,
+        description="4 KiB buffered file read (page-cache hit mix)"),
+    _op("file_write_4k", {"sys_write": 1.0, "write_cache_pages": 0.08},
+        kernel_ns=560, target_calls=75,
+        description="4 KiB buffered file write incl. background writeback share"),
+    _op("open_close", {"sys_open": 1.0, "sys_close": 1.0},
+        kernel_ns=1193, target_calls=250,
+        description="lmbench 'Simple open/close'"),
+    _op("stat", {"sys_newstat": 1.0}, kernel_ns=721, target_calls=170,
+        description="lmbench 'Simple stat'"),
+    _op("fstat", {"sys_newfstat": 1.0}, kernel_ns=100, target_calls=19,
+        description="lmbench 'Simple fstat'"),
+    _op("fcntl_lock", {"sys_fcntl": 1.0}, kernel_ns=1219, target_calls=135,
+        description="lmbench 'Fcntl lock latency'"),
+    _op("file_create", {"sys_open": 1.0, "ext3_create": 1.0, "sys_close": 1.0},
+        kernel_ns=5200, target_calls=420,
+        description="create+close a new file (dbench-style metadata op)"),
+    _op("file_unlink", {"sys_open": 0.2, "ext3_unlink": 1.0},
+        kernel_ns=3900, target_calls=300,
+        description="unlink a file"),
+    _op("mkdir", {"ext3_mkdir": 1.0, "path_walk": 1.0},
+        kernel_ns=4100, target_calls=310,
+        description="create a directory"),
+    _op("fsync", {"journal_commit_transaction": 1.0, "write_cache_pages": 1.0},
+        kernel_ns=18000, target_calls=900,
+        description="fsync: journal commit + writeback"),
+    # --- select / poll ----------------------------------------------------
+    _op("select_10", {"sys_select": 1.0, "do_select": 0.0}, kernel_ns=231,
+        target_calls=30, description="lmbench 'Select on 10 fd's'"),
+    _op("select_10_tcp", {"sys_select": 1.0, "sock_poll": 6.0},
+        kernel_ns=261, target_calls=40,
+        description="lmbench 'Select on 10 tcp fd's'"),
+    _op("select_100", {"sys_select": 1.0, "fget_light": 60.0, "fput": 60.0},
+        kernel_ns=897, target_calls=225,
+        description="lmbench 'Select on 100 fd's'"),
+    _op("select_100_tcp",
+        {"sys_select": 1.0, "fget_light": 60.0, "fput": 60.0, "sock_poll": 70.0},
+        kernel_ns=2189, target_calls=610,
+        description="lmbench 'Select on 100 tcp fd's'"),
+    # --- pipes / AF_UNIX --------------------------------------------------
+    _op("pipe_latency",
+        {"pipe_write": 1.0, "pipe_read": 1.0, "schedule": 2.0},
+        kernel_ns=2492, target_calls=250,
+        description="lmbench 'Pipe latency': token round trip + 2 switches"),
+    _op("af_unix_latency",
+        {"sys_socketcall": 2.0, "schedule": 2.0},
+        kernel_ns=4828, target_calls=560,
+        description="lmbench 'AF_UNIX sock stream latency'"),
+    _op("unix_conn",
+        {"sys_connect": 1.0, "sys_accept": 1.0, "sys_socketcall": 2.0,
+         "do_filp_open": 1.0, "sys_close": 2.0},
+        kernel_ns=15328, target_calls=1650,
+        description="lmbench 'UNIX connection cost'"),
+    # --- memory -----------------------------------------------------------
+    _op("pagefault", {"do_page_fault": 1.0}, kernel_ns=677, target_calls=75,
+        description="lmbench 'Pagefaults on linux.tar.bz2'"),
+    _op("prot_fault", {"do_page_fault": 1.0, "send_signal": 1.0},
+        kernel_ns=185, target_calls=11,
+        description="lmbench 'Protection fault' (SIGSEGV delivery)"),
+    _op("mmap_file",
+        {"do_mmap_pgoff": 60.0, "do_page_fault": 420.0,
+         "page_cache_readahead": 40.0, "do_munmap": 60.0},
+        kernel_ns=206750, target_calls=40000,
+        description="lmbench 'Memory map linux.tar.bz2': map+touch+unmap"),
+    _op("brk", {"sys_brk": 1.0}, kernel_ns=430, target_calls=45,
+        description="heap grow/shrink"),
+    # --- process lifecycle -------------------------------------------------
+    _op("fork_exit",
+        {"do_fork": 1.0, "do_exit": 1.0, "sys_wait4": 1.0,
+         "do_page_fault": 180.0, "schedule": 6.0},
+        kernel_ns=208914, target_calls=22700,
+        description="lmbench 'Process fork+exit'"),
+    _op("fork_execve",
+        {"do_fork": 1.0, "do_execve": 1.0, "do_exit": 1.0, "sys_wait4": 1.0,
+         "do_page_fault": 500.0, "sys_read": 30.0, "sys_open": 12.0,
+         "sys_close": 12.0, "schedule": 10.0},
+        kernel_ns=672266, target_calls=60500,
+        description="lmbench 'Process fork+execve'"),
+    _op("fork_sh",
+        {"do_fork": 2.0, "do_execve": 2.0, "do_exit": 2.0, "sys_wait4": 2.0,
+         "do_page_fault": 1100.0, "sys_read": 90.0, "sys_open": 40.0,
+         "sys_close": 40.0, "sys_newstat": 30.0, "schedule": 22.0},
+        kernel_ns=1446800, target_calls=124000,
+        description="lmbench 'Process fork+/bin/sh -c'"),
+    # --- signals / ipc / locking -------------------------------------------
+    _op("sig_install", {"sys_rt_sigaction": 1.0}, kernel_ns=113,
+        target_calls=4, description="lmbench 'Signal handler installation'"),
+    _op("sig_overhead",
+        {"sys_kill": 1.0, "get_signal_to_deliver": 1.0},
+        kernel_ns=909, target_calls=55,
+        description="lmbench 'Signal handler overhead' (deliver+return)"),
+    _op("semaphore", {"sys_semtimedop": 2.0, "schedule": 1.0},
+        kernel_ns=2890, target_calls=80,
+        description="lmbench 'Semaphore latency'"),
+    _op("futex_wait_wake", {"do_futex": 2.0, "schedule": 1.0},
+        kernel_ns=1900, target_calls=120,
+        description="futex wait + wake round trip"),
+    # --- network (loopback/ethernet TCP) ------------------------------------
+    _op("tcp_send_64k",
+        {"sys_socketcall": 1.0, "irq_exit": 2.0},
+        kernel_ns=21000, target_calls=2400,
+        description="64 KiB TCP send incl. TX-completion softirq share"),
+    _op("tcp_recv_64k",
+        {"sys_socketcall": 1.0, "do_IRQ": 4.0},
+        kernel_ns=24000, target_calls=2800,
+        description="64 KiB TCP receive incl. RX interrupt share"),
+    _op("tcp_connect",
+        {"sys_connect": 1.0, "do_IRQ": 2.0},
+        kernel_ns=38000, target_calls=1400,
+        description="TCP three-way handshake, client side"),
+    _op("tcp_accept",
+        {"sys_accept": 1.0, "do_IRQ": 2.0},
+        kernel_ns=31000, target_calls=1200,
+        description="TCP accept, server side"),
+    _op("tcp_send_small",
+        {"sys_socketcall": 1.0, "irq_exit": 1.0},
+        kernel_ns=4000, target_calls=450,
+        description="small (~1.4 KiB) TCP send, one segment"),
+    _op("tcp_teardown",
+        {"tcp_close": 1.0, "sys_close": 1.0, "do_IRQ": 1.0},
+        kernel_ns=9000, target_calls=500,
+        description="TCP connection teardown (FIN exchange + fd close)"),
+    _op("apache_request",
+        {"sys_accept": 1.0, "sys_connect": 1.0, "sys_read": 4.0,
+         "sys_write": 4.0, "sys_select": 2.0, "sys_open": 0.2,
+         "sys_close": 2.5, "sys_socketcall": 2.0, "do_IRQ": 2.0},
+        kernel_ns=35000, user_ns=35000, target_calls=2000,
+        description="one apachebench HTTP request, server+client side "
+                    "(loopback closed loop, as in Table 2)"),
+    # --- interrupts / background ---------------------------------------------
+    _op("rx_irq_batch",
+        {"do_IRQ": 1.0, "napi_gro_frags": 24.0},
+        kernel_ns=18000, target_calls=2200,
+        description="one NIC RX interrupt draining a NAPI batch (generic driver)"),
+    _op("block_irq", {"do_IRQ": 1.0, "blk_complete_request": 1.0},
+        kernel_ns=5200, target_calls=260,
+        description="disk completion interrupt"),
+    _op("timer_tick", {"do_IRQ": 1.0, "hrtimer_interrupt": 1.0},
+        kernel_ns=2600, target_calls=170,
+        description="local timer tick"),
+    _op("context_switch", {"schedule": 1.0}, kernel_ns=1100, target_calls=45,
+        description="voluntary context switch"),
+    _op("disk_read_64k",
+        {"sys_read": 16.0, "do_IRQ": 1.0, "submit_bio": 16.0},
+        kernel_ns=95000, target_calls=4200,
+        description="64 KiB read that misses the page cache (16 bios + IRQ)"),
+    _op("disk_write_64k",
+        {"sys_write": 16.0, "write_cache_pages": 2.0, "do_IRQ": 1.0,
+         "journal_commit_transaction": 0.2},
+        kernel_ns=105000, target_calls=4600,
+        description="64 KiB write with writeback + journal share"),
+)
+
+
+class SyscallTable:
+    """Registry of kernel operations bound to a call graph.
+
+    ``profile(name)`` expands an operation's entry seeds through the call
+    graph into an :class:`OperationProfile` (cached), rescaled to the
+    operation's ``target_calls``.
+    """
+
+    def __init__(self, callgraph: CallGraph, ops: tuple[KernelOp, ...] = STANDARD_OPS):
+        self.callgraph = callgraph
+        self._ops: dict[str, KernelOp] = {}
+        for op in ops:
+            if op.name in self._ops:
+                raise ValueError(f"duplicate operation name {op.name!r}")
+            self._ops[op.name] = op
+        self._profiles: dict[str, OperationProfile] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def names(self) -> list[str]:
+        return sorted(self._ops)
+
+    def op(self, name: str) -> KernelOp:
+        try:
+            return self._ops[name]
+        except KeyError:
+            raise KeyError(f"unknown kernel operation {name!r}") from None
+
+    def register(self, op: KernelOp) -> None:
+        """Register an additional operation (e.g. from a loaded module)."""
+        if op.name in self._ops:
+            raise ValueError(f"operation {op.name!r} already registered")
+        self._ops[op.name] = op
+
+    def profile(self, name: str) -> OperationProfile:
+        """Expected per-function counts for operation ``name`` (cached)."""
+        cached = self._profiles.get(name)
+        if cached is not None:
+            return cached
+        op = self.op(name)
+        entries = {k: v for k, v in op.entries.items() if v > 0.0}
+        expected = self.callgraph.expand(entries)
+        total = float(expected.sum())
+        if op.target_calls is not None and total > 0.0:
+            expected = expected * (op.target_calls / total)
+            total = op.target_calls
+        prof = OperationProfile(name=name, expected=expected, total_calls=total)
+        self._profiles[name] = prof
+        return prof

@@ -1,0 +1,79 @@
+"""Statistical analysis of signatures, implemented from scratch.
+
+The paper uses SVMlight (a kernel SVM) for supervised classification and
+hand-implemented K-means / agglomerative hierarchical clustering for
+unsupervised analysis.  This package provides all of them with no external
+ML dependency:
+
+- :mod:`~repro.ml.svm` — binary kernel SVM trained with SMO,
+- :mod:`~repro.ml.kmeans` — K-means with k-means++ seeding,
+- :mod:`~repro.ml.hierarchical` — agglomerative clustering with single,
+  complete, and average linkage, plus the paper's Figure 4 rendering,
+- :mod:`~repro.ml.crossval` — the paper's K-fold protocol (test fold i,
+  validation fold i+1 mod K, train on the rest; C tuned on validation),
+- :mod:`~repro.ml.metrics` — accuracy/precision/recall, majority-class
+  baseline, purity, NMI, Rand index, F-measure,
+- :mod:`~repro.ml.pca` — principal component analysis for the feature
+  pruning the paper mentions,
+- :mod:`~repro.ml.meta` — meta-clustering of centroids and the
+  cache-domain co-scheduling sketch (Sections 2.2 and 6).
+"""
+
+from repro.ml.crossval import CrossValResult, FoldResult, kfold_cross_validate, make_folds
+from repro.ml.hierarchical import Dendrogram, DendrogramNode, agglomerative
+from repro.ml.kernels import linear_kernel, polynomial_kernel, rbf_kernel
+from repro.ml.kmeans import KMeansResult, kmeans
+from repro.ml.meta import CacheDomainAssignment, assign_cache_domains, meta_cluster
+from repro.ml.metrics import (
+    BinaryMetrics,
+    accuracy,
+    baseline_accuracy,
+    binary_metrics,
+    f_measure,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+)
+from repro.ml.pca import PcaModel
+from repro.ml.svm import SvmModel, train_svm
+from repro.ml.tree import (
+    AdaBoostEnsemble,
+    BaggedEnsemble,
+    DecisionTree,
+    adaboost,
+    bagging,
+)
+
+__all__ = [
+    "AdaBoostEnsemble",
+    "BaggedEnsemble",
+    "BinaryMetrics",
+    "DecisionTree",
+    "adaboost",
+    "bagging",
+    "CacheDomainAssignment",
+    "CrossValResult",
+    "Dendrogram",
+    "DendrogramNode",
+    "FoldResult",
+    "KMeansResult",
+    "PcaModel",
+    "SvmModel",
+    "accuracy",
+    "agglomerative",
+    "assign_cache_domains",
+    "baseline_accuracy",
+    "binary_metrics",
+    "f_measure",
+    "kfold_cross_validate",
+    "kmeans",
+    "linear_kernel",
+    "make_folds",
+    "meta_cluster",
+    "normalized_mutual_information",
+    "polynomial_kernel",
+    "purity",
+    "rand_index",
+    "rbf_kernel",
+    "train_svm",
+]

@@ -1,0 +1,160 @@
+"""The paper's K-fold cross-validation protocol (Section 4.2.1).
+
+The construction is slightly unusual and reproduced exactly:
+
+1. Positive and negative signatures are each split into K sets of equal
+   (modulo K) size; fold i merges positive set i with negative set i, so
+   every fold preserves the class mixture.
+2. For each fold i: fold i is the **test** set, fold ``(i+1) mod K`` the
+   **validation** set, and the remaining folds concatenated are the
+   **training** set.
+3. The classifier's C parameter is tuned on the validation set (the only
+   parameter the paper searches; the kernel stays the default polynomial).
+4. The tuned classifier is evaluated **once** on the test fold; metrics
+   are averaged over all K folds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.kernels import polynomial_kernel
+from repro.ml.metrics import BinaryMetrics, baseline_accuracy, binary_metrics
+from repro.ml.svm import train_svm
+from repro.util.rng import RngStream
+from repro.util.stats import mean, sample_stdev
+
+__all__ = ["CrossValResult", "Fold", "FoldResult", "kfold_cross_validate", "make_folds"]
+
+#: The C grid searched on the validation folds.
+DEFAULT_C_GRID: tuple[float, ...] = (0.1, 1.0, 10.0, 100.0)
+
+
+@dataclass(frozen=True)
+class Fold:
+    """Index sets for one cross-validation round."""
+
+    train: np.ndarray
+    validation: np.ndarray
+    test: np.ndarray
+
+
+@dataclass(frozen=True)
+class FoldResult:
+    """Outcome of one round: chosen C and test metrics."""
+
+    fold: int
+    chosen_c: float
+    validation_accuracy: float
+    test: BinaryMetrics
+
+
+@dataclass(frozen=True)
+class CrossValResult:
+    """Aggregated K-fold outcome, reported as the paper's tables do."""
+
+    folds: list[FoldResult]
+    baseline_accuracy: float
+
+    def _stats(self, values: list[float]) -> tuple[float, float]:
+        return mean(values), sample_stdev(values)
+
+    @property
+    def accuracy(self) -> tuple[float, float]:
+        """(mean, stdev) test accuracy over folds, as in Tables 4-5."""
+        return self._stats([f.test.accuracy for f in self.folds])
+
+    @property
+    def precision(self) -> tuple[float, float]:
+        return self._stats([f.test.precision for f in self.folds])
+
+    @property
+    def recall(self) -> tuple[float, float]:
+        return self._stats([f.test.recall for f in self.folds])
+
+
+def make_folds(
+    labels: Sequence[int], k: int, seed: int = 0
+) -> list[Fold]:
+    """Build the paper's folds from +1/-1 labels.
+
+    Positives and negatives are shuffled independently, split into K
+    nearly equal sets, and paired up; fold i serves as test in round i
+    with fold (i+1) mod K as validation.
+    """
+    y = np.asarray(labels)
+    if k < 3:
+        raise ValueError(
+            f"k must be >= 3 (need disjoint train/validation/test), got {k}"
+        )
+    pos = np.flatnonzero(y == 1)
+    neg = np.flatnonzero(y == -1)
+    if len(pos) < k or len(neg) < k:
+        raise ValueError(
+            f"need at least k={k} samples of each class "
+            f"(got {len(pos)} positive, {len(neg)} negative)"
+        )
+    rng = RngStream(seed, "crossval/folds")
+    pos = pos[rng.permutation(len(pos))]
+    neg = neg[rng.permutation(len(neg))]
+    pos_sets = np.array_split(pos, k)
+    neg_sets = np.array_split(neg, k)
+    fold_indices = [
+        np.concatenate([p, q]) for p, q in zip(pos_sets, neg_sets)
+    ]
+    folds: list[Fold] = []
+    for i in range(k):
+        test = fold_indices[i]
+        validation = fold_indices[(i + 1) % k]
+        train = np.concatenate(
+            [fold_indices[j] for j in range(k) if j not in (i, (i + 1) % k)]
+        )
+        folds.append(Fold(train=train, validation=validation, test=test))
+    return folds
+
+
+def kfold_cross_validate(
+    x: np.ndarray,
+    y: Sequence[int],
+    k: int = 10,
+    c_grid: Sequence[float] = DEFAULT_C_GRID,
+    kernel=polynomial_kernel,
+    seed: int = 0,
+) -> CrossValResult:
+    """Run the full protocol; returns per-fold and aggregate metrics."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y)
+    if x.ndim != 2 or len(x) != len(y):
+        raise ValueError("x must be 2-D with one row per label")
+    if not c_grid:
+        raise ValueError("c_grid must not be empty")
+    folds = make_folds(y, k, seed=seed)
+    results: list[FoldResult] = []
+    for i, fold in enumerate(folds):
+        best_c, best_val_acc = None, -1.0
+        for c in c_grid:
+            model = train_svm(
+                x[fold.train], y[fold.train], c=c, kernel=kernel, seed=seed
+            )
+            val_pred = model.predict(x[fold.validation])
+            val_acc = float((val_pred == y[fold.validation]).mean())
+            if val_acc > best_val_acc:
+                best_c, best_val_acc = c, val_acc
+        model = train_svm(
+            x[fold.train], y[fold.train], c=best_c, kernel=kernel, seed=seed
+        )
+        test_pred = model.predict(x[fold.test])
+        results.append(
+            FoldResult(
+                fold=i,
+                chosen_c=best_c,
+                validation_accuracy=best_val_acc,
+                test=binary_metrics(y[fold.test].tolist(), test_pred.tolist()),
+            )
+        )
+    return CrossValResult(
+        folds=results, baseline_accuracy=baseline_accuracy(y.tolist())
+    )

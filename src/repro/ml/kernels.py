@@ -1,0 +1,54 @@
+"""SVM kernel functions (not to be confused with the operating system's
+in-kernel functions traced by Fmeter — the paper makes the same joke).
+
+All kernels accept ``(n, d)`` and ``(m, d)`` matrices and return the
+``(n, m)`` Gram matrix.  SVMlight's default — the paper's choice — is the
+polynomial kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["linear_kernel", "polynomial_kernel", "rbf_kernel"]
+
+
+def _check_2d(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(x, dtype=float)
+    b = np.asarray(y, dtype=float)
+    if a.ndim == 1:
+        a = a[None, :]
+    if b.ndim == 1:
+        b = b[None, :]
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"expected matrices, got shapes {a.shape}, {b.shape}")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"feature dimensions differ: {a.shape[1]} vs {b.shape[1]}"
+        )
+    return a, b
+
+
+def linear_kernel(x, y) -> np.ndarray:
+    """K(a, b) = a . b"""
+    a, b = _check_2d(x, y)
+    return a @ b.T
+
+
+def polynomial_kernel(x, y, degree: int = 3, coef0: float = 1.0, gamma: float = 1.0) -> np.ndarray:
+    """K(a, b) = (gamma a.b + coef0)^degree — SVMlight's default family."""
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    a, b = _check_2d(x, y)
+    return (gamma * (a @ b.T) + coef0) ** degree
+
+
+def rbf_kernel(x, y, gamma: float = 1.0) -> np.ndarray:
+    """K(a, b) = exp(-gamma ||a - b||^2)"""
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    a, b = _check_2d(x, y)
+    aa = (a * a).sum(axis=1)[:, None]
+    bb = (b * b).sum(axis=1)[None, :]
+    d2 = np.maximum(aa + bb - 2.0 * (a @ b.T), 0.0)
+    return np.exp(-gamma * d2)

@@ -1,0 +1,126 @@
+"""K-means clustering with k-means++ seeding (the paper's primary
+unsupervised method).
+
+The paper picks K-means over hierarchical clustering for its speed and
+because K is an explicit input, which makes cluster quality easy to
+evaluate automatically (Section 4.2.2); both properties are reproduced
+here, as is the Euclidean distance induced by the L2 norm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import RngStream
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Converged clustering: assignments, centroids, inertia."""
+
+    assignments: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+    @property
+    def k(self) -> int:
+        return len(self.centroids)
+
+    def cluster_sizes(self) -> np.ndarray:
+        return np.bincount(self.assignments, minlength=self.k)
+
+
+def _plus_plus_init(x: np.ndarray, k: int, rng: RngStream) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D^2 sampling."""
+    n = len(x)
+    centroids = np.empty((k, x.shape[1]))
+    first = int(rng.integers(0, n))
+    centroids[0] = x[first]
+    d2 = ((x - centroids[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = d2.sum()
+        if total <= 1e-18:
+            # All points coincide with chosen centroids; fill uniformly.
+            centroids[i:] = x[rng.integers(0, n, size=k - i)]
+            break
+        probs = d2 / total
+        choice = int(rng.choice(n, p=probs))
+        centroids[i] = x[choice]
+        d2 = np.minimum(d2, ((x - centroids[i]) ** 2).sum(axis=1))
+    return centroids
+
+
+def _assign(x: np.ndarray, centroids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest-centroid assignment; returns (assignments, squared dists)."""
+    d2 = (
+        (x * x).sum(axis=1)[:, None]
+        - 2.0 * (x @ centroids.T)
+        + (centroids * centroids).sum(axis=1)[None, :]
+    )
+    np.maximum(d2, 0.0, out=d2)
+    assignments = d2.argmin(axis=1)
+    return assignments, d2[np.arange(len(x)), assignments]
+
+
+def kmeans(
+    x: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 300,
+    n_init: int = 4,
+    tolerance: float = 1e-9,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ restarts; best inertia wins.
+
+    Empty clusters are re-seeded with the point farthest from its
+    centroid, so the result always has exactly ``k`` clusters — required
+    by Figure 6's K sweep, where K can approach the sample count.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"x must be a 2-D matrix, got shape {x.shape}")
+    n = len(x)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if n_init < 1:
+        raise ValueError("n_init must be at least 1")
+
+    best: KMeansResult | None = None
+    for restart in range(n_init):
+        rng = RngStream(seed, f"kmeans/restart/{restart}")
+        centroids = _plus_plus_init(x, k, rng)
+        converged = False
+        for iteration in range(1, max_iterations + 1):
+            assignments, d2 = _assign(x, centroids)
+            new_centroids = centroids.copy()
+            for cluster in range(k):
+                members = assignments == cluster
+                if members.any():
+                    new_centroids[cluster] = x[members].mean(axis=0)
+                else:
+                    farthest = int(d2.argmax())
+                    new_centroids[cluster] = x[farthest]
+                    d2[farthest] = 0.0
+            shift = float(((new_centroids - centroids) ** 2).sum())
+            centroids = new_centroids
+            if shift <= tolerance:
+                converged = True
+                break
+        assignments, d2 = _assign(x, centroids)
+        inertia = float(d2.sum())
+        result = KMeansResult(
+            assignments=assignments,
+            centroids=centroids,
+            inertia=inertia,
+            iterations=iteration,
+            converged=converged,
+        )
+        if best is None or result.inertia < best.inertia:
+            best = result
+    return best

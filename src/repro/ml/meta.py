@@ -1,0 +1,84 @@
+"""Meta-clustering and cache-aware co-scheduling (Sections 2.2 and 6).
+
+The paper proposes applying clustering *recursively*: cluster the cluster
+centroids (syndromes) to learn which entire classes of behaviour use the
+kernel similarly, then co-schedule tasks whose classes share kernel
+code-paths onto cores that share a cache domain (e.g. one Nehalem socket's
+L3), improving kernel-mode cache locality.
+
+This module implements both steps: :func:`meta_cluster` groups centroids,
+and :func:`assign_cache_domains` turns the grouping into a task-to-domain
+placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.kmeans import KMeansResult, kmeans
+
+__all__ = ["CacheDomainAssignment", "assign_cache_domains", "meta_cluster"]
+
+
+def meta_cluster(
+    centroids: np.ndarray, k: int, seed: int = 0
+) -> KMeansResult:
+    """Cluster class centroids: which behaviours use the kernel alike."""
+    centroids = np.asarray(centroids, dtype=float)
+    if centroids.ndim != 2:
+        raise ValueError(f"centroids must be 2-D, got shape {centroids.shape}")
+    if not 1 <= k <= len(centroids):
+        raise ValueError(
+            f"k must be in [1, {len(centroids)}], got {k}"
+        )
+    return kmeans(centroids, k, seed=seed)
+
+
+@dataclass(frozen=True)
+class CacheDomainAssignment:
+    """A placement of task classes onto cache domains."""
+
+    domain_of: dict[str, int]
+    n_domains: int
+
+    def tasks_in_domain(self, domain: int) -> list[str]:
+        return sorted(
+            task for task, d in self.domain_of.items() if d == domain
+        )
+
+    def colocated(self, task_a: str, task_b: str) -> bool:
+        """Do two task classes share a cache domain?"""
+        return self.domain_of[task_a] == self.domain_of[task_b]
+
+
+def assign_cache_domains(
+    labels: list[str],
+    centroids: np.ndarray,
+    n_domains: int,
+    seed: int = 0,
+) -> CacheDomainAssignment:
+    """Place task classes onto ``n_domains`` cache domains.
+
+    Classes meta-clustered together invoke the same kernel code-paths and
+    touch the same in-kernel data structures, so they are placed on the
+    same domain; with more meta-clusters than domains, clusters are folded
+    round-robin in cluster order (a simple, deterministic policy that
+    keeps the most similar groups together).
+    """
+    if len(labels) != len(centroids):
+        raise ValueError(
+            f"{len(labels)} labels for {len(centroids)} centroids"
+        )
+    if len(set(labels)) != len(labels):
+        raise ValueError("task class labels must be unique")
+    if n_domains < 1:
+        raise ValueError("need at least one cache domain")
+    k = min(n_domains, len(labels))
+    result = meta_cluster(np.asarray(centroids, dtype=float), k, seed=seed)
+    domain_of = {
+        label: int(cluster) % n_domains
+        for label, cluster in zip(labels, result.assignments)
+    }
+    return CacheDomainAssignment(domain_of=domain_of, n_domains=n_domains)

@@ -1,0 +1,203 @@
+"""Evaluation metrics for classification and clustering.
+
+Classification: accuracy, precision, recall (Table 4/5 columns) and the
+paper's *baseline accuracy* — the accuracy of a pseudo-classifier that
+always answers with the majority class.
+
+Clustering: purity (the paper's chosen metric: each cluster is assigned
+its most frequent class; purity is the fraction of correctly assigned
+members), plus the alternatives it name-checks — normalized mutual
+information, the Rand index, and the F-measure — so experiments can
+cross-check that conclusions do not hinge on the metric.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "BinaryMetrics",
+    "accuracy",
+    "baseline_accuracy",
+    "binary_metrics",
+    "f_measure",
+    "normalized_mutual_information",
+    "purity",
+    "rand_index",
+]
+
+
+def _check_lengths(a: Sequence, b: Sequence) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    if len(a) == 0:
+        raise ValueError("metrics need at least one sample")
+
+
+# --------------------------------------------------------------------------
+# classification
+# --------------------------------------------------------------------------
+
+
+def accuracy(y_true: Sequence, y_pred: Sequence) -> float:
+    _check_lengths(y_true, y_pred)
+    correct = sum(1 for t, p in zip(y_true, y_pred) if t == p)
+    return correct / len(y_true)
+
+
+def baseline_accuracy(y_true: Sequence) -> float:
+    """Majority-class accuracy, the paper's comparison baseline."""
+    if len(y_true) == 0:
+        raise ValueError("metrics need at least one sample")
+    counts = Counter(y_true)
+    return max(counts.values()) / len(y_true)
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Accuracy/precision/recall for +1/-1 labels (+1 is the positive class).
+
+    Follows the information-retrieval convention the paper uses: when no
+    positives are predicted, precision is 1.0 if there were also no true
+    positives to find, else 0.0 — and symmetrically for recall.
+    """
+
+    accuracy: float
+    precision: float
+    recall: float
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def binary_metrics(y_true: Sequence[int], y_pred: Sequence[int]) -> BinaryMetrics:
+    _check_lengths(y_true, y_pred)
+    labels = set(y_true) | set(y_pred)
+    if not labels <= {-1, 1}:
+        raise ValueError(f"binary metrics expect +1/-1 labels, got {sorted(labels)}")
+    tp = sum(1 for t, p in zip(y_true, y_pred) if t == 1 and p == 1)
+    fp = sum(1 for t, p in zip(y_true, y_pred) if t == -1 and p == 1)
+    tn = sum(1 for t, p in zip(y_true, y_pred) if t == -1 and p == -1)
+    fn = sum(1 for t, p in zip(y_true, y_pred) if t == 1 and p == -1)
+    precision = tp / (tp + fp) if (tp + fp) else (1.0 if fn == 0 else 0.0)
+    recall = tp / (tp + fn) if (tp + fn) else (1.0 if fp == 0 else 0.0)
+    return BinaryMetrics(
+        accuracy=(tp + tn) / len(y_true),
+        precision=precision,
+        recall=recall,
+        true_positives=tp,
+        false_positives=fp,
+        true_negatives=tn,
+        false_negatives=fn,
+    )
+
+
+# --------------------------------------------------------------------------
+# clustering
+# --------------------------------------------------------------------------
+
+
+def purity(assignments: Sequence[int], classes: Sequence) -> float:
+    """Assign each cluster its majority class; fraction correctly assigned.
+
+    Degenerate but important property the paper leverages in Figure 6:
+    with as many clusters as points, purity is 1.0.
+    """
+    _check_lengths(assignments, classes)
+    by_cluster: dict[int, Counter] = {}
+    for cluster, cls in zip(assignments, classes):
+        by_cluster.setdefault(cluster, Counter())[cls] += 1
+    correct = sum(counter.most_common(1)[0][1] for counter in by_cluster.values())
+    return correct / len(assignments)
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    probs = counts[counts > 0] / total
+    return float(-(probs * np.log(probs)).sum())
+
+
+def normalized_mutual_information(
+    assignments: Sequence[int], classes: Sequence
+) -> float:
+    """NMI = I(cluster; class) / sqrt(H(cluster) H(class)); in [0, 1]."""
+    _check_lengths(assignments, classes)
+    clusters = sorted(set(assignments))
+    labels = sorted(set(classes), key=repr)
+    contingency = np.zeros((len(clusters), len(labels)))
+    c_index = {c: i for i, c in enumerate(clusters)}
+    l_index = {l: i for i, l in enumerate(labels)}
+    for cluster, cls in zip(assignments, classes):
+        contingency[c_index[cluster], l_index[cls]] += 1
+    n = contingency.sum()
+    h_cluster = _entropy(contingency.sum(axis=1))
+    h_class = _entropy(contingency.sum(axis=0))
+    if h_cluster == 0.0 or h_class == 0.0:
+        # One side is constant: perfect agreement iff the other is too.
+        return 1.0 if h_cluster == h_class else 0.0
+    mutual = 0.0
+    row_totals = contingency.sum(axis=1)
+    col_totals = contingency.sum(axis=0)
+    for i in range(len(clusters)):
+        for j in range(len(labels)):
+            nij = contingency[i, j]
+            if nij > 0:
+                mutual += (nij / n) * math.log(
+                    n * nij / (row_totals[i] * col_totals[j])
+                )
+    return float(mutual / math.sqrt(h_cluster * h_class))
+
+
+def _pair_counts(assignments: Sequence[int], classes: Sequence) -> tuple[int, int, int, int]:
+    n = len(assignments)
+    tp = fp = fn = tn = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            same_cluster = assignments[i] == assignments[j]
+            same_class = classes[i] == classes[j]
+            if same_cluster and same_class:
+                tp += 1
+            elif same_cluster and not same_class:
+                fp += 1
+            elif not same_cluster and same_class:
+                fn += 1
+            else:
+                tn += 1
+    return tp, fp, fn, tn
+
+
+def rand_index(assignments: Sequence[int], classes: Sequence) -> float:
+    """(agreeing pairs) / (all pairs)."""
+    _check_lengths(assignments, classes)
+    if len(assignments) < 2:
+        raise ValueError("rand index needs at least two samples")
+    tp, fp, fn, tn = _pair_counts(assignments, classes)
+    return (tp + tn) / (tp + fp + fn + tn)
+
+
+def f_measure(assignments: Sequence[int], classes: Sequence, beta: float = 1.0) -> float:
+    """Pairwise F-measure over co-clustering decisions."""
+    _check_lengths(assignments, classes)
+    if len(assignments) < 2:
+        raise ValueError("f-measure needs at least two samples")
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    tp, fp, fn, _tn = _pair_counts(assignments, classes)
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    b2 = beta * beta
+    return (1 + b2) * precision * recall / (b2 * precision + recall)

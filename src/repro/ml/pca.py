@@ -1,0 +1,84 @@
+"""Principal component analysis for signature feature reduction.
+
+Section 3 of the paper motivates dropping module functions as a
+dimensionality-reduction step and name-checks PCA as the standard tool for
+pruning low-impact features.  This PCA supports that style of analysis on
+signature matrices: fit on a training matrix, inspect explained variance,
+project new signatures into the reduced space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PcaModel"]
+
+
+class PcaModel:
+    """PCA via SVD of the centered data matrix."""
+
+    def __init__(self, n_components: int):
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.components_ is not None
+
+    def fit(self, x: np.ndarray) -> "PcaModel":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        n, d = x.shape
+        if n < 2:
+            raise ValueError("PCA needs at least two samples")
+        k = min(self.n_components, n - 1, d)
+        self.mean_ = x.mean(axis=0)
+        centered = x - self.mean_
+        # Thin SVD: components are right singular vectors.
+        _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+        variance = (s**2) / (n - 1)
+        total = variance.sum()
+        self.components_ = vt[:k]
+        self.explained_variance_ = variance[:k]
+        self.explained_variance_ratio_ = (
+            variance[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("PCA model is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"x has {x.shape[1]} features, model was fitted on "
+                f"{self.mean_.shape[0]}"
+            )
+        return (x - self.mean_) @ self.components_.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        """Back-project reduced vectors into the original space."""
+        if not self.fitted:
+            raise RuntimeError("PCA model is not fitted")
+        z = np.atleast_2d(np.asarray(z, dtype=float))
+        if z.shape[1] != len(self.components_):
+            raise ValueError(
+                f"z has {z.shape[1]} components, model keeps "
+                f"{len(self.components_)}"
+            )
+        return z @ self.components_ + self.mean_
+
+    def reconstruction_error(self, x: np.ndarray) -> float:
+        """Mean squared error of project-then-backproject on ``x``."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        reconstructed = self.inverse_transform(self.transform(x))
+        return float(((x - reconstructed) ** 2).mean())

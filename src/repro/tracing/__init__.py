@@ -1,0 +1,48 @@
+"""Tracers and the user-space logging daemon.
+
+Three configurations from the paper's evaluation:
+
+- **vanilla** — no tracer attached (zero overhead),
+- :class:`~repro.tracing.ftrace.FtraceTracer` — the stock kernel function
+  tracer: every call becomes a ring-buffer record (expensive),
+- :class:`~repro.tracing.fmeter.FmeterTracer` — the paper's system: every
+  call increments a per-CPU cache-aligned slot found through two indices
+  embedded in a per-function stub (cheap).
+
+:class:`~repro.tracing.daemon.LoggingDaemon` is the user-space side: it
+periodically reads the counters through debugfs, diffs consecutive reads,
+and emits one raw count document per interval — the "documents" of the
+vector space model.
+"""
+
+from repro.tracing.base import Tracer
+from repro.tracing.daemon import LoggingDaemon
+from repro.tracing.fmeter import FmeterTracer
+from repro.tracing.ftrace import FtraceTracer
+from repro.tracing.overhead import (
+    FMETER_EVENT_NS,
+    FMETER_HOT_EVENT_NS,
+    FMETER_LOAD_NS,
+    FMETER_STUB_PATCH_NS,
+    FTRACE_ENTRY_BYTES,
+    FTRACE_EVENT_NS,
+    FTRACE_LOAD_NS,
+    slowdown,
+)
+from repro.tracing.ringbuffer import RingBuffer
+
+__all__ = [
+    "FMETER_EVENT_NS",
+    "FMETER_HOT_EVENT_NS",
+    "FMETER_LOAD_NS",
+    "FMETER_STUB_PATCH_NS",
+    "FTRACE_ENTRY_BYTES",
+    "FTRACE_EVENT_NS",
+    "FTRACE_LOAD_NS",
+    "FmeterTracer",
+    "FtraceTracer",
+    "LoggingDaemon",
+    "RingBuffer",
+    "Tracer",
+    "slowdown",
+]

@@ -1,0 +1,83 @@
+"""The tracer interface.
+
+A tracer observes every instrumented kernel function call made on the
+machine it is attached to.  The machine calls :meth:`Tracer.observe_batch`
+for each executed operation batch with the sampled per-function counts; the
+tracer records what its real counterpart would record and returns the
+overhead (in ns) its involvement added to the batch.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Tracer"]
+
+
+class Tracer(abc.ABC):
+    """Base class for kernel tracers."""
+
+    #: Short configuration name used in result tables ("fmeter", "ftrace").
+    name: str = "tracer"
+
+    def __init__(self):
+        self.machine = None
+        self.total_events = 0
+        self.total_overhead_ns = 0.0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def attached(self) -> bool:
+        return self.machine is not None
+
+    def attach(self, machine) -> None:
+        """Bind to a machine.  Subclasses extend with their own setup."""
+        if self.machine is not None:
+            raise RuntimeError(f"tracer {self.name!r} is already attached")
+        self.machine = machine
+        self._on_attach()
+
+    def detach(self) -> None:
+        if self.machine is None:
+            raise RuntimeError(f"tracer {self.name!r} is not attached")
+        self._on_detach()
+        self.machine = None
+
+    def _on_attach(self) -> None:
+        """Subclass hook: allocate buffers, patch mcount sites, ..."""
+
+    def _on_detach(self) -> None:
+        """Subclass hook: unpatch sites, release buffers, ..."""
+
+    # -- observation ------------------------------------------------------------
+
+    def observe_batch(
+        self, cpu_id: int, counts: np.ndarray, events: int, load: float
+    ) -> float:
+        """Observe one executed batch; returns the overhead in ns.
+
+        ``counts`` is the per-function call count vector for the batch (in
+        symbol-table order), ``events`` its sum, ``load`` the machine
+        saturation in [0, 1].
+        """
+        if self.machine is None:
+            raise RuntimeError(f"tracer {self.name!r} is not attached")
+        if events != int(counts.sum()):
+            raise ValueError("events does not match counts.sum()")
+        overhead = self._record(cpu_id, counts, events, load)
+        self.total_events += events
+        self.total_overhead_ns += overhead
+        return overhead
+
+    @abc.abstractmethod
+    def _record(
+        self, cpu_id: int, counts: np.ndarray, events: int, load: float
+    ) -> float:
+        """Record the batch and return the overhead in ns."""
+
+    @abc.abstractmethod
+    def expected_overhead_ns(self, events: float, load: float = 0.0) -> float:
+        """Deterministic expected overhead for ``events`` traced calls."""

@@ -1,0 +1,138 @@
+"""The user-space logging daemon (Section 3, last component).
+
+The daemon periodically reads all kernel function invocation counts from
+debugfs — before and after each interval — and logs the difference.  The
+difference becomes one :class:`~repro.core.document.CountDocument`; tf-idf
+scores are computed later, once an entire corpus exists.
+
+Two fidelity details the paper calls out are modelled:
+
+- **Self-interference**: the daemon itself issues syscalls (reading the
+  debugfs file, appending to its log), which perturbs every signature
+  uniformly; the idf factor attenuates it (Section 5).  It can be disabled
+  to quantify the perturbation.
+- The counters read through debugfs are *text parsed back by the daemon*,
+  not a shortcut into tracer state, so the export/parse round trip is
+  exercised on every interval.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.document import CountDocument
+from repro.core.vocabulary import Vocabulary
+from repro.tracing.fmeter import FmeterTracer
+
+__all__ = ["LoggingDaemon"]
+
+
+class LoggingDaemon:
+    """Reads counters via debugfs, diffs per interval, emits documents."""
+
+    #: The daemon's own kernel activity per harvest: reading the counter
+    #: file (several reads — it is bigger than one buffer), appending to
+    #: the signature log, and rotating file descriptors.
+    SELF_OPS: tuple[tuple[str, int], ...] = (
+        ("read", 6),
+        ("file_write_4k", 3),
+        ("open_close", 1),
+    )
+
+    def __init__(
+        self,
+        machine,
+        interval_s: float = 10.0,
+        counters_path: str = FmeterTracer.COUNTERS_PATH,
+        self_interference: bool = True,
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        self.machine = machine
+        self.interval_s = interval_s
+        self.counters_path = counters_path
+        self.self_interference = self_interference
+        self.vocabulary = Vocabulary.from_symbol_table(machine.symbols)
+        self.documents_emitted = 0
+        self._baseline: dict[int, int] | None = None
+        self._baseline_ns: float = 0.0
+
+    # -- debugfs round trip -------------------------------------------------------
+
+    def read_counters(self) -> dict[int, int]:
+        """One debugfs read: returns ``{address: cumulative count}``."""
+        text = self.machine.debugfs.read(self.counters_path)
+        return FmeterTracer.parse_counters(text)
+
+    def _log_activity(self) -> None:
+        for op, n in self.SELF_OPS:
+            self.machine.execute(op, n)
+
+    # -- interval protocol ---------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._baseline is not None
+
+    def start(self) -> None:
+        """Record the interval-start counter snapshot."""
+        if self.self_interference:
+            self._log_activity()
+        self._baseline = self.read_counters()
+        self._baseline_ns = self.machine.now_ns
+
+    def harvest(self, label: str | None = None, metadata: dict | None = None) -> CountDocument:
+        """End the interval: read, diff against the baseline, emit a document.
+
+        The post-read becomes the next interval's baseline, so consecutive
+        harvests tile time without gaps — how the real daemon loops.
+        """
+        if self._baseline is None:
+            raise RuntimeError("daemon not started; call start() first")
+        if self.self_interference:
+            self._log_activity()
+        after = self.read_counters()
+        deltas: dict[int, int] = {}
+        for address, count in after.items():
+            before = self._baseline.get(address, 0)
+            if count < before:
+                raise ValueError(
+                    f"counter for {address:#x} went backwards "
+                    f"({before} -> {count}); counters must be monotonic"
+                )
+            deltas[address] = count - before
+        meta = {
+            "interval_s": self.interval_s,
+            "start_ns": self._baseline_ns,
+            "end_ns": self.machine.now_ns,
+            "config": self.machine.config_name(),
+        }
+        meta.update(metadata or {})
+        self._baseline = after
+        self._baseline_ns = self.machine.now_ns
+        self.documents_emitted += 1
+        return CountDocument.from_mapping(
+            self.vocabulary, deltas, label=label, metadata=meta
+        )
+
+    def collect(
+        self,
+        run_interval: Callable[[int], None],
+        n_intervals: int,
+        label: str | None = None,
+        metadata: dict | None = None,
+    ) -> list[CountDocument]:
+        """Collect ``n_intervals`` documents around a workload callback.
+
+        ``run_interval(i)`` must execute the i-th interval's worth of
+        workload activity on the daemon's machine.
+        """
+        if n_intervals <= 0:
+            raise ValueError(f"n_intervals must be positive, got {n_intervals}")
+        if not self.started:
+            self.start()
+        documents = []
+        for i in range(n_intervals):
+            run_interval(i)
+            documents.append(self.harvest(label=label, metadata=metadata))
+        return documents

@@ -1,0 +1,97 @@
+"""The Ftrace-style fixed-size circular trace buffer.
+
+The paper contrasts Fmeter's small fixed mapping with Ftrace's generic
+ring-buffer machinery: variable-size records, SMP-safe reserve/commit pairs
+(lock-heavy in 2.6.28), and silent overwrite of the oldest data when the
+reader cannot keep up.  This model captures the externally observable
+behaviour — occupancy, overwrites, lock traffic — which is what the
+macro-benchmarks and the "signatures survive, traces don't" comparison
+need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RingBuffer", "RingBufferStats"]
+
+
+@dataclass(frozen=True)
+class RingBufferStats:
+    """Counters mirroring ``ring_buffer_entries``/``overrun`` in Linux."""
+
+    capacity_entries: int
+    resident_entries: int
+    total_written: int
+    total_overwritten: int
+    total_read: int
+    lock_acquisitions: int
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of all written entries that were overwritten unread."""
+        if self.total_written == 0:
+            return 0.0
+        return self.total_overwritten / self.total_written
+
+
+class RingBuffer:
+    """Fixed-capacity FIFO of fixed-size entries with overwrite semantics."""
+
+    def __init__(self, capacity_bytes: int, entry_bytes: int):
+        if capacity_bytes <= 0 or entry_bytes <= 0:
+            raise ValueError("capacity and entry size must be positive")
+        if entry_bytes > capacity_bytes:
+            raise ValueError("an entry cannot exceed the buffer capacity")
+        self.capacity_entries = capacity_bytes // entry_bytes
+        self.entry_bytes = entry_bytes
+        self.resident = 0
+        self.total_written = 0
+        self.total_overwritten = 0
+        self.total_read = 0
+        self.lock_acquisitions = 0
+
+    def write(self, n_entries: int) -> int:
+        """Produce ``n_entries``; returns how many old entries were lost.
+
+        Every write takes the buffer lock once per reserve/commit pair —
+        the contention source the paper calls "somewhat lock-heavy".
+        """
+        if n_entries < 0:
+            raise ValueError("cannot write a negative number of entries")
+        self.lock_acquisitions += n_entries
+        self.total_written += n_entries
+        free = self.capacity_entries - self.resident
+        overwritten = max(0, n_entries - free)
+        if n_entries >= self.capacity_entries:
+            # Producer lapped the buffer: everything resident was replaced.
+            overwritten = self.resident + (n_entries - self.capacity_entries)
+            self.resident = self.capacity_entries
+        else:
+            self.resident = min(self.capacity_entries, self.resident + n_entries)
+        self.total_overwritten += overwritten
+        return overwritten
+
+    def read(self, max_entries: int | None = None) -> int:
+        """Consume up to ``max_entries`` (all resident if None)."""
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("cannot read a negative number of entries")
+        n = self.resident if max_entries is None else min(max_entries, self.resident)
+        self.lock_acquisitions += 1 if n else 0
+        self.resident -= n
+        self.total_read += n
+        return n
+
+    @property
+    def full(self) -> bool:
+        return self.resident == self.capacity_entries
+
+    def stats(self) -> RingBufferStats:
+        return RingBufferStats(
+            capacity_entries=self.capacity_entries,
+            resident_entries=self.resident,
+            total_written=self.total_written,
+            total_overwritten=self.total_overwritten,
+            total_read=self.total_read,
+            lock_acquisitions=self.lock_acquisitions,
+        )

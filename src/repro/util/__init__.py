@@ -1,0 +1,31 @@
+"""Shared utilities: seeded RNG streams, statistics helpers, table rendering.
+
+These helpers are deliberately dependency-light; everything in :mod:`repro`
+that needs randomness or pretty-printed experiment output goes through this
+package so that experiments are reproducible and tables render uniformly.
+"""
+
+from repro.util.rng import RngStream, derive_seed, spawn_rng
+from repro.util.stats import (
+    MeanSem,
+    mean,
+    mean_sem,
+    sample_stdev,
+    standard_error,
+    summarize,
+)
+from repro.util.tables import format_row, render_table
+
+__all__ = [
+    "MeanSem",
+    "RngStream",
+    "derive_seed",
+    "format_row",
+    "mean",
+    "mean_sem",
+    "render_table",
+    "sample_stdev",
+    "spawn_rng",
+    "standard_error",
+    "summarize",
+]

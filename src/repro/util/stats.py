@@ -1,0 +1,83 @@
+"""Small statistics helpers used by experiments and benchmarks.
+
+The paper reports averages with the standard error of the mean (SEM); these
+helpers centralize that so all tables are computed the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "MeanSem",
+    "mean",
+    "mean_sem",
+    "sample_stdev",
+    "standard_error",
+    "summarize",
+]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean. Raises ``ValueError`` on an empty input."""
+    data = list(values)
+    if not data:
+        raise ValueError("mean() of empty sequence")
+    return sum(data) / len(data)
+
+
+def sample_stdev(values: Iterable[float]) -> float:
+    """Sample standard deviation (ddof=1); 0.0 for a single observation."""
+    data = list(values)
+    if not data:
+        raise ValueError("sample_stdev() of empty sequence")
+    if len(data) == 1:
+        return 0.0
+    mu = mean(data)
+    var = sum((x - mu) ** 2 for x in data) / (len(data) - 1)
+    return math.sqrt(var)
+
+
+def standard_error(values: Iterable[float]) -> float:
+    """Standard error of the mean: s / sqrt(n)."""
+    data = list(values)
+    if not data:
+        raise ValueError("standard_error() of empty sequence")
+    return sample_stdev(data) / math.sqrt(len(data))
+
+
+@dataclass(frozen=True)
+class MeanSem:
+    """A mean together with its standard error, as the paper reports."""
+
+    mean: float
+    sem: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f}±{self.sem:.3f}"
+
+    def format(self, digits: int = 3) -> str:
+        return f"{self.mean:.{digits}f}±{self.sem:.{digits}f}"
+
+
+def mean_sem(values: Iterable[float]) -> MeanSem:
+    """Compute mean and SEM in one pass over a concrete list."""
+    data = list(values)
+    return MeanSem(mean=mean(data), sem=standard_error(data), n=len(data))
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Mean/stdev/sem/min/max summary dictionary for ad-hoc reporting."""
+    if not values:
+        raise ValueError("summarize() of empty sequence")
+    return {
+        "n": len(values),
+        "mean": mean(values),
+        "stdev": sample_stdev(values),
+        "sem": standard_error(values),
+        "min": min(values),
+        "max": max(values),
+    }

@@ -1,0 +1,53 @@
+"""ASCII table rendering for experiment output.
+
+All reproduction harnesses print paper-style tables through these helpers so
+`benchmarks/` output lines up visually with the tables in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_row", "render_table"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_row(cells: Sequence, widths: Sequence[int]) -> str:
+    """Format one row with left-aligned first column, right-aligned rest."""
+    parts = []
+    for i, (cell, width) in enumerate(zip(cells, widths)):
+        text = _cell(cell)
+        parts.append(text.ljust(width) if i == 0 else text.rjust(width))
+    return "  ".join(parts)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None) -> str:
+    """Render a list of rows as a fixed-width ASCII table.
+
+    ``rows`` may contain strings, ints, or floats; floats print with three
+    decimals.  Returns the table as a single string (no trailing newline).
+    """
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {ncols}: {row!r}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(ncols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers, widths))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(format_row(row, widths))
+    return "\n".join(lines)

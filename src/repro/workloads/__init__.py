@@ -1,0 +1,35 @@
+"""Workload models: stochastic syscall-stream generators.
+
+Each workload drives a :class:`~repro.kernel.machine.SimulatedMachine`
+with a characteristic mix of kernel operations — the synthetic equivalent
+of running the paper's actual programs (kernel compile, scp, dbench,
+apachebench, lmbench, Netperf) on the testbed.  The classifier and
+clustering experiments only ever see the resulting per-function call
+counts, exactly like the paper's.
+"""
+
+from repro.workloads.apache import ApacheBenchWorkload
+from repro.workloads.base import MixWorkload, Workload, WorkloadPhase
+from repro.workloads.boot import BootWorkload
+from repro.workloads.dbench import DbenchWorkload
+from repro.workloads.idle import IdleWorkload
+from repro.workloads.kcompile import KernelCompileWorkload
+from repro.workloads.lmbench import LMBENCH_TESTS, LmbenchTest, lmbench_test
+from repro.workloads.netperf import NetperfWorkload
+from repro.workloads.scp import ScpWorkload
+
+__all__ = [
+    "ApacheBenchWorkload",
+    "BootWorkload",
+    "DbenchWorkload",
+    "IdleWorkload",
+    "KernelCompileWorkload",
+    "LMBENCH_TESTS",
+    "LmbenchTest",
+    "MixWorkload",
+    "NetperfWorkload",
+    "ScpWorkload",
+    "Workload",
+    "WorkloadPhase",
+    "lmbench_test",
+]

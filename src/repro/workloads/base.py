@@ -1,0 +1,226 @@
+"""Workload base classes.
+
+A workload is a stochastic generator of kernel-operation batches: per
+simulated second it issues each operation at a characteristic rate, with
+two sources of realistic variability:
+
+- **interval jitter** — each interval's rates are modulated by a lognormal
+  factor (disk caches warm up, the network hiccups, make spawns vary),
+- **phases** — long-running workloads move through phases with different
+  mixes (a kernel compile alternates compiling and linking; dbench cycles
+  through its client loadfile).
+
+Every workload also carries the machine-independent **background hum**:
+timer ticks, scheduler activity, and stray interrupts that any live system
+exhibits.  The hum is deliberately label-independent — the idf weighting
+is what is supposed to discount it, and the ablation benchmarks check
+that it does.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import RngStream
+
+__all__ = ["BACKGROUND_RATES", "MixWorkload", "Workload", "WorkloadPhase"]
+
+#: Background operations common to all workloads (per second, whole box).
+BACKGROUND_RATES: dict[str, float] = {
+    "timer_tick": 4000.0,     # ~250 Hz x 16 CPUs
+    "context_switch": 900.0,
+    "block_irq": 25.0,
+    "simple_syscall": 400.0,
+}
+
+#: Bursty system noise: housekeeping that fires in *some* intervals only
+#: (probability per interval, op rates while active).  Because these ops
+#: are absent from many documents their idf stays positive, so — unlike
+#: the steady hum, which appears everywhere and is zeroed by idf — bursts
+#: survive into the signatures as label-independent noise.  They are what
+#: keeps clustering honest: real signature corpora contain cron jobs,
+#: pdflush writeback storms, and page-reclaim bursts regardless of the
+#: foreground workload.
+BACKGROUND_BURSTS: tuple[tuple[str, float, dict[str, float]], ...] = (
+    ("pdflush", 0.4, {
+        "disk_write_64k": 220.0,
+        "file_write_4k": 900.0,
+        "fsync": 15.0,
+    }),
+    ("cron", 0.25, {
+        "fork_sh": 3.0,
+        "fork_execve": 6.0,
+        "stat": 700.0,
+        "open_close": 350.0,
+        "read": 600.0,
+    }),
+    ("reclaim", 0.3, {
+        "pagefault": 2200.0,
+        "brk": 300.0,
+        "mmap_file": 0.8,
+    }),
+    ("net-chatter", 0.35, {
+        "tcp_send_small": 420.0,
+        "tcp_recv_64k": 60.0,
+        "select_10": 500.0,
+    }),
+    ("logrotate", 0.12, {
+        "file_create": 60.0,
+        "file_unlink": 55.0,
+        "file_read_4k": 1200.0,
+        "file_write_4k": 1100.0,
+    }),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One phase of a phased workload: a rate mix and a relative duration."""
+
+    name: str
+    rates: dict[str, float]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"phase {self.name!r} weight must be positive")
+        if not self.rates:
+            raise ValueError(f"phase {self.name!r} has no operation rates")
+        for op, rate in self.rates.items():
+            if rate < 0:
+                raise ValueError(f"phase {self.name!r}: negative rate for {op}")
+
+
+class Workload(abc.ABC):
+    """Abstract workload: emits operation batches for logging intervals."""
+
+    #: Class label attached to documents collected under this workload.
+    label: str = "workload"
+    #: Machine saturation while the workload runs (tracer contention input).
+    load: float = 0.0
+    #: Effective parallelism: how many CPUs share the generated work.
+    parallelism: int = 1
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._interval_counter = 0
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+    @abc.abstractmethod
+    def ops_for_interval(
+        self, rng: RngStream, interval_s: float
+    ) -> list[tuple[str, int]]:
+        """Operation batches for one logging interval."""
+
+    def run_interval(self, machine, interval_s: float) -> None:
+        """Execute one interval's worth of activity on ``machine``."""
+        rng = RngStream(self.seed, f"{self.label}/interval/{self._interval_counter}")
+        self._interval_counter += 1
+        for op, n in self.ops_for_interval(rng, interval_s):
+            if n > 0:
+                machine.execute(op, n, load=self.load)
+
+    def interval_runner(self, machine, interval_s: float):
+        """Adapter for :meth:`repro.tracing.daemon.LoggingDaemon.collect`."""
+
+        def run(_i: int) -> None:
+            self.run_interval(machine, interval_s)
+
+        return run
+
+
+class MixWorkload(Workload):
+    """A workload defined by per-second operation rates, with phases.
+
+    Subclasses (or direct instantiation) supply either flat ``rates`` or a
+    list of :class:`WorkloadPhase`.  Per interval, a phase is chosen by
+    weight, each rate is modulated by lognormal jitter, and batch sizes are
+    Poisson-sampled around rate x interval.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        rates: dict[str, float] | None = None,
+        phases: list[WorkloadPhase] | None = None,
+        jitter_sigma: float = 0.18,
+        drift_sigma: float = 0.05,
+        load: float = 0.0,
+        parallelism: int = 1,
+        background: bool = True,
+        bursts: bool = True,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        if (rates is None) == (phases is None):
+            raise ValueError("provide exactly one of rates= or phases=")
+        if phases is None:
+            phases = [WorkloadPhase("steady", dict(rates))]
+        if jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
+        if drift_sigma < 0:
+            raise ValueError("drift_sigma must be non-negative")
+        if parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        if not 0.0 <= load <= 1.0:
+            raise ValueError("load must be in [0, 1]")
+        self.label = label
+        self.phases = list(phases)
+        self.jitter_sigma = jitter_sigma
+        self.drift_sigma = drift_sigma
+        self.load = load
+        self.parallelism = parallelism
+        self.background = background
+        self.bursts = bursts
+        #: Slow per-op drift state (log-space random walk across intervals):
+        #: models caches warming, disks filling, daemons aging over a run.
+        self._drift: dict[str, float] = {}
+
+    def _pick_phase(self, rng: RngStream) -> WorkloadPhase:
+        weights = [p.weight for p in self.phases]
+        total = sum(weights)
+        probs = [w / total for w in weights]
+        idx = int(rng.choice(len(self.phases), p=probs))
+        return self.phases[idx]
+
+    def _drift_factor(self, op: str, rng: RngStream) -> float:
+        state = self._drift.get(op, 0.0)
+        state += float(rng.normal(0.0, self.drift_sigma))
+        state = float(np.clip(state, -1.2, 1.2))
+        self._drift[op] = state
+        return float(np.exp(state))
+
+    def ops_for_interval(
+        self, rng: RngStream, interval_s: float
+    ) -> list[tuple[str, int]]:
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        phase = self._pick_phase(rng)
+        rates: dict[str, float] = dict(phase.rates)
+        if self.background:
+            for op, rate in BACKGROUND_RATES.items():
+                rates[op] = rates.get(op, 0.0) + rate
+        if self.bursts:
+            for name, probability, burst_rates in BACKGROUND_BURSTS:
+                burst_rng = rng.child(f"burst/{name}")
+                if float(burst_rng.random()) >= probability:
+                    continue
+                intensity = float(burst_rng.lognormal(0.0, 0.5))
+                for op, rate in burst_rates.items():
+                    rates[op] = rates.get(op, 0.0) + rate * intensity
+        batches: list[tuple[str, int]] = []
+        drift_rng = rng.child("drift")
+        for op, rate in sorted(rates.items()):
+            if rate <= 0:
+                continue
+            jitter = float(rng.lognormal(0.0, self.jitter_sigma))
+            drift = self._drift_factor(op, drift_rng)
+            n = int(rng.poisson(rate * interval_s * jitter * drift))
+            batches.append((op, n))
+        return batches

@@ -1,0 +1,121 @@
+"""The boot-up workload behind the paper's Figure 1.
+
+Figure 1 plots the call counts of 3815 kernel functions recorded from the
+late boot-up stage until the login prompt: a textbook power law spanning
+seven decades.  Boot is a bursty succession of very different activities —
+device probing, filesystem mounting, then a storm of init scripts forking
+shells — modelled here as an ordered sequence of phases (unlike the
+steady-state workloads, boot phases run in order, once each).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import RngStream
+from repro.workloads.base import Workload
+
+__all__ = ["BootWorkload"]
+
+#: Ordered boot phases: (name, duration seconds, op rates per second).
+_BOOT_PHASES: tuple[tuple[str, float, dict[str, float]], ...] = (
+    ("probe", 4.0, {
+        "open_close": 900.0,
+        "read": 1200.0,
+        "stat": 500.0,
+        "block_irq": 600.0,
+        "timer_tick": 4000.0,
+        "mmap_file": 2.0,
+        "simple_syscall": 300.0,
+    }),
+    ("mount", 3.0, {
+        "disk_read_64k": 500.0,
+        "open_close": 700.0,
+        "stat": 900.0,
+        "read": 1500.0,
+        "fsync": 20.0,
+        "timer_tick": 4000.0,
+        "block_irq": 500.0,
+    }),
+    ("init-scripts", 14.0, {
+        "fork_sh": 14.0,
+        "fork_execve": 30.0,
+        "read": 2500.0,
+        "write": 500.0,
+        "open_close": 1100.0,
+        "stat": 2200.0,
+        "pipe_latency": 120.0,
+        "pagefault": 3000.0,
+        "sig_install": 40.0,
+        "timer_tick": 4000.0,
+        "context_switch": 2500.0,
+    }),
+    ("services", 8.0, {
+        "fork_execve": 8.0,
+        "tcp_connect": 6.0,
+        "tcp_accept": 3.0,
+        "read": 1200.0,
+        "file_write_4k": 250.0,
+        "open_close": 600.0,
+        "select_10": 700.0,
+        "timer_tick": 4000.0,
+        "context_switch": 1800.0,
+    }),
+    ("login-prompt", 2.0, {
+        "open_close": 200.0,
+        "read": 400.0,
+        "stat": 250.0,
+        "timer_tick": 4000.0,
+        "context_switch": 500.0,
+    }),
+)
+
+
+class BootWorkload(Workload):
+    """Late boot-up through the login prompt, as one ordered run."""
+
+    label = "boot"
+    load = 0.3
+    parallelism = 4
+
+    def __init__(self, seed: int = 0):
+        super().__init__(seed=seed)
+        self.phases = _BOOT_PHASES
+
+    @property
+    def duration_s(self) -> float:
+        return sum(duration for _, duration, _ in self.phases)
+
+    def ops_for_interval(
+        self, rng: RngStream, interval_s: float
+    ) -> list[tuple[str, int]]:
+        """The whole boot compressed into one interval's batches.
+
+        Boot is a one-shot sequence; ``interval_s`` scales the durations so
+        the workload composes with the daemon's interval protocol.
+        """
+        scale = interval_s / self.duration_s
+        batches: list[tuple[str, int]] = []
+        for phase_name, duration, rates in self.phases:
+            phase_rng = rng.child(f"phase/{phase_name}")
+            for op, rate in sorted(rates.items()):
+                if rate <= 0:
+                    continue
+                jitter = float(phase_rng.lognormal(0.0, 0.25))
+                n = int(phase_rng.poisson(rate * duration * scale * jitter))
+                if n > 0:
+                    batches.append((op, n))
+        return batches
+
+    def run_boot(self, machine) -> np.ndarray:
+        """Run the full boot once; returns the aggregate call-count vector.
+
+        Requires an attached counting tracer (Fmeter): the counts come from
+        its counters, exactly as Figure 1's data came from the prototype.
+        """
+        if machine.tracer is None or not hasattr(machine.tracer, "counts_snapshot"):
+            raise RuntimeError("boot counting requires a counting tracer attached")
+        before = machine.tracer.counts_snapshot().copy()
+        self.run_interval(machine, self.duration_s)
+        after = machine.tracer.counts_snapshot()
+        return after - before

@@ -1,0 +1,60 @@
+"""The dbench disk-throughput workload.
+
+The third signature-collection workload: dbench replays a file-server
+loadfile — create/write/read/unlink cycles with periodic flushes — and is
+by far the most filesystem-metadata-intensive of the three.  Its signature
+mass sits on the ext3/journal, dentry-cache, and block dimensions.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import MixWorkload, WorkloadPhase
+
+__all__ = ["DbenchWorkload"]
+
+_CHURN_PHASE = WorkloadPhase(
+    name="churn",
+    weight=6.0,
+    rates={
+        "file_create": 450.0,
+        "file_unlink": 420.0,
+        "mkdir": 45.0,
+        "file_write_4k": 5200.0,
+        "file_read_4k": 4300.0,
+        "open_close": 1800.0,
+        "stat": 2600.0,
+        "fstat": 700.0,
+        "disk_write_64k": 260.0,
+        "disk_read_64k": 160.0,
+        "context_switch": 1200.0,
+        "pagefault": 400.0,
+    },
+)
+
+_FLUSH_PHASE = WorkloadPhase(
+    name="flush",
+    weight=1.0,
+    rates={
+        "fsync": 120.0,
+        "file_write_4k": 2500.0,
+        "disk_write_64k": 700.0,
+        "block_irq": 900.0,
+        "open_close": 500.0,
+        "stat": 800.0,
+        "context_switch": 900.0,
+    },
+)
+
+
+class DbenchWorkload(MixWorkload):
+    """dbench with a handful of clients against the local ext3 volume."""
+
+    def __init__(self, seed: int = 0, jitter_sigma: float = 0.18):
+        super().__init__(
+            label="dbench",
+            phases=[_CHURN_PHASE, _FLUSH_PHASE],
+            jitter_sigma=jitter_sigma,
+            load=0.45,
+            parallelism=8,
+            seed=seed,
+        )

@@ -1,0 +1,27 @@
+"""An idle-system workload: nothing but the background hum.
+
+Useful as a negative control in classification experiments and to measure
+the logging daemon's self-interference in isolation (the only non-hum
+kernel activity on an idle machine *is* the daemon).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import BACKGROUND_RATES, MixWorkload
+
+__all__ = ["IdleWorkload"]
+
+
+class IdleWorkload(MixWorkload):
+    """A machine sitting at the login prompt."""
+
+    def __init__(self, seed: int = 0):
+        super().__init__(
+            label="idle",
+            rates=dict(BACKGROUND_RATES),
+            jitter_sigma=0.10,
+            load=0.0,
+            parallelism=1,
+            background=False,  # rates already are the background
+            seed=seed,
+        )

@@ -1,0 +1,70 @@
+"""The kernel-compile workload (``kcompile``).
+
+One of the paper's three signature-collection workloads (Section 4.2) and
+the subject of Table 3.  A kernel build is dominated by user-mode compiler
+time, but its kernel-side footprint is unmistakable: a steady storm of
+``fork``/``execve`` (one cc1 per translation unit), ELF loading, page
+faults, header ``open``/``stat`` traffic, and pipe activity from make's
+jobserver, punctuated by link phases with heavy sequential file IO.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import MixWorkload, WorkloadPhase
+
+__all__ = ["KernelCompileWorkload"]
+
+#: Average in-kernel operation rates while `make -j` is saturating the box.
+_COMPILE_PHASE = WorkloadPhase(
+    name="compile",
+    weight=8.0,
+    rates={
+        "fork_execve": 9.0,       # cc1/as processes
+        "fork_sh": 0.6,           # occasional shell recipe
+        "read": 2600.0,           # headers, sources
+        "file_read_4k": 900.0,
+        "write": 500.0,           # .o output
+        "file_write_4k": 350.0,
+        "open_close": 700.0,
+        "stat": 1500.0,           # make dependency checks
+        "fstat": 300.0,
+        "brk": 400.0,             # compiler heap
+        "pagefault": 2500.0,      # beyond what execve accounts
+        "pipe_latency": 60.0,     # jobserver tokens
+        "context_switch": 1500.0,
+    },
+)
+
+_LINK_PHASE = WorkloadPhase(
+    name="link",
+    weight=1.0,
+    rates={
+        "fork_execve": 1.2,
+        "read": 4500.0,           # slurping .o files
+        "file_read_4k": 2500.0,
+        "write": 1800.0,
+        "file_write_4k": 1300.0,
+        "open_close": 350.0,
+        "stat": 500.0,
+        "brk": 700.0,
+        "pagefault": 3000.0,
+        "mmap_file": 1.5,         # mapping big archives
+        "context_switch": 700.0,
+    },
+)
+
+
+class KernelCompileWorkload(MixWorkload):
+    """``make -j`` over the Linux tree, as on the paper's testbed."""
+
+    #: Per-op user-mode time is already captured in op definitions; the
+    #: compile itself is ~85% user time (Table 3: 47m50s user of 57m real).
+    def __init__(self, seed: int = 0, jitter_sigma: float = 0.18):
+        super().__init__(
+            label="kcompile",
+            phases=[_COMPILE_PHASE, _LINK_PHASE],
+            jitter_sigma=jitter_sigma,
+            load=0.3,
+            parallelism=16,
+            seed=seed,
+        )

@@ -1,0 +1,91 @@
+"""The lmbench micro-benchmark suite (Table 1).
+
+Each lmbench test stresses one kernel operation in a tight loop; Table 1
+reports the mean latency (with SEM) under the vanilla, Ftrace, and Fmeter
+configurations.  This module maps every row of Table 1 onto one kernel
+operation of the simulated machine and provides the measurement loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import RngStream
+from repro.util.stats import MeanSem, mean_sem
+
+__all__ = ["LMBENCH_TESTS", "LmbenchTest", "lmbench_test", "measure_latency"]
+
+
+@dataclass(frozen=True)
+class LmbenchTest:
+    """One Table 1 row: display name, the op it stresses, paper baseline."""
+
+    name: str
+    op: str
+    paper_vanilla_us: float
+    paper_ftrace_us: float
+    paper_fmeter_us: float
+
+
+#: All 23 rows of Table 1, in the paper's order.
+LMBENCH_TESTS: tuple[LmbenchTest, ...] = (
+    LmbenchTest("AF_UNIX sock stream latency", "af_unix_latency", 4.828, 27.749, 7.393),
+    LmbenchTest("Fcntl lock latency", "fcntl_lock", 1.219, 6.639, 3.024),
+    LmbenchTest("Memory map linux.tar.bz2", "mmap_file", 206.750, 1800.520, 317.125),
+    LmbenchTest("Pagefaults on linux.tar.bz2", "pagefault", 0.677, 3.678, 0.866),
+    LmbenchTest("Pipe latency", "pipe_latency", 2.492, 12.421, 3.201),
+    LmbenchTest("Process fork+/bin/sh -c", "fork_sh", 1446.800, 6421.000, 1831.590),
+    LmbenchTest("Process fork+execve", "fork_execve", 672.266, 3094.380, 847.289),
+    LmbenchTest("Process fork+exit", "fork_exit", 208.914, 1116.800, 268.275),
+    LmbenchTest("Protection fault", "prot_fault", 0.185, 0.607, 0.286),
+    LmbenchTest("Select on 10 fd's", "select_10", 0.231, 1.410, 0.277),
+    LmbenchTest("Select on 10 tcp fd's", "select_10_tcp", 0.261, 1.798, 0.326),
+    LmbenchTest("Select on 100 fd's", "select_100", 0.897, 9.809, 1.321),
+    LmbenchTest("Select on 100 tcp fd's", "select_100_tcp", 2.189, 26.616, 3.308),
+    LmbenchTest("Semaphore latency", "semaphore", 2.890, 6.117, 2.084),
+    LmbenchTest("Signal handler installation", "sig_install", 0.113, 0.280, 0.127),
+    LmbenchTest("Signal handler overhead", "sig_overhead", 0.909, 3.124, 1.072),
+    LmbenchTest("Simple fstat", "fstat", 0.100, 0.852, 0.145),
+    LmbenchTest("Simple open/close", "open_close", 1.193, 11.222, 1.873),
+    LmbenchTest("Simple read", "read", 0.101, 1.196, 0.171),
+    LmbenchTest("Simple stat", "stat", 0.721, 7.008, 1.067),
+    LmbenchTest("Simple syscall", "simple_syscall", 0.041, 0.210, 0.053),
+    LmbenchTest("Simple write", "write", 0.086, 1.012, 0.130),
+    LmbenchTest("UNIX connection cost", "unix_conn", 15.328, 81.380, 21.919),
+)
+
+
+def lmbench_test(name: str) -> LmbenchTest:
+    """Look up a test by its Table 1 display name."""
+    for test in LMBENCH_TESTS:
+        if test.name == name:
+            return test
+    raise KeyError(f"no lmbench test named {name!r}")
+
+
+def measure_latency(
+    machine, op: str, iterations: int = 50, seed: int = 0
+) -> MeanSem:
+    """lmbench-style latency measurement: mean and SEM over repeated runs.
+
+    Each "run" executes a busy-loop batch of the operation and divides
+    elapsed time by the batch size, like lmbench's timing harness.  The
+    variance comes from the sampled per-batch call counts feeding the
+    tracer cost (the vanilla configuration is deterministic and reports
+    SEM 0).
+    """
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    rng = RngStream(seed, f"lmbench/{op}/{machine.config_name()}")
+    kernel_op = machine.syscalls.op(op)
+    prof = machine.syscalls.profile(op)
+    samples_us = []
+    batch = 64
+    for _ in range(iterations):
+        base_ns = (kernel_op.kernel_ns + kernel_op.user_ns) * batch
+        overhead_ns = 0.0
+        if machine.tracer is not None:
+            events = int(prof.sample(batch, rng).sum())
+            overhead_ns = machine.tracer.expected_overhead_ns(events, load=0.0)
+        samples_us.append((base_ns + overhead_ns) / batch / 1000.0)
+    return mean_sem(samples_us)

@@ -1,0 +1,82 @@
+"""The Netperf TCP-stream workload for the myri10ge experiments (Table 5).
+
+The receiver machine runs the Fmeter-instrumented kernel with one of the
+three ``myri10ge`` driver variants loaded; Netperf streams at 10 Gbps from
+the twin server.  The driver module is *not* instrumented — the whole
+point of Table 5 — so the only way the variants differ in the signature
+space is through the core-kernel functions their receive/transmit paths
+invoke, which this workload's rates pick up from the loaded module's
+operations.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.modules import KernelModule
+from repro.workloads.base import MixWorkload
+
+__all__ = ["NetperfWorkload"]
+
+#: 10 Gbps of 1500-byte frames drained 24 packets per interrupt.
+LINE_RATE_GBPS = 10.0
+_FRAME_BYTES = 1500
+_PKTS_PER_IRQ = 24
+_IRQS_PER_SECOND = LINE_RATE_GBPS * 1e9 / 8 / _FRAME_BYTES / _PKTS_PER_IRQ
+
+
+class NetperfWorkload(MixWorkload):
+    """TCP_STREAM receive at line rate through a given driver variant."""
+
+    def __init__(self, module: KernelModule, seed: int = 0):
+        if module.name != "myri10ge":
+            raise ValueError(
+                f"NetperfWorkload expects a myri10ge module, got {module.name!r}"
+            )
+        rx_op, tx_op = (op.name for op in module.operations)
+        self.module = module
+        self.rx_op = rx_op
+        self.tx_op = tx_op
+        super().__init__(
+            label=f"netperf/{module.key}",
+            rates={
+                rx_op: _IRQS_PER_SECOND,
+                tx_op: _IRQS_PER_SECOND * 0.12,   # ACK clocking
+                "tcp_recv_64k": LINE_RATE_GBPS * 1e9 / 8 / 65536,  # app reads
+                "context_switch": 5000.0,
+                "select_10": 400.0,               # netserver control loop
+            },
+            jitter_sigma=0.12,
+            load=0.5,
+            parallelism=8,
+            seed=seed,
+        )
+
+    def rx_events_per_second(self, machine) -> float:
+        """Expected traced call events per second from the receive path."""
+        rx = machine.syscalls.profile(self.rx_op).total_calls
+        tx = machine.syscalls.profile(self.tx_op).total_calls
+        return _IRQS_PER_SECOND * (rx + 0.12 * tx)
+
+    def achievable_gbps(self, machine, rx_cpus: int = 2) -> float:
+        """Throughput the receive path sustains under the current tracer.
+
+        The RX softirq path runs on ``rx_cpus`` cores (the NIC's receive
+        queues).  Line rate requires processing one interrupt batch in
+        under ``batch_ns = pkts*frame_time``; tracer overhead inflates the
+        per-batch cost, and once the RX cores saturate, throughput degrades
+        proportionally.  Reproduces the paper's observation: line rate with
+        Fmeter, a little more than half with Ftrace.
+        """
+        if rx_cpus < 1:
+            raise ValueError("rx_cpus must be at least 1")
+        op = machine.syscalls.op(self.rx_op)
+        prof = machine.syscalls.profile(self.rx_op)
+        batch_cost_ns = op.kernel_ns
+        if machine.tracer is not None:
+            batch_cost_ns += machine.tracer.expected_overhead_ns(
+                prof.total_calls, load=self.load
+            )
+        # ns of RX CPU time available per batch at line rate:
+        batch_budget_ns = 1e9 / _IRQS_PER_SECOND * rx_cpus
+        if batch_cost_ns <= batch_budget_ns:
+            return LINE_RATE_GBPS
+        return LINE_RATE_GBPS * batch_budget_ns / batch_cost_ns

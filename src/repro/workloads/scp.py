@@ -1,0 +1,59 @@
+"""The secure-copy workload (``scp``).
+
+The second of the paper's signature-collection workloads: bulk file
+transfer over ssh.  The ciphers run in user space (OpenSSL), so the
+kernel-side footprint is file reads feeding the TCP transmit path at tens
+of MB/s, plus the select/poll and context-switch churn of the ssh client's
+event loop — quite different dimensions from kcompile's process-lifecycle
+storm, which is why the paper's SVM separates them almost perfectly.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import MixWorkload, WorkloadPhase
+
+__all__ = ["ScpWorkload"]
+
+_STREAM_PHASE = WorkloadPhase(
+    name="stream",
+    weight=9.0,
+    rates={
+        "read": 2200.0,            # source file, pipe from sftp-server
+        "file_read_4k": 1400.0,
+        "tcp_send_64k": 1500.0,    # ~95 MB/s outbound
+        "tcp_recv_64k": 90.0,      # ACK-side processing, window updates
+        "select_10": 2800.0,       # ssh's select loop
+        "context_switch": 3500.0,
+        "sig_install": 2.0,
+        "pagefault": 250.0,
+    },
+)
+
+#: Between files: directory walks, stat, new file opens, protocol chatter.
+_FILE_SWITCH_PHASE = WorkloadPhase(
+    name="file-switch",
+    weight=1.0,
+    rates={
+        "stat": 900.0,
+        "open_close": 400.0,
+        "read": 700.0,
+        "tcp_send_small": 500.0,
+        "select_10": 1500.0,
+        "context_switch": 1800.0,
+        "pagefault": 150.0,
+    },
+)
+
+
+class ScpWorkload(MixWorkload):
+    """``scp -r`` of a large tree to the twin server over 10 GbE."""
+
+    def __init__(self, seed: int = 0, jitter_sigma: float = 0.18):
+        super().__init__(
+            label="scp",
+            phases=[_STREAM_PHASE, _FILE_SWITCH_PHASE],
+            jitter_sigma=jitter_sigma,
+            load=0.25,
+            parallelism=4,
+            seed=seed,
+        )

@@ -1,0 +1,71 @@
+"""Shared fixtures.
+
+The symbol table and call graph take a couple of seconds to build, so one
+instance (seed 2012, the library default) is shared session-wide; tests
+that mutate state build their own machines on top of the shared build.
+A small signature collection is also shared by the core/ml test modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import SignaturePipeline
+from repro.kernel.callgraph import CallGraph
+from repro.kernel.machine import MachineConfig, SimulatedMachine
+from repro.kernel.symbols import build_symbol_table
+from repro.tracing.fmeter import FmeterTracer
+from repro.workloads.dbench import DbenchWorkload
+from repro.workloads.kcompile import KernelCompileWorkload
+from repro.workloads.scp import ScpWorkload
+
+SEED = 2012
+
+
+@pytest.fixture(scope="session")
+def symbols():
+    return build_symbol_table(SEED)
+
+
+@pytest.fixture(scope="session")
+def callgraph(symbols):
+    return CallGraph(symbols, SEED)
+
+
+@pytest.fixture()
+def machine(symbols, callgraph):
+    """A fresh untraced (vanilla) machine per test."""
+    return SimulatedMachine(
+        config=MachineConfig(n_cpus=4, seed=SEED, symbol_seed=SEED),
+        symbols=symbols,
+        callgraph=callgraph,
+    )
+
+
+@pytest.fixture()
+def fmeter_machine(symbols, callgraph):
+    """A fresh Fmeter-traced machine per test."""
+    return SimulatedMachine(
+        config=MachineConfig(n_cpus=4, seed=SEED, symbol_seed=SEED),
+        tracer=FmeterTracer(),
+        symbols=symbols,
+        callgraph=callgraph,
+    )
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    return SignaturePipeline(seed=SEED, interval_s=10.0)
+
+
+@pytest.fixture(scope="session")
+def collection(pipeline):
+    """A small three-workload signature pool shared across test modules."""
+    return pipeline.collect(
+        [
+            ScpWorkload(seed=1),
+            KernelCompileWorkload(seed=2),
+            DbenchWorkload(seed=3),
+        ],
+        intervals_per_workload=14,
+    )

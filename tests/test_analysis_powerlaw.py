@@ -1,0 +1,85 @@
+"""Tests for power-law analysis (repro.analysis.powerlaw)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.powerlaw import (
+    ascii_loglog_plot,
+    fit_power_law,
+    rank_counts,
+)
+
+
+class TestRankCounts:
+    def test_sorted_descending_nonzero(self):
+        ranked = rank_counts(np.array([0, 5, 2, 0, 9]))
+        assert ranked.tolist() == [9, 5, 2]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            rank_counts(np.array([1, -1]))
+
+    def test_requires_vector(self):
+        with pytest.raises(ValueError, match="1-D"):
+            rank_counts(np.zeros((2, 2)))
+
+    def test_all_zero_gives_empty(self):
+        assert len(rank_counts(np.zeros(5, dtype=int))) == 0
+
+
+class TestFit:
+    def _power_law(self, slope=-1.5, n=500, scale=1e6):
+        ranks = np.arange(1, n + 1)
+        return (scale * ranks.astype(float) ** slope).astype(int)
+
+    def test_recovers_known_slope(self):
+        counts = self._power_law(slope=-1.5)
+        fit = fit_power_law(counts, min_count=1)
+        assert fit.slope == pytest.approx(-1.5, abs=0.05)
+        assert fit.r_squared > 0.99
+
+    def test_scale_prediction(self):
+        counts = self._power_law(slope=-1.0, scale=1e5)
+        fit = fit_power_law(counts, min_count=1)
+        assert fit.predict(1.0) == pytest.approx(1e5, rel=0.1)
+
+    def test_min_count_truncates_tail(self):
+        counts = self._power_law()
+        full = fit_power_law(counts, min_count=1)
+        truncated = fit_power_law(counts, min_count=100)
+        assert truncated.n_points < full.n_points
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            fit_power_law(np.array([5, 3]), min_count=1)
+
+    def test_boot_counts_are_power_law_like(self, fmeter_machine):
+        from repro.workloads.boot import BootWorkload
+
+        counts = BootWorkload(seed=3).run_boot(fmeter_machine)
+        fit = fit_power_law(counts, min_count=10)
+        assert fit.slope < -1.0        # heavy tail
+        assert fit.r_squared > 0.7     # log-log roughly linear
+
+
+class TestAsciiPlot:
+    def test_contains_points_and_axes(self):
+        counts = (1e4 / np.arange(1, 100) ** 1.2).astype(int)
+        plot = ascii_loglog_plot(counts)
+        assert "*" in plot
+        assert "rank 1" in plot
+        assert "count 1" in plot
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            ascii_loglog_plot(np.array([1, 2]), width=5)
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError, match="no nonzero"):
+            ascii_loglog_plot(np.zeros(3, dtype=int))
+
+    def test_respects_dimensions(self):
+        counts = (1e4 / np.arange(1, 50)).astype(int)
+        plot = ascii_loglog_plot(counts, width=40, height=10)
+        lines = plot.splitlines()
+        assert len(lines) == 12  # height rows + axis + label

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import WORKLOAD_FACTORIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_collect_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["collect"])
+
+    def test_experiment_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+    def test_diagnose_workload_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["diagnose", "--db", "x.npz", "--workload", "bitcoin-miner"]
+            )
+
+
+class TestListWorkloads:
+    def test_lists_all(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in WORKLOAD_FACTORIES:
+            assert name in out
+
+
+class TestCollectAndDiagnose:
+    def test_collect_writes_database(self, tmp_path, capsys):
+        out = tmp_path / "db.npz"
+        code = main([
+            "collect", "--workloads", "scp,dbench",
+            "--intervals", "5", "--seed", "7", "--out", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "10 signatures" in text
+
+    def test_collect_unknown_workload_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown workloads"):
+            main([
+                "collect", "--workloads", "scp,quake3",
+                "--out", str(tmp_path / "db.npz"),
+            ])
+
+    def test_diagnose_against_collected_db(self, tmp_path, capsys):
+        out = tmp_path / "db.npz"
+        main([
+            "collect", "--workloads", "scp,dbench",
+            "--intervals", "6", "--seed", "7", "--out", str(out),
+        ])
+        capsys.readouterr()
+        code = main([
+            "diagnose", "--db", str(out), "--workload", "dbench",
+            "--intervals", "3", "--seed", "7",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert text.count("nearest=") == 3
+        # Majority of diagnosed intervals should point at dbench.
+        assert text.count("nearest=dbench") >= 2
+
+    def test_diagnose_mismatched_build_fails(self, tmp_path, capsys):
+        out = tmp_path / "db.npz"
+        main([
+            "collect", "--workloads", "scp", "--intervals", "4",
+            "--seed", "999", "--out", str(out),
+        ])
+        # seed 999 builds a different symbol table than the default 2012
+        with pytest.raises(SystemExit, match="different kernel build"):
+            main([
+                "diagnose", "--db", str(out), "--workload", "scp",
+                "--seed", "2012",
+            ])
+
+
+class TestExperimentCommand:
+    def test_fig1(self, capsys):
+        assert main(["experiment", "fig1", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "power" in out.lower() or "log-log" in out
+
+    def test_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "sys slowdown" in capsys.readouterr().out
+
+    def test_table2_fast(self, capsys):
+        assert main(["experiment", "table2", "--fast"]) == 0
+        assert "apachebench" in capsys.readouterr().out
+
+    def test_table5_fast(self, capsys):
+        assert main(["experiment", "table5", "--fast", "--seed", "7"]) == 0
+        assert "myri10ge" in capsys.readouterr().out
+
+    def test_classifiers_fast(self, capsys):
+        assert main(["experiment", "classifiers", "--fast", "--seed", "7"]) == 0
+        assert "C4.5" in capsys.readouterr().out

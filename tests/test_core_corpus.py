@@ -1,0 +1,120 @@
+"""Tests for corpora (repro.core.corpus)."""
+
+import numpy as np
+import pytest
+
+from repro.core.corpus import Corpus
+from repro.core.document import CountDocument
+from repro.core.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary([1, 2, 3])
+
+
+def doc(vocab, counts, label=None):
+    return CountDocument(vocab, np.array(counts, dtype=np.int64), label=label)
+
+
+class TestPopulation:
+    def test_add_and_len(self, vocab):
+        corpus = Corpus(vocab)
+        corpus.add(doc(vocab, [1, 0, 0]))
+        assert len(corpus) == 1
+
+    def test_constructor_documents(self, vocab):
+        corpus = Corpus(vocab, [doc(vocab, [1, 0, 0]), doc(vocab, [0, 1, 0])])
+        assert len(corpus) == 2
+
+    def test_vocabulary_mismatch_rejected(self, vocab):
+        other = Vocabulary([9, 8, 7])
+        corpus = Corpus(vocab)
+        with pytest.raises(ValueError, match="vocabulary"):
+            corpus.add(doc(other, [1, 0, 0]))
+
+    def test_indexing_and_iteration(self, vocab):
+        d1, d2 = doc(vocab, [1, 0, 0]), doc(vocab, [0, 1, 0])
+        corpus = Corpus(vocab, [d1, d2])
+        assert corpus[0] is d1
+        assert list(corpus) == [d1, d2]
+
+
+class TestDocumentFrequencies:
+    def test_df_counts_presence_not_magnitude(self, vocab):
+        corpus = Corpus(vocab, [
+            doc(vocab, [100, 1, 0]),
+            doc(vocab, [1, 0, 0]),
+        ])
+        assert corpus.document_frequencies().tolist() == [2, 1, 0]
+
+    def test_df_incremental(self, vocab):
+        corpus = Corpus(vocab)
+        corpus.add(doc(vocab, [1, 1, 1]))
+        corpus.add(doc(vocab, [1, 0, 0]))
+        assert corpus.document_frequencies().tolist() == [2, 1, 1]
+
+    def test_df_copy_is_defensive(self, vocab):
+        corpus = Corpus(vocab, [doc(vocab, [1, 0, 0])])
+        df = corpus.document_frequencies()
+        df[0] = 99
+        assert corpus.document_frequencies()[0] == 1
+
+
+class TestSlicing:
+    def test_labels_and_distinct(self, vocab):
+        corpus = Corpus(vocab, [
+            doc(vocab, [1, 0, 0], "a"),
+            doc(vocab, [1, 0, 0], "b"),
+            doc(vocab, [1, 0, 0], "a"),
+        ])
+        assert corpus.labels() == ["a", "b", "a"]
+        assert corpus.distinct_labels() == ["a", "b"]
+
+    def test_with_label(self, vocab):
+        corpus = Corpus(vocab, [
+            doc(vocab, [1, 0, 0], "a"),
+            doc(vocab, [0, 1, 0], "b"),
+        ])
+        sub = corpus.with_label("a")
+        assert len(sub) == 1
+        assert sub[0].label == "a"
+
+    def test_filtered_recomputes_df(self, vocab):
+        corpus = Corpus(vocab, [
+            doc(vocab, [1, 0, 0], "a"),
+            doc(vocab, [0, 1, 0], "b"),
+        ])
+        sub = corpus.filtered(lambda d: d.label == "b")
+        assert sub.document_frequencies().tolist() == [0, 1, 0]
+
+    def test_merged(self, vocab):
+        a = Corpus(vocab, [doc(vocab, [1, 0, 0])])
+        b = Corpus(vocab, [doc(vocab, [0, 1, 0])])
+        merged = a.merged(b)
+        assert len(merged) == 2
+        assert len(a) == 1  # originals untouched
+
+    def test_merged_vocabulary_mismatch(self, vocab):
+        other = Corpus(Vocabulary([5, 6, 7]))
+        with pytest.raises(ValueError):
+            Corpus(vocab).merged(other)
+
+
+class TestMatrix:
+    def test_counts_matrix_shape_and_rows(self, vocab):
+        corpus = Corpus(vocab, [doc(vocab, [1, 2, 3]), doc(vocab, [4, 5, 6])])
+        matrix = corpus.counts_matrix()
+        assert matrix.shape == (2, 3)
+        assert matrix[1].tolist() == [4, 5, 6]
+
+    def test_empty_corpus_matrix(self, vocab):
+        assert Corpus(vocab).counts_matrix().shape == (0, 3)
+
+    def test_summary(self, vocab):
+        corpus = Corpus(vocab, [doc(vocab, [2, 0, 0], "a")])
+        s = corpus.summary()
+        assert s["documents"] == 1
+        assert s["total_calls"] == 2
+        assert s["labels"] == ["a"]
+        assert s["terms_with_df_gt0"] == 1

@@ -1,0 +1,164 @@
+"""Tests for the signature database and syndromes (repro.core.database)."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import SignatureDatabase, Syndrome
+from repro.core.signature import Signature
+from repro.core.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary([1, 2, 3, 4])
+
+
+def sig(vocab, weights, label):
+    return Signature(vocab, np.array(weights, dtype=float), label=label)
+
+
+@pytest.fixture()
+def db(vocab):
+    database = SignatureDatabase(vocab)
+    database.add_all([
+        sig(vocab, [1.0, 0.1, 0, 0], "normal"),
+        sig(vocab, [0.9, 0.2, 0, 0], "normal"),
+        sig(vocab, [0, 0, 1.0, 0.1], "compromised"),
+        sig(vocab, [0, 0, 0.8, 0.3], "compromised"),
+    ])
+    return database
+
+
+class TestPopulation:
+    def test_unlabeled_rejected(self, vocab):
+        database = SignatureDatabase(vocab)
+        with pytest.raises(ValueError, match="labeled"):
+            database.add(Signature(vocab, np.ones(4)))
+
+    def test_vocabulary_mismatch_rejected(self, db):
+        other = Vocabulary([9, 8, 7, 6])
+        with pytest.raises(ValueError, match="vocabulary"):
+            db.add(Signature(other, np.ones(4), label="x"))
+
+    def test_labels_in_insertion_order(self, db):
+        assert db.labels() == ["normal", "compromised"]
+
+    def test_with_label(self, db):
+        assert len(db.with_label("normal")) == 2
+        assert db.with_label("nope") == []
+
+
+class TestSyndromes:
+    def test_build_syndrome_centroid(self, db):
+        syndrome = db.build_syndrome("normal")
+        assert syndrome.support == 2
+        assert syndrome.centroid[0] == pytest.approx(0.95)
+
+    def test_unknown_label_raises(self, db):
+        with pytest.raises(KeyError):
+            db.build_syndrome("nope")
+
+    def test_build_all(self, db):
+        syndromes = db.build_all_syndromes()
+        assert {s.label for s in syndromes} == {"normal", "compromised"}
+
+    def test_syndrome_lookup(self, db):
+        db.build_all_syndromes()
+        assert db.syndrome("normal").label == "normal"
+        with pytest.raises(KeyError):
+            db.syndrome("nope")
+
+    def test_syndrome_support_validation(self):
+        with pytest.raises(ValueError):
+            Syndrome(label="x", centroid=np.zeros(2), support=0)
+
+
+class TestDiagnosis:
+    def test_nearest_syndrome(self, db, vocab):
+        db.build_all_syndromes()
+        query = Signature(vocab, np.array([0.95, 0.15, 0, 0]))
+        syndrome, distance = db.nearest_syndrome(query)
+        assert syndrome.label == "normal"
+        assert distance < 0.2
+
+    def test_nearest_requires_syndromes(self, db, vocab):
+        query = Signature(vocab, np.ones(4))
+        with pytest.raises(RuntimeError, match="no syndromes"):
+            db.nearest_syndrome(query)
+
+    def test_knn_diagnose(self, db, vocab):
+        query = Signature(vocab, np.array([0, 0, 0.9, 0.2]))
+        votes = db.diagnose(query, k=3)
+        assert next(iter(votes)) == "compromised"
+        assert sum(votes.values()) == pytest.approx(1.0)
+
+    def test_diagnose_zero_signature_returns_empty(self, db, vocab):
+        query = Signature(vocab, np.zeros(4))
+        assert db.diagnose(query) == {}
+
+
+class TestIdfStorage:
+    def test_idf_shape_validated(self, vocab):
+        with pytest.raises(ValueError, match="idf shape"):
+            SignatureDatabase(vocab, idf=np.zeros(2))
+
+    def test_make_model_requires_idf(self, db):
+        with pytest.raises(RuntimeError, match="no idf"):
+            db.make_model()
+
+    def test_make_model_transforms_new_documents(self, vocab):
+        from repro.core.document import CountDocument
+
+        idf = np.array([0.0, 1.0, 2.0, 0.5])
+        db = SignatureDatabase(vocab, idf=idf)
+        model = db.make_model()
+        doc = CountDocument(vocab, np.array([2, 2, 0, 0]))
+        sig = model.transform(doc)
+        assert sig.weights[0] == 0.0          # idf-zeroed term
+        assert sig.weights[1] == pytest.approx(0.5 * 1.0)
+
+    def test_idf_survives_save_load(self, vocab, tmp_path):
+        idf = np.array([0.1, 0.2, 0.3, 0.4])
+        db = SignatureDatabase(vocab, idf=idf)
+        db.add(sig(vocab, [1, 0, 0, 0], "a"))
+        path = tmp_path / "with_idf.npz"
+        db.save(path)
+        loaded = SignatureDatabase.load(path)
+        assert np.allclose(loaded.idf, idf)
+        assert loaded.make_model().fitted
+
+    def test_no_idf_loads_as_none(self, db, tmp_path):
+        path = tmp_path / "no_idf.npz"
+        db.save(path)
+        assert SignatureDatabase.load(path).idf is None
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, db, vocab, tmp_path):
+        db.build_all_syndromes()
+        path = tmp_path / "db.npz"
+        db.save(path)
+        loaded = SignatureDatabase.load(path)
+        assert len(loaded) == len(db)
+        assert loaded.labels() == db.labels()
+        assert loaded.vocabulary == vocab
+        original = db.syndrome("normal")
+        restored = loaded.syndrome("normal")
+        assert np.allclose(original.centroid, restored.centroid)
+        assert restored.support == original.support
+
+    def test_loaded_database_diagnoses(self, db, vocab, tmp_path):
+        db.build_all_syndromes()
+        path = tmp_path / "db.npz"
+        db.save(path)
+        loaded = SignatureDatabase.load(path)
+        query = Signature(vocab, np.array([0.9, 0.1, 0, 0]))
+        syndrome, _ = loaded.nearest_syndrome(query)
+        assert syndrome.label == "normal"
+
+    def test_empty_database_roundtrip(self, vocab, tmp_path):
+        db = SignatureDatabase(vocab)
+        path = tmp_path / "empty.npz"
+        db.save(path)
+        loaded = SignatureDatabase.load(path)
+        assert len(loaded) == 0

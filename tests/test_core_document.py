@@ -1,0 +1,89 @@
+"""Tests for count documents (repro.core.document)."""
+
+import numpy as np
+import pytest
+
+from repro.core.document import CountDocument
+from repro.core.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary([0x10, 0x20, 0x30, 0x40], ["a", "b", "c", "d"])
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self, vocab):
+        with pytest.raises(ValueError, match="shape"):
+            CountDocument(vocab, np.zeros(3, dtype=np.int64))
+
+    def test_float_counts_rejected(self, vocab):
+        with pytest.raises(TypeError, match="integers"):
+            CountDocument(vocab, np.zeros(4))
+
+    def test_negative_counts_rejected(self, vocab):
+        with pytest.raises(ValueError, match="non-negative"):
+            CountDocument(vocab, np.array([1, -1, 0, 0]))
+
+    def test_counts_immutable(self, vocab):
+        doc = CountDocument(vocab, np.array([1, 2, 3, 4]))
+        with pytest.raises(ValueError):
+            doc.counts[0] = 99
+
+    def test_counts_copied_from_input(self, vocab):
+        src = np.array([1, 2, 3, 4])
+        doc = CountDocument(vocab, src)
+        src[0] = 99
+        assert doc.counts[0] == 1
+
+
+class TestFromMapping:
+    def test_basic(self, vocab):
+        doc = CountDocument.from_mapping(vocab, {0x20: 5, 0x40: 2})
+        assert doc.count_of(0x20) == 5
+        assert doc.count_of(0x10) == 0
+
+    def test_strict_rejects_unknown_address(self, vocab):
+        with pytest.raises(KeyError, match="unknown function"):
+            CountDocument.from_mapping(vocab, {0x99: 1})
+
+    def test_lenient_drops_unknown_address(self, vocab):
+        doc = CountDocument.from_mapping(vocab, {0x99: 1, 0x10: 2}, strict=False)
+        assert doc.total_calls == 2
+
+
+class TestStatistics:
+    def test_total_and_distinct(self, vocab):
+        doc = CountDocument(vocab, np.array([3, 0, 7, 0]))
+        assert doc.total_calls == 10
+        assert doc.distinct_terms == 2
+        assert not doc.is_empty
+
+    def test_empty_document(self, vocab):
+        doc = CountDocument(vocab, np.zeros(4, dtype=np.int64))
+        assert doc.is_empty
+        assert (doc.term_frequencies() == 0.0).all()
+
+    def test_term_frequencies_normalized(self, vocab):
+        doc = CountDocument(vocab, np.array([2, 2, 4, 0]))
+        tf = doc.term_frequencies()
+        assert tf.sum() == pytest.approx(1.0)
+        assert tf[2] == pytest.approx(0.5)
+
+    def test_tf_interval_invariance(self, vocab):
+        """The paper's point: longer runs don't inflate tf."""
+        short = CountDocument(vocab, np.array([1, 1, 2, 0]))
+        long = CountDocument(vocab, np.array([10, 10, 20, 0]))
+        assert np.allclose(short.term_frequencies(), long.term_frequencies())
+
+
+class TestRelabel:
+    def test_relabeled_shares_counts(self, vocab):
+        doc = CountDocument(vocab, np.array([1, 2, 3, 4]), label="a")
+        copy = doc.relabeled("b")
+        assert copy.label == "b"
+        assert copy.counts is doc.counts
+
+    def test_repr_mentions_label(self, vocab):
+        doc = CountDocument(vocab, np.array([1, 0, 0, 0]), label="scp")
+        assert "scp" in repr(doc)

@@ -1,0 +1,124 @@
+"""Tests for the signature search index (repro.core.index)."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import SignatureIndex
+from repro.core.signature import Signature
+from repro.core.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary(list(range(1, 7)))
+
+
+def sig(vocab, weights, label=None):
+    return Signature(vocab, np.array(weights, dtype=float), label=label)
+
+
+@pytest.fixture()
+def index(vocab):
+    idx = SignatureIndex()
+    idx.add(sig(vocab, [1, 1, 0, 0, 0, 0], "a"))   # id 0
+    idx.add(sig(vocab, [0.9, 1.1, 0, 0, 0, 0], "a"))  # id 1
+    idx.add(sig(vocab, [0, 0, 1, 1, 0, 0], "b"))   # id 2
+    idx.add(sig(vocab, [0, 0, 0, 0, 1, 1], "c"))   # id 3
+    return idx
+
+
+class TestPopulation:
+    def test_ids_sequential(self, vocab):
+        idx = SignatureIndex()
+        assert idx.add(sig(vocab, [1, 0, 0, 0, 0, 0])) == 0
+        assert idx.add(sig(vocab, [1, 0, 0, 0, 0, 0])) == 1
+
+    def test_get_and_len(self, index):
+        assert len(index) == 4
+        assert index.get(2).label == "b"
+
+    def test_get_missing_raises(self, index):
+        with pytest.raises(KeyError):
+            index.get(99)
+
+    def test_vocabulary_mismatch_rejected(self, index):
+        other = Vocabulary([99])
+        with pytest.raises(ValueError, match="vocabulary"):
+            index.add(Signature(other, np.array([1.0])))
+
+    def test_remove_clears_postings(self, index):
+        index.remove(0)
+        assert len(index) == 3
+        assert 0 not in index.posting_list(0)
+
+    def test_remove_missing_raises(self, index):
+        with pytest.raises(KeyError):
+            index.remove(42)
+
+
+class TestPostings:
+    def test_posting_list_contents(self, index):
+        assert index.posting_list(0) == {0, 1}  # dim 0: first two sigs
+        assert index.posting_list(2) == {2}
+        assert index.posting_list(5) == {3}
+
+    def test_candidates_union_of_query_terms(self, index, vocab):
+        query = sig(vocab, [1, 0, 1, 0, 0, 0])
+        assert index.candidates(query) == {0, 1, 2}
+
+    def test_candidates_empty_for_disjoint_query(self, vocab):
+        idx = SignatureIndex()
+        idx.add(sig(vocab, [1, 0, 0, 0, 0, 0]))
+        query = sig(vocab, [0, 0, 0, 0, 0, 1])
+        assert idx.candidates(query) == set()
+
+
+class TestSearch:
+    def test_nearest_neighbour_first(self, index, vocab):
+        query = sig(vocab, [1, 1, 0, 0, 0, 0])
+        results = index.search(query, k=2)
+        assert results[0].signature_id == 0
+        assert results[0].score == pytest.approx(1.0)
+
+    def test_k_bounds_results(self, index, vocab):
+        query = sig(vocab, [1, 1, 1, 1, 1, 1])
+        assert len(index.search(query, k=2)) == 2
+
+    def test_scores_descending(self, index, vocab):
+        query = sig(vocab, [1, 1, 0.1, 0, 0, 0])
+        scores = [r.score for r in index.search(query, k=4)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_euclidean_metric(self, index, vocab):
+        query = sig(vocab, [1, 1, 0, 0, 0, 0])
+        results = index.search(query, k=1, metric="euclidean")
+        assert results[0].signature_id == 0
+        assert results[0].score == pytest.approx(0.0)
+
+    def test_unknown_metric_rejected(self, index, vocab):
+        with pytest.raises(ValueError, match="unknown metric"):
+            index.search(sig(vocab, [1, 0, 0, 0, 0, 0]), metric="hamming")
+
+    def test_nonpositive_k_rejected(self, index, vocab):
+        with pytest.raises(ValueError):
+            index.search(sig(vocab, [1, 0, 0, 0, 0, 0]), k=0)
+
+    def test_query_vocabulary_checked(self, index):
+        other = Vocabulary(list(range(10, 16)))
+        with pytest.raises(ValueError, match="vocabulary"):
+            index.search(Signature(other, np.ones(6)))
+
+    def test_label_votes(self, index, vocab):
+        query = sig(vocab, [1, 1, 0, 0, 0, 0])
+        votes = index.label_votes(query, k=2)
+        assert votes == {"a": 2}
+
+    def test_search_on_collected_signatures(self, collection):
+        """Same-workload signatures rank above other workloads."""
+        index = SignatureIndex()
+        scp = [s for s in collection.signatures if s.label == "scp"]
+        rest = [s for s in collection.signatures if s.label != "scp"]
+        query, *others = scp
+        index.add_all(others + rest)
+        top = index.search(query, k=5)
+        assert all(r.signature.label == "scp" for r in top)

@@ -1,0 +1,177 @@
+"""Tests for the streaming detector (repro.core.monitor)."""
+
+import numpy as np
+import pytest
+
+from repro.core.corpus import Corpus
+from repro.core.database import SignatureDatabase
+from repro.core.document import CountDocument
+from repro.core.monitor import StreamingDetector
+from repro.core.tfidf import TfIdfModel
+from repro.core.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def setup():
+    """A small world with two behaviours on a 4-term vocabulary."""
+    vocab = Vocabulary([1, 2, 3, 4], ["w", "x", "y", "z"])
+
+    def doc(counts, label=None):
+        return CountDocument(vocab, np.array(counts, dtype=np.int64), label)
+
+    # Term w is ubiquitous (idf 0); x marks "normal", y marks "bad".
+    normal_docs = [doc([50, 100, 0, 0], "normal") for _ in range(4)]
+    bad_docs = [doc([50, 0, 110, 0], "bad") for _ in range(4)]
+    corpus = Corpus(vocab, normal_docs + bad_docs)
+    model = TfIdfModel().fit(corpus)
+    db = SignatureDatabase(vocab)
+    db.add_all([model.transform(d).unit() for d in corpus])
+    db.build_all_syndromes()
+    return vocab, doc, model, db
+
+
+class TestValidation:
+    def test_requires_fitted_model(self, setup):
+        vocab, doc, model, db = setup
+        with pytest.raises(ValueError, match="fitted"):
+            StreamingDetector(model=TfIdfModel(), database=db)
+
+    def test_requires_syndromes(self, setup):
+        vocab, doc, model, db = setup
+        empty = SignatureDatabase(vocab)
+        with pytest.raises(ValueError, match="syndromes"):
+            StreamingDetector(model=model, database=empty)
+
+    def test_consecutive_validated(self, setup):
+        vocab, doc, model, db = setup
+        with pytest.raises(ValueError):
+            StreamingDetector(model=model, database=db, consecutive=0)
+
+    def test_threshold_validated(self, setup):
+        vocab, doc, model, db = setup
+        with pytest.raises(ValueError):
+            StreamingDetector(model=model, database=db, novelty_threshold=0.0)
+
+
+class TestVerdicts:
+    def test_matches_nearest_syndrome(self, setup):
+        vocab, doc, model, db = setup
+        detector = StreamingDetector(model=model, database=db)
+        verdict = detector.observe(doc([52, 99, 1, 0]))
+        assert verdict.label == "normal"
+        assert not verdict.novel
+
+    def test_far_document_flagged_novel(self, setup):
+        vocab, doc, model, db = setup
+        detector = StreamingDetector(
+            model=model, database=db, novelty_threshold=0.3
+        )
+        verdict = detector.observe(doc([0, 0, 0, 500]))
+        assert verdict.novel
+        assert verdict.label is None
+
+    def test_history_accumulates(self, setup):
+        vocab, doc, model, db = setup
+        detector = StreamingDetector(model=model, database=db)
+        detector.observe_all([doc([52, 99, 1, 0]), doc([50, 1, 100, 0])])
+        assert len(detector.history) == 2
+        assert detector.history[1].interval == 1
+
+
+class TestAlerts:
+    def test_alert_after_consecutive_matches(self, setup):
+        vocab, doc, model, db = setup
+        detector = StreamingDetector(
+            model=model, database=db,
+            watch_labels=frozenset({"bad"}), consecutive=3,
+        )
+        for _ in range(3):
+            detector.observe(doc([50, 1, 105, 0]))
+        assert len(detector.alerts) == 1
+        alert = detector.alerts[0]
+        assert alert.label == "bad"
+        assert alert.kind == "syndrome"
+        assert alert.streak == 3
+
+    def test_no_alert_below_hysteresis(self, setup):
+        vocab, doc, model, db = setup
+        detector = StreamingDetector(
+            model=model, database=db,
+            watch_labels=frozenset({"bad"}), consecutive=3,
+        )
+        detector.observe(doc([50, 1, 105, 0]))
+        detector.observe(doc([50, 1, 105, 0]))
+        assert detector.alerts == []
+
+    def test_streak_broken_by_unwatched_interval(self, setup):
+        vocab, doc, model, db = setup
+        detector = StreamingDetector(
+            model=model, database=db,
+            watch_labels=frozenset({"bad"}), consecutive=2,
+        )
+        detector.observe(doc([50, 1, 105, 0]))      # bad
+        detector.observe(doc([52, 99, 1, 0]))       # normal (unwatched)
+        detector.observe(doc([50, 1, 105, 0]))      # bad again
+        assert detector.alerts == []
+        assert detector.current_streak == ("bad", 1)
+
+    def test_single_alert_per_streak(self, setup):
+        vocab, doc, model, db = setup
+        detector = StreamingDetector(
+            model=model, database=db,
+            watch_labels=frozenset({"bad"}), consecutive=2,
+        )
+        for _ in range(5):
+            detector.observe(doc([50, 1, 105, 0]))
+        assert len(detector.alerts) == 1
+
+    def test_novel_streak_alerts(self, setup):
+        vocab, doc, model, db = setup
+        detector = StreamingDetector(
+            model=model, database=db,
+            novelty_threshold=0.3, consecutive=2,
+        )
+        detector.observe(doc([0, 0, 0, 300]))
+        detector.observe(doc([0, 0, 0, 310]))
+        assert len(detector.alerts) == 1
+        assert detector.alerts[0].kind == "novel"
+        assert detector.alerts[0].label == "<novel>"
+
+    def test_summary(self, setup):
+        vocab, doc, model, db = setup
+        detector = StreamingDetector(model=model, database=db)
+        detector.observe(doc([52, 99, 1, 0]))
+        detector.observe(doc([50, 1, 100, 0]))
+        s = detector.summary()
+        assert s["intervals"] == 2
+        assert s["label_histogram"] == {"normal": 1, "bad": 1}
+
+
+class TestEndToEnd:
+    def test_detects_driver_swap_in_stream(self, pipeline):
+        """Full loop: train DB on two driver variants, stream the bad one."""
+        from repro.experiments.table5_svm_myri10ge import (
+            collect_driver_signatures,
+        )
+        from repro.kernel.modules import make_myri10ge
+        from repro.workloads.netperf import NetperfWorkload
+
+        collection = collect_driver_signatures(
+            seed=2012, intervals_per_variant=12, context_intervals=8
+        )
+        db = SignatureDatabase(collection.vocabulary)
+        db.add_all([s.unit() for s in collection.signatures])
+        db.build_all_syndromes()
+        detector = StreamingDetector(
+            model=collection.model,
+            database=db,
+            watch_labels=frozenset({"myri10ge 1.5.1 LRO disabled"}),
+            consecutive=2,
+        )
+        module = make_myri10ge("1.5.1", lro=False)
+        workload = NetperfWorkload(module, seed=321)
+        workload.label = "stream"
+        docs = pipeline.collect_documents(workload, 4, run_seed=77)
+        detector.observe_all(docs)
+        assert detector.alerts, "the LRO-off machine must trip an alert"
+        assert detector.alerts[0].label == "myri10ge 1.5.1 LRO disabled"

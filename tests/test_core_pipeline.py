@@ -1,0 +1,84 @@
+"""Tests for the end-to-end pipeline (repro.core.pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SignaturePipeline
+from repro.workloads.netperf import NetperfWorkload
+from repro.workloads.scp import ScpWorkload
+from repro.kernel.modules import make_myri10ge
+
+
+class TestCollection:
+    def test_collect_produces_labeled_signatures(self, collection):
+        assert len(collection.signatures) == 42  # 3 workloads x 14 intervals
+        assert set(collection.labels()) == {"scp", "kcompile", "dbench"}
+
+    def test_signatures_with_label(self, collection):
+        assert len(collection.signatures_with_label("scp")) == 14
+        assert collection.signatures_with_label("nope") == []
+
+    def test_corpus_and_model_consistent(self, collection):
+        assert len(collection.corpus) == len(collection.signatures)
+        assert collection.model.fitted
+        assert collection.model.corpus_size == len(collection.corpus)
+
+    def test_documents_carry_metadata(self, collection):
+        doc = collection.corpus[0]
+        assert doc.metadata["config"] == "fmeter"
+        assert doc.metadata["interval_s"] == 10.0
+        assert "workload" in doc.metadata
+
+    def test_documents_nonempty(self, collection):
+        assert all(doc.total_calls > 0 for doc in collection.corpus)
+
+    def test_signatures_nonzero(self, collection):
+        assert all(not sig.is_zero for sig in collection.signatures)
+
+    def test_intervals_validated(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.collect_documents(ScpWorkload(seed=1), 0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_signatures(self):
+        def run():
+            pipe = SignaturePipeline(seed=99, n_cpus=2)
+            result = pipe.collect([ScpWorkload(seed=1)], 3)
+            return result.signatures[0].weights
+
+        assert np.array_equal(run(), run())
+
+    def test_different_run_seed_different_documents(self, pipeline):
+        a = pipeline.collect_documents(ScpWorkload(seed=1), 2, run_seed=0)
+        b = pipeline.collect_documents(ScpWorkload(seed=1), 2, run_seed=1)
+        assert not np.array_equal(a[0].counts, b[0].counts)
+
+
+class TestModules:
+    def test_module_workload_loads_module(self, pipeline):
+        module = make_myri10ge("1.5.1")
+        workload = NetperfWorkload(module, seed=1)
+        docs = pipeline.collect_documents(workload, 2, run_seed=7)
+        assert all(doc.total_calls > 0 for doc in docs)
+        # RX-path functions must appear in the documents.
+        gro = pipeline.symbols.by_name("napi_gro_frags").address
+        assert any(doc.count_of(gro) > 0 for doc in docs)
+
+
+class TestMachineFactory:
+    def test_machines_share_kernel_build(self, pipeline):
+        m1 = pipeline.make_machine(1)
+        m2 = pipeline.make_machine(2)
+        assert m1.symbols is m2.symbols
+        assert m1.callgraph is m2.callgraph
+
+    def test_workload_separability(self, collection):
+        """Same-class signatures are closer than cross-class ones."""
+        scp = [s.unit() for s in collection.signatures_with_label("scp")]
+        kcompile = [
+            s.unit() for s in collection.signatures_with_label("kcompile")
+        ]
+        within = scp[0].cosine(scp[1])
+        across = scp[0].cosine(kcompile[0])
+        assert within > across

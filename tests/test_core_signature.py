@@ -1,0 +1,126 @@
+"""Tests for signatures (repro.core.signature)."""
+
+import numpy as np
+import pytest
+
+from repro.core.signature import Signature, stack_signatures
+from repro.core.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary([1, 2, 3], ["a", "b", "c"])
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self, vocab):
+        with pytest.raises(ValueError, match="shape"):
+            Signature(vocab, np.zeros(2))
+
+    def test_nonfinite_rejected(self, vocab):
+        with pytest.raises(ValueError, match="finite"):
+            Signature(vocab, np.array([1.0, np.nan, 0.0]))
+
+    def test_negative_weights_rejected(self, vocab):
+        with pytest.raises(ValueError, match="non-negative"):
+            Signature(vocab, np.array([1.0, -0.5, 0.0]))
+
+    def test_weights_immutable(self, vocab):
+        sig = Signature(vocab, np.array([1.0, 0.0, 0.0]))
+        with pytest.raises(ValueError):
+            sig.weights[0] = 2.0
+
+
+class TestInspection:
+    def test_nnz_and_is_zero(self, vocab):
+        assert Signature(vocab, np.array([0.5, 0.0, 0.2])).nnz == 2
+        assert Signature(vocab, np.zeros(3)).is_zero
+
+    def test_norm(self, vocab):
+        sig = Signature(vocab, np.array([3.0, 4.0, 0.0]))
+        assert sig.norm() == pytest.approx(5.0)
+
+    def test_weight_of(self, vocab):
+        sig = Signature(vocab, np.array([0.5, 0.1, 0.0]))
+        assert sig.weight_of(2) == pytest.approx(0.1)
+
+    def test_top_terms_sorted_and_positive_only(self, vocab):
+        sig = Signature(vocab, np.array([0.2, 0.9, 0.0]))
+        top = sig.top_terms(3)
+        assert top == [("b", pytest.approx(0.9)), ("a", pytest.approx(0.2))]
+
+    def test_top_terms_k_validation(self, vocab):
+        with pytest.raises(ValueError):
+            Signature(vocab, np.zeros(3)).top_terms(0)
+
+    def test_to_sparse_roundtrip(self, vocab):
+        sig = Signature(vocab, np.array([0.5, 0.0, 0.25]))
+        sparse = sig.to_sparse()
+        assert sparse.nnz == 2
+        assert np.allclose(sparse.to_dense(3), sig.weights)
+
+
+class TestComparison:
+    def test_cosine_identical_direction(self, vocab):
+        a = Signature(vocab, np.array([1.0, 1.0, 0.0]))
+        b = Signature(vocab, np.array([2.0, 2.0, 0.0]))
+        assert a.cosine(b) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self, vocab):
+        a = Signature(vocab, np.array([1.0, 0.0, 0.0]))
+        b = Signature(vocab, np.array([0.0, 1.0, 0.0]))
+        assert a.cosine(b) == pytest.approx(0.0)
+
+    def test_euclidean_distance_default_p2(self, vocab):
+        a = Signature(vocab, np.array([1.0, 0.0, 0.0]))
+        b = Signature(vocab, np.array([0.0, 1.0, 0.0]))
+        assert a.distance(b) == pytest.approx(np.sqrt(2))
+
+    def test_minkowski_p1(self, vocab):
+        a = Signature(vocab, np.array([1.0, 0.0, 0.0]))
+        b = Signature(vocab, np.array([0.0, 1.0, 0.0]))
+        assert a.distance(b, p=1) == pytest.approx(2.0)
+
+    def test_cross_vocabulary_comparison_rejected(self, vocab):
+        other = Vocabulary([7, 8, 9])
+        a = Signature(vocab, np.ones(3))
+        b = Signature(other, np.ones(3))
+        with pytest.raises(ValueError, match="not comparable"):
+            a.cosine(b)
+
+
+class TestDerivation:
+    def test_unit_scaling(self, vocab):
+        sig = Signature(vocab, np.array([3.0, 4.0, 0.0]), label="L")
+        unit = sig.unit()
+        assert unit.norm() == pytest.approx(1.0)
+        assert unit.label == "L"
+
+    def test_unit_of_zero_stays_zero(self, vocab):
+        assert Signature(vocab, np.zeros(3)).unit().is_zero
+
+    def test_relabeled(self, vocab):
+        sig = Signature(vocab, np.ones(3), label="old")
+        assert sig.relabeled("new").label == "new"
+        assert sig.label == "old"
+
+    def test_repr(self, vocab):
+        sig = Signature(vocab, np.array([1.0, 0.0, 0.0]), label="x")
+        assert "label='x'" in repr(sig)
+
+
+class TestStacking:
+    def test_stack_shape(self, vocab):
+        sigs = [Signature(vocab, np.ones(3)) for _ in range(4)]
+        assert stack_signatures(sigs).shape == (4, 3)
+
+    def test_stack_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stack_signatures([])
+
+    def test_stack_mixed_vocabularies_rejected(self, vocab):
+        other = Vocabulary([7, 8, 9])
+        with pytest.raises(ValueError, match="different vocabularies"):
+            stack_signatures(
+                [Signature(vocab, np.ones(3)), Signature(other, np.ones(3))]
+            )

@@ -1,0 +1,127 @@
+"""Tests for similarity measures (repro.core.similarity)."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    euclidean_distance,
+    l2_normalize,
+    lp_norm,
+    minkowski_distance,
+    pairwise_euclidean,
+)
+
+
+class TestLpNorm:
+    def test_l2(self):
+        assert lp_norm([3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_l1(self):
+        assert lp_norm([3.0, -4.0], 1) == pytest.approx(7.0)
+
+    def test_linf(self):
+        assert lp_norm([3.0, -4.0], np.inf) == pytest.approx(4.0)
+
+    def test_p_below_one_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            lp_norm([1.0], 0.5)
+
+    def test_non_vector_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            lp_norm(np.zeros((2, 2)))
+
+
+class TestCosine:
+    def test_identical(self):
+        assert cosine_similarity([1, 2], [2, 4]) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_opposite(self):
+        assert cosine_similarity([1, 0], [-1, 0]) == pytest.approx(-1.0)
+
+    def test_zero_vector_convention(self):
+        assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+    def test_clipped_to_valid_range(self):
+        v = np.full(100, 0.1)
+        assert -1.0 <= cosine_similarity(v, v) <= 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            cosine_similarity([1, 2], [1, 2, 3])
+
+
+class TestMinkowski:
+    def test_euclidean_alias(self):
+        a, b = [1.0, 2.0, 3.0], [4.0, 6.0, 3.0]
+        assert euclidean_distance(a, b) == pytest.approx(5.0)
+        assert minkowski_distance(a, b, 2.0) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert minkowski_distance([0, 0], [3, 4], 1) == pytest.approx(7.0)
+
+    def test_identity_of_indiscernibles(self):
+        assert minkowski_distance([1.5, 2.5], [1.5, 2.5]) == 0.0
+
+    def test_symmetry(self):
+        a, b = [1.0, 5.0], [2.0, -1.0]
+        assert minkowski_distance(a, b, 3) == pytest.approx(
+            minkowski_distance(b, a, 3)
+        )
+
+
+class TestL2Normalize:
+    def test_unit_norm(self):
+        out = l2_normalize([3.0, 4.0])
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_zero_stays_zero(self):
+        assert (l2_normalize([0.0, 0.0]) == 0.0).all()
+
+    def test_original_untouched(self):
+        src = np.array([3.0, 4.0])
+        l2_normalize(src)
+        assert src.tolist() == [3.0, 4.0]
+
+
+class TestPairwise:
+    def test_matches_pointwise(self):
+        rng = np.random.default_rng(0)
+        m = rng.normal(size=(6, 4))
+        d = pairwise_euclidean(m)
+        for i in range(6):
+            for j in range(6):
+                assert d[i, j] == pytest.approx(
+                    euclidean_distance(m[i], m[j]), abs=1e-9
+                )
+
+    def test_diagonal_zero_and_symmetric(self):
+        rng = np.random.default_rng(1)
+        m = rng.normal(size=(5, 3))
+        d = pairwise_euclidean(m)
+        assert np.allclose(np.diag(d), 0.0)
+        assert np.allclose(d, d.T)
+
+    def test_requires_matrix(self):
+        with pytest.raises(ValueError, match="2-D"):
+            pairwise_euclidean(np.zeros(3))
+
+    def test_cosine_matrix_matches_pointwise(self):
+        rng = np.random.default_rng(2)
+        m = np.abs(rng.normal(size=(5, 4)))
+        s = cosine_similarity_matrix(m)
+        for i in range(5):
+            for j in range(5):
+                assert s[i, j] == pytest.approx(
+                    cosine_similarity(m[i], m[j]), abs=1e-9
+                )
+
+    def test_cosine_matrix_zero_rows(self):
+        m = np.array([[0.0, 0.0], [1.0, 0.0]])
+        s = cosine_similarity_matrix(m)
+        assert s[0, 0] == 0.0
+        assert s[0, 1] == 0.0

@@ -1,0 +1,125 @@
+"""Tests for sparse vectors (repro.core.sparse)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.sparse import SparseVector
+
+
+class TestConstruction:
+    def test_zeros_dropped(self):
+        v = SparseVector({0: 1.0, 1: 0.0, 2: 3.0})
+        assert v.nnz == 2
+        assert v.dimensions() == {0, 2}
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError, match="negative dimension"):
+            SparseVector({-1: 1.0})
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            SparseVector({0: float("nan")})
+        with pytest.raises(ValueError, match="non-finite"):
+            SparseVector({0: float("inf")})
+
+    def test_from_dense(self):
+        v = SparseVector.from_dense([0.0, 2.0, 0.0, -1.0])
+        assert v.get(1) == 2.0
+        assert v.get(3) == -1.0
+        assert v.nnz == 2
+
+    def test_from_dense_requires_vector(self):
+        with pytest.raises(ValueError, match="1-D"):
+            SparseVector.from_dense(np.zeros((2, 2)))
+
+    def test_to_dense_roundtrip(self):
+        dense = np.array([0.0, 1.5, 0.0, 2.5])
+        assert np.allclose(SparseVector.from_dense(dense).to_dense(4), dense)
+
+    def test_to_dense_size_too_small(self):
+        with pytest.raises(ValueError, match="too small"):
+            SparseVector({5: 1.0}).to_dense(3)
+
+
+class TestAlgebra:
+    def test_dot_overlapping(self):
+        a = SparseVector({0: 2.0, 1: 3.0})
+        b = SparseVector({1: 4.0, 2: 5.0})
+        assert a.dot(b) == pytest.approx(12.0)
+
+    def test_dot_disjoint_is_zero(self):
+        a = SparseVector({0: 2.0})
+        b = SparseVector({1: 4.0})
+        assert a.dot(b) == 0.0
+
+    def test_dot_symmetric(self):
+        a = SparseVector({0: 1.0, 2: 2.0, 5: 3.0})
+        b = SparseVector({0: 4.0, 5: 6.0})
+        assert a.dot(b) == pytest.approx(b.dot(a))
+
+    def test_norm(self):
+        assert SparseVector({0: 3.0, 1: 4.0}).norm() == pytest.approx(5.0)
+
+    def test_norm_cached(self):
+        v = SparseVector({0: 3.0})
+        assert v.norm() is not None
+        assert v._norm_cache == pytest.approx(3.0)
+
+    def test_cosine_matches_dense(self):
+        a = SparseVector({0: 1.0, 1: 2.0})
+        b = SparseVector({0: 2.0, 1: 1.0})
+        expected = 4.0 / 5.0
+        assert a.cosine(b) == pytest.approx(expected)
+
+    def test_cosine_zero_vector(self):
+        assert SparseVector({}).cosine(SparseVector({0: 1.0})) == 0.0
+
+    def test_euclidean_matches_dense(self):
+        a = SparseVector({0: 1.0, 2: 2.0})
+        b = SparseVector({0: 4.0, 1: 4.0})
+        expected = math.sqrt(9.0 + 16.0 + 4.0)
+        assert a.euclidean(b) == pytest.approx(expected)
+
+    def test_scaled(self):
+        v = SparseVector({0: 2.0}).scaled(2.5)
+        assert v.get(0) == 5.0
+
+    def test_scaled_by_zero_empties(self):
+        assert SparseVector({0: 2.0}).scaled(0.0).nnz == 0
+
+    def test_unit(self):
+        u = SparseVector({0: 3.0, 1: 4.0}).unit()
+        assert u.norm() == pytest.approx(1.0)
+
+    def test_unit_of_zero(self):
+        assert SparseVector({}).unit().nnz == 0
+
+    def test_add(self):
+        a = SparseVector({0: 1.0, 1: 2.0})
+        b = SparseVector({1: 3.0, 2: 4.0})
+        s = a.add(b)
+        assert s.get(0) == 1.0
+        assert s.get(1) == 5.0
+        assert s.get(2) == 4.0
+
+    def test_add_cancels_to_zero(self):
+        a = SparseVector({0: 1.0})
+        b = SparseVector({0: -1.0})
+        assert a.add(b).nnz == 0
+
+
+class TestInspection:
+    def test_items_sorted(self):
+        v = SparseVector({5: 1.0, 1: 2.0, 3: 3.0})
+        assert [d for d, _ in v.items()] == [1, 3, 5]
+
+    def test_equality(self):
+        assert SparseVector({0: 1.0}) == SparseVector({0: 1.0})
+        assert SparseVector({0: 1.0}) != SparseVector({0: 2.0})
+
+    def test_len_and_repr(self):
+        v = SparseVector({0: 1.0, 4: 2.0})
+        assert len(v) == 2
+        assert "nnz=2" in repr(v)

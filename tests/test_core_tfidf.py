@@ -1,0 +1,166 @@
+"""Tests for the tf-idf model (repro.core.tfidf)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.corpus import Corpus
+from repro.core.document import CountDocument
+from repro.core.tfidf import TfIdfModel
+from repro.core.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary([1, 2, 3, 4], ["w", "x", "y", "z"])
+
+
+def doc(vocab, counts, label=None):
+    return CountDocument(vocab, np.array(counts, dtype=np.int64), label=label)
+
+
+@pytest.fixture()
+def corpus(vocab):
+    return Corpus(vocab, [
+        doc(vocab, [4, 1, 0, 0], "a"),   # w, x
+        doc(vocab, [2, 0, 2, 0], "a"),   # w, y
+        doc(vocab, [2, 0, 0, 0], "b"),   # w only
+        doc(vocab, [1, 1, 1, 0], "b"),   # w, x, y
+    ])
+
+
+class TestFitting:
+    def test_idf_formula_matches_paper(self, corpus):
+        model = TfIdfModel().fit(corpus)
+        idf = model.idf()
+        # w in all 4 docs: idf = log(4/4) = 0 — ubiquitous terms vanish.
+        assert idf[0] == pytest.approx(0.0)
+        # x in 2 docs: log(4/2)
+        assert idf[1] == pytest.approx(math.log(2))
+        # y in 2 docs: log(4/2)
+        assert idf[2] == pytest.approx(math.log(2))
+        # z unseen: weight 0 by convention
+        assert idf[3] == 0.0
+
+    def test_empty_corpus_rejected(self, vocab):
+        with pytest.raises(ValueError, match="empty"):
+            TfIdfModel().fit(Corpus(vocab))
+
+    def test_unfitted_transform_rejected(self, vocab):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            TfIdfModel().transform(doc(vocab, [1, 0, 0, 0]))
+
+    def test_idf_of_by_address(self, corpus):
+        model = TfIdfModel().fit(corpus)
+        assert model.idf_of(2) == pytest.approx(math.log(2))
+
+    def test_fitted_flag_and_repr(self, corpus):
+        model = TfIdfModel()
+        assert not model.fitted
+        model.fit(corpus)
+        assert model.fitted
+        assert "fitted on 4 docs" in repr(model)
+
+
+class TestFromIdf:
+    def test_roundtrip_equals_fitted_model(self, corpus, vocab):
+        fitted = TfIdfModel().fit(corpus)
+        rehydrated = TfIdfModel.from_idf(
+            vocab, fitted.idf(), corpus_size=fitted.corpus_size
+        )
+        document = doc(vocab, [1, 2, 3, 0])
+        assert np.allclose(
+            fitted.transform(document).weights,
+            rehydrated.transform(document).weights,
+        )
+
+    def test_shape_validated(self, vocab):
+        with pytest.raises(ValueError, match="idf shape"):
+            TfIdfModel.from_idf(vocab, np.zeros(2))
+
+    def test_negative_idf_rejected(self, vocab):
+        with pytest.raises(ValueError, match="non-negative"):
+            TfIdfModel.from_idf(vocab, np.array([0.0, -1.0, 0.0, 0.0]))
+
+    def test_is_fitted(self, vocab):
+        model = TfIdfModel.from_idf(vocab, np.zeros(4))
+        assert model.fitted
+
+
+class TestTransform:
+    def test_weight_is_tf_times_idf(self, corpus, vocab):
+        model = TfIdfModel().fit(corpus)
+        sig = model.transform(doc(vocab, [0, 3, 1, 0]))
+        assert sig.weights[1] == pytest.approx(0.75 * math.log(2))
+        assert sig.weights[2] == pytest.approx(0.25 * math.log(2))
+        assert sig.weights[0] == 0.0
+
+    def test_label_and_metadata_propagate(self, corpus, vocab):
+        model = TfIdfModel().fit(corpus)
+        document = CountDocument(
+            vocab, np.array([1, 1, 0, 0]), label="L", metadata={"k": "v"}
+        )
+        sig = model.transform(document)
+        assert sig.label == "L"
+        assert sig.metadata["k"] == "v"
+
+    def test_vocabulary_mismatch_rejected(self, corpus):
+        model = TfIdfModel().fit(corpus)
+        other = Vocabulary([9, 8, 7, 6])
+        with pytest.raises(ValueError, match="vocabulary"):
+            model.transform(doc(other, [1, 0, 0, 0]))
+
+    def test_transform_corpus_matches_individual(self, corpus):
+        model = TfIdfModel().fit(corpus)
+        batch = model.transform_corpus(corpus)
+        for sig, document in zip(batch, corpus):
+            individual = model.transform(document)
+            assert np.allclose(sig.weights, individual.weights)
+            assert sig.label == individual.label
+
+    def test_fit_transform_shortcut(self, corpus):
+        sigs = TfIdfModel().fit_transform(corpus)
+        assert len(sigs) == len(corpus)
+
+    def test_empty_document_gives_zero_signature(self, corpus, vocab):
+        model = TfIdfModel().fit(corpus)
+        sig = model.transform(doc(vocab, [0, 0, 0, 0]))
+        assert sig.is_zero
+
+
+class TestAblationSwitches:
+    def test_no_idf_keeps_ubiquitous_terms(self, corpus, vocab):
+        model = TfIdfModel(use_idf=False).fit(corpus)
+        sig = model.transform(doc(vocab, [3, 1, 0, 0]))
+        assert sig.weights[0] == pytest.approx(0.75)
+
+    def test_raw_counts_bias_toward_longer_runs(self, corpus, vocab):
+        model = TfIdfModel(normalize_tf=False).fit(corpus)
+        short = model.transform(doc(vocab, [0, 1, 0, 0]))
+        long = model.transform(doc(vocab, [0, 10, 0, 0]))
+        assert long.weights[1] == pytest.approx(10 * short.weights[1])
+
+    def test_normalized_tf_removes_length_bias(self, corpus, vocab):
+        model = TfIdfModel(normalize_tf=True).fit(corpus)
+        short = model.transform(doc(vocab, [0, 1, 0, 0]))
+        long = model.transform(doc(vocab, [0, 10, 0, 0]))
+        assert np.allclose(short.weights, long.weights)
+
+
+class TestInterferenceAttenuation:
+    def test_idf_attenuates_measurement_noise(self, vocab):
+        """Section 5: uniform daemon perturbation is damped by idf."""
+        docs = [
+            doc(vocab, [5, 10, 0, 0], "a"),
+            doc(vocab, [5, 0, 12, 0], "b"),
+            doc(vocab, [5, 8, 0, 0], "a"),
+            doc(vocab, [5, 0, 9, 0], "b"),
+        ]
+        corpus = Corpus(vocab, docs)
+        sigs = TfIdfModel().fit_transform(corpus)
+        # Term w (the "daemon" noise, present everywhere) carries no weight;
+        # the class-distinguishing terms x and y carry all of it.
+        for sig in sigs:
+            assert sig.weights[0] == 0.0
+            assert sig.weights[1] + sig.weights[2] > 0.0

@@ -1,0 +1,75 @@
+"""Tests for the term vocabulary (repro.core.vocabulary)."""
+
+import pytest
+
+from repro.core.vocabulary import Vocabulary
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Vocabulary([])
+
+    def test_duplicate_terms_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            Vocabulary([1, 2, 2])
+
+    def test_name_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="names"):
+            Vocabulary([1, 2], names=["only-one"])
+
+    def test_from_symbol_table(self, symbols):
+        vocab = Vocabulary.from_symbol_table(symbols)
+        assert len(vocab) == len(symbols)
+        fn = symbols.by_name("vfs_read")
+        assert vocab.name_at(vocab.index_of(fn.address)) == "vfs_read"
+
+
+class TestMapping:
+    def test_roundtrip(self):
+        vocab = Vocabulary([0x10, 0x20, 0x30])
+        for i, addr in enumerate([0x10, 0x20, 0x30]):
+            assert vocab.index_of(addr) == i
+            assert vocab.term_at(i) == addr
+
+    def test_unknown_term_raises(self):
+        vocab = Vocabulary([0x10])
+        with pytest.raises(KeyError):
+            vocab.index_of(0x99)
+
+    def test_index_out_of_range_raises(self):
+        vocab = Vocabulary([0x10])
+        with pytest.raises(IndexError):
+            vocab.term_at(5)
+
+    def test_contains(self):
+        vocab = Vocabulary([0x10])
+        assert 0x10 in vocab
+        assert 0x20 not in vocab
+
+    def test_unnamed_vocabulary_renders_hex(self):
+        vocab = Vocabulary([0x1234])
+        assert vocab.name_at(0) == "0x1234"
+
+    def test_subset_indices(self):
+        vocab = Vocabulary([0x10, 0x20, 0x30])
+        assert vocab.subset_indices([0x30, 0x10]) == [2, 0]
+
+
+class TestIdentity:
+    def test_equality_by_terms(self):
+        assert Vocabulary([1, 2]) == Vocabulary([1, 2])
+        assert Vocabulary([1, 2]) != Vocabulary([2, 1])
+
+    def test_names_do_not_affect_equality(self):
+        assert Vocabulary([1, 2], ["a", "b"]) == Vocabulary([1, 2])
+
+    def test_hashable(self):
+        assert hash(Vocabulary([1, 2])) == hash(Vocabulary([1, 2]))
+
+    def test_fingerprint_stable_and_distinct(self):
+        a = Vocabulary([1, 2, 3])
+        b = Vocabulary([1, 2, 3])
+        c = Vocabulary([1, 2, 4])
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()

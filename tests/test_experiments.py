@@ -1,0 +1,230 @@
+"""Integration tests: every paper table/figure harness at reduced scale.
+
+These validate the *shape* claims the reproduction targets, using scales
+small enough for CI; the benchmarks under ``benchmarks/`` run closer to
+paper scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig1_bootup,
+    fig4_dendrogram,
+    fig5_purity_samples,
+    fig6_purity_k,
+    table1_lmbench,
+    table2_apachebench,
+    table3_kcompile,
+    table4_svm_workloads,
+    table5_svm_myri10ge,
+)
+
+
+@pytest.fixture(scope="module")
+def workload_collection():
+    return table4_svm_workloads.collect_workload_signatures(
+        seed=7, intervals_per_workload=30
+    )
+
+
+class TestFig1:
+    def test_power_law_shape(self):
+        result = fig1_bootup.run(seed=7)
+        assert result.functions_called > 1000
+        assert result.decades_spanned > 4.0
+        assert result.fit.slope < -1.0
+        assert result.fit.r_squared > 0.7
+
+    def test_top_functions_are_hot_kernel_internals(self):
+        result = fig1_bootup.run(seed=7)
+        top_names = {name for name, _ in result.top_functions}
+        hot = {"_spin_lock", "_spin_unlock", "__rcu_read_lock",
+               "__rcu_read_unlock", "kmem_cache_alloc", "down_read",
+               "up_read", "do_page_fault", "handle_mm_fault",
+               "find_get_page", "fget_light", "update_curr"}
+        assert top_names & hot
+
+    def test_table_renders(self):
+        text = fig1_bootup.run(seed=7).table().render()
+        assert "log-log slope" in text
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1_lmbench.run(seed=7, iterations=8)
+
+    def test_all_rows_measured(self, result):
+        assert len(result.rows) == 23
+
+    def test_ftrace_always_slower_than_fmeter(self, result):
+        for row in result.rows:
+            assert row.ftrace.mean > row.fmeter.mean, row.test.name
+
+    def test_fmeter_within_2x_of_vanilla(self, result):
+        for row in result.rows:
+            assert row.fmeter_slowdown < 2.0, row.test.name
+
+    def test_mean_slowdowns_match_paper_shape(self, result):
+        assert 1.2 < result.mean_fmeter_slowdown < 1.7   # paper ~1.4
+        assert 4.5 < result.mean_ftrace_slowdown < 9.0   # paper ~6.69
+
+    def test_ratio_range_matches_paper(self, result):
+        ratios = [row.ratio for row in result.rows]
+        assert min(ratios) > 1.5   # paper min 2.125
+        assert max(ratios) < 10.0  # paper max 8.046
+
+    def test_render(self, result):
+        assert "lmbench" in result.table().render()
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2_apachebench.run(seed=7, repetitions=8)
+
+    def test_ordering(self, result):
+        vanilla = result.row("vanilla").requests_per_second.mean
+        fmeter = result.row("fmeter").requests_per_second.mean
+        ftrace = result.row("ftrace").requests_per_second.mean
+        assert vanilla > fmeter > ftrace
+
+    def test_slowdown_bands(self, result):
+        assert 15 < result.row("fmeter").slowdown_percent < 35   # paper 24.07
+        assert 50 < result.row("ftrace").slowdown_percent < 75   # paper 61.13
+
+    def test_vanilla_deterministic(self, result):
+        # Identical samples; only float rounding noise in the SEM.
+        assert result.row("vanilla").requests_per_second.sem < 1e-6
+
+    def test_repetitions_validated(self):
+        with pytest.raises(ValueError):
+            table2_apachebench.run(repetitions=0)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3_kcompile.run(seed=7)
+
+    def test_user_time_untouched(self, result):
+        users = {row.user_s for row in result.rows}
+        assert len(users) == 1  # user code is never instrumented
+
+    def test_sys_slowdown_bands(self, result):
+        assert result.row("Fmeter").sys_slowdown < 1.8      # paper 1.22
+        assert 4.0 < result.row("Ftrace").sys_slowdown < 7.0  # paper 5.19
+
+    def test_real_tracks_sys_inflation(self, result):
+        assert result.row("Ftrace").real_s > result.row("Fmeter").real_s
+        assert result.row("Fmeter").real_s > result.row("Unmodified").real_s - 1
+
+    def test_render_has_time_format(self, result):
+        assert "m" in result.table().render()
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self, workload_collection):
+        return table4_svm_workloads.run(
+            seed=7, k_folds=5, collection=workload_collection
+        )
+
+    def test_six_groupings(self, result):
+        assert len(result.groupings) == 6
+
+    def test_near_perfect_accuracy(self, result):
+        for grouping in result.groupings:
+            accuracy, _ = grouping.result.accuracy
+            assert accuracy > 0.9, grouping.name
+
+    def test_beats_baseline_substantially(self, result):
+        for grouping in result.groupings:
+            accuracy, _ = grouping.result.accuracy
+            assert accuracy > grouping.result.baseline_accuracy + 0.2
+
+    def test_one_vs_rest_baselines_higher(self, result):
+        pairwise = result.groupings[:3]
+        one_vs_rest = result.groupings[3:]
+        assert all(
+            g.result.baseline_accuracy > 0.6 for g in one_vs_rest
+        )
+        assert all(
+            g.result.baseline_accuracy < 0.6 for g in pairwise
+        )
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table5_svm_myri10ge.run(
+            seed=7, intervals_per_variant=24, k_folds=4
+        )
+
+    def test_three_pairings_all_separable(self, result):
+        assert len(result.groupings) == 3
+        for grouping in result.groupings:
+            accuracy, _ = grouping.result.accuracy
+            assert accuracy > 0.9, grouping.name
+
+    def test_throughput_shape(self, result):
+        assert result.throughput_gbps["fmeter"] == pytest.approx(10.0)
+        assert result.throughput_gbps["ftrace"] < 7.5
+
+
+class TestFig4:
+    def test_perfect_separation_below_root(self, workload_collection):
+        result = fig4_dendrogram.run(seed=7, collection=workload_collection)
+        assert result.perfectly_separated
+
+    def test_notation_mentions_all_leaves(self, workload_collection):
+        result = fig4_dendrogram.run(seed=7, collection=workload_collection)
+        notation = result.notation()
+        for leaf in range(20):
+            assert str(leaf) in notation
+
+
+class TestFig5:
+    def test_purity_high_and_k3_below_k2(self, workload_collection):
+        result = fig5_purity_samples.run(
+            seed=7, sample_counts=(10, 20, 28), runs=6,
+            collection=workload_collection,
+        )
+        three_way = result.final_purity("scp, kcompile, dbench")
+        pairs = [
+            result.final_purity("scp, kcompile"),
+            result.final_purity("scp, dbench"),
+            result.final_purity("kcompile, dbench"),
+        ]
+        assert three_way > 0.75
+        assert all(p > 0.8 for p in pairs)
+        assert three_way <= max(pairs) + 1e-9
+
+
+class TestFig6:
+    def test_purity_converges_to_one_with_k(self, workload_collection):
+        result = fig6_purity_k.run(
+            seed=7, k_values=(2, 4, 8, 16), sample_counts=(20,), runs=6,
+            collection=workload_collection,
+        )
+        points = result.curves[20]
+        first = points[0][1].mean
+        last = points[-1][1].mean
+        assert last >= first - 1e-9
+        assert last > 0.97
+
+
+class TestAblations:
+    def test_hot_cache_monotone(self):
+        outcome = ablations.run_hot_cache_ablation(
+            seed=7, cache_sizes=(0, 32, 256)
+        )
+        costs = [outcome.values[str(s)] for s in (0, 32, 256)]
+        assert costs[0] > costs[1] > costs[2]
+
+    def test_metric_ablation_all_high(self, workload_collection):
+        outcome = ablations.run_metric_ablation(
+            seed=7, collection=workload_collection
+        )
+        assert all(v > 0.8 for v in outcome.values.values())

@@ -1,0 +1,57 @@
+"""Tests for the retrieval-quality harness (repro.experiments.retrieval)."""
+
+import pytest
+
+from repro.experiments import retrieval
+from repro.experiments.retrieval import _average_precision
+
+
+class TestAveragePrecision:
+    def test_all_relevant(self):
+        assert _average_precision([True, True, True], 3) == 1.0
+
+    def test_none_relevant(self):
+        assert _average_precision([False, False], 5) == 0.0
+
+    def test_no_relevant_in_corpus(self):
+        assert _average_precision([False], 0) == 0.0
+
+    def test_known_value(self):
+        # Hits at ranks 1 and 3 of 2 relevant: (1/1 + 2/3) / 2
+        ap = _average_precision([True, False, True], 2)
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_late_hit_scores_lower(self):
+        early = _average_precision([True, False, False], 1)
+        late = _average_precision([False, False, True], 1)
+        assert early > late
+
+
+class TestRetrievalRun:
+    @pytest.fixture(scope="class")
+    def result(self, collection):
+        return retrieval.run(seed=7, collection=collection)
+
+    def test_both_metrics_reported(self, result):
+        assert set(result.scores) == {"cosine", "euclidean"}
+
+    def test_high_precision_at_1(self, result):
+        for metric, scores in result.scores.items():
+            assert scores["p@1"] > 0.9, metric
+
+    def test_map_and_mrr_high(self, result):
+        for metric, scores in result.scores.items():
+            assert scores["map"] > 0.8, metric
+            assert scores["mrr"] > 0.9, metric
+
+    def test_precision_degrades_gracefully_with_k(self, result):
+        for metric, scores in result.scores.items():
+            assert scores["p@10"] <= scores["p@1"] + 1e-9
+
+    def test_depth_validated(self):
+        with pytest.raises(ValueError, match="depth"):
+            retrieval.run(depth=5)
+
+    def test_table_renders(self, result):
+        text = result.table().render()
+        assert "mAP" in text and "cosine" in text

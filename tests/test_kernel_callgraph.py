@@ -1,0 +1,163 @@
+"""Tests for the call graph and operation expansion (repro.kernel.callgraph)."""
+
+import numpy as np
+import pytest
+
+from repro.kernel.callgraph import ANCHOR_DEPTHS, CANONICAL_EDGES, CallGraph
+from repro.util.rng import RngStream
+
+
+class TestConstruction:
+    def test_every_function_is_a_node(self, symbols, callgraph):
+        assert callgraph.graph.number_of_nodes() == len(symbols)
+
+    def test_canonical_edges_present_with_weights(self, callgraph):
+        for caller, callee, weight in CANONICAL_EDGES:
+            if weight <= 0:
+                continue
+            assert callgraph.edge_weight(caller, callee) == pytest.approx(weight)
+
+    def test_missing_edge_raises(self, callgraph):
+        with pytest.raises(KeyError):
+            callgraph.edge_weight("sys_read", "tcp_sendmsg")
+
+    def test_deterministic(self, symbols, callgraph):
+        again = CallGraph(symbols, 2012)
+        assert again.graph.number_of_edges() == callgraph.graph.number_of_edges()
+        assert again.edge_weight("sys_read", "vfs_read") == callgraph.edge_weight(
+            "sys_read", "vfs_read"
+        )
+
+    def test_anchor_depths_applied(self, callgraph):
+        for name, depth in list(ANCHOR_DEPTHS.items())[:20]:
+            idx = callgraph.index_by_name(name)
+            assert callgraph.depths[idx] == depth
+
+    def test_every_non_entry_function_reachable(self, callgraph):
+        """The orphan-connection pass guarantees in-degree >= 1 off depth 0."""
+        min_depth = int(callgraph.depths.min())
+        for i, fn in enumerate(callgraph.functions):
+            if callgraph.depths[i] == min_depth:
+                continue
+            assert callgraph.graph.in_degree(fn.address) >= 1, fn.name
+
+    def test_callees_sorted_by_weight(self, callgraph):
+        callees = callgraph.callees("sys_read")
+        weights = [w for _, w in callees]
+        assert weights == sorted(weights, reverse=True)
+        assert ("vfs_read", pytest.approx(1.0)) in callees
+
+
+class TestExpansion:
+    def test_seed_function_counted_once(self, callgraph):
+        expanded = callgraph.expand({"sys_getpid": 1.0})
+        idx = callgraph.index_by_name("sys_getpid")
+        assert expanded[idx] >= 1.0
+
+    def test_expansion_linear_in_seeds(self, callgraph):
+        one = callgraph.expand({"sys_read": 1.0})
+        three = callgraph.expand({"sys_read": 3.0})
+        assert np.allclose(three, one * 3.0, rtol=1e-8)
+
+    def test_expansion_additive_over_seeds(self, callgraph):
+        read = callgraph.expand({"sys_read": 1.0})
+        write = callgraph.expand({"sys_write": 1.0})
+        both = callgraph.expand({"sys_read": 1.0, "sys_write": 1.0})
+        assert np.allclose(both, read + write, rtol=1e-8)
+
+    def test_read_chain_reaches_page_cache(self, callgraph):
+        expanded = callgraph.expand({"sys_read": 1.0})
+        for fn in ("vfs_read", "generic_file_aio_read", "find_get_page",
+                   "security_file_permission"):
+            assert expanded[callgraph.index_by_name(fn)] > 0.0, fn
+
+    def test_read_does_not_touch_fork_path(self, callgraph):
+        expanded = callgraph.expand({"sys_read": 1.0})
+        assert expanded[callgraph.index_by_name("copy_process")] == 0.0
+
+    def test_rx_chain_reaches_tcp(self, callgraph):
+        expanded = callgraph.expand({"do_IRQ": 1.0, "napi_gro_frags": 8.0})
+        assert expanded[callgraph.index_by_name("tcp_rcv_established")] > 0.0
+
+    def test_cyclic_edges_converge(self, callgraph):
+        # tcp_send_ack -> tcp_transmit_skb is an upward edge closing a loop.
+        expanded = callgraph.expand({"sys_socketcall": 1.0})
+        assert np.isfinite(expanded).all()
+        assert expanded.sum() < 1e6
+
+    def test_expansion_nonnegative(self, callgraph):
+        for entry in ("sys_read", "do_fork", "do_IRQ", "schedule"):
+            assert (callgraph.expand({entry: 1.0}) >= 0.0).all()
+
+    def test_empty_seeds_rejected(self, callgraph):
+        with pytest.raises(ValueError, match="empty"):
+            callgraph.expand({})
+
+    def test_negative_seed_rejected(self, callgraph):
+        with pytest.raises(ValueError, match=">= 0"):
+            callgraph.expand({"sys_read": -1.0})
+
+    def test_unknown_entry_rejected(self, callgraph):
+        with pytest.raises(KeyError):
+            callgraph.expand({"not_a_function": 1.0})
+
+
+class TestProfiles:
+    def test_profile_cached(self, callgraph):
+        a = callgraph.profile("cached-op", {"sys_read": 1.0})
+        b = callgraph.profile("cached-op", {"sys_read": 1.0})
+        assert a is b
+
+    def test_total_calls_matches_expected_sum(self, callgraph):
+        prof = callgraph.profile("sum-op", {"sys_write": 2.0})
+        assert prof.total_calls == pytest.approx(float(prof.expected.sum()))
+
+    def test_sample_zero_ops_is_zero_vector(self, callgraph):
+        prof = callgraph.profile("zero-op", {"sys_read": 1.0})
+        counts = prof.sample(0, RngStream(1))
+        assert counts.sum() == 0
+        assert counts.dtype == np.int64
+
+    def test_sample_negative_ops_rejected(self, callgraph):
+        prof = callgraph.profile("neg-op", {"sys_read": 1.0})
+        with pytest.raises(ValueError):
+            prof.sample(-1, RngStream(1))
+
+    def test_sample_mean_tracks_expectation(self, callgraph):
+        prof = callgraph.profile("mean-op", {"sys_read": 1.0})
+        rng = RngStream(7)
+        totals = [prof.sample(1000, rng).sum() for _ in range(30)]
+        expected = prof.total_calls * 1000
+        assert 0.8 * expected < np.mean(totals) < 1.2 * expected
+
+    def test_sample_deterministic_for_same_stream(self, callgraph):
+        prof = callgraph.profile("det-op", {"sys_read": 1.0})
+        a = prof.sample(100, RngStream(5, "x"))
+        b = prof.sample(100, RngStream(5, "x"))
+        assert np.array_equal(a, b)
+
+    def test_sample_counts_nonnegative_integers(self, callgraph):
+        prof = callgraph.profile("int-op", {"do_fork": 1.0})
+        counts = prof.sample(10, RngStream(2))
+        assert (counts >= 0).all()
+        assert np.issubdtype(counts.dtype, np.integer)
+
+
+class TestPowerLawStructure:
+    def test_hot_utilities_dominate_mixed_load(self, callgraph):
+        mixed = (
+            callgraph.expand({"sys_read": 100.0})
+            + callgraph.expand({"sys_write": 60.0})
+            + callgraph.expand({"do_fork": 5.0})
+            + callgraph.expand({"do_IRQ": 40.0})
+        )
+        names = [f.name for f in callgraph.functions]
+        top_20 = {names[i] for i in np.argsort(mixed)[::-1][:20]}
+        # Locking/slab/rcu leaves should appear among the very top ranks.
+        assert top_20 & {"_spin_lock", "_spin_unlock", "kmem_cache_alloc",
+                         "__rcu_read_lock", "__rcu_read_unlock"}
+
+    def test_counts_span_multiple_decades(self, callgraph):
+        mixed = callgraph.expand({"sys_read": 1000.0, "do_fork": 10.0})
+        nz = mixed[mixed > 1e-9]
+        assert nz.max() / nz.min() > 1e4

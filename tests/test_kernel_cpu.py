@@ -1,0 +1,70 @@
+"""Tests for per-CPU state (repro.kernel.cpu)."""
+
+import pytest
+
+from repro.kernel.cpu import Cpu, PreemptionError
+
+
+class TestConstruction:
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError, match="cpu_id"):
+            Cpu(-1)
+
+    def test_rejects_nonpositive_ghz(self):
+        with pytest.raises(ValueError, match="ghz"):
+            Cpu(0, ghz=0.0)
+
+    def test_starts_idle_and_preemptible(self):
+        cpu = Cpu(0)
+        assert cpu.cycles == 0
+        assert cpu.preemptible
+
+
+class TestPreemption:
+    def test_disable_enable_balance(self):
+        cpu = Cpu(1)
+        cpu.preempt_disable()
+        assert not cpu.preemptible
+        cpu.preempt_enable()
+        assert cpu.preemptible
+
+    def test_nested_disable(self):
+        cpu = Cpu(1)
+        cpu.preempt_disable()
+        cpu.preempt_disable()
+        cpu.preempt_enable()
+        assert not cpu.preemptible
+        cpu.preempt_enable()
+        assert cpu.preemptible
+
+    def test_unbalanced_enable_raises(self):
+        cpu = Cpu(2)
+        with pytest.raises(PreemptionError, match="without matching"):
+            cpu.preempt_enable()
+
+    def test_error_names_cpu(self):
+        cpu = Cpu(7)
+        with pytest.raises(PreemptionError, match="cpu7"):
+            cpu.preempt_enable()
+
+
+class TestTimeAccounting:
+    def test_advance_accumulates_cycles(self):
+        cpu = Cpu(0, ghz=2.0)
+        cpu.advance_ns(100.0)
+        assert cpu.cycles == 200
+
+    def test_time_ns_roundtrip(self):
+        cpu = Cpu(0, ghz=2.93)
+        cpu.advance_ns(1000.0)
+        assert cpu.time_ns == pytest.approx(1000.0, rel=1e-3)
+
+    def test_negative_advance_rejected(self):
+        cpu = Cpu(0)
+        with pytest.raises(ValueError, match="backwards"):
+            cpu.advance_ns(-1.0)
+
+    def test_repr_contains_state(self):
+        cpu = Cpu(3)
+        cpu.preempt_disable()
+        assert "preempt_count=1" in repr(cpu)

@@ -1,0 +1,67 @@
+"""Tests for the debugfs pseudo-filesystem (repro.kernel.debugfs)."""
+
+import pytest
+
+from repro.kernel.debugfs import DebugFs
+
+
+@pytest.fixture()
+def fs():
+    return DebugFs()
+
+
+class TestRegistration:
+    def test_register_and_read(self, fs):
+        fs.register("/tracing/x", lambda: "hello\n")
+        assert fs.read("/tracing/x") == "hello\n"
+
+    def test_double_register_rejected(self, fs):
+        fs.register("/a", lambda: "")
+        with pytest.raises(ValueError, match="already registered"):
+            fs.register("/a", lambda: "")
+
+    def test_unregister(self, fs):
+        fs.register("/a", lambda: "")
+        fs.unregister("/a")
+        assert not fs.exists("/a")
+
+    def test_unregister_missing_raises(self, fs):
+        with pytest.raises(KeyError):
+            fs.unregister("/nope")
+
+    def test_paths_normalized(self, fs):
+        fs.register("tracing//y/", lambda: "v")
+        assert fs.exists("/tracing/y")
+        assert fs.read("/tracing/y") == "v"
+
+
+class TestReading:
+    def test_missing_file_raises_filenotfound(self, fs):
+        with pytest.raises(FileNotFoundError):
+            fs.read("/missing")
+
+    def test_provider_invoked_per_read(self, fs):
+        calls = []
+        fs.register("/counter", lambda: str(len(calls)))
+        fs.read("/counter")
+        calls.append(1)
+        assert fs.read("/counter") == "1"
+
+    def test_read_count_tracked(self, fs):
+        fs.register("/a", lambda: "")
+        fs.read("/a")
+        fs.read("/a")
+        assert fs.read_count == 2
+
+
+class TestListing:
+    def test_listdir_prefix(self, fs):
+        fs.register("/tracing/a", lambda: "")
+        fs.register("/tracing/b", lambda: "")
+        fs.register("/other/c", lambda: "")
+        assert fs.listdir("/tracing") == ["/tracing/a", "/tracing/b"]
+
+    def test_listdir_root_lists_all(self, fs):
+        fs.register("/x", lambda: "")
+        fs.register("/y/z", lambda: "")
+        assert fs.listdir("/") == ["/x", "/y/z"]

@@ -1,0 +1,184 @@
+"""Tests for the simulated machine (repro.kernel.machine)."""
+
+import numpy as np
+import pytest
+
+from repro.kernel.machine import MachineConfig, SimulatedMachine
+from repro.kernel.modules import make_myri10ge
+from repro.tracing.fmeter import FmeterTracer
+
+
+class TestMachineConfig:
+    def test_defaults_match_paper_testbed(self):
+        config = MachineConfig()
+        assert config.n_cpus == 16        # dual-socket Nehalem, HT on
+        assert config.cpu_ghz == 2.93     # Xeon X5570
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_cpus=0)
+        with pytest.raises(ValueError):
+            MachineConfig(cpu_ghz=-1)
+        with pytest.raises(ValueError):
+            MachineConfig(count_dispersion=2.0)
+
+
+class TestBoot:
+    def test_boots_on_construction(self, machine):
+        assert machine.mcount.introspected
+
+    def test_double_boot_rejected(self, machine):
+        with pytest.raises(RuntimeError, match="already booted"):
+            machine.boot()
+
+    def test_mismatched_callgraph_rejected(self, symbols, callgraph):
+        from repro.kernel.callgraph import CallGraph
+        from repro.kernel.symbols import build_symbol_table
+
+        other_symbols = build_symbol_table(1)
+        other_graph = CallGraph(other_symbols, 1)
+        with pytest.raises(ValueError, match="different symbol table"):
+            SimulatedMachine(symbols=symbols, callgraph=other_graph)
+
+
+class TestTracerAttachment:
+    def test_config_name_vanilla(self, machine):
+        assert machine.config_name() == "vanilla"
+
+    def test_config_name_with_tracer(self, fmeter_machine):
+        assert fmeter_machine.config_name() == "fmeter"
+
+    def test_second_tracer_rejected(self, fmeter_machine):
+        with pytest.raises(RuntimeError, match="already attached"):
+            fmeter_machine.attach_tracer(FmeterTracer())
+
+    def test_detach_then_reattach(self, fmeter_machine):
+        fmeter_machine.detach_tracer()
+        assert fmeter_machine.config_name() == "vanilla"
+        fmeter_machine.attach_tracer(FmeterTracer())
+        assert fmeter_machine.config_name() == "fmeter"
+
+    def test_detach_without_tracer_rejected(self, machine):
+        with pytest.raises(RuntimeError, match="no tracer"):
+            machine.detach_tracer()
+
+
+class TestExecution:
+    def test_execute_returns_sampled_counts(self, machine):
+        result = machine.execute("read", 100)
+        assert result.events == int(result.counts.sum())
+        assert result.events > 0
+
+    def test_execute_advances_clock(self, machine):
+        before = machine.now_ns
+        machine.execute("read", 10)
+        assert machine.now_ns > before
+
+    def test_vanilla_has_zero_overhead(self, machine):
+        result = machine.execute("read", 50)
+        assert result.overhead_ns == 0.0
+
+    def test_traced_execution_has_overhead(self, fmeter_machine):
+        result = fmeter_machine.execute("read", 50)
+        assert result.overhead_ns > 0.0
+
+    def test_round_robin_cpu_placement(self, machine):
+        cpus = {machine.execute("read", 1).cpu_id for _ in range(4)}
+        assert cpus == {0, 1, 2, 3}
+
+    def test_explicit_cpu_pinning(self, machine):
+        result = machine.execute("read", 1, cpu=2)
+        assert result.cpu_id == 2
+        assert machine.cpus[2].cycles > 0
+
+    def test_invalid_cpu_rejected(self, machine):
+        with pytest.raises(ValueError, match="no such cpu"):
+            machine.execute("read", 1, cpu=99)
+
+    def test_negative_ops_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.execute("read", -1)
+
+    def test_invalid_load_rejected(self, machine):
+        with pytest.raises(ValueError, match="load"):
+            machine.execute("read", 1, load=1.5)
+
+    def test_zero_ops_is_noop_events(self, machine):
+        result = machine.execute("read", 0)
+        assert result.events == 0
+        assert result.kernel_ns == 0.0
+
+    def test_elapsed_and_sys_composition(self, fmeter_machine):
+        result = fmeter_machine.execute("apache_request", 10)
+        assert result.elapsed_ns == pytest.approx(
+            result.kernel_ns + result.user_ns + result.overhead_ns
+        )
+        assert result.sys_ns == pytest.approx(
+            result.kernel_ns + result.overhead_ns
+        )
+
+    def test_idle_advances_clock_only(self, machine):
+        cycles_before = [c.cycles for c in machine.cpus]
+        machine.idle(1e6)
+        assert machine.now_ns >= 1e6
+        assert [c.cycles for c in machine.cpus] == cycles_before
+
+    def test_negative_idle_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.idle(-1.0)
+
+    def test_deterministic_given_seed(self, symbols, callgraph):
+        def run():
+            m = SimulatedMachine(
+                config=MachineConfig(n_cpus=2, seed=5, symbol_seed=2012),
+                symbols=symbols, callgraph=callgraph,
+            )
+            return m.execute("read", 100).counts
+
+        assert np.array_equal(run(), run())
+
+
+class TestLatency:
+    def test_vanilla_latency_is_op_cost(self, machine):
+        op = machine.syscalls.op("read")
+        assert machine.latency_ns("read") == pytest.approx(
+            op.kernel_ns + op.user_ns
+        )
+
+    def test_traced_latency_adds_expected_overhead(self, fmeter_machine):
+        vanilla_cost = fmeter_machine.syscalls.op("read").kernel_ns
+        assert fmeter_machine.latency_ns("read") > vanilla_cost
+
+
+class TestModules:
+    def test_load_module_registers_ops(self, machine):
+        module = make_myri10ge("1.5.1")
+        machine.load_module(module)
+        rx_name = module.operations[0].name
+        assert rx_name in machine.syscalls
+        result = machine.execute(rx_name, 5)
+        assert result.events > 0
+
+    def test_double_load_rejected(self, machine):
+        machine.load_module(make_myri10ge("1.5.1"))
+        with pytest.raises(RuntimeError, match="already loaded"):
+            machine.load_module(make_myri10ge("1.4.3"))
+
+    def test_unload(self, machine):
+        module = make_myri10ge("1.5.1")
+        machine.load_module(module)
+        returned = machine.unload_module("myri10ge")
+        assert returned is module
+        assert "myri10ge" not in machine.modules
+
+    def test_unload_missing_rejected(self, machine):
+        with pytest.raises(RuntimeError, match="not loaded"):
+            machine.unload_module("myri10ge")
+
+    def test_module_functions_not_in_vocabulary(self, machine):
+        """The paper's central design choice: modules are not instrumented."""
+        module = make_myri10ge("1.5.1")
+        machine.load_module(module)
+        assert machine.vocabulary_size == len(machine.symbols)
+        for fn in module.functions:
+            assert fn.name not in machine.symbols

@@ -1,0 +1,142 @@
+"""Tests for the mcount stub-patching lifecycle (repro.kernel.mcount)."""
+
+import pytest
+
+from repro.kernel.mcount import SLOTS_PER_PAGE, McountRegistry, StubState
+
+
+@pytest.fixture()
+def registry(symbols):
+    return McountRegistry(symbols)
+
+
+class TestBootIntrospection:
+    def test_initial_state_is_mcount(self, registry):
+        assert registry.site_by_name("vfs_read").state == StubState.MCOUNT
+
+    def test_introspection_converts_all_to_nop(self, registry):
+        converted = registry.boot_introspect()
+        assert converted == len(registry)
+        assert registry.site_by_name("vfs_read").state == StubState.NOP
+        assert not registry.sites_in_state(StubState.MCOUNT)
+
+    def test_double_introspection_rejected(self, registry):
+        registry.boot_introspect()
+        with pytest.raises(RuntimeError, match="already performed"):
+            registry.boot_introspect()
+
+    def test_site_lookup_by_address(self, registry, symbols):
+        fn = symbols.by_name("schedule")
+        assert registry.site(fn.address).address == fn.address
+
+    def test_unknown_site_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.site(0xDEAD)
+
+
+class TestSlotMap:
+    def test_requires_introspection_first(self, registry):
+        with pytest.raises(RuntimeError, match="before boot introspection"):
+            registry.build_slot_map()
+
+    def test_pages_cover_all_functions(self, registry, symbols):
+        registry.boot_introspect()
+        pages = registry.build_slot_map()
+        expected = (len(symbols) + SLOTS_PER_PAGE - 1) // SLOTS_PER_PAGE
+        assert pages == expected
+
+    def test_slots_follow_address_order(self, registry, symbols):
+        registry.boot_introspect()
+        registry.build_slot_map()
+        functions = list(symbols)
+        site0 = registry.site(functions[0].address)
+        assert (site0.page_index, site0.slot_index) == (0, 0)
+        site1 = registry.site(functions[1].address)
+        assert (site1.page_index, site1.slot_index) == (0, 1)
+        boundary = registry.site(functions[SLOTS_PER_PAGE].address)
+        assert (boundary.page_index, boundary.slot_index) == (1, 0)
+
+    def test_slot_pairs_unique(self, registry, symbols):
+        registry.boot_introspect()
+        registry.build_slot_map()
+        pairs = {
+            (registry.site(f.address).page_index,
+             registry.site(f.address).slot_index)
+            for f in symbols
+        }
+        assert len(pairs) == len(symbols)
+
+    def test_double_build_rejected(self, registry):
+        registry.boot_introspect()
+        registry.build_slot_map()
+        with pytest.raises(RuntimeError, match="already built"):
+            registry.build_slot_map()
+
+
+class TestTracingLifecycle:
+    def test_enable_requires_introspection(self, registry):
+        with pytest.raises(RuntimeError, match="before boot"):
+            registry.enable_tracing()
+
+    def test_enable_converts_nops_back(self, registry):
+        registry.boot_introspect()
+        n = registry.enable_tracing()
+        assert n == len(registry)
+        assert registry.site_by_name("vfs_read").state == StubState.MCOUNT
+
+    def test_patch_stub_lifecycle(self, registry, symbols):
+        registry.boot_introspect()
+        registry.build_slot_map()
+        registry.enable_tracing()
+        fn = symbols.by_name("vfs_read")
+        site = registry.patch_stub(fn.address)
+        assert site.state == StubState.STUB
+        assert site.has_slot
+
+    def test_patch_from_nop_rejected(self, registry, symbols):
+        registry.boot_introspect()
+        registry.build_slot_map()
+        fn = symbols.by_name("vfs_read")
+        with pytest.raises(RuntimeError, match="cannot patch"):
+            registry.patch_stub(fn.address)
+
+    def test_patch_without_slot_map_rejected(self, registry, symbols):
+        registry.boot_introspect()
+        registry.enable_tracing()
+        with pytest.raises(RuntimeError, match="slot map"):
+            registry.patch_stub(symbols.by_name("vfs_read").address)
+
+    def test_double_patch_rejected(self, registry, symbols):
+        registry.boot_introspect()
+        registry.build_slot_map()
+        registry.enable_tracing()
+        addr = symbols.by_name("vfs_read").address
+        registry.patch_stub(addr)
+        with pytest.raises(RuntimeError, match="cannot patch"):
+            registry.patch_stub(addr)
+
+    def test_disable_resets_stubs_and_mcounts(self, registry, symbols):
+        registry.boot_introspect()
+        registry.build_slot_map()
+        registry.enable_tracing()
+        registry.patch_stub(symbols.by_name("vfs_read").address)
+        n = registry.disable_tracing()
+        assert n == len(registry)
+        assert registry.site_by_name("vfs_read").state == StubState.NOP
+
+    def test_stub_coverage_fraction(self, registry, symbols):
+        registry.boot_introspect()
+        registry.build_slot_map()
+        registry.enable_tracing()
+        assert registry.stub_coverage() == 0.0
+        registry.patch_stub(symbols.by_name("vfs_read").address)
+        assert registry.stub_coverage() == pytest.approx(1 / len(symbols))
+
+    def test_patch_count_tracks_transitions(self, registry, symbols):
+        registry.boot_introspect()        # 1
+        registry.build_slot_map()
+        registry.enable_tracing()         # 2
+        addr = symbols.by_name("vfs_read").address
+        registry.patch_stub(addr)         # 3
+        registry.disable_tracing()        # 4
+        assert registry.site(addr).patch_count == 4

@@ -1,0 +1,116 @@
+"""Tests for loadable modules and the myri10ge variants (repro.kernel.modules)."""
+
+import pytest
+
+from repro.kernel.modules import (
+    MODULE_BASE,
+    MYRI10GE_VARIANTS,
+    KernelModule,
+    ModuleFunction,
+    make_myri10ge,
+)
+
+
+class TestModuleFunction:
+    def test_rejects_bad_layout(self):
+        with pytest.raises(ValueError):
+            ModuleFunction(name="f", offset=-1, size_bytes=16)
+        with pytest.raises(ValueError):
+            ModuleFunction(name="f", offset=0, size_bytes=0)
+
+
+class TestMyri10geVariants:
+    def test_three_paper_variants(self):
+        assert len(MYRI10GE_VARIANTS) == 3
+        for version, lro in MYRI10GE_VARIANTS:
+            module = make_myri10ge(version, lro)
+            assert module.name == "myri10ge"
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            make_myri10ge("2.0.0")
+
+    def test_143_lro_off_not_a_paper_scenario(self):
+        with pytest.raises(ValueError, match="default parameters"):
+            make_myri10ge("1.4.3", lro=False)
+
+    def test_keys_distinguish_variants(self):
+        keys = {
+            make_myri10ge(v, lro).key for v, lro in MYRI10GE_VARIANTS
+        }
+        assert len(keys) == 3
+
+    def test_paper_objdump_diff_counts(self):
+        """The paper: 24 altered, 1 removed, 11 added between versions."""
+        old = make_myri10ge("1.4.3")
+        new = make_myri10ge("1.5.1")
+        old_names = old.function_names()
+        new_names = new.function_names()
+        assert old_names - new_names == {"myri10ge_get_frag_header"}
+        assert len(new_names - old_names) == 11
+        assert "myri10ge_select_queue" in new_names - old_names
+        altered = [f for f in old.functions if f.altered_in_update]
+        assert len(altered) == 24
+
+    def test_altered_functions_shift_subsequent_offsets(self):
+        """The paper's argument against (module, version, offset) ids."""
+        old = make_myri10ge("1.4.3")
+        new = make_myri10ge("1.5.1")
+        old_offsets = {f.name: f.offset for f in old.functions}
+        new_offsets = {f.name: f.offset for f in new.functions}
+        shared = sorted(set(old_offsets) & set(new_offsets))
+        moved = [n for n in shared if old_offsets[n] != new_offsets[n]]
+        assert moved, "altered sizes must shift at least some offsets"
+
+    def test_layout_non_overlapping(self):
+        module = make_myri10ge("1.5.1")
+        functions = sorted(module.functions, key=lambda f: f.offset)
+        for prev, cur in zip(functions, functions[1:]):
+            assert prev.offset + prev.size_bytes <= cur.offset
+
+    def test_load_layout_relocates(self):
+        module = make_myri10ge("1.5.1")
+        layout = module.load_layout()
+        assert all(addr >= MODULE_BASE for addr in layout.values())
+        other = module.load_layout(load_base=MODULE_BASE + 0x10000)
+        assert all(
+            other[name] == layout[name] + 0x10000 for name in layout
+        )
+
+
+class TestModuleOperations:
+    def test_operations_reference_core_anchors_only(self, symbols):
+        for version, lro in MYRI10GE_VARIANTS:
+            module = make_myri10ge(version, lro)
+            for op in module.operations:
+                for entry in op.entries:
+                    assert entry in symbols, f"{op.name}: {entry}"
+                    assert not entry.startswith("myri10ge")
+
+    def test_rx_footprints_differ_across_variants(self, callgraph):
+        import numpy as np
+
+        from repro.kernel.syscalls import SyscallTable
+
+        vectors = []
+        for version, lro in MYRI10GE_VARIANTS:
+            module = make_myri10ge(version, lro)
+            table = SyscallTable(callgraph)
+            rx = module.operations[0]
+            table.register(rx)
+            expected = table.profile(rx.name).expected
+            vectors.append(expected / np.linalg.norm(expected))
+        for i in range(3):
+            for j in range(i + 1, 3):
+                cos = float(vectors[i] @ vectors[j])
+                assert cos < 0.999, (i, j)
+
+    def test_lro_off_costs_more_per_interrupt(self):
+        lro_on = make_myri10ge("1.5.1", lro=True).operations[0]
+        lro_off = make_myri10ge("1.5.1", lro=False).operations[0]
+        assert lro_off.target_calls > lro_on.target_calls
+        assert lro_off.kernel_ns > lro_on.kernel_ns
+
+    def test_op_names_carry_variant(self):
+        module = make_myri10ge("1.5.1", lro=False)
+        assert any("lro=off" in op.name for op in module.operations)

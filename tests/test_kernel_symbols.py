@@ -1,0 +1,152 @@
+"""Tests for the symbol table (repro.kernel.symbols)."""
+
+import pytest
+
+from repro.kernel.functions import SUBSYSTEM_SIZES, KernelFunction, Subsystem
+from repro.kernel.symbols import ANCHOR_FUNCTIONS, SymbolTable, build_symbol_table
+
+
+class TestBuildSymbolTable:
+    def test_total_size_matches_paper(self, symbols):
+        # The paper traces 3815 functions on its 2.6.28 testbed.
+        assert len(symbols) == sum(SUBSYSTEM_SIZES.values()) == 3815
+
+    def test_deterministic_across_builds(self, symbols):
+        rebuilt = build_symbol_table(2012)
+        assert [f.name for f in rebuilt] == [f.name for f in symbols]
+        assert [f.address for f in rebuilt] == [f.address for f in symbols]
+
+    def test_different_seed_different_layout(self, symbols):
+        other = build_symbol_table(9999)
+        assert [f.address for f in other] != [f.address for f in symbols]
+
+    def test_all_anchor_functions_present(self, symbols):
+        for name, subsystem, _ in ANCHOR_FUNCTIONS:
+            fn = symbols.by_name(name)
+            assert fn.subsystem == subsystem
+            assert fn.is_entry
+
+    def test_subsystem_sizes_respected(self, symbols):
+        for subsystem, expected in SUBSYSTEM_SIZES.items():
+            assert len(symbols.subsystem_functions(subsystem)) == expected
+
+    def test_addresses_ascending_and_nonoverlapping(self, symbols):
+        functions = list(symbols)
+        for prev, cur in zip(functions, functions[1:]):
+            assert prev.end_address <= cur.address
+
+    def test_addresses_in_kernel_text_range(self, symbols):
+        for fn in symbols:
+            assert fn.address >= 0xFFFF_FFFF_8100_0000
+
+    def test_names_unique(self, symbols):
+        names = symbols.names()
+        assert len(names) == len(set(names))
+
+    def test_sizes_are_16_byte_aligned(self, symbols):
+        generated = [f for f in symbols if not f.is_entry]
+        assert all(f.size_bytes % 16 == 0 for f in generated[:100])
+
+
+class TestSymbolTableQueries:
+    def test_by_name_hit(self, symbols):
+        assert symbols.by_name("vfs_read").name == "vfs_read"
+
+    def test_by_name_miss_raises(self, symbols):
+        with pytest.raises(KeyError, match="no_such_function"):
+            symbols.by_name("no_such_function")
+
+    def test_by_address_roundtrip(self, symbols):
+        fn = symbols.by_name("tcp_sendmsg")
+        assert symbols.by_address(fn.address) is fn
+
+    def test_by_address_miss_raises(self, symbols):
+        with pytest.raises(KeyError):
+            symbols.by_address(0x1234)
+
+    def test_resolve_start_address(self, symbols):
+        fn = symbols.by_name("schedule")
+        assert symbols.resolve(fn.address) is fn
+
+    def test_resolve_interior_address(self, symbols):
+        fn = symbols.by_name("schedule")
+        assert symbols.resolve(fn.address + fn.size_bytes - 1) is fn
+
+    def test_resolve_gap_returns_none(self, symbols):
+        fn = list(symbols)[0]
+        # Inter-function padding is at least 16 bytes.
+        assert symbols.resolve(fn.end_address) is None
+
+    def test_resolve_below_text_base_returns_none(self, symbols):
+        assert symbols.resolve(0x1000) is None
+
+    def test_contains(self, symbols):
+        assert "kmem_cache_alloc" in symbols
+        assert "not_a_symbol" not in symbols
+
+    def test_entry_points_flagged(self, symbols):
+        entries = symbols.entry_points()
+        assert len(entries) == len(ANCHOR_FUNCTIONS)
+
+
+class TestSymbolTableValidation:
+    def _fn(self, addr, name="f", size=32):
+        return KernelFunction(
+            address=addr, name=name, subsystem=Subsystem.VFS,
+            size_bytes=size, hotness=1.0,
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SymbolTable([])
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="duplicate symbol name"):
+            SymbolTable([self._fn(0x1000, "a"), self._fn(0x2000, "a")])
+
+    def test_duplicate_address_rejected(self):
+        with pytest.raises(ValueError, match="duplicate symbol address"):
+            SymbolTable([self._fn(0x1000, "a"), self._fn(0x1000, "b")])
+
+    def test_overlapping_symbols_rejected(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            SymbolTable(
+                [self._fn(0x1000, "a", size=64), self._fn(0x1020, "b")]
+            )
+
+
+class TestKernelFunction:
+    def test_end_address(self):
+        fn = KernelFunction(
+            address=0x1000, name="f", subsystem=Subsystem.MM,
+            size_bytes=48, hotness=2.0,
+        )
+        assert fn.end_address == 0x1030
+
+    def test_rejects_nonpositive_address(self):
+        with pytest.raises(ValueError, match="address"):
+            KernelFunction(
+                address=0, name="f", subsystem=Subsystem.MM,
+                size_bytes=16, hotness=1.0,
+            )
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError, match="size"):
+            KernelFunction(
+                address=0x10, name="f", subsystem=Subsystem.MM,
+                size_bytes=0, hotness=1.0,
+            )
+
+    def test_rejects_nonpositive_hotness(self):
+        with pytest.raises(ValueError, match="hotness"):
+            KernelFunction(
+                address=0x10, name="f", subsystem=Subsystem.MM,
+                size_bytes=16, hotness=0.0,
+            )
+
+    def test_str_shows_name_and_address(self):
+        fn = KernelFunction(
+            address=0x1000, name="vfs_x", subsystem=Subsystem.VFS,
+            size_bytes=16, hotness=1.0,
+        )
+        assert "vfs_x" in str(fn) and "0x1000" in str(fn)

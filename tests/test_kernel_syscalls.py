@@ -1,0 +1,122 @@
+"""Tests for the operation registry (repro.kernel.syscalls)."""
+
+import pytest
+
+from repro.kernel.syscalls import STANDARD_OPS, KernelOp, SyscallTable
+
+
+@pytest.fixture(scope="module")
+def table(callgraph):
+    return SyscallTable(callgraph)
+
+
+class TestKernelOpValidation:
+    def test_requires_entries(self):
+        with pytest.raises(ValueError, match="entry seeds"):
+            KernelOp(name="x", entries={}, kernel_ns=10)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError, match="negative"):
+            KernelOp(name="x", entries={"sys_read": 1.0}, kernel_ns=-1)
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError, match="target_calls"):
+            KernelOp(
+                name="x", entries={"sys_read": 1.0},
+                kernel_ns=10, target_calls=0,
+            )
+
+    def test_frozen(self):
+        op = KernelOp(name="x", entries={"sys_read": 1.0}, kernel_ns=10)
+        with pytest.raises(AttributeError):
+            op.kernel_ns = 5
+
+
+class TestStandardOps:
+    def test_names_unique(self):
+        names = [op.name for op in STANDARD_OPS]
+        assert len(names) == len(set(names))
+
+    def test_lmbench_baselines_from_paper(self, table):
+        # Spot-check Table 1 vanilla column values (in ns).
+        assert table.op("simple_syscall").kernel_ns == 41
+        assert table.op("read").kernel_ns == 101
+        assert table.op("fork_exit").kernel_ns == 208914
+        assert table.op("pipe_latency").kernel_ns == 2492
+
+    def test_apache_request_has_user_time(self, table):
+        op = table.op("apache_request")
+        assert op.user_ns > 0  # httpd + ab parsing run in user mode
+
+    def test_all_entries_resolve_to_symbols(self, table, symbols):
+        for op in STANDARD_OPS:
+            for name, weight in op.entries.items():
+                if weight > 0:
+                    assert name in symbols, f"{op.name}: {name}"
+
+
+class TestSyscallTable:
+    def test_len_and_contains(self, table):
+        assert len(table) == len(STANDARD_OPS)
+        assert "read" in table
+        assert "nonexistent" not in table
+
+    def test_unknown_op_raises(self, table):
+        with pytest.raises(KeyError, match="unknown kernel operation"):
+            table.op("nonexistent")
+
+    def test_register_new_op(self, callgraph):
+        table = SyscallTable(callgraph)
+        table.register(
+            KernelOp(name="custom", entries={"sys_read": 1.0}, kernel_ns=5)
+        )
+        assert "custom" in table
+
+    def test_register_duplicate_rejected(self, callgraph):
+        table = SyscallTable(callgraph)
+        with pytest.raises(ValueError, match="already registered"):
+            table.register(
+                KernelOp(name="read", entries={"sys_read": 1.0}, kernel_ns=5)
+            )
+
+    def test_duplicate_in_constructor_rejected(self, callgraph):
+        dup = KernelOp(name="d", entries={"sys_read": 1.0}, kernel_ns=5)
+        with pytest.raises(ValueError, match="duplicate"):
+            SyscallTable(callgraph, ops=(dup, dup))
+
+    def test_names_sorted(self, table):
+        names = table.names()
+        assert names == sorted(names)
+
+
+class TestProfileScaling:
+    def test_profile_hits_target_calls(self, table):
+        for op_name in ("read", "open_close", "fork_exit", "select_100_tcp"):
+            op = table.op(op_name)
+            prof = table.profile(op_name)
+            assert prof.total_calls == pytest.approx(op.target_calls)
+
+    def test_profile_cached(self, table):
+        assert table.profile("read") is table.profile("read")
+
+    def test_zero_weight_entries_ignored(self, table):
+        # select_10 carries a zero-weight informational entry.
+        prof = table.profile("select_10")
+        assert prof.total_calls > 0
+
+    def test_footprints_differ_between_ops(self, table):
+        import numpy as np
+
+        read = table.profile("read").expected
+        fork = table.profile("fork_exit").expected
+        read_u = read / np.linalg.norm(read)
+        fork_u = fork / np.linalg.norm(fork)
+        assert float(read_u @ fork_u) < 0.9
+
+    def test_event_density_plausible(self, table):
+        """Roughly one traced call per ~3-30 ns of kernel time (paper-implied)."""
+        for op in STANDARD_OPS:
+            if op.target_calls is None:
+                continue
+            density_ns = op.kernel_ns / op.target_calls
+            assert 1.0 < density_ns < 60.0, op.name

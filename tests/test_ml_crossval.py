@@ -1,0 +1,115 @@
+"""Tests for the paper's K-fold protocol (repro.ml.crossval)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.crossval import kfold_cross_validate, make_folds
+
+
+def labels(n_pos, n_neg):
+    return np.array([1] * n_pos + [-1] * n_neg)
+
+
+class TestMakeFolds:
+    def test_fold_count(self):
+        folds = make_folds(labels(20, 20), k=5)
+        assert len(folds) == 5
+
+    def test_roles_disjoint(self):
+        for fold in make_folds(labels(20, 20), k=5):
+            train = set(fold.train.tolist())
+            val = set(fold.validation.tolist())
+            test = set(fold.test.tolist())
+            assert not train & val
+            assert not train & test
+            assert not val & test
+
+    def test_roles_cover_everything(self):
+        y = labels(21, 19)
+        for fold in make_folds(y, k=5):
+            union = (
+                set(fold.train.tolist())
+                | set(fold.validation.tolist())
+                | set(fold.test.tolist())
+            )
+            assert union == set(range(40))
+
+    def test_each_fold_mixes_classes(self):
+        """The paper merges positive set i with negative set i."""
+        y = labels(20, 30)
+        for fold in make_folds(y, k=5):
+            test_labels = y[fold.test]
+            assert (test_labels == 1).any()
+            assert (test_labels == -1).any()
+
+    def test_every_sample_tested_exactly_once(self):
+        y = labels(20, 20)
+        tested = np.concatenate([f.test for f in make_folds(y, k=5)])
+        assert sorted(tested.tolist()) == list(range(40))
+
+    def test_validation_is_next_fold(self):
+        y = labels(20, 20)
+        folds = make_folds(y, k=4, seed=1)
+        for i, fold in enumerate(folds):
+            expected_validation = set(folds[(i + 1) % 4].test.tolist())
+            assert set(fold.validation.tolist()) == expected_validation
+
+    def test_k_below_three_rejected(self):
+        with pytest.raises(ValueError, match=">= 3"):
+            make_folds(labels(10, 10), k=2)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least"):
+            make_folds(labels(2, 10), k=5)
+
+    def test_deterministic_given_seed(self):
+        y = labels(15, 15)
+        a = make_folds(y, k=5, seed=3)
+        b = make_folds(y, k=5, seed=3)
+        assert all(
+            np.array_equal(fa.test, fb.test) for fa, fb in zip(a, b)
+        )
+
+
+class TestKfoldCrossValidate:
+    def _blobs(self, n=30, gap=3.0, seed=0):
+        rng = np.random.default_rng(seed)
+        x = np.vstack([
+            rng.normal(size=(n, 3)) * 0.5 + gap / 2,
+            rng.normal(size=(n, 3)) * 0.5 - gap / 2,
+        ])
+        return x, labels(n, n)
+
+    def test_separable_data_perfect(self):
+        x, y = self._blobs()
+        result = kfold_cross_validate(x, y, k=5)
+        assert result.accuracy[0] == pytest.approx(1.0)
+        assert result.precision[0] == pytest.approx(1.0)
+        assert result.recall[0] == pytest.approx(1.0)
+
+    def test_fold_results_have_chosen_c(self):
+        x, y = self._blobs(n=15)
+        result = kfold_cross_validate(x, y, k=3, c_grid=(0.5, 5.0))
+        assert len(result.folds) == 3
+        assert all(f.chosen_c in (0.5, 5.0) for f in result.folds)
+
+    def test_baseline_accuracy_reported(self):
+        x, y = self._blobs(n=20)
+        result = kfold_cross_validate(x, y, k=4)
+        assert result.baseline_accuracy == pytest.approx(0.5)
+
+    def test_empty_c_grid_rejected(self):
+        x, y = self._blobs(n=10)
+        with pytest.raises(ValueError, match="c_grid"):
+            kfold_cross_validate(x, y, k=3, c_grid=())
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            kfold_cross_validate(np.ones((4, 2)), np.array([1, -1]))
+
+    def test_random_labels_near_chance(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(60, 4))
+        y = np.array([1, -1] * 30)
+        result = kfold_cross_validate(x, y, k=5, c_grid=(1.0,))
+        assert result.accuracy[0] < 0.75

@@ -1,0 +1,125 @@
+"""Tests for agglomerative clustering (repro.ml.hierarchical)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.hierarchical import agglomerative
+from repro.ml.metrics import purity
+
+
+def two_blobs(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, 2)) * 0.3
+    b = rng.normal(size=(n, 2)) * 0.3 + 8.0
+    return np.vstack([a, b]), ["a"] * n + ["b"] * n
+
+
+class TestValidation:
+    def test_unknown_linkage_rejected(self):
+        with pytest.raises(ValueError, match="linkage"):
+            agglomerative(np.zeros((3, 2)), "centroid")
+
+    def test_requires_matrix(self):
+        with pytest.raises(ValueError, match="2-D"):
+            agglomerative(np.zeros(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            agglomerative(np.zeros((0, 2)))
+
+    def test_single_point(self):
+        tree = agglomerative(np.zeros((1, 2)))
+        assert tree.root.is_leaf
+        assert tree.notation() == "0"
+
+
+class TestStructure:
+    def test_root_contains_all_members(self):
+        x, _ = two_blobs(4)
+        tree = agglomerative(x)
+        assert tree.root.members == tuple(range(8))
+
+    def test_merge_heights_monotone_for_single_linkage(self):
+        # Single linkage produces monotone dendrograms.
+        x, _ = two_blobs(6)
+        tree = agglomerative(x, "single")
+
+        def check(node):
+            if node.is_leaf:
+                return 0.0
+            assert node.height >= check(node.left) - 1e-12
+            assert node.height >= check(node.right) - 1e-12
+            return node.height
+
+        check(tree.root)
+
+    def test_notation_nested_parentheses(self):
+        x = np.array([[0.0], [0.1], [5.0]])
+        tree = agglomerative(x)
+        # The nearest pair (0, 1) merges first; the far point joins last.
+        assert tree.notation() == "(2, (0, 1))"
+
+    def test_n_minus_1_merges(self):
+        x, _ = two_blobs(5)
+        tree = agglomerative(x)
+        assert len(tree.merge_heights()) == 9
+
+
+class TestCuts:
+    def test_cut_two_separates_blobs(self):
+        x, labels = two_blobs()
+        tree = agglomerative(x, "single")
+        assignments = tree.cut(2)
+        assert purity(assignments.tolist(), labels) == 1.0
+
+    def test_cut_one_is_single_cluster(self):
+        x, _ = two_blobs(4)
+        assert len(set(agglomerative(x).cut(1).tolist())) == 1
+
+    def test_cut_n_is_singletons(self):
+        x, _ = two_blobs(4)
+        assignments = agglomerative(x).cut(8)
+        assert len(set(assignments.tolist())) == 8
+
+    def test_cut_k_validated(self):
+        x, _ = two_blobs(4)
+        tree = agglomerative(x)
+        with pytest.raises(ValueError):
+            tree.cut(0)
+        with pytest.raises(ValueError):
+            tree.cut(9)
+
+    def test_cut_height_above_root_single_cluster(self):
+        x, labels = two_blobs()
+        tree = agglomerative(x)
+        root_height = tree.root.height
+        assert len(set(tree.cut_height(root_height + 1).tolist())) == 1
+
+    def test_cut_height_zero_gives_singletons(self):
+        x, _ = two_blobs(4)
+        tree = agglomerative(x)
+        assert len(set(tree.cut_height(0.0).tolist())) == 8
+
+
+class TestLinkages:
+    def test_all_linkages_separate_clear_blobs(self):
+        x, labels = two_blobs()
+        for linkage in ("single", "complete", "average"):
+            assignments = agglomerative(x, linkage).cut(2)
+            assert purity(assignments.tolist(), labels) == 1.0, linkage
+
+    def test_single_linkage_chains(self):
+        """Single linkage famously chains through stepping stones."""
+        chain = np.array([[float(i), 0.0] for i in range(6)])
+        outlier = np.array([[30.0, 0.0]])
+        x = np.vstack([chain, outlier])
+        assignments = agglomerative(x, "single").cut(2)
+        # The whole chain stays together; the outlier is alone.
+        assert len(set(assignments[:6].tolist())) == 1
+        assert assignments[6] != assignments[0]
+
+    def test_complete_linkage_merge_heights_larger(self):
+        x, _ = two_blobs()
+        single_root = agglomerative(x, "single").root.height
+        complete_root = agglomerative(x, "complete").root.height
+        assert complete_root >= single_root

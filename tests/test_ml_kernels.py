@@ -1,0 +1,71 @@
+"""Tests for SVM kernel functions (repro.ml.kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import linear_kernel, polynomial_kernel, rbf_kernel
+
+
+class TestLinear:
+    def test_gram_matrix_values(self):
+        x = np.array([[1.0, 0.0], [0.0, 2.0]])
+        gram = linear_kernel(x, x)
+        assert gram.tolist() == [[1.0, 0.0], [0.0, 4.0]]
+
+    def test_accepts_1d_inputs(self):
+        assert linear_kernel([1.0, 2.0], [3.0, 4.0]).item() == pytest.approx(11.0)
+
+    def test_rectangular(self):
+        x = np.ones((3, 2))
+        y = np.ones((5, 2))
+        assert linear_kernel(x, y).shape == (3, 5)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            linear_kernel(np.ones((2, 3)), np.ones((2, 4)))
+
+
+class TestPolynomial:
+    def test_default_degree_three(self):
+        value = polynomial_kernel([1.0], [2.0]).item()
+        assert value == pytest.approx((2.0 + 1.0) ** 3)
+
+    def test_degree_one_coef_zero_is_linear(self):
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        assert np.allclose(
+            polynomial_kernel(x, x, degree=1, coef0=0.0), linear_kernel(x, x)
+        )
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(ValueError):
+            polynomial_kernel([1.0], [1.0], degree=0)
+
+    def test_gram_symmetric(self):
+        x = np.random.default_rng(1).normal(size=(5, 4))
+        gram = polynomial_kernel(x, x)
+        assert np.allclose(gram, gram.T)
+
+
+class TestRbf:
+    def test_self_similarity_is_one(self):
+        x = np.random.default_rng(2).normal(size=(4, 3))
+        assert np.allclose(np.diag(rbf_kernel(x, x)), 1.0)
+
+    def test_decays_with_distance(self):
+        near = rbf_kernel([0.0], [0.1]).item()
+        far = rbf_kernel([0.0], [3.0]).item()
+        assert near > far
+
+    def test_known_value(self):
+        assert rbf_kernel([0.0], [1.0], gamma=2.0).item() == pytest.approx(
+            np.exp(-2.0)
+        )
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            rbf_kernel([1.0], [1.0], gamma=0.0)
+
+    def test_values_in_unit_interval(self):
+        x = np.random.default_rng(3).normal(size=(6, 2))
+        gram = rbf_kernel(x, x)
+        assert (gram > 0).all() and (gram <= 1.0 + 1e-12).all()

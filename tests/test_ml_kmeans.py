@@ -1,0 +1,89 @@
+"""Tests for k-means clustering (repro.ml.kmeans)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kmeans import kmeans
+from repro.ml.metrics import purity
+
+
+def three_blobs(n=30, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0, 0], [6, 0], [0, 6]], dtype=float)
+    points = np.vstack([
+        rng.normal(size=(n, 2)) * 0.4 + center for center in centers
+    ])
+    labels = [i for i in range(3) for _ in range(n)]
+    return points, labels
+
+
+class TestValidation:
+    def test_k_out_of_range_rejected(self):
+        x = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            kmeans(x, 0)
+        with pytest.raises(ValueError):
+            kmeans(x, 6)
+
+    def test_requires_matrix(self):
+        with pytest.raises(ValueError, match="2-D"):
+            kmeans(np.zeros(5), 2)
+
+    def test_n_init_validated(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 2)), 2, n_init=0)
+
+
+class TestClustering:
+    def test_recovers_separated_blobs(self):
+        x, labels = three_blobs()
+        result = kmeans(x, 3, seed=1)
+        assert purity(result.assignments.tolist(), labels) == 1.0
+
+    def test_exactly_k_clusters(self):
+        x, _ = three_blobs()
+        result = kmeans(x, 5, seed=1)
+        assert len(set(result.assignments.tolist())) == 5
+        assert result.k == 5
+
+    def test_k_equals_n_gives_singletons(self):
+        x = np.arange(10, dtype=float).reshape(5, 2)
+        result = kmeans(x, 5, seed=0)
+        assert sorted(result.cluster_sizes().tolist()) == [1] * 5
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_k1_centroid_is_mean(self):
+        x, _ = three_blobs()
+        result = kmeans(x, 1, seed=0)
+        assert np.allclose(result.centroids[0], x.mean(axis=0))
+
+    def test_inertia_decreases_with_k(self):
+        x, _ = three_blobs()
+        inertias = [kmeans(x, k, seed=0).inertia for k in (1, 2, 3, 6)]
+        assert all(a >= b for a, b in zip(inertias, inertias[1:]))
+
+    def test_deterministic_given_seed(self):
+        x, _ = three_blobs()
+        a = kmeans(x, 3, seed=42)
+        b = kmeans(x, 3, seed=42)
+        assert np.array_equal(a.assignments, b.assignments)
+
+    def test_converged_flag(self):
+        x, _ = three_blobs()
+        assert kmeans(x, 3, seed=0).converged
+
+    def test_assignments_match_nearest_centroid(self):
+        x, _ = three_blobs()
+        result = kmeans(x, 3, seed=0)
+        d = ((x[:, None, :] - result.centroids[None, :, :]) ** 2).sum(axis=2)
+        assert np.array_equal(result.assignments, d.argmin(axis=1))
+
+    def test_identical_points_do_not_crash(self):
+        x = np.ones((8, 3))
+        result = kmeans(x, 3, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_cluster_sizes_sum_to_n(self):
+        x, _ = three_blobs()
+        result = kmeans(x, 4, seed=2)
+        assert result.cluster_sizes().sum() == len(x)

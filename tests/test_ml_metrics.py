@@ -1,0 +1,148 @@
+"""Tests for classification and clustering metrics (repro.ml.metrics)."""
+
+import pytest
+
+from repro.ml.metrics import (
+    accuracy,
+    baseline_accuracy,
+    binary_metrics,
+    f_measure,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, -1], [1, -1]) == 1.0
+
+    def test_half(self):
+        assert accuracy([1, 1], [1, -1]) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+
+class TestBaseline:
+    def test_majority_class(self):
+        """The paper's example: 100 (+1) and 150 (-1) -> 0.6."""
+        labels = [1] * 100 + [-1] * 150
+        assert baseline_accuracy(labels) == pytest.approx(0.6)
+
+    def test_balanced_is_half(self):
+        assert baseline_accuracy([1, -1, 1, -1]) == 0.5
+
+    def test_single_class_is_one(self):
+        assert baseline_accuracy([1, 1, 1]) == 1.0
+
+
+class TestBinaryMetrics:
+    def test_confusion_counts(self):
+        m = binary_metrics([1, 1, -1, -1], [1, -1, 1, -1])
+        assert (m.true_positives, m.false_negatives) == (1, 1)
+        assert (m.false_positives, m.true_negatives) == (1, 1)
+        assert m.accuracy == 0.5
+
+    def test_precision_recall(self):
+        m = binary_metrics([1, 1, 1, -1], [1, 1, -1, -1])
+        assert m.precision == 1.0
+        assert m.recall == pytest.approx(2 / 3)
+
+    def test_f1(self):
+        m = binary_metrics([1, 1, 1, -1], [1, 1, -1, -1])
+        assert m.f1 == pytest.approx(0.8)
+
+    def test_no_predicted_positives_conventions(self):
+        all_negative_truth = binary_metrics([-1, -1], [-1, -1])
+        assert all_negative_truth.precision == 1.0
+        assert all_negative_truth.recall == 1.0
+        missed = binary_metrics([1, -1], [-1, -1])
+        assert missed.precision == 0.0
+        assert missed.recall == 0.0
+
+    def test_rejects_other_labels(self):
+        with pytest.raises(ValueError):
+            binary_metrics([0, 1], [1, 1])
+
+
+class TestPurity:
+    def test_perfect_clustering(self):
+        assert purity([0, 0, 1, 1], ["a", "a", "b", "b"]) == 1.0
+
+    def test_mixed_cluster(self):
+        assert purity([0, 0, 0, 0], ["a", "a", "a", "b"]) == 0.75
+
+    def test_label_permutation_invariant(self):
+        assert purity([5, 5, 9, 9], ["a", "a", "b", "b"]) == 1.0
+
+    def test_singleton_clusters_are_pure(self):
+        """The degenerate property Figure 6 leverages: purity -> 1 as k -> n."""
+        assert purity([0, 1, 2, 3], ["a", "a", "b", "b"]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            purity([0], ["a", "b"])
+
+
+class TestNmi:
+    def test_perfect_agreement(self):
+        assert normalized_mutual_information(
+            [0, 0, 1, 1], ["a", "a", "b", "b"]
+        ) == pytest.approx(1.0)
+
+    def test_independent_assignment(self):
+        nmi = normalized_mutual_information(
+            [0, 1, 0, 1], ["a", "a", "b", "b"]
+        )
+        assert nmi == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_cluster_vs_mixed_classes(self):
+        assert normalized_mutual_information([0, 0], ["a", "b"]) == 0.0
+
+    def test_both_constant(self):
+        assert normalized_mutual_information([0, 0], ["a", "a"]) == 1.0
+
+    def test_bounded(self):
+        nmi = normalized_mutual_information(
+            [0, 0, 1, 2], ["a", "b", "b", "a"]
+        )
+        assert 0.0 <= nmi <= 1.0
+
+
+class TestRandIndex:
+    def test_perfect(self):
+        assert rand_index([0, 0, 1, 1], ["a", "a", "b", "b"]) == 1.0
+
+    def test_known_value(self):
+        # clusters {0,1},{2}; classes {0},{1,2}: pairs (01)=FP, (02)=TN, (12)=FN
+        assert rand_index([0, 0, 1], ["a", "b", "b"]) == pytest.approx(1 / 3)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            rand_index([0], ["a"])
+
+
+class TestFMeasure:
+    def test_perfect(self):
+        assert f_measure([0, 0, 1, 1], ["a", "a", "b", "b"]) == 1.0
+
+    def test_zero_when_no_pair_agrees(self):
+        assert f_measure([0, 1, 0, 1], ["a", "a", "b", "b"]) == 0.0
+
+    def test_beta_validated(self):
+        with pytest.raises(ValueError):
+            f_measure([0, 1], ["a", "b"], beta=0.0)
+
+    def test_beta_weights_recall(self):
+        # precision = 1/3, recall = 1/2 here, so beta changes the score.
+        assignments = [0, 0, 0, 1]
+        classes = ["a", "a", "b", "b"]
+        f1 = f_measure(assignments, classes, beta=1.0)
+        f2 = f_measure(assignments, classes, beta=2.0)
+        assert f2 > f1  # beta > 1 favours the higher recall

@@ -1,0 +1,128 @@
+"""Tests for PCA (repro.ml.pca) and meta-clustering (repro.ml.meta)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.meta import assign_cache_domains, meta_cluster
+from repro.ml.pca import PcaModel
+
+
+class TestPcaValidation:
+    def test_nonpositive_components_rejected(self):
+        with pytest.raises(ValueError):
+            PcaModel(0)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError, match="two samples"):
+            PcaModel(1).fit(np.ones((1, 3)))
+
+    def test_unfitted_transform_rejected(self):
+        with pytest.raises(RuntimeError):
+            PcaModel(1).transform(np.ones((2, 3)))
+
+    def test_feature_mismatch_rejected(self):
+        model = PcaModel(1).fit(np.random.default_rng(0).normal(size=(5, 3)))
+        with pytest.raises(ValueError, match="features"):
+            model.transform(np.ones((2, 4)))
+
+
+class TestPcaBehaviour:
+    def test_first_component_captures_dominant_axis(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=200)
+        x = np.stack([t * 5, t * 0.01 + rng.normal(size=200) * 0.01], axis=1)
+        model = PcaModel(1).fit(x)
+        direction = np.abs(model.components_[0])
+        assert direction[0] > 0.99
+
+    def test_explained_variance_ratio_sums_to_one_full_rank(self):
+        x = np.random.default_rng(1).normal(size=(20, 4))
+        model = PcaModel(4).fit(x)
+        assert model.explained_variance_ratio_.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_components_capped_by_samples(self):
+        x = np.random.default_rng(2).normal(size=(3, 10))
+        model = PcaModel(8).fit(x)
+        assert len(model.components_) <= 2
+
+    def test_transform_shape(self):
+        x = np.random.default_rng(3).normal(size=(12, 6))
+        z = PcaModel(2).fit_transform(x)
+        assert z.shape == (12, 2)
+
+    def test_full_rank_reconstruction_exact(self):
+        x = np.random.default_rng(4).normal(size=(10, 3))
+        model = PcaModel(3).fit(x)
+        assert model.reconstruction_error(x) == pytest.approx(0.0, abs=1e-18)
+
+    def test_truncated_reconstruction_bounded_by_dropped_variance(self):
+        x = np.random.default_rng(5).normal(size=(50, 5))
+        model = PcaModel(2).fit(x)
+        assert model.reconstruction_error(x) > 0.0
+
+    def test_components_orthonormal(self):
+        x = np.random.default_rng(6).normal(size=(30, 5))
+        model = PcaModel(3).fit(x)
+        gram = model.components_ @ model.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-9)
+
+
+class TestMetaCluster:
+    def test_groups_similar_centroids(self):
+        centroids = np.array([
+            [1.0, 0.0], [0.95, 0.05],   # group A
+            [0.0, 1.0], [0.05, 0.95],   # group B
+        ])
+        result = meta_cluster(centroids, 2, seed=0)
+        a = result.assignments
+        assert a[0] == a[1]
+        assert a[2] == a[3]
+        assert a[0] != a[2]
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            meta_cluster(np.ones((2, 2)), 3)
+
+    def test_requires_matrix(self):
+        with pytest.raises(ValueError):
+            meta_cluster(np.ones(3), 1)
+
+
+class TestCacheDomains:
+    def _centroids(self):
+        return np.array([
+            [1.0, 0.0], [0.9, 0.1], [0.0, 1.0], [0.1, 0.9],
+        ])
+
+    def test_similar_classes_colocated(self):
+        assignment = assign_cache_domains(
+            ["scp", "netperf", "kcompile", "dbench"], self._centroids(), 2
+        )
+        assert assignment.colocated("scp", "netperf")
+        assert assignment.colocated("kcompile", "dbench")
+        assert not assignment.colocated("scp", "kcompile")
+
+    def test_all_tasks_assigned(self):
+        assignment = assign_cache_domains(
+            ["a", "b", "c", "d"], self._centroids(), 2
+        )
+        assert set(assignment.domain_of) == {"a", "b", "c", "d"}
+        assert all(0 <= d < 2 for d in assignment.domain_of.values())
+
+    def test_more_domains_than_classes(self):
+        assignment = assign_cache_domains(["a", "b"], np.eye(2), 8)
+        assert assignment.n_domains == 8
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            assign_cache_domains(["a", "a"], np.eye(2), 2)
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            assign_cache_domains(["a"], np.eye(2), 2)
+
+    def test_tasks_in_domain_sorted(self):
+        assignment = assign_cache_domains(
+            ["z", "y", "c", "d"], self._centroids(), 1
+        )
+        assert assignment.tasks_in_domain(0) == ["c", "d", "y", "z"]

@@ -1,0 +1,113 @@
+"""Tests for the SMO-trained SVM (repro.ml.svm)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import linear_kernel, rbf_kernel
+from repro.ml.svm import train_svm
+
+
+def blobs(n=40, gap=2.0, seed=0, d=4):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(size=(n, d)) * 0.5 + gap / 2
+    neg = rng.normal(size=(n, d)) * 0.5 - gap / 2
+    x = np.vstack([pos, neg])
+    y = np.array([1] * n + [-1] * n)
+    return x, y
+
+
+class TestInputValidation:
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError, match="both classes"):
+            train_svm(np.ones((4, 2)), np.array([1, 1, 1, 1]))
+
+    def test_rejects_non_pm1_labels(self):
+        with pytest.raises(ValueError, match="must be"):
+            train_svm(np.ones((2, 2)), np.array([0, 1]))
+
+    def test_rejects_nonpositive_c(self):
+        x, y = blobs(5)
+        with pytest.raises(ValueError, match="C must be positive"):
+            train_svm(x, y, c=0.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            train_svm(np.ones((3, 2)), np.array([1, -1]))
+
+    def test_rejects_1d_x(self):
+        with pytest.raises(ValueError, match="2-D"):
+            train_svm(np.ones(4), np.array([1, -1, 1, -1]))
+
+
+class TestTraining:
+    def test_separable_blobs_perfect_train_accuracy(self):
+        x, y = blobs()
+        model = train_svm(x, y, c=1.0)
+        assert (model.predict(x) == y).all()
+
+    def test_linear_kernel_works(self):
+        x, y = blobs()
+        model = train_svm(x, y, c=1.0, kernel=linear_kernel)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_rbf_solves_xor(self):
+        """A non-linearly-separable problem needs the kernel trick."""
+        x = np.array([[0, 0], [1, 1], [0, 1], [1, 0]] * 10, dtype=float)
+        x += np.random.default_rng(0).normal(scale=0.05, size=x.shape)
+        y = np.array([1, 1, -1, -1] * 10)
+        model = train_svm(x, y, c=10.0, kernel=lambda a, b: rbf_kernel(a, b, 2.0))
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_sparse_solution_on_wide_margin(self):
+        x, y = blobs(gap=6.0)
+        model = train_svm(x, y, c=1.0)
+        assert model.n_support < len(x) / 2
+
+    def test_alphas_bounded_by_c(self):
+        x, y = blobs(gap=0.5, seed=3)  # overlapping -> bound support vectors
+        c = 0.7
+        model = train_svm(x, y, c=c)
+        assert (np.abs(model.dual_coef) <= c + 1e-9).all()
+
+    def test_decision_values_sign_matches_predict(self):
+        x, y = blobs()
+        model = train_svm(x, y)
+        values = model.decision_values(x)
+        assert ((values >= 0) == (model.predict(x) == 1)).all()
+
+    def test_generalizes_to_held_out(self):
+        x, y = blobs(n=60, seed=5)
+        x_test, y_test = blobs(n=20, seed=99)
+        model = train_svm(x, y, c=1.0)
+        assert (model.predict(x_test) == y_test).mean() > 0.95
+
+    def test_deterministic_given_seed(self):
+        x, y = blobs()
+        a = train_svm(x, y, seed=3)
+        b = train_svm(x, y, seed=3)
+        assert a.bias == b.bias
+        assert np.array_equal(a.dual_coef, b.dual_coef)
+
+    def test_iteration_cap_reports_nonconvergence(self):
+        x, y = blobs(n=30, gap=0.1, seed=2)
+        model = train_svm(x, y, c=100.0, max_iterations=3)
+        assert not model.converged
+
+    def test_single_example_prediction_shape(self):
+        x, y = blobs()
+        model = train_svm(x, y)
+        assert model.predict(x[0]).shape == (1,)
+
+
+class TestKktConditions:
+    def test_margin_of_free_support_vectors(self):
+        """Free SVs (0 < alpha < C) lie on the margin: y f(x) ~ 1."""
+        x, y = blobs(gap=3.0, seed=7)
+        c = 1.0
+        model = train_svm(x, y, c=c, tolerance=1e-4)
+        values = model.decision_values(model.support_vectors)
+        labels = np.sign(model.dual_coef)
+        free = np.abs(model.dual_coef) < c - 1e-6
+        if free.any():
+            margins = labels[free] * values[free]
+            assert np.allclose(margins, 1.0, atol=0.05)

@@ -1,0 +1,206 @@
+"""Tests for C4.5 trees, bagging, and boosting (repro.ml.tree)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import AdaBoostEnsemble, BaggedEnsemble, DecisionTree, adaboost, bagging
+
+
+def blobs(n=40, gap=2.0, seed=0, d=5):
+    rng = np.random.default_rng(seed)
+    x = np.vstack([
+        rng.normal(size=(n, d)) * 0.5 + gap / 2,
+        rng.normal(size=(n, d)) * 0.5 - gap / 2,
+    ])
+    return x, np.array([1] * n + [-1] * n)
+
+
+class TestValidation:
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTree(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            DecisionTree(max_features=0)
+
+    def test_labels_validated(self):
+        with pytest.raises(ValueError, match="must be"):
+            DecisionTree().fit(np.ones((3, 2)), np.array([0, 1, 2]))
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit(np.ones((3, 2)), np.array([1, -1]))
+
+    def test_negative_weights_rejected(self):
+        x, y = blobs(5)
+        with pytest.raises(ValueError, match="non-negative"):
+            DecisionTree().fit(x, y, sample_weight=-np.ones(len(y)))
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DecisionTree().predict(np.ones((1, 2)))
+
+    def test_feature_count_checked_at_predict(self):
+        x, y = blobs(10)
+        tree = DecisionTree().fit(x, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(np.ones((1, 3)))
+
+
+class TestDecisionTree:
+    def test_separable_data_perfect(self):
+        x, y = blobs()
+        tree = DecisionTree(max_depth=4, min_samples_leaf=1).fit(x, y)
+        assert (tree.predict(x) == y).all()
+
+    def test_single_class_region_is_leaf(self):
+        x = np.ones((6, 2))
+        y = np.array([1] * 6)
+        tree = DecisionTree().fit(x, y)
+        assert tree.depth() == 0
+        assert (tree.predict(x) == 1).all()
+
+    def test_depth_limit_respected(self):
+        x, y = blobs(gap=0.2, seed=3)
+        tree = DecisionTree(max_depth=2).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_axis_aligned_split_found(self):
+        # Only feature 2 is informative; the tree must find it.
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(80, 5))
+        y = np.where(x[:, 2] > 0.0, 1, -1)
+        tree = DecisionTree(max_depth=1).fit(x, y)
+        assert tree.used_features() == {2}
+        assert (tree.predict(x) == y).mean() > 0.95
+
+    def test_xor_needs_depth_two(self):
+        # Offset XOR: the off-center class boundary gives the greedy
+        # gain-ratio criterion a first split to latch onto (a perfectly
+        # symmetric XOR has zero gain everywhere at the root — the
+        # textbook greedy-tree blind spot).
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(300, 2))
+        y = np.where((x[:, 0] > 0.2) == (x[:, 1] > 0.2), 1, -1)
+        shallow = DecisionTree(max_depth=1, min_gain=0.0).fit(x, y)
+        deep = DecisionTree(max_depth=4, min_gain=0.0).fit(x, y)
+        assert (deep.predict(x) == y).mean() > 0.9
+        assert (deep.predict(x) == y).mean() > (shallow.predict(x) == y).mean()
+
+    def test_sample_weights_steer_the_tree(self):
+        # Two conflicting points; weight decides the majority.
+        x = np.array([[0.0], [0.0]])
+        y = np.array([1, -1])
+        heavy_pos = DecisionTree().fit(x, y, sample_weight=np.array([10.0, 1.0]))
+        heavy_neg = DecisionTree().fit(x, y, sample_weight=np.array([1.0, 10.0]))
+        assert heavy_pos.predict([[0.0]])[0] == 1
+        assert heavy_neg.predict([[0.0]])[0] == -1
+
+    def test_generalizes(self):
+        x, y = blobs(n=60, seed=5)
+        x_test, y_test = blobs(n=25, seed=77)
+        tree = DecisionTree(max_depth=4).fit(x, y)
+        assert (tree.predict(x_test) == y_test).mean() > 0.9
+
+    def test_deterministic(self):
+        x, y = blobs(gap=0.8, seed=9)
+        a = DecisionTree(max_depth=4, seed=2).fit(x, y)
+        b = DecisionTree(max_depth=4, seed=2).fit(x, y)
+        assert np.array_equal(a.predict(x), b.predict(x))
+
+    def test_feature_subsampling_restricts_choices(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(60, 20))
+        y = np.where(x[:, 7] > 0, 1, -1)
+        tree = DecisionTree(max_depth=3, max_features=3, seed=1).fit(x, y)
+        assert tree.fitted
+        assert len(tree.used_features()) <= 7  # at most 2^3 - 1 splits
+
+
+class TestBagging:
+    def test_beats_or_matches_noisy_single_tree(self):
+        x, y = blobs(n=60, gap=1.0, seed=4)
+        x_test, y_test = blobs(n=30, gap=1.0, seed=55)
+        single = DecisionTree(max_depth=6).fit(x, y)
+        ensemble = bagging(x, y, n_trees=15, max_depth=6, seed=4)
+        single_acc = (single.predict(x_test) == y_test).mean()
+        bagged_acc = (ensemble.predict(x_test) == y_test).mean()
+        assert bagged_acc >= single_acc - 0.05
+
+    def test_n_trees_validated(self):
+        x, y = blobs(5)
+        with pytest.raises(ValueError):
+            bagging(x, y, n_trees=0)
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(RuntimeError):
+            BaggedEnsemble().predict(np.ones((1, 2)))
+
+    def test_vote_is_majority(self):
+        x, y = blobs()
+        ensemble = bagging(x, y, n_trees=5, seed=1)
+        votes = np.stack([t.predict(x) for t in ensemble.trees])
+        expected = np.where(votes.sum(axis=0) >= 0, 1, -1)
+        assert np.array_equal(ensemble.predict(x), expected)
+
+
+class TestAdaBoost:
+    def test_boosting_improves_stumps(self):
+        # Majority-of-three-features target: a single stump caps at one
+        # feature's accuracy (~75%), boosting combines all three.
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=(300, 3))
+        y = np.where((x > 0).sum(axis=1) >= 2, 1, -1)
+        stump = DecisionTree(max_depth=1).fit(x, y)
+        boosted = adaboost(x, y, n_rounds=30, max_depth=1, seed=3)
+        stump_acc = (stump.predict(x) == y).mean()
+        boosted_acc = (boosted.predict(x) == y).mean()
+        assert stump_acc < 0.9
+        assert boosted_acc > stump_acc + 0.05
+
+    def test_perfect_weak_learner_short_circuits(self):
+        x, y = blobs(gap=8.0)
+        ensemble = adaboost(x, y, n_rounds=20, max_depth=3)
+        assert len(ensemble.trees) == 1
+        assert (ensemble.predict(x) == y).all()
+
+    def test_alphas_positive(self):
+        x, y = blobs(gap=0.6, seed=8)
+        ensemble = adaboost(x, y, n_rounds=10, max_depth=1, seed=8)
+        assert all(a > 0 for a in ensemble.alphas)
+
+    def test_rounds_validated(self):
+        x, y = blobs(5)
+        with pytest.raises(ValueError):
+            adaboost(x, y, n_rounds=0)
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(RuntimeError):
+            AdaBoostEnsemble().predict(np.ones((1, 2)))
+
+
+class TestOnSignatures:
+    def test_trees_classify_workload_signatures(self, collection):
+        from repro.core.signature import stack_signatures
+
+        scp = [s.unit() for s in collection.signatures_with_label("scp")]
+        dbench = [s.unit() for s in collection.signatures_with_label("dbench")]
+        x = stack_signatures(scp + dbench)
+        y = np.array([1] * len(scp) + [-1] * len(dbench))
+        tree = DecisionTree(max_depth=4).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.95
+
+    def test_split_features_are_interpretable(self, collection):
+        """The tree splits on real class-distinguishing kernel functions."""
+        from repro.core.signature import stack_signatures
+
+        scp = [s.unit() for s in collection.signatures_with_label("scp")]
+        kc = [s.unit() for s in collection.signatures_with_label("kcompile")]
+        x = stack_signatures(scp + kc)
+        y = np.array([1] * len(scp) + [-1] * len(kc))
+        tree = DecisionTree(max_depth=3).fit(x, y)
+        names = {
+            collection.vocabulary.name_at(f) for f in tree.used_features()
+        }
+        assert names  # at least one split, on a nameable kernel function

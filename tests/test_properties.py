@@ -1,0 +1,275 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+Each property pins an invariant the rest of the system depends on:
+metric axioms for the similarity measures, algebraic laws for sparse
+vectors, conservation for the ring buffer, normalization invariants for
+tf-idf, and bounds for the clustering metrics.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.similarity import (
+    cosine_similarity,
+    l2_normalize,
+    minkowski_distance,
+)
+from repro.core.sparse import SparseVector
+from repro.ml.metrics import (
+    accuracy,
+    baseline_accuracy,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+)
+from repro.tracing.ringbuffer import RingBuffer
+from repro.util.stats import mean, sample_stdev
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def vectors(n=6):
+    return arrays(np.float64, n, elements=finite_floats)
+
+
+sparse_dicts = st.dictionaries(
+    st.integers(min_value=0, max_value=50), finite_floats, max_size=12
+)
+
+
+class TestSimilarityAxioms:
+    @given(vectors(), vectors())
+    def test_cosine_bounded(self, x, y):
+        assert -1.0 <= cosine_similarity(x, y) <= 1.0
+
+    @given(vectors(), vectors())
+    def test_cosine_symmetric(self, x, y):
+        assert cosine_similarity(x, y) == pytest.approx(
+            cosine_similarity(y, x), abs=1e-12
+        )
+
+    @given(vectors())
+    def test_cosine_self_is_one_for_nonzero(self, x):
+        if np.linalg.norm(x) > 1e-6:
+            assert cosine_similarity(x, x) == pytest.approx(1.0, abs=1e-9)
+
+    @given(vectors(), st.floats(min_value=0.01, max_value=100.0))
+    def test_cosine_scale_invariant(self, x, scale):
+        if np.linalg.norm(x) > 1e-3:
+            assert cosine_similarity(x, x * scale) == pytest.approx(1.0, abs=1e-6)
+
+    @given(vectors(), vectors(), st.sampled_from([1.0, 2.0, 3.0]))
+    def test_distance_symmetric(self, x, y, p):
+        assert minkowski_distance(x, y, p) == pytest.approx(
+            minkowski_distance(y, x, p), rel=1e-9, abs=1e-9
+        )
+
+    @given(vectors(), st.sampled_from([1.0, 2.0, 3.0]))
+    def test_distance_identity(self, x, p):
+        assert minkowski_distance(x, x, p) == 0.0
+
+    @given(vectors(), vectors(), vectors())
+    def test_euclidean_triangle_inequality(self, x, y, z):
+        d_xz = minkowski_distance(x, z, 2)
+        d_xy = minkowski_distance(x, y, 2)
+        d_yz = minkowski_distance(y, z, 2)
+        assert d_xz <= d_xy + d_yz + 1e-6
+
+    @given(vectors())
+    def test_l2_normalize_idempotent(self, x):
+        once = l2_normalize(x)
+        twice = l2_normalize(once)
+        assert np.allclose(once, twice, atol=1e-9)
+
+
+class TestSparseVectorLaws:
+    @given(sparse_dicts, sparse_dicts)
+    def test_dot_commutative(self, a, b):
+        va, vb = SparseVector(a), SparseVector(b)
+        assert va.dot(vb) == pytest.approx(vb.dot(va), rel=1e-9, abs=1e-9)
+
+    @given(sparse_dicts, sparse_dicts)
+    def test_add_commutative(self, a, b):
+        va, vb = SparseVector(a), SparseVector(b)
+        left = va.add(vb)
+        right = vb.add(va)
+        dims = left.dimensions() | right.dimensions()
+        for d in dims:
+            assert left.get(d) == pytest.approx(right.get(d), abs=1e-9)
+
+    @given(sparse_dicts)
+    def test_dense_roundtrip(self, data):
+        v = SparseVector(data)
+        size = (max(v.dimensions()) + 1) if v.nnz else 1
+        assert SparseVector.from_dense(v.to_dense(size)) == v
+
+    @given(sparse_dicts)
+    def test_norm_matches_dense(self, data):
+        v = SparseVector(data)
+        size = (max(v.dimensions()) + 1) if v.nnz else 1
+        assert v.norm() == pytest.approx(
+            float(np.linalg.norm(v.to_dense(size))), rel=1e-9, abs=1e-9
+        )
+
+    @given(sparse_dicts, sparse_dicts)
+    def test_euclidean_matches_dense(self, a, b):
+        va, vb = SparseVector(a), SparseVector(b)
+        dims = va.dimensions() | vb.dimensions()
+        size = (max(dims) + 1) if dims else 1
+        dense = float(np.linalg.norm(va.to_dense(size) - vb.to_dense(size)))
+        assert va.euclidean(vb) == pytest.approx(dense, rel=1e-9, abs=1e-9)
+
+    @given(sparse_dicts)
+    def test_unit_norm_is_one_or_zero(self, data):
+        v = SparseVector(data).unit()
+        assert v.norm() == pytest.approx(1.0, abs=1e-9) or v.nnz == 0
+
+
+class TestRingBufferConservation:
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 50)), max_size=40))
+    def test_written_equals_resident_read_overwritten(self, operations):
+        buf = RingBuffer(capacity_bytes=320, entry_bytes=32)
+        for is_write, n in operations:
+            if is_write:
+                buf.write(n)
+            else:
+                buf.read(n)
+        s = buf.stats()
+        assert s.total_written == (
+            s.resident_entries + s.total_read + s.total_overwritten
+        )
+        assert 0 <= s.resident_entries <= s.capacity_entries
+
+
+class TestTfIdfInvariants:
+    counts_arrays = arrays(
+        np.int64, 5, elements=st.integers(min_value=0, max_value=10_000)
+    )
+
+    @given(counts_arrays)
+    def test_tf_sums_to_one_or_zero(self, counts):
+        from repro.core.document import CountDocument
+        from repro.core.vocabulary import Vocabulary
+
+        vocab = Vocabulary(list(range(1, 6)))
+        doc = CountDocument(vocab, counts)
+        tf = doc.term_frequencies()
+        total = tf.sum()
+        assert total == pytest.approx(1.0, abs=1e-9) or total == 0.0
+
+    @given(counts_arrays, st.integers(min_value=2, max_value=100))
+    def test_tf_scale_invariance(self, counts, factor):
+        from repro.core.document import CountDocument
+        from repro.core.vocabulary import Vocabulary
+
+        vocab = Vocabulary(list(range(1, 6)))
+        a = CountDocument(vocab, counts).term_frequencies()
+        b = CountDocument(vocab, counts * factor).term_frequencies()
+        assert np.allclose(a, b, atol=1e-12)
+
+    @given(st.lists(counts_arrays, min_size=1, max_size=8))
+    def test_idf_nonnegative_and_zero_for_ubiquitous(self, rows):
+        from repro.core.corpus import Corpus
+        from repro.core.document import CountDocument
+        from repro.core.tfidf import TfIdfModel
+        from repro.core.vocabulary import Vocabulary
+
+        vocab = Vocabulary(list(range(1, 6)))
+        corpus = Corpus(vocab, [CountDocument(vocab, row) for row in rows])
+        model = TfIdfModel().fit(corpus)
+        idf = model.idf()
+        assert (idf >= 0.0).all()
+        df = corpus.document_frequencies()
+        for i in range(5):
+            if df[i] == len(corpus):
+                assert idf[i] == 0.0
+
+
+class TestClusteringMetricBounds:
+    labelings = st.lists(
+        st.tuples(st.integers(0, 4), st.sampled_from("abc")),
+        min_size=2, max_size=30,
+    )
+
+    @given(labelings)
+    def test_purity_bounds(self, pairs):
+        assignments = [a for a, _ in pairs]
+        classes = [c for _, c in pairs]
+        score = purity(assignments, classes)
+        assert baseline_accuracy(classes) - 1e-9 <= score <= 1.0
+
+    @given(labelings)
+    def test_singleton_clusters_perfect_purity(self, pairs):
+        classes = [c for _, c in pairs]
+        assignments = list(range(len(classes)))
+        assert purity(assignments, classes) == 1.0
+
+    @given(labelings)
+    def test_nmi_bounds(self, pairs):
+        assignments = [a for a, _ in pairs]
+        classes = [c for _, c in pairs]
+        assert -1e-9 <= normalized_mutual_information(assignments, classes) <= 1.0 + 1e-9
+
+    @given(labelings)
+    def test_rand_index_bounds(self, pairs):
+        assignments = [a for a, _ in pairs]
+        classes = [c for _, c in pairs]
+        assert 0.0 <= rand_index(assignments, classes) <= 1.0
+
+    @given(labelings)
+    def test_perfect_assignment_maximizes_everything(self, pairs):
+        classes = [c for _, c in pairs]
+        perfect = [ord(c) for c in classes]
+        assert purity(perfect, classes) == 1.0
+        assert rand_index(perfect, classes) == 1.0
+
+
+class TestStatsProperties:
+    float_lists = st.lists(finite_floats, min_size=1, max_size=50)
+
+    @given(float_lists)
+    def test_mean_within_range(self, values):
+        assert min(values) - 1e-9 <= mean(values) <= max(values) + 1e-9
+
+    @given(float_lists)
+    def test_stdev_nonnegative(self, values):
+        assert sample_stdev(values) >= 0.0
+
+    @given(float_lists, finite_floats)
+    def test_mean_translation(self, values, shift):
+        shifted = [v + shift for v in values]
+        assert mean(shifted) == pytest.approx(mean(values) + shift, abs=1e-6)
+
+    @given(float_lists, finite_floats)
+    def test_stdev_translation_invariant(self, values, shift):
+        shifted = [v + shift for v in values]
+        assert sample_stdev(shifted) == pytest.approx(
+            sample_stdev(values), rel=1e-3, abs=1e-3
+        )
+
+
+class TestKmeansProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        arrays(
+            np.float64, (12, 3),
+            elements=st.floats(min_value=-100, max_value=100,
+                               allow_nan=False, allow_infinity=False),
+        ),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_kmeans_always_valid_partition(self, x, k):
+        from repro.ml.kmeans import kmeans
+
+        result = kmeans(x, k, seed=0, n_init=1)
+        assert len(result.assignments) == 12
+        assert result.assignments.min() >= 0
+        assert result.assignments.max() < k
+        assert result.inertia >= 0.0

@@ -1,0 +1,107 @@
+"""Tests for the logging daemon (repro.tracing.daemon)."""
+
+import pytest
+
+from repro.tracing.daemon import LoggingDaemon
+
+
+@pytest.fixture()
+def daemon(fmeter_machine):
+    return LoggingDaemon(fmeter_machine, interval_s=10.0)
+
+
+class TestProtocol:
+    def test_rejects_bad_interval(self, fmeter_machine):
+        with pytest.raises(ValueError, match="interval"):
+            LoggingDaemon(fmeter_machine, interval_s=0)
+
+    def test_harvest_before_start_rejected(self, daemon):
+        with pytest.raises(RuntimeError, match="not started"):
+            daemon.harvest()
+
+    def test_start_then_harvest(self, daemon, fmeter_machine):
+        daemon.start()
+        fmeter_machine.execute("read", 100)
+        doc = daemon.harvest(label="x")
+        assert doc.label == "x"
+        assert doc.total_calls > 0
+
+    def test_diff_isolates_interval_activity(self, fmeter_machine):
+        daemon = LoggingDaemon(fmeter_machine, self_interference=False)
+        fmeter_machine.execute("fork_exit", 50)  # pre-interval noise
+        daemon.start()
+        r = fmeter_machine.execute("read", 100)
+        doc = daemon.harvest()
+        assert doc.total_calls == r.events
+
+    def test_consecutive_intervals_tile(self, fmeter_machine):
+        daemon = LoggingDaemon(fmeter_machine, self_interference=False)
+        daemon.start()
+        r1 = fmeter_machine.execute("read", 100)
+        d1 = daemon.harvest()
+        r2 = fmeter_machine.execute("write", 100)
+        d2 = daemon.harvest()
+        assert d1.total_calls == r1.events
+        assert d2.total_calls == r2.events
+
+    def test_metadata_records_clock_and_config(self, daemon, fmeter_machine):
+        daemon.start()
+        fmeter_machine.execute("read", 10)
+        doc = daemon.harvest(metadata={"workload": "unit-test"})
+        assert doc.metadata["config"] == "fmeter"
+        assert doc.metadata["workload"] == "unit-test"
+        assert doc.metadata["end_ns"] >= doc.metadata["start_ns"]
+
+    def test_collect_runs_callback_per_interval(self, daemon, fmeter_machine):
+        seen = []
+
+        def run(i):
+            seen.append(i)
+            fmeter_machine.execute("read", 10)
+
+        docs = daemon.collect(run, n_intervals=3, label="w")
+        assert seen == [0, 1, 2]
+        assert len(docs) == 3
+        assert all(d.label == "w" for d in docs)
+
+    def test_collect_rejects_nonpositive(self, daemon):
+        with pytest.raises(ValueError):
+            daemon.collect(lambda i: None, 0)
+
+
+class TestSelfInterference:
+    def test_interference_visible_in_documents(self, fmeter_machine):
+        daemon = LoggingDaemon(fmeter_machine, self_interference=True)
+        daemon.start()
+        doc = daemon.harvest()  # empty interval: only the daemon itself ran
+        assert doc.total_calls > 0
+
+    def test_no_interference_empty_interval_is_zero(self, fmeter_machine):
+        daemon = LoggingDaemon(fmeter_machine, self_interference=False)
+        daemon.start()
+        doc = daemon.harvest()
+        # The only reads are debugfs reads, which cost no traced calls here.
+        assert doc.total_calls == 0
+
+    def test_interference_touches_vfs_path(self, fmeter_machine):
+        daemon = LoggingDaemon(fmeter_machine, self_interference=True)
+        daemon.start()
+        doc = daemon.harvest()
+        vfs_read = fmeter_machine.symbols.by_name("vfs_read").address
+        assert doc.count_of(vfs_read) > 0
+
+
+class TestRoundTrip:
+    def test_counts_go_through_debugfs_text(self, daemon, fmeter_machine):
+        reads_before = fmeter_machine.debugfs.read_count
+        daemon.start()
+        fmeter_machine.execute("read", 10)
+        daemon.harvest()
+        assert fmeter_machine.debugfs.read_count >= reads_before + 2
+
+    def test_documents_emitted_counter(self, daemon, fmeter_machine):
+        daemon.start()
+        fmeter_machine.execute("read", 10)
+        daemon.harvest()
+        daemon.harvest()
+        assert daemon.documents_emitted == 2

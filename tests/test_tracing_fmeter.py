@@ -1,0 +1,193 @@
+"""Tests for the Fmeter tracer (repro.tracing.fmeter)."""
+
+import numpy as np
+import pytest
+
+from repro.kernel.machine import MachineConfig, SimulatedMachine
+from repro.kernel.mcount import StubState
+from repro.tracing.fmeter import FmeterTracer
+from repro.tracing.overhead import FMETER_EVENT_NS
+
+
+class TestAttachment:
+    def test_attach_builds_slot_map_and_enables(self, fmeter_machine):
+        assert fmeter_machine.mcount.slot_map_built
+        tracer = fmeter_machine.tracer
+        assert tracer.pages_allocated > 0
+
+    def test_debugfs_files_registered(self, fmeter_machine):
+        fs = fmeter_machine.debugfs
+        assert fs.exists(FmeterTracer.COUNTERS_PATH)
+        assert fs.exists("/tracing/fmeter/per_cpu/cpu0")
+
+    def test_detach_unregisters_and_disables(self, fmeter_machine):
+        fmeter_machine.detach_tracer()
+        assert not fmeter_machine.debugfs.exists(FmeterTracer.COUNTERS_PATH)
+        assert fmeter_machine.mcount.sites_in_state(StubState.STUB) == []
+
+    def test_double_attach_rejected(self, fmeter_machine):
+        with pytest.raises(RuntimeError, match="already attached"):
+            fmeter_machine.tracer.attach(fmeter_machine)
+
+    def test_unattached_snapshot_rejected(self):
+        with pytest.raises(RuntimeError, match="not attached"):
+            FmeterTracer().counts_snapshot()
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            FmeterTracer(event_ns=-1)
+        with pytest.raises(ValueError):
+            FmeterTracer(hot_cache_size=-1)
+
+
+class TestCounting:
+    def test_counts_accumulate(self, fmeter_machine):
+        r1 = fmeter_machine.execute("read", 100, cpu=0)
+        r2 = fmeter_machine.execute("read", 100, cpu=0)
+        snapshot = fmeter_machine.tracer.counts_snapshot()
+        assert snapshot.sum() == r1.events + r2.events
+
+    def test_per_cpu_isolation(self, fmeter_machine):
+        fmeter_machine.execute("read", 100, cpu=1)
+        tracer = fmeter_machine.tracer
+        assert tracer.per_cpu_counts(0).sum() == 0
+        assert tracer.per_cpu_counts(1).sum() > 0
+
+    def test_snapshot_is_sum_of_cpus(self, fmeter_machine):
+        fmeter_machine.execute("read", 50, cpu=0)
+        fmeter_machine.execute("write", 50, cpu=2)
+        tracer = fmeter_machine.tracer
+        total = sum(tracer.per_cpu_counts(c).sum() for c in range(4))
+        assert tracer.counts_snapshot().sum() == total
+
+    def test_preemption_balanced_after_batches(self, fmeter_machine):
+        fmeter_machine.execute("read", 10, cpu=0)
+        assert fmeter_machine.cpus[0].preemptible
+
+
+class TestStubPatching:
+    def test_first_call_patches_stub(self, fmeter_machine):
+        tracer = fmeter_machine.tracer
+        assert tracer.stubs_patched == 0
+        fmeter_machine.execute("read", 10)
+        assert tracer.stubs_patched > 0
+        site = fmeter_machine.mcount.site_by_name("vfs_read")
+        assert site.state == StubState.STUB
+
+    def test_stubs_patched_once(self, fmeter_machine):
+        fmeter_machine.execute("read", 1000, cpu=0)
+        patched_after_first = fmeter_machine.tracer.stubs_patched
+        fmeter_machine.execute("read", 1000, cpu=0)
+        # Re-running the same op re-patches nothing for the common
+        # functions; only the long Poisson tail contributes stragglers.
+        new = fmeter_machine.tracer.stubs_patched - patched_after_first
+        assert new <= 0.2 * patched_after_first
+
+    def test_stub_states_never_repatched(self, fmeter_machine):
+        fmeter_machine.execute("read", 1000, cpu=0)
+        addr = fmeter_machine.symbols.by_name("vfs_read").address
+        patch_count = fmeter_machine.mcount.site(addr).patch_count
+        fmeter_machine.execute("read", 1000, cpu=0)
+        assert fmeter_machine.mcount.site(addr).patch_count == patch_count
+
+    def test_untouched_functions_stay_mcount(self, fmeter_machine):
+        fmeter_machine.execute("read", 10)
+        site = fmeter_machine.mcount.site_by_name("do_fork")
+        assert site.state == StubState.MCOUNT
+
+    def test_stub_coverage_grows_with_op_variety(self, fmeter_machine):
+        tracer = fmeter_machine.tracer
+        fmeter_machine.execute("read", 10)
+        cov_read = tracer.stub_coverage()
+        fmeter_machine.execute("fork_exit", 10)
+        assert tracer.stub_coverage() > cov_read
+
+
+class TestCostModel:
+    def test_expected_overhead_linear_in_events(self, fmeter_machine):
+        tracer = fmeter_machine.tracer
+        assert tracer.expected_overhead_ns(2000) == pytest.approx(
+            2.0 * tracer.expected_overhead_ns(1000)
+        )
+
+    def test_base_cost_is_event_ns(self, fmeter_machine):
+        tracer = fmeter_machine.tracer
+        assert tracer.expected_overhead_ns(1.0) == pytest.approx(FMETER_EVENT_NS)
+
+    def test_load_increases_cost(self, fmeter_machine):
+        tracer = fmeter_machine.tracer
+        assert tracer.expected_overhead_ns(1000, load=1.0) > (
+            tracer.expected_overhead_ns(1000, load=0.0)
+        )
+
+    def test_total_overhead_accumulates(self, fmeter_machine):
+        fmeter_machine.execute("read", 100)
+        tracer = fmeter_machine.tracer
+        assert tracer.total_overhead_ns > 0
+        assert tracer.total_events > 0
+
+
+class TestHotCache:
+    def _machine(self, symbols, callgraph, size):
+        return SimulatedMachine(
+            config=MachineConfig(n_cpus=2, seed=1, symbol_seed=2012),
+            tracer=FmeterTracer(hot_cache_size=size),
+            symbols=symbols,
+            callgraph=callgraph,
+        )
+
+    def test_cache_reduces_per_event_cost(self, symbols, callgraph):
+        cached = self._machine(symbols, callgraph, 64)
+        cached.execute("read", 500)
+        plain = self._machine(symbols, callgraph, 0)
+        plain.execute("read", 500)
+        assert cached.tracer.expected_overhead_ns(1000) < (
+            plain.tracer.expected_overhead_ns(1000)
+        )
+
+    def test_bigger_cache_hits_more(self, symbols, callgraph):
+        small = self._machine(symbols, callgraph, 8)
+        small.execute("apache_request", 100)
+        big = self._machine(symbols, callgraph, 256)
+        big.execute("apache_request", 100)
+        assert big.tracer._hot_hit_rate(None, 1000) > (
+            small.tracer._hot_hit_rate(None, 1000)
+        )
+
+    def test_empty_counters_hit_rate_zero(self, symbols, callgraph):
+        machine = self._machine(symbols, callgraph, 64)
+        assert machine.tracer._hot_hit_rate(None, 100) == 0.0
+
+
+class TestDebugfsExport:
+    def test_render_and_parse_roundtrip(self, fmeter_machine):
+        fmeter_machine.execute("read", 200)
+        text = fmeter_machine.debugfs.read(FmeterTracer.COUNTERS_PATH)
+        parsed = FmeterTracer.parse_counters(text)
+        snapshot = fmeter_machine.tracer.counts_snapshot()
+        addresses = fmeter_machine.symbols.addresses
+        assert len(parsed) == len(addresses)
+        assert sum(parsed.values()) == int(snapshot.sum())
+        for addr, idx in zip(addresses, range(len(addresses))):
+            assert parsed[addr] == int(snapshot[idx])
+
+    def test_per_cpu_file(self, fmeter_machine):
+        fmeter_machine.execute("read", 100, cpu=3)
+        text = fmeter_machine.debugfs.read("/tracing/fmeter/per_cpu/cpu3")
+        parsed = FmeterTracer.parse_counters(text)
+        assert sum(parsed.values()) > 0
+
+    def test_parse_rejects_malformed_line(self):
+        with pytest.raises(ValueError, match="malformed"):
+            FmeterTracer.parse_counters("0x10 5\nbogus line here\n")
+
+    def test_parse_rejects_negative_count(self):
+        with pytest.raises(ValueError, match="negative"):
+            FmeterTracer.parse_counters("0x10 -5\n")
+
+    def test_parse_rejects_duplicate_address(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FmeterTracer.parse_counters("0x10 1\n0x10 2\n")
+
+    def test_parse_skips_blank_lines(self):
+        assert FmeterTracer.parse_counters("\n0x10 3\n\n") == {0x10: 3}

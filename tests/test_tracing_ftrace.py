@@ -1,0 +1,107 @@
+"""Tests for the Ftrace function tracer model (repro.tracing.ftrace)."""
+
+import pytest
+
+from repro.kernel.machine import MachineConfig, SimulatedMachine
+from repro.tracing.fmeter import FmeterTracer
+from repro.tracing.ftrace import FtraceTracer
+from repro.tracing.overhead import FTRACE_EVENT_NS
+
+
+@pytest.fixture()
+def ftrace_machine(symbols, callgraph):
+    return SimulatedMachine(
+        config=MachineConfig(n_cpus=4, seed=2012, symbol_seed=2012),
+        tracer=FtraceTracer(),
+        symbols=symbols,
+        callgraph=callgraph,
+    )
+
+
+class TestAttachment:
+    def test_per_cpu_buffers_allocated(self, ftrace_machine):
+        assert len(ftrace_machine.tracer.buffers) == 4
+
+    def test_stats_file_registered(self, ftrace_machine):
+        assert ftrace_machine.debugfs.exists("/tracing/trace_stats")
+
+    def test_detach_cleans_up(self, ftrace_machine):
+        ftrace_machine.detach_tracer()
+        assert not ftrace_machine.debugfs.exists("/tracing/trace_stats")
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            FtraceTracer(event_ns=-1)
+
+
+class TestRecording:
+    def test_events_land_in_cpu_buffer(self, ftrace_machine):
+        result = ftrace_machine.execute("read", 100, cpu=2)
+        assert ftrace_machine.tracer.buffers[2].total_written == result.events
+
+    def test_counts_recoverable_from_trace(self, ftrace_machine):
+        r = ftrace_machine.execute("read", 200)
+        snapshot = ftrace_machine.tracer.counts_snapshot()
+        assert snapshot.sum() == r.events
+
+    def test_buffer_overwrites_without_reader(self, ftrace_machine):
+        """Unread traces are lost — why Ftrace can't just run forever."""
+        tracer = ftrace_machine.tracer
+        capacity = tracer.buffers[0].capacity_entries
+        produced = 0
+        while produced <= capacity:
+            produced += ftrace_machine.execute("fork_exit", 50, cpu=0).events
+        assert tracer.lost_events() > 0
+
+    def test_reader_drain_prevents_loss(self, ftrace_machine):
+        tracer = ftrace_machine.tracer
+        for _ in range(5):
+            ftrace_machine.execute("read", 500, cpu=0)
+            tracer.drain()
+        assert tracer.lost_events() == 0
+
+    def test_stats_render(self, ftrace_machine):
+        ftrace_machine.execute("read", 10, cpu=1)
+        text = ftrace_machine.debugfs.read("/tracing/trace_stats")
+        assert "cpu1:" in text
+        assert "overrun=" in text
+
+
+class TestCostModel:
+    def test_base_cost_is_event_ns(self, ftrace_machine):
+        tracer = ftrace_machine.tracer
+        assert tracer.expected_overhead_ns(1.0) == pytest.approx(FTRACE_EVENT_NS)
+
+    def test_much_more_expensive_than_fmeter(self, symbols, callgraph):
+        ftrace = FtraceTracer()
+        fmeter = FmeterTracer()
+        # Unattached cost comparison is fine for ftrace; fmeter needs attach.
+        machine = SimulatedMachine(
+            config=MachineConfig(n_cpus=2, seed=1, symbol_seed=2012),
+            tracer=fmeter, symbols=symbols, callgraph=callgraph,
+        )
+        ratio = ftrace.expected_overhead_ns(1000) / fmeter.expected_overhead_ns(1000)
+        assert ratio > 5.0
+
+    def test_contention_grows_with_load(self, ftrace_machine):
+        tracer = ftrace_machine.tracer
+        idle = tracer.expected_overhead_ns(1000, load=0.0)
+        saturated = tracer.expected_overhead_ns(1000, load=1.0)
+        assert saturated > idle * 1.3
+
+
+class TestObserveValidation:
+    def test_event_count_must_match_counts(self, ftrace_machine):
+        import numpy as np
+
+        tracer = ftrace_machine.tracer
+        counts = np.zeros(len(ftrace_machine.symbols), dtype=np.int64)
+        counts[0] = 5
+        with pytest.raises(ValueError, match="does not match"):
+            tracer.observe_batch(0, counts, 99, 0.0)
+
+    def test_unattached_observe_rejected(self):
+        import numpy as np
+
+        with pytest.raises(RuntimeError, match="not attached"):
+            FtraceTracer().observe_batch(0, np.zeros(3, dtype=np.int64), 0, 0.0)

@@ -1,0 +1,106 @@
+"""Tests for the Ftrace-style ring buffer (repro.tracing.ringbuffer)."""
+
+import pytest
+
+from repro.tracing.ringbuffer import RingBuffer
+
+
+class TestConstruction:
+    def test_capacity_entries(self):
+        buf = RingBuffer(capacity_bytes=1024, entry_bytes=32)
+        assert buf.capacity_entries == 32
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0, 32)
+        with pytest.raises(ValueError):
+            RingBuffer(1024, 0)
+
+    def test_entry_larger_than_buffer_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            RingBuffer(16, 32)
+
+
+class TestWrite:
+    def test_fills_without_overwrite(self):
+        buf = RingBuffer(320, 32)  # 10 entries
+        assert buf.write(10) == 0
+        assert buf.full
+
+    def test_overwrite_when_full(self):
+        buf = RingBuffer(320, 32)
+        buf.write(10)
+        lost = buf.write(3)
+        assert lost == 3
+        assert buf.resident == 10
+
+    def test_partial_overwrite(self):
+        buf = RingBuffer(320, 32)
+        buf.write(8)
+        lost = buf.write(5)  # 2 free slots, 3 overwritten
+        assert lost == 3
+
+    def test_producer_laps_buffer(self):
+        buf = RingBuffer(320, 32)
+        buf.write(4)
+        lost = buf.write(25)  # more than capacity in one burst
+        assert lost == 4 + (25 - 10)
+        assert buf.full
+
+    def test_negative_write_rejected(self):
+        buf = RingBuffer(320, 32)
+        with pytest.raises(ValueError):
+            buf.write(-1)
+
+    def test_lock_acquired_per_entry(self):
+        buf = RingBuffer(320, 32)
+        buf.write(7)
+        assert buf.lock_acquisitions == 7
+
+
+class TestRead:
+    def test_read_drains(self):
+        buf = RingBuffer(320, 32)
+        buf.write(6)
+        assert buf.read() == 6
+        assert buf.resident == 0
+
+    def test_read_bounded(self):
+        buf = RingBuffer(320, 32)
+        buf.write(6)
+        assert buf.read(4) == 4
+        assert buf.resident == 2
+
+    def test_read_empty_returns_zero(self):
+        buf = RingBuffer(320, 32)
+        assert buf.read() == 0
+
+    def test_negative_read_rejected(self):
+        buf = RingBuffer(320, 32)
+        with pytest.raises(ValueError):
+            buf.read(-1)
+
+    def test_reader_prevents_overwrite(self):
+        buf = RingBuffer(320, 32)
+        buf.write(10)
+        buf.read()
+        assert buf.write(10) == 0
+
+
+class TestStats:
+    def test_conservation_invariant(self):
+        """written = resident + read + overwritten, always."""
+        buf = RingBuffer(320, 32)
+        buf.write(10)
+        buf.read(3)
+        buf.write(8)
+        s = buf.stats()
+        assert s.total_written == s.resident_entries + s.total_read + s.total_overwritten
+
+    def test_loss_fraction(self):
+        buf = RingBuffer(320, 32)
+        buf.write(20)  # 10 lost
+        assert buf.stats().loss_fraction == pytest.approx(0.5)
+
+    def test_loss_fraction_empty(self):
+        assert RingBuffer(320, 32).stats().loss_fraction == 0.0

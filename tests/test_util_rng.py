@@ -1,0 +1,91 @@
+"""Tests for repro.util.rng: deterministic stream derivation."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStream, derive_seed, spawn_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_distinct_keys_differ(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_distinct_parents_differ(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_range_is_nonnegative_63_bit(self):
+        for key in ("x", "y", "z", "long/nested/key"):
+            seed = derive_seed(123, key)
+            assert 0 <= seed < 2**63
+
+    def test_unicode_keys_supported(self):
+        assert derive_seed(1, "日本語") == derive_seed(1, "日本語")
+
+
+class TestSpawnRng:
+    def test_same_key_same_draws(self):
+        a = spawn_rng(7, "k").random(5)
+        b = spawn_rng(7, "k").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_key_different_draws(self):
+        a = spawn_rng(7, "k1").random(5)
+        b = spawn_rng(7, "k2").random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestRngStream:
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RngStream(-1)
+
+    def test_same_path_reproduces(self):
+        a = RngStream(5).child("x").random(4)
+        b = RngStream(5).child("x").random(4)
+        assert np.array_equal(a, b)
+
+    def test_children_are_independent_of_sibling_creation(self):
+        # Creating extra siblings must not shift an existing child's draws.
+        root1 = RngStream(5)
+        _ = root1.child("sibling")
+        a = root1.child("x").random(4)
+        root2 = RngStream(5)
+        b = root2.child("x").random(4)
+        assert np.array_equal(a, b)
+
+    def test_child_path_composes(self):
+        stream = RngStream(9, "root").child("a").child("b")
+        assert stream.path == "root/a/b"
+
+    def test_integers_within_bounds(self):
+        stream = RngStream(3)
+        draws = stream.integers(0, 10, size=100)
+        assert draws.min() >= 0
+        assert draws.max() < 10
+
+    def test_choice_with_probabilities(self):
+        stream = RngStream(3)
+        picks = stream.choice(3, size=500, p=[0.0, 1.0, 0.0])
+        assert set(np.unique(picks)) == {1}
+
+    def test_poisson_mean_roughly_correct(self):
+        stream = RngStream(3)
+        draws = stream.poisson(50.0, size=2000)
+        assert 48 < draws.mean() < 52
+
+    def test_shuffle_permutes_in_place(self):
+        stream = RngStream(4)
+        data = list(range(20))
+        stream.shuffle(data)
+        assert sorted(data) == list(range(20))
+
+    def test_permutation_returns_new(self):
+        stream = RngStream(4)
+        perm = stream.permutation(10)
+        assert sorted(perm.tolist()) == list(range(10))
+
+    def test_repr_mentions_seed_and_path(self):
+        assert "seed=5" in repr(RngStream(5, "p"))

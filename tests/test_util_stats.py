@@ -1,0 +1,91 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import pytest
+
+from repro.util.stats import (
+    MeanSem,
+    mean,
+    mean_sem,
+    sample_stdev,
+    standard_error,
+    summarize,
+)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_single_value(self):
+        assert mean([5.0]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_accepts_generator(self):
+        assert mean(x for x in (2.0, 4.0)) == 3.0
+
+
+class TestSampleStdev:
+    def test_known_value(self):
+        # Variance of [2, 4, 4, 4, 5, 5, 7, 9] with ddof=1 is 32/7.
+        data = [2, 4, 4, 4, 5, 5, 7, 9]
+        assert sample_stdev(data) == pytest.approx(math.sqrt(32 / 7))
+
+    def test_single_observation_is_zero(self):
+        assert sample_stdev([3.0]) == 0.0
+
+    def test_constant_data_is_zero(self):
+        assert sample_stdev([4.0] * 10) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sample_stdev([])
+
+
+class TestStandardError:
+    def test_scales_with_sqrt_n(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert standard_error(data) == pytest.approx(
+            sample_stdev(data) / 2.0
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            standard_error([])
+
+
+class TestMeanSem:
+    def test_fields(self):
+        ms = mean_sem([1.0, 3.0])
+        assert ms.mean == 2.0
+        assert ms.n == 2
+        assert ms.sem == pytest.approx(1.0)
+
+    def test_str_format(self):
+        assert str(MeanSem(1.23456, 0.001, 3)) == "1.235±0.001"
+
+    def test_format_digits(self):
+        assert MeanSem(1.5, 0.25, 2).format(1) == "1.5±0.2"
+
+    def test_frozen(self):
+        ms = MeanSem(1.0, 0.1, 5)
+        with pytest.raises(AttributeError):
+            ms.mean = 2.0
+
+
+class TestSummarize:
+    def test_keys_and_values(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["n"] == 3
+        assert s["mean"] == 2.0
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["stdev"] == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

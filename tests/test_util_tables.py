@@ -1,0 +1,53 @@
+"""Tests for repro.util.tables (ASCII table rendering)."""
+
+import pytest
+
+from repro.util.tables import format_row, render_table
+
+
+class TestFormatRow:
+    def test_first_column_left_aligned(self):
+        row = format_row(["ab", "cd"], [5, 5])
+        assert row.startswith("ab   ")
+
+    def test_other_columns_right_aligned(self):
+        row = format_row(["ab", "cd"], [5, 5])
+        assert row.endswith("   cd")
+
+    def test_floats_render_three_decimals(self):
+        row = format_row(["x", 1.23456], [1, 8])
+        assert "1.235" in row
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        text = render_table(["name", "value"], [["a", 1], ["b", 2]])
+        assert "name" in text
+        assert "value" in text
+        assert "a" in text and "b" in text
+
+    def test_title_is_first_line(self):
+        text = render_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_separator_line_present(self):
+        text = render_table(["h1", "h2"], [["a", "b"]])
+        assert any(set(line.strip()) <= {"-", " "} and "-" in line
+                   for line in text.splitlines())
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_column_width_accommodates_longest_cell(self):
+        text = render_table(["h"], [["a-very-long-cell-value"]])
+        header_line = text.splitlines()[0]
+        assert len(header_line) >= len("a-very-long-cell-value")
+
+    def test_int_cells_render_verbatim(self):
+        text = render_table(["n"], [[12345]])
+        assert "12345" in text

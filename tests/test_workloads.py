@@ -1,0 +1,212 @@
+"""Tests for the workload models (repro.workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.kernel.modules import make_myri10ge
+from repro.util.rng import RngStream
+from repro.workloads.apache import ApacheBenchWorkload
+from repro.workloads.base import (
+    BACKGROUND_BURSTS,
+    BACKGROUND_RATES,
+    MixWorkload,
+    WorkloadPhase,
+)
+from repro.workloads.boot import BootWorkload
+from repro.workloads.dbench import DbenchWorkload
+from repro.workloads.idle import IdleWorkload
+from repro.workloads.kcompile import KernelCompileWorkload
+from repro.workloads.netperf import NetperfWorkload
+from repro.workloads.scp import ScpWorkload
+
+
+class TestWorkloadPhase:
+    def test_rejects_empty_rates(self):
+        with pytest.raises(ValueError, match="no operation rates"):
+            WorkloadPhase("p", {})
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError, match="negative rate"):
+            WorkloadPhase("p", {"read": -1.0})
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError, match="weight"):
+            WorkloadPhase("p", {"read": 1.0}, weight=0.0)
+
+
+class TestMixWorkloadValidation:
+    def test_requires_rates_xor_phases(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            MixWorkload("w")
+        with pytest.raises(ValueError, match="exactly one"):
+            MixWorkload(
+                "w", rates={"read": 1.0},
+                phases=[WorkloadPhase("p", {"read": 1.0})],
+            )
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            MixWorkload("w", rates={"read": 1.0}, jitter_sigma=-1)
+        with pytest.raises(ValueError):
+            MixWorkload("w", rates={"read": 1.0}, parallelism=0)
+        with pytest.raises(ValueError):
+            MixWorkload("w", rates={"read": 1.0}, load=2.0)
+
+
+class TestOpsGeneration:
+    def test_batches_scale_with_interval(self):
+        w = MixWorkload("w", rates={"read": 100.0}, jitter_sigma=0.0,
+                        drift_sigma=0.0, background=False, bursts=False)
+        rng = RngStream(0, "t")
+        short = dict(w.ops_for_interval(rng.child("a"), 1.0))
+        long = dict(w.ops_for_interval(rng.child("b"), 100.0))
+        assert long["read"] > short["read"] * 10
+
+    def test_background_hum_added(self):
+        w = MixWorkload("w", rates={"read": 1.0}, bursts=False)
+        ops = dict(w.ops_for_interval(RngStream(1, "t"), 10.0))
+        for op in BACKGROUND_RATES:
+            assert op in ops
+
+    def test_background_suppressible(self):
+        w = MixWorkload("w", rates={"read": 100.0}, background=False,
+                        bursts=False)
+        ops = dict(w.ops_for_interval(RngStream(1, "t"), 10.0))
+        assert set(ops) == {"read"}
+
+    def test_bursts_fire_sometimes(self):
+        w = MixWorkload("w", rates={"read": 1.0}, background=False)
+        burst_ops = {op for _, _, rates in BACKGROUND_BURSTS for op in rates}
+        seen = set()
+        for i in range(30):
+            ops = dict(w.ops_for_interval(RngStream(i, "t"), 10.0))
+            seen |= set(ops) & burst_ops
+        assert seen  # at least one burst type fired across 30 intervals
+
+    def test_bursts_absent_in_some_intervals(self):
+        w = MixWorkload("w", rates={"read": 1.0}, background=False)
+        burstless = 0
+        for i in range(30):
+            ops = dict(w.ops_for_interval(RngStream(i, "t"), 10.0))
+            if "fsync" not in ops and "fork_sh" not in ops:
+                burstless += 1
+        assert burstless > 0
+
+    def test_drift_changes_rates_over_time(self):
+        w = MixWorkload("w", rates={"read": 10000.0}, jitter_sigma=0.0,
+                        drift_sigma=0.3, background=False, bursts=False)
+        counts = [
+            dict(w.ops_for_interval(RngStream(9, f"i{i}"), 10.0))["read"]
+            for i in range(40)
+        ]
+        ratio = max(counts) / max(min(counts), 1)
+        assert ratio > 1.5
+
+    def test_nonpositive_interval_rejected(self):
+        w = MixWorkload("w", rates={"read": 1.0})
+        with pytest.raises(ValueError):
+            w.ops_for_interval(RngStream(0), 0.0)
+
+    def test_run_interval_executes_on_machine(self, machine):
+        w = ScpWorkload(seed=1)
+        before = machine.now_ns
+        w.run_interval(machine, 1.0)
+        assert machine.now_ns > before
+
+
+class TestConcreteWorkloads:
+    def test_labels(self):
+        assert ScpWorkload().label == "scp"
+        assert KernelCompileWorkload().label == "kcompile"
+        assert DbenchWorkload().label == "dbench"
+        assert IdleWorkload().label == "idle"
+        assert ApacheBenchWorkload().label == "apachebench"
+
+    def test_all_ops_exist_in_syscall_table(self, machine):
+        for workload in (
+            ScpWorkload(seed=1), KernelCompileWorkload(seed=2),
+            DbenchWorkload(seed=3), IdleWorkload(seed=4),
+            ApacheBenchWorkload(seed=5),
+        ):
+            for phase in getattr(workload, "phases", []):
+                for op in phase.rates:
+                    assert op in machine.syscalls, f"{workload.label}: {op}"
+
+    def test_workload_mixes_are_distinct(self, machine):
+        """Different workloads produce different footprints — the premise."""
+        vectors = []
+        for workload in (ScpWorkload(seed=1), KernelCompileWorkload(seed=2),
+                         DbenchWorkload(seed=3)):
+            total = np.zeros(len(machine.symbols))
+            for op, n in workload.ops_for_interval(RngStream(5, "t"), 10.0):
+                total += machine.syscalls.profile(op).expected * n
+            vectors.append(total / np.linalg.norm(total))
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert float(vectors[i] @ vectors[j]) < 0.98
+
+    def test_apache_throughput_helpers(self, machine):
+        rps = ApacheBenchWorkload.throughput_rps(machine)
+        assert 10_000 < rps < 20_000  # paper vanilla: 14215 req/s
+
+
+class TestNetperf:
+    def test_requires_myri10ge(self):
+        from repro.kernel.modules import KernelModule
+
+        other = KernelModule(name="e1000", version="1.0")
+        with pytest.raises(ValueError, match="myri10ge"):
+            NetperfWorkload(other)
+
+    def test_label_includes_variant(self):
+        w = NetperfWorkload(make_myri10ge("1.4.3"))
+        assert "1.4.3" in w.label
+
+    def test_line_rate_under_fmeter(self, fmeter_machine):
+        module = make_myri10ge("1.5.1")
+        fmeter_machine.load_module(module)
+        w = NetperfWorkload(module)
+        assert w.achievable_gbps(fmeter_machine) == pytest.approx(10.0)
+
+    def test_half_rate_under_ftrace(self, symbols, callgraph):
+        from repro.kernel.machine import MachineConfig, SimulatedMachine
+        from repro.tracing.ftrace import FtraceTracer
+
+        machine = SimulatedMachine(
+            config=MachineConfig(n_cpus=16, seed=1, symbol_seed=2012),
+            tracer=FtraceTracer(), symbols=symbols, callgraph=callgraph,
+        )
+        module = make_myri10ge("1.5.1")
+        machine.load_module(module)
+        w = NetperfWorkload(module)
+        gbps = w.achievable_gbps(machine)
+        assert 3.0 < gbps < 7.5  # "little more than half" line rate
+
+    def test_rx_cpus_validated(self, fmeter_machine):
+        module = make_myri10ge("1.5.1")
+        fmeter_machine.load_module(module)
+        w = NetperfWorkload(module)
+        with pytest.raises(ValueError):
+            w.achievable_gbps(fmeter_machine, rx_cpus=0)
+
+
+class TestBoot:
+    def test_duration_is_sum_of_phases(self):
+        boot = BootWorkload()
+        assert boot.duration_s == pytest.approx(
+            sum(d for _, d, _ in boot.phases)
+        )
+
+    def test_requires_counting_tracer(self, machine):
+        with pytest.raises(RuntimeError, match="counting tracer"):
+            BootWorkload().run_boot(machine)
+
+    def test_run_boot_returns_counts(self, fmeter_machine):
+        counts = BootWorkload(seed=1).run_boot(fmeter_machine)
+        assert counts.sum() > 1_000_000
+        assert (counts >= 0).all()
+
+    def test_boot_ops_exist(self, machine):
+        boot = BootWorkload(seed=0)
+        for op, n in boot.ops_for_interval(RngStream(0, "b"), boot.duration_s):
+            assert op in machine.syscalls

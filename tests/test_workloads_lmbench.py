@@ -1,0 +1,56 @@
+"""Tests for the lmbench mapping and measurement (repro.workloads.lmbench)."""
+
+import pytest
+
+from repro.workloads.lmbench import LMBENCH_TESTS, lmbench_test, measure_latency
+
+
+class TestTable1Rows:
+    def test_all_23_rows_present(self):
+        assert len(LMBENCH_TESTS) == 23
+
+    def test_names_unique(self):
+        names = [t.name for t in LMBENCH_TESTS]
+        assert len(set(names)) == 23
+
+    def test_ops_exist(self, machine):
+        for test in LMBENCH_TESTS:
+            assert test.op in machine.syscalls, test.name
+
+    def test_lookup_by_name(self):
+        test = lmbench_test("Simple read")
+        assert test.op == "read"
+        assert test.paper_vanilla_us == pytest.approx(0.101)
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            lmbench_test("Simple quantum leap")
+
+    def test_paper_values_ordered(self):
+        """In every row the paper has vanilla < fmeter < ftrace, except
+        the semaphore oddity where fmeter beat vanilla."""
+        for test in LMBENCH_TESTS:
+            assert test.paper_ftrace_us > test.paper_fmeter_us
+            if test.name != "Semaphore latency":
+                assert test.paper_fmeter_us > test.paper_vanilla_us
+
+
+class TestMeasurement:
+    def test_vanilla_latency_matches_op_cost(self, machine):
+        result = measure_latency(machine, "read", iterations=5)
+        assert result.mean == pytest.approx(0.101, rel=1e-6)
+        assert result.sem == 0.0
+
+    def test_traced_latency_higher_with_variance(self, fmeter_machine):
+        result = measure_latency(fmeter_machine, "read", iterations=10)
+        assert result.mean > 0.101
+        assert result.sem > 0.0
+
+    def test_iterations_validated(self, machine):
+        with pytest.raises(ValueError):
+            measure_latency(machine, "read", iterations=0)
+
+    def test_deterministic_given_seed(self, fmeter_machine):
+        a = measure_latency(fmeter_machine, "read", iterations=5, seed=3)
+        b = measure_latency(fmeter_machine, "read", iterations=5, seed=3)
+        assert a.mean == b.mean
