@@ -8,11 +8,9 @@ search, and the ML kernels.
 import numpy as np
 import pytest
 
-from repro.core.corpus import Corpus
 from repro.core.index import SignatureIndex
 from repro.core.signature import stack_signatures
 from repro.core.tfidf import TfIdfModel
-from repro.core.vocabulary import Vocabulary
 from repro.kernel.callgraph import CallGraph
 from repro.kernel.machine import MachineConfig, SimulatedMachine
 from repro.kernel.symbols import build_symbol_table

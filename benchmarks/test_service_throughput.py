@@ -1,0 +1,153 @@
+"""Service-scale retrieval: top-k index queries vs brute-force scoring.
+
+The service story only holds if retrieval stays cheap while the database
+grows without bound.  This benchmark builds a service-scale index
+(>= 1000 signatures, ingested through the incremental ``partial_fit``
+path in chunks, as the service would) and times the same top-k query
+workload two ways:
+
+- **index** — the inverted index's term-at-a-time accumulation with
+  heap-based top-k selection,
+- **brute force** — score the query against every stored signature and
+  fully sort, the naive baseline an operator script would write.
+
+The signatures are synthesized directly over the kernel vocabulary
+(sparse lognormal count documents with per-class support patterns)
+rather than collected from simulated machines: machine simulation speed
+is not under test here, index scaling is.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.corpus import Corpus
+from repro.core.document import CountDocument
+from repro.core.index import SignatureIndex
+from repro.core.tfidf import TfIdfModel
+from repro.core.vocabulary import Vocabulary
+from repro.kernel.symbols import build_symbol_table
+from repro.util.rng import RngStream
+
+SEED = 2012
+N_SIGNATURES = 1200
+N_CLASSES = 6
+NNZ_PER_DOC = 150
+CHUNK = 100
+N_QUERIES = 40
+TOP_K = 10
+
+
+@pytest.fixture(scope="module")
+def vocabulary():
+    return Vocabulary.from_symbol_table(build_symbol_table(SEED))
+
+
+def synthesize_documents(vocabulary, n, rng):
+    """Sparse labeled count documents with per-class support patterns."""
+    dims = len(vocabulary)
+    class_support = [
+        rng.child(f"class/{c}").choice(dims, size=NNZ_PER_DOC * 3, replace=False)
+        for c in range(N_CLASSES)
+    ]
+    documents = []
+    for i in range(n):
+        doc_rng = rng.child(f"doc/{i}")
+        c = i % N_CLASSES
+        support = doc_rng.choice(class_support[c], size=NNZ_PER_DOC, replace=False)
+        counts = np.zeros(dims, dtype=np.int64)
+        counts[support] = doc_rng.poisson(80.0, size=NNZ_PER_DOC) + 1
+        documents.append(
+            CountDocument(vocabulary, counts, label=f"class-{c}")
+        )
+    return documents
+
+
+@pytest.fixture(scope="module")
+def service_index(vocabulary):
+    """An index ingested incrementally, as the monitoring service does."""
+    rng = RngStream(SEED, "service-throughput")
+    documents = synthesize_documents(vocabulary, N_SIGNATURES, rng)
+    model = TfIdfModel()
+    signatures = []
+    ingest_start = time.perf_counter()
+    for i in range(0, len(documents), CHUNK):
+        chunk = documents[i : i + CHUNK]
+        model.partial_fit(chunk)
+        signatures.extend(model.transform(doc).unit() for doc in chunk)
+    index = SignatureIndex()
+    index.add_all(signatures)
+    ingest_elapsed = time.perf_counter() - ingest_start
+    queries = [
+        model.transform(doc).unit()
+        for doc in synthesize_documents(
+            vocabulary, N_QUERIES, rng.child("queries")
+        )
+    ]
+    return model, index, signatures, queries, ingest_elapsed
+
+
+def brute_force_search(query, signatures, k):
+    """Score everything, sort everything — the baseline to beat."""
+    query_sparse = query.to_sparse()
+    scored = sorted(
+        (
+            (query_sparse.cosine(sig.to_sparse()), i)
+            for i, sig in enumerate(signatures)
+        ),
+        key=lambda pair: (-pair[0], pair[1]),
+    )
+    return scored[:k]
+
+
+def test_incremental_ingest_matches_batch_fit(service_index, vocabulary):
+    """The chunked service ingest path equals one batch fit."""
+    model, _index, _signatures, _queries, _elapsed = service_index
+    rng = RngStream(SEED, "service-throughput")
+    documents = synthesize_documents(vocabulary, N_SIGNATURES, rng)
+    batch = TfIdfModel().fit(Corpus(vocabulary, documents))
+    assert np.max(np.abs(batch.idf() - model.idf())) < 1e-9
+
+
+def test_topk_beats_brute_force(service_index, save_table):
+    """At service scale the index must beat scoring every signature."""
+    model, index, signatures, queries, ingest_elapsed = service_index
+    assert len(index) >= 1000
+
+    # Agreement first: both sides must return the same ranking.
+    for query in queries[:5]:
+        via_index = [
+            r.signature_id for r in index.search(query, k=TOP_K)
+        ]
+        via_brute = [i for _score, i in brute_force_search(query, signatures, TOP_K)]
+        assert via_index == via_brute
+
+    start = time.perf_counter()
+    for query in queries:
+        index.search(query, k=TOP_K)
+    index_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for query in queries:
+        brute_force_search(query, signatures, TOP_K)
+    brute_elapsed = time.perf_counter() - start
+
+    speedup = brute_elapsed / index_elapsed
+    lines = [
+        f"indexed signatures:        {len(index)}",
+        f"queries timed:             {len(queries)} (top-{TOP_K})",
+        f"incremental ingest:        {ingest_elapsed:.3f} s "
+        f"({len(signatures) / ingest_elapsed:.0f} docs/s)",
+        f"index top-k total:         {index_elapsed * 1e3:.1f} ms "
+        f"({index_elapsed / len(queries) * 1e3:.2f} ms/query)",
+        f"brute-force total:         {brute_elapsed * 1e3:.1f} ms "
+        f"({brute_elapsed / len(queries) * 1e3:.2f} ms/query)",
+        f"speedup:                   {speedup:.1f}x",
+    ]
+    save_table("service_throughput", "\n".join(lines))
+
+    assert index_elapsed < brute_elapsed, (
+        f"index search ({index_elapsed:.3f}s) did not beat brute force "
+        f"({brute_elapsed:.3f}s) at {len(index)} signatures"
+    )

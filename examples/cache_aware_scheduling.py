@@ -43,7 +43,7 @@ def main() -> None:
     # Meta-clustering: which classes invoke the kernel similarly?
     meta = meta_cluster(centroids, k=2, seed=5)
     for cluster in range(meta.k):
-        members = [l for l, a in zip(labels, meta.assignments) if a == cluster]
+        members = [lab for lab, a in zip(labels, meta.assignments) if a == cluster]
         print(f"meta-cluster {cluster}: {members}")
 
     # Co-schedule onto the testbed's two L3 cache domains.

@@ -18,6 +18,8 @@ The package layers, bottom to top:
   paper's cross-validation protocol, clustering metrics, PCA,
   meta-clustering.
 - :mod:`repro.experiments` — one harness per paper table/figure.
+- :mod:`repro.service` — the always-on tier: concurrent ingestion with
+  incremental tf-idf, top-k retrieval, sharded resumable snapshots.
 
 Quick start::
 
@@ -43,6 +45,7 @@ from repro.core import (
     Vocabulary,
 )
 from repro.kernel import MachineConfig, SimulatedMachine, build_symbol_table
+from repro.service import IngestJob, MonitorService
 from repro.tracing import FmeterTracer, FtraceTracer, LoggingDaemon
 from repro.workloads import (
     ApacheBenchWorkload,
@@ -65,9 +68,11 @@ __all__ = [
     "FmeterTracer",
     "FtraceTracer",
     "IdleWorkload",
+    "IngestJob",
     "KernelCompileWorkload",
     "LoggingDaemon",
     "MachineConfig",
+    "MonitorService",
     "NetperfWorkload",
     "ScpWorkload",
     "Signature",

@@ -11,6 +11,13 @@ Commands
 ``diagnose``
     Collect fresh signatures from one workload and diagnose them against
     a saved database (nearest syndrome + k-NN vote).
+``serve``
+    Run the monitoring service for a number of ingestion rounds:
+    concurrent collection, incremental tf-idf, sharded snapshots.
+``ingest``
+    Resume a service snapshot and fold more signatures into it.
+``query``
+    Resume a service snapshot and run top-k diagnosis queries against it.
 ``experiment``
     Regenerate a paper table or figure and print it.
 """
@@ -43,18 +50,38 @@ def _workloads():
     return w
 
 
+def _subparser(sub, name: str, help_text: str, examples: list[str]):
+    """A subcommand with a usage-example epilog on ``--help``."""
+    epilog = "examples:\n" + "\n".join(f"  {line}" for line in examples)
+    return sub.add_parser(
+        name,
+        help=help_text,
+        epilog=epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Fmeter reproduction (Middleware 2012): collect, "
-                    "diagnose, and regenerate the paper's experiments.",
+                    "diagnose, serve, and regenerate the paper's "
+                    "experiments.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list-workloads", help="list available workload models")
+    _subparser(
+        sub, "list-workloads", "list available workload models",
+        ["python -m repro list-workloads"],
+    )
 
-    collect = sub.add_parser(
-        "collect", help="collect signatures and save a labeled database"
+    collect = _subparser(
+        sub, "collect", "collect signatures and save a labeled database",
+        [
+            "python -m repro collect --out db.npz",
+            "python -m repro collect --workloads scp,idle --intervals 40 "
+            "--out db.npz",
+        ],
     )
     collect.add_argument(
         "--workloads", default="scp,kcompile,dbench",
@@ -66,8 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--seed", type=int, default=2012)
     collect.add_argument("--out", required=True, help="output .npz path")
 
-    diagnose = sub.add_parser(
-        "diagnose", help="diagnose fresh signatures against a saved database"
+    diagnose = _subparser(
+        sub, "diagnose", "diagnose fresh signatures against a saved database",
+        [
+            "python -m repro diagnose --db db.npz --workload scp",
+            "python -m repro diagnose --db db.npz --workload dbench "
+            "--intervals 10 --k 7",
+        ],
     )
     diagnose.add_argument("--db", required=True, help="database .npz path")
     diagnose.add_argument("--workload", required=True,
@@ -76,8 +108,77 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--seed", type=int, default=2012)
     diagnose.add_argument("--k", type=int, default=5, help="k-NN votes")
 
-    experiment = sub.add_parser(
-        "experiment", help="regenerate a paper table or figure"
+    serve = _subparser(
+        sub, "serve", "run the monitoring service: concurrent ingestion "
+                      "rounds with incremental tf-idf and sharded snapshots",
+        [
+            "python -m repro serve --state-dir state/",
+            "python -m repro serve --state-dir state/ --workloads scp,idle "
+            "--rounds 3 --intervals 10 --workers 8",
+        ],
+    )
+    serve.add_argument(
+        "--state-dir", required=True,
+        help="sharded snapshot directory (created or resumed)",
+    )
+    serve.add_argument(
+        "--workloads", default="scp,kcompile,dbench",
+        help="comma-separated workload names ingested each round",
+    )
+    serve.add_argument("--rounds", type=_positive_int, default=2,
+                       help="ingestion rounds (one snapshot per round)")
+    serve.add_argument("--intervals", type=_positive_int, default=10,
+                       help="logging intervals per workload per round")
+    serve.add_argument("--interval-seconds", type=_positive_float, default=10.0)
+    serve.add_argument("--workers", type=_positive_int, default=4,
+                       help="collection thread-pool size")
+    serve.add_argument("--shard-size", type=_positive_int, default=None,
+                       help="signatures per snapshot shard (default: the "
+                            "state dir's existing size, else 256)")
+    serve.add_argument("--seed", type=int, default=2012)
+
+    ingest = _subparser(
+        sub, "ingest", "resume a service snapshot and ingest one workload",
+        [
+            "python -m repro ingest --state-dir state/ --workload scp",
+            "python -m repro ingest --state-dir state/ --workload dbench "
+            "--intervals 25 --run-seed 7",
+        ],
+    )
+    ingest.add_argument("--state-dir", required=True,
+                        help="existing sharded snapshot directory")
+    ingest.add_argument("--workload", required=True,
+                        choices=sorted(WORKLOAD_FACTORIES))
+    ingest.add_argument("--intervals", type=_positive_int, default=10)
+    ingest.add_argument("--run-seed", type=int, default=None,
+                        help="machine seed for this run (default: auto)")
+    ingest.add_argument("--seed", type=int, default=2012)
+
+    query = _subparser(
+        sub, "query", "resume a service snapshot and run top-k diagnosis",
+        [
+            "python -m repro query --state-dir state/ --workload scp",
+            "python -m repro query --state-dir state/ --workload kcompile "
+            "--intervals 3 --k 10 --metric euclidean",
+        ],
+    )
+    query.add_argument("--state-dir", required=True,
+                       help="existing sharded snapshot directory")
+    query.add_argument("--workload", required=True,
+                       choices=sorted(WORKLOAD_FACTORIES))
+    query.add_argument("--intervals", type=_positive_int, default=5)
+    query.add_argument("--k", type=_positive_int, default=5, help="neighbours per query")
+    query.add_argument("--metric", default="cosine",
+                       choices=("cosine", "euclidean"))
+    query.add_argument("--seed", type=int, default=2012)
+
+    experiment = _subparser(
+        sub, "experiment", "regenerate a paper table or figure",
+        [
+            "python -m repro experiment table1",
+            "python -m repro experiment fig4 --seed 2012",
+            "python -m repro experiment table4 --fast",
+        ],
     )
     experiment.add_argument("name", choices=EXPERIMENTS)
     experiment.add_argument("--seed", type=int, default=2012)
@@ -119,7 +220,12 @@ def _cmd_collect(args) -> int:
         seed=args.seed, interval_s=args.interval_seconds
     )
     result = pipeline.collect(workloads, args.intervals)
-    db = SignatureDatabase(result.vocabulary, idf=result.model.idf())
+    db = SignatureDatabase(
+        result.vocabulary,
+        idf=result.model.idf(),
+        df=result.model.document_frequencies(),
+        corpus_size=result.model.corpus_size,
+    )
     db.add_all([sig.unit() for sig in result.signatures])
     db.build_all_syndromes()
     db.save(args.out)
@@ -145,7 +251,7 @@ def _cmd_diagnose(args) -> int:
         )
     workload = WORKLOAD_FACTORIES[args.workload](args.seed + 99)
     docs = pipeline.collect_documents(workload, args.intervals, run_seed=99)
-    if db.idf is not None:
+    if db.idf is not None or db.df is not None:
         # Transform fresh counts with the same weighting that built the DB.
         model = db.make_model()
     else:
@@ -156,10 +262,162 @@ def _cmd_diagnose(args) -> int:
         sig = model.transform(doc).unit()
         syndrome, distance = db.nearest_syndrome(sig)
         votes = db.diagnose(sig, k=args.k)
-        vote_text = ", ".join(f"{l}={f:.0%}" for l, f in votes.items())
+        vote_text = ", ".join(
+            f"{label}={f:.0%}" for label, f in votes.items()
+        )
         print(
             f"  interval {i}: nearest={syndrome.label} (d={distance:.3f})"
             f"   votes: {vote_text or 'none'}"
+        )
+    return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _make_service(
+    args,
+    interval_s: float = 10.0,
+    workers: int = 4,
+    require_existing: bool = False,
+):
+    """A MonitorService over ``--state-dir``: resumed if it exists.
+
+    ``require_existing`` refuses to start fresh — for commands whose
+    contract is to extend or query an existing snapshot, where silently
+    creating an empty state dir would hide a mistyped path.
+    """
+    import pickle
+    import zipfile
+    from pathlib import Path
+
+    from repro.core.database import SignatureDatabase
+    from repro.core.pipeline import SignaturePipeline
+    from repro.service import MonitorService
+
+    pipeline = SignaturePipeline(seed=args.seed, interval_s=interval_s)
+    state_dir = Path(args.state_dir)
+    header = state_dir / SignatureDatabase.HEADER_FILE
+    if header.exists():
+        try:
+            service = MonitorService.resume(
+                pipeline, state_dir, max_workers=workers
+            )
+        except (
+            ValueError,
+            KeyError,
+            OSError,
+            zipfile.BadZipFile,
+            pickle.UnpicklingError,
+        ) as error:
+            raise SystemExit(f"cannot resume {state_dir}: {error}") from error
+        print(
+            f"resumed snapshot {state_dir}: "
+            f"{service.stats()['indexed_signatures']} signatures, "
+            f"corpus size {service.model.corpus_size}"
+        )
+    else:
+        if require_existing:
+            raise SystemExit(
+                f"{state_dir} holds no service snapshot; run "
+                "'python -m repro serve' first"
+            )
+        service = MonitorService(pipeline, max_workers=workers)
+        print(f"starting fresh service state in {state_dir}")
+    return service, state_dir
+
+
+def _print_report(report) -> None:
+    label_text = ", ".join(
+        f"{label}={n}" for label, n in sorted(report.by_label.items())
+    )
+    drift = (
+        f"{report.idf_drift:.4f}"
+        if report.idf_drift != float("inf")
+        else "initial fit"
+    )
+    print(
+        f"  ingested {report.documents} documents ({label_text}) "
+        f"in {report.elapsed_s:.2f}s "
+        f"({report.documents_per_second:.1f} docs/s); "
+        f"corpus={report.corpus_size}, indexed={report.indexed}, "
+        f"idf drift: {drift}"
+    )
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import IngestJob
+
+    service, state_dir = _make_service(
+        args, interval_s=args.interval_seconds, workers=args.workers
+    )
+    workloads = args.workloads
+    for round_no in range(1, args.rounds + 1):
+        jobs = [
+            IngestJob(workload, args.intervals)
+            for workload in _parse_workloads(
+                workloads, args.seed + 1000 * round_no
+            )
+        ]
+        print(f"round {round_no}/{args.rounds}:")
+        _print_report(service.ingest(jobs))
+        written = service.snapshot(state_dir, shard_size=args.shard_size)
+        print(f"  snapshot -> {state_dir} ({len(written)} files written)")
+    stats = service.stats()
+    print(
+        f"service state: {stats['indexed_signatures']} signatures across "
+        f"labels {', '.join(stats['labels'])}"
+    )
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    from repro.service import IngestJob
+
+    service, state_dir = _make_service(args, require_existing=True)
+    workload = WORKLOAD_FACTORIES[args.workload](args.seed)
+    report = service.ingest(
+        [IngestJob(workload, args.intervals, run_seed=args.run_seed)]
+    )
+    _print_report(report)
+    written = service.snapshot(state_dir)
+    print(f"snapshot -> {state_dir} ({len(written)} files written)")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    service, _state_dir = _make_service(args, require_existing=True)
+    service.metric = args.metric
+    workload = WORKLOAD_FACTORIES[args.workload](args.seed + 99)
+    docs = service.pipeline.collect_documents(
+        workload, args.intervals, run_seed=99
+    )
+    print(f"querying {len(docs)} intervals of {args.workload!r} (top-{args.k}):")
+    for i, result in enumerate(service.query_batch(docs, k=args.k)):
+        vote_text = ", ".join(
+            f"{label}={f:.0%}" for label, f in result.votes.items()
+        )
+        nearest = result.results[0] if result.results else None
+        nearest_text = (
+            f"id={nearest.signature_id} label={nearest.signature.label} "
+            f"score={nearest.score:.4f}"
+            if nearest
+            else "none"
+        )
+        print(
+            f"  interval {i}: nearest: {nearest_text}   "
+            f"votes: {vote_text or 'none'}"
         )
     return 0
 
@@ -246,15 +504,20 @@ def _cmd_experiment(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list-workloads":
-        return _cmd_list_workloads(args)
-    if args.command == "collect":
-        return _cmd_collect(args)
-    if args.command == "diagnose":
-        return _cmd_diagnose(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+    handlers = {
+        "list-workloads": _cmd_list_workloads,
+        "collect": _cmd_collect,
+        "diagnose": _cmd_diagnose,
+        "serve": _cmd_serve,
+        "ingest": _cmd_ingest,
+        "query": _cmd_query,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        handler = handlers[args.command]
+    except KeyError:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown command {args.command!r}") from None
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

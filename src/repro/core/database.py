@@ -6,14 +6,27 @@ normal behaviours, known bugs, compromised configurations — plus
 New, unlabeled signatures are diagnosed by nearest-syndrome lookup or
 k-NN over the labeled population.
 
-Persistence uses ``numpy``'s ``.npz`` container: one archive holds the
-vocabulary, the weight matrix, labels, and syndromes, so a database
-snapshot survives process restarts (the "past diagnostics leveraged in
-future problem detection" loop).
+Persistence uses ``numpy``'s ``.npz`` container, two ways:
+
+- :meth:`SignatureDatabase.save` — one archive holding the vocabulary,
+  the weight matrix, labels, and syndromes; right for one-shot batch
+  collection.
+- :meth:`SignatureDatabase.save_shards` — a directory of fixed-size
+  shard archives plus a small header.  The database is append-only, so
+  a full shard never changes once written: re-snapshotting a database
+  that grew only rewrites the header, the final partial shard, and any
+  new shards — a long-running ingestion service can snapshot
+  continuously without rewriting the world.
+
+Either way the snapshot survives process restarts (the "past diagnostics
+leveraged in future problem detection" loop).
 """
 
 from __future__ import annotations
 
+import hashlib
+import math
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -45,10 +58,22 @@ class SignatureDatabase:
 
     ``idf`` optionally stores the tf-idf model's idf vector so that new
     raw count documents can be transformed with the same weighting that
-    produced the stored signatures (see :meth:`make_model`).
+    produced the stored signatures (see :meth:`make_model`).  ``df`` and
+    ``corpus_size`` optionally store the fitting sufficient statistics
+    themselves, in which case the rehydrated model can also keep
+    learning incrementally (``partial_fit``) — what a resumed monitoring
+    service needs.
     """
 
-    def __init__(self, vocabulary: Vocabulary, idf: np.ndarray | None = None):
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        idf: np.ndarray | None = None,
+        df: np.ndarray | None = None,
+        corpus_size: int = 0,
+        use_idf: bool = True,
+        normalize_tf: bool = True,
+    ):
         self.vocabulary = vocabulary
         self.index = SignatureIndex()
         self._signatures: list[Signature] = []
@@ -60,17 +85,60 @@ class SignatureDatabase:
                     f"idf shape {idf.shape} does not match vocabulary size "
                     f"{len(vocabulary)}"
                 )
+        if df is not None:
+            df = np.asarray(df, dtype=np.int64)
+            if df.shape != (len(vocabulary),):
+                raise ValueError(
+                    f"df shape {df.shape} does not match vocabulary size "
+                    f"{len(vocabulary)}"
+                )
         self.idf = idf
+        self.df = df
+        self.corpus_size = int(corpus_size)
+        #: Weighting switches of the model that produced the stored
+        #: signatures; persisted so a rehydrated model transforms new
+        #: documents the same way (mixing weighted and unweighted
+        #: vectors would silently corrupt every similarity score).
+        self.use_idf = use_idf
+        self.normalize_tf = normalize_tf
+        #: Shard size of the directory this database was last saved to
+        #: or loaded from (None until sharded persistence is used);
+        #: re-snapshotting with the same size keeps full shards
+        #: immutable instead of rewriting the world.
+        self.shard_size: int | None = None
+        #: Shard filename generation: bumped whenever a snapshot must
+        #: rewrite files the previous header references, so the rewrite
+        #: lands under fresh names and the header flip stays atomic.
+        self.shard_generation: int = 0
 
     def make_model(self):
-        """A :class:`~repro.core.tfidf.TfIdfModel` rehydrated from ``idf``."""
+        """A :class:`~repro.core.tfidf.TfIdfModel` rehydrated from the
+        stored weighting state.
+
+        Prefers the sufficient statistics (``df`` + ``corpus_size``,
+        giving a model that supports ``partial_fit``) and falls back to
+        the bare ``idf`` vector (transform-only).
+        """
         from repro.core.tfidf import TfIdfModel
 
+        if self.df is not None and self.corpus_size > 0:
+            return TfIdfModel.from_counts(
+                self.vocabulary,
+                self.df,
+                self.corpus_size,
+                use_idf=self.use_idf,
+                normalize_tf=self.normalize_tf,
+            )
         if self.idf is None:
             raise RuntimeError(
                 "database stores no idf vector; pass idf= when building it"
             )
-        return TfIdfModel.from_idf(self.vocabulary, self.idf)
+        return TfIdfModel.from_idf(
+            self.vocabulary,
+            self.idf,
+            use_idf=self.use_idf,
+            normalize_tf=self.normalize_tf,
+        )
 
     # -- population -------------------------------------------------------------
 
@@ -90,6 +158,33 @@ class SignatureDatabase:
 
     def __len__(self) -> int:
         return len(self._signatures)
+
+    def signatures(self) -> list[Signature]:
+        """The stored signatures, in insertion order (copy of the list)."""
+        return list(self._signatures)
+
+    def snapshot_view(self) -> "SignatureDatabase":
+        """A detached copy for persistence: same signatures, syndromes,
+        and weighting state, but an **empty search index**.
+
+        Signatures are immutable and the database is append-only, so the
+        copied list is a consistent point-in-time view that can be saved
+        (``save``/``save_shards``) without holding the owner's lock while
+        the original keeps ingesting.  Do not query the view.
+        """
+        view = SignatureDatabase(
+            self.vocabulary,
+            idf=self.idf,
+            df=self.df,
+            corpus_size=self.corpus_size,
+            use_idf=self.use_idf,
+            normalize_tf=self.normalize_tf,
+        )
+        view._signatures = list(self._signatures)
+        view._syndromes = dict(self._syndromes)
+        view.shard_size = self.shard_size
+        view.shard_generation = self.shard_generation
+        return view
 
     def labels(self) -> list[str]:
         seen: dict[str, None] = {}
@@ -150,31 +245,58 @@ class SignatureDatabase:
 
     # -- persistence ------------------------------------------------------------
 
-    def save(self, path: str | Path) -> None:
-        """Write the database (vocabulary, signatures, syndromes) to .npz."""
-        path = Path(path)
+    def _header_arrays(self) -> dict[str, np.ndarray]:
+        """Everything except the signatures themselves."""
         arrays: dict[str, np.ndarray] = {
             "terms": np.array(list(self.vocabulary), dtype=np.uint64),
             "names": np.array(self.vocabulary.names(), dtype=object),
-            "weights": np.stack([s.weights for s in self._signatures])
-            if self._signatures
-            else np.zeros((0, len(self.vocabulary))),
-            "labels": np.array(
-                [s.label for s in self._signatures], dtype=object
+            "idf": self.idf if self.idf is not None else np.zeros(0),
+            "df": self.df if self.df is not None else np.zeros(0, np.int64),
+            "corpus_size": np.array(self.corpus_size, dtype=np.int64),
+            "weighting": np.array(
+                [self.use_idf, self.normalize_tf], dtype=np.int8
             ),
         }
-        arrays["idf"] = (
-            self.idf if self.idf is not None else np.zeros(0)
-        )
         syn_labels = list(self._syndromes)
         arrays["syndrome_labels"] = np.array(syn_labels, dtype=object)
         arrays["syndrome_support"] = np.array(
-            [self._syndromes[l].support for l in syn_labels], dtype=np.int64
+            [self._syndromes[label].support for label in syn_labels], dtype=np.int64
         )
         arrays["syndrome_centroids"] = (
-            np.stack([self._syndromes[l].centroid for l in syn_labels])
+            np.stack([self._syndromes[label].centroid for label in syn_labels])
             if syn_labels
             else np.zeros((0, len(self.vocabulary)))
+        )
+        return arrays
+
+    def _restore_header(self, data) -> None:
+        if "df" in data and data["df"].size:
+            self.df = data["df"].astype(np.int64)
+        if "corpus_size" in data:
+            self.corpus_size = int(data["corpus_size"])
+        if "weighting" in data:
+            self.use_idf = bool(data["weighting"][0])
+            self.normalize_tf = bool(data["weighting"][1])
+        for label, centroid, support in zip(
+            data["syndrome_labels"],
+            data["syndrome_centroids"],
+            data["syndrome_support"],
+        ):
+            self._syndromes[str(label)] = Syndrome(
+                label=str(label), centroid=centroid, support=int(support)
+            )
+
+    def save(self, path: str | Path) -> None:
+        """Write the database (vocabulary, signatures, syndromes) to .npz."""
+        path = Path(path)
+        arrays = self._header_arrays()
+        arrays["weights"] = (
+            np.stack([s.weights for s in self._signatures])
+            if self._signatures
+            else np.zeros((0, len(self.vocabulary)))
+        )
+        arrays["labels"] = np.array(
+            [s.label for s in self._signatures], dtype=object
         )
         np.savez_compressed(path, **arrays)
 
@@ -192,12 +314,193 @@ class SignatureDatabase:
                 db.add(
                     Signature(vocabulary, weights, label=str(label))
                 )
-            for label, centroid, support in zip(
-                data["syndrome_labels"],
-                data["syndrome_centroids"],
-                data["syndrome_support"],
+            db._restore_header(data)
+        return db
+
+    # -- sharded persistence ------------------------------------------------------
+
+    HEADER_FILE = "header.npz"
+
+    @staticmethod
+    def _shard_path(directory: Path, i: int, generation: int = 0) -> Path:
+        if generation == 0:
+            return directory / f"shard-{i:05d}.npz"
+        return directory / f"shard-g{generation:03d}-{i:05d}.npz"
+
+    @staticmethod
+    def _shard_generation(path: Path) -> tuple[int, int] | None:
+        """(generation, index) parsed from a shard filename, else None."""
+        parts = path.stem.split("-")
+        if len(parts) == 2 and parts[1].isdigit():
+            return 0, int(parts[1])
+        if (
+            len(parts) == 3
+            and parts[1].startswith("g")
+            and parts[1][1:].isdigit()
+            and parts[2].isdigit()
+        ):
+            return int(parts[1][1:]), int(parts[2])
+        return None
+
+    def save_shards(
+        self, directory: str | Path, shard_size: int = 256, force: bool = False
+    ) -> list[Path]:
+        """Snapshot into ``directory`` as fixed-size shard archives.
+
+        The database is append-only, so a shard that was written full is
+        immutable: snapshots after the database grew skip every existing
+        full shard and write only the trailing partial shard, whatever
+        new shards the growth requires, and the header.  ``force``
+        disables the skip and rewrites every shard — for callers that
+        mutated stored weights in place (e.g. a service re-weighting
+        its signatures under a newer idf).
+
+        Crash safety: every file lands via write-to-temp + atomic
+        rename, shards are written before the header, and a rewrite
+        that would touch files the current header references (``force``,
+        or a changed ``shard_size``) goes to a *new generation* of
+        shard filenames instead — the atomic header write is what flips
+        the snapshot over, and old-generation files are only removed
+        after it.  A crash at any point leaves the directory loading
+        either the old snapshot or the new one, never a mix.  Returns
+        the paths (re)written.
+        """
+        if shard_size <= 0:
+            raise ValueError(f"shard_size must be positive, got {shard_size}")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        fingerprint = self.vocabulary.fingerprint()
+        written: list[Path] = []
+
+        generation = self.shard_generation
+        resharding = self.shard_size is not None and self.shard_size != shard_size
+        if force or resharding:
+            generation += 1
+
+        n_shards = math.ceil(len(self._signatures) / shard_size)
+        for i in range(n_shards):
+            path = self._shard_path(directory, i, generation)
+            rows = self._signatures[i * shard_size : (i + 1) * shard_size]
+            weights = np.stack([s.weights for s in rows])
+            labels = np.array([s.label for s in rows], dtype=object)
+            content = self._content_hash(weights, labels)
+            if (
+                generation == self.shard_generation
+                and path.exists()
+                and len(rows) == shard_size
             ):
-                db._syndromes[str(label)] = Syndrome(
-                    label=str(label), centroid=centroid, support=int(support)
-                )
+                # Adopt the on-disk shard only if its *content* is what
+                # we would write: a leftover shard from a crashed run of
+                # a different database can match on size and vocabulary
+                # but hold different signatures.
+                with np.load(path, allow_pickle=True) as shard:
+                    if (
+                        int(shard["n"]) == shard_size
+                        and str(shard["fingerprint"]) == fingerprint
+                        and "content_hash" in shard
+                        and str(shard["content_hash"]) == content
+                    ):
+                        continue  # full shard already on disk, immutable
+            self._write_atomic(
+                path,
+                weights=weights,
+                labels=labels,
+                n=np.array(len(rows), dtype=np.int64),
+                fingerprint=np.array(fingerprint),
+                content_hash=np.array(content),
+            )
+            written.append(path)
+
+        header = self._header_arrays()
+        header["n_signatures"] = np.array(len(self._signatures), np.int64)
+        header["shard_size"] = np.array(shard_size, dtype=np.int64)
+        header["generation"] = np.array(generation, dtype=np.int64)
+        header_path = directory / self.HEADER_FILE
+        self._write_atomic(header_path, **header)
+        written.append(header_path)
+        self.shard_size = shard_size
+        self.shard_generation = generation
+
+        for stale in directory.glob("shard-*.npz"):
+            parsed = self._shard_generation(stale)
+            if parsed is None:
+                continue
+            gen, index = parsed
+            if gen != generation or index >= n_shards:
+                stale.unlink()
+        return written
+
+    @staticmethod
+    def _content_hash(weights: np.ndarray, labels: np.ndarray) -> str:
+        """A digest of one shard's exact content (weights + labels)."""
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(np.ascontiguousarray(weights).tobytes())
+        for label in labels:
+            digest.update(str(label).encode())
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    @staticmethod
+    def _write_atomic(path: Path, **arrays: np.ndarray) -> None:
+        """savez to a temp file in the same directory, then rename over.
+
+        ``os.replace`` is atomic on POSIX, so readers (and a crashed
+        writer's leftovers) only ever see a complete archive at ``path``.
+        """
+        tmp = path.with_suffix(".tmp.npz")
+        try:
+            np.savez_compressed(tmp, **arrays)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    @classmethod
+    def load_shards(cls, directory: str | Path) -> "SignatureDatabase":
+        """Rebuild a database from a :meth:`save_shards` directory."""
+        directory = Path(directory)
+        header_path = directory / cls.HEADER_FILE
+        if not header_path.exists():
+            raise FileNotFoundError(
+                f"no {cls.HEADER_FILE} in {directory} — not a sharded "
+                "signature database"
+            )
+        with np.load(header_path, allow_pickle=True) as data:
+            vocabulary = Vocabulary(
+                [int(t) for t in data["terms"]],
+                [str(n) for n in data["names"]],
+            )
+            idf = data["idf"] if data["idf"].size else None
+            db = cls(vocabulary, idf=idf)
+            n_signatures = int(data["n_signatures"])
+            shard_size = int(data["shard_size"])
+            generation = (
+                int(data["generation"]) if "generation" in data else 0
+            )
+            db.shard_size = shard_size
+            db.shard_generation = generation
+            db._restore_header(data)
+        fingerprint = vocabulary.fingerprint()
+        n_shards = math.ceil(n_signatures / shard_size)
+        for i in range(n_shards):
+            path = cls._shard_path(directory, i, generation)
+            with np.load(path, allow_pickle=True) as shard:
+                if str(shard["fingerprint"]) != fingerprint:
+                    raise ValueError(
+                        f"shard {path.name} belongs to a different "
+                        "vocabulary (kernel build) than the header"
+                    )
+                for weights, label in zip(shard["weights"], shard["labels"]):
+                    if len(db) == n_signatures:
+                        # The database is append-only, so a shard holding
+                        # more rows than the header promises is a crash
+                        # remnant: a grown trailing shard landed before the
+                        # new header did.  The promised prefix is exactly
+                        # the old snapshot — load it, ignore the tail.
+                        break
+                    db.add(Signature(vocabulary, weights, label=str(label)))
+        if len(db) != n_signatures:
+            raise ValueError(
+                f"sharded database is inconsistent: header promises "
+                f"{n_signatures} signatures, shards hold {len(db)}"
+            )
         return db

@@ -2,14 +2,24 @@
 
 "Indexable" is the paper's headline property: signatures can be stored and
 later retrieved by similarity against a query signature.  The index keeps a
-posting list per term (dimension), so a query only scores signatures that
-share at least one nonzero term with it — the standard IR trick, effective
-here because different workloads light up substantially different function
-subsets.
+posting list per term (dimension) mapping signature id to that signature's
+weight on the term, so a query is scored *term-at-a-time*: walk the
+postings of the query's nonzero dimensions, accumulating dot products —
+the standard IR trick, effective here because different workloads light up
+substantially different function subsets.  Cosine and Euclidean scores
+both fall out of the accumulated dot products plus cached norms, and the
+top k survivors are selected with a bounded heap rather than a full sort,
+so a query costs O(matching postings + C log k) for C candidates.
+
+Removal is O(1): the signature is tombstoned and its posting entries are
+left behind, skipped during scoring until :meth:`~SignatureIndex.compact`
+rebuilds the posting lists (triggered automatically once tombstones
+outnumber live entries).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from repro.core.signature import Signature
@@ -32,19 +42,31 @@ class SearchResult:
 
 
 class SignatureIndex:
-    """An append-only inverted index of signatures."""
+    """An inverted index of signatures with top-k retrieval and removal."""
 
     METRICS = ("cosine", "euclidean")
+
+    #: Auto-compaction floor: below this many tombstones, never compact.
+    MIN_TOMBSTONES_FOR_COMPACTION = 16
 
     def __init__(self):
         self._signatures: dict[int, Signature] = {}
         self._sparse: dict[int, SparseVector] = {}
-        self._postings: dict[int, set[int]] = {}
+        self._norms: dict[int, float] = {}
+        #: dim -> {signature id -> weight on dim}; may contain tombstoned
+        #: ids until the next compaction.
+        self._postings: dict[int, dict[int, float]] = {}
+        self._tombstones: set[int] = set()
         self._next_id = 0
         self._vocabulary = None
 
     def __len__(self) -> int:
         return len(self._signatures)
+
+    @property
+    def tombstones(self) -> int:
+        """Removed ids whose posting entries await compaction."""
+        return len(self._tombstones)
 
     def add(self, signature: Signature) -> int:
         """Index a signature; returns its id."""
@@ -59,8 +81,9 @@ class SignatureIndex:
         sparse = signature.to_sparse()
         self._signatures[sig_id] = signature
         self._sparse[sig_id] = sparse
-        for dim in sparse.dimensions():
-            self._postings.setdefault(dim, set()).add(sig_id)
+        self._norms[sig_id] = sparse.norm()
+        for dim, weight in sparse.items():
+            self._postings.setdefault(dim, {})[sig_id] = weight
         return sig_id
 
     def add_all(self, signatures: list[Signature]) -> list[int]:
@@ -73,26 +96,80 @@ class SignatureIndex:
             raise KeyError(f"no signature with id {sig_id}") from None
 
     def remove(self, sig_id: int) -> Signature:
+        """Tombstone a signature in O(1); postings are cleaned lazily."""
         signature = self.get(sig_id)
-        sparse = self._sparse.pop(sig_id)
         del self._signatures[sig_id]
-        for dim in sparse.dimensions():
-            postings = self._postings[dim]
-            postings.discard(sig_id)
-            if not postings:
-                del self._postings[dim]
+        del self._sparse[sig_id]
+        del self._norms[sig_id]
+        self._tombstones.add(sig_id)
+        if (
+            len(self._tombstones) >= self.MIN_TOMBSTONES_FOR_COMPACTION
+            and len(self._tombstones) > len(self._signatures)
+        ):
+            self.compact()
         return signature
+
+    def compact(self) -> int:
+        """Rebuild posting lists without tombstoned entries.
+
+        Ids of live signatures are preserved (external references stay
+        valid).  Returns the number of tombstones reclaimed.
+        """
+        reclaimed = len(self._tombstones)
+        if reclaimed:
+            postings: dict[int, dict[int, float]] = {}
+            for sig_id, sparse in self._sparse.items():
+                for dim, weight in sparse.items():
+                    postings.setdefault(dim, {})[sig_id] = weight
+            self._postings = postings
+            self._tombstones.clear()
+        return reclaimed
 
     def posting_list(self, dim: int) -> set[int]:
         """Ids of signatures with a nonzero weight on dimension ``dim``."""
-        return set(self._postings.get(dim, ()))
+        return set(self._postings.get(dim, ())) - self._tombstones
 
     def candidates(self, query: Signature) -> set[int]:
         """Ids sharing at least one nonzero term with the query."""
         ids: set[int] = set()
         for dim in query.to_sparse().dimensions():
-            ids |= self._postings.get(dim, set())
-        return ids
+            ids |= self._postings.get(dim, {}).keys()
+        return ids - self._tombstones
+
+    def _accumulate(self, query_sparse: SparseVector) -> dict[int, float]:
+        """Candidate id -> dot product with the query, term-at-a-time."""
+        acc: dict[int, float] = {}
+        tombstones = self._tombstones
+        for dim, query_weight in query_sparse.items():
+            postings = self._postings.get(dim)
+            if not postings:
+                continue
+            for sig_id, weight in postings.items():
+                if sig_id in tombstones:
+                    continue
+                acc[sig_id] = acc.get(sig_id, 0.0) + query_weight * weight
+        return acc
+
+    def _euclidean_from_dot(
+        self, query_norm: float, sig_id: int, dot: float
+    ) -> float:
+        """||q - s|| from norms and the accumulated dot product.
+
+        ``||q - s||^2 = ||q||^2 + ||s||^2 - 2 q.s`` cancels
+        catastrophically for near-identical vectors, leaving residue on
+        the order of machine epsilon times the squared norms; anything
+        below a few epsilons of that scale is genuinely zero as far as
+        this formula can tell, so it is snapped to zero rather than
+        surfacing as a spurious ~1e-8 distance.  The guard sits just
+        above the formula's own resolution (~2e-16 * scale) so that
+        every distance the subtraction can actually resolve survives.
+        """
+        norm = self._norms[sig_id]
+        scale = query_norm**2 + norm**2
+        d2 = scale - 2.0 * dot
+        if d2 < 1e-14 * scale:
+            return 0.0
+        return d2**0.5
 
     def search(
         self, query: Signature, k: int = 10, metric: str = "cosine"
@@ -111,22 +188,41 @@ class SignatureIndex:
         if self._vocabulary is not None and query.vocabulary != self._vocabulary:
             raise ValueError("query vocabulary does not match the index")
         query_sparse = query.to_sparse()
-        results: list[SearchResult] = []
-        for sig_id in self.candidates(query):
-            stored = self._sparse[sig_id]
-            if metric == "cosine":
-                score = query_sparse.cosine(stored)
-            else:
-                score = -query_sparse.euclidean(stored)
-            results.append(
-                SearchResult(
-                    signature_id=sig_id,
-                    signature=self._signatures[sig_id],
-                    score=score,
+        query_norm = query_sparse.norm()
+        acc = self._accumulate(query_sparse)
+        if metric == "cosine":
+            # Clamped like SparseVector.cosine: accumulated dots can
+            # round a hair past 1.0 for near-identical vectors, and
+            # callers treat the score as a true cosine.
+            scored = (
+                (
+                    min(1.0, dot / (query_norm * self._norms[sig_id]))
+                    if query_norm and self._norms[sig_id]
+                    else 0.0,
+                    sig_id,
                 )
+                for sig_id, dot in acc.items()
             )
-        results.sort(key=lambda r: (-r.score, r.signature_id))
-        return results[:k]
+        else:
+            scored = (
+                (-self._euclidean_from_dot(query_norm, sig_id, dot), sig_id)
+                for sig_id, dot in acc.items()
+            )
+        top = heapq.nsmallest(k, scored, key=lambda pair: (-pair[0], pair[1]))
+        return [
+            SearchResult(
+                signature_id=sig_id,
+                signature=self._signatures[sig_id],
+                score=score,
+            )
+            for score, sig_id in top
+        ]
+
+    def search_batch(
+        self, queries: list[Signature], k: int = 10, metric: str = "cosine"
+    ) -> list[list[SearchResult]]:
+        """Top-k results for each query, in query order."""
+        return [self.search(query, k=k, metric=metric) for query in queries]
 
     def label_votes(self, query: Signature, k: int = 5, metric: str = "cosine") -> dict[str, int]:
         """k-NN label histogram for the query — simple diagnosis primitive."""

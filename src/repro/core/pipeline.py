@@ -91,8 +91,15 @@ class SignaturePipeline:
 
     # -- collection ---------------------------------------------------------------
 
-    def collect_documents(self, workload, n_intervals: int, run_seed: int = 0) -> list:
-        """Run one workload under a fresh Fmeter-traced machine."""
+    def collect_documents(
+        self, workload, n_intervals: int, run_seed: int = 0, on_document=None
+    ) -> list:
+        """Run one workload under a fresh Fmeter-traced machine.
+
+        ``on_document`` is forwarded to the daemon's streaming hook: a
+        monitoring service passes a callback here to receive each count
+        document the moment it is harvested.
+        """
         # Imported here: repro.tracing.daemon itself imports repro.core
         # (for CountDocument), so a module-level import would be circular.
         from repro.tracing.daemon import LoggingDaemon
@@ -109,6 +116,7 @@ class SignaturePipeline:
             machine,
             interval_s=self.interval_s,
             self_interference=self.self_interference,
+            on_document=on_document,
         )
         return daemon.collect(
             workload.interval_runner(machine, self.interval_s),

@@ -70,12 +70,19 @@ def euclidean_distance(x, y) -> float:
 
 
 def l2_normalize(x) -> np.ndarray:
-    """Scale a vector onto the unit ball; the zero vector stays zero."""
+    """Scale a vector onto the unit ball; the zero vector stays zero.
+
+    Pre-scaling by the max magnitude keeps the squared terms inside the
+    representable range: for components near the denormal floor (~1e-161
+    and below) a naive ``x / ||x||`` computes the norm from underflowed
+    squares and lands visibly off the unit ball.
+    """
     arr = _as_1d(x)
-    norm = np.linalg.norm(arr)
-    if norm == 0.0:
+    scale = np.abs(arr).max(initial=0.0)
+    if scale == 0.0:
         return arr.copy()
-    return arr / norm
+    scaled = arr / scale
+    return scaled / np.linalg.norm(scaled)
 
 
 def pairwise_euclidean(matrix) -> np.ndarray:

@@ -15,11 +15,18 @@ downstream document containing them carries no usable evidence for them).
 The two paper-motivated ablation switches — ``use_idf`` and
 ``normalize_tf`` — exist so the benchmarks can quantify each factor's
 contribution.
+
+The model fits two ways: :meth:`fit` over a complete corpus (the batch
+experiments), or :meth:`partial_fit` over document chunks as they stream
+in (the monitoring service).  Both maintain the same sufficient
+statistics — per-term document frequencies and the corpus size — so a
+model partially fitted over any chunking of a corpus is *identical* to
+one fitted on the whole corpus at once.
 """
 
 from __future__ import annotations
 
-import math
+from typing import Iterable
 
 import numpy as np
 
@@ -39,6 +46,7 @@ class TfIdfModel:
         self.normalize_tf = normalize_tf
         self.vocabulary: Vocabulary | None = None
         self._idf: np.ndarray | None = None
+        self._df: np.ndarray | None = None
         self._corpus_size: int = 0
 
     # -- fitting ---------------------------------------------------------------
@@ -72,17 +80,95 @@ class TfIdfModel:
         model._corpus_size = corpus_size
         return model
 
+    @classmethod
+    def from_counts(
+        cls,
+        vocabulary: Vocabulary,
+        document_frequencies: np.ndarray,
+        corpus_size: int,
+        use_idf: bool = True,
+        normalize_tf: bool = True,
+    ) -> "TfIdfModel":
+        """Rehydrate from the fitting *sufficient statistics* (df, |D|).
+
+        Unlike :meth:`from_idf`, a model restored this way can keep
+        learning: :meth:`partial_fit` resumes exactly where the saved
+        model stopped, which is what lets a monitoring service restart
+        from a snapshot without replaying its whole ingest history.
+        """
+        df = np.asarray(document_frequencies, dtype=np.int64)
+        if df.shape != (len(vocabulary),):
+            raise ValueError(
+                f"df shape {df.shape} does not match vocabulary size "
+                f"{len(vocabulary)}"
+            )
+        if corpus_size <= 0:
+            raise ValueError("corpus_size must be positive")
+        if (df < 0).any() or (df > corpus_size).any():
+            raise ValueError("df values must lie in [0, corpus_size]")
+        model = cls(use_idf=use_idf, normalize_tf=normalize_tf)
+        model.vocabulary = vocabulary
+        model._df = df.copy()
+        model._corpus_size = int(corpus_size)
+        model._recompute_idf()
+        return model
+
+    def _recompute_idf(self) -> None:
+        df = self._df.astype(float)
+        idf = np.zeros(len(self.vocabulary))
+        seen = df > 0
+        idf[seen] = np.log(self._corpus_size / df[seen])
+        self._idf = idf
+
     def fit(self, corpus: Corpus) -> "TfIdfModel":
         """Compute idf from the corpus document frequencies."""
         if len(corpus) == 0:
             raise ValueError("cannot fit tf-idf on an empty corpus")
         self.vocabulary = corpus.vocabulary
         self._corpus_size = len(corpus)
-        df = corpus.document_frequencies().astype(float)
-        idf = np.zeros(len(corpus.vocabulary))
-        seen = df > 0
-        idf[seen] = np.log(self._corpus_size / df[seen])
-        self._idf = idf
+        self._df = corpus.document_frequencies()
+        self._recompute_idf()
+        return self
+
+    def partial_fit(self, documents: Iterable[CountDocument]) -> "TfIdfModel":
+        """Fold a chunk of documents into the df/idf statistics.
+
+        Incremental counterpart of :meth:`fit`: each document bumps the
+        document frequency of every term it contains and the corpus size
+        by one, then idf is recomputed from the updated statistics — an
+        O(N) vector op, with no refit over previously seen documents.
+        Chunking is immaterial: ``partial_fit`` over any split of a
+        corpus yields bit-identical idf to ``fit`` on the whole corpus.
+
+        Raises if the model was rehydrated with :meth:`from_idf`, which
+        stores the idf vector but not the document frequencies it came
+        from (use :meth:`from_counts` for resumable models).
+        """
+        documents = list(documents)
+        if self._df is None and self._idf is not None:
+            raise RuntimeError(
+                "model was rehydrated from an idf vector alone; its "
+                "document frequencies are unknown, so it cannot be "
+                "updated incrementally (rebuild with from_counts)"
+            )
+        if not documents:
+            return self  # an empty batch changes nothing, fitted or not
+        if self.vocabulary is None:
+            self.vocabulary = documents[0].vocabulary
+        # Validate the whole batch before touching any statistic: a
+        # mismatch must not leave _df half-bumped (a long-running
+        # service would otherwise keep serving from corrupted counts).
+        for doc in documents:
+            if doc.vocabulary != self.vocabulary:
+                raise ValueError(
+                    "document vocabulary does not match the fitted corpus"
+                )
+        if self._df is None:
+            self._df = np.zeros(len(self.vocabulary), dtype=np.int64)
+        for doc in documents:
+            self._df += doc.counts > 0
+        self._corpus_size += len(documents)
+        self._recompute_idf()
         return self
 
     @property
@@ -92,6 +178,15 @@ class TfIdfModel:
     @property
     def corpus_size(self) -> int:
         return self._corpus_size
+
+    def document_frequencies(self) -> np.ndarray:
+        """df_i over everything fitted so far (None-free copy)."""
+        if self._df is None:
+            raise RuntimeError(
+                "model has no document-frequency state (unfitted, or "
+                "rehydrated from idf alone)"
+            )
+        return self._df.copy()
 
     def idf(self) -> np.ndarray:
         if self._idf is None:

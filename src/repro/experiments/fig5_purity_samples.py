@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.pipeline import CollectionResult
 from repro.core.signature import Signature, stack_signatures

@@ -22,7 +22,7 @@ Entry seeds define each operation's *footprint shape* in the vector space;
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.kernel.callgraph import CallGraph, OperationProfile
 

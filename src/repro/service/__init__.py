@@ -1,0 +1,20 @@
+"""The always-on signature service.
+
+The paper's deployment story is continuous: operators leave Fmeter
+enabled, daemons on many machines log count documents every few seconds,
+and a central service folds them into an ever-growing labeled signature
+database that answers similarity queries.  This package is that service
+layer over the batch core:
+
+- :class:`~repro.service.monitor.MonitorService` — concurrent ingestion
+  (thread-pool fan-out over traced machines), incremental tf-idf
+  (``partial_fit``, no corpus refit), top-k retrieval, and sharded
+  snapshots.
+- :class:`~repro.service.monitor.IngestJob` /
+  :class:`~repro.service.monitor.IngestReport` — the ingestion request
+  and its accounting.
+"""
+
+from repro.service.monitor import IngestJob, IngestReport, MonitorService, QueryResult
+
+__all__ = ["IngestJob", "IngestReport", "MonitorService", "QueryResult"]

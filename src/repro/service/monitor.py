@@ -1,0 +1,473 @@
+"""The always-on ingestion + retrieval service (:class:`MonitorService`).
+
+The batch pipeline collects a corpus, fits tf-idf once, and exits.  The
+service inverts that lifecycle for the paper's operational story — many
+traced machines, signatures arriving continuously, a query surface that
+is never down:
+
+- **Ingestion** fans out over a thread pool: each :class:`IngestJob`
+  runs one workload on a fresh traced machine
+  (:meth:`~repro.core.pipeline.SignaturePipeline.collect_documents`),
+  and the harvested count documents are folded into the weighting model
+  with :meth:`~repro.core.tfidf.TfIdfModel.partial_fit` — document
+  frequencies and idf update online; previously ingested documents are
+  never refit.
+- **Weight vintages**: a signature is weighted with the idf current at
+  its ingest time.  As the corpus grows the idf stabilizes (the update
+  is O(vocabulary) and the per-document df increments shrink relative
+  to the total), so vintages converge; :meth:`MonitorService.reweight`
+  re-transforms this session's documents under the latest idf when an
+  operator wants exact uniformity.
+- **Retrieval** goes through the inverted index's heap-based top-k
+  (:meth:`~repro.core.index.SignatureIndex.search`), one query or a
+  batch at a time, with k-NN label votes as the diagnosis primitive.
+- **Snapshots** are sharded (:meth:`~repro.core.database.
+  SignatureDatabase.save_shards`): full shards are immutable, so a
+  periodic snapshot of a growing database writes only the delta.
+  :meth:`MonitorService.resume` restarts a service from a snapshot —
+  including the df statistics, so ``partial_fit`` continues exactly
+  where the previous process stopped.
+
+All mutating and reading entry points share one lock; the expensive part
+of ingestion (driving simulated machines) runs outside it, so collection
+overlaps freely across worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.database import SignatureDatabase
+from repro.core.document import CountDocument
+from repro.core.index import SearchResult
+from repro.core.pipeline import SignaturePipeline
+from repro.core.signature import Signature
+from repro.core.tfidf import TfIdfModel
+
+__all__ = ["IngestJob", "IngestReport", "MonitorService", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class IngestJob:
+    """One unit of collection: a workload run on one traced machine."""
+
+    workload: object
+    n_intervals: int
+    run_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_intervals <= 0:
+            raise ValueError("n_intervals must be positive")
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Accounting for one :meth:`MonitorService.ingest` call."""
+
+    documents: int
+    by_label: dict[str, int]
+    corpus_size: int
+    indexed: int
+    idf_drift: float
+    elapsed_s: float
+
+    @property
+    def documents_per_second(self) -> float:
+        return self.documents / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Diagnosis of one count document against the live index."""
+
+    signature: Signature
+    results: list[SearchResult]
+    votes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def top_label(self) -> str | None:
+        return next(iter(self.votes), None)
+
+
+class MonitorService:
+    """Ingest count documents concurrently; answer top-k queries."""
+
+    def __init__(
+        self,
+        pipeline: SignaturePipeline,
+        max_workers: int = 4,
+        use_idf: bool | None = None,
+        normalize_tf: bool | None = None,
+        metric: str = "cosine",
+        baseline: SignatureDatabase | None = None,
+        retain_documents: bool = False,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if baseline is not None:
+            # The weighting is baked into the baseline's stored
+            # signatures; silently honouring a conflicting request would
+            # mix incompatibly weighted vectors in one index.
+            for name, requested, stored in (
+                ("use_idf", use_idf, baseline.use_idf),
+                ("normalize_tf", normalize_tf, baseline.normalize_tf),
+            ):
+                if requested is not None and requested != stored:
+                    raise ValueError(
+                        f"{name}={requested} conflicts with the baseline "
+                        f"database (stored with {name}={stored}); the "
+                        "weighting of existing signatures cannot change"
+                    )
+        self.pipeline = pipeline
+        self.vocabulary = pipeline.vocabulary
+        self.max_workers = max_workers
+        self.metric = metric
+        #: Keep every ingested raw document in memory so :meth:`reweight`
+        #: can re-transform them later.  Off by default: an always-on
+        #: service would otherwise grow without bound, and only
+        #: ``reweight`` consumes the retained documents.
+        self.retain_documents = retain_documents
+        self._lock = threading.Lock()
+        #: Serializes snapshot disk I/O without blocking queries/ingest.
+        self._snapshot_lock = threading.Lock()
+        self._session_documents: list[CountDocument] = []
+        self._baseline_signatures: list[Signature] = []
+        self._reweights = 0
+        self._reweighted_since_snapshot = False
+        self._syndromes_stale = True
+        if baseline is not None:
+            if baseline.vocabulary != self.vocabulary:
+                raise ValueError(
+                    "snapshot was built from a different kernel build "
+                    "(vocabulary fingerprints differ)"
+                )
+            self.model = baseline.make_model()
+            self.database = baseline
+            self._baseline_signatures = baseline.signatures()
+            # Auto-assigned run seeds continue past anything the previous
+            # process could have used (it assigned at most one seed per
+            # ingested document), so a resumed service collects from
+            # *fresh* machines instead of replaying identical runs.
+            self._run_seed_counter = max(
+                baseline.corpus_size, len(baseline)
+            )
+        else:
+            use_idf = True if use_idf is None else use_idf
+            normalize_tf = True if normalize_tf is None else normalize_tf
+            self.model = TfIdfModel(use_idf=use_idf, normalize_tf=normalize_tf)
+            self.database = SignatureDatabase(
+                self.vocabulary, use_idf=use_idf, normalize_tf=normalize_tf
+            )
+            self._run_seed_counter = 0
+
+    # -- construction from snapshots -----------------------------------------------
+
+    @classmethod
+    def resume(
+        cls,
+        pipeline: SignaturePipeline,
+        directory: str | Path,
+        max_workers: int = 4,
+        metric: str = "cosine",
+        retain_documents: bool = False,
+    ) -> "MonitorService":
+        """Restart a service from a :meth:`snapshot` directory.
+
+        Requires the snapshot to carry the df sufficient statistics
+        (every snapshot this class writes does), so incremental fitting
+        picks up exactly where the previous process stopped.  The
+        weighting switches come from the snapshot; ``retain_documents``
+        enables :meth:`reweight` for documents ingested from here on.
+        """
+        database = SignatureDatabase.load_shards(directory)
+        if database.df is None or database.corpus_size <= 0:
+            raise ValueError(
+                "snapshot stores no document-frequency statistics; it was "
+                "not written by MonitorService.snapshot and cannot resume "
+                "incremental fitting"
+            )
+        return cls(
+            pipeline,
+            max_workers=max_workers,
+            metric=metric,
+            baseline=database,
+            retain_documents=retain_documents,
+        )
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def _next_run_seed(self) -> int:
+        with self._lock:
+            self._run_seed_counter += 1
+            return self._run_seed_counter
+
+    def _collect(self, job: IngestJob, on_document=None) -> list[CountDocument]:
+        run_seed = (
+            job.run_seed if job.run_seed is not None else self._next_run_seed()
+        )
+        return self.pipeline.collect_documents(
+            job.workload,
+            job.n_intervals,
+            run_seed=run_seed,
+            on_document=on_document,
+        )
+
+    def ingest(self, jobs: list[IngestJob]) -> IngestReport:
+        """Collect all jobs concurrently, then fold the documents in.
+
+        Collection (driving the traced machines) runs on the thread
+        pool with no lock held; the model/index update is one short
+        critical section.
+        """
+        start = time.perf_counter()
+        if not jobs:
+            raise ValueError("no ingest jobs given")
+        if len(jobs) == 1:
+            doc_lists = [self._collect(jobs[0])]
+        else:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                doc_lists = list(pool.map(self._collect, jobs))
+        documents = [doc for docs in doc_lists for doc in docs]
+        return self.ingest_documents(
+            documents, elapsed_s=time.perf_counter() - start
+        )
+
+    def ingest_documents(
+        self, documents: list[CountDocument], elapsed_s: float | None = None
+    ) -> IngestReport:
+        """Fold already-collected labeled documents into model and index."""
+        start = time.perf_counter()
+        unlabeled = sum(1 for doc in documents if doc.label is None)
+        if unlabeled:
+            raise ValueError(
+                f"{unlabeled} of {len(documents)} documents are unlabeled; "
+                "the service indexes labeled signatures only (use query() "
+                "to diagnose unlabeled documents)"
+            )
+        for doc in documents:
+            # Checked before partial_fit: a foreign batch must not fit
+            # the fresh model to the wrong vocabulary (or half-apply df)
+            # before the database rejects its signatures.
+            if doc.vocabulary != self.vocabulary:
+                raise ValueError(
+                    "document vocabulary does not match this service's "
+                    "kernel build (vocabulary fingerprints differ)"
+                )
+        with self._lock:
+            old_idf = self.model.idf() if self.model.fitted else None
+            self.model.partial_fit(documents)
+            drift = (
+                float(np.max(np.abs(self.model.idf() - old_idf)))
+                if old_idf is not None
+                else float("inf")
+            )
+            for doc in documents:
+                self.database.add(self.model.transform(doc).unit())
+            if self.retain_documents:
+                self._session_documents.extend(documents)
+            self._syndromes_stale = True
+            by_label: dict[str, int] = {}
+            for doc in documents:
+                by_label[doc.label] = by_label.get(doc.label, 0) + 1
+            return IngestReport(
+                documents=len(documents),
+                by_label=by_label,
+                corpus_size=self.model.corpus_size,
+                indexed=len(self.database),
+                idf_drift=drift,
+                elapsed_s=(
+                    elapsed_s
+                    if elapsed_s is not None
+                    else time.perf_counter() - start
+                ),
+            )
+
+    def streaming_observer(self):
+        """A callback for the daemon's ``on_document`` streaming hook.
+
+        Each harvested document is ingested immediately, so the index
+        reflects a machine's behaviour interval-by-interval while its
+        collection run is still in progress.
+        """
+
+        def observe(document: CountDocument) -> None:
+            self.ingest_documents([document])
+
+        return observe
+
+    def ingest_streaming(self, job: IngestJob) -> int:
+        """Run one job with per-interval (streaming) ingestion.
+
+        Returns the number of documents ingested.  Unlike :meth:`ingest`,
+        documents enter the index as they are harvested rather than when
+        the whole run finishes.
+        """
+        documents = self._collect(job, on_document=self.streaming_observer())
+        return len(documents)
+
+    # -- re-weighting ------------------------------------------------------------
+
+    def reweight(self) -> int:
+        """Re-transform this session's documents under the current idf.
+
+        Rebuilds the database so every session signature carries the
+        latest weighting (snapshot-loaded baseline signatures keep their
+        stored weights — their raw documents are not retained).  Returns
+        the number of signatures re-weighted.
+
+        Requires ``retain_documents=True``: re-transformation needs the
+        raw count documents, which the service otherwise discards after
+        ingestion to keep long-running memory bounded.
+        """
+        if not self.retain_documents:
+            raise RuntimeError(
+                "reweight() needs the raw ingested documents; construct "
+                "the service with retain_documents=True to keep them"
+            )
+        with self._lock:
+            rebuilt = SignatureDatabase(
+                self.vocabulary,
+                use_idf=self.model.use_idf,
+                normalize_tf=self.model.normalize_tf,
+            )
+            for signature in self._baseline_signatures:
+                rebuilt.add(signature)
+            for doc in self._session_documents:
+                rebuilt.add(self.model.transform(doc).unit())
+            if self.database.syndromes():
+                rebuilt.build_all_syndromes()
+            rebuilt.shard_size = self.database.shard_size
+            rebuilt.shard_generation = self.database.shard_generation
+            self.database = rebuilt
+            self._reweights += 1
+            self._reweighted_since_snapshot = True
+            self._syndromes_stale = True
+            return len(self._session_documents)
+
+    # -- retrieval ---------------------------------------------------------------
+
+    def query(self, document: CountDocument, k: int = 5) -> QueryResult:
+        """Diagnose one count document: top-k neighbours + label votes."""
+        return self.query_batch([document], k=k)[0]
+
+    def query_batch(
+        self, documents: list[CountDocument], k: int = 5
+    ) -> list[QueryResult]:
+        """Diagnose a batch of count documents in one locked pass."""
+        with self._lock:
+            if not self.model.fitted:
+                raise RuntimeError(
+                    "service has ingested nothing yet; nothing to query"
+                )
+            out: list[QueryResult] = []
+            for document in documents:
+                signature = self.model.transform(document).unit()
+                results = self.database.index.search(
+                    signature, k=k, metric=self.metric
+                )
+                # Every stored signature is labeled, so the k-NN vote
+                # fractions fall out of the results already in hand —
+                # no second index search.
+                counts: dict[str, int] = {}
+                for result in results:
+                    label = result.signature.label
+                    counts[label] = counts.get(label, 0) + 1
+                total = sum(counts.values())
+                votes = dict(
+                    sorted(
+                        ((label, n / total) for label, n in counts.items()),
+                        key=lambda kv: -kv[1],
+                    )
+                ) if total else {}
+                out.append(
+                    QueryResult(
+                        signature=signature, results=results, votes=votes
+                    )
+                )
+            return out
+
+    # -- persistence ------------------------------------------------------------
+
+    #: Shard size used when neither the caller nor a resumed snapshot
+    #: specifies one.
+    DEFAULT_SHARD_SIZE = 256
+
+    def snapshot(
+        self,
+        directory: str | Path,
+        shard_size: int | None = None,
+        build_syndromes: bool = True,
+    ) -> list[Path]:
+        """Write a sharded snapshot; returns the paths (re)written.
+
+        Incremental by construction: full shards already on disk are
+        skipped (the database is append-only), and syndromes are only
+        recomputed when signatures arrived since the last build.  If
+        :meth:`reweight` ran since the last snapshot the on-disk shards
+        hold stale weights, so every shard is force-rewritten.
+
+        ``shard_size=None`` reuses the size the state was snapshotted
+        or resumed with — changing it mid-life forces a full rewrite
+        (the on-disk full-shard layout no longer matches), so it is
+        sticky by default.
+
+        Disk I/O happens outside the service lock (queries and ingest
+        keep flowing while shards compress); concurrent ``snapshot``
+        calls are serialized by a dedicated snapshot lock.
+        """
+        directory = Path(directory)
+        with self._snapshot_lock:
+            with self._lock:
+                if shard_size is None:
+                    shard_size = (
+                        self.database.shard_size or self.DEFAULT_SHARD_SIZE
+                    )
+                self.database.idf = self.model.idf()
+                self.database.df = self.model.document_frequencies()
+                self.database.corpus_size = self.model.corpus_size
+                self.database.use_idf = self.model.use_idf
+                self.database.normalize_tf = self.model.normalize_tf
+                if (
+                    build_syndromes
+                    and len(self.database)
+                    and self._syndromes_stale
+                ):
+                    self.database.build_all_syndromes()
+                    self._syndromes_stale = False
+                view = self.database.snapshot_view()
+                force = self._reweighted_since_snapshot
+                reweights_at_capture = self._reweights
+            # The view shares immutable signatures with the live
+            # database; writing it needs no lock.
+            written = view.save_shards(
+                directory, shard_size=shard_size, force=force
+            )
+            with self._lock:
+                self.database.shard_size = view.shard_size
+                self.database.shard_generation = view.shard_generation
+                if self._reweights == reweights_at_capture:
+                    self._reweighted_since_snapshot = False
+            return written
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A service health/status summary, as the CLI prints it."""
+        with self._lock:
+            return {
+                "corpus_size": self.model.corpus_size,
+                "indexed_signatures": len(self.database),
+                "labels": self.database.labels(),
+                "session_documents": len(self._session_documents),
+                "baseline_signatures": len(self._baseline_signatures),
+                "index_tombstones": self.database.index.tombstones,
+                "reweights": self._reweights,
+                "max_workers": self.max_workers,
+                "metric": self.metric,
+            }

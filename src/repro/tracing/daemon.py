@@ -45,6 +45,7 @@ class LoggingDaemon:
         interval_s: float = 10.0,
         counters_path: str = FmeterTracer.COUNTERS_PATH,
         self_interference: bool = True,
+        on_document: Callable[[CountDocument], None] | None = None,
     ):
         if interval_s <= 0:
             raise ValueError(f"interval must be positive, got {interval_s}")
@@ -52,6 +53,10 @@ class LoggingDaemon:
         self.interval_s = interval_s
         self.counters_path = counters_path
         self.self_interference = self_interference
+        #: Streaming hook: called with each document as it is harvested,
+        #: before the caller sees it — how a monitoring service taps the
+        #: daemon's output live instead of waiting for a batch to finish.
+        self.on_document = on_document
         self.vocabulary = Vocabulary.from_symbol_table(machine.symbols)
         self.documents_emitted = 0
         self._baseline: dict[int, int] | None = None
@@ -111,9 +116,12 @@ class LoggingDaemon:
         self._baseline = after
         self._baseline_ns = self.machine.now_ns
         self.documents_emitted += 1
-        return CountDocument.from_mapping(
+        document = CountDocument.from_mapping(
             self.vocabulary, deltas, label=label, metadata=meta
         )
+        if self.on_document is not None:
+            self.on_document(document)
+        return document
 
     def collect(
         self,

@@ -162,3 +162,189 @@ class TestPersistence:
         db.save(path)
         loaded = SignatureDatabase.load(path)
         assert len(loaded) == 0
+
+
+class TestShardedPersistence:
+    def many_sigs(self, vocab, n, label="normal"):
+        rng = np.random.default_rng(7)
+        return [
+            sig(vocab, np.abs(rng.normal(size=4)) + 0.01, label)
+            for _ in range(n)
+        ]
+
+    def test_roundtrip(self, db, vocab, tmp_path):
+        db.build_all_syndromes()
+        db.save_shards(tmp_path / "state", shard_size=3)
+        loaded = SignatureDatabase.load_shards(tmp_path / "state")
+        assert len(loaded) == len(db)
+        assert loaded.labels() == db.labels()
+        assert {s.label for s in loaded.syndromes()} == {
+            s.label for s in db.syndromes()
+        }
+        for mine, theirs in zip(db.signatures(), loaded.signatures()):
+            assert np.allclose(mine.weights, theirs.weights)
+            assert mine.label == theirs.label
+
+    def test_full_shards_not_rewritten(self, vocab, tmp_path):
+        database = SignatureDatabase(vocab)
+        database.add_all(self.many_sigs(vocab, 6))
+        state = tmp_path / "state"
+        first = database.save_shards(state, shard_size=4)
+        assert {p.name for p in first} == {
+            "header.npz", "shard-00000.npz", "shard-00001.npz"
+        }
+        # Growing the database only touches the header, the partial
+        # trailing shard, and new shards — shard 0 is immutable.
+        database.add_all(self.many_sigs(vocab, 4, label="bad"))
+        second = database.save_shards(state, shard_size=4)
+        assert {p.name for p in second} == {
+            "header.npz", "shard-00001.npz", "shard-00002.npz"
+        }
+        loaded = SignatureDatabase.load_shards(state)
+        assert len(loaded) == 10
+        assert set(loaded.labels()) == {"normal", "bad"}
+
+    def test_df_and_corpus_size_roundtrip(self, vocab, tmp_path):
+        database = SignatureDatabase(
+            vocab,
+            idf=np.array([0.5, 0.2, 0.9, 0.0]),
+            df=np.array([3, 1, 2, 0], dtype=np.int64),
+            corpus_size=3,
+        )
+        database.add(sig(vocab, [1, 0, 0, 0], "normal"))
+        database.save_shards(tmp_path / "state")
+        loaded = SignatureDatabase.load_shards(tmp_path / "state")
+        assert np.array_equal(loaded.df, database.df)
+        assert loaded.corpus_size == 3
+        model = loaded.make_model()
+        assert model.corpus_size == 3  # from_counts path: can partial_fit
+
+    def test_missing_header_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="header"):
+            SignatureDatabase.load_shards(tmp_path)
+
+    def test_foreign_shard_rejected(self, db, vocab, tmp_path):
+        state = tmp_path / "state"
+        db.save_shards(state, shard_size=2)
+        other = SignatureDatabase(Vocabulary([7, 8, 9, 10]))
+        other.add_all([
+            Signature(other.vocabulary, np.ones(4), label="x")
+            for _ in range(2)
+        ])
+        other.save_shards(tmp_path / "other", shard_size=2)
+        (state / "shard-00000.npz").write_bytes(
+            (tmp_path / "other" / "shard-00000.npz").read_bytes()
+        )
+        with pytest.raises(ValueError, match="different"):
+            SignatureDatabase.load_shards(state)
+
+    def test_df_shape_validated(self, vocab):
+        with pytest.raises(ValueError, match="df shape"):
+            SignatureDatabase(vocab, df=np.zeros(7, np.int64))
+
+    def test_single_file_save_keeps_df(self, vocab, tmp_path):
+        database = SignatureDatabase(
+            vocab, df=np.array([1, 0, 1, 0], np.int64), corpus_size=2
+        )
+        database.add(sig(vocab, [1, 0, 0, 0], "normal"))
+        database.save(tmp_path / "db.npz")
+        loaded = SignatureDatabase.load(tmp_path / "db.npz")
+        assert np.array_equal(loaded.df, database.df)
+        assert loaded.corpus_size == 2
+
+    def test_stale_extra_shards_removed_on_resharding(self, vocab, tmp_path):
+        database = SignatureDatabase(vocab)
+        database.add_all(self.many_sigs(vocab, 6))
+        state = tmp_path / "state"
+        database.save_shards(state, shard_size=2)  # gen 0: shards 0, 1, 2
+        database.save_shards(state, shard_size=6)  # gen 1: one bigger shard
+        assert sorted(p.name for p in state.glob("shard-*.npz")) == [
+            "shard-g001-00000.npz"
+        ]
+        assert len(SignatureDatabase.load_shards(state)) == 6
+
+    def test_force_rewrites_full_shards(self, vocab, tmp_path):
+        database = SignatureDatabase(vocab)
+        database.add_all(self.many_sigs(vocab, 4))
+        state = tmp_path / "state"
+        database.save_shards(state, shard_size=2)
+        written = database.save_shards(state, shard_size=2, force=True)
+        assert sum(1 for p in written if p.name.startswith("shard")) == 2
+
+    def test_weighting_flags_roundtrip(self, vocab, tmp_path):
+        database = SignatureDatabase(
+            vocab, use_idf=False, normalize_tf=False,
+            df=np.array([1, 0, 0, 0], np.int64), corpus_size=1,
+        )
+        database.add(sig(vocab, [1, 0, 0, 0], "normal"))
+        database.save_shards(tmp_path / "state")
+        loaded = SignatureDatabase.load_shards(tmp_path / "state")
+        assert loaded.use_idf is False and loaded.normalize_tf is False
+        model = loaded.make_model()
+        assert model.use_idf is False and model.normalize_tf is False
+
+    def test_no_temp_files_left_behind(self, db, tmp_path):
+        state = tmp_path / "state"
+        db.save_shards(state, shard_size=2)
+        db.save_shards(state, shard_size=2, force=True)
+        assert not list(state.glob("*.tmp.npz"))
+
+    def test_shard_size_remembered_on_load(self, db, tmp_path):
+        state = tmp_path / "state"
+        db.save_shards(state, shard_size=3)
+        assert db.shard_size == 3
+        loaded = SignatureDatabase.load_shards(state)
+        assert loaded.shard_size == 3
+
+    def test_resharding_is_generation_atomic(self, vocab, tmp_path):
+        """Changing shard_size (or force) writes a new filename
+        generation; the old snapshot's files survive until the header
+        flip, so a crash mid-rewrite can't mix the two."""
+        database = SignatureDatabase(vocab)
+        database.add_all(self.many_sigs(vocab, 6))
+        state = tmp_path / "state"
+        database.save_shards(state, shard_size=2)
+        old_names = {p.name for p in state.glob("shard-*.npz")}
+        database.save_shards(state, shard_size=4)
+        new_names = {p.name for p in state.glob("shard-*.npz")}
+        assert old_names.isdisjoint(new_names)  # fresh generation
+        loaded = SignatureDatabase.load_shards(state)
+        assert len(loaded) == 6
+        assert loaded.shard_generation == database.shard_generation == 1
+
+    def test_force_bumps_generation_and_loads(self, db, tmp_path):
+        state = tmp_path / "state"
+        db.save_shards(state, shard_size=2)
+        db.save_shards(state, shard_size=2, force=True)
+        assert db.shard_generation == 1
+        assert len(SignatureDatabase.load_shards(state)) == len(db)
+
+    def test_crash_remnant_trailing_shard_still_loads(self, vocab, tmp_path):
+        """Old header + grown trailing shard (crash before the header
+        flip) must load the old snapshot — the promised prefix."""
+        database = SignatureDatabase(vocab)
+        database.add_all(self.many_sigs(vocab, 3))
+        state = tmp_path / "state"
+        database.save_shards(state, shard_size=4)
+        old_header = (state / "header.npz").read_bytes()
+        database.add_all(self.many_sigs(vocab, 3, label="late"))
+        database.save_shards(state, shard_size=4)
+        # Simulate the crash: new shards on disk, old header restored.
+        (state / "header.npz").write_bytes(old_header)
+        loaded = SignatureDatabase.load_shards(state)
+        assert len(loaded) == 3
+        assert set(loaded.labels()) == {"normal"}
+
+    def test_foreign_leftover_full_shard_not_adopted(self, vocab, tmp_path):
+        """A full shard left by a crashed run of a *different* database
+        (same vocabulary, same size) must be rewritten, not adopted."""
+        state = tmp_path / "state"
+        crashed = SignatureDatabase(vocab)
+        crashed.add_all(self.many_sigs(vocab, 4, label="crashed"))
+        crashed.save_shards(state, shard_size=4)
+        (state / "header.npz").unlink()  # crash before the header landed
+        fresh = SignatureDatabase(vocab)
+        fresh.add_all(self.many_sigs(vocab, 4, label="real"))
+        fresh.save_shards(state, shard_size=4)
+        loaded = SignatureDatabase.load_shards(state)
+        assert loaded.labels() == ["real"]

@@ -122,3 +122,115 @@ class TestSearch:
         index.add_all(others + rest)
         top = index.search(query, k=5)
         assert all(r.signature.label == "scp" for r in top)
+
+
+class TestTopK:
+    def test_topk_matches_exhaustive_ranking(self, collection):
+        """Heap-selected top-k equals a full sort over all signatures."""
+        signatures = [s.unit() for s in collection.signatures]
+        index = SignatureIndex()
+        index.add_all(signatures[1:])
+        query = signatures[0]
+        query_sparse = query.to_sparse()
+        exhaustive = sorted(
+            (
+                (query_sparse.cosine(s.to_sparse()), i)
+                for i, s in enumerate(signatures[1:])
+            ),
+            key=lambda pair: (-pair[0], pair[1]),
+        )
+        for k in (1, 3, 10, len(signatures) + 5):
+            got = index.search(query, k=k)
+            want = exhaustive[:k]
+            assert [r.signature_id for r in got] == [i for _, i in want]
+            for result, (score, _) in zip(got, want):
+                assert result.score == pytest.approx(score, abs=1e-12)
+
+    def test_topk_euclidean_matches_exhaustive(self, collection):
+        signatures = [s.unit() for s in collection.signatures]
+        index = SignatureIndex()
+        index.add_all(signatures[1:])
+        query = signatures[0]
+        query_sparse = query.to_sparse()
+        exhaustive = sorted(
+            (
+                (-query_sparse.euclidean(s.to_sparse()), i)
+                for i, s in enumerate(signatures[1:])
+            ),
+            key=lambda pair: (-pair[0], pair[1]),
+        )
+        got = index.search(query, k=5, metric="euclidean")
+        assert [r.signature_id for r in got] == [i for _, i in exhaustive[:5]]
+        for result, (score, _) in zip(got, exhaustive[:5]):
+            assert result.score == pytest.approx(score, abs=1e-9)
+
+    def test_ties_break_by_id(self, vocab):
+        index = SignatureIndex()
+        index.add(sig(vocab, [1, 0, 0, 0, 0, 0]))
+        index.add(sig(vocab, [2, 0, 0, 0, 0, 0]))  # same direction: ties
+        results = index.search(sig(vocab, [3, 0, 0, 0, 0, 0]), k=2)
+        assert [r.signature_id for r in results] == [0, 1]
+
+
+class TestBatchSearch:
+    def test_batch_matches_single_queries(self, index, vocab):
+        queries = [
+            sig(vocab, [1, 1, 0, 0, 0, 0]),
+            sig(vocab, [0, 0, 1, 0.5, 0, 0]),
+            sig(vocab, [0, 0, 0, 0, 1, 0]),
+        ]
+        batched = index.search_batch(queries, k=2)
+        assert len(batched) == 3
+        for query, results in zip(queries, batched):
+            single = index.search(query, k=2)
+            assert [r.signature_id for r in results] == [
+                r.signature_id for r in single
+            ]
+
+    def test_batch_empty(self, index):
+        assert index.search_batch([], k=3) == []
+
+
+class TestRemoveAndCompaction:
+    def test_removed_never_returned(self, index, vocab):
+        index.remove(0)
+        results = index.search(sig(vocab, [1, 1, 0, 0, 0, 0]), k=4)
+        assert 0 not in [r.signature_id for r in results]
+
+    def test_remove_is_lazy_until_compaction(self, index):
+        index.remove(0)
+        assert index.tombstones == 1
+        assert index.compact() == 1
+        assert index.tombstones == 0
+
+    def test_compact_preserves_results(self, index, vocab):
+        query = sig(vocab, [1, 1, 1, 0, 0, 0])
+        index.remove(1)
+        before = [(r.signature_id, r.score) for r in index.search(query, k=4)]
+        index.compact()
+        after = [(r.signature_id, r.score) for r in index.search(query, k=4)]
+        assert before == after
+
+    def test_ids_stable_across_compaction(self, index):
+        index.remove(0)
+        index.compact()
+        assert index.get(3).label == "c"
+        assert index.add(index.get(3)) == 4  # ids never reused
+
+    def test_auto_compaction_kicks_in(self, vocab):
+        index = SignatureIndex()
+        ids = [
+            index.add(sig(vocab, [1, 0, 0, 0, 0, 0]))
+            for _ in range(SignatureIndex.MIN_TOMBSTONES_FOR_COMPACTION + 2)
+        ]
+        for sig_id in ids[:-1]:
+            index.remove(sig_id)
+        # Compaction fired once tombstones crossed the floor and
+        # outnumbered live entries; only post-compaction removals linger.
+        assert index.tombstones < len(ids) - 1
+        assert len(index) == 1
+
+    def test_posting_list_hides_tombstones(self, index):
+        index.remove(2)
+        assert index.posting_list(2) == set()
+        assert index.candidates(sig(index.get(3).vocabulary, [0, 0, 1, 0, 0, 0])) == set()

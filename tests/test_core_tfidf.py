@@ -164,3 +164,95 @@ class TestInterferenceAttenuation:
         for sig in sigs:
             assert sig.weights[0] == 0.0
             assert sig.weights[1] + sig.weights[2] > 0.0
+
+
+class TestPartialFit:
+    def test_chunked_equals_full_fit(self, corpus, vocab):
+        """Any chunking of the corpus yields the idf of one full fit."""
+        full = TfIdfModel().fit(corpus)
+        docs = corpus.documents
+        for chunks in ([1, 3], [2, 2], [1, 1, 1, 1], [4]):
+            model = TfIdfModel()
+            start = 0
+            for size in chunks:
+                model.partial_fit(docs[start:start + size])
+                start += size
+            assert np.array_equal(model.idf(), full.idf()), chunks
+            assert model.corpus_size == full.corpus_size
+
+    def test_chunked_transform_matches_fit_transform(self, corpus):
+        full_sigs = TfIdfModel().fit_transform(corpus)
+        model = TfIdfModel()
+        docs = corpus.documents
+        model.partial_fit(docs[:2])
+        model.partial_fit(docs[2:])
+        for doc_, full_sig in zip(docs, full_sigs):
+            inc = model.transform(doc_)
+            assert np.max(np.abs(inc.weights - full_sig.weights)) < 1e-9
+
+    def test_statistics_accumulate(self, corpus, vocab):
+        model = TfIdfModel()
+        docs = corpus.documents
+        model.partial_fit(docs[:1])
+        assert model.corpus_size == 1
+        model.partial_fit(docs[1:])
+        assert model.corpus_size == 4
+        assert np.array_equal(
+            model.document_frequencies(), corpus.document_frequencies()
+        )
+
+    def test_empty_chunk_on_fitted_model_is_noop(self, corpus):
+        model = TfIdfModel().fit(corpus)
+        before = model.idf()
+        model.partial_fit([])
+        assert np.array_equal(model.idf(), before)
+
+    def test_empty_first_chunk_leaves_model_unfitted(self):
+        model = TfIdfModel().partial_fit([])
+        assert not model.fitted
+
+    def test_vocabulary_mismatch_rejected(self, corpus):
+        model = TfIdfModel().fit(corpus)
+        other = Vocabulary([9, 10])
+        stranger = CountDocument(other, np.array([1, 1], dtype=np.int64))
+        with pytest.raises(ValueError, match="vocabulary"):
+            model.partial_fit([stranger])
+
+    def test_from_idf_model_cannot_partial_fit(self, corpus, vocab):
+        fitted = TfIdfModel().fit(corpus)
+        rehydrated = TfIdfModel.from_idf(vocab, fitted.idf())
+        with pytest.raises(RuntimeError, match="incrementally"):
+            rehydrated.partial_fit(corpus.documents)
+
+    def test_from_counts_resumes_exactly(self, corpus, vocab):
+        docs = corpus.documents
+        first = TfIdfModel().partial_fit(docs[:2])
+        resumed = TfIdfModel.from_counts(
+            vocab, first.document_frequencies(), first.corpus_size
+        )
+        resumed.partial_fit(docs[2:])
+        assert np.array_equal(
+            resumed.idf(), TfIdfModel().fit(corpus).idf()
+        )
+
+    def test_from_counts_validates(self, vocab):
+        with pytest.raises(ValueError, match="corpus_size"):
+            TfIdfModel.from_counts(vocab, np.zeros(4, np.int64), 0)
+        with pytest.raises(ValueError, match="shape"):
+            TfIdfModel.from_counts(vocab, np.zeros(3, np.int64), 2)
+        with pytest.raises(ValueError, match="df values"):
+            TfIdfModel.from_counts(vocab, np.array([3, 0, 0, 0]), 2)
+
+    def test_unfitted_has_no_df(self, vocab):
+        with pytest.raises(RuntimeError, match="document-frequency"):
+            TfIdfModel().document_frequencies()
+
+    def test_mismatch_mid_batch_leaves_statistics_untouched(self, corpus, vocab):
+        """Strong exception guarantee: a bad batch must not half-apply."""
+        model = TfIdfModel().fit(corpus)
+        df_before = model.document_frequencies()
+        stranger = CountDocument(Vocabulary([9, 10]), np.array([1, 1], np.int64))
+        with pytest.raises(ValueError, match="vocabulary"):
+            model.partial_fit([corpus.documents[0], stranger])
+        assert np.array_equal(model.document_frequencies(), df_before)
+        assert model.corpus_size == len(corpus)

@@ -123,3 +123,54 @@ class TestLinkages:
         single_root = agglomerative(x, "single").root.height
         complete_root = agglomerative(x, "complete").root.height
         assert complete_root >= single_root
+
+
+class TestAverageLinkageAudit:
+    """The Lance-Williams UPGMA update, audited against first principles.
+
+    The Figure 4 benchmark once implicated this update; the audit pins
+    it instead: the recursive update must equal the *definition* of
+    average linkage — the mean pairwise distance between the two
+    clusters' members — at every merge.
+    """
+
+    def brute_force_average(self, x, members_a, members_b):
+        return float(np.mean([
+            np.linalg.norm(x[i] - x[j])
+            for i in members_a
+            for j in members_b
+        ]))
+
+    def test_update_matches_mean_pairwise_distance(self):
+        rng = np.random.default_rng(42)
+        x = rng.normal(size=(12, 3))
+        tree = agglomerative(x, linkage="average")
+
+        def visit(node):
+            if node.is_leaf:
+                return
+            expected = self.brute_force_average(
+                x, node.left.members, node.right.members
+            )
+            assert node.height == pytest.approx(expected, rel=1e-9), (
+                node.left.members, node.right.members
+            )
+            visit(node.left)
+            visit(node.right)
+
+        visit(tree.root)
+
+    def test_merge_heights_monotone(self):
+        """UPGMA cannot produce inversions (unlike centroid linkage)."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(15, 4))
+        tree = agglomerative(x, linkage="average")
+
+        def visit(node):
+            if node.is_leaf:
+                return
+            for child in (node.left, node.right):
+                assert child.height <= node.height + 1e-12
+                visit(child)
+
+        visit(tree.root)

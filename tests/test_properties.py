@@ -6,7 +6,6 @@ vectors, conservation for the ring buffer, normalization invariants for
 tf-idf, and bounds for the clustering metrics.
 """
 
-import math
 
 import numpy as np
 import pytest
@@ -21,7 +20,6 @@ from repro.core.similarity import (
 )
 from repro.core.sparse import SparseVector
 from repro.ml.metrics import (
-    accuracy,
     baseline_accuracy,
     normalized_mutual_information,
     purity,
@@ -273,3 +271,44 @@ class TestKmeansProperties:
         assert result.assignments.min() >= 0
         assert result.assignments.max() < k
         assert result.inertia >= 0.0
+
+
+counts_matrices = st.lists(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=5, max_size=5),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(counts_matrices, st.data())
+@settings(max_examples=60, deadline=None)
+def test_partial_fit_chunking_is_immaterial(rows, data):
+    """tf-idf fitted over any chunking == one full fit (within 1e-9)."""
+    from repro.core.corpus import Corpus
+    from repro.core.document import CountDocument
+    from repro.core.tfidf import TfIdfModel
+    from repro.core.vocabulary import Vocabulary
+
+    vocab = Vocabulary(list(range(1, 6)))
+    docs = [
+        CountDocument(vocab, np.array(row, dtype=np.int64)) for row in rows
+    ]
+    boundaries = sorted(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(docs)), max_size=4
+            ),
+            label="chunk boundaries",
+        )
+    )
+    edges = [0, *boundaries, len(docs)]
+    full = TfIdfModel().fit(Corpus(vocab, docs))
+    chunked = TfIdfModel()
+    for start, stop in zip(edges, edges[1:]):
+        chunked.partial_fit(docs[start:stop])
+    assert chunked.corpus_size == full.corpus_size
+    assert np.max(np.abs(chunked.idf() - full.idf())) < 1e-9
+    for doc in docs:
+        a = full.transform(doc).weights
+        b = chunked.transform(doc).weights
+        assert np.max(np.abs(a - b)) < 1e-9

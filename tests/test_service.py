@@ -1,0 +1,316 @@
+"""Tests for the monitoring service (repro.service.monitor)."""
+
+import numpy as np
+import pytest
+
+from repro.core.corpus import Corpus
+from repro.core.tfidf import TfIdfModel
+from repro.service import IngestJob, MonitorService
+from repro.workloads.kcompile import KernelCompileWorkload
+from repro.workloads.scp import ScpWorkload
+
+
+@pytest.fixture()
+def service(pipeline):
+    return MonitorService(pipeline, max_workers=2)
+
+
+@pytest.fixture()
+def fed_service(service):
+    service.ingest([
+        IngestJob(ScpWorkload(seed=21), 6, run_seed=1),
+        IngestJob(KernelCompileWorkload(seed=22), 6, run_seed=2),
+    ])
+    return service
+
+
+class TestIngestion:
+    def test_concurrent_jobs_all_land(self, fed_service):
+        stats = fed_service.stats()
+        assert stats["indexed_signatures"] == 12
+        assert stats["corpus_size"] == 12
+        assert set(stats["labels"]) == {"scp", "kcompile"}
+
+    def test_report_accounting(self, service):
+        report = service.ingest([
+            IngestJob(ScpWorkload(seed=21), 4, run_seed=1),
+            IngestJob(KernelCompileWorkload(seed=22), 3, run_seed=2),
+        ])
+        assert report.documents == 7
+        assert report.by_label == {"scp": 4, "kcompile": 3}
+        assert report.idf_drift == float("inf")  # first fit
+        assert report.elapsed_s > 0
+        assert report.documents_per_second > 0
+
+    def test_drift_reported_after_first_fit(self, fed_service):
+        report = fed_service.ingest(
+            [IngestJob(ScpWorkload(seed=23), 3, run_seed=3)]
+        )
+        assert np.isfinite(report.idf_drift)
+        assert report.corpus_size == 15
+
+    def test_incremental_matches_batch_collection(self, pipeline, service):
+        """Service ingest in two rounds == one batch fit over the pool."""
+        docs_a = pipeline.collect_documents(
+            ScpWorkload(seed=21), 5, run_seed=1
+        )
+        docs_b = pipeline.collect_documents(
+            KernelCompileWorkload(seed=22), 5, run_seed=2
+        )
+        service.ingest_documents(docs_a)
+        service.ingest_documents(docs_b)
+        batch = TfIdfModel().fit(
+            Corpus(pipeline.vocabulary, docs_a + docs_b)
+        )
+        assert np.max(np.abs(service.model.idf() - batch.idf())) < 1e-9
+
+    def test_unlabeled_documents_rejected(self, service, pipeline):
+        docs = pipeline.collect_documents(ScpWorkload(seed=21), 2, run_seed=1)
+        stripped = []
+        for doc in docs:
+            copy = doc.relabeled("x")
+            copy.label = None
+            stripped.append(copy)
+        with pytest.raises(ValueError, match="unlabeled"):
+            service.ingest_documents(stripped)
+
+    def test_empty_jobs_rejected(self, service):
+        with pytest.raises(ValueError, match="no ingest jobs"):
+            service.ingest([])
+
+    def test_job_validates_intervals(self):
+        with pytest.raises(ValueError, match="positive"):
+            IngestJob(ScpWorkload(seed=1), 0)
+
+
+class TestStreaming:
+    def test_streaming_ingest_lands_per_interval(self, service):
+        observed_sizes = []
+        original = service.ingest_documents
+
+        def spy(documents, elapsed_s=None):
+            report = original(documents, elapsed_s=elapsed_s)
+            observed_sizes.append(len(documents))
+            return report
+
+        service.ingest_documents = spy
+        n = service.ingest_streaming(
+            IngestJob(ScpWorkload(seed=31), 4, run_seed=9)
+        )
+        assert n == 4
+        assert observed_sizes == [1, 1, 1, 1]  # one per harvested interval
+        assert service.stats()["indexed_signatures"] == 4
+
+
+class TestQueries:
+    def test_query_votes_for_own_workload(self, fed_service, pipeline):
+        docs = pipeline.collect_documents(
+            ScpWorkload(seed=41), 3, run_seed=50
+        )
+        results = fed_service.query_batch(docs, k=5)
+        assert len(results) == 3
+        for result in results:
+            assert result.top_label == "scp"
+            assert len(result.results) == 5
+            assert result.results[0].score >= result.results[-1].score
+
+    def test_query_before_ingest_rejected(self, service, pipeline):
+        docs = pipeline.collect_documents(ScpWorkload(seed=41), 1, run_seed=50)
+        with pytest.raises(RuntimeError, match="nothing"):
+            service.query(docs[0])
+
+
+class TestSnapshotAndResume:
+    def test_snapshot_resume_roundtrip(self, fed_service, pipeline, tmp_path):
+        state = tmp_path / "state"
+        fed_service.snapshot(state, shard_size=5)
+        resumed = MonitorService.resume(pipeline, state)
+        stats = resumed.stats()
+        assert stats["indexed_signatures"] == 12
+        assert stats["baseline_signatures"] == 12
+        assert resumed.model.corpus_size == 12
+        # Resumed df statistics continue incremental fitting exactly.
+        report = resumed.ingest(
+            [IngestJob(ScpWorkload(seed=23), 2, run_seed=3)]
+        )
+        assert report.corpus_size == 14
+
+    def test_resumed_service_answers_queries(
+        self, fed_service, pipeline, tmp_path
+    ):
+        state = tmp_path / "state"
+        fed_service.snapshot(state)
+        resumed = MonitorService.resume(pipeline, state)
+        docs = pipeline.collect_documents(
+            KernelCompileWorkload(seed=42), 2, run_seed=60
+        )
+        for result in resumed.query_batch(docs, k=5):
+            assert result.top_label == "kcompile"
+
+    def test_incremental_snapshot_skips_full_shards(
+        self, fed_service, tmp_path
+    ):
+        state = tmp_path / "state"
+        first = fed_service.snapshot(state, shard_size=4)
+        assert sum(1 for p in first if p.name.startswith("shard")) == 3
+        fed_service.ingest([IngestJob(ScpWorkload(seed=23), 2, run_seed=3)])
+        second = fed_service.snapshot(state, shard_size=4)
+        # 14 signatures: shards 0-2 are full and untouched; only the new
+        # partial shard 3 and the header are written.
+        assert {p.name for p in second} == {"header.npz", "shard-00003.npz"}
+
+    def test_resume_requires_df(self, pipeline, tmp_path):
+        from repro.core.database import SignatureDatabase
+
+        db = SignatureDatabase(pipeline.vocabulary)
+        db.save_shards(tmp_path / "state")
+        with pytest.raises(ValueError, match="document-frequency"):
+            MonitorService.resume(pipeline, tmp_path / "state")
+
+    def test_vocabulary_mismatch_rejected(self, tmp_path, fed_service):
+        from repro.core.pipeline import SignaturePipeline
+
+        state = tmp_path / "state"
+        fed_service.snapshot(state)
+        other = SignaturePipeline(seed=999)
+        with pytest.raises(ValueError, match="kernel build"):
+            MonitorService.resume(other, state)
+
+
+class TestReweight:
+    def test_reweight_requires_retention(self, service):
+        with pytest.raises(RuntimeError, match="retain_documents"):
+            service.reweight()
+
+    def test_reweight_unifies_vintages(self, pipeline):
+        service = MonitorService(
+            pipeline, max_workers=2, retain_documents=True
+        )
+        docs_a = pipeline.collect_documents(
+            ScpWorkload(seed=21), 5, run_seed=1
+        )
+        docs_b = pipeline.collect_documents(
+            KernelCompileWorkload(seed=22), 5, run_seed=2
+        )
+        service.ingest_documents(docs_a)
+        service.ingest_documents(docs_b)
+        assert service.reweight() == 10
+        expected = [
+            service.model.transform(doc).unit().weights
+            for doc in docs_a + docs_b
+        ]
+        got = [sig.weights for sig in service.database.signatures()]
+        for want, have in zip(expected, got):
+            assert np.allclose(want, have)
+
+    def test_snapshot_after_reweight_rewrites_shards(
+        self, pipeline, tmp_path
+    ):
+        fed_service = MonitorService(
+            pipeline, max_workers=2, retain_documents=True
+        )
+        fed_service.ingest([
+            IngestJob(ScpWorkload(seed=21), 6, run_seed=1),
+            IngestJob(KernelCompileWorkload(seed=22), 6, run_seed=2),
+        ])
+        state = tmp_path / "state"
+        fed_service.snapshot(state, shard_size=4)
+        fed_service.reweight()
+        written = fed_service.snapshot(state, shard_size=4)
+        # Stale shards were cleared; everything is rewritten.
+        assert sum(1 for p in written if p.name.startswith("shard")) == 3
+        from repro.core.database import SignatureDatabase
+
+        loaded = SignatureDatabase.load_shards(state)
+        assert len(loaded) == 12
+
+
+class TestResumeFreshness:
+    def test_resumed_ingest_does_not_replay_runs(
+        self, fed_service, pipeline, tmp_path
+    ):
+        """Auto run seeds continue past the snapshot: a resumed service
+        must collect from fresh machines, not byte-identical replays."""
+        state = tmp_path / "state"
+        fed_service.snapshot(state)
+        first_round = {
+            tuple(sig.weights) for sig in fed_service.database.signatures()
+        }
+        resumed = MonitorService.resume(pipeline, state)
+        resumed.ingest([IngestJob(ScpWorkload(seed=21), 6)])  # same workload
+        new_sigs = resumed.database.signatures()[12:]
+        assert len(new_sigs) == 6
+        for sig in new_sigs:
+            assert tuple(sig.weights) not in first_round
+
+    def test_weighting_flags_survive_resume(self, pipeline, tmp_path):
+        service = MonitorService(
+            pipeline, use_idf=False, normalize_tf=False, max_workers=1
+        )
+        service.ingest([IngestJob(ScpWorkload(seed=21), 3, run_seed=1)])
+        state = tmp_path / "state"
+        service.snapshot(state)
+        resumed = MonitorService.resume(pipeline, state)
+        assert resumed.model.use_idf is False
+        assert resumed.model.normalize_tf is False
+
+
+class TestStickyShardSize:
+    def test_snapshot_reuses_resumed_shard_size(
+        self, fed_service, pipeline, tmp_path
+    ):
+        """An ingest on a resumed state dir must not rewrite the world
+        because the caller didn't repeat the original --shard-size."""
+        state = tmp_path / "state"
+        fed_service.snapshot(state, shard_size=4)  # 12 sigs: shards 0-2 full
+        resumed = MonitorService.resume(pipeline, state)
+        resumed.ingest([IngestJob(ScpWorkload(seed=23), 2)])
+        written = resumed.snapshot(state)  # no explicit shard_size
+        assert {p.name for p in written} == {"header.npz", "shard-00003.npz"}
+
+
+class TestWeightingConflicts:
+    def test_conflicting_flags_with_baseline_rejected(
+        self, fed_service, pipeline, tmp_path
+    ):
+        from repro.core.database import SignatureDatabase
+
+        state = tmp_path / "state"
+        fed_service.snapshot(state)
+        baseline = SignatureDatabase.load_shards(state)
+        with pytest.raises(ValueError, match="use_idf"):
+            MonitorService(pipeline, use_idf=False, baseline=baseline)
+
+    def test_matching_flags_with_baseline_accepted(
+        self, fed_service, pipeline, tmp_path
+    ):
+        from repro.core.database import SignatureDatabase
+
+        state = tmp_path / "state"
+        fed_service.snapshot(state)
+        baseline = SignatureDatabase.load_shards(state)
+        service = MonitorService(pipeline, use_idf=True, baseline=baseline)
+        assert service.model.use_idf is True
+
+    def test_resume_supports_retention(self, fed_service, pipeline, tmp_path):
+        state = tmp_path / "state"
+        fed_service.snapshot(state)
+        resumed = MonitorService.resume(
+            pipeline, state, retain_documents=True
+        )
+        resumed.ingest([IngestJob(ScpWorkload(seed=23), 2)])
+        assert resumed.reweight() == 2  # session docs only
+
+    def test_foreign_vocabulary_batch_rejected_before_fitting(self, service):
+        """A foreign first batch must not poison the unfitted model."""
+        from repro.core.document import CountDocument
+        from repro.core.vocabulary import Vocabulary
+
+        other = Vocabulary([1, 2, 3])
+        stranger = CountDocument(
+            other, np.array([1, 1, 0], np.int64), label="x"
+        )
+        with pytest.raises(ValueError, match="kernel build"):
+            service.ingest_documents([stranger])
+        assert not service.model.fitted
+        assert service.stats()["corpus_size"] == 0

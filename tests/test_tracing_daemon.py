@@ -105,3 +105,29 @@ class TestRoundTrip:
         daemon.harvest()
         daemon.harvest()
         assert daemon.documents_emitted == 2
+
+
+class TestStreamingHook:
+    def test_on_document_sees_each_harvest(self, fmeter_machine):
+        streamed = []
+        daemon = LoggingDaemon(
+            fmeter_machine, interval_s=5.0, on_document=streamed.append
+        )
+        docs = daemon.collect(
+            lambda i: fmeter_machine.execute("read", 50), 3, label="w"
+        )
+        assert len(streamed) == 3
+        for hooked, returned in zip(streamed, docs):
+            assert hooked is returned
+
+    def test_hook_fires_before_collect_returns(self, fmeter_machine):
+        seen_during_run = []
+
+        def hook(doc):
+            # The harvest of interval i must arrive while collect() is
+            # still inside the loop, i.e. streaming, not post-hoc.
+            seen_during_run.append(daemon.documents_emitted)
+
+        daemon = LoggingDaemon(fmeter_machine, on_document=hook)
+        daemon.collect(lambda i: fmeter_machine.execute("read", 10), 3)
+        assert seen_during_run == [1, 2, 3]

@@ -1,6 +1,5 @@
 """Tests for the Fmeter tracer (repro.tracing.fmeter)."""
 
-import numpy as np
 import pytest
 
 from repro.kernel.machine import MachineConfig, SimulatedMachine
