@@ -17,7 +17,11 @@ Commands
 ``ingest``
     Resume a service snapshot and fold more signatures into it.
 ``query``
-    Resume a service snapshot and run top-k diagnosis queries against it.
+    Resume a service snapshot and run top-k diagnosis queries against it
+    (all intervals are diagnosed as one batched index query).
+``stats``
+    Inspect a service snapshot: index engine layout (compiled CSR
+    postings, tail, tombstones) and snapshot watermark health.
 ``experiment``
     Regenerate a paper table or figure and print it.
 """
@@ -155,7 +159,8 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--seed", type=int, default=2012)
 
     query = _subparser(
-        sub, "query", "resume a service snapshot and run top-k diagnosis",
+        sub, "query", "resume a service snapshot and run top-k diagnosis "
+                      "(one batched index query for all intervals)",
         [
             "python -m repro query --state-dir state/ --workload scp",
             "python -m repro query --state-dir state/ --workload kcompile "
@@ -171,6 +176,17 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--metric", default="cosine",
                        choices=("cosine", "euclidean"))
     query.add_argument("--seed", type=int, default=2012)
+
+    stats = _subparser(
+        sub, "stats", "inspect a service snapshot: index engine layout "
+                      "and snapshot watermark health",
+        [
+            "python -m repro stats --state-dir state/",
+        ],
+    )
+    stats.add_argument("--state-dir", required=True,
+                       help="existing sharded snapshot directory")
+    stats.add_argument("--seed", type=int, default=2012)
 
     experiment = _subparser(
         sub, "experiment", "regenerate a paper table or figure",
@@ -422,6 +438,27 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    service, state_dir = _make_service(args, require_existing=True)
+    stats = service.stats()
+    print(f"service snapshot {state_dir}:")
+    print(f"  corpus size:          {stats['corpus_size']}")
+    print(f"  indexed signatures:   {stats['indexed_signatures']}")
+    print(f"  labels:               {', '.join(stats['labels']) or 'none'}")
+    print("scoring engine:")
+    print(f"  compiled postings:    {stats['index_compiled_postings']}")
+    print(f"  tail postings:        {stats['index_tail_postings']}")
+    print(f"  tombstones:           {stats['index_tombstones']}")
+    print("snapshot layout:")
+    print(f"  shard size:           {stats['snapshot_shard_size']}")
+    print(f"  generation:           {stats['snapshot_generation']}")
+    print(
+        f"  verified watermark:   {stats['snapshot_watermark_shards']} "
+        "full shard(s) skipped on re-snapshot"
+    )
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     name, fast, seed = args.name, args.fast, args.seed
     if name == "fig1":
@@ -511,6 +548,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "ingest": _cmd_ingest,
         "query": _cmd_query,
+        "stats": _cmd_stats,
         "experiment": _cmd_experiment,
     }
     try:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import math
 import os
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -110,6 +111,13 @@ class SignatureDatabase:
         #: rewrite files the previous header references, so the rewrite
         #: lands under fresh names and the header flip stays atomic.
         self.shard_generation: int = 0
+        #: Content hashes of this database's *full* shards, computed the
+        #: last time each was written, adopted, or loaded.  Rows are
+        #: immutable and the database append-only, so a full shard's
+        #: hash never goes stale; chained into the header watermark,
+        #: they let a steady-state snapshot skip re-verifying old
+        #: shards entirely (O(delta) instead of O(database)).
+        self._shard_hashes: list[str] = []
 
     def make_model(self):
         """A :class:`~repro.core.tfidf.TfIdfModel` rehydrated from the
@@ -184,6 +192,7 @@ class SignatureDatabase:
         view._syndromes = dict(self._syndromes)
         view.shard_size = self.shard_size
         view.shard_generation = self.shard_generation
+        view._shard_hashes = list(self._shard_hashes)
         return view
 
     def labels(self) -> list[str]:
@@ -364,6 +373,18 @@ class SignatureDatabase:
         after it.  A crash at any point leaves the directory loading
         either the old snapshot or the new one, never a mix.  Returns
         the paths (re)written.
+
+        Steady-state cost is **O(delta)**: the header carries a
+        content-hash *watermark* — a chain digest over the hashes of
+        every full shard it certified on disk — so a re-snapshot first
+        checks the directory's header against its own in-memory hash
+        chain and skips every watermarked shard without stacking,
+        hashing, or reading it.  Only shards past the watermark (new
+        fulls and the trailing partial) are verified or written.  A
+        directory whose header does not chain-match (foreign database,
+        crashed writer, resharded layout) falls back to the full
+        per-shard content verification, which re-establishes the
+        watermark for next time.
         """
         if shard_size <= 0:
             raise ValueError(f"shard_size must be positive, got {shard_size}")
@@ -376,14 +397,26 @@ class SignatureDatabase:
         resharding = self.shard_size is not None and self.shard_size != shard_size
         if force or resharding:
             generation += 1
+            # The shard partitioning (or the stored rows themselves)
+            # changed: per-shard hashes describe the old layout.
+            self._shard_hashes = []
 
         n_shards = math.ceil(len(self._signatures) / shard_size)
-        for i in range(n_shards):
+        n_full = len(self._signatures) // shard_size
+        watermark = self._verified_watermark(directory, shard_size, generation)
+        for i in range(watermark, n_shards):
             path = self._shard_path(directory, i, generation)
             rows = self._signatures[i * shard_size : (i + 1) * shard_size]
             weights = np.stack([s.weights for s in rows])
             labels = np.array([s.label for s in rows], dtype=object)
-            content = self._content_hash(weights, labels)
+            if i < len(self._shard_hashes):
+                # Rows are immutable and append-only: a full shard's
+                # hash computed at an earlier save/load is still exact.
+                content = self._shard_hashes[i]
+            else:
+                content = self._content_hash(weights, labels)
+                if len(rows) == shard_size:
+                    self._shard_hashes.append(content)
             if (
                 generation == self.shard_generation
                 and path.exists()
@@ -411,10 +444,15 @@ class SignatureDatabase:
             )
             written.append(path)
 
+        self._shard_hashes = self._shard_hashes[:n_full]
         header = self._header_arrays()
         header["n_signatures"] = np.array(len(self._signatures), np.int64)
         header["shard_size"] = np.array(shard_size, dtype=np.int64)
         header["generation"] = np.array(generation, dtype=np.int64)
+        header["watermark_shards"] = np.array(n_full, dtype=np.int64)
+        header["watermark_digest"] = np.array(
+            self._watermark_digest(self._shard_hashes)
+        )
         header_path = directory / self.HEADER_FILE
         self._write_atomic(header_path, **header)
         written.append(header_path)
@@ -429,6 +467,69 @@ class SignatureDatabase:
             if gen != generation or index >= n_shards:
                 stale.unlink()
         return written
+
+    @property
+    def verified_shards(self) -> int:
+        """Full shards covered by the current content-hash watermark."""
+        return len(self._shard_hashes)
+
+    @staticmethod
+    def _watermark_digest(hashes: list[str]) -> str:
+        """Chain digest over per-shard content hashes (the watermark)."""
+        digest = hashlib.blake2b(digest_size=16)
+        for h in hashes:
+            digest.update(h.encode())
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def _verified_watermark(
+        self, directory: Path, shard_size: int, generation: int
+    ) -> int:
+        """How many leading full shards the target directory's header
+        proves already hold this database's rows.
+
+        Reads only the small header file: its watermark digest must
+        chain-match our in-memory per-shard hashes under the same
+        generation and shard size.  Anything else — no header, a
+        foreign or crashed directory, a resharded layout, a short or
+        mismatched chain — yields 0, and :meth:`save_shards` falls back
+        to per-shard content verification.
+        """
+        if generation != self.shard_generation or not self._shard_hashes:
+            return 0
+        header_path = directory / self.HEADER_FILE
+        if not header_path.exists():
+            return 0
+        try:
+            with np.load(header_path, allow_pickle=True) as data:
+                if (
+                    "watermark_shards" not in data
+                    or "watermark_digest" not in data
+                    or "shard_size" not in data
+                ):
+                    return 0
+                disk_generation = (
+                    int(data["generation"]) if "generation" in data else 0
+                )
+                disk_shard_size = int(data["shard_size"])
+                watermark = int(data["watermark_shards"])
+                digest = str(data["watermark_digest"])
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            return 0
+        if disk_generation != generation or disk_shard_size != shard_size:
+            return 0
+        if watermark <= 0 or watermark > len(self._shard_hashes):
+            return 0
+        if self._watermark_digest(self._shard_hashes[:watermark]) != digest:
+            return 0
+        # The chain proves what the shards *held* when the header
+        # landed; a stat per shard (metadata only, no data read) still
+        # catches files deleted out from under the snapshot, so a
+        # re-snapshot heals the directory instead of certifying a hole.
+        for i in range(watermark):
+            if not self._shard_path(directory, i, generation).exists():
+                return i
+        return watermark
 
     @staticmethod
     def _content_hash(weights: np.ndarray, labels: np.ndarray) -> str:
@@ -476,11 +577,23 @@ class SignatureDatabase:
             generation = (
                 int(data["generation"]) if "generation" in data else 0
             )
+            watermark = (
+                int(data["watermark_shards"])
+                if "watermark_shards" in data
+                else 0
+            )
+            watermark_digest = (
+                str(data["watermark_digest"])
+                if "watermark_digest" in data
+                else ""
+            )
             db.shard_size = shard_size
             db.shard_generation = generation
             db._restore_header(data)
         fingerprint = vocabulary.fingerprint()
         n_shards = math.ceil(n_signatures / shard_size)
+        n_full = n_signatures // shard_size
+        shard_hashes: list[str] = []
         for i in range(n_shards):
             path = cls._shard_path(directory, i, generation)
             with np.load(path, allow_pickle=True) as shard:
@@ -489,7 +602,17 @@ class SignatureDatabase:
                         f"shard {path.name} belongs to a different "
                         "vocabulary (kernel build) than the header"
                     )
-                for weights, label in zip(shard["weights"], shard["labels"]):
+                shard_weights = shard["weights"]
+                shard_labels = shard["labels"]
+                if i < n_full:
+                    # Full shards are immutable; recomputing the content
+                    # hash here (the load is O(database) regardless)
+                    # both verifies the header's watermark below and
+                    # re-arms O(delta) snapshots after a resume.
+                    shard_hashes.append(
+                        cls._content_hash(shard_weights, shard_labels)
+                    )
+                for weights, label in zip(shard_weights, shard_labels):
                     if len(db) == n_signatures:
                         # The database is append-only, so a shard holding
                         # more rows than the header promises is a crash
@@ -503,4 +626,15 @@ class SignatureDatabase:
                 f"sharded database is inconsistent: header promises "
                 f"{n_signatures} signatures, shards hold {len(db)}"
             )
+        if watermark > 0 and (
+            watermark > len(shard_hashes)
+            or cls._watermark_digest(shard_hashes[:watermark])
+            != watermark_digest
+        ):
+            raise ValueError(
+                "snapshot watermark mismatch: the full shards on disk do "
+                "not hold the content the header certified (corrupted or "
+                "mixed snapshot directory)"
+            )
+        db._shard_hashes = shard_hashes
         return db

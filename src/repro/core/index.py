@@ -1,20 +1,42 @@
-"""Similarity search over signatures via an inverted index.
+"""Similarity search over signatures via an array-backed inverted index.
 
 "Indexable" is the paper's headline property: signatures can be stored and
 later retrieved by similarity against a query signature.  The index keeps a
 posting list per term (dimension) mapping signature id to that signature's
-weight on the term, so a query is scored *term-at-a-time*: walk the
-postings of the query's nonzero dimensions, accumulating dot products —
-the standard IR trick, effective here because different workloads light up
-substantially different function subsets.  Cosine and Euclidean scores
-both fall out of the accumulated dot products plus cached norms, and the
-top k survivors are selected with a bounded heap rather than a full sort,
-so a query costs O(matching postings + C log k) for C candidates.
+weight on the term; a query is scored by walking the postings of its
+nonzero dimensions and accumulating dot products — the standard IR trick,
+effective here because different workloads light up substantially
+different function subsets.
 
-Removal is O(1): the signature is tombstoned and its posting entries are
-left behind, skipped during scoring until :meth:`~SignatureIndex.compact`
-rebuilds the posting lists (triggered automatically once tombstones
-outnumber live entries).
+The scoring engine is CSR-backed: postings live in one contiguous
+compiled block (:class:`_CsrPostings` — ``indptr``/``sig_ids``/``weights``
+arrays, term-major), with freshly added signatures collecting in a small
+dict *tail* until the next amortized recompile.  A batch of queries is
+scored as one flattened ``bincount`` — effectively the sparse product
+``Q · Sᵀ`` — instead of a Python loop per query per posting entry, and
+the accumulation order is arranged so the array scores are bit-identical
+to the reference term-at-a-time accumulator (kept as
+:meth:`IndexReadView.search_reference`, the semantics oracle).
+
+Reads never block writes: :meth:`SignatureIndex.read_view` captures an
+immutable :class:`IndexReadView` — CSR blocks are swapped, never
+mutated, on recompile, and the small mutable leftovers (alive mask,
+signature table) are copied — so a service can take a view under its
+lock and run scoring outside it while ingest continues.
+
+Metric guarantees: ``cosine`` scores the candidate set (signatures
+sharing at least one term with the query; anything disjoint has cosine
+0 and is omitted).  ``euclidean`` is scored **exactly over every live
+signature** — disjoint signatures still have a finite distance
+``sqrt(|q|² + |s|²)``, which falls out of the same vectorized formula at
+no extra asymptotic cost, so euclidean top-k is never short or
+approximate (the seed implementation pruned to candidates and could
+silently return fewer or farther neighbours).
+
+Removal is O(1): the signature is tombstoned (alive-mask flip) and its
+posting entries are skipped during scoring until the next
+:meth:`~SignatureIndex.compact` — triggered automatically once
+tombstones outnumber live entries, and implied by every tail recompile.
 """
 
 from __future__ import annotations
@@ -22,10 +44,26 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.signature import Signature
 from repro.core.sparse import SparseVector
 
-__all__ = ["SearchResult", "SignatureIndex"]
+__all__ = ["IndexReadView", "SearchResult", "SignatureIndex"]
+
+#: Cap on the dense (queries × ids) score block a single batch scoring
+#: pass may allocate; larger batches are processed in chunks.
+_SCORE_BLOCK_ELEMENTS = 1 << 22
+
+
+def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(s, s + c)`` for each pair, fully vectorized."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    prefix = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=prefix[1:])
+    return np.repeat(starts - prefix, counts) + np.arange(total, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -41,111 +79,378 @@ class SearchResult:
     score: float
 
 
-class SignatureIndex:
-    """An inverted index of signatures with top-k retrieval and removal."""
+class _CsrPostings:
+    """One compiled posting block in CSR layout, term-major.
 
-    METRICS = ("cosine", "euclidean")
+    ``indptr[d]:indptr[d + 1]`` slices ``sig_ids``/``weights`` to the
+    posting list of dimension ``d``, ordered by ascending signature id.
+    The block is immutable once built — recompiles swap in a whole new
+    block — so a reader holding a reference keeps a consistent view with
+    no copying.  Every id in the block is ``< id_bound``; ids at or past
+    the bound live in the owning index's tail.
+    """
 
-    #: Auto-compaction floor: below this many tombstones, never compact.
-    MIN_TOMBSTONES_FOR_COMPACTION = 16
+    __slots__ = ("indptr", "sig_ids", "weights", "id_bound")
 
-    def __init__(self):
-        self._signatures: dict[int, Signature] = {}
-        self._sparse: dict[int, SparseVector] = {}
-        self._norms: dict[int, float] = {}
-        #: dim -> {signature id -> weight on dim}; may contain tombstoned
-        #: ids until the next compaction.
-        self._postings: dict[int, dict[int, float]] = {}
-        self._tombstones: set[int] = set()
-        self._next_id = 0
-        self._vocabulary = None
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        sig_ids: np.ndarray,
+        weights: np.ndarray,
+        id_bound: int,
+    ):
+        for arr in (indptr, sig_ids, weights):
+            arr.setflags(write=False)
+        self.indptr = indptr
+        self.sig_ids = sig_ids
+        self.weights = weights
+        self.id_bound = id_bound
+
+    @property
+    def nnz(self) -> int:
+        return len(self.sig_ids)
+
+    @classmethod
+    def from_triplets(
+        cls,
+        n_dims: int,
+        dims: np.ndarray,
+        sig_ids: np.ndarray,
+        weights: np.ndarray,
+        id_bound: int,
+    ) -> "_CsrPostings":
+        """Compile (dim, id, weight) triplets into one block.
+
+        Entries land ordered by (dimension, then input order): the
+        stable sort preserves the caller's ascending-id order within
+        each dimension, which is what keeps array scoring bit-identical
+        to the term-at-a-time reference accumulator.
+        """
+        order = np.argsort(dims, kind="stable")
+        dims = dims[order]
+        indptr = np.zeros(n_dims + 1, dtype=np.int64)
+        np.cumsum(np.bincount(dims, minlength=n_dims), out=indptr[1:])
+        return cls(indptr, sig_ids[order], weights[order], id_bound)
+
+    @classmethod
+    def build(
+        cls, n_dims: int, sparse_by_id: dict[int, SparseVector], id_bound: int
+    ) -> "_CsrPostings":
+        """Compile ``{sig_id: sparse}`` (iterated in ascending-id order)
+        into one block."""
+        if not sparse_by_id:
+            return cls(
+                np.zeros(n_dims + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=float),
+                id_bound,
+            )
+        dim_parts, id_parts, weight_parts = [], [], []
+        for sig_id, sparse in sparse_by_id.items():
+            dims, values = sparse.arrays()
+            dim_parts.append(dims)
+            id_parts.append(np.full(len(dims), sig_id, dtype=np.int64))
+            weight_parts.append(values)
+        return cls.from_triplets(
+            n_dims,
+            np.concatenate(dim_parts),
+            np.concatenate(id_parts),
+            np.concatenate(weight_parts),
+            id_bound,
+        )
+
+
+class IndexReadView:
+    """An immutable point-in-time capture of a :class:`SignatureIndex`.
+
+    Taken under the owner's lock (:meth:`SignatureIndex.read_view`) and
+    then scored with **no lock held**: concurrent ``add``/``remove``/
+    ``compact`` on the owning index are invisible to the view.  The two
+    CSR blocks (compiled postings + compiled tail) and the norms array
+    are shared, not copied — blocks are swapped, never mutated, and norm
+    slots are write-once per id — while the alive mask and signature
+    table are copied at capture: O(live) pointer work, no weight data
+    moves.
+    """
+
+    __slots__ = (
+        "_vocabulary",
+        "_csr",
+        "_tail_csr",
+        "_norms",
+        "_alive",
+        "_signatures",
+        "_next_id",
+        "_postings_cache",
+        "_dead_cache",
+    )
+
+    def __init__(
+        self, vocabulary, csr, tail_csr, norms, alive, signatures, next_id
+    ):
+        self._vocabulary = vocabulary
+        self._csr = csr
+        self._tail_csr = tail_csr
+        self._norms = norms
+        self._alive = alive
+        self._signatures = signatures
+        self._next_id = next_id
+        self._postings_cache: dict[int, dict[int, float]] | None = None
+        self._dead_cache: frozenset[int] | None = None
 
     def __len__(self) -> int:
         return len(self._signatures)
 
-    @property
-    def tombstones(self) -> int:
-        """Removed ids whose posting entries await compaction."""
-        return len(self._tombstones)
+    # -- scoring -----------------------------------------------------------------
 
-    def add(self, signature: Signature) -> int:
-        """Index a signature; returns its id."""
-        if self._vocabulary is None:
-            self._vocabulary = signature.vocabulary
-        elif signature.vocabulary != self._vocabulary:
-            raise ValueError(
-                "signature vocabulary does not match the index vocabulary"
-            )
-        sig_id = self._next_id
-        self._next_id += 1
-        sparse = signature.to_sparse()
-        self._signatures[sig_id] = signature
-        self._sparse[sig_id] = sparse
-        self._norms[sig_id] = sparse.norm()
-        for dim, weight in sparse.items():
-            self._postings.setdefault(dim, {})[sig_id] = weight
-        return sig_id
+    def _check_query(self, query: Signature) -> None:
+        if self._vocabulary is not None and query.vocabulary != self._vocabulary:
+            raise ValueError("query vocabulary does not match the index")
 
-    def add_all(self, signatures: list[Signature]) -> list[int]:
-        return [self.add(sig) for sig in signatures]
+    def _dot_block(
+        self, sparses: list[SparseVector], need_candidates: bool = True
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Dense ``(len(sparses), next_id)`` dot-product and candidate
+        matrices, computed as one flattened ``bincount`` over the gathered
+        posting entries of every query (the sparse ``Q · Sᵀ`` product).
 
-    def get(self, sig_id: int) -> Signature:
-        try:
-            return self._signatures[sig_id]
-        except KeyError:
-            raise KeyError(f"no signature with id {sig_id}") from None
+        Per accumulator bin, entries arrive in ascending-dimension order
+        (compiled entries and tail entries address disjoint id ranges),
+        matching the reference accumulator's summation order exactly.
 
-    def remove(self, sig_id: int) -> Signature:
-        """Tombstone a signature in O(1); postings are cleaned lazily."""
-        signature = self.get(sig_id)
-        del self._signatures[sig_id]
-        del self._sparse[sig_id]
-        del self._norms[sig_id]
-        self._tombstones.add(sig_id)
-        if (
-            len(self._tombstones) >= self.MIN_TOMBSTONES_FOR_COMPACTION
-            and len(self._tombstones) > len(self._signatures)
-        ):
-            self.compact()
-        return signature
-
-    def compact(self) -> int:
-        """Rebuild posting lists without tombstoned entries.
-
-        Ids of live signatures are preserved (external references stay
-        valid).  Returns the number of tombstones reclaimed.
+        ``need_candidates=False`` skips the second (candidate-counting)
+        bincount and returns ``None`` for it — exact euclidean scores
+        every live signature and never reads the mask.
         """
-        reclaimed = len(self._tombstones)
-        if reclaimed:
+        n = self._next_id
+        nq = len(sparses)
+        pairs = [sparse.arrays() for sparse in sparses]
+        all_dims = np.concatenate([dims for dims, _ in pairs])
+        if not all_dims.size:
+            return np.zeros((nq, n)), np.zeros((nq, n), dtype=bool)
+        all_query_weights = np.concatenate([values for _, values in pairs])
+        # Accumulator row offset (query index * n) per support entry, so
+        # the whole batch lands in one flat bincount.
+        row_offsets = np.repeat(
+            np.arange(nq, dtype=np.int64) * n,
+            np.array([dims.size for dims, _ in pairs], dtype=np.int64),
+        )
+        id_parts: list[np.ndarray] = []
+        value_parts: list[np.ndarray] = []
+        for block in (self._csr, self._tail_csr):
+            if block is None or not block.nnz:
+                continue
+            starts = block.indptr[all_dims]
+            counts = block.indptr[all_dims + 1] - starts
+            gather = _expand_ranges(starts, counts)
+            if gather.size:
+                id_parts.append(
+                    block.sig_ids[gather] + np.repeat(row_offsets, counts)
+                )
+                value_parts.append(
+                    np.repeat(all_query_weights, counts) * block.weights[gather]
+                )
+        if not id_parts:
+            empty_mask = (
+                np.zeros((nq, n), dtype=bool) if need_candidates else None
+            )
+            return np.zeros((nq, n)), empty_mask
+        flat_ids = np.concatenate(id_parts)
+        flat_values = np.concatenate(value_parts)
+        dots = np.bincount(
+            flat_ids, weights=flat_values, minlength=nq * n
+        ).reshape(nq, n)
+        if not need_candidates:
+            return dots, None
+        touched = np.bincount(flat_ids, minlength=nq * n).reshape(nq, n)
+        return dots, touched > 0
+
+    def _score_matrix(
+        self,
+        query_norms: np.ndarray,
+        dots: np.ndarray,
+        metric: str,
+    ) -> np.ndarray:
+        """Scores for every (query, id) cell of the accumulator block.
+
+        Cells outside the selection mask (non-candidates for cosine,
+        tombstones for either metric) may hold garbage — selection never
+        reads them.  A cosine *candidate* always has a positive norm and
+        a positive-norm query (a zero vector emits no postings), so the
+        guarded division of the reference scorer reduces to plain
+        elementwise ops here.
+        """
+        norms = self._norms[: self._next_id]
+        if metric == "cosine":
+            # Clamped like SparseVector.cosine: accumulated dots can
+            # round a hair past 1.0 for near-identical vectors, and
+            # callers treat the score as a true cosine.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                denominators = query_norms[:, None] * norms[None, :]
+                return np.minimum(1.0, dots / denominators)
+        # ||q - s|| from norms and accumulated dots; see
+        # _euclidean_from_dot for the cancellation guard.
+        scale = query_norms[:, None] ** 2 + (norms**2)[None, :]
+        d2 = scale - 2.0 * dots
+        d2[d2 < 1e-14 * scale] = 0.0
+        # sqrt, not **0.5: IEEE sqrt is correctly rounded, so the scalar
+        # reference path lands on the same bits.
+        return -np.sqrt(d2)
+
+    def _select_row(
+        self, chosen: np.ndarray, scores_row: np.ndarray, k: int
+    ) -> list[SearchResult]:
+        """Top-k results among ``chosen`` ids, ties broken by ascending
+        id (``chosen`` is ascending, and the stable sort preserves it)."""
+        if chosen.size == 0:
+            return []
+        scores = scores_row[chosen]
+        negated = -scores
+        if chosen.size > 4 * k:
+            # Partition down to ~k before the exact sort.  Partitioning
+            # breaks ties arbitrarily, so candidates tied with the k-th
+            # value are re-gathered explicitly and filled in ascending
+            # id order — identical to sorting everything.
+            boundary = np.max(negated[np.argpartition(negated, k - 1)[:k]])
+            better = np.flatnonzero(negated < boundary)
+            tied = np.flatnonzero(negated == boundary)
+            take = np.concatenate([better, tied[: k - better.size]])
+            order = take[np.argsort(negated[take], kind="stable")]
+        else:
+            order = np.argsort(negated, kind="stable")[:k]
+        return [
+            SearchResult(
+                signature_id=int(chosen[j]),
+                signature=self._signatures[int(chosen[j])],
+                score=float(scores[j]),
+            )
+            for j in order
+        ]
+
+    def search(
+        self, query: Signature, k: int = 10, metric: str = "cosine"
+    ) -> list[SearchResult]:
+        """Top-k most similar stored signatures.
+
+        ``cosine`` ranks the candidate set (signatures sharing at least
+        one term; disjoint signatures have cosine 0 and are omitted).
+        ``euclidean`` is exact over every live signature — neighbours
+        sharing no term with the query are still found at their true
+        distance, never silently dropped.
+        """
+        return self.search_batch([query], k=k, metric=metric)[0]
+
+    def search_batch(
+        self, queries: list[Signature], k: int = 10, metric: str = "cosine"
+    ) -> list[list[SearchResult]]:
+        """Top-k results for each query, in query order.
+
+        The whole batch is scored as one sparse matrix–matrix product
+        (chunked to bound the dense accumulator), so per-query Python
+        overhead is amortized away; scores are bit-identical to
+        :meth:`search_reference`.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if metric not in SignatureIndex.METRICS:
+            raise ValueError(
+                f"unknown metric {metric!r}; choose from {SignatureIndex.METRICS}"
+            )
+        for query in queries:
+            self._check_query(query)
+        if not queries:
+            return []
+        if self._next_id == 0:
+            return [[] for _ in queries]
+        sparses = [query.to_sparse() for query in queries]
+        block = max(1, _SCORE_BLOCK_ELEMENTS // self._next_id)
+        out: list[list[SearchResult]] = []
+        alive = self._alive
+        # Exact euclidean scores every live signature, query-independent:
+        # disjoint pairs contribute dot 0 but still have a finite
+        # distance, so nothing is pruned (see the module docstring).
+        alive_idx = np.flatnonzero(alive) if metric == "euclidean" else None
+        for start in range(0, len(sparses), block):
+            chunk = sparses[start : start + block]
+            dots, candidates = self._dot_block(
+                chunk, need_candidates=alive_idx is None
+            )
+            query_norms = np.array([sparse.norm() for sparse in chunk])
+            scores = self._score_matrix(query_norms, dots, metric)
+            for qi in range(len(chunk)):
+                chosen = (
+                    alive_idx
+                    if alive_idx is not None
+                    else np.flatnonzero(candidates[qi] & alive)
+                )
+                out.append(self._select_row(chosen, scores[qi], k))
+        return out
+
+    def label_votes(
+        self, query: Signature, k: int = 5, metric: str = "cosine"
+    ) -> dict[str, int]:
+        """k-NN label histogram for the query — simple diagnosis primitive."""
+        votes: dict[str, int] = {}
+        for result in self.search(query, k=k, metric=metric):
+            label = result.signature.label
+            if label is not None:
+                votes[label] = votes.get(label, 0) + 1
+        return votes
+
+    # -- the reference scorer -----------------------------------------------------
+
+    def _dict_postings(self) -> dict[int, dict[int, float]]:
+        """The seed's dict-of-dicts posting lists, materialized lazily.
+
+        Only the reference scorer pays for this; it reconstructs exactly
+        what the seed implementation maintained incrementally — per
+        dimension, ``{signature id: weight}`` in ascending-id insertion
+        order — so timing :meth:`search_reference` against it is a
+        faithful baseline.
+        """
+        if self._postings_cache is None:
             postings: dict[int, dict[int, float]] = {}
-            for sig_id, sparse in self._sparse.items():
-                for dim, weight in sparse.items():
-                    postings.setdefault(dim, {})[sig_id] = weight
-            self._postings = postings
-            self._tombstones.clear()
-        return reclaimed
+            for block in (self._csr, self._tail_csr):
+                if block is None or not block.nnz:
+                    continue
+                indptr = block.indptr
+                for dim in range(len(indptr) - 1):
+                    start, end = int(indptr[dim]), int(indptr[dim + 1])
+                    if start == end:
+                        continue
+                    entries = postings.setdefault(dim, {})
+                    for position in range(start, end):
+                        entries[int(block.sig_ids[position])] = float(
+                            block.weights[position]
+                        )
+            self._postings_cache = postings
+        return self._postings_cache
 
-    def posting_list(self, dim: int) -> set[int]:
-        """Ids of signatures with a nonzero weight on dimension ``dim``."""
-        return set(self._postings.get(dim, ())) - self._tombstones
+    def _dead_ids(self) -> frozenset[int]:
+        """Tombstoned ids, as the set the seed scorer skipped over."""
+        if self._dead_cache is None:
+            self._dead_cache = frozenset(
+                int(i) for i in np.flatnonzero(~self._alive)
+            )
+        return self._dead_cache
 
-    def candidates(self, query: Signature) -> set[int]:
-        """Ids sharing at least one nonzero term with the query."""
-        ids: set[int] = set()
-        for dim in query.to_sparse().dimensions():
-            ids |= self._postings.get(dim, {}).keys()
-        return ids - self._tombstones
+    def _accumulate_reference(self, query_sparse: SparseVector) -> dict[int, float]:
+        """Candidate id -> dot product, term-at-a-time in Python.
 
-    def _accumulate(self, query_sparse: SparseVector) -> dict[int, float]:
-        """Candidate id -> dot product with the query, term-at-a-time."""
+        The seed implementation, kept as the semantics oracle: for every
+        live candidate the array engine's accumulated dot must be
+        bit-identical to this one (same addends, same order — dimensions
+        ascending, ids ascending within a dimension).
+        """
         acc: dict[int, float] = {}
-        tombstones = self._tombstones
-        for dim, query_weight in query_sparse.items():
-            postings = self._postings.get(dim)
+        all_postings = self._dict_postings()
+        dead = self._dead_ids()
+        for dim, query_weight in query_sparse.sorted_items():
+            postings = all_postings.get(dim)
             if not postings:
                 continue
             for sig_id, weight in postings.items():
-                if sig_id in tombstones:
+                if sig_id in dead:
                     continue
                 acc[sig_id] = acc.get(sig_id, 0.0) + query_weight * weight
         return acc
@@ -164,39 +469,37 @@ class SignatureIndex:
         above the formula's own resolution (~2e-16 * scale) so that
         every distance the subtraction can actually resolve survives.
         """
-        norm = self._norms[sig_id]
+        norm = float(self._norms[sig_id])
         scale = query_norm**2 + norm**2
         d2 = scale - 2.0 * dot
         if d2 < 1e-14 * scale:
             return 0.0
-        return d2**0.5
+        return float(np.sqrt(d2))
 
-    def search(
+    def search_reference(
         self, query: Signature, k: int = 10, metric: str = "cosine"
     ) -> list[SearchResult]:
-        """Top-k most similar stored signatures.
+        """The seed scorer: dict accumulation + heap top-k, per query.
 
-        With the ``euclidean`` metric, signatures sharing no term with the
-        query still have a finite distance, so the candidate pruning is an
-        approximation there; for the paper's normalized signatures the
-        nearest neighbours always share terms, making it exact in practice.
+        Benchmarks use it as the per-query-loop baseline the CSR batch
+        engine is measured against, and tests pin the engines
+        bit-identical.  Note the seed euclidean semantics are preserved
+        here (candidates only — approximate), unlike :meth:`search`.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
-        if metric not in self.METRICS:
-            raise ValueError(f"unknown metric {metric!r}; choose from {self.METRICS}")
-        if self._vocabulary is not None and query.vocabulary != self._vocabulary:
-            raise ValueError("query vocabulary does not match the index")
+        if metric not in SignatureIndex.METRICS:
+            raise ValueError(
+                f"unknown metric {metric!r}; choose from {SignatureIndex.METRICS}"
+            )
+        self._check_query(query)
         query_sparse = query.to_sparse()
         query_norm = query_sparse.norm()
-        acc = self._accumulate(query_sparse)
+        acc = self._accumulate_reference(query_sparse)
         if metric == "cosine":
-            # Clamped like SparseVector.cosine: accumulated dots can
-            # round a hair past 1.0 for near-identical vectors, and
-            # callers treat the score as a true cosine.
             scored = (
                 (
-                    min(1.0, dot / (query_norm * self._norms[sig_id]))
+                    min(1.0, dot / (query_norm * float(self._norms[sig_id])))
                     if query_norm and self._norms[sig_id]
                     else 0.0,
                     sig_id,
@@ -218,17 +521,234 @@ class SignatureIndex:
             for score, sig_id in top
         ]
 
+
+class SignatureIndex:
+    """An inverted index of signatures with top-k retrieval and removal."""
+
+    METRICS = ("cosine", "euclidean")
+
+    #: Auto-compaction floor: below this many tombstones, never compact.
+    MIN_TOMBSTONES_FOR_COMPACTION = 16
+
+    #: Recompile the tail into the CSR block once it holds at least this
+    #: many posting entries *and* at least a quarter of the compiled
+    #: block's — geometric growth keeps the amortized recompile cost per
+    #: added entry constant.
+    MIN_TAIL_NNZ_FOR_COMPILE = 4096
+
+    def __init__(self):
+        self._signatures: dict[int, Signature] = {}
+        #: Insertion (== ascending id) order; compilation depends on it.
+        self._sparse: dict[int, SparseVector] = {}
+        #: Write-once slot per id; shared with read views.
+        self._norms = np.zeros(0)
+        self._alive = np.zeros(0, dtype=bool)
+        self._csr: _CsrPostings | None = None
+        #: dim -> {signature id -> weight} for ids not yet compiled;
+        #: ids here are always >= the compiled block's id_bound.
+        self._tail: dict[int, dict[int, float]] = {}
+        self._tail_nnz = 0
+        #: The tail compiled into its own CSR block for scoring views,
+        #: rebuilt lazily after adds (O(tail), amortized across reads).
+        self._tail_csr_cache: _CsrPostings | None = None
+        self._tombstones: set[int] = set()
+        self._next_id = 0
+        self._vocabulary = None
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    @property
+    def tombstones(self) -> int:
+        """Removed ids whose posting entries await compaction."""
+        return len(self._tombstones)
+
+    @property
+    def compiled_postings(self) -> int:
+        """Posting entries in the compiled CSR block (may include
+        tombstoned entries until the next compaction)."""
+        return self._csr.nnz if self._csr is not None else 0
+
+    @property
+    def tail_postings(self) -> int:
+        """Posting entries awaiting compilation into the CSR block."""
+        return self._tail_nnz
+
+    def _ensure_capacity(self, n: int) -> None:
+        if n <= len(self._norms):
+            return
+        capacity = max(n, 2 * len(self._norms), 64)
+        norms = np.zeros(capacity)
+        norms[: len(self._norms)] = self._norms
+        alive = np.zeros(capacity, dtype=bool)
+        alive[: len(self._alive)] = self._alive
+        self._norms = norms
+        self._alive = alive
+
+    def add(self, signature: Signature) -> int:
+        """Index a signature; returns its id."""
+        if self._vocabulary is None:
+            self._vocabulary = signature.vocabulary
+        elif signature.vocabulary != self._vocabulary:
+            raise ValueError(
+                "signature vocabulary does not match the index vocabulary"
+            )
+        sig_id = self._next_id
+        self._next_id += 1
+        sparse = signature.to_sparse()
+        self._signatures[sig_id] = signature
+        self._sparse[sig_id] = sparse
+        self._ensure_capacity(self._next_id)
+        self._norms[sig_id] = sparse.norm()
+        self._alive[sig_id] = True
+        for dim, weight in sparse.items():
+            self._tail.setdefault(dim, {})[sig_id] = weight
+        self._tail_nnz += sparse.nnz
+        self._tail_csr_cache = None
+        if self._tail_nnz >= self.MIN_TAIL_NNZ_FOR_COMPILE and (
+            self._csr is None or self._tail_nnz * 4 >= self._csr.nnz
+        ):
+            self.compact()
+        return sig_id
+
+    def add_all(self, signatures: list[Signature]) -> list[int]:
+        return [self.add(sig) for sig in signatures]
+
+    def get(self, sig_id: int) -> Signature:
+        try:
+            return self._signatures[sig_id]
+        except KeyError:
+            raise KeyError(f"no signature with id {sig_id}") from None
+
+    def remove(self, sig_id: int) -> Signature:
+        """Tombstone a signature in O(1); postings are cleaned lazily."""
+        signature = self.get(sig_id)
+        del self._signatures[sig_id]
+        del self._sparse[sig_id]
+        self._alive[sig_id] = False
+        self._tombstones.add(sig_id)
+        if (
+            len(self._tombstones) >= self.MIN_TOMBSTONES_FOR_COMPACTION
+            and len(self._tombstones) > len(self._signatures)
+        ):
+            self.compact()
+        return signature
+
+    def compact(self) -> int:
+        """Recompile the CSR block: merge the tail, drop tombstoned
+        entries.
+
+        Ids of live signatures are preserved (external references stay
+        valid), and in-flight read views keep scoring the block they
+        captured — the old arrays are replaced, never mutated.  Returns
+        the number of tombstones reclaimed.
+        """
+        reclaimed = len(self._tombstones)
+        n_dims = len(self._vocabulary) if self._vocabulary is not None else 0
+        self._csr = _CsrPostings.build(n_dims, self._sparse, self._next_id)
+        self._tail = {}
+        self._tail_nnz = 0
+        self._tail_csr_cache = None
+        self._tombstones = set()
+        return reclaimed
+
+    def _tail_block(self) -> _CsrPostings | None:
+        """The tail compiled into an immutable CSR block (cached).
+
+        Entries keep ascending-id order within each dimension (the tail
+        dicts are insertion-ordered and ids only grow), preserving
+        scoring bit-identity.
+        """
+        if not self._tail_nnz or self._vocabulary is None:
+            return None
+        if self._tail_csr_cache is None:
+            dims = np.empty(self._tail_nnz, dtype=np.int64)
+            sig_ids = np.empty(self._tail_nnz, dtype=np.int64)
+            weights = np.empty(self._tail_nnz, dtype=float)
+            position = 0
+            for dim, entries in self._tail.items():
+                for sig_id, weight in entries.items():
+                    dims[position] = dim
+                    sig_ids[position] = sig_id
+                    weights[position] = weight
+                    position += 1
+            self._tail_csr_cache = _CsrPostings.from_triplets(
+                len(self._vocabulary), dims, sig_ids, weights, self._next_id
+            )
+        return self._tail_csr_cache
+
+    def read_view(self) -> IndexReadView:
+        """An immutable scoring view of the current index state.
+
+        Take it under whatever lock guards mutation, then search with no
+        lock held — see :class:`IndexReadView`.
+        """
+        return IndexReadView(
+            vocabulary=self._vocabulary,
+            csr=self._csr,
+            tail_csr=self._tail_block(),
+            norms=self._norms,
+            alive=self._alive[: self._next_id].copy(),
+            signatures=dict(self._signatures),
+            next_id=self._next_id,
+        )
+
+    def _borrow_view(self) -> IndexReadView:
+        """A zero-copy view for same-thread use (no isolation)."""
+        return IndexReadView(
+            vocabulary=self._vocabulary,
+            csr=self._csr,
+            tail_csr=self._tail_block(),
+            norms=self._norms,
+            alive=self._alive[: self._next_id],
+            signatures=self._signatures,
+            next_id=self._next_id,
+        )
+
+    def _raw_posting_ids(self, dim: int) -> set[int]:
+        """Ids with a posting on ``dim``, tombstones included."""
+        ids: set[int] = set()
+        if self._csr is not None and self._csr.nnz and dim + 1 < len(
+            self._csr.indptr
+        ):
+            segment = self._csr.sig_ids[
+                self._csr.indptr[dim] : self._csr.indptr[dim + 1]
+            ]
+            ids.update(int(i) for i in segment)
+        ids.update(self._tail.get(dim, ()))
+        return ids
+
+    def posting_list(self, dim: int) -> set[int]:
+        """Ids of signatures with a nonzero weight on dimension ``dim``."""
+        return {i for i in self._raw_posting_ids(dim) if self._alive[i]}
+
+    def candidates(self, query: Signature) -> set[int]:
+        """Ids sharing at least one nonzero term with the query."""
+        ids: set[int] = set()
+        for dim in query.to_sparse().dimensions():
+            ids |= self._raw_posting_ids(dim)
+        # One alive pass over the union, not one per dimension.
+        return {i for i in ids if self._alive[i]}
+
+    def search(
+        self, query: Signature, k: int = 10, metric: str = "cosine"
+    ) -> list[SearchResult]:
+        """Top-k most similar stored signatures.
+
+        See :meth:`IndexReadView.search` for the per-metric guarantees
+        (cosine: candidate set; euclidean: exact over all live
+        signatures).
+        """
+        return self._borrow_view().search(query, k=k, metric=metric)
+
     def search_batch(
         self, queries: list[Signature], k: int = 10, metric: str = "cosine"
     ) -> list[list[SearchResult]]:
-        """Top-k results for each query, in query order."""
-        return [self.search(query, k=k, metric=metric) for query in queries]
+        """Top-k results for each query, scored as one batched product."""
+        return self._borrow_view().search_batch(queries, k=k, metric=metric)
 
-    def label_votes(self, query: Signature, k: int = 5, metric: str = "cosine") -> dict[str, int]:
+    def label_votes(
+        self, query: Signature, k: int = 5, metric: str = "cosine"
+    ) -> dict[str, int]:
         """k-NN label histogram for the query — simple diagnosis primitive."""
-        votes: dict[str, int] = {}
-        for result in self.search(query, k=k, metric=metric):
-            label = result.signature.label
-            if label is not None:
-                votes[label] = votes.get(label, 0) + 1
-        return votes
+        return self._borrow_view().label_votes(query, k=k, metric=metric)

@@ -46,6 +46,7 @@ class Signature:
         self.weights.setflags(write=False)
         self.label = label
         self.metadata = dict(metadata or {})
+        self._sparse_cache: SparseVector | None = None
 
     # -- inspection ------------------------------------------------------------
 
@@ -80,7 +81,10 @@ class Signature:
         ]
 
     def to_sparse(self) -> SparseVector:
-        return SparseVector.from_dense(self.weights)
+        """The sparse view of the weights (cached; both are immutable)."""
+        if self._sparse_cache is None:
+            self._sparse_cache = SparseVector.from_dense(self.weights)
+        return self._sparse_cache
 
     # -- comparison ------------------------------------------------------------
 

@@ -20,7 +20,7 @@ __all__ = ["SparseVector"]
 class SparseVector:
     """Immutable mapping dimension -> nonzero float value."""
 
-    __slots__ = ("_data", "_norm_cache")
+    __slots__ = ("_data", "_norm_cache", "_sorted_cache", "_arrays_cache")
 
     def __init__(self, data: Mapping[int, float]):
         cleaned: dict[int, float] = {}
@@ -34,14 +34,30 @@ class SparseVector:
                 cleaned[int(dim)] = value
         self._data = cleaned
         self._norm_cache: float | None = None
+        self._sorted_cache: tuple[tuple[int, float], ...] | None = None
+        self._arrays_cache: tuple[np.ndarray, np.ndarray] | None = None
 
     @classmethod
     def from_dense(cls, dense) -> "SparseVector":
         arr = np.asarray(dense, dtype=float)
         if arr.ndim != 1:
             raise ValueError(f"expected a 1-D vector, got shape {arr.shape}")
-        idx = np.flatnonzero(arr)
-        return cls({int(i): float(arr[i]) for i in idx})
+        idx = np.flatnonzero(arr).astype(np.int64)
+        values = arr[idx]
+        if not np.isfinite(values).all():
+            raise ValueError("non-finite value in dense vector")
+        # Fast path: the support is already validated, deduplicated, and
+        # ascending, so skip the per-element __init__ checks and seed
+        # the sorted/array caches directly — this constructor is the
+        # scoring hot path (every Signature.to_sparse lands here).
+        self = cls.__new__(cls)
+        self._data = dict(zip(idx.tolist(), values.tolist()))
+        self._norm_cache = None
+        self._sorted_cache = None
+        idx.setflags(write=False)
+        values.setflags(write=False)
+        self._arrays_cache = (idx, values)
+        return self
 
     def to_dense(self, size: int) -> np.ndarray:
         if self._data and size <= max(self._data):
@@ -66,7 +82,43 @@ class SparseVector:
         return self._data.get(dim, default)
 
     def items(self) -> Iterator[tuple[int, float]]:
-        return iter(sorted(self._data.items()))
+        """(dim, value) pairs in insertion order, *not* sorted.
+
+        Accumulation-style consumers (dot products, posting updates) do
+        not care about order, and re-sorting on every call was a
+        measurable cost on the scoring hot path.  Callers that need a
+        deterministic ascending-dimension order use
+        :meth:`sorted_items` (or :meth:`arrays`), whose sort is computed
+        once and cached — the vector is immutable.  Vectors built by
+        :meth:`from_dense` (every ``Signature.to_sparse``) are already
+        in ascending order.
+        """
+        return iter(self._data.items())
+
+    def sorted_items(self) -> Iterator[tuple[int, float]]:
+        """(dim, value) pairs in ascending dimension order (cached)."""
+        if self._sorted_cache is None:
+            self._sorted_cache = tuple(sorted(self._data.items()))
+        return iter(self._sorted_cache)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(dimensions, values)`` as read-only numpy arrays, ascending.
+
+        The array form of :meth:`sorted_items`, for vectorized scoring
+        engines; computed once and cached.
+        """
+        if self._arrays_cache is None:
+            pairs = tuple(self.sorted_items())
+            dims = np.fromiter(
+                (d for d, _ in pairs), dtype=np.int64, count=len(pairs)
+            )
+            values = np.fromiter(
+                (v for _, v in pairs), dtype=float, count=len(pairs)
+            )
+            dims.setflags(write=False)
+            values.setflags(write=False)
+            self._arrays_cache = (dims, values)
+        return self._arrays_cache
 
     def __len__(self) -> int:
         return len(self._data)

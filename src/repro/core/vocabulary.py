@@ -57,6 +57,8 @@ class Vocabulary:
         return address in self._index
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Vocabulary):
             return NotImplemented
         return self._addresses == other._addresses

@@ -18,19 +18,25 @@ is never down:
   to the total), so vintages converge; :meth:`MonitorService.reweight`
   re-transforms this session's documents under the latest idf when an
   operator wants exact uniformity.
-- **Retrieval** goes through the inverted index's heap-based top-k
-  (:meth:`~repro.core.index.SignatureIndex.search`), one query or a
-  batch at a time, with k-NN label votes as the diagnosis primitive.
+- **Retrieval** never blocks ingest: :meth:`MonitorService.query_batch`
+  holds the service lock only long enough to capture an immutable
+  :class:`ReadSnapshot` (a transform-only copy of the weighting model
+  plus the index's array :class:`~repro.core.index.IndexReadView`), then
+  transforms and scores **outside the lock** — concurrent readers
+  neither serialize behind each other nor stall writers.  Scoring runs
+  on the index's CSR engine: a batch is one sparse matrix product, not
+  a Python loop per query.
 - **Snapshots** are sharded (:meth:`~repro.core.database.
-  SignatureDatabase.save_shards`): full shards are immutable, so a
-  periodic snapshot of a growing database writes only the delta.
+  SignatureDatabase.save_shards`): full shards are immutable and the
+  header carries a content-hash watermark over them, so a periodic
+  snapshot of a growing database verifies and writes only the delta.
   :meth:`MonitorService.resume` restarts a service from a snapshot —
   including the df statistics, so ``partial_fit`` continues exactly
   where the previous process stopped.
 
-All mutating and reading entry points share one lock; the expensive part
-of ingestion (driving simulated machines) runs outside it, so collection
-overlaps freely across worker threads.
+Mutating entry points share one lock; the expensive parts — driving
+simulated machines, scoring queries, snapshot disk I/O — all run outside
+it.
 """
 
 from __future__ import annotations
@@ -41,16 +47,20 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
-import numpy as np
-
 from repro.core.database import SignatureDatabase
 from repro.core.document import CountDocument
-from repro.core.index import SearchResult
+from repro.core.index import IndexReadView, SearchResult
 from repro.core.pipeline import SignaturePipeline
 from repro.core.signature import Signature
 from repro.core.tfidf import TfIdfModel
 
-__all__ = ["IngestJob", "IngestReport", "MonitorService", "QueryResult"]
+__all__ = [
+    "IngestJob",
+    "IngestReport",
+    "MonitorService",
+    "QueryResult",
+    "ReadSnapshot",
+]
 
 
 @dataclass(frozen=True)
@@ -68,7 +78,13 @@ class IngestJob:
 
 @dataclass(frozen=True)
 class IngestReport:
-    """Accounting for one :meth:`MonitorService.ingest` call."""
+    """Accounting for one :meth:`MonitorService.ingest` call.
+
+    ``idf_drift`` is ``max_i |Δ idf_i|`` caused by the batch, computed
+    in O(batch support) via
+    :meth:`~repro.core.tfidf.TfIdfModel.partial_fit_drift` (``inf`` for
+    the batch that first fits the model).
+    """
 
     documents: int
     by_label: dict[str, int]
@@ -93,6 +109,51 @@ class QueryResult:
     @property
     def top_label(self) -> str | None:
         return next(iter(self.votes), None)
+
+
+@dataclass(frozen=True)
+class ReadSnapshot:
+    """An immutable query surface captured by
+    :meth:`MonitorService.read_snapshot`.
+
+    Holds a transform-only copy of the weighting model (the idf vintage
+    at capture time) and an :class:`~repro.core.index.IndexReadView`;
+    scoring against it requires no lock and is unaffected by concurrent
+    ingest, removal, or index compaction.
+    """
+
+    model: TfIdfModel
+    view: IndexReadView
+    metric: str
+
+    def query_batch(
+        self, documents: list[CountDocument], k: int = 5
+    ) -> list[QueryResult]:
+        """Diagnose count documents against the captured state."""
+        signatures = [
+            self.model.transform(document).unit() for document in documents
+        ]
+        batched = self.view.search_batch(signatures, k=k, metric=self.metric)
+        out: list[QueryResult] = []
+        for signature, results in zip(signatures, batched):
+            # Every stored signature is labeled, so the k-NN vote
+            # fractions fall out of the results already in hand —
+            # no second index search.
+            counts: dict[str, int] = {}
+            for result in results:
+                label = result.signature.label
+                counts[label] = counts.get(label, 0) + 1
+            total = sum(counts.values())
+            votes = dict(
+                sorted(
+                    ((label, n / total) for label, n in counts.items()),
+                    key=lambda kv: -kv[1],
+                )
+            ) if total else {}
+            out.append(
+                QueryResult(signature=signature, results=results, votes=votes)
+            )
+        return out
 
 
 class MonitorService:
@@ -260,13 +321,17 @@ class MonitorService:
                     "kernel build (vocabulary fingerprints differ)"
                 )
         with self._lock:
-            old_idf = self.model.idf() if self.model.fitted else None
-            self.model.partial_fit(documents)
-            drift = (
-                float(np.max(np.abs(self.model.idf() - old_idf)))
-                if old_idf is not None
-                else float("inf")
-            )
+            # Drift falls out of the fold itself in O(batch support) —
+            # the old full-vocabulary |idf - old_idf| scan per call was
+            # the dominant cost of per-interval streaming ingest.  The
+            # override is NOT redundant: for an empty batch on an
+            # unfitted model the callee reports 0.0 (nothing changed),
+            # but this report's contract is inf until a first fit
+            # exists to drift from.
+            first_fit = not self.model.fitted
+            drift = self.model.partial_fit_drift(documents)
+            if first_fit:
+                drift = float("inf")
             for doc in documents:
                 self.database.add(self.model.transform(doc).unit())
             if self.retain_documents:
@@ -352,6 +417,33 @@ class MonitorService:
 
     # -- retrieval ---------------------------------------------------------------
 
+    def read_snapshot(self) -> "ReadSnapshot":
+        """An immutable capture of the query surface: the current idf
+        (as a transform-only model copy) plus the index's array view.
+
+        Taking it is the only part of a query that holds the service
+        lock; everything after — transforming count documents, batch
+        scoring, vote tallying — runs lock-free on the snapshot, so
+        concurrent readers never block ingest (or each other).  A
+        snapshot is a consistent point in time: signatures ingested
+        after the capture are invisible to it.
+        """
+        with self._lock:
+            if not self.model.fitted:
+                raise RuntimeError(
+                    "service has ingested nothing yet; nothing to query"
+                )
+            model = TfIdfModel.from_idf(
+                self.vocabulary,
+                self.model.idf(),
+                corpus_size=self.model.corpus_size,
+                use_idf=self.model.use_idf,
+                normalize_tf=self.model.normalize_tf,
+            )
+            view = self.database.index.read_view()
+            metric = self.metric
+        return ReadSnapshot(model=model, view=view, metric=metric)
+
     def query(self, document: CountDocument, k: int = 5) -> QueryResult:
         """Diagnose one count document: top-k neighbours + label votes."""
         return self.query_batch([document], k=k)[0]
@@ -359,38 +451,13 @@ class MonitorService:
     def query_batch(
         self, documents: list[CountDocument], k: int = 5
     ) -> list[QueryResult]:
-        """Diagnose a batch of count documents in one locked pass."""
-        with self._lock:
-            if not self.model.fitted:
-                raise RuntimeError(
-                    "service has ingested nothing yet; nothing to query"
-                )
-            out: list[QueryResult] = []
-            for document in documents:
-                signature = self.model.transform(document).unit()
-                results = self.database.index.search(
-                    signature, k=k, metric=self.metric
-                )
-                # Every stored signature is labeled, so the k-NN vote
-                # fractions fall out of the results already in hand —
-                # no second index search.
-                counts: dict[str, int] = {}
-                for result in results:
-                    label = result.signature.label
-                    counts[label] = counts.get(label, 0) + 1
-                total = sum(counts.values())
-                votes = dict(
-                    sorted(
-                        ((label, n / total) for label, n in counts.items()),
-                        key=lambda kv: -kv[1],
-                    )
-                ) if total else {}
-                out.append(
-                    QueryResult(
-                        signature=signature, results=results, votes=votes
-                    )
-                )
-            return out
+        """Diagnose a batch of count documents.
+
+        The batch is scored outside the service lock against one
+        :meth:`read_snapshot`, as a single vectorized index product —
+        see :meth:`~repro.core.index.IndexReadView.search_batch`.
+        """
+        return self.read_snapshot().query_batch(documents, k=k)
 
     # -- persistence ------------------------------------------------------------
 
@@ -453,6 +520,11 @@ class MonitorService:
                 self.database.shard_generation = view.shard_generation
                 if self._reweights == reweights_at_capture:
                     self._reweighted_since_snapshot = False
+                    # Adopt the view's verified watermark: the live
+                    # database holds the same immutable row prefix (it
+                    # can only have grown), so the next snapshot skips
+                    # everything this one certified.
+                    self.database._shard_hashes = list(view._shard_hashes)
             return written
 
     # -- introspection ------------------------------------------------------------
@@ -460,13 +532,19 @@ class MonitorService:
     def stats(self) -> dict:
         """A service health/status summary, as the CLI prints it."""
         with self._lock:
+            index = self.database.index
             return {
                 "corpus_size": self.model.corpus_size,
                 "indexed_signatures": len(self.database),
                 "labels": self.database.labels(),
                 "session_documents": len(self._session_documents),
                 "baseline_signatures": len(self._baseline_signatures),
-                "index_tombstones": self.database.index.tombstones,
+                "index_tombstones": index.tombstones,
+                "index_compiled_postings": index.compiled_postings,
+                "index_tail_postings": index.tail_postings,
+                "snapshot_shard_size": self.database.shard_size,
+                "snapshot_generation": self.database.shard_generation,
+                "snapshot_watermark_shards": self.database.verified_shards,
                 "reweights": self._reweights,
                 "max_workers": self.max_workers,
                 "metric": self.metric,

@@ -104,3 +104,23 @@ class TestExperimentCommand:
     def test_classifiers_fast(self, capsys):
         assert main(["experiment", "classifiers", "--fast", "--seed", "7"]) == 0
         assert "C4.5" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_reports_engine_and_watermark(self, pipeline, tmp_path, capsys):
+        from repro.service import IngestJob, MonitorService
+        from repro.workloads.scp import ScpWorkload
+
+        service = MonitorService(pipeline, max_workers=1)
+        service.ingest([IngestJob(ScpWorkload(seed=21), 6, run_seed=1)])
+        state = tmp_path / "state"
+        service.snapshot(state, shard_size=2)
+        assert main(["stats", "--state-dir", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "indexed signatures:   6" in out
+        assert "compiled postings:" in out
+        assert "verified watermark:   3 full shard(s)" in out
+
+    def test_stats_requires_existing_state(self, tmp_path):
+        with pytest.raises(SystemExit, match="no service snapshot"):
+            main(["stats", "--state-dir", str(tmp_path / "missing")])

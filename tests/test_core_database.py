@@ -348,3 +348,153 @@ class TestShardedPersistence:
         fresh.save_shards(state, shard_size=4)
         loaded = SignatureDatabase.load_shards(state)
         assert loaded.labels() == ["real"]
+
+
+class TestWatermark:
+    def many_sigs(self, vocab, n, label="normal", seed=7):
+        rng = np.random.default_rng(seed)
+        return [
+            sig(vocab, np.abs(rng.normal(size=4)) + 0.01, label)
+            for _ in range(n)
+        ]
+
+    def test_steady_state_snapshot_skips_watermarked_shards(
+        self, vocab, tmp_path, monkeypatch
+    ):
+        """After a snapshot established the watermark, a re-snapshot
+        neither reads nor re-hashes the full shards it covers."""
+        state = tmp_path / "state"
+        database = SignatureDatabase(vocab)
+        database.add_all(self.many_sigs(vocab, 10))
+        database.save_shards(state, shard_size=4)
+        assert database.verified_shards == 2
+
+        database.add_all(self.many_sigs(vocab, 4, label="bad", seed=8))
+        hashed = []
+        original_hash = SignatureDatabase._content_hash
+
+        def counting_hash(weights, labels):
+            hashed.append(len(labels))
+            return original_hash(weights, labels)
+
+        monkeypatch.setattr(
+            SignatureDatabase, "_content_hash", staticmethod(counting_hash)
+        )
+        opened = []
+        original_load = np.load
+
+        def spying_load(path, *args, **kwargs):
+            opened.append(str(path))
+            return original_load(path, *args, **kwargs)
+
+        monkeypatch.setattr(np, "load", spying_load)
+        written = database.save_shards(state, shard_size=4)
+        # 14 signatures: shards 0-1 sit under the watermark (not hashed,
+        # not opened); only the grown shard 2 and partial shard 3 are
+        # hashed, and the only reads are the header plus the old partial
+        # shard 2 it is replacing.
+        assert {p.name for p in written} == {
+            "header.npz", "shard-00002.npz", "shard-00003.npz"
+        }
+        assert hashed == [4, 2]
+        assert all(
+            path.endswith(("header.npz", "shard-00002.npz"))
+            for path in opened
+        )
+        assert database.verified_shards == 3
+
+    def test_watermark_survives_load_roundtrip(self, vocab, tmp_path):
+        state = tmp_path / "state"
+        database = SignatureDatabase(vocab)
+        database.add_all(self.many_sigs(vocab, 10))
+        database.save_shards(state, shard_size=4)
+        loaded = SignatureDatabase.load_shards(state)
+        assert loaded.verified_shards == 2
+        loaded.add_all(self.many_sigs(vocab, 2, label="bad", seed=9))
+        written = loaded.save_shards(state, shard_size=4)
+        # The resumed database trusts the watermark it re-verified at
+        # load time: full shards 0-1 are untouched; only the grown
+        # trailing shard (now full) and the header are written.
+        assert {p.name for p in written} == {"header.npz", "shard-00002.npz"}
+        assert loaded.verified_shards == 3
+
+    def test_foreign_directory_falls_back_to_verification(
+        self, vocab, tmp_path
+    ):
+        """Saving a *different* database into an existing directory must
+        not adopt its shards via the watermark shortcut."""
+        state = tmp_path / "state"
+        db_a = SignatureDatabase(vocab)
+        db_a.add_all(self.many_sigs(vocab, 8, seed=1))
+        db_a.save_shards(state, shard_size=4)
+
+        db_b = SignatureDatabase(vocab)
+        db_b.add_all(self.many_sigs(vocab, 8, label="bad", seed=2))
+        written = db_b.save_shards(state, shard_size=4)
+        assert {p.name for p in written} == {
+            "header.npz", "shard-00000.npz", "shard-00001.npz"
+        }
+        loaded = SignatureDatabase.load_shards(state)
+        assert loaded.labels() == ["bad"]
+
+    def test_tampered_shard_rejected_on_load(self, vocab, tmp_path):
+        """A full shard swapped underneath the header fails the
+        watermark chain check at load time."""
+        state = tmp_path / "state"
+        database = SignatureDatabase(vocab)
+        database.add_all(self.many_sigs(vocab, 10))
+        database.save_shards(state, shard_size=4)
+
+        # Craft a self-consistent replacement shard (its own content
+        # hash matches its rows) holding different signatures.
+        rows = self.many_sigs(vocab, 4, label="evil", seed=99)
+        weights = np.stack([s.weights for s in rows])
+        labels = np.array([s.label for s in rows], dtype=object)
+        SignatureDatabase._write_atomic(
+            state / "shard-00000.npz",
+            weights=weights,
+            labels=labels,
+            n=np.array(4, dtype=np.int64),
+            fingerprint=np.array(vocab.fingerprint()),
+            content_hash=np.array(
+                SignatureDatabase._content_hash(weights, labels)
+            ),
+        )
+        with pytest.raises(ValueError, match="watermark"):
+            SignatureDatabase.load_shards(state)
+
+    def test_reshard_resets_watermark(self, vocab, tmp_path):
+        state = tmp_path / "state"
+        database = SignatureDatabase(vocab)
+        database.add_all(self.many_sigs(vocab, 8))
+        database.save_shards(state, shard_size=4)
+        assert database.verified_shards == 2
+        database.save_shards(state, shard_size=2)  # reshard: new layout
+        assert database.verified_shards == 4
+        loaded = SignatureDatabase.load_shards(state)
+        assert len(loaded) == 8
+
+    def test_snapshot_view_carries_watermark(self, vocab, tmp_path):
+        state = tmp_path / "state"
+        database = SignatureDatabase(vocab)
+        database.add_all(self.many_sigs(vocab, 8))
+        view = database.snapshot_view()
+        view.save_shards(state, shard_size=4)
+        assert view.verified_shards == 2
+        assert database.verified_shards == 0  # view is detached
+
+    def test_deleted_watermarked_shard_heals_on_resnapshot(
+        self, vocab, tmp_path
+    ):
+        """A full shard deleted out from under the snapshot is rewritten
+        by the next save instead of being certified as present."""
+        state = tmp_path / "state"
+        database = SignatureDatabase(vocab)
+        database.add_all(self.many_sigs(vocab, 10))
+        database.save_shards(state, shard_size=4)
+        (state / "shard-00000.npz").unlink()
+        database.add_all(self.many_sigs(vocab, 2, label="bad", seed=3))
+        written = database.save_shards(state, shard_size=4)
+        assert "shard-00000.npz" in {p.name for p in written}
+        loaded = SignatureDatabase.load_shards(state)
+        assert len(loaded) == 12

@@ -234,3 +234,84 @@ class TestRemoveAndCompaction:
         index.remove(2)
         assert index.posting_list(2) == set()
         assert index.candidates(sig(index.get(3).vocabulary, [0, 0, 1, 0, 0, 0])) == set()
+
+    def test_compaction_merges_tail_into_csr(self, index):
+        assert index.tail_postings > 0
+        index.compact()
+        assert index.tail_postings == 0
+        assert index.compiled_postings == 8  # all live posting entries
+
+
+class TestEuclideanExactness:
+    def test_disjoint_query_still_finds_neighbours(self, vocab):
+        """True neighbours sharing no term with the query are found at
+        their exact distance instead of silently dropped (the seed
+        returned zero results here)."""
+        index = SignatureIndex()
+        index.add(sig(vocab, [0, 0, 0, 0, 3, 4], "far"))   # norm 5
+        index.add(sig(vocab, [0, 0, 0, 1, 0, 0], "near"))  # norm 1
+        query = sig(vocab, [1, 0, 0, 0, 0, 0])
+        results = index.search(query, k=2, metric="euclidean")
+        assert [r.signature.label for r in results] == ["near", "far"]
+        assert results[0].score == pytest.approx(-np.sqrt(2.0))
+        assert results[1].score == pytest.approx(-np.sqrt(26.0))
+
+    def test_short_candidate_case_fills_to_k(self, vocab):
+        """One candidate but k=3: the remainder is scored exactly."""
+        index = SignatureIndex()
+        index.add(sig(vocab, [1, 0, 0, 0, 0, 0], "cand"))
+        index.add(sig(vocab, [0, 0, 1, 0, 0, 0], "other1"))
+        index.add(sig(vocab, [0, 0, 0, 0, 0, 2], "other2"))
+        results = index.search(
+            sig(vocab, [1, 0, 0, 0, 0, 0]), k=3, metric="euclidean"
+        )
+        assert len(results) == 3
+        assert results[0].signature.label == "cand"
+
+    def test_cosine_still_candidates_only(self, vocab):
+        """Cosine semantics are unchanged: disjoint signatures have
+        cosine 0 and stay out of the result list."""
+        index = SignatureIndex()
+        index.add(sig(vocab, [0, 0, 1, 0, 0, 0]))
+        assert index.search(sig(vocab, [1, 0, 0, 0, 0, 0]), k=5) == []
+
+
+class TestReadView:
+    def test_view_matches_index_search(self, index, vocab):
+        query = sig(vocab, [1, 1, 0.2, 0, 0, 0])
+        view = index.read_view()
+        for metric in SignatureIndex.METRICS:
+            assert [
+                (r.signature_id, r.score)
+                for r in view.search(query, k=4, metric=metric)
+            ] == [
+                (r.signature_id, r.score)
+                for r in index.search(query, k=4, metric=metric)
+            ]
+
+    def test_view_len_and_votes(self, index, vocab):
+        view = index.read_view()
+        assert len(view) == 4
+        assert view.label_votes(sig(vocab, [1, 1, 0, 0, 0, 0]), k=2) == {"a": 2}
+
+    def test_view_rejects_bad_arguments(self, index, vocab):
+        view = index.read_view()
+        with pytest.raises(ValueError, match="positive"):
+            view.search(sig(vocab, [1, 0, 0, 0, 0, 0]), k=0)
+        with pytest.raises(ValueError, match="unknown metric"):
+            view.search(sig(vocab, [1, 0, 0, 0, 0, 0]), metric="hamming")
+        other = Vocabulary(list(range(10, 16)))
+        with pytest.raises(ValueError, match="vocabulary"):
+            view.search(Signature(other, np.ones(6)))
+
+    def test_empty_index_view(self):
+        index = SignatureIndex()
+        view = index.read_view()
+        assert len(view) == 0
+
+    def test_reference_scorer_matches_search(self, index, vocab):
+        query = sig(vocab, [1, 1, 0.3, 0, 0, 0])
+        view = index.read_view()
+        assert [
+            (r.signature_id, r.score) for r in view.search_reference(query, k=4)
+        ] == [(r.signature_id, r.score) for r in index.search(query, k=4)]

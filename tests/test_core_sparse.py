@@ -111,9 +111,36 @@ class TestAlgebra:
 
 
 class TestInspection:
-    def test_items_sorted(self):
+    def test_items_unsorted_but_complete(self):
+        """items() no longer pays a sort per call; order is insertion."""
         v = SparseVector({5: 1.0, 1: 2.0, 3: 3.0})
-        assert [d for d, _ in v.items()] == [1, 3, 5]
+        assert dict(v.items()) == {5: 1.0, 1: 2.0, 3: 3.0}
+        assert [d for d, _ in v.items()] == [5, 1, 3]
+
+    def test_sorted_items_sorted_and_cached(self):
+        v = SparseVector({5: 1.0, 1: 2.0, 3: 3.0})
+        assert [d for d, _ in v.sorted_items()] == [1, 3, 5]
+        first = v._sorted_cache
+        list(v.sorted_items())
+        assert v._sorted_cache is first  # immutable vector: sort once
+
+    def test_arrays_ascending_and_readonly(self):
+        v = SparseVector({5: 1.0, 1: 2.0, 3: 3.0})
+        dims, values = v.arrays()
+        assert dims.tolist() == [1, 3, 5]
+        assert values.tolist() == [2.0, 3.0, 1.0]
+        assert not dims.flags.writeable
+        assert not values.flags.writeable
+        assert v.arrays() == (dims, values)  # cached
+
+    def test_arrays_empty(self):
+        dims, values = SparseVector({}).arrays()
+        assert dims.size == 0
+        assert values.size == 0
+
+    def test_from_dense_items_already_ascending(self):
+        v = SparseVector.from_dense([0.0, 2.0, 0.0, 1.0])
+        assert [d for d, _ in v.items()] == [1, 3]
 
     def test_equality(self):
         assert SparseVector({0: 1.0}) == SparseVector({0: 1.0})

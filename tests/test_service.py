@@ -314,3 +314,43 @@ class TestWeightingConflicts:
             service.ingest_documents([stranger])
         assert not service.model.fitted
         assert service.stats()["corpus_size"] == 0
+
+
+class TestReadSnapshots:
+    def test_stats_exposes_engine_and_watermark(self, fed_service, tmp_path):
+        stats = fed_service.stats()
+        assert stats["index_compiled_postings"] + stats["index_tail_postings"] > 0
+        assert stats["index_tombstones"] == 0
+        assert stats["snapshot_watermark_shards"] == 0  # nothing saved yet
+        fed_service.snapshot(tmp_path / "state", shard_size=5)
+        assert fed_service.stats()["snapshot_watermark_shards"] == 2
+
+    def test_read_snapshot_isolated_from_ingest(self, fed_service, pipeline):
+        docs = pipeline.collect_documents(ScpWorkload(seed=41), 2, run_seed=50)
+        snapshot = fed_service.read_snapshot()
+        before = [
+            [(r.signature_id, r.score) for r in result.results]
+            for result in snapshot.query_batch(docs, k=3)
+        ]
+        fed_service.ingest([IngestJob(ScpWorkload(seed=23), 4, run_seed=3)])
+        after = [
+            [(r.signature_id, r.score) for r in result.results]
+            for result in snapshot.query_batch(docs, k=3)
+        ]
+        assert after == before  # the snapshot's idf and index are frozen
+        assert len(snapshot.view) == 12
+        # A fresh snapshot sees the new signatures.
+        assert len(fed_service.read_snapshot().view) == 16
+
+    def test_read_snapshot_requires_fit(self, service):
+        with pytest.raises(RuntimeError, match="nothing"):
+            service.read_snapshot()
+
+    def test_snapshot_after_snapshot_is_delta(self, fed_service, tmp_path):
+        """The watermark carries across service snapshots: the second
+        one writes only the delta files."""
+        state = tmp_path / "state"
+        fed_service.snapshot(state, shard_size=4)
+        fed_service.ingest([IngestJob(ScpWorkload(seed=23), 2, run_seed=3)])
+        written = fed_service.snapshot(state)
+        assert {p.name for p in written} == {"header.npz", "shard-00003.npz"}
