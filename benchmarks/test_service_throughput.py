@@ -18,6 +18,13 @@ path in chunks, as the service would) and holds four claims:
   re-verification of every shard on disk.
 - **unsorted items()** — the sparse-vector hot path no longer pays a
   sort per ``items()`` call (micro-benchmark).
+- **the gateway adds transport, not contention** — >= 4 concurrent
+  ``FmeterClient`` readers sustain batch queries over HTTP *during*
+  ingest, every response bit-identical to an in-process
+  ``MonitorService.query_batch`` for a state the service actually
+  passed through; the HTTP overhead per query is measured and
+  reported (the in-process CSR batch win is asserted separately
+  above and must not regress).
 
 The signatures are synthesized directly over the kernel vocabulary
 (sparse lognormal count documents with per-class support patterns)
@@ -60,6 +67,13 @@ TOP_K = 10
 SNAPSHOT_SHARD_SIZE = 32 if SMOKE else 64
 SNAPSHOT_DELTA = 32 if SMOKE else 64
 SNAPSHOT_SIZES = (64, 128) if SMOKE else (512, 1024, 1536, 2048)
+
+#: Gateway benchmark: base index size, racing ingest delta, readers.
+GATEWAY_SIGNATURES = 120 if SMOKE else 800
+GATEWAY_DELTA_BATCHES = 3 if SMOKE else 6
+GATEWAY_DELTA_BATCH = 20 if SMOKE else 50
+GATEWAY_QUERIES = 8 if SMOKE else 16
+GATEWAY_READERS = 4
 
 
 @pytest.fixture()
@@ -308,6 +322,135 @@ def test_snapshot_cost_is_o_delta(vocabulary, report_table, tmp_path):
             "steady-state snapshot cost grew with database size despite "
             "the watermark"
         )
+
+
+def test_gateway_concurrent_readers(vocabulary, report_table):
+    """The HTTP gateway serves >= 4 racing readers without breaking the
+    engine's guarantees: every wire response is bit-identical to the
+    in-process ``query_batch`` result for a state the service actually
+    passed through, and readers keep landing queries while ingest runs.
+    HTTP transport overhead per query is measured against the
+    in-process path and reported (not asserted — it is a transport
+    cost, not an engine regression; the CSR batch win is pinned by
+    ``test_csr_batch_beats_per_query_loop``)."""
+    import threading
+    from types import SimpleNamespace
+
+    from repro.api import (
+        Dispatcher,
+        FmeterClient,
+        FmeterServer,
+        QueryBatchRequest,
+        WireDocument,
+    )
+    from repro.service import MonitorService
+
+    rng = RngStream(SEED, "gateway")
+    total = GATEWAY_SIGNATURES + GATEWAY_DELTA_BATCHES * GATEWAY_DELTA_BATCH
+    documents = synthesize_documents(vocabulary, total, rng)
+    base = documents[:GATEWAY_SIGNATURES]
+    delta = documents[GATEWAY_SIGNATURES:]
+    # The service only touches pipeline.vocabulary on the document
+    # ingest path; synthesized documents need no machine simulation.
+    service = MonitorService(
+        SimpleNamespace(vocabulary=vocabulary), max_workers=2
+    )
+    for i in range(0, len(base), CHUNK):
+        service.ingest_documents(base[i : i + CHUNK])
+
+    query_docs = synthesize_documents(
+        vocabulary, GATEWAY_QUERIES, rng.child("queries")
+    )
+    dispatcher = Dispatcher(service)
+    request = QueryBatchRequest(
+        documents=tuple(WireDocument.from_document(d) for d in query_docs),
+        k=TOP_K,
+    )
+
+    with FmeterServer(service) as server:
+        client = FmeterClient(server.host, server.port, timeout=60)
+
+        # Quiesced bit-identity: the wire changes nothing.
+        expected = dispatcher.handle(request).diagnoses
+        assert client.query_batch(query_docs, k=TOP_K).diagnoses == expected
+
+        # Transport overhead, one reader, no concurrent writes.
+        best_inproc = min(
+            _timed(lambda: dispatcher.handle(request)) for _ in range(3)
+        )
+        best_http = min(
+            _timed(lambda: client.query_batch(query_docs, k=TOP_K))
+            for _ in range(3)
+        )
+        overhead_ms = (best_http - best_inproc) / len(query_docs) * 1e3
+
+        # Racing phase: GATEWAY_READERS clients hammer query_batch while
+        # the main thread ingests delta batches.  legal[j] is the exact
+        # in-process result after j batches; every HTTP response must
+        # equal one of them.
+        legal = [expected]
+        observed, failures = [], []
+        stop = threading.Event()
+
+        def reader():
+            c = FmeterClient(server.host, server.port, timeout=60)
+            try:
+                while not stop.is_set():
+                    observed.append(
+                        c.query_batch(query_docs, k=TOP_K).diagnoses
+                    )
+            except Exception as exc:
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=reader) for _ in range(GATEWAY_READERS)
+        ]
+        racing_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        try:
+            for i in range(0, len(delta), GATEWAY_DELTA_BATCH):
+                service.ingest_documents(delta[i : i + GATEWAY_DELTA_BATCH])
+                legal.append(dispatcher.handle(request).diagnoses)
+                time.sleep(0.02)  # let readers land mid-ingest queries
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        racing_elapsed = time.perf_counter() - racing_start
+
+        assert not failures, f"racing reader failed: {failures[0]!r}"
+        assert len(observed) >= GATEWAY_READERS, (
+            "readers did not sustain queries during ingest"
+        )
+        for diagnoses in observed:
+            assert diagnoses in legal, (
+                "a racing reader observed a state the service never "
+                "passed through (torn snapshot)"
+            )
+
+        # Quiesced again: the wire agrees with the final state exactly.
+        assert client.query_batch(query_docs, k=TOP_K).diagnoses == legal[-1]
+
+    racing_queries = len(observed) * len(query_docs)
+    lines = [
+        f"indexed signatures:        {len(service.database)} "
+        f"(+{len(delta)} ingested mid-benchmark)",
+        f"concurrent readers:        {GATEWAY_READERS} "
+        f"(FmeterClient over HTTP)",
+        f"in-process batch:          {best_inproc * 1e3:.1f} ms "
+        f"({best_inproc / len(query_docs) * 1e3:.2f} ms/query)",
+        f"HTTP batch:                {best_http * 1e3:.1f} ms "
+        f"({best_http / len(query_docs) * 1e3:.2f} ms/query)",
+        f"HTTP overhead:             {overhead_ms:.2f} ms/query "
+        f"({best_http / best_inproc:.1f}x the in-process cost)",
+        f"racing phase:              {racing_queries} queries in "
+        f"{racing_elapsed:.2f} s ({racing_queries / racing_elapsed:.0f} "
+        "queries/s sustained during ingest)",
+        "wire results:              bit-identical to in-process "
+        "query_batch (all phases)",
+    ]
+    report_table("service_gateway", "\n".join(lines))
 
 
 def test_sparse_items_unsorted_microbench(report_table):

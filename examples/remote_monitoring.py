@@ -1,0 +1,154 @@
+"""Remote monitoring over the HTTP gateway — a two-process demo.
+
+The paper's deployment story puts the signature service on its own
+machine: daemons at the edge collect count documents and push them to a
+central, always-on index that anyone can query.  This script plays both
+parts:
+
+1. **Server process** — ``python -m repro serve --rounds 0 --listen`` in
+   a subprocess: a fresh :class:`~repro.service.monitor.MonitorService`
+   behind :class:`~repro.api.FmeterServer`, on an OS-assigned port
+   parsed from its stdout.
+2. **Client process (this one)** — collects signatures from simulated
+   machines locally, then drives the full ``/v1/*`` surface through
+   :class:`~repro.api.FmeterClient`: healthz, ingest, batched top-k
+   queries, stats, and a server-side snapshot.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/remote_monitoring.py
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+# Allow running without PYTHONPATH set, straight from a checkout.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+sys.path.insert(0, _SRC)
+
+from repro.api import ApiError, FmeterClient  # noqa: E402
+from repro.core.pipeline import SignaturePipeline  # noqa: E402
+from repro.workloads.kcompile import KernelCompileWorkload  # noqa: E402
+from repro.workloads.scp import ScpWorkload  # noqa: E402
+
+SEED = 2012
+LISTEN_PATTERN = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+def start_server(state_dir: str) -> tuple[subprocess.Popen, str, int]:
+    """Launch the gateway subprocess; return (process, host, port).
+
+    A watchdog timer kills a server that stays silent past the
+    deadline — the readline below blocks, so an in-loop clock check
+    could never fire against a hung-but-alive subprocess.
+    """
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--state-dir", state_dir,
+            "--rounds", "0",
+            "--listen", "127.0.0.1:0",
+            "--seed", str(SEED),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=str(Path(__file__).resolve().parent.parent),
+        env={
+            **os.environ,
+            "PYTHONPATH": _SRC + os.pathsep + os.environ.get("PYTHONPATH", ""),
+        },
+    )
+    watchdog = threading.Timer(120.0, process.kill)
+    watchdog.start()
+    try:
+        for line in process.stdout:
+            print(f"  [server] {line.rstrip()}")
+            match = LISTEN_PATTERN.search(line)
+            if match:
+                return process, match.group(1), int(match.group(2))
+    finally:
+        watchdog.cancel()
+    process.terminate()
+    raise RuntimeError("server never printed its listening address")
+
+
+def main() -> int:
+    state_dir = tempfile.mkdtemp(prefix="fmeter-remote-state-")
+    print(f"starting the gateway (state in {state_dir}) ...")
+    process, host, port = start_server(state_dir)
+    try:
+        client = FmeterClient(host, port, timeout=120.0)
+        health = client.healthz()
+        print(
+            f"gateway is {health.status}: fitted={health.fitted}, "
+            f"{health.indexed_signatures} signatures"
+        )
+
+        # The edge: collect labeled documents from simulated machines.
+        # The same kernel-build seed as the server means matching
+        # vocabularies; the client attaches the fingerprint so a
+        # mismatch would fail loudly instead of scoring garbage.
+        print("collecting signatures at the edge ...")
+        pipeline = SignaturePipeline(seed=SEED)
+        documents = pipeline.collect_documents(
+            ScpWorkload(seed=21), 8, run_seed=1
+        )
+        documents += pipeline.collect_documents(
+            KernelCompileWorkload(seed=22), 8, run_seed=2
+        )
+
+        report = client.ingest(documents)
+        print(
+            f"ingested {report.documents} documents over HTTP "
+            f"({', '.join(f'{k}={v}' for k, v in sorted(report.by_label.items()))}); "
+            f"corpus size {report.corpus_size}"
+        )
+
+        # Fresh activity, diagnosed remotely in one batched query.
+        queries = pipeline.collect_documents(
+            ScpWorkload(seed=41), 4, run_seed=50
+        )
+        response = client.query_batch(queries, k=5)
+        for i, diagnosis in enumerate(response.diagnoses):
+            votes = ", ".join(
+                f"{label}={fraction:.0%}"
+                for label, fraction in diagnosis.votes.items()
+            )
+            print(f"  interval {i}: top={diagnosis.top_label}  votes: {votes}")
+        top_labels = {d.top_label for d in response.diagnoses}
+        assert top_labels == {"scp"}, (
+            f"remote diagnosis failed: expected scp, got {top_labels}"
+        )
+
+        stats = client.stats()
+        print(
+            f"server stats: {stats.indexed_signatures} signatures, "
+            f"labels [{', '.join(stats.labels)}], metric {stats.metric}"
+        )
+
+        snapshot = client.snapshot(shard_size=8)
+        print(
+            f"server snapshot -> {snapshot.directory} "
+            f"({len(snapshot.written)} files)"
+        )
+        print("remote monitoring round-trip: OK")
+        return 0
+    except ApiError as error:
+        print(f"API error [{error.code}]: {error}", file=sys.stderr)
+        return 1
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

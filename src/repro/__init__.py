@@ -20,6 +20,8 @@ The package layers, bottom to top:
 - :mod:`repro.experiments` — one harness per paper table/figure.
 - :mod:`repro.service` — the always-on tier: concurrent ingestion with
   incremental tf-idf, top-k retrieval, sharded resumable snapshots.
+- :mod:`repro.api` — the network surface: a typed, versioned
+  request/response protocol, an HTTP gateway, and a client SDK.
 
 Quick start::
 
@@ -32,56 +34,110 @@ Quick start::
     )
     sig = result.signatures[0]
     print(sig.label, sig.top_terms(5))
+
+The public names below resolve lazily (PEP 562): ``import repro`` loads
+no submodule — and in particular no numpy — until an attribute is first
+touched, so tools that only want ``repro.__version__`` or one workload
+class pay only for what they use.
 """
 
-from repro.core import (
-    Corpus,
-    CountDocument,
-    Signature,
-    SignatureDatabase,
-    SignatureIndex,
-    SignaturePipeline,
-    TfIdfModel,
-    Vocabulary,
-)
-from repro.kernel import MachineConfig, SimulatedMachine, build_symbol_table
-from repro.service import IngestJob, MonitorService
-from repro.tracing import FmeterTracer, FtraceTracer, LoggingDaemon
-from repro.workloads import (
-    ApacheBenchWorkload,
-    BootWorkload,
-    DbenchWorkload,
-    IdleWorkload,
-    KernelCompileWorkload,
-    NetperfWorkload,
-    ScpWorkload,
-)
+from importlib import import_module
+from typing import TYPE_CHECKING
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = [
-    "ApacheBenchWorkload",
-    "BootWorkload",
-    "Corpus",
-    "CountDocument",
-    "DbenchWorkload",
-    "FmeterTracer",
-    "FtraceTracer",
-    "IdleWorkload",
-    "IngestJob",
-    "KernelCompileWorkload",
-    "LoggingDaemon",
-    "MachineConfig",
-    "MonitorService",
-    "NetperfWorkload",
-    "ScpWorkload",
-    "Signature",
-    "SignatureDatabase",
-    "SignatureIndex",
-    "SignaturePipeline",
-    "SimulatedMachine",
-    "TfIdfModel",
-    "Vocabulary",
-    "build_symbol_table",
-    "__version__",
-]
+#: Public name -> defining module, resolved on first attribute access.
+_EXPORTS = {
+    "ApacheBenchWorkload": "repro.workloads",
+    "ApiError": "repro.api",
+    "BootWorkload": "repro.workloads",
+    "Corpus": "repro.core",
+    "CountDocument": "repro.core",
+    "DbenchWorkload": "repro.workloads",
+    "Dispatcher": "repro.api",
+    "FmeterClient": "repro.api",
+    "FmeterServer": "repro.api",
+    "FmeterTracer": "repro.tracing",
+    "FtraceTracer": "repro.tracing",
+    "IdleWorkload": "repro.workloads",
+    "IngestJob": "repro.service",
+    "KernelCompileWorkload": "repro.workloads",
+    "LoggingDaemon": "repro.tracing",
+    "MachineConfig": "repro.kernel",
+    "MonitorService": "repro.service",
+    "NetperfWorkload": "repro.workloads",
+    "ScpWorkload": "repro.workloads",
+    "Signature": "repro.core",
+    "SignatureDatabase": "repro.core",
+    "SignatureIndex": "repro.core",
+    "SignaturePipeline": "repro.core",
+    "SimulatedMachine": "repro.kernel",
+    "TfIdfModel": "repro.core",
+    "Vocabulary": "repro.core",
+    "build_symbol_table": "repro.kernel",
+}
+
+#: Subpackages reachable as ``repro.<name>`` after a bare ``import
+#: repro`` — the eager-import behaviour scripts already rely on, kept
+#: lazy.
+_SUBMODULES = frozenset({
+    "analysis", "api", "cli", "core", "experiments", "kernel", "ml",
+    "service", "tracing", "util", "workloads",
+})
+
+__all__ = [*sorted(_EXPORTS), "__version__"]
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is not None:
+        value = getattr(import_module(module_name), name)
+    elif name in _SUBMODULES:
+        value = import_module(f"repro.{name}")
+    else:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS) | _SUBMODULES)
+
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.api import (  # noqa: F401
+        ApiError,
+        Dispatcher,
+        FmeterClient,
+        FmeterServer,
+    )
+    from repro.core import (  # noqa: F401
+        Corpus,
+        CountDocument,
+        Signature,
+        SignatureDatabase,
+        SignatureIndex,
+        SignaturePipeline,
+        TfIdfModel,
+        Vocabulary,
+    )
+    from repro.kernel import (  # noqa: F401
+        MachineConfig,
+        SimulatedMachine,
+        build_symbol_table,
+    )
+    from repro.service import IngestJob, MonitorService  # noqa: F401
+    from repro.tracing import (  # noqa: F401
+        FmeterTracer,
+        FtraceTracer,
+        LoggingDaemon,
+    )
+    from repro.workloads import (  # noqa: F401
+        ApacheBenchWorkload,
+        BootWorkload,
+        DbenchWorkload,
+        IdleWorkload,
+        KernelCompileWorkload,
+        NetperfWorkload,
+        ScpWorkload,
+    )

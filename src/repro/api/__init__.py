@@ -1,0 +1,74 @@
+"""``repro.api`` — the typed, versioned network surface of the service.
+
+The paper's point is that low-level signatures become useful once they
+are indexable by standard IR infrastructure — which implies a service
+*other machines* can talk to.  This package is that surface, in four
+thin layers over :class:`~repro.service.monitor.MonitorService`:
+
+- :mod:`~repro.api.protocol` — frozen request/response dataclasses with
+  explicit JSON wire schemas (``to_wire``/``from_wire``,
+  :data:`~repro.api.protocol.PROTOCOL_VERSION`, unknown-field
+  tolerance for forward compatibility).
+- :mod:`~repro.api.errors` — the structured error model: stable
+  machine-readable codes mapped from the service exception taxonomy.
+- :mod:`~repro.api.dispatcher` — :class:`Dispatcher`, the single entry
+  point from protocol messages to the service; queries score against
+  lock-free read snapshots so API readers never block ingest.
+- :mod:`~repro.api.server` / :mod:`~repro.api.client` — the HTTP
+  transport pair: a stdlib ``ThreadingHTTPServer`` gateway and a
+  urllib client SDK with retries and batch helpers.
+
+One API surface, two transports: the CLI (and any embedder) drives the
+same ``Dispatcher`` in-process or through ``FmeterClient`` over the
+network, with bit-identical scoring either way.
+"""
+
+from repro.api.client import FmeterClient
+from repro.api.dispatcher import Dispatcher
+from repro.api.errors import API_ERROR_CODES, ApiError, error_from_exception
+from repro.api.protocol import (
+    Diagnosis,
+    HealthResponse,
+    IngestRequest,
+    IngestResponse,
+    PROTOCOL_VERSION,
+    QueryBatchRequest,
+    QueryBatchResponse,
+    QueryHit,
+    QueryRequest,
+    QueryResponse,
+    ReweightRequest,
+    ReweightResponse,
+    SnapshotRequest,
+    SnapshotResponse,
+    StatsRequest,
+    StatsResponse,
+    WireDocument,
+)
+from repro.api.server import FmeterServer
+
+__all__ = [
+    "API_ERROR_CODES",
+    "ApiError",
+    "Diagnosis",
+    "Dispatcher",
+    "FmeterClient",
+    "FmeterServer",
+    "HealthResponse",
+    "IngestRequest",
+    "IngestResponse",
+    "PROTOCOL_VERSION",
+    "QueryBatchRequest",
+    "QueryBatchResponse",
+    "QueryHit",
+    "QueryRequest",
+    "QueryResponse",
+    "ReweightRequest",
+    "ReweightResponse",
+    "SnapshotRequest",
+    "SnapshotResponse",
+    "StatsRequest",
+    "StatsResponse",
+    "WireDocument",
+    "error_from_exception",
+]

@@ -1,0 +1,285 @@
+"""``FmeterClient``: the SDK half of the wire protocol.
+
+A small urllib-based client mirroring the dispatcher's typed surface:
+every method takes/returns the protocol dataclasses, raising
+:class:`~repro.api.errors.ApiError` with the server's structured error
+(code, message, detail) on failure — a client never sees a traceback
+or an unparsed HTTP body.
+
+Transport behaviour:
+
+- **Retries.**  Connection-refused failures retry for every operation
+  (nothing reached the server).  Connection resets and dropped
+  keep-alive sockets retry only for read-only operations
+  (``query``/``query_batch``/``stats``/``healthz``) — a reset after an
+  ``ingest`` was sent is ambiguous, and retrying could double-ingest.
+  Exhausted retries surface as code ``unavailable``.
+- **Documents.**  Methods accept :class:`CountDocument` (converted to
+  sparse wire form, with the vocabulary fingerprint attached
+  automatically so build mismatches fail loudly) or pre-built
+  :class:`WireDocument` values.
+- **Batch helpers.**  ``ingest_in_chunks`` / ``query_in_chunks`` split
+  arbitrarily large document lists into gateway-sized requests.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterable, Sequence
+
+from repro.api.errors import ApiError, INTERNAL, UNAVAILABLE
+from repro.api.protocol import (
+    HealthResponse,
+    IngestRequest,
+    IngestResponse,
+    QueryBatchRequest,
+    QueryBatchResponse,
+    QueryRequest,
+    QueryResponse,
+    ReweightRequest,
+    ReweightResponse,
+    SnapshotRequest,
+    SnapshotResponse,
+    StatsRequest,
+    StatsResponse,
+    WireDocument,
+    extract_error,
+)
+from repro.core.document import CountDocument
+
+__all__ = ["FmeterClient", "parse_address"]
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Split a ``HOST:PORT`` string (the one parser for every caller)."""
+    host, _, port_text = address.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError(f"address must look like HOST:PORT, got {address!r}")
+    if ":" in host:
+        # '::1:8080' would silently mis-split into host '::1'; the
+        # gateway binds AF_INET only, so reject rather than fail deep
+        # in urllib/bind with a misleading error.
+        raise ValueError(
+            f"IPv6 addresses are not supported, got {address!r} "
+            "(use an IPv4 address or hostname)"
+        )
+    port = int(port_text)
+    if port > 65535:
+        raise ValueError(f"port must be 0-65535, got {port}")
+    return host, port
+
+#: Transport failures where the request never reached the server.
+_REFUSED = (ConnectionRefusedError,)
+#: Transport failures that may have interrupted an in-flight request.
+_INTERRUPTED = (
+    ConnectionResetError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+)
+
+
+class FmeterClient:
+    """A typed HTTP client for one :class:`FmeterServer` gateway."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __repr__(self) -> str:
+        return f"FmeterClient({self.base_url})"
+
+    # -- operations --------------------------------------------------------------
+
+    def healthz(self) -> HealthResponse:
+        return HealthResponse.from_wire(
+            self._request("healthz", None, method="GET", idempotent=True)
+        )
+
+    def ingest(self, documents: Sequence) -> IngestResponse:
+        """Fold labeled documents (collected at this edge) into the service."""
+        wire_docs, fingerprint = self._wire_documents(documents)
+        request = IngestRequest(
+            documents=wire_docs, vocabulary_fingerprint=fingerprint
+        )
+        return IngestResponse.from_wire(
+            self._request("ingest", request.to_wire(), idempotent=False)
+        )
+
+    def query(self, document, k: int = 5) -> QueryResponse:
+        """Diagnose one document: top-k neighbours + label votes."""
+        wire_docs, fingerprint = self._wire_documents([document])
+        request = QueryRequest(
+            document=wire_docs[0], k=k, vocabulary_fingerprint=fingerprint
+        )
+        return QueryResponse.from_wire(
+            self._request("query", request.to_wire(), idempotent=True)
+        )
+
+    def query_batch(self, documents: Sequence, k: int = 5) -> QueryBatchResponse:
+        """Diagnose a batch in one request (one CSR product server-side)."""
+        wire_docs, fingerprint = self._wire_documents(documents)
+        request = QueryBatchRequest(
+            documents=wire_docs, k=k, vocabulary_fingerprint=fingerprint
+        )
+        return QueryBatchResponse.from_wire(
+            self._request("query_batch", request.to_wire(), idempotent=True)
+        )
+
+    def stats(self) -> StatsResponse:
+        return StatsResponse.from_wire(
+            self._request("stats", StatsRequest().to_wire(), idempotent=True)
+        )
+
+    def snapshot(self, shard_size: int | None = None) -> SnapshotResponse:
+        """Ask the server to snapshot its own state directory."""
+        request = SnapshotRequest(shard_size=shard_size)
+        return SnapshotResponse.from_wire(
+            self._request("snapshot", request.to_wire(), idempotent=False)
+        )
+
+    def reweight(self) -> ReweightResponse:
+        return ReweightResponse.from_wire(
+            self._request(
+                "reweight", ReweightRequest().to_wire(), idempotent=False
+            )
+        )
+
+    # -- batch helpers -----------------------------------------------------------
+
+    def ingest_in_chunks(
+        self, documents: Sequence, chunk_size: int = 256
+    ) -> list[IngestResponse]:
+        """Ingest a large collection as gateway-sized batches, in order."""
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        return [
+            self.ingest(documents[i : i + chunk_size])
+            for i in range(0, len(documents), chunk_size)
+        ]
+
+    def query_in_chunks(
+        self, documents: Sequence, k: int = 5, chunk_size: int = 128
+    ) -> list:
+        """Flat per-document diagnoses for an arbitrarily large batch.
+
+        Note the chunks hit successive read snapshots: results are
+        per-chunk consistent, not cross-chunk consistent, if ingest is
+        running concurrently.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        diagnoses = []
+        for i in range(0, len(documents), chunk_size):
+            response = self.query_batch(documents[i : i + chunk_size], k=k)
+            diagnoses.extend(response.diagnoses)
+        return diagnoses
+
+    # -- transport ---------------------------------------------------------------
+
+    @staticmethod
+    def _wire_documents(
+        documents: Iterable,
+    ) -> tuple[tuple[WireDocument, ...], str | None]:
+        """Convert to wire form; fingerprint from any CountDocument seen."""
+        wire_docs = []
+        fingerprint = None
+        for document in documents:
+            if isinstance(document, WireDocument):
+                wire_docs.append(document)
+            elif isinstance(document, CountDocument):
+                if fingerprint is None:
+                    fingerprint = document.vocabulary.fingerprint()
+                wire_docs.append(WireDocument.from_document(document))
+            else:
+                raise TypeError(
+                    "documents must be CountDocument or WireDocument, "
+                    f"got {type(document).__name__}"
+                )
+        return tuple(wire_docs), fingerprint
+
+    def _request(
+        self,
+        op: str,
+        wire: dict | None,
+        method: str = "POST",
+        idempotent: bool = False,
+    ) -> dict:
+        url = f"{self.base_url}/v1/{op}"
+        body = None if wire is None else json.dumps(wire).encode("utf-8")
+        attempt = 0
+        while True:
+            try:
+                return self._once(url, body, method)
+            except ApiError:
+                raise
+            except Exception as exc:
+                retryable = self._retryable(exc, idempotent)
+                if not retryable or attempt >= self.retries:
+                    raise ApiError(
+                        UNAVAILABLE,
+                        f"cannot reach the gateway at {self.base_url}: {exc}",
+                        detail={"operation": op, "attempts": attempt + 1},
+                    ) from exc
+                time.sleep(self.backoff_s * (2**attempt))
+                attempt += 1
+
+    def _once(self, url: str, body: bytes | None, method: str) -> dict:
+        request = urllib.request.Request(
+            url,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                payload = self._parse_body(resp.read(), resp.status)
+        except urllib.error.HTTPError as err:
+            # The gateway's errors are structured envelopes with
+            # non-2xx statuses; surface the embedded ApiError.
+            payload = self._parse_body(err.read(), err.code)
+        error = extract_error(payload)
+        if error is not None:
+            raise error
+        return payload
+
+    @staticmethod
+    def _parse_body(body: bytes, status: int) -> dict:
+        try:
+            return json.loads(body)
+        except ValueError:
+            raise ApiError(
+                INTERNAL,
+                f"gateway returned HTTP {status} with a non-JSON body",
+                detail={"status": status},
+            ) from None
+
+    @staticmethod
+    def _retryable(exc: Exception, idempotent: bool) -> bool:
+        reasons = [exc]
+        if isinstance(exc, urllib.error.URLError):
+            reasons.append(exc.reason)
+        for reason in reasons:
+            if isinstance(reason, _REFUSED):
+                return True
+            if isinstance(reason, _INTERRUPTED):
+                return idempotent
+        return False

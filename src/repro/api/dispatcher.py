@@ -1,0 +1,232 @@
+"""The dispatcher: one entry point from protocol messages to the service.
+
+Every transport — the HTTP gateway, the CLI's in-process mode, tests —
+funnels through :class:`Dispatcher`, so the mapping from typed requests
+to :class:`~repro.service.monitor.MonitorService` calls exists exactly
+once.  Two invariants live here:
+
+- **Queries never hold the service lock while scoring.**  Query ops
+  capture a :meth:`~repro.service.monitor.MonitorService.read_snapshot`
+  (the only locked instant) and transform/score against it outside the
+  lock, so any number of concurrent API readers leave ingest
+  throughput untouched.
+- **Every failure is a wire error.**  Service exceptions map onto the
+  structured error model (:func:`~repro.api.errors.error_from_exception`)
+  with their taxonomy code intact; nothing below this layer leaks
+  tracebacks across the boundary.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+from repro.api.errors import (
+    ApiError,
+    EMPTY_BATCH,
+    UNKNOWN_OPERATION,
+    VOCABULARY_MISMATCH,
+    error_from_exception,
+)
+from repro.api.protocol import (
+    Diagnosis,
+    HealthResponse,
+    IngestRequest,
+    IngestResponse,
+    QueryBatchRequest,
+    QueryBatchResponse,
+    QueryHit,
+    QueryRequest,
+    QueryResponse,
+    REQUEST_TYPES,
+    ReweightRequest,
+    ReweightResponse,
+    SnapshotRequest,
+    SnapshotResponse,
+    StatsRequest,
+    StatsResponse,
+)
+from repro.service.monitor import MonitorService, QueryResult
+
+__all__ = ["Dispatcher"]
+
+
+class Dispatcher:
+    """Typed request -> typed response over one :class:`MonitorService`.
+
+    ``state_dir`` is where :class:`SnapshotRequest` writes; snapshot
+    requests are refused (``bad_snapshot``) when the dispatcher was
+    built without one — a remote client never names server paths.
+    """
+
+    def __init__(
+        self, service: MonitorService, state_dir: str | Path | None = None
+    ):
+        self.service = service
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self._handlers = {
+            IngestRequest: self.ingest,
+            QueryRequest: self.query,
+            QueryBatchRequest: self.query_batch,
+            StatsRequest: self.stats,
+            SnapshotRequest: self.snapshot,
+            ReweightRequest: self.reweight,
+        }
+
+    # -- wire-level entry point --------------------------------------------------
+
+    def dispatch(self, op: str, wire: Mapping) -> dict:
+        """Parse, handle, serialize: the full wire-in/wire-out path.
+
+        Raises :class:`ApiError` for anything that goes wrong; the
+        transport turns that into its error envelope.
+        """
+        request_type = REQUEST_TYPES.get(op)
+        if request_type is None:
+            raise ApiError(
+                UNKNOWN_OPERATION,
+                f"unknown operation {op!r}",
+                detail={"operation": op, "known": sorted(REQUEST_TYPES)},
+            )
+        request = request_type.from_wire(wire)
+        return self.handle(request).to_wire()
+
+    def handle(self, request):
+        """Route one typed request to its handler, mapping failures."""
+        try:
+            handler = self._handlers[type(request)]
+        except KeyError:
+            raise ApiError(
+                UNKNOWN_OPERATION,
+                f"no handler for {type(request).__name__}",
+            ) from None
+        try:
+            return handler(request)
+        except ApiError:
+            raise
+        except Exception as exc:
+            raise error_from_exception(exc) from exc
+
+    # -- typed handlers ----------------------------------------------------------
+
+    def ingest(self, request: IngestRequest) -> IngestResponse:
+        if not request.documents:
+            raise ApiError(EMPTY_BATCH, "ingest request carries no documents")
+        self._check_fingerprint(request.vocabulary_fingerprint)
+        documents = [
+            doc.to_document(self.service.vocabulary)
+            for doc in request.documents
+        ]
+        report = self.service.ingest_documents(documents)
+        return IngestResponse(
+            documents=report.documents,
+            by_label=dict(report.by_label),
+            corpus_size=report.corpus_size,
+            indexed=report.indexed,
+            idf_drift=report.idf_drift,
+            elapsed_s=report.elapsed_s,
+        )
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        diagnoses = self._diagnose(
+            [request.document], request.k, request.vocabulary_fingerprint
+        )
+        return QueryResponse(diagnosis=diagnoses[0])
+
+    def query_batch(self, request: QueryBatchRequest) -> QueryBatchResponse:
+        diagnoses = self._diagnose(
+            request.documents, request.k, request.vocabulary_fingerprint
+        )
+        return QueryBatchResponse(diagnoses=tuple(diagnoses))
+
+    def stats(self, request: StatsRequest) -> StatsResponse:
+        stats = self.service.stats()
+        return StatsResponse(
+            corpus_size=stats["corpus_size"],
+            indexed_signatures=stats["indexed_signatures"],
+            labels=tuple(stats["labels"]),
+            session_documents=stats["session_documents"],
+            baseline_signatures=stats["baseline_signatures"],
+            index_tombstones=stats["index_tombstones"],
+            index_compiled_postings=stats["index_compiled_postings"],
+            index_tail_postings=stats["index_tail_postings"],
+            snapshot_shard_size=stats["snapshot_shard_size"],
+            snapshot_generation=stats["snapshot_generation"],
+            snapshot_watermark_shards=stats["snapshot_watermark_shards"],
+            reweights=stats["reweights"],
+            max_workers=stats["max_workers"],
+            metric=stats["metric"],
+        )
+
+    def snapshot(self, request: SnapshotRequest) -> SnapshotResponse:
+        from repro.api.errors import BAD_SNAPSHOT
+
+        if self.state_dir is None:
+            raise ApiError(
+                BAD_SNAPSHOT,
+                "this gateway was started without a state directory; "
+                "it cannot write snapshots",
+            )
+        written = self.service.snapshot(
+            self.state_dir, shard_size=request.shard_size
+        )
+        return SnapshotResponse(
+            directory=str(self.state_dir),
+            written=tuple(sorted(path.name for path in written)),
+        )
+
+    def reweight(self, request: ReweightRequest) -> ReweightResponse:
+        return ReweightResponse(reweighted=self.service.reweight())
+
+    def healthz(self) -> HealthResponse:
+        health = self.service.health()
+        return HealthResponse(
+            status=health["status"],
+            fitted=health["fitted"],
+            indexed_signatures=health["indexed_signatures"],
+            corpus_size=health["corpus_size"],
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _check_fingerprint(self, fingerprint: str | None) -> None:
+        if fingerprint is None:
+            return
+        server_fingerprint = self.service.vocabulary.fingerprint()
+        if fingerprint != server_fingerprint:
+            raise ApiError(
+                VOCABULARY_MISMATCH,
+                "client vocabulary does not match this service's kernel "
+                "build (vocabulary fingerprints differ)",
+                detail={
+                    "server_fingerprint": server_fingerprint,
+                    "client_fingerprint": fingerprint,
+                },
+            )
+
+    def _diagnose(self, wire_documents, k: int, fingerprint) -> list[Diagnosis]:
+        self._check_fingerprint(fingerprint)
+        documents = [
+            doc.to_document(self.service.vocabulary) for doc in wire_documents
+        ]
+        # The lock is held only inside read_snapshot(); transform and
+        # CSR batch scoring run against the frozen capture, so N
+        # concurrent API readers never block ingest (or each other).
+        snapshot = self.service.read_snapshot()
+        results = snapshot.query_batch(documents, k=k)
+        return [self._to_diagnosis(result) for result in results]
+
+    @staticmethod
+    def _to_diagnosis(result: QueryResult) -> Diagnosis:
+        return Diagnosis(
+            hits=tuple(
+                QueryHit(
+                    signature_id=hit.signature_id,
+                    label=hit.signature.label,
+                    score=hit.score,
+                )
+                for hit in result.results
+            ),
+            votes={label: float(f) for label, f in result.votes.items()},
+            top_label=result.top_label,
+        )

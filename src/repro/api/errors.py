@@ -1,0 +1,153 @@
+"""The structured error model of the ``repro.api`` wire protocol.
+
+Every failure that crosses the API boundary is an :class:`ApiError`: a
+stable machine-readable ``code`` (one of the module-level constants), a
+human-readable ``message``, and a ``detail`` mapping of machine-readable
+context (sizes, fingerprints, limits).  Service-side exceptions carry
+their own codes (:class:`~repro.service.monitor.ServiceError` taxonomy)
+and map onto the wire unchanged via :func:`error_from_exception`; the
+transport layer derives the HTTP status from the code alone.
+
+On the wire an error is the object ``{"code", "message", "detail"}``
+inside a versioned envelope (see :mod:`repro.api.protocol`).  Codes are
+append-only across protocol versions: a code, once shipped, never
+changes meaning.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.service.monitor import ServiceError
+
+__all__ = [
+    "API_ERROR_CODES",
+    "ApiError",
+    "BAD_SNAPSHOT",
+    "EMPTY_BATCH",
+    "HTTP_STATUS",
+    "INTERNAL",
+    "INVALID_REQUEST",
+    "NOT_FITTED",
+    "PAYLOAD_TOO_LARGE",
+    "RETENTION_REQUIRED",
+    "UNAVAILABLE",
+    "UNKNOWN_OPERATION",
+    "UNLABELED_DOCUMENTS",
+    "VERSION_MISMATCH",
+    "VOCABULARY_MISMATCH",
+    "WEIGHTING_CONFLICT",
+    "error_from_exception",
+]
+
+#: The request could not be parsed: bad JSON, missing or mistyped fields.
+INVALID_REQUEST = "invalid_request"
+#: The message's protocol version is not the one this peer speaks.
+VERSION_MISMATCH = "version_mismatch"
+#: The endpoint/operation does not exist.
+UNKNOWN_OPERATION = "unknown_operation"
+#: The request body exceeds the gateway's size limit.
+PAYLOAD_TOO_LARGE = "payload_too_large"
+#: The service has ingested nothing yet; there is no model to query.
+NOT_FITTED = "not_fitted"
+#: Documents or snapshots come from a different kernel build.
+VOCABULARY_MISMATCH = "vocabulary_mismatch"
+#: An ingest batch contained unlabeled documents.
+UNLABELED_DOCUMENTS = "unlabeled_documents"
+#: An ingest request carried no documents.
+EMPTY_BATCH = "empty_batch"
+#: The operation needs raw documents the service did not retain.
+RETENTION_REQUIRED = "retention_required"
+#: Requested weighting flags conflict with the stored baseline.
+WEIGHTING_CONFLICT = "weighting_conflict"
+#: A snapshot directory cannot back the requested operation.
+BAD_SNAPSHOT = "bad_snapshot"
+#: Client-side: the gateway could not be reached (after retries).
+UNAVAILABLE = "unavailable"
+#: An unexpected server-side failure.
+INTERNAL = "internal"
+
+#: HTTP status the transport derives from each code.  400s are the
+#: caller's fault at the protocol level, 409s are requests that are
+#: well-formed but conflict with the service's current state.
+HTTP_STATUS: dict[str, int] = {
+    INVALID_REQUEST: 400,
+    VERSION_MISMATCH: 400,
+    UNKNOWN_OPERATION: 404,
+    PAYLOAD_TOO_LARGE: 413,
+    NOT_FITTED: 409,
+    VOCABULARY_MISMATCH: 409,
+    UNLABELED_DOCUMENTS: 400,
+    EMPTY_BATCH: 400,
+    RETENTION_REQUIRED: 409,
+    WEIGHTING_CONFLICT: 409,
+    BAD_SNAPSHOT: 409,
+    UNAVAILABLE: 503,
+    INTERNAL: 500,
+}
+
+#: Every code this protocol version may emit.
+API_ERROR_CODES = tuple(HTTP_STATUS)
+
+
+class ApiError(Exception):
+    """A failure crossing the API boundary, with a stable wire form."""
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        detail: Mapping | None = None,
+        http_status: int | None = None,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.detail = dict(detail or {})
+        self.http_status = (
+            http_status
+            if http_status is not None
+            else HTTP_STATUS.get(code, 500)
+        )
+
+    def __repr__(self) -> str:
+        return f"ApiError(code={self.code!r}, message={self.message!r})"
+
+    def to_wire(self) -> dict:
+        """The error object (the envelope around it is the transport's)."""
+        wire = {"code": self.code, "message": self.message}
+        if self.detail:
+            wire["detail"] = dict(self.detail)
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Mapping) -> "ApiError":
+        """Rebuild from an error object; tolerant of unknown fields.
+
+        A malformed error object degrades to an ``internal`` error
+        rather than raising — the caller is already handling a failure.
+        """
+        if not isinstance(wire, Mapping):
+            return cls(INTERNAL, f"malformed error object: {wire!r}")
+        code = wire.get("code")
+        message = wire.get("message")
+        detail = wire.get("detail")
+        return cls(
+            code if isinstance(code, str) else INTERNAL,
+            message if isinstance(message, str) else "unspecified error",
+            detail=detail if isinstance(detail, Mapping) else None,
+        )
+
+
+def error_from_exception(exc: BaseException) -> ApiError:
+    """Map any exception onto the wire error model.
+
+    :class:`ApiError` passes through; the service taxonomy keeps its
+    code; anything else is ``internal`` (the message names the exception
+    type so operators can find the server-side stack).
+    """
+    if isinstance(exc, ApiError):
+        return exc
+    if isinstance(exc, ServiceError):
+        return ApiError(exc.code, str(exc))
+    return ApiError(INTERNAL, f"{type(exc).__name__}: {exc}")

@@ -1,0 +1,781 @@
+"""``repro.api`` v1: the typed, versioned request/response protocol.
+
+Every message crossing the API boundary is a frozen dataclass with an
+explicit JSON wire form: ``to_wire()`` emits a plain dict of JSON-safe
+values, ``from_wire()`` parses one back, validating types and raising
+:class:`~repro.api.errors.ApiError` (code ``invalid_request``) on
+malformed input.  The protocol rules:
+
+- **Versioning.**  Every top-level message carries ``"v"``, checked
+  against :data:`PROTOCOL_VERSION` on parse.  A missing version is an
+  invalid request; a *different* version is rejected with code
+  ``version_mismatch`` — peers never guess across versions.  Nested
+  objects (documents, hits) are versioned by their enclosing message.
+- **Forward compatibility.**  Parsers ignore unknown fields, so a newer
+  peer may add fields within a version without breaking older ones
+  (the transport uses this to inject per-request timing).  Removing or
+  re-typing a field requires a version bump.
+- **Exactness.**  Counts are integers and scores are IEEE doubles;
+  Python's JSON round-trips both exactly, so results fetched over the
+  wire are bit-identical to in-process scoring.  The one non-finite
+  value the protocol carries (``idf_drift`` is ``inf`` for a first
+  fit) maps to JSON ``null`` — the wire stays strict JSON.
+
+Documents travel in sparse form (:class:`WireDocument`: sorted
+dimension indices + positive counts), a few hundred entries instead of
+the ~3800-dimension dense vector, and are bound to a vocabulary only at
+the dispatcher — requests optionally carry the client vocabulary's
+fingerprint so a mismatched kernel build fails loudly instead of
+scoring garbage.
+"""
+
+from __future__ import annotations
+
+import math
+# Real classes (not typing aliases): isinstance targets AND sources of
+# .__name__ for error messages.
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.errors import (
+    ApiError,
+    INVALID_REQUEST,
+    VERSION_MISMATCH,
+)
+from repro.core.document import CountDocument
+
+__all__ = [
+    "Diagnosis",
+    "HealthResponse",
+    "IngestRequest",
+    "IngestResponse",
+    "PROTOCOL_VERSION",
+    "QueryBatchRequest",
+    "QueryBatchResponse",
+    "QueryHit",
+    "QueryRequest",
+    "QueryResponse",
+    "REQUEST_TYPES",
+    "RESPONSE_TYPES",
+    "ReweightRequest",
+    "ReweightResponse",
+    "SnapshotRequest",
+    "SnapshotResponse",
+    "StatsRequest",
+    "StatsResponse",
+    "WIRE_MESSAGES",
+    "WireDocument",
+    "check_version",
+    "error_envelope",
+    "extract_error",
+]
+
+#: The one protocol version this module speaks.  Bump only for breaking
+#: changes (removed/re-typed fields); additive fields ride on the
+#: unknown-field tolerance instead.
+PROTOCOL_VERSION = 1
+
+
+# -- parse helpers ---------------------------------------------------------------
+
+_MISSING = object()
+
+#: Counts are stored in int64 arrays; JSON integers are unbounded.
+_INT64_MAX = (1 << 63) - 1
+
+
+def _invalid(message: str, **detail) -> ApiError:
+    return ApiError(INVALID_REQUEST, message, detail=detail or None)
+
+
+def _get(wire: Mapping, key: str, kind: type | tuple, default=_MISSING):
+    """A typed field lookup that fails as ``invalid_request``.
+
+    ``bool`` is rejected where an int is expected (JSON ``true`` is not
+    a count), and ints are accepted where a float is expected (JSON
+    writers drop trailing ``.0``).
+    """
+    value = wire.get(key, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise _invalid(f"missing required field {key!r}", field=key)
+        return default
+    if kind is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise _invalid(
+                f"field {key!r} must be a number, got {type(value).__name__}",
+                field=key,
+            )
+        return float(value)
+    if kind is int and isinstance(value, bool):
+        raise _invalid(f"field {key!r} must be an integer, got bool", field=key)
+    if not isinstance(value, kind):
+        if isinstance(kind, tuple):
+            want = "/".join(getattr(k, "__name__", str(k)) for k in kind)
+        else:
+            want = getattr(kind, "__name__", str(kind))
+        raise _invalid(
+            f"field {key!r} must be {want}, got {type(value).__name__}",
+            field=key,
+        )
+    return value
+
+
+def _str_or_none(wire: Mapping, key: str) -> str | None:
+    value = wire.get(key)
+    if value is not None and not isinstance(value, str):
+        raise _invalid(f"field {key!r} must be a string or null", field=key)
+    return value
+
+
+def check_version(wire) -> None:
+    """Enforce the versioning rule on a top-level message."""
+    if not isinstance(wire, Mapping):
+        raise _invalid(
+            f"message must be a JSON object, got {type(wire).__name__}"
+        )
+    version = wire.get("v", _MISSING)
+    if version is _MISSING:
+        raise _invalid("missing protocol version field 'v'")
+    # bool-strict like every other integer field: "v": true must not
+    # slip through as v1 via Python's True == 1.
+    if isinstance(version, bool) or version != PROTOCOL_VERSION:
+        raise ApiError(
+            VERSION_MISMATCH,
+            f"protocol version {version!r} is not supported "
+            f"(this peer speaks v{PROTOCOL_VERSION})",
+            detail={"got": version, "want": PROTOCOL_VERSION},
+        )
+
+
+def error_envelope(error: ApiError) -> dict:
+    """The versioned wire envelope carrying an error."""
+    return {"v": PROTOCOL_VERSION, "error": error.to_wire()}
+
+
+def extract_error(wire) -> ApiError | None:
+    """The :class:`ApiError` inside an envelope, if it carries one."""
+    if isinstance(wire, Mapping) and "error" in wire:
+        return ApiError.from_wire(wire["error"])
+    return None
+
+
+class _Message:
+    """Shared envelope behaviour: version stamping and checking."""
+
+    def to_wire(self) -> dict:
+        wire = {"v": PROTOCOL_VERSION}
+        wire.update(self._payload())
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire):
+        check_version(wire)
+        error = extract_error(wire)
+        if error is not None:
+            raise error
+        return cls._parse(wire)
+
+    def _payload(self) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @classmethod
+    def _parse(cls, wire: Mapping):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+# -- nested objects --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WireDocument:
+    """One count document in sparse wire form.
+
+    ``dims`` are strictly increasing dimension indices; ``counts`` are
+    the positive call counts on those dimensions.  The pair is the
+    sparse image of :class:`~repro.core.document.CountDocument.counts`;
+    the vocabulary itself never travels — only its fingerprint, on the
+    enclosing request.
+    """
+
+    dims: tuple[int, ...]
+    counts: tuple[int, ...]
+    label: str | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if len(self.dims) != len(self.counts):
+            raise _invalid(
+                f"document has {len(self.dims)} dims but "
+                f"{len(self.counts)} counts"
+            )
+        if any(d2 <= d1 for d1, d2 in zip(self.dims, self.dims[1:])):
+            raise _invalid("document dims must be strictly increasing")
+        if self.dims and self.dims[0] < 0:
+            raise _invalid("document dims must be non-negative")
+        if any(c <= 0 for c in self.counts):
+            raise _invalid("document counts must be positive")
+        if any(c > _INT64_MAX for c in self.counts):
+            # Validated here, not left to numpy: an OverflowError deep
+            # in to_document would misreport a bad payload as a 500.
+            raise _invalid(
+                f"document counts must fit in int64 (max {_INT64_MAX})"
+            )
+
+    @classmethod
+    def from_document(cls, document: CountDocument) -> "WireDocument":
+        support = np.flatnonzero(document.counts)
+        return cls(
+            dims=tuple(int(d) for d in support),
+            counts=tuple(int(c) for c in document.counts[support]),
+            label=document.label,
+            metadata=dict(document.metadata),
+        )
+
+    def to_document(self, vocabulary) -> CountDocument:
+        from repro.api.errors import VOCABULARY_MISMATCH
+
+        counts = np.zeros(len(vocabulary), dtype=np.int64)
+        if self.dims:
+            if self.dims[-1] >= len(vocabulary):
+                raise ApiError(
+                    VOCABULARY_MISMATCH,
+                    f"document dimension {self.dims[-1]} is out of range "
+                    f"for this vocabulary ({len(vocabulary)} terms)",
+                    detail={
+                        "dimension": self.dims[-1],
+                        "vocabulary_size": len(vocabulary),
+                    },
+                )
+            counts[list(self.dims)] = self.counts
+        return CountDocument(
+            vocabulary, counts, label=self.label, metadata=dict(self.metadata)
+        )
+
+    def to_wire(self) -> dict:
+        wire = {"dims": list(self.dims), "counts": list(self.counts)}
+        if self.label is not None:
+            wire["label"] = self.label
+        if self.metadata:
+            wire["metadata"] = dict(self.metadata)
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire) -> "WireDocument":
+        if not isinstance(wire, Mapping):
+            raise _invalid("document must be a JSON object")
+        dims = _int_tuple(wire, "dims")
+        counts = _int_tuple(wire, "counts")
+        metadata = _get(wire, "metadata", Mapping, default={})
+        return cls(
+            dims=dims,
+            counts=counts,
+            label=_str_or_none(wire, "label"),
+            metadata=dict(metadata),
+        )
+
+
+def _int_tuple(wire: Mapping, key: str) -> tuple[int, ...]:
+    values = _get(wire, key, Sequence)
+    if isinstance(values, str):
+        raise _invalid(f"field {key!r} must be a list of integers", field=key)
+    out = []
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise _invalid(
+                f"field {key!r} must contain integers only", field=key
+            )
+        out.append(value)
+    return tuple(out)
+
+
+def _document_tuple(wire: Mapping, key: str) -> tuple[WireDocument, ...]:
+    values = _get(wire, key, Sequence)
+    if isinstance(values, str):
+        raise _invalid(f"field {key!r} must be a list of documents", field=key)
+    return tuple(WireDocument.from_wire(value) for value in values)
+
+
+@dataclass(frozen=True)
+class QueryHit:
+    """One ranked neighbour: stored signature id, its label, the score.
+
+    ``score`` follows the index convention — cosine similarity, or
+    negated Euclidean distance, so higher is always better — and is the
+    exact IEEE double the scoring engine produced.
+    """
+
+    signature_id: int
+    label: str
+    score: float
+
+    def to_wire(self) -> dict:
+        return {
+            "signature_id": self.signature_id,
+            "label": self.label,
+            "score": self.score,
+        }
+
+    @classmethod
+    def from_wire(cls, wire) -> "QueryHit":
+        if not isinstance(wire, Mapping):
+            raise _invalid("hit must be a JSON object")
+        return cls(
+            signature_id=_get(wire, "signature_id", int),
+            label=_get(wire, "label", str),
+            score=_get(wire, "score", float),
+        )
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """The diagnosis of one document: ranked hits + k-NN label votes."""
+
+    hits: tuple[QueryHit, ...]
+    votes: dict[str, float] = field(default_factory=dict)
+    top_label: str | None = None
+
+    def to_wire(self) -> dict:
+        wire = {
+            "hits": [hit.to_wire() for hit in self.hits],
+            "votes": dict(self.votes),
+        }
+        if self.top_label is not None:
+            wire["top_label"] = self.top_label
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire) -> "Diagnosis":
+        if not isinstance(wire, Mapping):
+            raise _invalid("diagnosis must be a JSON object")
+        hits = _get(wire, "hits", Sequence)
+        if isinstance(hits, str):
+            raise _invalid("field 'hits' must be a list")
+        votes = _get(wire, "votes", Mapping, default={})
+        parsed_votes: dict[str, float] = {}
+        for label, fraction in votes.items():
+            if not isinstance(label, str):
+                raise _invalid("vote labels must be strings")
+            if isinstance(fraction, bool) or not isinstance(
+                fraction, (int, float)
+            ):
+                raise _invalid("vote fractions must be numbers")
+            parsed_votes[label] = float(fraction)
+        return cls(
+            hits=tuple(QueryHit.from_wire(hit) for hit in hits),
+            votes=parsed_votes,
+            top_label=_str_or_none(wire, "top_label"),
+        )
+
+
+# -- requests --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IngestRequest(_Message):
+    """Fold labeled documents, collected at the edge, into the service."""
+
+    documents: tuple[WireDocument, ...]
+    vocabulary_fingerprint: str | None = None
+
+    def _payload(self) -> dict:
+        wire = {"documents": [doc.to_wire() for doc in self.documents]}
+        if self.vocabulary_fingerprint is not None:
+            wire["vocabulary_fingerprint"] = self.vocabulary_fingerprint
+        return wire
+
+    @classmethod
+    def _parse(cls, wire: Mapping) -> "IngestRequest":
+        return cls(
+            documents=_document_tuple(wire, "documents"),
+            vocabulary_fingerprint=_str_or_none(
+                wire, "vocabulary_fingerprint"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class QueryRequest(_Message):
+    """Diagnose one document against the live index."""
+
+    document: WireDocument
+    k: int = 5
+    vocabulary_fingerprint: str | None = None
+
+    def __post_init__(self):
+        _check_k(self.k)
+
+    def _payload(self) -> dict:
+        wire = {"document": self.document.to_wire(), "k": self.k}
+        if self.vocabulary_fingerprint is not None:
+            wire["vocabulary_fingerprint"] = self.vocabulary_fingerprint
+        return wire
+
+    @classmethod
+    def _parse(cls, wire: Mapping) -> "QueryRequest":
+        return cls(
+            document=WireDocument.from_wire(_get(wire, "document", Mapping)),
+            k=_get(wire, "k", int, default=5),
+            vocabulary_fingerprint=_str_or_none(
+                wire, "vocabulary_fingerprint"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class QueryBatchRequest(_Message):
+    """Diagnose a batch of documents as one vectorized index query."""
+
+    documents: tuple[WireDocument, ...]
+    k: int = 5
+    vocabulary_fingerprint: str | None = None
+
+    def __post_init__(self):
+        _check_k(self.k)
+
+    def _payload(self) -> dict:
+        wire = {
+            "documents": [doc.to_wire() for doc in self.documents],
+            "k": self.k,
+        }
+        if self.vocabulary_fingerprint is not None:
+            wire["vocabulary_fingerprint"] = self.vocabulary_fingerprint
+        return wire
+
+    @classmethod
+    def _parse(cls, wire: Mapping) -> "QueryBatchRequest":
+        return cls(
+            documents=_document_tuple(wire, "documents"),
+            k=_get(wire, "k", int, default=5),
+            vocabulary_fingerprint=_str_or_none(
+                wire, "vocabulary_fingerprint"
+            ),
+        )
+
+
+def _check_k(k: int) -> None:
+    if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+        raise _invalid(f"k must be a positive integer, got {k!r}", field="k")
+
+
+@dataclass(frozen=True)
+class StatsRequest(_Message):
+    """Ask for the full service status summary."""
+
+    def _payload(self) -> dict:
+        return {}
+
+    @classmethod
+    def _parse(cls, wire: Mapping) -> "StatsRequest":
+        return cls()
+
+
+@dataclass(frozen=True)
+class SnapshotRequest(_Message):
+    """Write a sharded snapshot of the service's own state directory.
+
+    The directory is the *server's* configuration — a remote client
+    never names server filesystem paths.  ``shard_size`` is optional
+    and sticky, exactly as in
+    :meth:`~repro.service.monitor.MonitorService.snapshot`.
+    """
+
+    shard_size: int | None = None
+
+    def __post_init__(self):
+        if self.shard_size is not None and (
+            isinstance(self.shard_size, bool)
+            or not isinstance(self.shard_size, int)
+            or self.shard_size < 1
+        ):
+            raise _invalid(
+                f"shard_size must be a positive integer or null, "
+                f"got {self.shard_size!r}",
+                field="shard_size",
+            )
+
+    def _payload(self) -> dict:
+        wire = {}
+        if self.shard_size is not None:
+            wire["shard_size"] = self.shard_size
+        return wire
+
+    @classmethod
+    def _parse(cls, wire: Mapping) -> "SnapshotRequest":
+        shard_size = wire.get("shard_size")
+        if shard_size is not None and (
+            isinstance(shard_size, bool) or not isinstance(shard_size, int)
+        ):
+            raise _invalid(
+                "field 'shard_size' must be an integer or null",
+                field="shard_size",
+            )
+        return cls(shard_size=shard_size)
+
+
+@dataclass(frozen=True)
+class ReweightRequest(_Message):
+    """Re-transform the session's documents under the current idf."""
+
+    def _payload(self) -> dict:
+        return {}
+
+    @classmethod
+    def _parse(cls, wire: Mapping) -> "ReweightRequest":
+        return cls()
+
+
+# -- responses -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IngestResponse(_Message):
+    """Accounting for one ingest call; mirrors ``IngestReport``.
+
+    ``idf_drift`` is ``inf`` for the batch that first fits the model;
+    it travels as JSON ``null`` (the wire carries no non-finite
+    numbers) and parses back to ``inf``.
+    """
+
+    documents: int
+    by_label: dict[str, int]
+    corpus_size: int
+    indexed: int
+    idf_drift: float
+    elapsed_s: float
+
+    @property
+    def documents_per_second(self) -> float:
+        return self.documents / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def _payload(self) -> dict:
+        return {
+            "documents": self.documents,
+            "by_label": dict(self.by_label),
+            "corpus_size": self.corpus_size,
+            "indexed": self.indexed,
+            "idf_drift": (
+                self.idf_drift if math.isfinite(self.idf_drift) else None
+            ),
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def _parse(cls, wire: Mapping) -> "IngestResponse":
+        by_label = _get(wire, "by_label", Mapping, default={})
+        for label, count in by_label.items():
+            if not isinstance(label, str) or isinstance(count, bool) or not (
+                isinstance(count, int)
+            ):
+                raise _invalid("by_label must map strings to integers")
+        # null means inf (first fit); an *absent* field is a protocol
+        # violation like any other missing required field.
+        drift = wire.get("idf_drift", _MISSING)
+        if drift is _MISSING:
+            raise _invalid(
+                "missing required field 'idf_drift'", field="idf_drift"
+            )
+        return cls(
+            documents=_get(wire, "documents", int),
+            by_label=dict(by_label),
+            corpus_size=_get(wire, "corpus_size", int),
+            indexed=_get(wire, "indexed", int),
+            idf_drift=(
+                float("inf") if drift is None else _get(wire, "idf_drift", float)
+            ),
+            elapsed_s=_get(wire, "elapsed_s", float),
+        )
+
+
+@dataclass(frozen=True)
+class QueryResponse(_Message):
+    """The diagnosis of a single-document query."""
+
+    diagnosis: Diagnosis
+
+    def _payload(self) -> dict:
+        return {"diagnosis": self.diagnosis.to_wire()}
+
+    @classmethod
+    def _parse(cls, wire: Mapping) -> "QueryResponse":
+        return cls(
+            diagnosis=Diagnosis.from_wire(_get(wire, "diagnosis", Mapping))
+        )
+
+
+@dataclass(frozen=True)
+class QueryBatchResponse(_Message):
+    """Per-document diagnoses, in request order."""
+
+    diagnoses: tuple[Diagnosis, ...]
+
+    def _payload(self) -> dict:
+        return {"diagnoses": [d.to_wire() for d in self.diagnoses]}
+
+    @classmethod
+    def _parse(cls, wire: Mapping) -> "QueryBatchResponse":
+        values = _get(wire, "diagnoses", Sequence)
+        if isinstance(values, str):
+            raise _invalid("field 'diagnoses' must be a list")
+        return cls(
+            diagnoses=tuple(Diagnosis.from_wire(value) for value in values)
+        )
+
+
+@dataclass(frozen=True)
+class StatsResponse(_Message):
+    """The service status summary, with stable machine-readable keys.
+
+    Field names match :meth:`MonitorService.stats` one-for-one; the CLI
+    ``--json`` mode prints exactly this wire form.
+    """
+
+    corpus_size: int
+    indexed_signatures: int
+    labels: tuple[str, ...]
+    session_documents: int
+    baseline_signatures: int
+    index_tombstones: int
+    index_compiled_postings: int
+    index_tail_postings: int
+    snapshot_shard_size: int | None
+    snapshot_generation: int
+    snapshot_watermark_shards: int
+    reweights: int
+    max_workers: int
+    metric: str
+
+    _INT_FIELDS = (
+        "corpus_size",
+        "indexed_signatures",
+        "session_documents",
+        "baseline_signatures",
+        "index_tombstones",
+        "index_compiled_postings",
+        "index_tail_postings",
+        "snapshot_generation",
+        "snapshot_watermark_shards",
+        "reweights",
+        "max_workers",
+    )
+
+    def _payload(self) -> dict:
+        wire = {name: getattr(self, name) for name in self._INT_FIELDS}
+        wire["labels"] = list(self.labels)
+        wire["snapshot_shard_size"] = self.snapshot_shard_size
+        wire["metric"] = self.metric
+        return wire
+
+    @classmethod
+    def _parse(cls, wire: Mapping) -> "StatsResponse":
+        labels = _get(wire, "labels", Sequence, default=())
+        if isinstance(labels, str) or not all(
+            isinstance(label, str) for label in labels
+        ):
+            raise _invalid("field 'labels' must be a list of strings")
+        shard_size = wire.get("snapshot_shard_size")
+        if shard_size is not None and (
+            isinstance(shard_size, bool) or not isinstance(shard_size, int)
+        ):
+            raise _invalid(
+                "field 'snapshot_shard_size' must be an integer or null"
+            )
+        return cls(
+            labels=tuple(labels),
+            snapshot_shard_size=shard_size,
+            metric=_get(wire, "metric", str),
+            **{name: _get(wire, name, int) for name in cls._INT_FIELDS},
+        )
+
+
+@dataclass(frozen=True)
+class SnapshotResponse(_Message):
+    """What a snapshot call (re)wrote, relative to the state directory."""
+
+    directory: str
+    written: tuple[str, ...]
+
+    def _payload(self) -> dict:
+        return {"directory": self.directory, "written": list(self.written)}
+
+    @classmethod
+    def _parse(cls, wire: Mapping) -> "SnapshotResponse":
+        written = _get(wire, "written", Sequence, default=())
+        if isinstance(written, str) or not all(
+            isinstance(name, str) for name in written
+        ):
+            raise _invalid("field 'written' must be a list of strings")
+        return cls(
+            directory=_get(wire, "directory", str), written=tuple(written)
+        )
+
+
+@dataclass(frozen=True)
+class ReweightResponse(_Message):
+    """How many session signatures a reweight re-transformed."""
+
+    reweighted: int
+
+    def _payload(self) -> dict:
+        return {"reweighted": self.reweighted}
+
+    @classmethod
+    def _parse(cls, wire: Mapping) -> "ReweightResponse":
+        return cls(reweighted=_get(wire, "reweighted", int))
+
+
+@dataclass(frozen=True)
+class HealthResponse(_Message):
+    """Gateway liveness: mirrors :meth:`MonitorService.health`."""
+
+    status: str
+    fitted: bool
+    indexed_signatures: int
+    corpus_size: int
+
+    def _payload(self) -> dict:
+        return {
+            "status": self.status,
+            "fitted": self.fitted,
+            "indexed_signatures": self.indexed_signatures,
+            "corpus_size": self.corpus_size,
+        }
+
+    @classmethod
+    def _parse(cls, wire: Mapping) -> "HealthResponse":
+        return cls(
+            status=_get(wire, "status", str),
+            fitted=_get(wire, "fitted", bool),
+            indexed_signatures=_get(wire, "indexed_signatures", int),
+            corpus_size=_get(wire, "corpus_size", int),
+        )
+
+
+#: Operation name -> request type; the gateway routes ``/v1/<op>`` here.
+REQUEST_TYPES: dict[str, type] = {
+    "ingest": IngestRequest,
+    "query": QueryRequest,
+    "query_batch": QueryBatchRequest,
+    "stats": StatsRequest,
+    "snapshot": SnapshotRequest,
+    "reweight": ReweightRequest,
+}
+
+#: Operation name -> response type (healthz is GET-only, requestless).
+RESPONSE_TYPES: dict[str, type] = {
+    "ingest": IngestResponse,
+    "query": QueryResponse,
+    "query_batch": QueryBatchResponse,
+    "stats": StatsResponse,
+    "snapshot": SnapshotResponse,
+    "reweight": ReweightResponse,
+    "healthz": HealthResponse,
+}
+
+#: Every versioned message type (for exhaustive protocol tests).
+WIRE_MESSAGES: tuple[type, ...] = (
+    *REQUEST_TYPES.values(),
+    *RESPONSE_TYPES.values(),
+)

@@ -1,0 +1,308 @@
+"""``FmeterServer``: the stdlib HTTP gateway over the dispatcher.
+
+One `ThreadingHTTPServer` exposes the protocol's operations as
+``POST /v1/<op>`` (body and response are the versioned JSON envelopes
+from :mod:`repro.api.protocol`) plus ``GET /v1/healthz``.  The handler
+is deliberately thin: enforce the request-size limit, parse JSON, call
+:meth:`Dispatcher.dispatch`, stamp per-request timing, and serialize
+either the response or the structured error envelope with the HTTP
+status derived from the error code.
+
+Concurrency model: each request runs on its own thread (daemonized),
+and every query request scores against a lock-free read snapshot, so
+concurrent readers scale with cores and never block ingest.  The
+per-request timing rides on the protocol's unknown-field tolerance —
+an ``elapsed_ms`` field injected into the response envelope (and
+mirrored in the ``X-Fmeter-Elapsed-Ms`` header) that older clients
+simply ignore.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.api.dispatcher import Dispatcher
+from repro.api.errors import (
+    ApiError,
+    INVALID_REQUEST,
+    PAYLOAD_TOO_LARGE,
+    UNKNOWN_OPERATION,
+    error_from_exception,
+)
+from repro.api.protocol import error_envelope
+
+__all__ = ["DEFAULT_MAX_REQUEST_BYTES", "FmeterServer"]
+
+#: Generous for sparse documents (a 256-document ingest batch is well
+#: under 2 MiB) while bounding what one request can make a thread buffer.
+DEFAULT_MAX_REQUEST_BYTES = 32 << 20
+
+#: Over-limit bodies up to this size are drained (discarded in chunks)
+#: before the 413 goes out, so well-meaning clients read the structured
+#: error; anything larger gets the connection closed instead.
+_MAX_DRAIN_BYTES = 256 << 20
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    server_version = "FmeterServer/1"
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout per connection: a client that claims a
+    #: Content-Length and then stalls mid-body (or idles a keep-alive
+    #: socket) releases its handler thread instead of pinning it
+    #: forever.
+    timeout = 60.0
+
+    # -- request entry points ----------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        started = time.perf_counter()
+        try:
+            if self._route() != "healthz":
+                raise ApiError(
+                    UNKNOWN_OPERATION,
+                    f"no GET resource at {self.path!r} "
+                    "(operations are POST /v1/<op>; health is "
+                    "GET /v1/healthz)",
+                )
+            wire = self.server.dispatcher.healthz().to_wire()
+        except Exception as exc:
+            self._send_error(error_from_exception(exc), started)
+            return
+        self._send(200, wire, started)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        started = time.perf_counter()
+        # Until the request body has been fully consumed, this
+        # keep-alive connection cannot serve another request: leftover
+        # body bytes would be parsed as the next request line.  Any
+        # error raised before that point closes the connection.
+        self._body_consumed = False
+        try:
+            op = self._route()
+            payload = self._read_json()
+            wire = self.server.dispatcher.dispatch(op, payload)
+        except Exception as exc:
+            if not self._body_consumed:
+                self.close_connection = True
+            self._send_error(error_from_exception(exc), started)
+            return
+        self._send(200, wire, started)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _route(self) -> str:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        prefix = "/v1/"
+        if not path.startswith(prefix) or not path[len(prefix):]:
+            raise ApiError(
+                UNKNOWN_OPERATION,
+                f"no resource at {self.path!r} (expected /v1/<operation>)",
+            )
+        return path[len(prefix):]
+
+    def _read_json(self):
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise ApiError(
+                INVALID_REQUEST, "missing Content-Length header"
+            )
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise ApiError(
+                INVALID_REQUEST,
+                f"malformed Content-Length {length_header!r}",
+            ) from None
+        limit = self.server.max_request_bytes
+        if length > limit:
+            # Drain (and discard, chunked — never buffered) so the
+            # client finishes its send and can read the 413 instead of
+            # hitting a connection reset mid-write.  Pathologically
+            # huge claimed lengths are not drained; that connection is
+            # closed instead of streamed forever.
+            self.close_connection = True
+            if length <= _MAX_DRAIN_BYTES:
+                remaining = length
+                while remaining > 0:
+                    chunk = self.rfile.read(min(remaining, 1 << 16))
+                    if not chunk:
+                        break
+                    remaining -= len(chunk)
+            raise ApiError(
+                PAYLOAD_TOO_LARGE,
+                f"request body of {length} bytes exceeds the gateway "
+                f"limit of {limit} bytes (split the batch)",
+                detail={"bytes": length, "limit": limit},
+            )
+        body = self.rfile.read(length) if length > 0 else b""
+        self._body_consumed = True
+        try:
+            return json.loads(body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ApiError(
+                INVALID_REQUEST, f"request body is not valid JSON: {exc}"
+            ) from exc
+
+    def _send(self, status: int, wire: dict, started: float) -> None:
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        wire["elapsed_ms"] = round(elapsed_ms, 3)
+        data = json.dumps(wire).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Fmeter-Elapsed-Ms", f"{elapsed_ms:.3f}")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error(self, error: ApiError, started: float) -> None:
+        self._send(error.http_status, error_envelope(error), started)
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+
+class _GatewayServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address,
+        dispatcher: Dispatcher,
+        max_request_bytes: int,
+        verbose: bool,
+    ):
+        self.dispatcher = dispatcher
+        self.max_request_bytes = max_request_bytes
+        self.verbose = verbose
+        # Bound now (errors surface at construction, the OS-assigned
+        # port is known) but NOT listening: until serve_forever runs,
+        # clients get connection-refused — retryable and diagnosable —
+        # instead of handshaking into a backlog nobody is draining.
+        super().__init__(address, _GatewayHandler, bind_and_activate=False)
+        self.server_bind()
+
+    def handle_error(self, request, client_address) -> None:
+        # Clients resetting, stalling past the socket timeout, or
+        # dropping mid-request are routine on a network gateway — not
+        # stderr-traceback material.
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, TimeoutError)):
+            return
+        super().handle_error(request, client_address)
+
+
+class FmeterServer:
+    """The network gateway: a ``MonitorService`` reachable over HTTP.
+
+    ``port=0`` binds an OS-assigned free port (read it back from
+    :attr:`port`).  The server can run inline (:meth:`serve_forever`)
+    or on a background thread (:meth:`start` / the context manager)::
+
+        with FmeterServer(service, state_dir="state/") as server:
+            client = FmeterClient(server.host, server.port)
+            ...
+
+    Accepts either a raw :class:`MonitorService` (a dispatcher is built
+    around it) or a pre-built :class:`Dispatcher`.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        state_dir=None,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        verbose: bool = False,
+    ):
+        if isinstance(service, Dispatcher):
+            self.dispatcher = service
+            if state_dir is not None:
+                self.dispatcher.state_dir = Path(state_dir)
+        else:
+            self.dispatcher = Dispatcher(service, state_dir=state_dir)
+        self._httpd = _GatewayServer(
+            (host, port), self.dispatcher, max_request_bytes, verbose
+        )
+        self._thread: threading.Thread | None = None
+        self._activated = False
+        self._activate_lock = threading.Lock()
+        #: Set once serve_forever's loop has been entered; never
+        #: cleared.  shutdown() is only safe after this point (calling
+        #: it on a loop that never ran would block forever; calling it
+        #: after the loop exited returns immediately).
+        self._started = threading.Event()
+
+    # -- addressing --------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _ensure_listening(self) -> None:
+        with self._activate_lock:
+            if not self._activated:
+                self._httpd.server_activate()  # start listening only now
+                self._activated = True
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (or ^C)."""
+        self._ensure_listening()
+        self._started.set()
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "FmeterServer":
+        """Serve on a daemon thread; returns ``self`` for chaining.
+
+        The socket is listening by the time this returns — a client
+        may connect immediately (requests queue until the accept loop
+        spins up an instant later)."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._ensure_listening()
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="fmeter-gateway", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent).
+
+        Safe to call at any point after :meth:`start`, including before
+        the background thread has entered its accept loop (close waits
+        for loop entry rather than racing it).  Must be called from a
+        different thread than an inline :meth:`serve_forever`.
+        """
+        if self._thread is not None:
+            self._started.wait(timeout=5.0)
+            if self._started.is_set():
+                self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        elif self._started.is_set():
+            self._httpd.shutdown()
+        self._httpd.server_close()
+
+    def __enter__(self) -> "FmeterServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -13,17 +13,30 @@ Commands
     a saved database (nearest syndrome + k-NN vote).
 ``serve``
     Run the monitoring service for a number of ingestion rounds:
-    concurrent collection, incremental tf-idf, sharded snapshots.
+    concurrent collection, incremental tf-idf, sharded snapshots.  With
+    ``--listen HOST:PORT`` it then starts the HTTP gateway
+    (:class:`repro.api.FmeterServer`) and serves the ``/v1/*`` API until
+    interrupted.
 ``ingest``
-    Resume a service snapshot and fold more signatures into it.
+    Fold more signatures into a service: resume a snapshot directory, or
+    with ``--connect HOST:PORT`` collect locally and push to a remote
+    gateway over HTTP.
 ``query``
-    Resume a service snapshot and run top-k diagnosis queries against it
-    (all intervals are diagnosed as one batched index query).
+    Run top-k diagnosis queries (all intervals diagnosed as one batched
+    index query) against a resumed snapshot, or against a remote gateway
+    with ``--connect``.  ``--json`` prints the wire-form response.
 ``stats``
-    Inspect a service snapshot: index engine layout (compiled CSR
-    postings, tail, tombstones) and snapshot watermark health.
+    Inspect a service: index engine layout (compiled CSR postings, tail,
+    tombstones) and snapshot watermark health, from a snapshot directory
+    or a remote gateway (``--connect``).  ``--json`` for machine use.
 ``experiment``
     Regenerate a paper table or figure and print it.
+
+The service commands speak the same typed API surface either way: the
+in-process path drives :class:`repro.api.Dispatcher` directly, the
+``--connect`` path drives it through :class:`repro.api.FmeterClient` —
+one protocol, two transports.  Service/API failures exit with code 2
+and a one-line structured error instead of a traceback.
 """
 
 from __future__ import annotations
@@ -114,11 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = _subparser(
         sub, "serve", "run the monitoring service: concurrent ingestion "
-                      "rounds with incremental tf-idf and sharded snapshots",
+                      "rounds with incremental tf-idf and sharded snapshots; "
+                      "--listen starts the HTTP gateway afterwards",
         [
             "python -m repro serve --state-dir state/",
             "python -m repro serve --state-dir state/ --workloads scp,idle "
             "--rounds 3 --intervals 10 --workers 8",
+            "python -m repro serve --state-dir state/ --rounds 0 "
+            "--listen 127.0.0.1:8080",
         ],
     )
     serve.add_argument(
@@ -129,8 +145,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workloads", default="scp,kcompile,dbench",
         help="comma-separated workload names ingested each round",
     )
-    serve.add_argument("--rounds", type=_positive_int, default=2,
-                       help="ingestion rounds (one snapshot per round)")
+    serve.add_argument("--rounds", type=_nonnegative_int, default=2,
+                       help="ingestion rounds (one snapshot per round); "
+                            "0 is allowed with --listen (serve-only)")
+    serve.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="after the rounds, serve the /v1/* HTTP API here until "
+             "interrupted (PORT 0 binds a free port and prints it)",
+    )
     serve.add_argument("--intervals", type=_positive_int, default=10,
                        help="logging intervals per workload per round")
     serve.add_argument("--interval-seconds", type=_positive_float, default=10.0)
@@ -142,51 +164,65 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=2012)
 
     ingest = _subparser(
-        sub, "ingest", "resume a service snapshot and ingest one workload",
+        sub, "ingest", "ingest one workload: into a resumed snapshot, or "
+                       "pushed to a remote gateway with --connect",
         [
             "python -m repro ingest --state-dir state/ --workload scp",
             "python -m repro ingest --state-dir state/ --workload dbench "
             "--intervals 25 --run-seed 7",
+            "python -m repro ingest --connect 127.0.0.1:8080 --workload scp",
         ],
     )
-    ingest.add_argument("--state-dir", required=True,
-                        help="existing sharded snapshot directory")
+    _service_target_arguments(ingest)
     ingest.add_argument("--workload", required=True,
                         choices=sorted(WORKLOAD_FACTORIES))
     ingest.add_argument("--intervals", type=_positive_int, default=10)
     ingest.add_argument("--run-seed", type=int, default=None,
-                        help="machine seed for this run (default: auto)")
+                        help="machine seed for this run (default: auto — "
+                             "derived from the service's corpus size; set "
+                             "it explicitly when several edges push to one "
+                             "gateway concurrently)")
     ingest.add_argument("--seed", type=int, default=2012)
 
     query = _subparser(
-        sub, "query", "resume a service snapshot and run top-k diagnosis "
-                      "(one batched index query for all intervals)",
+        sub, "query", "run top-k diagnosis (one batched index query for "
+                      "all intervals) against a snapshot or a gateway",
         [
             "python -m repro query --state-dir state/ --workload scp",
             "python -m repro query --state-dir state/ --workload kcompile "
             "--intervals 3 --k 10 --metric euclidean",
+            "python -m repro query --connect 127.0.0.1:8080 --workload scp "
+            "--json",
         ],
     )
-    query.add_argument("--state-dir", required=True,
-                       help="existing sharded snapshot directory")
+    _service_target_arguments(query)
     query.add_argument("--workload", required=True,
                        choices=sorted(WORKLOAD_FACTORIES))
     query.add_argument("--intervals", type=_positive_int, default=5)
     query.add_argument("--k", type=_positive_int, default=5, help="neighbours per query")
-    query.add_argument("--metric", default="cosine",
-                       choices=("cosine", "euclidean"))
+    query.add_argument("--metric", default=None,
+                       choices=("cosine", "euclidean"),
+                       help="scoring metric for in-process mode (default: "
+                            "cosine); rejected with --connect — a gateway "
+                            "scores with its own configured metric")
     query.add_argument("--seed", type=int, default=2012)
+    query.add_argument("--json", action="store_true",
+                       help="print the wire-form JSON response "
+                            "(stable keys) instead of prose")
 
     stats = _subparser(
-        sub, "stats", "inspect a service snapshot: index engine layout "
-                      "and snapshot watermark health",
+        sub, "stats", "inspect a service: index engine layout and "
+                      "snapshot watermark health",
         [
             "python -m repro stats --state-dir state/",
+            "python -m repro stats --connect 127.0.0.1:8080 --json",
         ],
     )
-    stats.add_argument("--state-dir", required=True,
-                       help="existing sharded snapshot directory")
+    _service_target_arguments(stats)
     stats.add_argument("--seed", type=int, default=2012)
+    stats.add_argument("--json", action="store_true",
+                       help="print the wire-form JSON response "
+                            "(stable keys) instead of prose")
 
     experiment = _subparser(
         sub, "experiment", "regenerate a paper table or figure",
@@ -295,6 +331,53 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _parse_hostport(text: str) -> tuple[str, int]:
+    from repro.api.client import parse_address
+
+    try:
+        return parse_address(text)
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+
+
+def _service_target_arguments(parser) -> None:
+    """The two ways a service command reaches its service."""
+    parser.add_argument(
+        "--state-dir", default=None,
+        help="existing sharded snapshot directory (in-process mode)",
+    )
+    parser.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="talk to a running gateway over HTTP instead of resuming "
+             "a local snapshot",
+    )
+
+
+def _make_client(args):
+    """A FmeterClient for --connect (validating the mode flags)."""
+    from repro.api import FmeterClient
+
+    if args.state_dir is not None:
+        raise SystemExit("--state-dir and --connect are mutually exclusive")
+    host, port = _parse_hostport(args.connect)
+    return FmeterClient(host, port)
+
+
+def _require_state_dir(args) -> None:
+    if args.state_dir is None:
+        raise SystemExit(
+            "one of --state-dir (in-process) or --connect HOST:PORT "
+            "(remote gateway) is required"
+        )
+
+
 def _positive_float(text: str) -> float:
     value = float(text)
     if value <= 0:
@@ -375,9 +458,30 @@ def _print_report(report) -> None:
 def _cmd_serve(args) -> int:
     from repro.service import IngestJob
 
+    if args.rounds == 0 and args.listen is None:
+        raise SystemExit("--rounds 0 only makes sense with --listen")
+    # Validated up front: a typo'd address must not cost the whole
+    # collection run before failing.
+    listen_address = (
+        _parse_hostport(args.listen) if args.listen is not None else None
+    )
     service, state_dir = _make_service(
         args, interval_s=args.interval_seconds, workers=args.workers
     )
+    server = None
+    if listen_address is not None:
+        # Bound (not yet serving) before the rounds are paid for: an
+        # unresolvable host or occupied port must fail now, cleanly.
+        from repro.api import FmeterServer
+
+        host, port = listen_address
+        try:
+            server = FmeterServer(service, host=host, port=port,
+                                  state_dir=state_dir)
+        except OSError as error:
+            raise SystemExit(
+                f"cannot bind gateway on {args.listen}: {error}"
+            ) from error
     workloads = args.workloads
     for round_no in range(1, args.rounds + 1):
         jobs = [
@@ -393,14 +497,69 @@ def _cmd_serve(args) -> int:
     stats = service.stats()
     print(
         f"service state: {stats['indexed_signatures']} signatures across "
-        f"labels {', '.join(stats['labels'])}"
+        f"labels {', '.join(stats['labels']) or 'none'}"
     )
+    if server is not None:
+        # The bound port is known once the socket exists — print it
+        # (and flush) before blocking, so wrappers can parse it.
+        print(f"gateway listening on http://{server.host}:{server.port}",
+              flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("interrupted; shutting down")
+        finally:
+            server.close()
+            if service.model.fitted:
+                written = service.snapshot(state_dir)
+                print(
+                    f"final snapshot -> {state_dir} "
+                    f"({len(written)} files written)"
+                )
     return 0
 
 
 def _cmd_ingest(args) -> int:
+    if args.connect is not None:
+        # Thin-client mode: collect at this edge, push over HTTP.
+        from repro.api.errors import ApiError, BAD_SNAPSHOT
+        from repro.core.pipeline import SignaturePipeline
+
+        client = _make_client(args)
+        run_seed = args.run_seed
+        if run_seed is None:
+            # Mirror the in-process auto-advance: seed past anything
+            # the service has ingested, so repeated pushes collect from
+            # fresh machines instead of replaying identical runs.
+            run_seed = client.stats().corpus_size + 1
+        pipeline = SignaturePipeline(seed=args.seed)
+        workload = WORKLOAD_FACTORIES[args.workload](args.seed)
+        docs = pipeline.collect_documents(
+            workload, args.intervals, run_seed=run_seed
+        )
+        print(
+            f"pushing {len(docs)} intervals of {args.workload!r} "
+            f"to {client.base_url} (run seed {run_seed})"
+        )
+        _print_report(client.ingest(docs))
+        try:
+            snapshot = client.snapshot()
+        except ApiError as error:
+            if error.code != BAD_SNAPSHOT:
+                raise
+            # The ingest itself succeeded; a gateway without a state
+            # directory simply cannot persist it from here.
+            print("gateway has no state directory; snapshot skipped")
+        else:
+            print(
+                f"snapshot -> {snapshot.directory} "
+                f"({len(snapshot.written)} files written)"
+            )
+        return 0
+
     from repro.service import IngestJob
 
+    _require_state_dir(args)
     service, state_dir = _make_service(args, require_existing=True)
     workload = WORKLOAD_FACTORIES[args.workload](args.seed)
     report = service.ingest(
@@ -412,21 +571,55 @@ def _cmd_ingest(args) -> int:
     return 0
 
 
-def _cmd_query(args) -> int:
-    service, _state_dir = _make_service(args, require_existing=True)
-    service.metric = args.metric
+def _collect_query_documents(args, pipeline):
     workload = WORKLOAD_FACTORIES[args.workload](args.seed + 99)
-    docs = service.pipeline.collect_documents(
-        workload, args.intervals, run_seed=99
-    )
-    print(f"querying {len(docs)} intervals of {args.workload!r} (top-{args.k}):")
-    for i, result in enumerate(service.query_batch(docs, k=args.k)):
-        vote_text = ", ".join(
-            f"{label}={f:.0%}" for label, f in result.votes.items()
+    return pipeline.collect_documents(workload, args.intervals, run_seed=99)
+
+
+def _cmd_query(args) -> int:
+    import json as json_module
+
+    if args.connect is not None:
+        from repro.core.pipeline import SignaturePipeline
+
+        if args.metric is not None:
+            # Silently returning the server's metric while the user
+            # asked for another would be wrong results, not a nicety.
+            raise SystemExit(
+                "--metric applies to in-process scoring only; a gateway "
+                "scores every query with its own configured metric "
+                "(check `stats --connect`)"
+            )
+        client = _make_client(args)
+        pipeline = SignaturePipeline(seed=args.seed)
+        docs = _collect_query_documents(args, pipeline)
+        response = client.query_batch(docs, k=args.k)
+    else:
+        from repro.api import Dispatcher, QueryBatchRequest, WireDocument
+
+        _require_state_dir(args)
+        service, _state_dir = _make_service(args, require_existing=True)
+        service.metric = args.metric or "cosine"
+        docs = _collect_query_documents(args, service.pipeline)
+        response = Dispatcher(service).handle(
+            QueryBatchRequest(
+                documents=tuple(
+                    WireDocument.from_document(doc) for doc in docs
+                ),
+                k=args.k,
+            )
         )
-        nearest = result.results[0] if result.results else None
+    if args.json:
+        print(json_module.dumps(response.to_wire(), indent=2))
+        return 0
+    print(f"querying {len(docs)} intervals of {args.workload!r} (top-{args.k}):")
+    for i, diagnosis in enumerate(response.diagnoses):
+        vote_text = ", ".join(
+            f"{label}={f:.0%}" for label, f in diagnosis.votes.items()
+        )
+        nearest = diagnosis.hits[0] if diagnosis.hits else None
         nearest_text = (
-            f"id={nearest.signature_id} label={nearest.signature.label} "
+            f"id={nearest.signature_id} label={nearest.label} "
             f"score={nearest.score:.4f}"
             if nearest
             else "none"
@@ -439,21 +632,35 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    service, state_dir = _make_service(args, require_existing=True)
-    stats = service.stats()
-    print(f"service snapshot {state_dir}:")
-    print(f"  corpus size:          {stats['corpus_size']}")
-    print(f"  indexed signatures:   {stats['indexed_signatures']}")
-    print(f"  labels:               {', '.join(stats['labels']) or 'none'}")
+    import json as json_module
+
+    if args.connect is not None:
+        client = _make_client(args)
+        response = client.stats()
+        source = client.base_url
+    else:
+        from repro.api import Dispatcher, StatsRequest
+
+        _require_state_dir(args)
+        service, state_dir = _make_service(args, require_existing=True)
+        response = Dispatcher(service).handle(StatsRequest())
+        source = str(state_dir)
+    if args.json:
+        print(json_module.dumps(response.to_wire(), indent=2))
+        return 0
+    print(f"service snapshot {source}:")
+    print(f"  corpus size:          {response.corpus_size}")
+    print(f"  indexed signatures:   {response.indexed_signatures}")
+    print(f"  labels:               {', '.join(response.labels) or 'none'}")
     print("scoring engine:")
-    print(f"  compiled postings:    {stats['index_compiled_postings']}")
-    print(f"  tail postings:        {stats['index_tail_postings']}")
-    print(f"  tombstones:           {stats['index_tombstones']}")
+    print(f"  compiled postings:    {response.index_compiled_postings}")
+    print(f"  tail postings:        {response.index_tail_postings}")
+    print(f"  tombstones:           {response.index_tombstones}")
     print("snapshot layout:")
-    print(f"  shard size:           {stats['snapshot_shard_size']}")
-    print(f"  generation:           {stats['snapshot_generation']}")
+    print(f"  shard size:           {response.snapshot_shard_size}")
+    print(f"  generation:           {response.snapshot_generation}")
     print(
-        f"  verified watermark:   {stats['snapshot_watermark_shards']} "
+        f"  verified watermark:   {response.snapshot_watermark_shards} "
         "full shard(s) skipped on re-snapshot"
     )
     return 0
@@ -555,7 +762,20 @@ def main(argv: list[str] | None = None) -> int:
         handler = handlers[args.command]
     except KeyError:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown command {args.command!r}") from None
-    return handler(args)
+    try:
+        return handler(args)
+    except Exception as error:
+        # Imported only on the failure path, so non-service commands
+        # never pull the API/service layers just to run.
+        from repro.api.errors import ApiError
+        from repro.service.monitor import ServiceError
+
+        if not isinstance(error, (ApiError, ServiceError)):
+            raise
+        # Service/API failures are expected operational outcomes, not
+        # crashes: one structured line on stderr, nonzero exit code.
+        print(f"error [{error.code}]: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -87,11 +87,18 @@ class Vocabulary:
         return [self.name_at(i) for i in range(len(self))]
 
     def fingerprint(self) -> str:
-        """Stable digest of the term set; same build -> same fingerprint."""
-        h = hashlib.blake2b(digest_size=16)
-        for addr in self._addresses:
-            h.update(addr.to_bytes(8, "little"))
-        return h.hexdigest()
+        """Stable digest of the term set; same build -> same fingerprint.
+
+        Cached: the vocabulary is immutable and the API layer checks
+        the fingerprint on every fingerprint-carrying request.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            h = hashlib.blake2b(digest_size=16)
+            for addr in self._addresses:
+                h.update(addr.to_bytes(8, "little"))
+            cached = self._fingerprint = h.hexdigest()
+        return cached
 
     def subset_indices(self, addresses: Iterable[int]) -> list[int]:
         """Dimension indices for a set of terms (for feature selection)."""

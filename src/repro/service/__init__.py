@@ -13,8 +13,42 @@ layer over the batch core:
 - :class:`~repro.service.monitor.IngestJob` /
   :class:`~repro.service.monitor.IngestReport` — the ingestion request
   and its accounting.
+- :class:`~repro.service.monitor.ReadSnapshot` /
+  :class:`~repro.service.monitor.QueryResult` — the lock-free query
+  surface and its per-document diagnosis.
+- :class:`~repro.service.monitor.ServiceError` and its subclasses — the
+  typed failure taxonomy; each carries a stable machine-readable
+  ``code`` that :mod:`repro.api` maps onto the wire unchanged.
 """
 
-from repro.service.monitor import IngestJob, IngestReport, MonitorService, QueryResult
+from repro.service.monitor import (
+    EmptyBatchError,
+    IngestJob,
+    IngestReport,
+    MonitorService,
+    NotFittedError,
+    QueryResult,
+    ReadSnapshot,
+    RetentionRequiredError,
+    ServiceError,
+    SnapshotFormatError,
+    UnlabeledDocumentsError,
+    VocabularyMismatchError,
+    WeightingConflictError,
+)
 
-__all__ = ["IngestJob", "IngestReport", "MonitorService", "QueryResult"]
+__all__ = [
+    "EmptyBatchError",
+    "IngestJob",
+    "IngestReport",
+    "MonitorService",
+    "NotFittedError",
+    "QueryResult",
+    "ReadSnapshot",
+    "RetentionRequiredError",
+    "ServiceError",
+    "SnapshotFormatError",
+    "UnlabeledDocumentsError",
+    "VocabularyMismatchError",
+    "WeightingConflictError",
+]

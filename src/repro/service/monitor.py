@@ -55,12 +55,75 @@ from repro.core.signature import Signature
 from repro.core.tfidf import TfIdfModel
 
 __all__ = [
+    "EmptyBatchError",
     "IngestJob",
     "IngestReport",
     "MonitorService",
+    "NotFittedError",
     "QueryResult",
     "ReadSnapshot",
+    "RetentionRequiredError",
+    "ServiceError",
+    "SnapshotFormatError",
+    "UnlabeledDocumentsError",
+    "VocabularyMismatchError",
+    "WeightingConflictError",
 ]
+
+
+class ServiceError(Exception):
+    """Base class for typed service failures.
+
+    Every subclass carries a stable machine-readable ``code`` so callers
+    (the API dispatcher in particular) can map failures without parsing
+    message text.  Subclasses also inherit the builtin exception type
+    the service historically raised (``ValueError``/``RuntimeError``),
+    so existing ``except`` clauses keep working.
+    """
+
+    code = "internal"
+
+
+class NotFittedError(ServiceError, RuntimeError):
+    """The service has ingested nothing; there is no model to query."""
+
+    code = "not_fitted"
+
+
+class VocabularyMismatchError(ServiceError, ValueError):
+    """Documents or snapshots from a different kernel build."""
+
+    code = "vocabulary_mismatch"
+
+
+class UnlabeledDocumentsError(ServiceError, ValueError):
+    """An ingest batch contained unlabeled documents."""
+
+    code = "unlabeled_documents"
+
+
+class EmptyBatchError(ServiceError, ValueError):
+    """An ingest call carried no jobs or no documents."""
+
+    code = "empty_batch"
+
+
+class RetentionRequiredError(ServiceError, RuntimeError):
+    """An operation needs raw documents the service did not retain."""
+
+    code = "retention_required"
+
+
+class WeightingConflictError(ServiceError, ValueError):
+    """Requested weighting flags conflict with a baseline database."""
+
+    code = "weighting_conflict"
+
+
+class SnapshotFormatError(ServiceError, ValueError):
+    """A snapshot directory cannot back a resumed service."""
+
+    code = "bad_snapshot"
 
 
 @dataclass(frozen=True)
@@ -180,7 +243,7 @@ class MonitorService:
                 ("normalize_tf", normalize_tf, baseline.normalize_tf),
             ):
                 if requested is not None and requested != stored:
-                    raise ValueError(
+                    raise WeightingConflictError(
                         f"{name}={requested} conflicts with the baseline "
                         f"database (stored with {name}={stored}); the "
                         "weighting of existing signatures cannot change"
@@ -204,7 +267,7 @@ class MonitorService:
         self._syndromes_stale = True
         if baseline is not None:
             if baseline.vocabulary != self.vocabulary:
-                raise ValueError(
+                raise VocabularyMismatchError(
                     "snapshot was built from a different kernel build "
                     "(vocabulary fingerprints differ)"
                 )
@@ -248,7 +311,7 @@ class MonitorService:
         """
         database = SignatureDatabase.load_shards(directory)
         if database.df is None or database.corpus_size <= 0:
-            raise ValueError(
+            raise SnapshotFormatError(
                 "snapshot stores no document-frequency statistics; it was "
                 "not written by MonitorService.snapshot and cannot resume "
                 "incremental fitting"
@@ -288,7 +351,7 @@ class MonitorService:
         """
         start = time.perf_counter()
         if not jobs:
-            raise ValueError("no ingest jobs given")
+            raise EmptyBatchError("no ingest jobs given")
         if len(jobs) == 1:
             doc_lists = [self._collect(jobs[0])]
         else:
@@ -306,7 +369,7 @@ class MonitorService:
         start = time.perf_counter()
         unlabeled = sum(1 for doc in documents if doc.label is None)
         if unlabeled:
-            raise ValueError(
+            raise UnlabeledDocumentsError(
                 f"{unlabeled} of {len(documents)} documents are unlabeled; "
                 "the service indexes labeled signatures only (use query() "
                 "to diagnose unlabeled documents)"
@@ -316,7 +379,7 @@ class MonitorService:
             # the fresh model to the wrong vocabulary (or half-apply df)
             # before the database rejects its signatures.
             if doc.vocabulary != self.vocabulary:
-                raise ValueError(
+                raise VocabularyMismatchError(
                     "document vocabulary does not match this service's "
                     "kernel build (vocabulary fingerprints differ)"
                 )
@@ -336,6 +399,12 @@ class MonitorService:
                 self.database.add(self.model.transform(doc).unit())
             if self.retain_documents:
                 self._session_documents.extend(documents)
+            # Auto run seeds must stay ahead of out-of-band ingests:
+            # remote edges derive their default seeds from corpus_size,
+            # so the local counter must never fall back into that range
+            # and replay a run an edge already pushed.
+            if self._run_seed_counter < self.model.corpus_size:
+                self._run_seed_counter = self.model.corpus_size
             self._syndromes_stale = True
             by_label: dict[str, int] = {}
             for doc in documents:
@@ -391,7 +460,7 @@ class MonitorService:
         ingestion to keep long-running memory bounded.
         """
         if not self.retain_documents:
-            raise RuntimeError(
+            raise RetentionRequiredError(
                 "reweight() needs the raw ingested documents; construct "
                 "the service with retain_documents=True to keep them"
             )
@@ -430,7 +499,7 @@ class MonitorService:
         """
         with self._lock:
             if not self.model.fitted:
-                raise RuntimeError(
+                raise NotFittedError(
                     "service has ingested nothing yet; nothing to query"
                 )
             model = TfIdfModel.from_idf(
@@ -528,6 +597,31 @@ class MonitorService:
             return written
 
     # -- introspection ------------------------------------------------------------
+
+    def health(self) -> dict:
+        """A minimal liveness summary that never waits on a writer.
+
+        The lock is taken non-blocking: while an ingest batch holds it,
+        liveness reports ``status="busy"`` with best-effort counters
+        (read unsynchronized — they may be mid-update by one batch)
+        instead of stalling a prober for the whole fold.
+        """
+        if not self._lock.acquire(blocking=False):
+            return {
+                "status": "busy",
+                "fitted": self.model.fitted,
+                "indexed_signatures": len(self.database),
+                "corpus_size": self.model.corpus_size,
+            }
+        try:
+            return {
+                "status": "ok",
+                "fitted": self.model.fitted,
+                "indexed_signatures": len(self.database),
+                "corpus_size": self.model.corpus_size,
+            }
+        finally:
+            self._lock.release()
 
     def stats(self) -> dict:
         """A service health/status summary, as the CLI prints it."""

@@ -1,0 +1,427 @@
+"""Integration tests for the HTTP gateway + client SDK.
+
+Boots real :class:`FmeterServer` instances on OS-assigned free ports
+and drives them through :class:`FmeterClient`, pinning the protocol's
+operational claims: results over the wire are bit-identical to
+in-process dispatch, failures surface as structured errors (never
+tracebacks or bare statuses), and concurrent HTTP readers racing a
+writer only ever observe consistent read-snapshot states.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import (
+    ApiError,
+    Dispatcher,
+    FmeterClient,
+    FmeterServer,
+    IngestRequest,
+    PROTOCOL_VERSION,
+    QueryBatchRequest,
+    WireDocument,
+)
+from repro.service import MonitorService
+from repro.workloads.kcompile import KernelCompileWorkload
+from repro.workloads.scp import ScpWorkload
+
+
+def _wire_docs(documents):
+    return tuple(WireDocument.from_document(doc) for doc in documents)
+
+
+@pytest.fixture()
+def service(pipeline):
+    return MonitorService(pipeline, max_workers=2)
+
+
+@pytest.fixture()
+def fed_service(service, pipeline):
+    docs = pipeline.collect_documents(ScpWorkload(seed=21), 6, run_seed=1)
+    docs += pipeline.collect_documents(
+        KernelCompileWorkload(seed=22), 6, run_seed=2
+    )
+    service.ingest_documents(docs)
+    return service
+
+
+@pytest.fixture()
+def query_docs(pipeline):
+    return pipeline.collect_documents(ScpWorkload(seed=41), 3, run_seed=50)
+
+
+@pytest.fixture()
+def gateway(fed_service, tmp_path):
+    with FmeterServer(fed_service, state_dir=tmp_path / "state") as server:
+        yield server
+
+
+@pytest.fixture()
+def client(gateway):
+    return FmeterClient(gateway.host, gateway.port)
+
+
+class TestRoundTrips:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health.status == "ok"
+        assert health.fitted is True
+        assert health.indexed_signatures == 12
+
+    def test_healthz_reports_busy_instead_of_blocking_on_a_writer(
+        self, client, fed_service
+    ):
+        # While an ingest holds the service lock, liveness must answer
+        # immediately (status "busy"), not queue behind the fold.
+        with fed_service._lock:
+            start = time.perf_counter()
+            health = client.healthz()
+            elapsed = time.perf_counter() - start
+        assert health.status == "busy"
+        assert elapsed < 5.0  # never waited for the writer
+
+    def test_query_batch_bit_identical_to_inprocess(
+        self, client, fed_service, query_docs
+    ):
+        over_http = client.query_batch(query_docs, k=5)
+        in_process = Dispatcher(fed_service).handle(
+            QueryBatchRequest(documents=_wire_docs(query_docs), k=5)
+        )
+        # Dataclass equality compares every id, label, IEEE score bit,
+        # and vote fraction.
+        assert over_http.diagnoses == in_process.diagnoses
+        assert all(d.top_label == "scp" for d in over_http.diagnoses)
+
+    def test_single_query_matches_batch(self, client, query_docs):
+        single = client.query(query_docs[0], k=5)
+        batch = client.query_batch(query_docs[:1], k=5)
+        assert single.diagnosis == batch.diagnoses[0]
+
+    def test_ingest_over_http(self, client, pipeline):
+        before = client.stats()
+        docs = pipeline.collect_documents(ScpWorkload(seed=23), 2, run_seed=3)
+        report = client.ingest(docs)
+        assert report.documents == 2
+        assert report.by_label == {"scp": 2}
+        assert client.stats().indexed_signatures == (
+            before.indexed_signatures + 2
+        )
+
+    def test_snapshot_over_http(self, client, gateway, tmp_path):
+        response = client.snapshot(shard_size=4)
+        assert response.directory == str(tmp_path / "state")
+        assert "header.npz" in response.written
+        assert (tmp_path / "state" / "header.npz").exists()
+        assert client.stats().snapshot_watermark_shards > 0
+
+    def test_stats_match_service(self, client, fed_service):
+        stats = client.stats()
+        expected = fed_service.stats()
+        assert stats.indexed_signatures == expected["indexed_signatures"]
+        assert stats.corpus_size == expected["corpus_size"]
+        assert sorted(stats.labels) == sorted(expected["labels"])
+        assert stats.metric == expected["metric"]
+
+    def test_elapsed_ms_injected(self, gateway):
+        with urllib.request.urlopen(f"{gateway.url}/v1/healthz") as resp:
+            payload = json.loads(resp.read())
+            header = resp.headers["X-Fmeter-Elapsed-Ms"]
+        assert payload["elapsed_ms"] >= 0
+        assert float(header) >= 0
+
+    def test_ingest_in_chunks(self, client, pipeline):
+        docs = pipeline.collect_documents(ScpWorkload(seed=24), 5, run_seed=4)
+        reports = client.ingest_in_chunks(docs, chunk_size=2)
+        assert [r.documents for r in reports] == [2, 2, 1]
+
+    def test_query_in_chunks(self, client, query_docs):
+        flat = client.query_in_chunks(query_docs, k=5, chunk_size=2)
+        whole = client.query_batch(query_docs, k=5)
+        assert tuple(flat) == whole.diagnoses
+
+
+class TestErrors:
+    def test_query_before_ingest(self, service, query_docs, tmp_path):
+        with FmeterServer(service) as server:
+            client = FmeterClient(server.host, server.port)
+            with pytest.raises(ApiError) as excinfo:
+                client.query(query_docs[0])
+            assert excinfo.value.code == "not_fitted"
+            assert excinfo.value.http_status == 409
+
+    def test_unlabeled_documents(self, client, query_docs):
+        stripped = [
+            WireDocument.from_document(doc) for doc in query_docs
+        ]
+        stripped = [
+            WireDocument(doc.dims, doc.counts, label=None)
+            for doc in stripped
+        ]
+        with pytest.raises(ApiError) as excinfo:
+            client.ingest(stripped)
+        assert excinfo.value.code == "unlabeled_documents"
+
+    def test_empty_ingest(self, client):
+        with pytest.raises(ApiError) as excinfo:
+            client.ingest([])
+        assert excinfo.value.code == "empty_batch"
+
+    def test_vocabulary_fingerprint_mismatch(self, client, query_docs):
+        request = IngestRequest(
+            documents=_wire_docs(query_docs),
+            vocabulary_fingerprint="deadbeef",
+        )
+        with pytest.raises(ApiError) as excinfo:
+            client._request("ingest", request.to_wire(), idempotent=False)
+        assert excinfo.value.code == "vocabulary_mismatch"
+        assert "server_fingerprint" in excinfo.value.detail
+
+    def test_reweight_without_retention(self, client):
+        with pytest.raises(ApiError) as excinfo:
+            client.reweight()
+        assert excinfo.value.code == "retention_required"
+
+    def test_reweight_with_retention(self, pipeline):
+        service = MonitorService(pipeline, max_workers=1, retain_documents=True)
+        with FmeterServer(service) as server:
+            client = FmeterClient(server.host, server.port)
+            docs = pipeline.collect_documents(
+                ScpWorkload(seed=25), 3, run_seed=5
+            )
+            client.ingest(docs)
+            assert client.reweight().reweighted == 3
+
+    def test_snapshot_without_state_dir(self, fed_service):
+        with FmeterServer(fed_service) as server:  # no state_dir
+            client = FmeterClient(server.host, server.port)
+            with pytest.raises(ApiError) as excinfo:
+                client.snapshot()
+            assert excinfo.value.code == "bad_snapshot"
+
+    def test_payload_too_large(self, fed_service, query_docs):
+        with FmeterServer(fed_service, max_request_bytes=256) as server:
+            client = FmeterClient(server.host, server.port)
+            with pytest.raises(ApiError) as excinfo:
+                client.query_batch(query_docs, k=5)
+            assert excinfo.value.code == "payload_too_large"
+            assert excinfo.value.detail["limit"] == 256
+
+    def test_payload_too_large_body_bigger_than_socket_buffers(
+        self, fed_service
+    ):
+        """The gateway drains an over-limit body before the 413, so a
+        client mid-send reads the structured error instead of dying on
+        a connection reset (only reproducible past socket-buffer size)."""
+        with FmeterServer(fed_service, max_request_bytes=1024) as server:
+            body = json.dumps(
+                {"v": PROTOCOL_VERSION, "padding": "x" * (4 << 20)}
+            ).encode()
+            request = urllib.request.Request(
+                f"{server.url}/v1/stats",
+                data=body,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 413
+            payload = json.loads(excinfo.value.read())
+            assert payload["error"]["code"] == "payload_too_large"
+
+    def test_malformed_json_body(self, gateway):
+        request = urllib.request.Request(
+            f"{gateway.url}/v1/stats",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"]["code"] == "invalid_request"
+
+    def test_unknown_operation(self, client):
+        with pytest.raises(ApiError) as excinfo:
+            client._request("frobnicate", {"v": PROTOCOL_VERSION})
+        assert excinfo.value.code == "unknown_operation"
+        assert excinfo.value.http_status == 404
+
+    def test_get_on_operation_rejected(self, gateway):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{gateway.url}/v1/query")
+        assert excinfo.value.code == 404
+
+    def test_version_mismatch_over_http(self, client):
+        with pytest.raises(ApiError) as excinfo:
+            client._request(
+                "stats", {"v": PROTOCOL_VERSION + 1}, idempotent=True
+            )
+        assert excinfo.value.code == "version_mismatch"
+
+    def test_boolean_version_rejected(self, client):
+        # True == 1 in Python; the protocol must not accept it as v1.
+        with pytest.raises(ApiError) as excinfo:
+            client._request("stats", {"v": True}, idempotent=True)
+        assert excinfo.value.code == "version_mismatch"
+
+    def test_unreachable_gateway_is_unavailable(self):
+        client = FmeterClient("127.0.0.1", 1, retries=1, backoff_s=0.01)
+        with pytest.raises(ApiError) as excinfo:
+            client.stats()
+        assert excinfo.value.code == "unavailable"
+
+
+class TestRetryPolicy:
+    def test_refused_is_retryable_for_everything(self):
+        refused = ConnectionRefusedError()
+        assert FmeterClient._retryable(refused, idempotent=False)
+        assert FmeterClient._retryable(refused, idempotent=True)
+
+    def test_reset_retries_only_idempotent_operations(self):
+        import http.client
+
+        for exc in (ConnectionResetError(), http.client.RemoteDisconnected()):
+            assert FmeterClient._retryable(exc, idempotent=True)
+            assert not FmeterClient._retryable(exc, idempotent=False)
+
+    def test_urlerror_unwrapped(self):
+        import urllib.error
+
+        wrapped = urllib.error.URLError(ConnectionRefusedError())
+        assert FmeterClient._retryable(wrapped, idempotent=False)
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        from repro.api.client import parse_address
+
+        assert parse_address("10.0.0.5:8080") == ("10.0.0.5", 8080)
+        assert parse_address("gateway.local:0") == ("gateway.local", 0)
+
+    @pytest.mark.parametrize(
+        "bad", ["nonsense", ":8080", "host:", "host:port", "h:70000", "::1:8080", "[::1]:8080"]
+    )
+    def test_rejects_malformed(self, bad):
+        from repro.api.client import parse_address
+
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+class TestServerLifecycle:
+    def test_close_immediately_after_start(self, fed_service):
+        """close() must not race the accept loop's thread startup."""
+        server = FmeterServer(fed_service).start()
+        server.close()  # no deadlock, no OSError from a live loop
+
+    def test_bound_but_not_serving_refuses_connections(self, fed_service):
+        """Before serve starts, clients must get connection-refused
+        (retryable, diagnosable) — not handshake into a backlog nobody
+        is draining and hang."""
+        server = FmeterServer(fed_service)  # bound, never started
+        try:
+            client = FmeterClient(
+                server.host, server.port, retries=0, timeout=5.0
+            )
+            with pytest.raises(ApiError) as excinfo:
+                client.healthz()
+            assert excinfo.value.code == "unavailable"
+        finally:
+            server.close()
+
+    def test_keepalive_not_poisoned_by_pre_body_errors(self, gateway):
+        """An error sent before the request body was consumed must
+        close the connection — leftover body bytes must never be parsed
+        as the next request on a keep-alive socket."""
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            gateway.host, gateway.port, timeout=10
+        )
+        try:
+            # Unknown path, with a body the server never reads.
+            connection.request(
+                "POST", "/other", body=b'{"v": 1, "junk": "x"}'
+            )
+            response = connection.getresponse()
+            assert response.status == 404
+            response.read()
+            # The server closed this connection; reusing it must fail
+            # cleanly rather than return garbage parsed from leftovers.
+            with pytest.raises(
+                (http.client.RemoteDisconnected, ConnectionError, OSError)
+            ):
+                connection.request("GET", "/v1/healthz")
+                connection.getresponse()
+        finally:
+            connection.close()
+
+    def test_close_is_idempotent(self, fed_service):
+        server = FmeterServer(fed_service).start()
+        server.close()
+        server.close()
+
+    def test_close_without_start_releases_socket(self, fed_service):
+        server = FmeterServer(fed_service)
+        port = server.port
+        server.close()
+        # The port is reusable immediately.
+        rebound = FmeterServer(fed_service, port=port)
+        rebound.close()
+
+
+class TestRacingClients:
+    def test_concurrent_queries_during_ingest_see_consistent_snapshots(
+        self, fed_service, pipeline, query_docs, gateway
+    ):
+        """Every response a racing HTTP reader gets must equal the
+        in-process result for one of the states the service actually
+        passed through — never a torn mix of two ingest batches."""
+        dispatcher = Dispatcher(fed_service)
+        request = QueryBatchRequest(documents=_wire_docs(query_docs), k=5)
+        extra = pipeline.collect_documents(
+            ScpWorkload(seed=26), 6, run_seed=6
+        )
+        # legal[j] is the exact result after j delta batches landed.
+        legal = [dispatcher.handle(request).diagnoses]
+        observed, failures = [], []
+        stop = threading.Event()
+
+        def reader():
+            client = FmeterClient(gateway.host, gateway.port)
+            try:
+                while not stop.is_set():
+                    observed.append(
+                        client.query_batch(query_docs, k=5).diagnoses
+                    )
+            except Exception as exc:  # surfaced by the main thread
+                failures.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for i in range(0, len(extra), 2):
+                fed_service.ingest_documents(extra[i : i + 2])
+                legal.append(dispatcher.handle(request).diagnoses)
+                time.sleep(0.05)  # let readers land queries mid-stream
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert not failures
+        assert len(observed) >= 4  # all readers got through
+        for diagnoses in observed:
+            assert diagnoses in legal, (
+                "a racing reader observed a state the service never "
+                "passed through"
+            )
+        # Quiesced again: HTTP equals the final in-process state.
+        client = FmeterClient(gateway.host, gateway.port)
+        assert client.query_batch(query_docs, k=5).diagnoses == legal[-1]

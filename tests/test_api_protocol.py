@@ -1,0 +1,332 @@
+"""Property tests for the ``repro.api`` wire protocol.
+
+Every versioned message type must round-trip through its JSON wire form
+(``from_wire(json(to_wire(x))) == x`` — the ``json`` hop included, so
+the test also proves the wire dict is strict JSON), tolerate unknown
+fields (forward compatibility), and reject version mismatches.  The
+strategy registry is checked against ``protocol.WIRE_MESSAGES`` so a
+new message type cannot ship without property coverage.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import protocol as P
+from repro.api.errors import (
+    ApiError,
+    INVALID_REQUEST,
+    VERSION_MISMATCH,
+)
+
+# -- strategies ------------------------------------------------------------------
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**31), 2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+)
+metadata_strategy = st.dictionaries(st.text(max_size=8), json_scalars, max_size=3)
+label_strategy = st.text(min_size=1, max_size=10)
+fingerprint_strategy = st.none() | st.text(
+    alphabet="0123456789abcdef", min_size=4, max_size=32
+)
+
+
+@st.composite
+def wire_documents(draw):
+    dims = tuple(sorted(draw(st.sets(st.integers(0, 3799), max_size=6))))
+    counts = tuple(
+        draw(
+            st.lists(
+                st.integers(1, 10**9),
+                min_size=len(dims),
+                max_size=len(dims),
+            )
+        )
+    )
+    return P.WireDocument(
+        dims=dims,
+        counts=counts,
+        label=draw(st.none() | label_strategy),
+        metadata=draw(metadata_strategy),
+    )
+
+
+score_strategy = st.floats(allow_nan=False, allow_infinity=False)
+hit_strategy = st.builds(
+    P.QueryHit,
+    signature_id=st.integers(0, 10**6),
+    label=label_strategy,
+    score=score_strategy,
+)
+
+
+@st.composite
+def diagnosis_strategy(draw):
+    return P.Diagnosis(
+        hits=tuple(draw(st.lists(hit_strategy, max_size=4))),
+        votes=draw(
+            st.dictionaries(
+                label_strategy,
+                st.floats(0, 1, allow_nan=False),
+                max_size=3,
+            )
+        ),
+        top_label=draw(st.none() | label_strategy),
+    )
+
+
+document_tuples = st.lists(wire_documents(), max_size=3).map(tuple)
+count_strategy = st.integers(0, 10**6)
+
+MESSAGE_STRATEGIES = {
+    P.IngestRequest: st.builds(
+        P.IngestRequest,
+        documents=document_tuples,
+        vocabulary_fingerprint=fingerprint_strategy,
+    ),
+    P.QueryRequest: st.builds(
+        P.QueryRequest,
+        document=wire_documents(),
+        k=st.integers(1, 50),
+        vocabulary_fingerprint=fingerprint_strategy,
+    ),
+    P.QueryBatchRequest: st.builds(
+        P.QueryBatchRequest,
+        documents=document_tuples,
+        k=st.integers(1, 50),
+        vocabulary_fingerprint=fingerprint_strategy,
+    ),
+    P.StatsRequest: st.just(P.StatsRequest()),
+    P.SnapshotRequest: st.builds(
+        P.SnapshotRequest, shard_size=st.none() | st.integers(1, 4096)
+    ),
+    P.ReweightRequest: st.just(P.ReweightRequest()),
+    P.IngestResponse: st.builds(
+        P.IngestResponse,
+        documents=count_strategy,
+        by_label=st.dictionaries(label_strategy, count_strategy, max_size=3),
+        corpus_size=count_strategy,
+        indexed=count_strategy,
+        idf_drift=st.just(float("inf")) | st.floats(0, 100, allow_nan=False),
+        elapsed_s=st.floats(0, 1e6, allow_nan=False),
+    ),
+    P.QueryResponse: st.builds(P.QueryResponse, diagnosis=diagnosis_strategy()),
+    P.QueryBatchResponse: st.builds(
+        P.QueryBatchResponse,
+        diagnoses=st.lists(diagnosis_strategy(), max_size=3).map(tuple),
+    ),
+    P.StatsResponse: st.builds(
+        P.StatsResponse,
+        corpus_size=count_strategy,
+        indexed_signatures=count_strategy,
+        labels=st.lists(label_strategy, max_size=4).map(tuple),
+        session_documents=count_strategy,
+        baseline_signatures=count_strategy,
+        index_tombstones=count_strategy,
+        index_compiled_postings=count_strategy,
+        index_tail_postings=count_strategy,
+        snapshot_shard_size=st.none() | st.integers(1, 4096),
+        snapshot_generation=count_strategy,
+        snapshot_watermark_shards=count_strategy,
+        reweights=count_strategy,
+        max_workers=st.integers(1, 64),
+        metric=st.sampled_from(["cosine", "euclidean"]),
+    ),
+    P.SnapshotResponse: st.builds(
+        P.SnapshotResponse,
+        directory=st.text(max_size=20),
+        written=st.lists(st.text(max_size=12), max_size=4).map(tuple),
+    ),
+    P.ReweightResponse: st.builds(P.ReweightResponse, reweighted=count_strategy),
+    P.HealthResponse: st.builds(
+        P.HealthResponse,
+        status=st.sampled_from(["ok"]),
+        fitted=st.booleans(),
+        indexed_signatures=count_strategy,
+        corpus_size=count_strategy,
+    ),
+}
+
+MESSAGE_TYPES = sorted(MESSAGE_STRATEGIES, key=lambda cls: cls.__name__)
+
+
+def test_every_wire_message_has_a_strategy():
+    """A new protocol message cannot ship without property coverage."""
+    assert set(MESSAGE_STRATEGIES) == set(P.WIRE_MESSAGES)
+
+
+# -- the properties --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("message_type", MESSAGE_TYPES, ids=lambda t: t.__name__)
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_wire_roundtrip_through_json(message_type, data):
+    message = data.draw(MESSAGE_STRATEGIES[message_type])
+    wire = json.loads(json.dumps(message.to_wire()))
+    assert message_type.from_wire(wire) == message
+
+
+@pytest.mark.parametrize("message_type", MESSAGE_TYPES, ids=lambda t: t.__name__)
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_unknown_fields_are_ignored(message_type, data):
+    message = data.draw(MESSAGE_STRATEGIES[message_type])
+    wire = message.to_wire()
+    wire["x_future_field"] = {"nested": [1, 2, 3]}
+    wire["elapsed_ms"] = 1.5  # what the gateway injects for timing
+    assert message_type.from_wire(wire) == message
+
+
+@pytest.mark.parametrize("message_type", MESSAGE_TYPES, ids=lambda t: t.__name__)
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_version_mismatch_rejected(message_type, data):
+    message = data.draw(MESSAGE_STRATEGIES[message_type])
+    wire = message.to_wire()
+    wire["v"] = P.PROTOCOL_VERSION + 1
+    with pytest.raises(ApiError) as excinfo:
+        message_type.from_wire(wire)
+    assert excinfo.value.code == VERSION_MISMATCH
+
+    del wire["v"]
+    with pytest.raises(ApiError) as excinfo:
+        message_type.from_wire(wire)
+    assert excinfo.value.code == INVALID_REQUEST
+
+
+# -- targeted invalid-input checks ----------------------------------------------
+
+
+def _wire(message) -> dict:
+    return message.to_wire()
+
+
+class TestMalformedInput:
+    def test_non_object_rejected(self):
+        for bad in ([1, 2], "text", 7, None):
+            with pytest.raises(ApiError) as excinfo:
+                P.StatsRequest.from_wire(bad)
+            assert excinfo.value.code == INVALID_REQUEST
+
+    def test_document_length_mismatch(self):
+        with pytest.raises(ApiError):
+            P.WireDocument(dims=(1, 2), counts=(3,))
+
+    def test_document_dims_must_increase(self):
+        with pytest.raises(ApiError):
+            P.WireDocument(dims=(5, 3), counts=(1, 1))
+
+    def test_document_counts_must_be_positive(self):
+        with pytest.raises(ApiError):
+            P.WireDocument(dims=(3,), counts=(0,))
+
+    def test_document_counts_must_fit_int64(self):
+        # Unbounded JSON ints must fail validation (invalid_request),
+        # not overflow inside numpy later (an apparent server fault).
+        with pytest.raises(ApiError) as excinfo:
+            P.WireDocument(dims=(3,), counts=(1 << 63,))
+        assert excinfo.value.code == INVALID_REQUEST
+
+    def test_k_must_be_positive(self):
+        doc = P.WireDocument(dims=(1,), counts=(2,))
+        with pytest.raises(ApiError):
+            P.QueryRequest(document=doc, k=0)
+
+    def test_mistyped_field_rejected(self):
+        wire = _wire(P.QueryRequest(document=P.WireDocument((1,), (2,))))
+        wire["k"] = "five"
+        with pytest.raises(ApiError) as excinfo:
+            P.QueryRequest.from_wire(wire)
+        assert excinfo.value.code == INVALID_REQUEST
+        assert excinfo.value.detail.get("field") == "k"
+
+    def test_bool_is_not_an_integer(self):
+        wire = _wire(P.ReweightResponse(reweighted=3))
+        wire["reweighted"] = True
+        with pytest.raises(ApiError):
+            P.ReweightResponse.from_wire(wire)
+
+    def test_counts_reject_bools_and_floats(self):
+        for bad_counts in ([True], [1.5]):
+            with pytest.raises(ApiError):
+                P.WireDocument.from_wire({"dims": [1], "counts": bad_counts})
+
+    def test_mistyped_container_fields_are_invalid_request(self):
+        """Wrong-shaped containers must map to invalid_request — not
+        crash the parser's own error formatting into 'internal'."""
+        cases = [
+            (P.QueryRequest, {"v": 1, "document": 42}),
+            (P.IngestRequest, {"v": 1, "documents": {}}),
+            (P.QueryBatchResponse, {"v": 1, "diagnoses": 3}),
+            (P.QueryResponse, {"v": 1, "diagnosis": "scp"}),
+        ]
+        for message_type, wire in cases:
+            with pytest.raises(ApiError) as excinfo:
+                message_type.from_wire(wire)
+            assert excinfo.value.code == INVALID_REQUEST, message_type
+
+    def test_missing_idf_drift_rejected(self):
+        response = P.IngestResponse(
+            documents=1, by_label={}, corpus_size=1, indexed=1,
+            idf_drift=0.5, elapsed_s=0.1,
+        )
+        wire = response.to_wire()
+        del wire["idf_drift"]  # absent != null: null means first fit
+        with pytest.raises(ApiError) as excinfo:
+            P.IngestResponse.from_wire(wire)
+        assert excinfo.value.code == INVALID_REQUEST
+
+    def test_unknown_nested_document_fields_tolerated(self):
+        doc_wire = P.WireDocument((1, 7), (2, 3), label="scp").to_wire()
+        doc_wire["x_future"] = "ignored"
+        request = P.IngestRequest.from_wire(
+            {"v": P.PROTOCOL_VERSION, "documents": [doc_wire]}
+        )
+        assert request.documents[0] == P.WireDocument((1, 7), (2, 3), label="scp")
+
+
+class TestInfinityHandling:
+    def test_idf_drift_inf_travels_as_null(self):
+        response = P.IngestResponse(
+            documents=1,
+            by_label={"scp": 1},
+            corpus_size=1,
+            indexed=1,
+            idf_drift=float("inf"),
+            elapsed_s=0.5,
+        )
+        wire = response.to_wire()
+        assert wire["idf_drift"] is None
+        text = json.dumps(wire, allow_nan=False)  # strict JSON survives
+        assert P.IngestResponse.from_wire(json.loads(text)) == response
+
+
+class TestErrorEnvelope:
+    def test_error_roundtrip(self):
+        error = ApiError(
+            "not_fitted", "nothing ingested", detail={"hint": "ingest first"}
+        )
+        envelope = P.error_envelope(error)
+        assert envelope["v"] == P.PROTOCOL_VERSION
+        parsed = P.extract_error(json.loads(json.dumps(envelope)))
+        assert parsed.code == error.code
+        assert parsed.message == error.message
+        assert parsed.detail == error.detail
+
+    def test_extract_error_absent(self):
+        assert P.extract_error({"v": 1, "diagnoses": []}) is None
+
+    def test_message_from_wire_raises_embedded_error(self):
+        envelope = P.error_envelope(ApiError("internal", "boom"))
+        with pytest.raises(ApiError, match="boom"):
+            P.QueryBatchResponse.from_wire(envelope)
+
+    def test_malformed_error_object_degrades(self):
+        parsed = ApiError.from_wire("not an object")
+        assert parsed.code == "internal"

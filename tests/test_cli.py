@@ -124,3 +124,183 @@ class TestStats:
     def test_stats_requires_existing_state(self, tmp_path):
         with pytest.raises(SystemExit, match="no service snapshot"):
             main(["stats", "--state-dir", str(tmp_path / "missing")])
+
+
+@pytest.fixture()
+def snapshot_dir(pipeline, tmp_path):
+    """A small service snapshot for query/stats CLI tests."""
+    from repro.service import IngestJob, MonitorService
+    from repro.workloads.kcompile import KernelCompileWorkload
+    from repro.workloads.scp import ScpWorkload
+
+    service = MonitorService(pipeline, max_workers=2)
+    service.ingest([
+        IngestJob(ScpWorkload(seed=21), 6, run_seed=1),
+        IngestJob(KernelCompileWorkload(seed=22), 6, run_seed=2),
+    ])
+    state = tmp_path / "state"
+    service.snapshot(state, shard_size=4)
+    return state
+
+
+class TestJsonOutput:
+    def test_query_json_has_stable_wire_keys(self, snapshot_dir, capsys):
+        import json
+
+        code = main([
+            "query", "--state-dir", str(snapshot_dir), "--workload", "scp",
+            "--intervals", "2", "--json",
+        ])
+        assert code == 0
+        # Everything before the JSON object is resume chatter; the
+        # payload starts at the first brace.
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["v"] == 1
+        assert len(payload["diagnoses"]) == 2
+        diagnosis = payload["diagnoses"][0]
+        assert set(diagnosis) >= {"hits", "votes", "top_label"}
+        assert set(diagnosis["hits"][0]) == {"signature_id", "label", "score"}
+
+    def test_stats_json_has_stable_wire_keys(self, snapshot_dir, capsys):
+        import json
+
+        assert main(["stats", "--state-dir", str(snapshot_dir), "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["indexed_signatures"] == 12
+        assert set(payload) >= {
+            "v", "corpus_size", "labels", "snapshot_watermark_shards",
+            "index_compiled_postings", "metric",
+        }
+
+
+class TestClientMode:
+    @pytest.fixture()
+    def gateway(self, pipeline):
+        from repro.api import FmeterServer
+        from repro.service import IngestJob, MonitorService
+        from repro.workloads.scp import ScpWorkload
+
+        service = MonitorService(pipeline, max_workers=1)
+        service.ingest([IngestJob(ScpWorkload(seed=21), 6, run_seed=1)])
+        with FmeterServer(service) as server:
+            yield server
+
+    def test_stats_over_http(self, gateway, capsys):
+        address = f"{gateway.host}:{gateway.port}"
+        assert main(["stats", "--connect", address]) == 0
+        out = capsys.readouterr().out
+        assert "indexed signatures:   6" in out
+
+    def test_query_over_http_json(self, gateway, capsys):
+        import json
+
+        address = f"{gateway.host}:{gateway.port}"
+        code = main([
+            "query", "--connect", address, "--workload", "scp",
+            "--intervals", "2", "--json",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["diagnoses"][0]["top_label"] == "scp"
+
+    def test_repeated_remote_ingest_collects_fresh_runs(self, gateway, capsys):
+        """Without --run-seed, each remote push must auto-advance the
+        run seed (past the server's corpus) instead of replaying
+        identical runs; a gateway without a state directory skips the
+        snapshot but still exits 0."""
+        address = f"{gateway.host}:{gateway.port}"
+        service = gateway.dispatcher.service
+        before = len(service.database)
+        for _ in range(2):
+            assert main([
+                "ingest", "--connect", address, "--workload", "scp",
+                "--intervals", "2",
+            ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("snapshot skipped") == 2
+        signatures = service.database.signatures()
+        first_push = {tuple(s.weights) for s in signatures[before:before + 2]}
+        second_push = {tuple(s.weights) for s in signatures[before + 2:]}
+        assert len(signatures) == before + 4
+        assert not first_push & second_push, "remote ingest replayed runs"
+
+    def test_connect_and_state_dir_conflict(self, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main([
+                "stats", "--connect", "127.0.0.1:1",
+                "--state-dir", str(tmp_path),
+            ])
+
+    def test_metric_rejected_with_connect(self):
+        # The gateway scores with its own metric; silently ignoring an
+        # explicit --metric would return wrong results.
+        with pytest.raises(SystemExit, match="in-process scoring only"):
+            main([
+                "query", "--connect", "127.0.0.1:1", "--workload", "scp",
+                "--metric", "euclidean",
+            ])
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(SystemExit, match="--state-dir"):
+            main(["stats"])
+
+
+class TestServiceErrorExitCodes:
+    def test_unreachable_gateway_exits_nonzero(self, capsys):
+        # Nothing listens on port 1; refused connections retry then
+        # surface as a structured one-liner, not a traceback.
+        code = main(["stats", "--connect", "127.0.0.1:1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error [unavailable]:" in err
+        assert "Traceback" not in err
+
+    def test_serve_rounds_zero_requires_listen(self, tmp_path):
+        with pytest.raises(SystemExit, match="--listen"):
+            main(["serve", "--state-dir", str(tmp_path), "--rounds", "0"])
+
+    def test_bad_listen_address_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main([
+                "serve", "--state-dir", str(tmp_path), "--rounds", "0",
+                "--listen", "nonsense",
+            ])
+
+    def test_bad_listen_address_fails_before_collection(
+        self, tmp_path, capsys
+    ):
+        # The address must be validated up front, not after rounds of
+        # collection have been paid for.
+        state = tmp_path / "state"
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main([
+                "serve", "--state-dir", str(state), "--rounds", "3",
+                "--listen", "nonsense",
+            ])
+        out = capsys.readouterr().out
+        assert "round 1" not in out and "starting fresh" not in out
+        assert not state.exists()
+
+    def test_out_of_range_listen_port_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="0-65535"):
+            main([
+                "serve", "--state-dir", str(tmp_path / "state"),
+                "--rounds", "0",
+                "--listen", "127.0.0.1:70000",
+            ])
+
+    def test_unbindable_listen_host_fails_before_collection(
+        self, tmp_path, capsys
+    ):
+        # Shape-valid but unresolvable: the bind happens before any
+        # round, and fails as a clean SystemExit, not a traceback.
+        with pytest.raises(SystemExit, match="cannot bind gateway"):
+            main([
+                "serve", "--state-dir", str(tmp_path / "state"),
+                "--rounds", "3",
+                "--listen", "host.invalid:8080",
+            ])
+        assert "round 1" not in capsys.readouterr().out

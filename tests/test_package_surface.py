@@ -1,0 +1,100 @@
+"""The curated public surface: lazy top-level imports, honest __all__s."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+class TestLazyTopLevel:
+    def test_import_repro_loads_no_numpy(self):
+        """``import repro`` must stay cheap: no submodule — and in
+        particular no numpy — loads until an attribute is touched."""
+        code = (
+            "import sys; import repro; "
+            "heavy = [m for m in sys.modules "
+            " if m == 'numpy' or m.startswith('repro.')]; "
+            "assert not heavy, f'eagerly imported: {heavy}'; "
+            "assert repro.__version__"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code], check=True, env=_src_env()
+        )
+
+    def test_attribute_access_triggers_import(self):
+        code = (
+            "import repro; "
+            "assert repro.ScpWorkload(seed=1).label == 'scp'; "
+            "assert repro.FmeterClient('h', 1).port == 1"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code], check=True, env=_src_env()
+        )
+
+    def test_submodule_attribute_access_still_works(self):
+        """`import repro; repro.service.X` — the namespace-access style
+        the eager 1.0 imports allowed — must survive the lazy rewrite."""
+        code = (
+            "import repro; "
+            "assert repro.service.MonitorService is not None; "
+            "assert repro.core.tfidf.TfIdfModel is not None; "
+            "assert repro.workloads.ScpWorkload is not None"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code], check=True, env=_src_env()
+        )
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError, match="Quake3Workload"):
+            repro.Quake3Workload
+
+    def test_dir_lists_exports(self):
+        import repro
+
+        names = dir(repro)
+        for expected in ("MonitorService", "FmeterServer", "TfIdfModel"):
+            assert expected in names
+
+
+def _src_env():
+    import os
+    from pathlib import Path
+
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+@pytest.mark.parametrize(
+    "module_name", ["repro", "repro.service", "repro.api"]
+)
+def test_all_is_curated_and_resolvable(module_name):
+    """Every ``__all__`` name resolves, is sorted, and has no dupes."""
+    import importlib
+
+    module = importlib.import_module(module_name)
+    exported = [n for n in module.__all__ if not n.startswith("__")]
+    assert exported == sorted(exported), f"{module_name}.__all__ unsorted"
+    assert len(set(module.__all__)) == len(module.__all__)
+    for name in module.__all__:
+        assert getattr(module, name) is not None
+
+
+def test_service_errors_reachable_from_package():
+    from repro.service import NotFittedError, ServiceError
+
+    assert issubclass(NotFittedError, ServiceError)
+    assert issubclass(NotFittedError, RuntimeError)  # legacy except-clauses
+
+
+def test_api_reexports_match_protocol_registry():
+    """Every request/response type in the registry is a package export."""
+    import repro.api as api
+    from repro.api.protocol import WIRE_MESSAGES
+
+    for message_type in WIRE_MESSAGES:
+        assert getattr(api, message_type.__name__) is message_type
+        assert message_type.__name__ in api.__all__

@@ -226,6 +226,19 @@ class TestReweight:
 
 
 class TestResumeFreshness:
+    def test_out_of_band_ingest_advances_auto_run_seeds(
+        self, service, pipeline
+    ):
+        """Documents ingested directly (the API path) must push the
+        auto seed counter past the corpus, so a later local auto-seeded
+        job cannot collide with a remote edge's corpus-derived seed."""
+        docs = pipeline.collect_documents(ScpWorkload(seed=21), 5, run_seed=1)
+        service.ingest_documents(docs)
+        assert service._run_seed_counter >= service.model.corpus_size
+        report = service.ingest([IngestJob(ScpWorkload(seed=21), 1)])  # auto
+        assert report.documents == 1
+
+
     def test_resumed_ingest_does_not_replay_runs(
         self, fed_service, pipeline, tmp_path
     ):
