@@ -9,6 +9,8 @@ several tables reuse the same pool, as in the paper.
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
@@ -29,6 +31,40 @@ def save_table():
         print(text)
 
     return save
+
+
+@pytest.fixture(scope="session")
+def record_bench():
+    """Merge one benchmark's machine-readable metrics into
+    ``BENCH_service.json``.
+
+    The rendered ``.txt`` tables are for humans; this JSON is for
+    tooling — CI surfaces it and the numbers can be diffed across PRs
+    to track the perf trajectory.  Each benchmark records under its own
+    key with read-modify-write merging, so partial runs refresh only
+    what they measured.  Smoke runs (``SERVICE_BENCH_SMOKE=1``) write
+    to ``BENCH_service.smoke.json`` instead: the full-scale JSON is a
+    git-tracked artifact and must not be overwritten with toy-scale
+    numbers.
+    """
+    smoke = os.environ.get("SERVICE_BENCH_SMOKE") == "1"
+    path = OUTPUT_DIR / (
+        "BENCH_service.smoke.json" if smoke else "BENCH_service.json"
+    )
+
+    def record(key: str, payload: dict) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        data: dict = {}
+        if path.exists():
+            try:
+                data = json.loads(path.read_text())
+            except ValueError:
+                data = {}
+        data["smoke"] = smoke
+        data[key] = payload
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    return record
 
 
 @pytest.fixture(scope="session")

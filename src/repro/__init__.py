@@ -54,6 +54,7 @@ _EXPORTS = {
     "Corpus": "repro.core",
     "CountDocument": "repro.core",
     "DbenchWorkload": "repro.workloads",
+    "DocumentBatch": "repro.core",
     "Dispatcher": "repro.api",
     "FmeterClient": "repro.api",
     "FmeterServer": "repro.api",
@@ -114,6 +115,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.core import (  # noqa: F401
         Corpus,
         CountDocument,
+        DocumentBatch,
         Signature,
         SignatureDatabase,
         SignatureIndex,

@@ -62,6 +62,8 @@ RETENTION_REQUIRED = "retention_required"
 WEIGHTING_CONFLICT = "weighting_conflict"
 #: A snapshot directory cannot back the requested operation.
 BAD_SNAPSHOT = "bad_snapshot"
+#: The service was closed; collection operations refuse.
+SERVICE_CLOSED = "service_closed"
 #: Client-side: the gateway could not be reached (after retries).
 UNAVAILABLE = "unavailable"
 #: An unexpected server-side failure.
@@ -82,6 +84,7 @@ HTTP_STATUS: dict[str, int] = {
     RETENTION_REQUIRED: 409,
     WEIGHTING_CONFLICT: 409,
     BAD_SNAPSHOT: 409,
+    SERVICE_CLOSED: 409,
     UNAVAILABLE: 503,
     INTERNAL: 500,
 }

@@ -468,55 +468,60 @@ def _cmd_serve(args) -> int:
     service, state_dir = _make_service(
         args, interval_s=args.interval_seconds, workers=args.workers
     )
-    server = None
-    if listen_address is not None:
-        # Bound (not yet serving) before the rounds are paid for: an
-        # unresolvable host or occupied port must fail now, cleanly.
-        from repro.api import FmeterServer
+    # The service owns a persistent collection pool; close it however
+    # the command ends so worker threads don't outlive the run.
+    try:
+        server = None
+        if listen_address is not None:
+            # Bound (not yet serving) before the rounds are paid for: an
+            # unresolvable host or occupied port must fail now, cleanly.
+            from repro.api import FmeterServer
 
-        host, port = listen_address
-        try:
-            server = FmeterServer(service, host=host, port=port,
-                                  state_dir=state_dir)
-        except OSError as error:
-            raise SystemExit(
-                f"cannot bind gateway on {args.listen}: {error}"
-            ) from error
-    workloads = args.workloads
-    for round_no in range(1, args.rounds + 1):
-        jobs = [
-            IngestJob(workload, args.intervals)
-            for workload in _parse_workloads(
-                workloads, args.seed + 1000 * round_no
-            )
-        ]
-        print(f"round {round_no}/{args.rounds}:")
-        _print_report(service.ingest(jobs))
-        written = service.snapshot(state_dir, shard_size=args.shard_size)
-        print(f"  snapshot -> {state_dir} ({len(written)} files written)")
-    stats = service.stats()
-    print(
-        f"service state: {stats['indexed_signatures']} signatures across "
-        f"labels {', '.join(stats['labels']) or 'none'}"
-    )
-    if server is not None:
-        # The bound port is known once the socket exists — print it
-        # (and flush) before blocking, so wrappers can parse it.
-        print(f"gateway listening on http://{server.host}:{server.port}",
-              flush=True)
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            print("interrupted; shutting down")
-        finally:
-            server.close()
-            if service.model.fitted:
-                written = service.snapshot(state_dir)
-                print(
-                    f"final snapshot -> {state_dir} "
-                    f"({len(written)} files written)"
+            host, port = listen_address
+            try:
+                server = FmeterServer(service, host=host, port=port,
+                                      state_dir=state_dir)
+            except OSError as error:
+                raise SystemExit(
+                    f"cannot bind gateway on {args.listen}: {error}"
+                ) from error
+        workloads = args.workloads
+        for round_no in range(1, args.rounds + 1):
+            jobs = [
+                IngestJob(workload, args.intervals)
+                for workload in _parse_workloads(
+                    workloads, args.seed + 1000 * round_no
                 )
-    return 0
+            ]
+            print(f"round {round_no}/{args.rounds}:")
+            _print_report(service.ingest(jobs))
+            written = service.snapshot(state_dir, shard_size=args.shard_size)
+            print(f"  snapshot -> {state_dir} ({len(written)} files written)")
+        stats = service.stats()
+        print(
+            f"service state: {stats['indexed_signatures']} signatures across "
+            f"labels {', '.join(stats['labels']) or 'none'}"
+        )
+        if server is not None:
+            # The bound port is known once the socket exists — print it
+            # (and flush) before blocking, so wrappers can parse it.
+            print(f"gateway listening on http://{server.host}:{server.port}",
+                  flush=True)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                print("interrupted; shutting down")
+            finally:
+                server.close()
+                if service.model.fitted:
+                    written = service.snapshot(state_dir)
+                    print(
+                        f"final snapshot -> {state_dir} "
+                        f"({len(written)} files written)"
+                    )
+        return 0
+    finally:
+        service.close()
 
 
 def _cmd_ingest(args) -> int:
@@ -561,13 +566,14 @@ def _cmd_ingest(args) -> int:
 
     _require_state_dir(args)
     service, state_dir = _make_service(args, require_existing=True)
-    workload = WORKLOAD_FACTORIES[args.workload](args.seed)
-    report = service.ingest(
-        [IngestJob(workload, args.intervals, run_seed=args.run_seed)]
-    )
-    _print_report(report)
-    written = service.snapshot(state_dir)
-    print(f"snapshot -> {state_dir} ({len(written)} files written)")
+    with service:  # shuts the collection pool down on the way out
+        workload = WORKLOAD_FACTORIES[args.workload](args.seed)
+        report = service.ingest(
+            [IngestJob(workload, args.intervals, run_seed=args.run_seed)]
+        )
+        _print_report(report)
+        written = service.snapshot(state_dir)
+        print(f"snapshot -> {state_dir} ({len(written)} files written)")
     return 0
 
 

@@ -19,7 +19,7 @@ Kernel function calls are embedded into the classical vector space model
 
 from repro.core.corpus import Corpus
 from repro.core.database import SignatureDatabase, Syndrome
-from repro.core.document import CountDocument
+from repro.core.document import CountDocument, DocumentBatch
 from repro.core.index import SearchResult, SignatureIndex
 from repro.core.monitor import Alert, StreamingDetector, Verdict
 from repro.core.pipeline import CollectionResult, SignaturePipeline
@@ -31,7 +31,7 @@ from repro.core.similarity import (
     minkowski_distance,
     pairwise_euclidean,
 )
-from repro.core.sparse import SparseVector
+from repro.core.sparse import CsrMatrix, SparseVector
 from repro.core.tfidf import TfIdfModel
 from repro.core.vocabulary import Vocabulary
 
@@ -40,6 +40,8 @@ __all__ = [
     "CollectionResult",
     "Corpus",
     "CountDocument",
+    "CsrMatrix",
+    "DocumentBatch",
     "SearchResult",
     "StreamingDetector",
     "Verdict",

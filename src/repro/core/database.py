@@ -158,11 +158,40 @@ class SignatureDatabase:
                 "database signatures must be labeled; diagnose unlabeled "
                 "signatures with diagnose()/nearest_syndrome() instead"
             )
+        # Index first, like add_batch: an index-side failure must not
+        # leave the signature list ahead of the index.
+        sig_id = self.index.add(signature)
         self._signatures.append(signature)
-        return self.index.add(signature)
+        return sig_id
 
     def add_all(self, signatures: list[Signature]) -> list[int]:
         return [self.add(sig) for sig in signatures]
+
+    def add_batch(self, signatures: list[Signature]) -> list[int]:
+        """Store a whole batch; returns the index ids, in batch order.
+
+        Unlike a loop over :meth:`add`, the batch is validated *before*
+        anything is stored — a bad signature mid-batch cannot leave the
+        database half-extended — and the index ingests the batch's
+        posting arrays in one append with a single recompile decision
+        (:meth:`~repro.core.index.SignatureIndex.add_batch`).
+        """
+        for signature in signatures:
+            if signature.vocabulary != self.vocabulary:
+                raise ValueError(
+                    "signature vocabulary does not match the database"
+                )
+            if signature.label is None:
+                raise ValueError(
+                    "database signatures must be labeled; diagnose "
+                    "unlabeled signatures with diagnose()/"
+                    "nearest_syndrome() instead"
+                )
+        # Index first: if the index-side append raises for any reason,
+        # the signature list must not be left ahead of it.
+        ids = self.index.add_batch(signatures)
+        self._signatures.extend(signatures)
+        return ids
 
     def __len__(self) -> int:
         return len(self._signatures)

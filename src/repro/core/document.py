@@ -5,17 +5,26 @@ called during one logging interval — the difference between two consecutive
 debugfs counter reads, exactly what the paper's user-space daemon logs.
 Documents carry a label (for supervised experiments) and free-form metadata
 (interval length, machine configuration, workload parameters).
+
+A :class:`DocumentBatch` is the columnar form of many documents over one
+vocabulary: counts in a CSR matrix (:class:`~repro.core.sparse.CsrMatrix`)
+plus labels and metadata kept row-aligned.  Building one is the single
+validation pass of the ingest path — vocabulary consistency, unlabeled
+tally, and per-label counts all fall out of the same loop — and every
+downstream batch operation (df fold, tf-idf transform, index append)
+runs on its arrays in O(nnz).
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.sparse import CsrMatrix
 from repro.core.vocabulary import Vocabulary
 
-__all__ = ["CountDocument"]
+__all__ = ["CountDocument", "DocumentBatch"]
 
 
 class CountDocument:
@@ -112,4 +121,123 @@ class CountDocument:
         return (
             f"CountDocument(label={self.label!r}, total={self.total_calls}, "
             f"distinct={self.distinct_terms})"
+        )
+
+
+class DocumentBatch:
+    """A columnar batch of count documents over one vocabulary.
+
+    ``counts`` stores every document's nonzero counts as one CSR matrix
+    (row = document, column = vocabulary dimension, ascending within a
+    row); ``labels`` and ``metadata`` stay row-aligned.  The batch is
+    immutable and validated once at construction — consumers
+    (:meth:`~repro.core.tfidf.TfIdfModel.partial_fit_drift`,
+    :meth:`~repro.core.tfidf.TfIdfModel.transform_batch`, the index
+    appends) trust its invariants and do pure array work.
+    """
+
+    __slots__ = ("vocabulary", "counts", "labels", "metadata",
+                 "unlabeled_documents", "label_counts")
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        counts: CsrMatrix,
+        labels: tuple[str | None, ...],
+        metadata: tuple[dict, ...],
+        unlabeled_documents: int,
+        label_counts: dict[str, int],
+    ):
+        if counts.n_cols != len(vocabulary):
+            raise ValueError(
+                f"counts span {counts.n_cols} columns for a vocabulary of "
+                f"size {len(vocabulary)}"
+            )
+        if not (counts.n_rows == len(labels) == len(metadata)):
+            raise ValueError("counts, labels, and metadata disagree on rows")
+        self.vocabulary = vocabulary
+        self.counts = counts
+        self.labels = labels
+        self.metadata = metadata
+        self.unlabeled_documents = unlabeled_documents
+        self.label_counts = label_counts
+
+    @classmethod
+    def from_documents(
+        cls,
+        documents: Sequence[CountDocument],
+        vocabulary: Vocabulary | None = None,
+    ) -> "DocumentBatch":
+        """Stack documents into columnar form in one validation pass.
+
+        The pass checks every document against the batch vocabulary
+        (``vocabulary`` if given, else the first document's) with an
+        identity fast path — the common case of one shared
+        :class:`Vocabulary` object costs one ``is`` per document, and
+        distinct objects compare by their cached fingerprints instead of
+        re-walking the term tuples — while tallying unlabeled documents
+        and per-label counts in first-appearance order.  Raises
+        ``ValueError`` on the first vocabulary mismatch; an empty batch
+        requires an explicit ``vocabulary``.
+        """
+        if vocabulary is None:
+            if not documents:
+                raise ValueError(
+                    "an empty batch needs an explicit vocabulary"
+                )
+            vocabulary = documents[0].vocabulary
+        labels: list[str | None] = []
+        metadata: list[dict] = []
+        unlabeled = 0
+        label_counts: dict[str, int] = {}
+        for doc in documents:
+            if doc.vocabulary is not vocabulary and (
+                doc.vocabulary.fingerprint() != vocabulary.fingerprint()
+            ):
+                raise ValueError(
+                    "document vocabulary does not match the batch "
+                    "vocabulary (vocabulary fingerprints differ)"
+                )
+            label = doc.label
+            labels.append(label)
+            metadata.append(doc.metadata)
+            if label is None:
+                unlabeled += 1
+            else:
+                label_counts[label] = label_counts.get(label, 0) + 1
+        # Counts are validated non-negative integers, so the stored
+        # support (counts != 0) is exactly the seen set (counts > 0)
+        # the document-frequency fold needs.
+        n_cols = len(vocabulary)
+        if documents:
+            rows = []
+            append = rows.append
+            for doc in documents:
+                counts = doc.counts
+                idx = counts.nonzero()[0]
+                append((idx, counts[idx]))
+            counts = CsrMatrix.from_rows(rows, n_cols)
+        else:
+            counts = CsrMatrix(
+                np.zeros(1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                n_cols,
+            )
+        return cls(
+            vocabulary=vocabulary,
+            counts=counts,
+            labels=tuple(labels),
+            metadata=tuple(metadata),
+            unlabeled_documents=unlabeled,
+            label_counts=label_counts,
+        )
+
+    def __len__(self) -> int:
+        return self.counts.n_rows
+
+    def __repr__(self) -> str:
+        return (
+            f"DocumentBatch(documents={len(self)}, "
+            f"nnz={self.counts.nnz}, unlabeled={self.unlabeled_documents})"
         )

@@ -11,7 +11,9 @@ different function subsets.
 The scoring engine is CSR-backed: postings live in one contiguous
 compiled block (:class:`_CsrPostings` — ``indptr``/``sig_ids``/``weights``
 arrays, term-major), with freshly added signatures collecting in a small
-dict *tail* until the next amortized recompile.  A batch of queries is
+*tail* of (dim, id, weight) array triplets — one triplet per
+``add``/``add_batch`` call — until the next amortized recompile.  A
+batch of queries is
 scored as one flattened ``bincount`` — effectively the sparse product
 ``Q · Sᵀ`` — instead of a Python loop per query per posting entry, and
 the accumulation order is arranged so the array scores are bit-identical
@@ -47,7 +49,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.signature import Signature
-from repro.core.sparse import SparseVector
+from repro.core.sparse import SparseVector, sequential_norms
 
 __all__ = ["IndexReadView", "SearchResult", "SignatureIndex"]
 
@@ -121,12 +123,19 @@ class _CsrPostings:
     ) -> "_CsrPostings":
         """Compile (dim, id, weight) triplets into one block.
 
-        Entries land ordered by (dimension, then input order): the
-        stable sort preserves the caller's ascending-id order within
-        each dimension, which is what keeps array scoring bit-identical
-        to the term-at-a-time reference accumulator.
+        Entries land ordered by (dimension, then ascending id) — the
+        posting order that keeps array scoring bit-identical to the
+        term-at-a-time reference accumulator.  Each (dim, id) pair is
+        unique and every id is below ``id_bound``, so the composite key
+        ``dim * id_bound + id`` sorts into exactly that order with no
+        stability requirement — numpy's unstable introsort on the keys
+        is ~2x the speed of a stable sort on ``dims`` alone, and this
+        sort is the dominant cost of compiling a bulk-ingested tail.
         """
-        order = np.argsort(dims, kind="stable")
+        if id_bound > 0:
+            order = np.argsort(dims * np.int64(id_bound) + sig_ids)
+        else:
+            order = np.argsort(dims, kind="stable")
         dims = dims[order]
         indptr = np.zeros(n_dims + 1, dtype=np.int64)
         np.cumsum(np.bincount(dims, minlength=n_dims), out=indptr[1:])
@@ -544,9 +553,13 @@ class SignatureIndex:
         self._norms = np.zeros(0)
         self._alive = np.zeros(0, dtype=bool)
         self._csr: _CsrPostings | None = None
-        #: dim -> {signature id -> weight} for ids not yet compiled;
-        #: ids here are always >= the compiled block's id_bound.
-        self._tail: dict[int, dict[int, float]] = {}
+        #: Posting entries not yet compiled, as (dims, ids, weights)
+        #: array triplets appended in ascending-id order — one triplet
+        #: per add/add_batch call, no per-entry Python churn.  Ids here
+        #: are always >= the compiled block's id_bound.
+        self._tail_chunks: list[
+            tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = []
         self._tail_nnz = 0
         #: The tail compiled into its own CSR block for scoring views,
         #: rebuilt lazily after adds (O(tail), amortized across reads).
@@ -585,34 +598,117 @@ class SignatureIndex:
         self._norms = norms
         self._alive = alive
 
-    def add(self, signature: Signature) -> int:
-        """Index a signature; returns its id."""
+    def _append_postings(self, sig_id: int, signature: Signature) -> None:
+        """Record one signature's table entries; postings go to the tail
+        in a single array triplet (no per-entry work)."""
+        sparse = signature.to_sparse()
+        self._signatures[sig_id] = signature
+        self._sparse[sig_id] = sparse
+        self._norms[sig_id] = sparse.norm()
+        self._alive[sig_id] = True
+        dims, values = sparse.arrays()
+        if dims.size:
+            self._tail_chunks.append(
+                (dims, np.full(dims.size, sig_id, dtype=np.int64), values)
+            )
+            self._tail_nnz += dims.size
+            self._tail_csr_cache = None
+
+    def _maybe_compile(self) -> None:
+        """The amortized recompile decision (one per add/add_batch)."""
+        if self._tail_nnz >= self.MIN_TAIL_NNZ_FOR_COMPILE and (
+            self._csr is None or self._tail_nnz * 4 >= self._csr.nnz
+        ):
+            self.compact()
+
+    def _check_vocabulary(self, signature: Signature) -> None:
         if self._vocabulary is None:
             self._vocabulary = signature.vocabulary
         elif signature.vocabulary != self._vocabulary:
             raise ValueError(
                 "signature vocabulary does not match the index vocabulary"
             )
+
+    def add(self, signature: Signature) -> int:
+        """Index a signature; returns its id."""
+        self._check_vocabulary(signature)
         sig_id = self._next_id
         self._next_id += 1
-        sparse = signature.to_sparse()
-        self._signatures[sig_id] = signature
-        self._sparse[sig_id] = sparse
         self._ensure_capacity(self._next_id)
-        self._norms[sig_id] = sparse.norm()
-        self._alive[sig_id] = True
-        for dim, weight in sparse.items():
-            self._tail.setdefault(dim, {})[sig_id] = weight
-        self._tail_nnz += sparse.nnz
-        self._tail_csr_cache = None
-        if self._tail_nnz >= self.MIN_TAIL_NNZ_FOR_COMPILE and (
-            self._csr is None or self._tail_nnz * 4 >= self._csr.nnz
-        ):
-            self.compact()
+        self._append_postings(sig_id, signature)
+        self._maybe_compile()
         return sig_id
 
     def add_all(self, signatures: list[Signature]) -> list[int]:
         return [self.add(sig) for sig in signatures]
+
+    def add_batch(self, signatures: list[Signature]) -> list[int]:
+        """Index a whole batch; returns the ids, in batch order.
+
+        Bulk counterpart of :meth:`add` with identical results (same
+        ids, postings, norms, and scores): every signature is validated
+        up front (nothing is indexed if any of the batch is foreign),
+        the capacity grows once, each signature's posting arrays land in
+        the tail as one concatenated triplet, and the amortized
+        recompile decision runs once per batch instead of once per
+        signature.
+        """
+        if not signatures:
+            return []
+        # Validate against a local vocabulary and adopt it only once
+        # the whole batch passes: a rejected batch must leave the index
+        # untouched, including its vocabulary binding.
+        vocabulary = self._vocabulary
+        for signature in signatures:
+            if vocabulary is None:
+                vocabulary = signature.vocabulary
+            elif signature.vocabulary != vocabulary:
+                raise ValueError(
+                    "signature vocabulary does not match the index vocabulary"
+                )
+        self._vocabulary = vocabulary
+        n = len(signatures)
+        self._ensure_capacity(self._next_id + n)
+        first_id = self._next_id
+        ids: list[int] = []
+        dim_parts: list[np.ndarray] = []
+        weight_parts: list[np.ndarray] = []
+        lengths = np.empty(n, dtype=np.int64)
+        sparses: list[SparseVector] = []
+        for j, signature in enumerate(signatures):
+            sig_id = self._next_id
+            self._next_id += 1
+            ids.append(sig_id)
+            sparse = signature.to_sparse()
+            sparses.append(sparse)
+            self._signatures[sig_id] = signature
+            self._sparse[sig_id] = sparse
+            self._alive[sig_id] = True
+            dims, values = sparse.arrays()
+            lengths[j] = dims.size
+            dim_parts.append(dims)
+            weight_parts.append(values)
+        weights = np.concatenate(weight_parts)
+        # One vectorized pass for every norm, in SparseVector.norm()'s
+        # own summation order; the vectors' norm caches are seeded with
+        # the same bits so later norm() calls agree.
+        norms = sequential_norms(weights, lengths)
+        self._norms[first_id : self._next_id] = norms
+        for sparse, norm in zip(sparses, norms.tolist()):
+            if sparse._norm_cache is None:
+                sparse._norm_cache = norm
+        if weights.size:
+            self._tail_chunks.append(
+                (
+                    np.concatenate(dim_parts),
+                    np.repeat(np.arange(first_id, self._next_id), lengths),
+                    weights,
+                )
+            )
+            self._tail_nnz += weights.size
+            self._tail_csr_cache = None
+        self._maybe_compile()
+        return ids
 
     def get(self, sig_id: int) -> Signature:
         try:
@@ -640,13 +736,48 @@ class SignatureIndex:
 
         Ids of live signatures are preserved (external references stay
         valid), and in-flight read views keep scoring the block they
-        captured — the old arrays are replaced, never mutated.  Returns
-        the number of tombstones reclaimed.
+        captured — the old arrays are replaced, never mutated.  The
+        rebuild is pure array work: the old block expands back to
+        triplets (already dim-major, ids ascending), the tail chunks
+        append after it (ids all past the block's bound), dead entries
+        drop by one alive-mask gather, and ``from_triplets``'s
+        composite-key sort restores the (dim asc, id asc) posting
+        order scoring depends on — no per-signature Python loop.
+        Returns the number of tombstones reclaimed.
         """
         reclaimed = len(self._tombstones)
         n_dims = len(self._vocabulary) if self._vocabulary is not None else 0
-        self._csr = _CsrPostings.build(n_dims, self._sparse, self._next_id)
-        self._tail = {}
+        dim_parts: list[np.ndarray] = []
+        id_parts: list[np.ndarray] = []
+        weight_parts: list[np.ndarray] = []
+        if self._csr is not None and self._csr.nnz:
+            dim_parts.append(
+                np.repeat(
+                    np.arange(n_dims, dtype=np.int64),
+                    np.diff(self._csr.indptr),
+                )
+            )
+            id_parts.append(self._csr.sig_ids)
+            weight_parts.append(self._csr.weights)
+        for dims, sig_ids, weights in self._tail_chunks:
+            dim_parts.append(dims)
+            id_parts.append(sig_ids)
+            weight_parts.append(weights)
+        if dim_parts:
+            dims = np.concatenate(dim_parts)
+            sig_ids = np.concatenate(id_parts)
+            weights = np.concatenate(weight_parts)
+            if self._tombstones:
+                keep = self._alive[sig_ids]
+                dims, sig_ids, weights = (
+                    dims[keep], sig_ids[keep], weights[keep]
+                )
+            self._csr = _CsrPostings.from_triplets(
+                n_dims, dims, sig_ids, weights, self._next_id
+            )
+        else:
+            self._csr = _CsrPostings.build(n_dims, {}, self._next_id)
+        self._tail_chunks = []
         self._tail_nnz = 0
         self._tail_csr_cache = None
         self._tombstones = set()
@@ -655,25 +786,21 @@ class SignatureIndex:
     def _tail_block(self) -> _CsrPostings | None:
         """The tail compiled into an immutable CSR block (cached).
 
-        Entries keep ascending-id order within each dimension (the tail
-        dicts are insertion-ordered and ids only grow), preserving
-        scoring bit-identity.
+        Each live id appears in exactly one chunk with unique
+        dimensions, so the concatenated triplets satisfy
+        ``from_triplets``'s uniqueness requirement and compile to the
+        (dim asc, id asc) posting order scoring bit-identity depends
+        on.
         """
         if not self._tail_nnz or self._vocabulary is None:
             return None
         if self._tail_csr_cache is None:
-            dims = np.empty(self._tail_nnz, dtype=np.int64)
-            sig_ids = np.empty(self._tail_nnz, dtype=np.int64)
-            weights = np.empty(self._tail_nnz, dtype=float)
-            position = 0
-            for dim, entries in self._tail.items():
-                for sig_id, weight in entries.items():
-                    dims[position] = dim
-                    sig_ids[position] = sig_id
-                    weights[position] = weight
-                    position += 1
             self._tail_csr_cache = _CsrPostings.from_triplets(
-                len(self._vocabulary), dims, sig_ids, weights, self._next_id
+                len(self._vocabulary),
+                np.concatenate([dims for dims, _, _ in self._tail_chunks]),
+                np.concatenate([ids for _, ids, _ in self._tail_chunks]),
+                np.concatenate([w for _, _, w in self._tail_chunks]),
+                self._next_id,
             )
         return self._tail_csr_cache
 
@@ -708,14 +835,11 @@ class SignatureIndex:
     def _raw_posting_ids(self, dim: int) -> set[int]:
         """Ids with a posting on ``dim``, tombstones included."""
         ids: set[int] = set()
-        if self._csr is not None and self._csr.nnz and dim + 1 < len(
-            self._csr.indptr
-        ):
-            segment = self._csr.sig_ids[
-                self._csr.indptr[dim] : self._csr.indptr[dim + 1]
-            ]
+        for block in (self._csr, self._tail_block()):
+            if block is None or not block.nnz or dim + 1 >= len(block.indptr):
+                continue
+            segment = block.sig_ids[block.indptr[dim] : block.indptr[dim + 1]]
             ids.update(int(i) for i in segment)
-        ids.update(self._tail.get(dim, ()))
         return ids
 
     def posting_list(self, dim: int) -> set[int]:

@@ -48,6 +48,32 @@ class Signature:
         self.metadata = dict(metadata or {})
         self._sparse_cache: SparseVector | None = None
 
+    @classmethod
+    def _from_valid(
+        cls,
+        vocabulary: Vocabulary,
+        weights: np.ndarray,
+        label: str | None,
+        metadata: dict | None,
+        sparse: SparseVector | None = None,
+    ) -> "Signature":
+        """Trusted constructor for weights the caller already validated.
+
+        The batch transform produces rows it *proves* finite and
+        non-negative (the same arithmetic as the per-document oracle),
+        already read-only, with the sparse view in hand — re-validating
+        and re-copying every row would put the per-document O(|V|)
+        scans back into the vectorized path.  ``weights`` must be
+        float64, shape ``(len(vocabulary),)``, and non-writeable.
+        """
+        sig = cls.__new__(cls)
+        sig.vocabulary = vocabulary
+        sig.weights = weights
+        sig.label = label
+        sig.metadata = dict(metadata or {})
+        sig._sparse_cache = sparse
+        return sig
+
     # -- inspection ------------------------------------------------------------
 
     @property

@@ -1,26 +1,189 @@
-"""An immutable sparse vector for the signature search path.
+"""Immutable sparse containers for the signature ingest and search paths.
 
 Signatures typically touch a few hundred of the ~3800 dimensions (most
 kernel functions are silent in any given interval), so the inverted index
 and similarity search (:mod:`repro.core.index`) operate on sparse vectors.
 Batch statistics (tf-idf fitting, clustering, SVM training) use dense
 matrices instead — converting back and forth is explicit and cheap.
+
+:class:`SparseVector` is the one-vector form.  :class:`CsrMatrix` is the
+*batch* form: many sparse rows over a shared column count in one CSR
+triple (``indptr``/``indices``/``data``), so whole-batch folds and
+transforms cost O(nnz) array work instead of O(rows x columns) Python
+loops — the representation the vectorized ingest path is built on.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["SparseVector"]
+__all__ = ["CsrMatrix", "SparseVector", "sequential_norms"]
+
+
+#: Rows per block in :func:`sequential_norms` — bounds the dense
+#: (rows x widest-row) padding scratch regardless of batch size.
+_NORM_BLOCK_ROWS = 1024
+
+
+def sequential_norms(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Per-row L2 norms in strict left-to-right summation order.
+
+    ``values`` concatenates the rows' entries; ``lengths`` gives each
+    row's count.  The result is **bit-identical** to
+    ``math.sqrt(sum(v * v for v in row))`` — :meth:`SparseVector.norm`'s
+    own Python fold — for every row, which a plain ``np.sum`` (pairwise)
+    or BLAS dot (lane-split) does not reproduce.  The trick: pad each
+    row's squares to a common width with zeros and ``cumsum`` along the
+    row axis — ``accumulate`` is defined strictly sequentially, and the
+    trailing ``+ 0.0`` steps leave the partial sum's bits untouched — so
+    the last column holds exactly the sequential sums, vectorized.
+    Rows are processed in fixed-size blocks (each row's fold is
+    independent), so the padding scratch stays bounded however large
+    the batch.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    n = len(lengths)
+    out = np.zeros(n)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    for start in range(0, n, _NORM_BLOCK_ROWS):
+        end = min(start + _NORM_BLOCK_ROWS, n)
+        block_lengths = lengths[start:end]
+        width = int(block_lengths.max()) if end > start else 0
+        if width == 0:
+            continue
+        squares = np.zeros((end - start, width))
+        mask = np.arange(width) < block_lengths[:, None]
+        block_values = values[offsets[start] : offsets[end]]
+        squares[mask] = block_values * block_values
+        out[start:end] = np.sqrt(np.cumsum(squares, axis=1)[:, -1])
+    return out
+
+
+class CsrMatrix:
+    """An immutable CSR matrix: sparse rows over a fixed column count.
+
+    ``indptr[i]:indptr[i + 1]`` slices ``indices``/``data`` to row ``i``,
+    with column indices strictly ascending within each row.  The arrays
+    are frozen at construction, so row views handed out by :meth:`row`
+    can be shared without copying.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "n_cols", "_row_ids_cache")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        n_cols: int,
+    ):
+        if len(indices) != len(data):
+            raise ValueError(
+                f"indices ({len(indices)}) and data ({len(data)}) disagree"
+            )
+        if len(indptr) == 0 or int(indptr[0]) != 0 or int(indptr[-1]) != len(
+            data
+        ):
+            raise ValueError("indptr does not span the data")
+        for arr in (indptr, indices, data):
+            arr.setflags(write=False)
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.n_cols = int(n_cols)
+        self._row_ids_cache: np.ndarray | None = None
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[tuple[np.ndarray, np.ndarray]], n_cols: int
+    ) -> "CsrMatrix":
+        """Stack per-row ``(indices, values)`` pairs (ascending indices)."""
+        lengths = np.fromiter(
+            (len(idx) for idx, _ in rows), dtype=np.int64, count=len(rows)
+        )
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        if rows:
+            indices = np.concatenate([idx for idx, _ in rows])
+            data = np.concatenate([values for _, values in rows])
+        else:
+            indices = np.empty(0, dtype=np.int64)
+            data = np.empty(0)
+        return cls(indptr, indices, data, n_cols)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(indices, values)`` views of row ``i`` (read-only, no copy)."""
+        start, end = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[start:end], self.data[start:end]
+
+    def row_ids(self) -> np.ndarray:
+        """The row index of every stored entry (length ``nnz``, cached)."""
+        if self._row_ids_cache is None:
+            lengths = np.diff(self.indptr)
+            ids = np.repeat(np.arange(self.n_rows, dtype=np.int64), lengths)
+            ids.setflags(write=False)
+            self._row_ids_cache = ids
+        return self._row_ids_cache
+
+    def column_support(self) -> np.ndarray:
+        """Per column, the number of rows storing an entry in it — the
+        batch document-frequency fold, one ``bincount`` over O(nnz)."""
+        return np.bincount(self.indices, minlength=self.n_cols)
+
+    def row_reduce(
+        self, ufunc: np.ufunc, data: np.ndarray | None = None, zero=0
+    ) -> np.ndarray:
+        """Per-row ``ufunc.reduceat`` over entry-aligned ``data``.
+
+        ``data`` defaults to the stored values; any array parallel to
+        them (a derived per-entry quantity) works.  Rows with no
+        entries get ``zero``.  The reduction runs over only the
+        non-empty row starts: consecutive segments then span exactly
+        one row's entries each (empty rows between them contribute no
+        data), and no degenerate start == end segment ever forms —
+        the one subtle safety argument for ``reduceat`` folds, kept in
+        this one place.
+        """
+        if data is None:
+            data = self.data
+        out = np.full(self.n_rows, zero, dtype=data.dtype)
+        starts = self.indptr[:-1]
+        nonempty = np.flatnonzero(starts < self.indptr[1:])
+        if nonempty.size:
+            out[nonempty] = ufunc.reduceat(data, starts[nonempty])
+        return out
+
+    def row_sums(self) -> np.ndarray:
+        """Per-row sum of stored values, in the data's own dtype.
+
+        Integer data sums in exact integer arithmetic (the property the
+        tf fold depends on: any summation order gives the same total).
+        """
+        return self.row_reduce(np.add)
+
+    def __repr__(self) -> str:
+        return (
+            f"CsrMatrix(rows={self.n_rows}, cols={self.n_cols}, "
+            f"nnz={self.nnz})"
+        )
 
 
 class SparseVector:
     """Immutable mapping dimension -> nonzero float value."""
 
-    __slots__ = ("_data", "_norm_cache", "_sorted_cache", "_arrays_cache")
+    __slots__ = ("_dict_cache", "_norm_cache", "_sorted_cache", "_arrays_cache")
 
     def __init__(self, data: Mapping[int, float]):
         cleaned: dict[int, float] = {}
@@ -32,10 +195,24 @@ class SparseVector:
                 raise ValueError(f"non-finite value at dimension {dim}")
             if value != 0.0:
                 cleaned[int(dim)] = value
-        self._data = cleaned
+        self._dict_cache: dict[int, float] | None = cleaned
         self._norm_cache: float | None = None
         self._sorted_cache: tuple[tuple[int, float], ...] | None = None
         self._arrays_cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def _data(self) -> dict[int, float]:
+        """The dim -> value dict, built lazily from the array form.
+
+        Vectors born from arrays (:meth:`from_dense`,
+        :meth:`from_sorted_arrays` — the whole ingest/scoring hot path)
+        never pay the per-element dict build unless something actually
+        iterates them as a mapping.
+        """
+        if self._dict_cache is None:
+            idx, values = self._arrays_cache
+            self._dict_cache = dict(zip(idx.tolist(), values.tolist()))
+        return self._dict_cache
 
     @classmethod
     def from_dense(cls, dense) -> "SparseVector":
@@ -48,10 +225,10 @@ class SparseVector:
             raise ValueError("non-finite value in dense vector")
         # Fast path: the support is already validated, deduplicated, and
         # ascending, so skip the per-element __init__ checks and seed
-        # the sorted/array caches directly — this constructor is the
-        # scoring hot path (every Signature.to_sparse lands here).
+        # the array cache directly — this constructor is the scoring
+        # hot path (every Signature.to_sparse lands here).
         self = cls.__new__(cls)
-        self._data = dict(zip(idx.tolist(), values.tolist()))
+        self._dict_cache = None
         self._norm_cache = None
         self._sorted_cache = None
         idx.setflags(write=False)
@@ -59,24 +236,47 @@ class SparseVector:
         self._arrays_cache = (idx, values)
         return self
 
+    @classmethod
+    def from_sorted_arrays(
+        cls, dims: np.ndarray, values: np.ndarray
+    ) -> "SparseVector":
+        """Trusted constructor from ascending-dimension parallel arrays.
+
+        The caller guarantees what :meth:`from_dense` establishes itself:
+        dimensions ascending and unique, values finite and nonzero, both
+        arrays read-only (or never mutated).  This is the batch-ingest
+        fast path — one CSR row slice becomes a vector with no
+        per-element Python at all.
+        """
+        self = cls.__new__(cls)
+        self._dict_cache = None
+        self._norm_cache = None
+        self._sorted_cache = None
+        self._arrays_cache = (dims, values)
+        return self
+
     def to_dense(self, size: int) -> np.ndarray:
-        if self._data and size <= max(self._data):
+        idx, values = self.arrays()
+        if idx.size and size <= int(idx[-1]):
             raise ValueError(
-                f"size {size} too small for dimension {max(self._data)}"
+                f"size {size} too small for dimension {int(idx[-1])}"
             )
         out = np.zeros(size)
-        for dim, value in self._data.items():
-            out[dim] = value
+        out[idx] = values
         return out
 
     # -- inspection ------------------------------------------------------------
 
     @property
     def nnz(self) -> int:
-        return len(self._data)
+        if self._dict_cache is None:
+            return len(self._arrays_cache[0])
+        return len(self._dict_cache)
 
     def dimensions(self) -> set[int]:
-        return set(self._data)
+        if self._dict_cache is None:
+            return set(self._arrays_cache[0].tolist())
+        return set(self._dict_cache)
 
     def get(self, dim: int, default: float = 0.0) -> float:
         return self._data.get(dim, default)
@@ -121,7 +321,7 @@ class SparseVector:
         return self._arrays_cache
 
     def __len__(self) -> int:
-        return len(self._data)
+        return self.nnz
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, SparseVector):
@@ -163,11 +363,26 @@ class SparseVector:
         return SparseVector({d: v * factor for d, v in self._data.items()})
 
     def unit(self) -> "SparseVector":
-        """L2-normalized copy; the zero vector stays zero."""
-        n = self.norm()
+        """L2-normalized copy; the zero vector stays zero.
+
+        Pre-scaled by the max magnitude like
+        :func:`~repro.core.similarity.l2_normalize`: for components near
+        the denormal floor a naive ``v / ||v||`` computes the norm from
+        underflowed squares and lands visibly off the unit ball.
+        """
+        if not self.nnz:
+            return SparseVector({})
+        scale = max(abs(v) for v in self._data.values())
+        if scale == 0.0:
+            return SparseVector({})
+        # Divide, don't multiply by the reciprocal: 1.0/scale overflows
+        # to inf for subnormal scales, while v/scale is exact at 1.0
+        # for the max component.
+        scaled = {d: v / scale for d, v in self._data.items()}
+        n = math.sqrt(sum(v * v for v in scaled.values()))
         if n == 0.0:
             return SparseVector({})
-        return self.scaled(1.0 / n)
+        return SparseVector({d: v / n for d, v in scaled.items()})
 
     def add(self, other: "SparseVector") -> "SparseVector":
         out = dict(self._data)

@@ -32,8 +32,9 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.corpus import Corpus
-from repro.core.document import CountDocument
+from repro.core.document import CountDocument, DocumentBatch
 from repro.core.signature import Signature
+from repro.core.sparse import SparseVector
 from repro.core.vocabulary import Vocabulary
 
 __all__ = ["TfIdfModel"]
@@ -136,15 +137,19 @@ class TfIdfModel:
         self._recompute_idf()
         return self
 
-    def partial_fit(self, documents: Iterable[CountDocument]) -> "TfIdfModel":
+    def partial_fit(
+        self, documents: Iterable[CountDocument] | DocumentBatch
+    ) -> "TfIdfModel":
         """Fold a chunk of documents into the df/idf statistics.
 
-        Incremental counterpart of :meth:`fit`: each document bumps the
-        document frequency of every term it contains and the corpus size
-        by one, then idf is recomputed from the updated statistics — an
-        O(N) vector op, with no refit over previously seen documents.
+        Incremental counterpart of :meth:`fit`: the batch's stacked term
+        support bumps every touched document frequency and the corpus
+        size in one columnar reduction, then idf is recomputed from the
+        updated statistics — no refit over previously seen documents.
         Chunking is immaterial: ``partial_fit`` over any split of a
-        corpus yields bit-identical idf to ``fit`` on the whole corpus.
+        corpus yields bit-identical idf to ``fit`` on the whole corpus
+        (document frequencies are integers; summation order cannot
+        matter).
 
         Raises if the model was rehydrated with :meth:`from_idf`, which
         stores the idf vector but not the document frequencies it came
@@ -153,56 +158,65 @@ class TfIdfModel:
         self.partial_fit_drift(documents)
         return self
 
-    def partial_fit_drift(self, documents: Iterable[CountDocument]) -> float:
+    def partial_fit_drift(
+        self, documents: Iterable[CountDocument] | DocumentBatch
+    ) -> float:
         """:meth:`partial_fit` that also reports the idf drift it caused.
+
+        Accepts a prepared :class:`~repro.core.document.DocumentBatch`
+        (the service hands one straight through, already validated) or
+        any iterable of documents, which is stacked into one.  The fold
+        itself is a single O(nnz) column-support reduction over the
+        whole batch — ``df += support`` once, not a dense O(|V|) add per
+        document — and is bit-identical to folding the documents one at
+        a time.
 
         Returns ``max_i |idf'_i - idf_i|`` without scanning the full
         vocabulary: terms the batch touched are measured directly, and
         every *untouched* previously-seen term moves by exactly
         ``log(N'/N)`` (its df is unchanged; only the corpus size in the
         numerator grew), so one scalar covers all of them.  The extra
-        cost over the fold itself is O(batch support), not O(|V|) — the
-        difference that matters to per-interval streaming ingest, which
-        folds one document at a time.
+        cost over the fold itself is O(batch support), not O(|V|).
 
         Returns ``inf`` for the batch that first fits the model (there
         is no previous idf to drift from) and ``0.0`` for an empty
         batch.
         """
-        documents = list(documents)
         if self._df is None and self._idf is not None:
             raise RuntimeError(
                 "model was rehydrated from an idf vector alone; its "
                 "document frequencies are unknown, so it cannot be "
                 "updated incrementally (rebuild with from_counts)"
             )
-        if not documents:
-            return 0.0  # an empty batch changes nothing, fitted or not
+        if not isinstance(documents, DocumentBatch):
+            documents = list(documents)
+            if not documents:
+                return 0.0  # an empty batch changes nothing, fitted or not
+            # Stacking is itself the batch validation pass: every
+            # document must share one vocabulary, so a mismatch cannot
+            # leave _df half-bumped (a long-running service would
+            # otherwise keep serving from corrupted counts).
+            documents = DocumentBatch.from_documents(documents)
+        elif not len(documents):
+            return 0.0
         if self.vocabulary is None:
-            self.vocabulary = documents[0].vocabulary
-        # Validate the whole batch before touching any statistic: a
-        # mismatch must not leave _df half-bumped (a long-running
-        # service would otherwise keep serving from corrupted counts).
-        for doc in documents:
-            if doc.vocabulary != self.vocabulary:
-                raise ValueError(
-                    "document vocabulary does not match the fitted corpus"
-                )
+            self.vocabulary = documents.vocabulary
+        elif documents.vocabulary != self.vocabulary:
+            raise ValueError(
+                "document vocabulary does not match the fitted corpus"
+            )
         if self._df is None:
             self._df = np.zeros(len(self.vocabulary), dtype=np.int64)
         # _recompute_idf replaces the idf array rather than mutating it,
         # so holding the old reference costs nothing.
         old_idf = self._idf
         old_corpus_size = self._corpus_size
-        touched: np.ndarray | None = None
-        for doc in documents:
-            seen = doc.counts > 0
-            self._df += seen
-            self._n_seen += int(np.count_nonzero(self._df[seen] == 1))
-            if touched is None:
-                touched = seen
-            else:
-                touched |= seen
+        # One stacked reduction for the whole batch: per term, the
+        # number of batch documents containing it.
+        support = documents.counts.column_support()
+        touched = support > 0
+        self._n_seen += int(np.count_nonzero(touched & (self._df == 0)))
+        self._df += support
         self._corpus_size += len(documents)
         self._recompute_idf()
         if old_idf is None:
@@ -216,6 +230,65 @@ class TfIdfModel:
         if self._n_seen > touched_idx.size and old_corpus_size > 0:
             # Some previously-seen term sits outside the batch; its idf
             # moved by the uniform corpus-growth shift.
+            drift = max(
+                drift, math.log(self._corpus_size / old_corpus_size)
+            )
+        return drift
+
+    def partial_fit_reference(
+        self, documents: Iterable[CountDocument]
+    ) -> float:
+        """The seed per-document fold, retained verbatim as the oracle.
+
+        Folds the batch the way the pre-vectorization implementation
+        did — a dense O(|V|) ``df += (counts > 0)`` per document — and
+        reports the same drift.  :meth:`partial_fit_drift`'s stacked
+        columnar fold must stay **bit-identical** to this for any batch
+        (document frequencies are integers and idf is recomputed from
+        them, so the equality is exact); the batch-ingest property tests
+        and benchmarks hold the two against each other, exactly as the
+        array scoring engine is held against ``search_reference``.
+        """
+        documents = list(documents)
+        if self._df is None and self._idf is not None:
+            raise RuntimeError(
+                "model was rehydrated from an idf vector alone; its "
+                "document frequencies are unknown, so it cannot be "
+                "updated incrementally (rebuild with from_counts)"
+            )
+        if not documents:
+            return 0.0
+        if self.vocabulary is None:
+            self.vocabulary = documents[0].vocabulary
+        for doc in documents:
+            if doc.vocabulary != self.vocabulary:
+                raise ValueError(
+                    "document vocabulary does not match the fitted corpus"
+                )
+        if self._df is None:
+            self._df = np.zeros(len(self.vocabulary), dtype=np.int64)
+        old_idf = self._idf
+        old_corpus_size = self._corpus_size
+        touched: np.ndarray | None = None
+        for doc in documents:
+            seen = doc.counts > 0
+            self._df += seen
+            self._n_seen += int(np.count_nonzero(self._df[seen] == 1))
+            if touched is None:
+                touched = seen
+            else:
+                touched = touched | seen
+        self._corpus_size += len(documents)
+        self._recompute_idf()
+        if old_idf is None:
+            return float("inf")
+        touched_idx = np.flatnonzero(touched)
+        drift = (
+            float(np.max(np.abs(self._idf[touched_idx] - old_idf[touched_idx])))
+            if touched_idx.size
+            else 0.0
+        )
+        if self._n_seen > touched_idx.size and old_corpus_size > 0:
             drift = max(
                 drift, math.log(self._corpus_size / old_corpus_size)
             )
@@ -267,6 +340,128 @@ class TfIdfModel:
             label=document.label,
             metadata=dict(document.metadata),
         )
+
+    def transform_batch(
+        self, documents: list[CountDocument] | DocumentBatch
+    ) -> list[Signature]:
+        """Unit tf-idf signatures for a whole batch, in one matrix pass.
+
+        The vectorized form of ``[self.transform(doc).unit() for doc in
+        documents]`` — and **bit-identical** to it, which is the
+        contract the retained per-document path serves as the oracle
+        for.  The arithmetic runs on the batch's CSR arrays in O(nnz)
+        (length-normalize, gather-multiply by idf, pre-scale, unit
+        division), with two deliberate detours for bit-identity:
+
+        - entries scatter into one dense ``(batch, |V|)`` matrix —
+          signatures are dense, and the oracle's norm reads the whole
+          row (zeros included);
+        - each row's norm is the row's BLAS ``dot`` in a short Python
+          loop, NOT a vectorized ``sum(row**2, axis=1)``: that is what
+          ``np.linalg.norm`` computes inside
+          :func:`~repro.core.similarity.l2_normalize`, and numpy's
+          axis-reduction pairwise sum differs from it by ulps.  The
+          loop is O(batch) calls of C work — not the cost that made
+          per-document ingest slow.
+
+        Each returned signature shares a read-only row of the result
+        matrix and is born with its sparse view cached, so downstream
+        index appends do no dense re-scan.  The sharing is a deliberate
+        memory trade: the batch's signatures together reference exactly
+        one (batch, |V|) matrix — the same footprint as separate
+        arrays when all of them are kept, which ingest always does —
+        but holding onto a *single* signature from a large batch keeps
+        the whole matrix alive.  Callers that extract a few signatures
+        from a big transient batch should copy their weights.
+        """
+        # An empty batch transforms to nothing regardless of fit state,
+        # exactly as the per-document comprehension would — checked
+        # before fitted-ness so an empty ingest on a fresh service
+        # stays a no-op instead of raising.
+        if not isinstance(documents, DocumentBatch):
+            if not documents:
+                return []
+            documents = DocumentBatch.from_documents(documents)
+        elif not len(documents):
+            return []
+        if self._idf is None:
+            raise RuntimeError("model is not fitted")
+        if documents.vocabulary != self.vocabulary:
+            raise ValueError("document vocabulary does not match fitted corpus")
+        batch = documents
+        csr = batch.counts
+        n, dims = len(batch), len(self.vocabulary)
+        row_ids = csr.row_ids()
+        if self.normalize_tf:
+            # Row totals are exact integers, so tf entries divide by the
+            # very float(total) the per-document path uses.  Empty
+            # documents have no entries and stay all-zero rows.
+            totals = csr.row_sums().astype(float)
+            tf_data = csr.data / totals[row_ids]
+        else:
+            tf_data = csr.data.astype(float)
+        weights_data = tf_data * self._idf[csr.indices] if self.use_idf else tf_data
+
+        # l2_normalize, row-wise.  Its pre-scale is the row max (the
+        # weights are non-negative, so the scalar path's abs() changes
+        # nothing), which only stored entries can set — an O(nnz)
+        # per-row reduction, exactly as the dense scan would find it.
+        scale = csr.row_reduce(np.maximum, data=weights_data, zero=0.0)
+        safe_scale = np.where(scale > 0.0, scale, 1.0)
+        scaled_data = weights_data / safe_scale[row_ids]
+
+        # The one dense materialization: signatures are dense, and the
+        # oracle's norm is BLAS ``dot`` over the full row under
+        # ``np.linalg.norm`` — whose accumulation order a vectorized
+        # ``sum(row**2, axis=1)`` does NOT reproduce (pairwise-sum ulps)
+        # and a nonzeros-only product cannot (lane assignment sees the
+        # zeros).  So: scatter once, one C-speed dot per row, and the
+        # unit division runs in place (zeros divide to zeros).
+        unit = np.zeros((n, dims))
+        unit[row_ids, csr.indices] = scaled_data
+        sqnorms = np.empty(n)
+        for i in range(n):
+            row = unit[i]
+            sqnorms[i] = row.dot(row)
+        norms = np.sqrt(sqnorms)
+        safe_norms = np.where(norms > 0.0, norms, 1.0)
+        # The unit division only moves the stored entries (zeros divide
+        # to zeros), so it runs on the O(nnz) data and scatters over the
+        # scaled entries in place rather than sweeping the whole matrix.
+        unit_data = scaled_data / safe_norms[row_ids]
+        unit[row_ids, csr.indices] = unit_data
+        unit.setflags(write=False)
+
+        # Entries that are zero in the unit rows — idf zeros, and
+        # entries underflowing the unit scaling — drop out of the
+        # sparse view exactly as SparseVector.from_dense would drop
+        # them.
+        keep = unit_data != 0.0
+        kept_indices = csr.indices[keep]
+        kept_data = unit_data[keep]
+        kept_indices.setflags(write=False)
+        kept_data.setflags(write=False)
+        kept_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(row_ids[keep], minlength=n), out=kept_indptr[1:]
+        )
+
+        signatures = []
+        for i in range(n):
+            start, end = kept_indptr[i], kept_indptr[i + 1]
+            sparse = SparseVector.from_sorted_arrays(
+                kept_indices[start:end], kept_data[start:end]
+            )
+            signatures.append(
+                Signature._from_valid(
+                    self.vocabulary,
+                    unit[i],
+                    batch.labels[i],
+                    batch.metadata[i],
+                    sparse=sparse,
+                )
+            )
+        return signatures
 
     def transform_corpus(self, corpus: Corpus) -> list[Signature]:
         """Transform every document; vectorized over the corpus matrix."""

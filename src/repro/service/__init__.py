@@ -30,6 +30,7 @@ from repro.service.monitor import (
     QueryResult,
     ReadSnapshot,
     RetentionRequiredError,
+    ServiceClosedError,
     ServiceError,
     SnapshotFormatError,
     UnlabeledDocumentsError,
@@ -46,6 +47,7 @@ __all__ = [
     "QueryResult",
     "ReadSnapshot",
     "RetentionRequiredError",
+    "ServiceClosedError",
     "ServiceError",
     "SnapshotFormatError",
     "UnlabeledDocumentsError",

@@ -48,7 +48,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.database import SignatureDatabase
-from repro.core.document import CountDocument
+from repro.core.document import CountDocument, DocumentBatch
 from repro.core.index import IndexReadView, SearchResult
 from repro.core.pipeline import SignaturePipeline
 from repro.core.signature import Signature
@@ -63,6 +63,7 @@ __all__ = [
     "QueryResult",
     "ReadSnapshot",
     "RetentionRequiredError",
+    "ServiceClosedError",
     "ServiceError",
     "SnapshotFormatError",
     "UnlabeledDocumentsError",
@@ -124,6 +125,12 @@ class SnapshotFormatError(ServiceError, ValueError):
     """A snapshot directory cannot back a resumed service."""
 
     code = "bad_snapshot"
+
+
+class ServiceClosedError(ServiceError, RuntimeError):
+    """Collection was requested on a closed service."""
+
+    code = "service_closed"
 
 
 @dataclass(frozen=True)
@@ -192,10 +199,18 @@ class ReadSnapshot:
     def query_batch(
         self, documents: list[CountDocument], k: int = 5
     ) -> list[QueryResult]:
-        """Diagnose count documents against the captured state."""
-        signatures = [
-            self.model.transform(document).unit() for document in documents
-        ]
+        """Diagnose count documents against the captured state.
+
+        The returned query signatures share one dense matrix (see
+        :meth:`~repro.core.tfidf.TfIdfModel.transform_batch`): keeping
+        a single :class:`QueryResult` from a large batch alive keeps
+        the whole batch's matrix alive — copy ``signature.weights`` if
+        you retain a few results from a big diagnosis long-term.
+        """
+        # One vectorized transform for the whole batch — bit-identical
+        # to per-document transform(doc).unit(), per the batch-ingest
+        # oracle contract.
+        signatures = self.model.transform_batch(documents)
         batched = self.view.search_batch(signatures, k=k, metric=self.metric)
         out: list[QueryResult] = []
         for signature, results in zip(signatures, batched):
@@ -260,6 +275,13 @@ class MonitorService:
         self._lock = threading.Lock()
         #: Serializes snapshot disk I/O without blocking queries/ingest.
         self._snapshot_lock = threading.Lock()
+        #: One persistent collection pool for the service's lifetime,
+        #: created lazily on the first multi-job ingest and shut down by
+        #: :meth:`close` — tearing a pool down per ingest call made the
+        #: pool setup the dominant cost of many small jobs.
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
         self._session_documents: list[CountDocument] = []
         self._baseline_signatures: list[Signature] = []
         self._reweights = 0
@@ -324,6 +346,48 @@ class MonitorService:
             retain_documents=retain_documents,
         )
 
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        """Refuse collection on a closed service, whatever the job count."""
+        with self._pool_lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+
+    def _executor(self) -> ThreadPoolExecutor:
+        """The persistent collection pool (created on first use)."""
+        with self._pool_lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="fmeter-ingest",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the collection pool; idempotent.
+
+        Collection (:meth:`ingest`, :meth:`ingest_streaming`) refuses
+        uniformly after close; the pure document fold
+        (:meth:`ingest_documents`), queries, and snapshots stay
+        usable.  Long-lived embedders (the CLI, the gateway) call this
+        on the way out so worker threads don't linger to interpreter
+        exit.
+        """
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "MonitorService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- ingestion ---------------------------------------------------------------
 
     def _next_run_seed(self) -> int:
@@ -350,13 +414,25 @@ class MonitorService:
         critical section.
         """
         start = time.perf_counter()
+        self._check_open()
         if not jobs:
             raise EmptyBatchError("no ingest jobs given")
         if len(jobs) == 1:
             doc_lists = [self._collect(jobs[0])]
         else:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                doc_lists = list(pool.map(self._collect, jobs))
+            try:
+                doc_lists = list(self._executor().map(self._collect, jobs))
+            except RuntimeError as exc:
+                # close() can win the race after _check_open(): the
+                # pool then refuses with the stdlib's "cannot schedule
+                # new futures" message.  Relabel only that refusal, and
+                # only when this service really did close — a worker's
+                # own RuntimeError must propagate untouched either way.
+                with self._pool_lock:
+                    closed = self._closed
+                if closed and "cannot schedule new futures" in str(exc):
+                    raise ServiceClosedError("service is closed") from exc
+                raise
         documents = [doc for docs in doc_lists for doc in docs]
         return self.ingest_documents(
             documents, elapsed_s=time.perf_counter() - start
@@ -365,24 +441,36 @@ class MonitorService:
     def ingest_documents(
         self, documents: list[CountDocument], elapsed_s: float | None = None
     ) -> IngestReport:
-        """Fold already-collected labeled documents into model and index."""
+        """Fold already-collected labeled documents into model and index.
+
+        The batch stacks into columnar form **once**, outside the lock —
+        :meth:`~repro.core.document.DocumentBatch.from_documents` is the
+        single validation pass (vocabulary check with an identity fast
+        path, unlabeled tally, per-label counts; the old path scanned
+        the batch four separate times) — and the critical section is
+        three vectorized calls: one df fold, one batch transform, one
+        bulk index append.  Concurrent queriers and the API dispatcher
+        wait behind per-batch array ops now, not per-document Python.
+        """
         start = time.perf_counter()
-        unlabeled = sum(1 for doc in documents if doc.label is None)
-        if unlabeled:
-            raise UnlabeledDocumentsError(
-                f"{unlabeled} of {len(documents)} documents are unlabeled; "
-                "the service indexes labeled signatures only (use query() "
-                "to diagnose unlabeled documents)"
-            )
-        for doc in documents:
-            # Checked before partial_fit: a foreign batch must not fit
+        try:
+            # Stacked before partial_fit: a foreign batch must not fit
             # the fresh model to the wrong vocabulary (or half-apply df)
             # before the database rejects its signatures.
-            if doc.vocabulary != self.vocabulary:
-                raise VocabularyMismatchError(
-                    "document vocabulary does not match this service's "
-                    "kernel build (vocabulary fingerprints differ)"
-                )
+            batch = DocumentBatch.from_documents(
+                documents, vocabulary=self.vocabulary
+            )
+        except ValueError as exc:
+            raise VocabularyMismatchError(
+                "document vocabulary does not match this service's "
+                "kernel build (vocabulary fingerprints differ)"
+            ) from exc
+        if batch.unlabeled_documents:
+            raise UnlabeledDocumentsError(
+                f"{batch.unlabeled_documents} of {len(documents)} documents "
+                "are unlabeled; the service indexes labeled signatures only "
+                "(use query() to diagnose unlabeled documents)"
+            )
         with self._lock:
             # Drift falls out of the fold itself in O(batch support) —
             # the old full-vocabulary |idf - old_idf| scan per call was
@@ -392,11 +480,10 @@ class MonitorService:
             # but this report's contract is inf until a first fit
             # exists to drift from.
             first_fit = not self.model.fitted
-            drift = self.model.partial_fit_drift(documents)
+            drift = self.model.partial_fit_drift(batch)
             if first_fit:
                 drift = float("inf")
-            for doc in documents:
-                self.database.add(self.model.transform(doc).unit())
+            self.database.add_batch(self.model.transform_batch(batch))
             if self.retain_documents:
                 self._session_documents.extend(documents)
             # Auto run seeds must stay ahead of out-of-band ingests:
@@ -406,12 +493,9 @@ class MonitorService:
             if self._run_seed_counter < self.model.corpus_size:
                 self._run_seed_counter = self.model.corpus_size
             self._syndromes_stale = True
-            by_label: dict[str, int] = {}
-            for doc in documents:
-                by_label[doc.label] = by_label.get(doc.label, 0) + 1
             return IngestReport(
                 documents=len(documents),
-                by_label=by_label,
+                by_label=dict(batch.label_counts),
                 corpus_size=self.model.corpus_size,
                 indexed=len(self.database),
                 idf_drift=drift,
@@ -442,6 +526,7 @@ class MonitorService:
         documents enter the index as they are harvested rather than when
         the whole run finishes.
         """
+        self._check_open()
         documents = self._collect(job, on_document=self.streaming_observer())
         return len(documents)
 
@@ -470,10 +555,10 @@ class MonitorService:
                 use_idf=self.model.use_idf,
                 normalize_tf=self.model.normalize_tf,
             )
-            for signature in self._baseline_signatures:
-                rebuilt.add(signature)
-            for doc in self._session_documents:
-                rebuilt.add(self.model.transform(doc).unit())
+            rebuilt.add_batch(self._baseline_signatures)
+            rebuilt.add_batch(
+                self.model.transform_batch(self._session_documents)
+            )
             if self.database.syndromes():
                 rebuilt.build_all_syndromes()
             rebuilt.shard_size = self.database.shard_size

@@ -1,0 +1,337 @@
+"""The vectorized batch-ingest path and its bit-identity contract.
+
+The columnar ingest rebuild (``DocumentBatch`` -> stacked df fold ->
+``transform_batch`` -> ``add_batch``) replaces per-document Python loops
+with whole-batch array work, under one hard contract: **every observable
+result is bitwise equal to the retained per-document oracle** —
+``TfIdfModel.partial_fit_reference`` (the seed fold, kept verbatim),
+``transform(doc).unit()``, and per-document ``add``.  The hypothesis
+property here pins that contract for *any* split of a corpus into
+batches: document frequencies, idf, reported drift, unit signature
+weights, index norms, and search scores all land on identical bits no
+matter how the stream was chunked.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import SignatureDatabase
+from repro.core.document import CountDocument, DocumentBatch
+from repro.core.index import SignatureIndex
+from repro.core.sparse import CsrMatrix, SparseVector, sequential_norms
+from repro.core.tfidf import TfIdfModel
+from repro.core.vocabulary import Vocabulary
+
+DIMS = 7
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary(list(range(1, DIMS + 1)))
+
+
+def doc(vocab, counts, label="a"):
+    return CountDocument(vocab, np.array(counts, dtype=np.int64), label=label)
+
+
+def make_docs(vocab, count_rows, labels=None):
+    labels = labels or [f"class-{i % 3}" for i in range(len(count_rows))]
+    return [
+        doc(vocab, row, label)
+        for row, label in zip(count_rows, labels)
+    ]
+
+
+# -- strategies ------------------------------------------------------------------
+
+count_rows = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=9), min_size=DIMS, max_size=DIMS
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@st.composite
+def corpus_and_split(draw):
+    rows = draw(count_rows)
+    boundaries = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(rows)), max_size=4
+            )
+        )
+    )
+    return rows, boundaries
+
+
+def split_batches(documents, boundaries):
+    edges = [0, *boundaries, len(documents)]
+    return [
+        documents[a:b] for a, b in zip(edges, edges[1:])
+    ]
+
+
+# -- the contract ---------------------------------------------------------------
+
+
+class TestBatchFoldBitIdentity:
+    @settings(max_examples=120, deadline=None)
+    @given(corpus_and_split())
+    def test_any_split_matches_the_per_document_oracle(self, data):
+        """df, idf, drift, unit weights, norms, scores: all bitwise."""
+        rows, boundaries = data
+        vocab = Vocabulary(list(range(1, DIMS + 1)))
+        documents = make_docs(vocab, rows)
+
+        oracle = TfIdfModel()
+        vectorized = TfIdfModel()
+        for batch in split_batches(documents, boundaries):
+            drift_ref = oracle.partial_fit_reference(batch)
+            drift = vectorized.partial_fit_drift(batch)
+            # Drift per batch: the stacked fold must report exactly what
+            # the seed fold reports for the same batch (inf and 0.0
+            # included).
+            assert repr(drift) == repr(drift_ref)
+        assert np.array_equal(
+            oracle.document_frequencies(), vectorized.document_frequencies()
+        )
+        assert np.array_equal(oracle.idf(), vectorized.idf())
+        assert oracle.corpus_size == vectorized.corpus_size
+
+        # Transforms under the final idf: batch vs per-document oracle.
+        batch_sigs = vectorized.transform_batch(documents)
+        oracle_sigs = [oracle.transform(d).unit() for d in documents]
+        for ours, ref in zip(batch_sigs, oracle_sigs):
+            assert np.array_equal(ours.weights, ref.weights)
+            assert ours.label == ref.label
+            assert dict(ours.to_sparse().sorted_items()) == dict(
+                ref.to_sparse().sorted_items()
+            )
+
+        # Index state: one bulk append vs per-document adds.
+        ours, theirs = SignatureIndex(), SignatureIndex()
+        ours.add_batch(batch_sigs)
+        for sig in oracle_sigs:
+            theirs.add(sig)
+        n = len(documents)
+        assert np.array_equal(ours._norms[:n], theirs._norms[:n])
+        for metric in ("cosine", "euclidean"):
+            mine = ours.search_batch(oracle_sigs, k=5, metric=metric)
+            ref = theirs.search_batch(oracle_sigs, k=5, metric=metric)
+            assert [
+                [(hit.signature_id, hit.score) for hit in row] for row in mine
+            ] == [
+                [(hit.signature_id, hit.score) for hit in row] for row in ref
+            ]
+
+    @settings(max_examples=60, deadline=None)
+    @given(count_rows)
+    def test_one_batch_equals_per_document_calls(self, rows):
+        """Folding N docs at once == N single-document folds (df/idf)."""
+        vocab = Vocabulary(list(range(1, DIMS + 1)))
+        documents = make_docs(vocab, rows)
+        at_once = TfIdfModel().partial_fit(documents)
+        one_by_one = TfIdfModel()
+        for document in documents:
+            one_by_one.partial_fit([document])
+        assert np.array_equal(
+            at_once.document_frequencies(),
+            one_by_one.document_frequencies(),
+        )
+        assert np.array_equal(at_once.idf(), one_by_one.idf())
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(
+                    min_value=0.0,
+                    max_value=1e3,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_sequential_norms_match_python_fold(self, rows):
+        """sequential_norms == SparseVector.norm()'s own summation."""
+        values = np.array(
+            [v for row in rows for v in row if v != 0.0]
+        )
+        kept_rows = [[v for v in row if v != 0.0] for row in rows]
+        lengths = np.array([len(row) for row in kept_rows], dtype=np.int64)
+        norms = sequential_norms(values, lengths)
+        for row, norm in zip(kept_rows, norms.tolist()):
+            vector = SparseVector(dict(enumerate(row, start=1)))
+            assert repr(vector.norm()) == repr(norm)
+
+
+class TestDocumentBatch:
+    def test_single_validation_pass_tallies(self, vocab):
+        documents = [
+            doc(vocab, [1, 0, 0, 0, 0, 0, 0], "scp"),
+            doc(vocab, [0, 2, 0, 0, 0, 0, 0], "scp"),
+            doc(vocab, [0, 0, 3, 0, 0, 0, 0], "dbench"),
+            CountDocument(vocab, np.zeros(DIMS, dtype=np.int64)),
+        ]
+        batch = DocumentBatch.from_documents(documents)
+        assert len(batch) == 4
+        assert batch.unlabeled_documents == 1
+        assert batch.label_counts == {"scp": 2, "dbench": 1}
+        assert batch.labels == ("scp", "scp", "dbench", None)
+        assert batch.counts.nnz == 3
+
+    def test_counts_round_trip(self, vocab):
+        rows = [[0, 2, 0, 1, 0, 0, 5], [0] * DIMS, [1] * DIMS]
+        batch = DocumentBatch.from_documents(make_docs(vocab, rows))
+        for i, row in enumerate(rows):
+            idx, values = batch.counts.row(i)
+            dense = np.zeros(DIMS, dtype=np.int64)
+            dense[idx] = values
+            assert np.array_equal(dense, np.array(row))
+
+    def test_vocabulary_mismatch_rejected(self, vocab):
+        stranger = CountDocument(
+            Vocabulary([99]), np.array([1], dtype=np.int64)
+        )
+        with pytest.raises(ValueError, match="vocabulary"):
+            DocumentBatch.from_documents(
+                [doc(vocab, [1, 0, 0, 0, 0, 0, 0]), stranger]
+            )
+
+    def test_empty_batch_needs_vocabulary(self, vocab):
+        with pytest.raises(ValueError, match="vocabulary"):
+            DocumentBatch.from_documents([])
+        batch = DocumentBatch.from_documents([], vocabulary=vocab)
+        assert len(batch) == 0
+        assert batch.counts.nnz == 0
+
+    def test_shared_vocabulary_object_fast_path(self, vocab):
+        # Same terms under a distinct object: accepted via fingerprints.
+        twin = Vocabulary(list(range(1, DIMS + 1)))
+        batch = DocumentBatch.from_documents(
+            [doc(vocab, [1, 0, 0, 0, 0, 0, 0]), doc(twin, [0, 1, 0, 0, 0, 0, 0])],
+            vocabulary=vocab,
+        )
+        assert len(batch) == 2
+
+
+class TestCsrMatrix:
+    def test_row_sums_skip_empty_rows(self):
+        matrix = CsrMatrix.from_rows(
+            [
+                (np.array([0, 2], dtype=np.int64), np.array([3, 4], dtype=np.int64)),
+                (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)),
+                (np.array([1], dtype=np.int64), np.array([7], dtype=np.int64)),
+            ],
+            n_cols=3,
+        )
+        assert np.array_equal(matrix.row_sums(), np.array([7, 0, 7]))
+        assert np.array_equal(matrix.column_support(), np.array([1, 1, 1]))
+        assert np.array_equal(matrix.row_ids(), np.array([0, 0, 2]))
+
+    def test_trailing_empty_rows(self):
+        matrix = CsrMatrix.from_rows(
+            [
+                (np.array([1], dtype=np.int64), np.array([5], dtype=np.int64)),
+                (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)),
+            ],
+            n_cols=2,
+        )
+        assert np.array_equal(matrix.row_sums(), np.array([5, 0]))
+
+    def test_inconsistent_arrays_rejected(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CsrMatrix(
+                np.array([0, 2], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                np.array([1.0]),
+                n_cols=3,
+            )
+
+
+class TestBulkAppends:
+    def make_sigs(self, vocab, model, rows):
+        model.partial_fit(make_docs(vocab, rows))
+        return model.transform_batch(make_docs(vocab, rows))
+
+    def test_database_add_batch_validates_before_mutating(self, vocab):
+        model = TfIdfModel()
+        sigs = self.make_sigs(vocab, model, [[1, 0, 0, 0, 0, 0, 2]])
+        unlabeled = sigs[0].relabeled("x")
+        unlabeled.label = None
+        database = SignatureDatabase(vocab)
+        with pytest.raises(ValueError, match="labeled"):
+            database.add_batch([sigs[0], unlabeled])
+        # Strong guarantee: nothing from the bad batch landed.
+        assert len(database) == 0
+        assert len(database.index) == 0
+
+    def test_add_batch_then_remove_and_compact(self, vocab):
+        model = TfIdfModel()
+        sigs = self.make_sigs(
+            vocab,
+            model,
+            [[3, 0, 1, 0, 0, 0, 0], [0, 2, 0, 0, 1, 0, 0], [0, 0, 0, 4, 0, 0, 1]],
+        )
+        index = SignatureIndex()
+        ids = index.add_batch(sigs)
+        assert ids == [0, 1, 2]
+        index.remove(1)
+        index.compact()
+        assert index.tombstones == 0
+        results = index.search(sigs[0], k=3)
+        assert 1 not in [hit.signature_id for hit in results]
+
+    def test_posting_lists_match_per_document_adds(self, vocab):
+        model = TfIdfModel()
+        sigs = self.make_sigs(
+            vocab, model, [[1, 2, 0, 0, 0, 0, 0], [0, 2, 3, 0, 0, 0, 0]]
+        )
+        bulk, loop = SignatureIndex(), SignatureIndex()
+        bulk.add_batch(sigs)
+        for sig in sigs:
+            loop.add(sig)
+        for dim in range(DIMS):
+            assert bulk.posting_list(dim) == loop.posting_list(dim)
+
+    def test_empty_add_batch(self, vocab):
+        index = SignatureIndex()
+        assert index.add_batch([]) == []
+        database = SignatureDatabase(vocab)
+        assert database.add_batch([]) == []
+
+    def test_rejected_batch_leaves_vocabulary_unbound(self, vocab):
+        """A refused mixed batch must not bind the index's vocabulary."""
+        model = TfIdfModel()
+        good = self.make_sigs(vocab, model, [[1, 0, 0, 0, 0, 0, 0]])[0]
+        other_vocab = Vocabulary([51, 52])
+        other_model = TfIdfModel()
+        other_model.partial_fit(
+            [CountDocument(other_vocab, np.array([1, 1], dtype=np.int64), label="x")]
+        )
+        foreign = other_model.transform_batch(
+            [CountDocument(other_vocab, np.array([2, 0], dtype=np.int64), label="x")]
+        )[0]
+        index = SignatureIndex()
+        with pytest.raises(ValueError, match="vocabulary"):
+            index.add_batch([good, foreign])
+        # The untouched index still accepts either vocabulary.
+        assert index.add_batch([foreign]) == [0]
+
+    def test_empty_transform_batch_on_unfitted_model(self, vocab):
+        """[] in, [] out, fitted or not — like the per-doc comprehension."""
+        model = TfIdfModel()
+        assert model.transform_batch([]) == []
+        assert model.transform_batch(
+            DocumentBatch.from_documents([], vocabulary=vocab)
+        ) == []
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.transform_batch([doc(vocab, [1, 0, 0, 0, 0, 0, 0])])

@@ -82,6 +82,75 @@ class TestIngestion:
         with pytest.raises(ValueError, match="positive"):
             IngestJob(ScpWorkload(seed=1), 0)
 
+    def test_batch_ingest_equals_per_document_streaming_fold(
+        self, pipeline, service
+    ):
+        """One vectorized batch == the same docs folded one at a time.
+
+        Document frequencies and idf are split-invariant, so the final
+        model state must land on identical bits either way (signatures
+        differ only in idf vintage, which reweight() reconciles).
+        """
+        docs = pipeline.collect_documents(ScpWorkload(seed=21), 6, run_seed=1)
+        streaming = MonitorService(pipeline, max_workers=2)
+        for doc in docs:
+            streaming.ingest_documents([doc])
+        service.ingest_documents(docs)
+        assert np.array_equal(
+            service.model.document_frequencies(),
+            streaming.model.document_frequencies(),
+        )
+        assert np.array_equal(service.model.idf(), streaming.model.idf())
+        assert len(service.database) == len(streaming.database)
+
+
+class TestLifecycle:
+    def test_pool_persists_across_ingest_calls(self, service):
+        jobs = [
+            IngestJob(ScpWorkload(seed=21), 2, run_seed=1),
+            IngestJob(KernelCompileWorkload(seed=22), 2, run_seed=2),
+        ]
+        service.ingest(jobs)
+        first_pool = service._pool
+        assert first_pool is not None  # multi-job ingest created it
+        service.ingest(jobs)
+        assert service._pool is first_pool  # reused, not rebuilt
+
+    def test_single_job_needs_no_pool(self, service):
+        service.ingest([IngestJob(ScpWorkload(seed=21), 2, run_seed=1)])
+        assert service._pool is None
+
+    def test_close_shuts_down_and_refuses_collection(self, service):
+        jobs = [
+            IngestJob(ScpWorkload(seed=21), 2, run_seed=1),
+            IngestJob(KernelCompileWorkload(seed=22), 2, run_seed=2),
+        ]
+        service.ingest(jobs)
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            service.ingest(jobs)
+        # Uniform fence: a single job (which needs no pool) refuses too,
+        # as does streaming collection.
+        with pytest.raises(RuntimeError, match="closed"):
+            service.ingest([jobs[0]])
+        with pytest.raises(RuntimeError, match="closed"):
+            service.ingest_streaming(jobs[0])
+
+    def test_queries_survive_close(self, fed_service, pipeline):
+        docs = pipeline.collect_documents(ScpWorkload(seed=29), 2, run_seed=7)
+        fed_service.close()
+        assert len(fed_service.query_batch(docs, k=3)) == 2
+
+    def test_context_manager_closes(self, pipeline):
+        with MonitorService(pipeline, max_workers=2) as service:
+            service.ingest([
+                IngestJob(ScpWorkload(seed=21), 2, run_seed=1),
+                IngestJob(KernelCompileWorkload(seed=22), 2, run_seed=2),
+            ])
+        assert service._pool is None
+        assert service._closed
+
 
 class TestStreaming:
     def test_streaming_ingest_lands_per_interval(self, service):
