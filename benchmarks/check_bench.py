@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""CI guard for the committed benchmark artifact.
+
+``benchmarks/output/BENCH_service.json`` is the machine-readable perf
+trajectory: full-scale benchmark runs merge their headline numbers into
+it, and PRs diff it to see what moved.  That only works if the file
+keeps its shape — a benchmark silently renamed, a section dropped, or a
+smoke-scale run committed by mistake would break the trajectory without
+failing anything.  This script fails loudly instead: it checks that the
+artifact exists, was written at full scale, and carries every expected
+section with its expected keys.
+
+Usage::
+
+    python benchmarks/check_bench.py [path/to/BENCH_service.json]
+
+Exit code 0 when the artifact is complete, 1 with a list of problems
+otherwise.  Run by the CI ``throughput-smoke`` job on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = Path(__file__).resolve().parent / "output" / "BENCH_service.json"
+
+#: section -> keys every full-scale run must record.  Append-only:
+#: benchmarks may add keys freely, but removing one breaks the
+#: cross-PR diff and must be deliberate (update this map in the same
+#: change).
+EXPECTED: dict[str, set[str]] = {
+    "ingest": {
+        "documents",
+        "per_document_s",
+        "batch_s",
+        "per_document_docs_per_s",
+        "batch_docs_per_s",
+        "speedup",
+    },
+    "batch_query": {
+        "indexed_signatures",
+        "queries",
+        "per_query_loop_ms",
+        "csr_batch_ms",
+        "ms_per_query",
+        "speedup",
+        "peak_accumulator_bytes",
+    },
+    "query_scaling": {
+        "indexed_signatures",
+        "queries",
+        "cpu_count",
+        "shards",
+        "best_speedup_vs_single_shard",
+    },
+    "snapshot": {
+        "database_size",
+        "shard_size",
+        "delta",
+        "watermarked_ms",
+        "full_verify_ms",
+        "skip_ratio",
+    },
+    "gateway": {
+        "indexed_signatures",
+        "readers",
+        "sustained_queries_per_s",
+        "http_overhead_ms_per_query",
+    },
+}
+
+#: keys every per-shard-count entry of query_scaling.shards must carry.
+QUERY_SCALING_SHARD_KEYS = {
+    "qps",
+    "ms_per_query",
+    "peak_accumulator_bytes",
+    "peak_concurrent_bytes",
+}
+
+
+def check(path: Path) -> list[str]:
+    """All problems with the artifact at ``path`` (empty list: healthy)."""
+    if not path.exists():
+        return [f"{path} is missing — run the full-scale benchmarks"]
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as error:
+        return [f"{path} is not valid JSON: {error}"]
+    if not isinstance(data, dict):
+        return [f"{path} must hold a JSON object, got {type(data).__name__}"]
+
+    problems: list[str] = []
+    if data.get("smoke") is not False:
+        problems.append(
+            "artifact was not written by a full-scale run "
+            f"(smoke={data.get('smoke')!r}); never commit smoke numbers"
+        )
+    for section, keys in EXPECTED.items():
+        payload = data.get(section)
+        if not isinstance(payload, dict):
+            problems.append(f"section {section!r} is missing")
+            continue
+        missing = sorted(keys - payload.keys())
+        if missing:
+            problems.append(f"section {section!r} lacks keys: {missing}")
+    scaling = data.get("query_scaling")
+    if isinstance(scaling, dict) and isinstance(scaling.get("shards"), dict):
+        shards = scaling["shards"]
+        if "1" not in shards:
+            problems.append(
+                "query_scaling.shards lacks the single-shard baseline ('1')"
+            )
+        for count, entry in sorted(shards.items()):
+            if not isinstance(entry, dict):
+                problems.append(f"query_scaling.shards[{count!r}] is not an object")
+                continue
+            missing = sorted(QUERY_SCALING_SHARD_KEYS - entry.keys())
+            if missing:
+                problems.append(
+                    f"query_scaling.shards[{count!r}] lacks keys: {missing}"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    problems = check(path)
+    if problems:
+        print(f"BENCH check FAILED for {path}:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"BENCH check OK: {path} carries "
+        f"{', '.join(sorted(EXPECTED))} (full scale)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

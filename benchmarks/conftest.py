@@ -20,6 +20,21 @@ from repro.experiments.table4_svm_workloads import collect_workload_signatures
 OUTPUT_DIR = Path(__file__).parent / "output"
 SEED = 2012
 
+#: The committed full-scale metrics artifact.  Smoke runs must NEVER
+#: write it — they would replace real measurements with toy-scale noise.
+BENCH_FILE = "BENCH_service.json"
+SMOKE_BENCH_FILE = "BENCH_service.smoke.json"
+
+
+def bench_output_path(smoke: bool) -> Path:
+    """Where ``record_bench`` writes for the given mode.
+
+    The single source of truth for the smoke/full split; the write-path
+    test in test_service_throughput.py pins that the smoke path can
+    never alias the committed artifact.
+    """
+    return OUTPUT_DIR / (SMOKE_BENCH_FILE if smoke else BENCH_FILE)
+
 
 @pytest.fixture(scope="session")
 def save_table():
@@ -48,11 +63,18 @@ def record_bench():
     numbers.
     """
     smoke = os.environ.get("SERVICE_BENCH_SMOKE") == "1"
-    path = OUTPUT_DIR / (
-        "BENCH_service.smoke.json" if smoke else "BENCH_service.json"
-    )
+    path = bench_output_path(smoke)
 
     def record(key: str, payload: dict) -> None:
+        # Belt and braces on the write path itself: whatever the path
+        # derivation above does in the future, a smoke run must be
+        # physically unable to clobber the committed artifact.  A real
+        # raise, not an assert — python -O must not disarm it.
+        if smoke and path.name == BENCH_FILE:
+            raise RuntimeError(
+                "smoke run attempted to write the committed full-scale "
+                f"{BENCH_FILE}"
+            )
         OUTPUT_DIR.mkdir(exist_ok=True)
         data: dict = {}
         if path.exists():

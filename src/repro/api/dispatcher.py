@@ -150,6 +150,7 @@ class Dispatcher:
             index_tombstones=stats["index_tombstones"],
             index_compiled_postings=stats["index_compiled_postings"],
             index_tail_postings=stats["index_tail_postings"],
+            index_shards=stats["index_shards"],
             snapshot_shard_size=stats["snapshot_shard_size"],
             snapshot_generation=stats["snapshot_generation"],
             snapshot_watermark_shards=stats["snapshot_watermark_shards"],

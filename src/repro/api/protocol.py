@@ -630,6 +630,11 @@ class StatsResponse(_Message):
 
     Field names match :meth:`MonitorService.stats` one-for-one; the CLI
     ``--json`` mode prints exactly this wire form.
+
+    ``index_shards`` (the scoring engine's query-shard count) is an
+    *optional* v1 field riding on the unknown-field tolerance: servers
+    that predate it simply omit it (parsed as ``None``), and clients
+    that predate it ignore it — no version bump either way.
     """
 
     corpus_size: int
@@ -646,6 +651,7 @@ class StatsResponse(_Message):
     reweights: int
     max_workers: int
     metric: str
+    index_shards: int | None = None
 
     _INT_FIELDS = (
         "corpus_size",
@@ -666,6 +672,7 @@ class StatsResponse(_Message):
         wire["labels"] = list(self.labels)
         wire["snapshot_shard_size"] = self.snapshot_shard_size
         wire["metric"] = self.metric
+        wire["index_shards"] = self.index_shards
         return wire
 
     @classmethod
@@ -682,10 +689,17 @@ class StatsResponse(_Message):
             raise _invalid(
                 "field 'snapshot_shard_size' must be an integer or null"
             )
+        # Optional field: absent (an older server) parses as None.
+        index_shards = wire.get("index_shards")
+        if index_shards is not None and (
+            isinstance(index_shards, bool) or not isinstance(index_shards, int)
+        ):
+            raise _invalid("field 'index_shards' must be an integer or null")
         return cls(
             labels=tuple(labels),
             snapshot_shard_size=shard_size,
             metric=_get(wire, "metric", str),
+            index_shards=index_shards,
             **{name: _get(wire, name, int) for name in cls._INT_FIELDS},
         )
 

@@ -158,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--interval-seconds", type=_positive_float, default=10.0)
     serve.add_argument("--workers", type=_positive_int, default=4,
                        help="collection thread-pool size")
+    serve.add_argument("--shards", type=_positive_int, default=None,
+                       help="query-engine shard count: search_batch "
+                            "fans each query batch out across this many "
+                            "signature-id-range shards (default: auto — "
+                            "one per CPU core)")
     serve.add_argument("--shard-size", type=_positive_int, default=None,
                        help="signatures per snapshot shard (default: the "
                             "state dir's existing size, else 256)")
@@ -390,6 +395,7 @@ def _make_service(
     interval_s: float = 10.0,
     workers: int = 4,
     require_existing: bool = False,
+    shards: int | None = None,
 ):
     """A MonitorService over ``--state-dir``: resumed if it exists.
 
@@ -411,7 +417,7 @@ def _make_service(
     if header.exists():
         try:
             service = MonitorService.resume(
-                pipeline, state_dir, max_workers=workers
+                pipeline, state_dir, max_workers=workers, shards=shards
             )
         except (
             ValueError,
@@ -432,7 +438,7 @@ def _make_service(
                 f"{state_dir} holds no service snapshot; run "
                 "'python -m repro serve' first"
             )
-        service = MonitorService(pipeline, max_workers=workers)
+        service = MonitorService(pipeline, max_workers=workers, shards=shards)
         print(f"starting fresh service state in {state_dir}")
     return service, state_dir
 
@@ -466,7 +472,8 @@ def _cmd_serve(args) -> int:
         _parse_hostport(args.listen) if args.listen is not None else None
     )
     service, state_dir = _make_service(
-        args, interval_s=args.interval_seconds, workers=args.workers
+        args, interval_s=args.interval_seconds, workers=args.workers,
+        shards=args.shards,
     )
     # The service owns a persistent collection pool; close it however
     # the command ends so worker threads don't outlive the run.
@@ -662,6 +669,12 @@ def _cmd_stats(args) -> int:
     print(f"  compiled postings:    {response.index_compiled_postings}")
     print(f"  tail postings:        {response.index_tail_postings}")
     print(f"  tombstones:           {response.index_tombstones}")
+    shards_text = (
+        str(response.index_shards)
+        if response.index_shards is not None
+        else "unknown (pre-shard server)"
+    )
+    print(f"  query shards:         {shards_text}")
     print("snapshot layout:")
     print(f"  shard size:           {response.snapshot_shard_size}")
     print(f"  generation:           {response.snapshot_generation}")

@@ -74,9 +74,12 @@ class SignatureDatabase:
         corpus_size: int = 0,
         use_idf: bool = True,
         normalize_tf: bool = True,
+        shards: int | None = None,
     ):
         self.vocabulary = vocabulary
-        self.index = SignatureIndex()
+        #: ``shards`` partitions the scoring engine's compiled postings
+        #: into id-range shards (None: auto-sized, one per core).
+        self.index = SignatureIndex(shards=shards)
         self._signatures: list[Signature] = []
         self._syndromes: dict[str, Syndrome] = {}
         if idf is not None:
@@ -216,6 +219,7 @@ class SignatureDatabase:
             corpus_size=self.corpus_size,
             use_idf=self.use_idf,
             normalize_tf=self.normalize_tf,
+            shards=self.index.shards,
         )
         view._signatures = list(self._signatures)
         view._syndromes = dict(self._syndromes)
@@ -339,7 +343,9 @@ class SignatureDatabase:
         np.savez_compressed(path, **arrays)
 
     @classmethod
-    def load(cls, path: str | Path) -> "SignatureDatabase":
+    def load(
+        cls, path: str | Path, shards: int | None = None
+    ) -> "SignatureDatabase":
         path = Path(path)
         with np.load(path, allow_pickle=True) as data:
             vocabulary = Vocabulary(
@@ -347,7 +353,7 @@ class SignatureDatabase:
                 [str(n) for n in data["names"]],
             )
             idf = data["idf"] if "idf" in data and data["idf"].size else None
-            db = cls(vocabulary, idf=idf)
+            db = cls(vocabulary, idf=idf, shards=shards)
             for weights, label in zip(data["weights"], data["labels"]):
                 db.add(
                     Signature(vocabulary, weights, label=str(label))
@@ -585,8 +591,14 @@ class SignatureDatabase:
             tmp.unlink(missing_ok=True)
 
     @classmethod
-    def load_shards(cls, directory: str | Path) -> "SignatureDatabase":
-        """Rebuild a database from a :meth:`save_shards` directory."""
+    def load_shards(
+        cls, directory: str | Path, shards: int | None = None
+    ) -> "SignatureDatabase":
+        """Rebuild a database from a :meth:`save_shards` directory.
+
+        ``shards`` configures the rebuilt scoring engine's query-shard
+        count (unrelated to the on-disk snapshot shards).
+        """
         directory = Path(directory)
         header_path = directory / cls.HEADER_FILE
         if not header_path.exists():
@@ -600,7 +612,7 @@ class SignatureDatabase:
                 [str(n) for n in data["names"]],
             )
             idf = data["idf"] if data["idf"].size else None
-            db = cls(vocabulary, idf=idf)
+            db = cls(vocabulary, idf=idf, shards=shards)
             n_signatures = int(data["n_signatures"])
             shard_size = int(data["shard_size"])
             generation = (

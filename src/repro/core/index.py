@@ -1,4 +1,4 @@
-"""Similarity search over signatures via an array-backed inverted index.
+"""Similarity search over signatures via a sharded, array-backed inverted index.
 
 "Indexable" is the paper's headline property: signatures can be stored and
 later retrieved by similarity against a query signature.  The index keeps a
@@ -8,23 +8,47 @@ nonzero dimensions and accumulating dot products — the standard IR trick,
 effective here because different workloads light up substantially
 different function subsets.
 
-The scoring engine is CSR-backed: postings live in one contiguous
-compiled block (:class:`_CsrPostings` — ``indptr``/``sig_ids``/``weights``
-arrays, term-major), with freshly added signatures collecting in a small
-*tail* of (dim, id, weight) array triplets — one triplet per
-``add``/``add_batch`` call — until the next amortized recompile.  A
-batch of queries is
-scored as one flattened ``bincount`` — effectively the sparse product
-``Q · Sᵀ`` — instead of a Python loop per query per posting entry, and
-the accumulation order is arranged so the array scores are bit-identical
-to the reference term-at-a-time accumulator (kept as
-:meth:`IndexReadView.search_reference`, the semantics oracle).
+The scoring engine is CSR-backed and **sharded**: compiled postings are
+partitioned into ``shards`` signature-id-range blocks (each its own
+immutable :class:`_CsrPostings` — ``indptr``/``sig_ids``/``weights``
+arrays, term-major — covering one contiguous id range), with freshly
+added signatures collecting in a small *tail* of (dim, id, weight) array
+triplets — one triplet per ``add``/``add_batch`` call — until the next
+amortized recompile routes them into the shards.  A batch of queries is
+scored shard by shard: per shard, one flattened ``bincount`` — the
+sparse product ``Q · Sᵀ`` restricted to that shard's id range —
+accumulates into a dense *tile* of ``n_queries × shard_width`` instead
+of a dense row over every id.  The query-chunk cap divides by the
+number of tiles kept in flight, so a scoring pass's *total* dense
+allocation is bounded by one fixed cap whether tiles run sequentially
+or fan out — per-batch accumulator memory no longer grows with the
+index — and tiles stay small enough to be cache-resident.  Per-shard top-k
+(the same partition-then-stable-sort selection) then k-way-merges by
+``(-score, signature_id)`` — provably the order the unsharded global
+sort produces (see :meth:`IndexReadView._merge_rows`) — and the
+accumulation order within every (query, signature) cell is unchanged
+(a signature's postings live in exactly one shard, gathered in
+ascending-dimension order), so scores stay **bit-identical** to the
+reference term-at-a-time accumulator (kept as
+:meth:`IndexReadView.search_reference`, the semantics oracle) for any
+shard count.
+
+Shards are independent work items: with more than one shard on a
+multi-core machine, :meth:`IndexReadView.search_batch` fans the tiles
+out on a small persistent process-wide thread pool (the gather /
+``repeat`` / ``bincount`` kernels run in C and release the GIL), and
+the deterministic merge makes the result independent of completion
+order.  The shard count is auto-sized from ``os.cpu_count()`` (capped)
+unless ``SignatureIndex(shards=...)`` pins it.
 
 Reads never block writes: :meth:`SignatureIndex.read_view` captures an
-immutable :class:`IndexReadView` — CSR blocks are swapped, never
+immutable :class:`IndexReadView` — shard blocks are swapped, never
 mutated, on recompile, and the small mutable leftovers (alive mask,
 signature table) are copied — so a service can take a view under its
-lock and run scoring outside it while ingest continues.
+lock and run scoring outside it while ingest continues.  The capture
+itself is O(1) steady-state: the view is cached per mutation
+generation, so only the first query after a mutation pays the O(live)
+copy.
 
 Metric guarantees: ``cosine`` scores the candidate set (signatures
 sharing at least one term with the query; anything disjoint has cosine
@@ -44,6 +68,9 @@ tombstones outnumber live entries, and implied by every tail recompile.
 from __future__ import annotations
 
 import heapq
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -51,11 +78,57 @@ import numpy as np
 from repro.core.signature import Signature
 from repro.core.sparse import SparseVector, sequential_norms
 
-__all__ = ["IndexReadView", "SearchResult", "SignatureIndex"]
+__all__ = [
+    "IndexReadView",
+    "SearchResult",
+    "SignatureIndex",
+    "auto_shard_count",
+]
 
-#: Cap on the dense (queries × ids) score block a single batch scoring
-#: pass may allocate; larger batches are processed in chunks.
+#: Cap on the dense (queries × ids) score tile a single batch scoring
+#: pass may allocate; larger batches are processed in chunks.  With
+#: sharding the tile width is the widest shard, not the whole id space,
+#: so the same cap admits proportionally more queries per pass.
 _SCORE_BLOCK_ELEMENTS = 1 << 22
+
+#: Ceiling on the auto-sized shard count: past ~one shard per core the
+#: extra per-tile fixed costs (indptr gathers, selection) buy nothing.
+_MAX_AUTO_SHARDS = 8
+
+#: Tiles narrower than this are cheaper to score inline than to ship to
+#: the pool — the captured default executor is only used above it.  An
+#: explicitly passed executor always fans out (tests rely on that).
+_MIN_PARALLEL_TILE_WIDTH = 1024
+
+#: Sentinel: "use the executor captured when the view was taken".
+_UNSET = object()
+
+
+def auto_shard_count() -> int:
+    """The shard count used when none is requested: one per core, capped."""
+    return max(1, min(os.cpu_count() or 1, _MAX_AUTO_SHARDS))
+
+
+_pool_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+
+
+def _scoring_pool() -> ThreadPoolExecutor:
+    """The persistent process-wide scoring pool (created on first use).
+
+    One small fixed pool serves every index in the process: tile tasks
+    are pure array work over immutable view captures (no locks, no
+    shared mutable state), so any number of concurrent readers share it
+    safely, and queries never pay a pool setup/teardown.
+    """
+    global _pool
+    with _pool_lock:
+        if _pool is None:
+            _pool = ThreadPoolExecutor(
+                max_workers=auto_shard_count(),
+                thread_name_prefix="fmeter-score",
+            )
+        return _pool
 
 
 def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -86,13 +159,15 @@ class _CsrPostings:
 
     ``indptr[d]:indptr[d + 1]`` slices ``sig_ids``/``weights`` to the
     posting list of dimension ``d``, ordered by ascending signature id.
-    The block is immutable once built — recompiles swap in a whole new
-    block — so a reader holding a reference keeps a consistent view with
-    no copying.  Every id in the block is ``< id_bound``; ids at or past
-    the bound live in the owning index's tail.
+    The block is immutable once built — recompiles swap in whole new
+    blocks — so a reader holding a reference keeps a consistent view
+    with no copying.  Every id in the block lies in
+    ``[id_base, id_bound)``: the block is one signature-id-range shard,
+    and its dense score tile spans ``id_bound - id_base`` columns, not
+    the whole id space.
     """
 
-    __slots__ = ("indptr", "sig_ids", "weights", "id_bound")
+    __slots__ = ("indptr", "sig_ids", "weights", "id_bound", "id_base")
 
     def __init__(
         self,
@@ -100,6 +175,7 @@ class _CsrPostings:
         sig_ids: np.ndarray,
         weights: np.ndarray,
         id_bound: int,
+        id_base: int = 0,
     ):
         for arr in (indptr, sig_ids, weights):
             arr.setflags(write=False)
@@ -107,6 +183,7 @@ class _CsrPostings:
         self.sig_ids = sig_ids
         self.weights = weights
         self.id_bound = id_bound
+        self.id_base = id_base
 
     @property
     def nnz(self) -> int:
@@ -120,6 +197,7 @@ class _CsrPostings:
         sig_ids: np.ndarray,
         weights: np.ndarray,
         id_bound: int,
+        id_base: int = 0,
     ) -> "_CsrPostings":
         """Compile (dim, id, weight) triplets into one block.
 
@@ -139,34 +217,7 @@ class _CsrPostings:
         dims = dims[order]
         indptr = np.zeros(n_dims + 1, dtype=np.int64)
         np.cumsum(np.bincount(dims, minlength=n_dims), out=indptr[1:])
-        return cls(indptr, sig_ids[order], weights[order], id_bound)
-
-    @classmethod
-    def build(
-        cls, n_dims: int, sparse_by_id: dict[int, SparseVector], id_bound: int
-    ) -> "_CsrPostings":
-        """Compile ``{sig_id: sparse}`` (iterated in ascending-id order)
-        into one block."""
-        if not sparse_by_id:
-            return cls(
-                np.zeros(n_dims + 1, dtype=np.int64),
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=float),
-                id_bound,
-            )
-        dim_parts, id_parts, weight_parts = [], [], []
-        for sig_id, sparse in sparse_by_id.items():
-            dims, values = sparse.arrays()
-            dim_parts.append(dims)
-            id_parts.append(np.full(len(dims), sig_id, dtype=np.int64))
-            weight_parts.append(values)
-        return cls.from_triplets(
-            n_dims,
-            np.concatenate(dim_parts),
-            np.concatenate(id_parts),
-            np.concatenate(weight_parts),
-            id_bound,
-        )
+        return cls(indptr, sig_ids[order], weights[order], id_bound, id_base)
 
 
 class IndexReadView:
@@ -174,36 +225,47 @@ class IndexReadView:
 
     Taken under the owner's lock (:meth:`SignatureIndex.read_view`) and
     then scored with **no lock held**: concurrent ``add``/``remove``/
-    ``compact`` on the owning index are invisible to the view.  The two
-    CSR blocks (compiled postings + compiled tail) and the norms array
-    are shared, not copied — blocks are swapped, never mutated, and norm
-    slots are write-once per id — while the alive mask and signature
-    table are copied at capture: O(live) pointer work, no weight data
-    moves.
+    ``compact`` on the owning index are invisible to the view.  The
+    shard blocks (compiled posting shards + compiled tail) and the norms
+    array are shared, not copied — blocks are swapped, never mutated,
+    and norm slots are write-once per id — while the alive mask and
+    signature table are copied at capture: O(live) pointer work, no
+    weight data moves (and the capture itself is cached per mutation
+    generation, so steady-state queries reuse one view object).
     """
 
     __slots__ = (
         "_vocabulary",
-        "_csr",
+        "_blocks",
         "_tail_csr",
         "_norms",
         "_alive",
         "_signatures",
         "_next_id",
+        "_executor",
         "_postings_cache",
         "_dead_cache",
     )
 
     def __init__(
-        self, vocabulary, csr, tail_csr, norms, alive, signatures, next_id
+        self,
+        vocabulary,
+        blocks,
+        tail_csr,
+        norms,
+        alive,
+        signatures,
+        next_id,
+        executor=None,
     ):
         self._vocabulary = vocabulary
-        self._csr = csr
+        self._blocks = tuple(blocks)
         self._tail_csr = tail_csr
         self._norms = norms
         self._alive = alive
         self._signatures = signatures
         self._next_id = next_id
+        self._executor = executor
         self._postings_cache: dict[int, dict[int, float]] | None = None
         self._dead_cache: frozenset[int] | None = None
 
@@ -216,71 +278,96 @@ class IndexReadView:
         if self._vocabulary is not None and query.vocabulary != self._vocabulary:
             raise ValueError("query vocabulary does not match the index")
 
-    def _dot_block(
-        self, sparses: list[SparseVector], need_candidates: bool = True
+    def _tiles(self) -> list[tuple[int, int, "_CsrPostings | None"]]:
+        """The (lo, hi, block) score tiles covering ``[0, next_id)``.
+
+        One tile per non-empty-range compiled shard plus one for the
+        uncompiled id range (whose postings, if any, sit in the tail
+        block).  A tile's block may be ``None`` or empty — ids in the
+        range can still be alive (zero-weight signatures) and euclidean
+        must score them from norms alone.
+        """
+        tiles: list[tuple[int, int, _CsrPostings | None]] = []
+        for block in self._blocks:
+            if block.id_bound > block.id_base:
+                tiles.append((block.id_base, block.id_bound, block))
+        bound = self._blocks[-1].id_bound if self._blocks else 0
+        if self._next_id > bound:
+            tiles.append((bound, self._next_id, self._tail_csr))
+        return tiles
+
+    @staticmethod
+    def _stack_support(sparses: list[SparseVector]):
+        """The batch's support, stacked once per chunk and shared by
+        every tile: concatenated query dims/weights plus each entry's
+        query-row index."""
+        pairs = [sparse.arrays() for sparse in sparses]
+        sizes = np.array([dims.size for dims, _ in pairs], dtype=np.int64)
+        all_dims = np.concatenate([dims for dims, _ in pairs])
+        all_weights = np.concatenate([values for _, values in pairs])
+        row_of = np.repeat(np.arange(len(sparses), dtype=np.int64), sizes)
+        return all_dims, all_weights, row_of
+
+    def _dot_tile(
+        self,
+        nq: int,
+        all_dims: np.ndarray,
+        all_weights: np.ndarray,
+        row_of: np.ndarray,
+        lo: int,
+        hi: int,
+        block: "_CsrPostings | None",
+        need_candidates: bool,
     ) -> tuple[np.ndarray, np.ndarray | None]:
-        """Dense ``(len(sparses), next_id)`` dot-product and candidate
-        matrices, computed as one flattened ``bincount`` over the gathered
-        posting entries of every query (the sparse ``Q · Sᵀ`` product).
+        """Dense ``(nq, hi - lo)`` dot-product (and candidate) tile for
+        one shard, computed as one flattened ``bincount`` over the
+        gathered posting entries of every query — the sparse ``Q · Sᵀ``
+        product restricted to the shard's id range.
 
         Per accumulator bin, entries arrive in ascending-dimension order
-        (compiled entries and tail entries address disjoint id ranges),
+        (a signature's postings live entirely in this one block),
         matching the reference accumulator's summation order exactly.
 
         ``need_candidates=False`` skips the second (candidate-counting)
         bincount and returns ``None`` for it — exact euclidean scores
         every live signature and never reads the mask.
         """
-        n = self._next_id
-        nq = len(sparses)
-        pairs = [sparse.arrays() for sparse in sparses]
-        all_dims = np.concatenate([dims for dims, _ in pairs])
-        if not all_dims.size:
-            return np.zeros((nq, n)), np.zeros((nq, n), dtype=bool)
-        all_query_weights = np.concatenate([values for _, values in pairs])
-        # Accumulator row offset (query index * n) per support entry, so
-        # the whole batch lands in one flat bincount.
-        row_offsets = np.repeat(
-            np.arange(nq, dtype=np.int64) * n,
-            np.array([dims.size for dims, _ in pairs], dtype=np.int64),
-        )
-        id_parts: list[np.ndarray] = []
-        value_parts: list[np.ndarray] = []
-        for block in (self._csr, self._tail_csr):
-            if block is None or not block.nnz:
-                continue
+        width = hi - lo
+        if block is not None and block.nnz and all_dims.size:
             starts = block.indptr[all_dims]
             counts = block.indptr[all_dims + 1] - starts
             gather = _expand_ranges(starts, counts)
-            if gather.size:
-                id_parts.append(
-                    block.sig_ids[gather] + np.repeat(row_offsets, counts)
-                )
-                value_parts.append(
-                    np.repeat(all_query_weights, counts) * block.weights[gather]
-                )
-        if not id_parts:
+        else:
+            gather = np.empty(0, dtype=np.int64)
+        if not gather.size:
             empty_mask = (
-                np.zeros((nq, n), dtype=bool) if need_candidates else None
+                np.zeros((nq, width), dtype=bool) if need_candidates else None
             )
-            return np.zeros((nq, n)), empty_mask
-        flat_ids = np.concatenate(id_parts)
-        flat_values = np.concatenate(value_parts)
+            return np.zeros((nq, width)), empty_mask
+        # Accumulator offset (query row * width - shard base) per
+        # gathered entry, so the whole batch lands in one flat bincount
+        # over local (in-shard) columns.
+        flat_ids = block.sig_ids[gather] + np.repeat(
+            row_of * np.int64(width) - lo, counts
+        )
+        flat_values = np.repeat(all_weights, counts) * block.weights[gather]
         dots = np.bincount(
-            flat_ids, weights=flat_values, minlength=nq * n
-        ).reshape(nq, n)
+            flat_ids, weights=flat_values, minlength=nq * width
+        ).reshape(nq, width)
         if not need_candidates:
             return dots, None
-        touched = np.bincount(flat_ids, minlength=nq * n).reshape(nq, n)
+        touched = np.bincount(flat_ids, minlength=nq * width).reshape(nq, width)
         return dots, touched > 0
 
-    def _score_matrix(
+    def _tile_scores(
         self,
         query_norms: np.ndarray,
         dots: np.ndarray,
+        lo: int,
+        hi: int,
         metric: str,
     ) -> np.ndarray:
-        """Scores for every (query, id) cell of the accumulator block.
+        """Scores for every (query, id) cell of one shard's tile.
 
         Cells outside the selection mask (non-candidates for cosine,
         tombstones for either metric) may hold garbage — selection never
@@ -289,7 +376,7 @@ class IndexReadView:
         guarded division of the reference scorer reduces to plain
         elementwise ops here.
         """
-        norms = self._norms[: self._next_id]
+        norms = self._norms[lo:hi]
         if metric == "cosine":
             # Clamped like SparseVector.cosine: accumulated dots can
             # round a hair past 1.0 for near-identical vectors, and
@@ -307,15 +394,15 @@ class IndexReadView:
         return -np.sqrt(d2)
 
     def _select_row(
-        self, chosen: np.ndarray, scores_row: np.ndarray, k: int
+        self, ids: np.ndarray, scores: np.ndarray, k: int
     ) -> list[SearchResult]:
-        """Top-k results among ``chosen`` ids, ties broken by ascending
-        id (``chosen`` is ascending, and the stable sort preserves it)."""
-        if chosen.size == 0:
+        """Top-k results among ``ids`` (ascending, aligned with
+        ``scores``), ties broken by ascending id (the stable sort
+        preserves the input order)."""
+        if ids.size == 0:
             return []
-        scores = scores_row[chosen]
         negated = -scores
-        if chosen.size > 4 * k:
+        if ids.size > 4 * k:
             # Partition down to ~k before the exact sort.  Partitioning
             # breaks ties arbitrarily, so candidates tied with the k-th
             # value are re-gathered explicitly and filled in ascending
@@ -329,12 +416,126 @@ class IndexReadView:
             order = np.argsort(negated, kind="stable")[:k]
         return [
             SearchResult(
-                signature_id=int(chosen[j]),
-                signature=self._signatures[int(chosen[j])],
+                signature_id=int(ids[j]),
+                signature=self._signatures[int(ids[j])],
                 score=float(scores[j]),
             )
             for j in order
         ]
+
+    def _search_tile(
+        self,
+        tile: tuple[int, int, "_CsrPostings | None"],
+        nq: int,
+        all_dims: np.ndarray,
+        all_weights: np.ndarray,
+        row_of: np.ndarray,
+        query_norms: np.ndarray,
+        k: int,
+        metric: str,
+    ) -> list[list[SearchResult]]:
+        """One shard's top-k rows for a query chunk (pool work item).
+
+        Pure array work over the view's immutable capture — no locks,
+        no shared mutable state — so any number of tiles run
+        concurrently on the scoring pool.
+        """
+        lo, hi, block = tile
+        need_candidates = metric == "cosine"
+        dots, candidates = self._dot_tile(
+            nq, all_dims, all_weights, row_of, lo, hi, block, need_candidates
+        )
+        scores = self._tile_scores(query_norms, dots, lo, hi, metric)
+        alive_slice = self._alive[lo:hi]
+        # Exact euclidean scores every live signature in the range,
+        # query-independent: disjoint pairs contribute dot 0 but still
+        # have a finite distance (see the module docstring).
+        alive_local = None if need_candidates else np.flatnonzero(alive_slice)
+        out: list[list[SearchResult]] = []
+        for qi in range(nq):
+            chosen = (
+                alive_local
+                if alive_local is not None
+                else np.flatnonzero(candidates[qi] & alive_slice)
+            )
+            out.append(self._select_row(chosen + lo, scores[qi][chosen], k))
+        return out
+
+    @staticmethod
+    def _merge_rows(
+        rows: list[list[SearchResult]], k: int
+    ) -> list[SearchResult]:
+        """k-way merge of per-shard top-k rows for one query.
+
+        Provably equal to the unsharded global selection: the global
+        top-k are the k smallest ``(-score, id)`` keys over all live
+        candidates; every one of them is among the k smallest of its own
+        shard (a shard holds a subset), so the union of per-shard top-k
+        lists contains the global top-k, and sorting the union by the
+        same key — score descending, ascending id on ties, exactly the
+        stable-sort order :meth:`_select_row` produces — yields them in
+        the global order.  Keys are unique (ids are), so the merge is
+        deterministic regardless of shard completion order.
+        """
+        nonempty = [row for row in rows if row]
+        if not nonempty:
+            return []
+        if len(nonempty) == 1:
+            return nonempty[0][:k]
+        merged = sorted(
+            (result for row in nonempty for result in row),
+            key=lambda r: (-r.score, r.signature_id),
+        )
+        return merged[:k]
+
+    def _fan_out_width(self, tiles) -> int:
+        """How many tiles the default executor would keep in flight at
+        once (1 when scoring runs sequentially).  The query-chunk cap is
+        divided by this, so the *total* accumulator allocation of a
+        scoring pass respects ``_SCORE_BLOCK_ELEMENTS`` whether tiles
+        run sequentially or concurrently."""
+        max_width = max(hi - lo for lo, hi, _ in tiles)
+        if (
+            self._executor is not None
+            and len(tiles) > 1
+            and max_width >= _MIN_PARALLEL_TILE_WIDTH
+        ):
+            return len(tiles)
+        return 1
+
+    def peak_accumulator_bytes(
+        self, batch_size: int, metric: str = "cosine", fan_out: int | None = None
+    ) -> int:
+        """Dense accumulator bytes one scoring pass allocates for a
+        batch of ``batch_size`` queries, summed over every matrix and
+        every concurrently in-flight tile.
+
+        Cosine allocates two equal dense matrices per tile (dots plus
+        the candidate-count bincount); euclidean allocates one.  Under
+        pool fan-out all tiles of a chunk are live at once — the chunk
+        cap divides by the fan-out width so the total stays bounded
+        either way.  ``fan_out`` pins the assumed in-flight tile count
+        (``None``: what this view's default executor would do;
+        ``1``: the sequential per-tile bound, the hardware-independent
+        number that shrinks ~S-fold with the shard count versus an
+        unsharded accumulator over the whole id space — benchmarks
+        print both so regressions are visible).
+        """
+        tiles = self._tiles()
+        if not tiles or batch_size <= 0:
+            return 0
+        width = max(hi - lo for lo, hi, _ in tiles)
+        concurrency = (
+            self._fan_out_width(tiles)
+            if fan_out is None
+            else max(1, min(fan_out, len(tiles)))
+        )
+        matrices = 2 if metric == "cosine" else 1
+        nq = min(
+            batch_size,
+            max(1, _SCORE_BLOCK_ELEMENTS // (width * concurrency)),
+        )
+        return matrices * nq * width * 8 * concurrency
 
     def search(
         self, query: Signature, k: int = 10, metric: str = "cosine"
@@ -350,14 +551,26 @@ class IndexReadView:
         return self.search_batch([query], k=k, metric=metric)[0]
 
     def search_batch(
-        self, queries: list[Signature], k: int = 10, metric: str = "cosine"
+        self,
+        queries: list[Signature],
+        k: int = 10,
+        metric: str = "cosine",
+        executor=_UNSET,
     ) -> list[list[SearchResult]]:
         """Top-k results for each query, in query order.
 
-        The whole batch is scored as one sparse matrix–matrix product
-        (chunked to bound the dense accumulator), so per-query Python
-        overhead is amortized away; scores are bit-identical to
-        :meth:`search_reference`.
+        The batch is scored shard by shard as bounded dense tiles (one
+        sparse matrix product per shard, chunked so no tile exceeds the
+        accumulator cap) and the per-shard top-k merged per query;
+        scores and result order are bit-identical to
+        :meth:`search_reference` for any shard count.
+
+        ``executor`` overrides the fan-out: the default uses the pool
+        captured at view creation (None on single-core machines or
+        single-shard indexes, and skipped for tiles too narrow to be
+        worth shipping); pass ``None`` to force sequential scoring or
+        any ``Executor`` to force fan-out.  The choice affects wall
+        clock only — results are bitwise identical either way.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -371,28 +584,41 @@ class IndexReadView:
             return []
         if self._next_id == 0:
             return [[] for _ in queries]
-        sparses = [query.to_sparse() for query in queries]
-        block = max(1, _SCORE_BLOCK_ELEMENTS // self._next_id)
-        out: list[list[SearchResult]] = []
-        alive = self._alive
-        # Exact euclidean scores every live signature, query-independent:
-        # disjoint pairs contribute dot 0 but still have a finite
-        # distance, so nothing is pruned (see the module docstring).
-        alive_idx = np.flatnonzero(alive) if metric == "euclidean" else None
-        for start in range(0, len(sparses), block):
-            chunk = sparses[start : start + block]
-            dots, candidates = self._dot_block(
-                chunk, need_candidates=alive_idx is None
+        tiles = self._tiles()
+        max_width = max(hi - lo for lo, hi, _ in tiles)
+        if executor is _UNSET:
+            pool = (
+                self._executor
+                if len(tiles) > 1 and max_width >= _MIN_PARALLEL_TILE_WIDTH
+                else None
             )
+        else:
+            pool = executor if len(tiles) > 1 else None
+        sparses = [query.to_sparse() for query in queries]
+        # Fan-out keeps every tile of a chunk in flight at once, so the
+        # chunk cap divides by the tile count: the pass's *total* dense
+        # allocation respects the cap sequentially and in parallel
+        # alike.  Chunking never changes bits — each query row
+        # accumulates independently.
+        concurrency = len(tiles) if pool is not None else 1
+        chunk_size = max(1, _SCORE_BLOCK_ELEMENTS // (max_width * concurrency))
+        out: list[list[SearchResult]] = []
+        for start in range(0, len(sparses), chunk_size):
+            chunk = sparses[start : start + chunk_size]
+            nq = len(chunk)
             query_norms = np.array([sparse.norm() for sparse in chunk])
-            scores = self._score_matrix(query_norms, dots, metric)
-            for qi in range(len(chunk)):
-                chosen = (
-                    alive_idx
-                    if alive_idx is not None
-                    else np.flatnonzero(candidates[qi] & alive)
-                )
-                out.append(self._select_row(chosen, scores[qi], k))
+            all_dims, all_weights, row_of = self._stack_support(chunk)
+            args = (nq, all_dims, all_weights, row_of, query_norms, k, metric)
+            if pool is not None:
+                futures = [
+                    pool.submit(self._search_tile, tile, *args)
+                    for tile in tiles
+                ]
+                tile_rows = [future.result() for future in futures]
+            else:
+                tile_rows = [self._search_tile(tile, *args) for tile in tiles]
+            for qi in range(nq):
+                out.append(self._merge_rows([rows[qi] for rows in tile_rows], k))
         return out
 
     def label_votes(
@@ -414,12 +640,13 @@ class IndexReadView:
         Only the reference scorer pays for this; it reconstructs exactly
         what the seed implementation maintained incrementally — per
         dimension, ``{signature id: weight}`` in ascending-id insertion
-        order — so timing :meth:`search_reference` against it is a
-        faithful baseline.
+        order (shard blocks cover ascending id ranges, so walking them
+        in order preserves it) — so timing :meth:`search_reference`
+        against it is a faithful baseline.
         """
         if self._postings_cache is None:
             postings: dict[int, dict[int, float]] = {}
-            for block in (self._csr, self._tail_csr):
+            for block in (*self._blocks, self._tail_csr):
                 if block is None or not block.nnz:
                     continue
                 indptr = block.indptr
@@ -490,8 +717,8 @@ class IndexReadView:
     ) -> list[SearchResult]:
         """The seed scorer: dict accumulation + heap top-k, per query.
 
-        Benchmarks use it as the per-query-loop baseline the CSR batch
-        engine is measured against, and tests pin the engines
+        Benchmarks use it as the per-query-loop baseline the sharded
+        batch engine is measured against, and tests pin the engines
         bit-identical.  Note the seed euclidean semantics are preserved
         here (candidates only — approximate), unlike :meth:`search`.
         """
@@ -539,24 +766,35 @@ class SignatureIndex:
     #: Auto-compaction floor: below this many tombstones, never compact.
     MIN_TOMBSTONES_FOR_COMPACTION = 16
 
-    #: Recompile the tail into the CSR block once it holds at least this
-    #: many posting entries *and* at least a quarter of the compiled
-    #: block's — geometric growth keeps the amortized recompile cost per
-    #: added entry constant.
+    #: Recompile the tail into the shard blocks once it holds at least
+    #: this many posting entries *and* at least a quarter of the
+    #: compiled blocks' — geometric growth keeps the amortized recompile
+    #: cost per added entry constant.
     MIN_TAIL_NNZ_FOR_COMPILE = 4096
 
-    def __init__(self):
+    def __init__(self, shards: int | None = None):
+        if shards is None:
+            shards = auto_shard_count()
+        elif shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        #: Number of signature-id-range shards the compiled postings are
+        #: partitioned into at every recompile (fixed unless
+        #: :meth:`reshard` is called).  More shards than ids is fine —
+        #: the surplus shards are empty ranges and cost nothing.
+        self.shards = int(shards)
         self._signatures: dict[int, Signature] = {}
         #: Insertion (== ascending id) order; compilation depends on it.
         self._sparse: dict[int, SparseVector] = {}
         #: Write-once slot per id; shared with read views.
         self._norms = np.zeros(0)
         self._alive = np.zeros(0, dtype=bool)
-        self._csr: _CsrPostings | None = None
+        #: The compiled posting shards, ascending id ranges covering
+        #: ``[0, compiled bound)``; swapped wholesale on recompile.
+        self._blocks: tuple[_CsrPostings, ...] = ()
         #: Posting entries not yet compiled, as (dims, ids, weights)
         #: array triplets appended in ascending-id order — one triplet
         #: per add/add_batch call, no per-entry Python churn.  Ids here
-        #: are always >= the compiled block's id_bound.
+        #: are always >= the compiled blocks' bound.
         self._tail_chunks: list[
             tuple[np.ndarray, np.ndarray, np.ndarray]
         ] = []
@@ -567,6 +805,10 @@ class SignatureIndex:
         self._tombstones: set[int] = set()
         self._next_id = 0
         self._vocabulary = None
+        #: Mutation generation + the view cached for it: read_view() is
+        #: O(1) until the next add/remove/compact/reshard invalidates.
+        self._generation = 0
+        self._view_cache: IndexReadView | None = None
 
     def __len__(self) -> int:
         return len(self._signatures)
@@ -578,14 +820,29 @@ class SignatureIndex:
 
     @property
     def compiled_postings(self) -> int:
-        """Posting entries in the compiled CSR block (may include
+        """Posting entries in the compiled shard blocks (may include
         tombstoned entries until the next compaction)."""
-        return self._csr.nnz if self._csr is not None else 0
+        return sum(block.nnz for block in self._blocks)
 
     @property
     def tail_postings(self) -> int:
-        """Posting entries awaiting compilation into the CSR block."""
+        """Posting entries awaiting compilation into the shard blocks."""
         return self._tail_nnz
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter; read views are cached per generation."""
+        return self._generation
+
+    @property
+    def _compiled_bound(self) -> int:
+        """Ids below this live in the compiled shards; at or past it, in
+        the tail."""
+        return self._blocks[-1].id_bound if self._blocks else 0
+
+    def _invalidate_views(self) -> None:
+        self._generation += 1
+        self._view_cache = None
 
     def _ensure_capacity(self, n: int) -> None:
         if n <= len(self._norms):
@@ -617,7 +874,7 @@ class SignatureIndex:
     def _maybe_compile(self) -> None:
         """The amortized recompile decision (one per add/add_batch)."""
         if self._tail_nnz >= self.MIN_TAIL_NNZ_FOR_COMPILE and (
-            self._csr is None or self._tail_nnz * 4 >= self._csr.nnz
+            not self._blocks or self._tail_nnz * 4 >= self.compiled_postings
         ):
             self.compact()
 
@@ -636,6 +893,7 @@ class SignatureIndex:
         self._next_id += 1
         self._ensure_capacity(self._next_id)
         self._append_postings(sig_id, signature)
+        self._invalidate_views()
         self._maybe_compile()
         return sig_id
 
@@ -707,6 +965,7 @@ class SignatureIndex:
             )
             self._tail_nnz += weights.size
             self._tail_csr_cache = None
+        self._invalidate_views()
         self._maybe_compile()
         return ids
 
@@ -723,6 +982,7 @@ class SignatureIndex:
         del self._sparse[sig_id]
         self._alive[sig_id] = False
         self._tombstones.add(sig_id)
+        self._invalidate_views()
         if (
             len(self._tombstones) >= self.MIN_TOMBSTONES_FOR_COMPACTION
             and len(self._tombstones) > len(self._signatures)
@@ -730,35 +990,76 @@ class SignatureIndex:
             self.compact()
         return signature
 
+    def _partition_blocks(
+        self,
+        n_dims: int,
+        dims: np.ndarray,
+        sig_ids: np.ndarray,
+        weights: np.ndarray,
+    ) -> tuple[_CsrPostings, ...]:
+        """Partition live triplets into ``shards`` id-range blocks
+        covering ``[0, next_id)``.
+
+        Ranges are equal-width in id space (deterministic, independent
+        of content); a shard with no ids or no postings compiles to an
+        empty block and scores as a skipped or norms-only tile.  The
+        entries are bucketed with one stable argsort on the shard
+        assignment, then each contiguous segment gets the usual
+        composite-key compile.
+        """
+        bound = self._next_id
+        shard_count = self.shards
+        bounds = (np.arange(shard_count + 1, dtype=np.int64) * bound) // shard_count
+        shard_of = np.searchsorted(bounds[1:], sig_ids, side="right")
+        order = np.argsort(shard_of, kind="stable")
+        dims, sig_ids, weights = dims[order], sig_ids[order], weights[order]
+        offsets = np.zeros(shard_count + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(shard_of, minlength=shard_count), out=offsets[1:]
+        )
+        return tuple(
+            _CsrPostings.from_triplets(
+                n_dims,
+                dims[offsets[i] : offsets[i + 1]],
+                sig_ids[offsets[i] : offsets[i + 1]],
+                weights[offsets[i] : offsets[i + 1]],
+                id_bound=int(bounds[i + 1]),
+                id_base=int(bounds[i]),
+            )
+            for i in range(shard_count)
+        )
+
     def compact(self) -> int:
-        """Recompile the CSR block: merge the tail, drop tombstoned
-        entries.
+        """Recompile the shard blocks: merge the tail, drop tombstoned
+        entries, repartition the id space.
 
         Ids of live signatures are preserved (external references stay
-        valid), and in-flight read views keep scoring the block they
+        valid), and in-flight read views keep scoring the blocks they
         captured — the old arrays are replaced, never mutated.  The
-        rebuild is pure array work: the old block expands back to
+        rebuild is pure array work: the old blocks expand back to
         triplets (already dim-major, ids ascending), the tail chunks
-        append after it (ids all past the block's bound), dead entries
-        drop by one alive-mask gather, and ``from_triplets``'s
-        composite-key sort restores the (dim asc, id asc) posting
-        order scoring depends on — no per-signature Python loop.
-        Returns the number of tombstones reclaimed.
+        append after them (ids all past the compiled bound), dead
+        entries drop by one alive-mask gather, and each shard's
+        composite-key sort restores the (dim asc, id asc) posting order
+        scoring depends on — no per-signature Python loop.  Returns the
+        number of tombstones reclaimed.
         """
         reclaimed = len(self._tombstones)
         n_dims = len(self._vocabulary) if self._vocabulary is not None else 0
         dim_parts: list[np.ndarray] = []
         id_parts: list[np.ndarray] = []
         weight_parts: list[np.ndarray] = []
-        if self._csr is not None and self._csr.nnz:
+        for block in self._blocks:
+            if not block.nnz:
+                continue
             dim_parts.append(
                 np.repeat(
                     np.arange(n_dims, dtype=np.int64),
-                    np.diff(self._csr.indptr),
+                    np.diff(block.indptr),
                 )
             )
-            id_parts.append(self._csr.sig_ids)
-            weight_parts.append(self._csr.weights)
+            id_parts.append(block.sig_ids)
+            weight_parts.append(block.weights)
         for dims, sig_ids, weights in self._tail_chunks:
             dim_parts.append(dims)
             id_parts.append(sig_ids)
@@ -772,16 +1073,29 @@ class SignatureIndex:
                 dims, sig_ids, weights = (
                     dims[keep], sig_ids[keep], weights[keep]
                 )
-            self._csr = _CsrPostings.from_triplets(
-                n_dims, dims, sig_ids, weights, self._next_id
-            )
         else:
-            self._csr = _CsrPostings.build(n_dims, {}, self._next_id)
+            dims = np.empty(0, dtype=np.int64)
+            sig_ids = np.empty(0, dtype=np.int64)
+            weights = np.empty(0)
+        self._blocks = self._partition_blocks(n_dims, dims, sig_ids, weights)
         self._tail_chunks = []
         self._tail_nnz = 0
         self._tail_csr_cache = None
         self._tombstones = set()
+        self._invalidate_views()
         return reclaimed
+
+    def reshard(self, shards: int | None) -> int:
+        """Change the shard count and repartition now; returns the new
+        count.  ``None`` re-resolves the automatic (per-core) count.
+        A no-op when the count is unchanged."""
+        resolved = auto_shard_count() if shards is None else int(shards)
+        if resolved < 1:
+            raise ValueError(f"shards must be positive, got {resolved}")
+        if resolved != self.shards:
+            self.shards = resolved
+            self.compact()
+        return self.shards
 
     def _tail_block(self) -> _CsrPostings | None:
         """The tail compiled into an immutable CSR block (cached).
@@ -800,42 +1114,59 @@ class SignatureIndex:
                 np.concatenate([dims for dims, _, _ in self._tail_chunks]),
                 np.concatenate([ids for _, ids, _ in self._tail_chunks]),
                 np.concatenate([w for _, _, w in self._tail_chunks]),
-                self._next_id,
+                id_bound=self._next_id,
+                id_base=self._compiled_bound,
             )
         return self._tail_csr_cache
+
+    def _scoring_executor(self) -> ThreadPoolExecutor | None:
+        """The executor read views capture for tile fan-out: the shared
+        scoring pool when both shards and cores are plural, else None
+        (sequential scoring — a pool of one would only add overhead)."""
+        if self.shards > 1 and (os.cpu_count() or 1) > 1:
+            return _scoring_pool()
+        return None
 
     def read_view(self) -> IndexReadView:
         """An immutable scoring view of the current index state.
 
         Take it under whatever lock guards mutation, then search with no
-        lock held — see :class:`IndexReadView`.
+        lock held — see :class:`IndexReadView`.  O(1) steady-state: the
+        capture is cached per mutation generation, so only the first
+        call after an add/remove/compact pays the O(live) alive-mask and
+        signature-table copy — repeat queries against an unchanged index
+        reuse the same immutable view object.
         """
-        return IndexReadView(
-            vocabulary=self._vocabulary,
-            csr=self._csr,
-            tail_csr=self._tail_block(),
-            norms=self._norms,
-            alive=self._alive[: self._next_id].copy(),
-            signatures=dict(self._signatures),
-            next_id=self._next_id,
-        )
+        if self._view_cache is None:
+            self._view_cache = IndexReadView(
+                vocabulary=self._vocabulary,
+                blocks=self._blocks,
+                tail_csr=self._tail_block(),
+                norms=self._norms,
+                alive=self._alive[: self._next_id].copy(),
+                signatures=dict(self._signatures),
+                next_id=self._next_id,
+                executor=self._scoring_executor(),
+            )
+        return self._view_cache
 
     def _borrow_view(self) -> IndexReadView:
         """A zero-copy view for same-thread use (no isolation)."""
         return IndexReadView(
             vocabulary=self._vocabulary,
-            csr=self._csr,
+            blocks=self._blocks,
             tail_csr=self._tail_block(),
             norms=self._norms,
             alive=self._alive[: self._next_id],
             signatures=self._signatures,
             next_id=self._next_id,
+            executor=self._scoring_executor(),
         )
 
     def _raw_posting_ids(self, dim: int) -> set[int]:
         """Ids with a posting on ``dim``, tombstones included."""
         ids: set[int] = set()
-        for block in (self._csr, self._tail_block()):
+        for block in (*self._blocks, self._tail_block()):
             if block is None or not block.nnz or dim + 1 >= len(block.indptr):
                 continue
             segment = block.sig_ids[block.indptr[dim] : block.indptr[dim + 1]]
@@ -866,10 +1197,18 @@ class SignatureIndex:
         return self._borrow_view().search(query, k=k, metric=metric)
 
     def search_batch(
-        self, queries: list[Signature], k: int = 10, metric: str = "cosine"
+        self,
+        queries: list[Signature],
+        k: int = 10,
+        metric: str = "cosine",
+        executor=_UNSET,
     ) -> list[list[SearchResult]]:
-        """Top-k results for each query, scored as one batched product."""
-        return self._borrow_view().search_batch(queries, k=k, metric=metric)
+        """Top-k results for each query, scored as per-shard tile
+        products with a deterministic merge (optionally fanned out on
+        the scoring pool — see :meth:`IndexReadView.search_batch`)."""
+        return self._borrow_view().search_batch(
+            queries, k=k, metric=metric, executor=executor
+        )
 
     def label_votes(
         self, query: Signature, k: int = 5, metric: str = "cosine"

@@ -246,6 +246,7 @@ class MonitorService:
         metric: str = "cosine",
         baseline: SignatureDatabase | None = None,
         retain_documents: bool = False,
+        shards: int | None = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -295,6 +296,11 @@ class MonitorService:
                 )
             self.model = baseline.make_model()
             self.database = baseline
+            if shards is not None:
+                # The baseline index was built with its own shard
+                # config; honour an explicit request by repartitioning
+                # now (a no-op when the counts already match).
+                baseline.index.reshard(shards)
             self._baseline_signatures = baseline.signatures()
             # Auto-assigned run seeds continue past anything the previous
             # process could have used (it assigned at most one seed per
@@ -308,7 +314,10 @@ class MonitorService:
             normalize_tf = True if normalize_tf is None else normalize_tf
             self.model = TfIdfModel(use_idf=use_idf, normalize_tf=normalize_tf)
             self.database = SignatureDatabase(
-                self.vocabulary, use_idf=use_idf, normalize_tf=normalize_tf
+                self.vocabulary,
+                use_idf=use_idf,
+                normalize_tf=normalize_tf,
+                shards=shards,
             )
             self._run_seed_counter = 0
 
@@ -322,6 +331,7 @@ class MonitorService:
         max_workers: int = 4,
         metric: str = "cosine",
         retain_documents: bool = False,
+        shards: int | None = None,
     ) -> "MonitorService":
         """Restart a service from a :meth:`snapshot` directory.
 
@@ -330,8 +340,10 @@ class MonitorService:
         picks up exactly where the previous process stopped.  The
         weighting switches come from the snapshot; ``retain_documents``
         enables :meth:`reweight` for documents ingested from here on.
+        ``shards`` configures the rebuilt scoring engine's query-shard
+        count (None: auto-sized, one per core).
         """
-        database = SignatureDatabase.load_shards(directory)
+        database = SignatureDatabase.load_shards(directory, shards=shards)
         if database.df is None or database.corpus_size <= 0:
             raise SnapshotFormatError(
                 "snapshot stores no document-frequency statistics; it was "
@@ -344,6 +356,7 @@ class MonitorService:
             metric=metric,
             baseline=database,
             retain_documents=retain_documents,
+            shards=shards,
         )
 
     # -- lifecycle ---------------------------------------------------------------
@@ -554,6 +567,7 @@ class MonitorService:
                 self.vocabulary,
                 use_idf=self.model.use_idf,
                 normalize_tf=self.model.normalize_tf,
+                shards=self.database.index.shards,
             )
             rebuilt.add_batch(self._baseline_signatures)
             rebuilt.add_batch(
@@ -721,6 +735,7 @@ class MonitorService:
                 "index_tombstones": index.tombstones,
                 "index_compiled_postings": index.compiled_postings,
                 "index_tail_postings": index.tail_postings,
+                "index_shards": index.shards,
                 "snapshot_shard_size": self.database.shard_size,
                 "snapshot_generation": self.database.shard_generation,
                 "snapshot_watermark_shards": self.database.verified_shards,

@@ -136,6 +136,8 @@ MESSAGE_STRATEGIES = {
         reweights=count_strategy,
         max_workers=st.integers(1, 64),
         metric=st.sampled_from(["cosine", "euclidean"]),
+        # Optional v1 field (None = a server that predates it).
+        index_shards=st.none() | st.integers(1, 64),
     ),
     P.SnapshotResponse: st.builds(
         P.SnapshotResponse,

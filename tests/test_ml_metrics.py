@@ -1,8 +1,11 @@
 """Tests for classification and clustering metrics (repro.ml.metrics)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.ml.metrics import (
+    _pair_counts,
     accuracy,
     baseline_accuracy,
     binary_metrics,
@@ -146,3 +149,49 @@ class TestFMeasure:
         f1 = f_measure(assignments, classes, beta=1.0)
         f2 = f_measure(assignments, classes, beta=2.0)
         assert f2 > f1  # beta > 1 favours the higher recall
+
+
+class TestPairCountsClosedForm:
+    """The contingency-table _pair_counts must equal the O(n²) pair
+    enumeration it replaced — exactly, as integers."""
+
+    @staticmethod
+    def _pair_counts_quadratic(assignments, classes):
+        # The replaced implementation, kept here as the oracle.
+        n = len(assignments)
+        tp = fp = fn = tn = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                same_cluster = assignments[i] == assignments[j]
+                same_class = classes[i] == classes[j]
+                if same_cluster and same_class:
+                    tp += 1
+                elif same_cluster and not same_class:
+                    fp += 1
+                elif not same_cluster and same_class:
+                    fn += 1
+                else:
+                    tn += 1
+        return tp, fp, fn, tn
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        case=st.lists(
+            st.tuples(st.integers(0, 5), st.sampled_from("abcd")),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    def test_matches_pair_enumeration(self, case):
+        assignments = [cluster for cluster, _ in case]
+        classes = [cls for _, cls in case]
+        assert _pair_counts(assignments, classes) == (
+            self._pair_counts_quadratic(assignments, classes)
+        )
+
+    def test_total_is_all_pairs(self):
+        assignments = [0, 0, 1, 2, 2, 2, 3]
+        classes = ["a", "b", "b", "a", "a", "c", "c"]
+        counts = _pair_counts(assignments, classes)
+        n = len(assignments)
+        assert sum(counts) == n * (n - 1) // 2

@@ -1,0 +1,336 @@
+"""Property tests for the sharded query engine (repro.core.index).
+
+The shard-per-core read path promises exactly what the unsharded engine
+promised — bit-identical scores and result order versus the seed
+term-at-a-time oracle — for *any* shard count, so these tests pin:
+
+- sharded ``search_batch`` == the single-shard engine, bitwise (ids,
+  score bits, and order — ties included), for shard counts from 1 to
+  more-shards-than-signatures, on both metrics, over any interleaving
+  of ``add``/``add_batch``/``remove``/``compact``;
+- cosine batch scores == ``search_reference`` (the retained seed
+  scorer), bitwise;
+- thread-pool fan-out is deterministic: the same bits come back no
+  matter which shard's tile finishes first (a real pool and an
+  adversarial executor that completes tiles in reverse order);
+- ``read_view()`` is O(1) steady-state: the capture is cached per
+  mutation generation and invalidated by every mutation.
+"""
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import SignatureIndex, auto_shard_count
+from repro.core.signature import Signature
+from repro.core.vocabulary import Vocabulary
+
+DIMS = 24
+
+SHARD_COUNTS = (1, 2, 3, 5, 7, 50)  # 50 > any index these tests build
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary(list(range(1, DIMS + 1)))
+
+
+def random_sig(vocab, rng, label="x"):
+    weights = np.zeros(DIMS)
+    support = rng.choice(DIMS, size=int(rng.integers(1, 8)), replace=False)
+    weights[support] = rng.random(support.size) + 0.05
+    return Signature(vocab, weights, label=label)
+
+
+def result_tuples(results):
+    return [(r.signature_id, r.score) for r in results]
+
+
+def batch_tuples(batched):
+    return [result_tuples(row) for row in batched]
+
+
+# -- op-sequence harness ---------------------------------------------------------
+
+
+@st.composite
+def op_sequences(draw):
+    """A random interleaving of add / add_batch / remove / compact, plus
+    queries.  Ties are exercised deliberately: some signatures are exact
+    duplicates of earlier ones (same weights, distinct ids), which tie
+    bitwise on every metric and must merge in ascending-id order even
+    when the duplicates land in different shards."""
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    vocab = Vocabulary(list(range(1, DIMS + 1)))
+    ops: list[tuple] = []
+    pool: list[Signature] = []
+
+    def fresh(n):
+        sigs = []
+        for _ in range(n):
+            if pool and rng.random() < 0.25:
+                # Duplicate an earlier signature: a guaranteed exact tie.
+                original = pool[int(rng.integers(0, len(pool)))]
+                sig = Signature(
+                    vocab, original.weights.copy(), label=original.label
+                )
+            else:
+                sig = random_sig(vocab, rng, label=f"c{len(pool) % 3}")
+            pool.append(sig)
+            sigs.append(sig)
+        return sigs
+
+    for _ in range(draw(st.integers(min_value=1, max_value=8))):
+        kind = draw(st.sampled_from(["add", "add_batch", "remove", "compact"]))
+        if kind == "add":
+            ops.append(("add", fresh(1)[0]))
+        elif kind == "add_batch":
+            ops.append(("add_batch", fresh(int(rng.integers(1, 6)))))
+        elif kind == "remove":
+            ops.append(("remove", int(rng.integers(0, 64))))
+        else:
+            ops.append(("compact",))
+    if not any(op[0] in ("add", "add_batch") for op in ops):
+        ops.insert(0, ("add_batch", fresh(3)))
+    queries = [random_sig(vocab, rng) for _ in range(draw(st.integers(1, 4)))]
+    # A query duplicating a stored signature forces score==1.0 ties too.
+    if pool:
+        queries.append(Signature(vocab, pool[0].weights.copy()))
+    return ops, queries
+
+
+def apply_ops(index: SignatureIndex, ops) -> None:
+    """Replay one op sequence; identical replays build identical state
+    regardless of the index's shard count."""
+    live: list[int] = []
+    for op in ops:
+        if op[0] == "add":
+            live.append(index.add(op[1]))
+        elif op[0] == "add_batch":
+            live.extend(index.add_batch(op[1]))
+        elif op[0] == "remove":
+            if live:
+                live.sort()
+                index.remove(live.pop(op[1] % len(live)))
+        else:
+            index.compact()
+
+
+class TestShardedBitIdentity:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        case=op_sequences(),
+        shards=st.sampled_from(SHARD_COUNTS),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    def test_any_shard_count_matches_single_shard(self, case, shards, k):
+        """Sharded results == single-shard results, bitwise, both
+        metrics, including result order under exact score ties."""
+        ops, queries = case
+        single = SignatureIndex(shards=1)
+        sharded = SignatureIndex(shards=shards)
+        apply_ops(single, ops)
+        apply_ops(sharded, ops)
+        assert sharded.shards == shards
+        for metric in SignatureIndex.METRICS:
+            want = batch_tuples(single.search_batch(queries, k=k, metric=metric))
+            got = batch_tuples(sharded.search_batch(queries, k=k, metric=metric))
+            assert got == want, (metric, shards)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        case=op_sequences(),
+        shards=st.sampled_from(SHARD_COUNTS),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    def test_sharded_cosine_matches_reference_oracle(self, case, shards, k):
+        """Sharded batch scores == the seed term-at-a-time scorer,
+        bitwise (the oracle also defines the tie order: ascending id)."""
+        ops, queries = case
+        index = SignatureIndex(shards=shards)
+        apply_ops(index, ops)
+        view = index.read_view()
+        batched = index.search_batch(queries, k=k)
+        for query, results in zip(queries, batched):
+            reference = view.search_reference(query, k=k)
+            assert result_tuples(results) == result_tuples(reference)
+
+    @settings(max_examples=25, deadline=None)
+    @given(case=op_sequences(), shards=st.sampled_from((2, 3, 50)))
+    def test_euclidean_exact_never_short(self, case, shards):
+        """Sharding must not break the exact-euclidean guarantee: top-k
+        always returns min(k, live) results at true distances."""
+        ops, queries = case
+        index = SignatureIndex(shards=shards)
+        apply_ops(index, ops)
+        for query in queries:
+            results = index.search(query, k=5, metric="euclidean")
+            assert len(results) == min(5, len(index))
+            for result in results:
+                expected = -float(
+                    np.linalg.norm(query.weights - result.signature.weights)
+                )
+                assert result.score == pytest.approx(expected, abs=1e-9)
+
+
+# -- fan-out determinism ---------------------------------------------------------
+
+
+class ReversedExecutor:
+    """An adversarial executor: nothing runs until the first result is
+    demanded, then every submitted task runs in *reverse* submission
+    order — the opposite completion order a real pool would usually
+    produce.  If merge order depended on completion order, this would
+    expose it deterministically."""
+
+    def __init__(self):
+        self._pending: list[tuple[Future, object, tuple, dict]] = []
+        self._lock = threading.Lock()
+
+    def submit(self, fn, *args, **kwargs):
+        future = _DrainingFuture(self)
+        self._pending.append((future, fn, args, kwargs))
+        return future
+
+    def drain(self):
+        with self._lock:
+            pending, self._pending = self._pending, []
+        for future, fn, args, kwargs in reversed(pending):
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # pragma: no cover - failure path
+                future.set_exception(exc)
+
+
+class _DrainingFuture(Future):
+    def __init__(self, executor):
+        super().__init__()
+        self._executor = executor
+
+    def result(self, timeout=None):
+        self._executor.drain()
+        return super().result(timeout)
+
+
+class TestFanOutDeterminism:
+    def _build(self, vocab, n=300, shards=4):
+        rng = np.random.default_rng(12)
+        index = SignatureIndex(shards=shards)
+        index.add_batch([random_sig(vocab, rng) for _ in range(n)])
+        index.compact()  # postings partitioned across all 4 shards
+        queries = [random_sig(vocab, rng) for _ in range(9)]
+        return index, queries
+
+    @pytest.mark.parametrize("metric", SignatureIndex.METRICS)
+    def test_same_bits_regardless_of_completion_order(self, vocab, metric):
+        index, queries = self._build(vocab)
+        sequential = batch_tuples(
+            index.search_batch(queries, k=7, metric=metric, executor=None)
+        )
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            pooled = batch_tuples(
+                index.search_batch(queries, k=7, metric=metric, executor=pool)
+            )
+        reversed_order = batch_tuples(
+            index.search_batch(
+                queries, k=7, metric=metric, executor=ReversedExecutor()
+            )
+        )
+        assert sequential == pooled == reversed_order
+
+    def test_concurrent_readers_share_one_view(self, vocab):
+        """Many threads scoring the same cached view against a pool get
+        identical bits — the view capture is immutable and shared."""
+        index, queries = self._build(vocab, n=150, shards=3)
+        view = index.read_view()
+        want = batch_tuples(view.search_batch(queries, k=5))
+        results, errors = [], []
+
+        def reader():
+            try:
+                with ThreadPoolExecutor(max_workers=3) as pool:
+                    results.append(
+                        batch_tuples(
+                            view.search_batch(queries, k=5, executor=pool)
+                        )
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors[0]
+        assert all(got == want for got in results)
+
+
+# -- O(1) read-view capture ------------------------------------------------------
+
+
+class TestReadViewCache:
+    def test_steady_state_returns_same_object(self, vocab):
+        rng = np.random.default_rng(3)
+        index = SignatureIndex()
+        index.add_batch([random_sig(vocab, rng) for _ in range(10)])
+        view = index.read_view()
+        assert index.read_view() is view  # O(1): no re-capture
+        assert index.read_view() is view
+
+    @pytest.mark.parametrize("mutate", ["add", "add_batch", "remove", "compact"])
+    def test_every_mutation_invalidates(self, vocab, mutate):
+        rng = np.random.default_rng(4)
+        index = SignatureIndex()
+        ids = index.add_batch([random_sig(vocab, rng) for _ in range(10)])
+        view = index.read_view()
+        generation = index.generation
+        if mutate == "add":
+            index.add(random_sig(vocab, rng))
+        elif mutate == "add_batch":
+            index.add_batch([random_sig(vocab, rng)])
+        elif mutate == "remove":
+            index.remove(ids[0])
+        else:
+            index.compact()
+        assert index.generation > generation
+        fresh = index.read_view()
+        assert fresh is not view
+
+    def test_cached_view_is_still_isolated(self, vocab):
+        """The cache must not weaken isolation: a captured view keeps
+        serving the state it captured after later mutations."""
+        rng = np.random.default_rng(5)
+        index = SignatureIndex(shards=3)
+        ids = index.add_batch([random_sig(vocab, rng) for _ in range(20)])
+        query = random_sig(vocab, rng)
+        view = index.read_view()
+        before = result_tuples(view.search(query, k=8))
+        index.remove(ids[0])
+        index.add_batch([random_sig(vocab, rng) for _ in range(30)])
+        index.compact()
+        assert result_tuples(view.search(query, k=8)) == before
+        assert len(view) == 20
+
+    def test_reshard_repartitions_and_invalidates(self, vocab):
+        rng = np.random.default_rng(6)
+        index = SignatureIndex(shards=1)
+        index.add_batch([random_sig(vocab, rng) for _ in range(25)])
+        query = random_sig(vocab, rng)
+        view = index.read_view()
+        before = result_tuples(index.search(query, k=6))
+        assert index.reshard(4) == 4
+        assert index.read_view() is not view
+        assert result_tuples(index.search(query, k=6)) == before
+        assert index.reshard(None) == auto_shard_count()
+
+    def test_bad_shard_counts_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            SignatureIndex(shards=0)
+        with pytest.raises(ValueError, match="shards"):
+            SignatureIndex(shards=1).reshard(-2)
