@@ -68,8 +68,22 @@ EXPECTED: dict[str, set[str]] = {
         "readers",
         "sustained_queries_per_s",
         "http_overhead_ms_per_query",
+        "latency_ms",
+    },
+    "obs": {
+        "indexed_signatures",
+        "qps_baseline",
+        "qps_instrumented",
+        "overhead_pct",
+        "record_ns",
+        "latency_ms",
     },
 }
+
+#: Every ``latency_ms`` object anywhere in the artifact must carry the
+#: distribution, not a lone mean — a mean-only latency number is the
+#: exact failure mode the observability subsystem exists to prevent.
+LATENCY_QUANTILE_KEYS = {"p50", "p95", "p99"}
 
 #: keys every per-shard-count entry of query_scaling.shards must carry.
 QUERY_SCALING_SHARD_KEYS = {
@@ -78,6 +92,26 @@ QUERY_SCALING_SHARD_KEYS = {
     "peak_accumulator_bytes",
     "peak_concurrent_bytes",
 }
+
+
+def _check_latency_objects(node, path: str, problems: list[str]) -> None:
+    """Recursively require p50/p95/p99 in every ``latency_ms`` object."""
+    if not isinstance(node, dict):
+        return
+    for key, value in node.items():
+        where = f"{path}.{key}" if path else key
+        if key == "latency_ms":
+            if not isinstance(value, dict):
+                problems.append(f"{where} must be an object of quantiles")
+                continue
+            missing = sorted(LATENCY_QUANTILE_KEYS - value.keys())
+            if missing:
+                problems.append(
+                    f"{where} lacks quantiles {missing} — mean-only "
+                    "latency numbers are not accepted"
+                )
+        else:
+            _check_latency_objects(value, where, problems)
 
 
 def check(path: Path) -> list[str]:
@@ -121,6 +155,7 @@ def check(path: Path) -> list[str]:
                 problems.append(
                     f"query_scaling.shards[{count!r}] lacks keys: {missing}"
                 )
+    _check_latency_objects(data, "", problems)
     return problems
 
 

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""CI smoke for the observability surface: scrape a live gateway, lint.
+
+Boots a real :class:`FmeterServer` over a small synthesized index,
+drives a few operations through :class:`FmeterClient`, then scrapes
+``GET /v1/metrics`` in both formats and checks what production
+monitoring would depend on:
+
+- the JSON envelope parses into :class:`MetricsResponse` and carries
+  all three tiers (counters, event rollups with p50/p95/p99, sampled
+  series);
+- the Prometheus exposition passes :func:`repro.obs.lint_prometheus`
+  (names, escapes, HELP/TYPE, values) and is served with the 0.0.4
+  text content type;
+- ``/v1/healthz`` carries the enriched optional fields.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/metrics_smoke.py
+
+Exit code 0 when every check passes, 1 with a list of problems
+otherwise.  Run by the CI ``api-smoke`` job on every push.
+"""
+
+from __future__ import annotations
+
+import sys
+import urllib.request
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.api import FmeterClient, FmeterServer
+from repro.core.document import CountDocument
+from repro.core.vocabulary import Vocabulary
+from repro.kernel.symbols import build_symbol_table
+from repro.obs import lint_prometheus
+from repro.service import MonitorService
+from repro.util.rng import RngStream
+
+SEED = 2012
+N_DOCUMENTS = 30
+N_QUERIES = 4
+NNZ = 60
+
+
+def synthesize_documents(vocabulary, n, rng):
+    """Small sparse labeled count documents (no machine simulation)."""
+    dims = len(vocabulary)
+    documents = []
+    for i in range(n):
+        doc_rng = rng.child(f"doc/{i}")
+        support = doc_rng.choice(dims, size=NNZ, replace=False)
+        counts = np.zeros(dims, dtype=np.int64)
+        counts[support] = doc_rng.poisson(40.0, size=NNZ) + 1
+        documents.append(
+            CountDocument(vocabulary, counts, label=f"class-{i % 3}")
+        )
+    return documents
+
+
+def main() -> int:
+    problems: list[str] = []
+    vocabulary = Vocabulary.from_symbol_table(build_symbol_table(SEED))
+    rng = RngStream(SEED, "metrics-smoke")
+    service = MonitorService(
+        SimpleNamespace(vocabulary=vocabulary), max_workers=1
+    )
+    service.ingest_documents(synthesize_documents(vocabulary, N_DOCUMENTS, rng))
+    queries = synthesize_documents(vocabulary, N_QUERIES, rng.child("q"))
+
+    with FmeterServer(service) as server:
+        client = FmeterClient(server.host, server.port)
+        client.query_batch(queries, k=3)
+
+        health = client.healthz()
+        if health.uptime_s is None or health.uptime_s < 0:
+            problems.append(f"healthz uptime_s unusable: {health.uptime_s!r}")
+        if health.index_generation is None:
+            problems.append("healthz lacks index_generation")
+        if not health.in_flight_requests:
+            problems.append(
+                "healthz in_flight_requests should count itself, got "
+                f"{health.in_flight_requests!r}"
+            )
+
+        metrics = client.metrics()
+        counter_names = {c.name for c in metrics.counters}
+        if "api.requests" not in counter_names:
+            problems.append(f"no api.requests counter in {counter_names}")
+        event_names = {e.name for e in metrics.events}
+        for expected in ("api.request_ms", "http.request_ms"):
+            if expected not in event_names:
+                problems.append(f"no {expected} event rollup in {event_names}")
+        for event in metrics.events:
+            if not event.p50 <= event.p95 <= event.p99 <= event.max:
+                problems.append(
+                    f"rollup {event.name} quantiles are not monotone"
+                )
+        if not metrics.samples:
+            problems.append("no sampled series in the snapshot")
+
+        exposition = client.metrics_prometheus()
+        for problem in lint_prometheus(exposition):
+            problems.append(f"prometheus lint: {problem}")
+        if "repro_uptime_seconds " not in exposition:
+            problems.append("exposition lacks repro_uptime_seconds")
+
+        url = f"{server.url}/v1/metrics?format=prometheus"
+        with urllib.request.urlopen(url) as resp:
+            content_type = resp.headers["Content-Type"]
+        if content_type != "text/plain; version=0.0.4; charset=utf-8":
+            problems.append(f"wrong exposition content type: {content_type}")
+
+    if problems:
+        print("metrics smoke FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"metrics smoke OK: {len(metrics.counters)} counter(s), "
+        f"{len(metrics.events)} event rollup(s), "
+        f"{len(metrics.samples)} sampled series; prometheus exposition "
+        f"lints clean ({len(exposition.splitlines())} lines)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,9 @@ The package layers, bottom to top:
   paper's cross-validation protocol, clustering metrics, PCA,
   meta-clustering.
 - :mod:`repro.experiments` — one harness per paper table/figure.
+- :mod:`repro.obs` — three-tier observability: sampled time-series,
+  event metrics with streaming quantiles, on-demand rollups, and the
+  Prometheus text exposition.
 - :mod:`repro.service` — the always-on tier: concurrent ingestion with
   incremental tf-idf, top-k retrieval, sharded resumable snapshots.
 - :mod:`repro.api` — the network surface: a typed, versioned
@@ -65,6 +68,7 @@ _EXPORTS = {
     "KernelCompileWorkload": "repro.workloads",
     "LoggingDaemon": "repro.tracing",
     "MachineConfig": "repro.kernel",
+    "MetricsHub": "repro.obs",
     "MonitorService": "repro.service",
     "NetperfWorkload": "repro.workloads",
     "ScpWorkload": "repro.workloads",
@@ -83,7 +87,7 @@ _EXPORTS = {
 #: lazy.
 _SUBMODULES = frozenset({
     "analysis", "api", "cli", "core", "experiments", "kernel", "ml",
-    "service", "tracing", "util", "workloads",
+    "obs", "service", "tracing", "util", "workloads",
 })
 
 __all__ = [*sorted(_EXPORTS), "__version__"]
@@ -128,6 +132,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         SimulatedMachine,
         build_symbol_table,
     )
+    from repro.obs import MetricsHub  # noqa: F401
     from repro.service import IngestJob, MonitorService  # noqa: F401
     from repro.tracing import (  # noqa: F401
         FmeterTracer,

@@ -27,10 +27,13 @@ from repro.api.client import FmeterClient
 from repro.api.dispatcher import Dispatcher
 from repro.api.errors import API_ERROR_CODES, ApiError, error_from_exception
 from repro.api.protocol import (
+    CounterSample,
     Diagnosis,
+    EventRollup,
     HealthResponse,
     IngestRequest,
     IngestResponse,
+    MetricsResponse,
     PROTOCOL_VERSION,
     QueryBatchRequest,
     QueryBatchResponse,
@@ -39,6 +42,7 @@ from repro.api.protocol import (
     QueryResponse,
     ReweightRequest,
     ReweightResponse,
+    SampledSeries,
     SnapshotRequest,
     SnapshotResponse,
     StatsRequest,
@@ -50,13 +54,16 @@ from repro.api.server import FmeterServer
 __all__ = [
     "API_ERROR_CODES",
     "ApiError",
+    "CounterSample",
     "Diagnosis",
     "Dispatcher",
+    "EventRollup",
     "FmeterClient",
     "FmeterServer",
     "HealthResponse",
     "IngestRequest",
     "IngestResponse",
+    "MetricsResponse",
     "PROTOCOL_VERSION",
     "QueryBatchRequest",
     "QueryBatchResponse",
@@ -65,6 +72,7 @@ __all__ = [
     "QueryResponse",
     "ReweightRequest",
     "ReweightResponse",
+    "SampledSeries",
     "SnapshotRequest",
     "SnapshotResponse",
     "StatsRequest",

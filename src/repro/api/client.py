@@ -35,6 +35,7 @@ from repro.api.errors import ApiError, INTERNAL, UNAVAILABLE
 from repro.api.protocol import (
     HealthResponse,
     IngestRequest,
+    MetricsResponse,
     IngestResponse,
     QueryBatchRequest,
     QueryBatchResponse,
@@ -112,6 +113,27 @@ class FmeterClient:
     def healthz(self) -> HealthResponse:
         return HealthResponse.from_wire(
             self._request("healthz", None, method="GET", idempotent=True)
+        )
+
+    def metrics(self) -> MetricsResponse:
+        """The server's three-tier observability snapshot, typed."""
+        return MetricsResponse.from_wire(
+            self._request("metrics", None, method="GET", idempotent=True)
+        )
+
+    def metrics_prometheus(self) -> str:
+        """The same snapshot as Prometheus text exposition format.
+
+        Returned verbatim (it is not JSON); structured gateway errors
+        still surface as :class:`ApiError` — error envelopes stay JSON
+        whatever format the request asked for.
+        """
+        return self._request(
+            "metrics?format=prometheus",
+            None,
+            method="GET",
+            idempotent=True,
+            raw=True,
         )
 
     def ingest(self, documents: Sequence) -> IngestResponse:
@@ -222,13 +244,14 @@ class FmeterClient:
         wire: dict | None,
         method: str = "POST",
         idempotent: bool = False,
-    ) -> dict:
+        raw: bool = False,
+    ):
         url = f"{self.base_url}/v1/{op}"
         body = None if wire is None else json.dumps(wire).encode("utf-8")
         attempt = 0
         while True:
             try:
-                return self._once(url, body, method)
+                return self._once(url, body, method, raw=raw)
             except ApiError:
                 raise
             except Exception as exc:
@@ -242,7 +265,9 @@ class FmeterClient:
                 time.sleep(self.backoff_s * (2**attempt))
                 attempt += 1
 
-    def _once(self, url: str, body: bytes | None, method: str) -> dict:
+    def _once(
+        self, url: str, body: bytes | None, method: str, raw: bool = False
+    ):
         request = urllib.request.Request(
             url,
             data=body,
@@ -251,7 +276,13 @@ class FmeterClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                payload = self._parse_body(resp.read(), resp.status)
+                data = resp.read()
+                if raw:
+                    # A non-JSON body (the Prometheus exposition) is
+                    # the caller's to interpret; errors never take
+                    # this path — they arrive as HTTPError below.
+                    return data.decode("utf-8")
+                payload = self._parse_body(data, resp.status)
         except urllib.error.HTTPError as err:
             # The gateway's errors are structured envelopes with
             # non-2xx statuses; surface the embedded ApiError.

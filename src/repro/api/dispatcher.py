@@ -18,6 +18,7 @@ once.  Two invariants live here:
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Mapping
 
@@ -29,10 +30,13 @@ from repro.api.errors import (
     error_from_exception,
 )
 from repro.api.protocol import (
+    CounterSample,
     Diagnosis,
+    EventRollup,
     HealthResponse,
     IngestRequest,
     IngestResponse,
+    MetricsResponse,
     QueryBatchRequest,
     QueryBatchResponse,
     QueryHit,
@@ -41,14 +45,21 @@ from repro.api.protocol import (
     REQUEST_TYPES,
     ReweightRequest,
     ReweightResponse,
+    SampledSeries,
     SnapshotRequest,
     SnapshotResponse,
     StatsRequest,
     StatsResponse,
 )
+from repro.obs import MetricsHub
 from repro.service.monitor import MonitorService, QueryResult
 
 __all__ = ["Dispatcher"]
+
+#: Request type -> the operation name used as the metrics ``op`` label.
+_OP_NAMES: dict[type, str] = {
+    request_type: op for op, request_type in REQUEST_TYPES.items()
+}
 
 
 class Dispatcher:
@@ -64,6 +75,13 @@ class Dispatcher:
     ):
         self.service = service
         self.state_dir = Path(state_dir) if state_dir is not None else None
+        #: The service's metrics hub; every transport above this layer
+        #: (gateway, CLI) records into the same one.  A service-like
+        #: object without a hub gets a disabled stand-in so the
+        #: instrumented call sites stay unconditional.
+        self.obs: MetricsHub = getattr(service, "obs", None) or MetricsHub(
+            enabled=False
+        )
         self._handlers = {
             IngestRequest: self.ingest,
             QueryRequest: self.query,
@@ -92,7 +110,13 @@ class Dispatcher:
         return self.handle(request).to_wire()
 
     def handle(self, request):
-        """Route one typed request to its handler, mapping failures."""
+        """Route one typed request to its handler, mapping failures.
+
+        Every handled request — success or failure — lands in the
+        metrics hub: an ``api.requests`` count, an ``api.request_ms``
+        latency event (both labelled with the operation), and on
+        failure an ``api.errors`` count labelled with the error code.
+        """
         try:
             handler = self._handlers[type(request)]
         except KeyError:
@@ -100,12 +124,26 @@ class Dispatcher:
                 UNKNOWN_OPERATION,
                 f"no handler for {type(request).__name__}",
             ) from None
+        op = _OP_NAMES.get(type(request), type(request).__name__)
+        started = time.perf_counter()
         try:
-            return handler(request)
-        except ApiError:
-            raise
+            response = handler(request)
         except Exception as exc:
-            raise error_from_exception(exc) from exc
+            error = (
+                exc if isinstance(exc, ApiError) else error_from_exception(exc)
+            )
+            self.obs.count("api.errors", op=op, code=error.code)
+            if error is exc:
+                raise
+            raise error from exc
+        finally:
+            self.obs.count("api.requests", op=op)
+            self.obs.record(
+                "api.request_ms",
+                (time.perf_counter() - started) * 1e3,
+                op=op,
+            )
+        return response
 
     # -- typed handlers ----------------------------------------------------------
 
@@ -179,13 +217,66 @@ class Dispatcher:
     def reweight(self, request: ReweightRequest) -> ReweightResponse:
         return ReweightResponse(reweighted=self.service.reweight())
 
-    def healthz(self) -> HealthResponse:
+    def healthz(self, in_flight: int | None = None) -> HealthResponse:
+        """Liveness plus the optional v1 enrichment fields.
+
+        ``in_flight`` is the transport's concurrent-request count (only
+        the gateway knows it); the in-process path leaves it ``None``
+        and the field stays off the wire.
+        """
+        self.obs.count("api.requests", op="healthz")
         health = self.service.health()
         return HealthResponse(
             status=health["status"],
             fitted=health["fitted"],
             indexed_signatures=health["indexed_signatures"],
             corpus_size=health["corpus_size"],
+            uptime_s=round(self.obs.uptime_s, 3),
+            index_generation=health.get("index_generation"),
+            in_flight_requests=in_flight,
+        )
+
+    def metrics(self) -> MetricsResponse:
+        """The full three-tier snapshot, as one typed wire message.
+
+        In-process embedders (no sampler thread running) get one
+        synchronous gauge sweep so sampled series are present rather
+        than silently empty.
+        """
+        self.obs.count("api.requests", op="metrics")
+        self.obs.ensure_sampled()
+        snapshot = self.obs.snapshot()
+        return MetricsResponse(
+            uptime_s=snapshot["uptime_s"],
+            counters=tuple(
+                CounterSample(
+                    name=counter["name"],
+                    value=counter["value"],
+                    labels=counter["labels"],
+                )
+                for counter in snapshot["counters"]
+            ),
+            events=tuple(
+                EventRollup(
+                    name=event["name"],
+                    labels=event["labels"],
+                    count=event["count"],
+                    window=event["window"],
+                    **{
+                        name: event[name]
+                        for name in EventRollup._FLOAT_FIELDS
+                    },
+                )
+                for event in snapshot["events"]
+            ),
+            samples=tuple(
+                SampledSeries(
+                    name=series["name"],
+                    interval_s=series["interval_s"],
+                    values=tuple(series["values"]),
+                )
+                for series in snapshot["samples"]
+            ),
         )
 
     # -- internals ---------------------------------------------------------------

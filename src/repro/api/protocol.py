@@ -47,10 +47,13 @@ from repro.api.errors import (
 from repro.core.document import CountDocument
 
 __all__ = [
+    "CounterSample",
     "Diagnosis",
+    "EventRollup",
     "HealthResponse",
     "IngestRequest",
     "IngestResponse",
+    "MetricsResponse",
     "PROTOCOL_VERSION",
     "QueryBatchRequest",
     "QueryBatchResponse",
@@ -61,6 +64,7 @@ __all__ = [
     "RESPONSE_TYPES",
     "ReweightRequest",
     "ReweightResponse",
+    "SampledSeries",
     "SnapshotRequest",
     "SnapshotResponse",
     "StatsRequest",
@@ -742,20 +746,36 @@ class ReweightResponse(_Message):
 
 @dataclass(frozen=True)
 class HealthResponse(_Message):
-    """Gateway liveness: mirrors :meth:`MonitorService.health`."""
+    """Gateway liveness: mirrors :meth:`MonitorService.health`.
+
+    ``uptime_s``, ``index_generation`` and ``in_flight_requests`` are
+    *optional* v1 fields riding on the unknown-field tolerance (the
+    ``index_shards`` precedent on :class:`StatsResponse`): older servers
+    omit them (parsed as ``None``), older clients ignore them.
+    """
 
     status: str
     fitted: bool
     indexed_signatures: int
     corpus_size: int
+    uptime_s: float | None = None
+    index_generation: int | None = None
+    in_flight_requests: int | None = None
 
     def _payload(self) -> dict:
-        return {
+        wire = {
             "status": self.status,
             "fitted": self.fitted,
             "indexed_signatures": self.indexed_signatures,
             "corpus_size": self.corpus_size,
         }
+        if self.uptime_s is not None:
+            wire["uptime_s"] = self.uptime_s
+        if self.index_generation is not None:
+            wire["index_generation"] = self.index_generation
+        if self.in_flight_requests is not None:
+            wire["in_flight_requests"] = self.in_flight_requests
+        return wire
 
     @classmethod
     def _parse(cls, wire: Mapping) -> "HealthResponse":
@@ -764,6 +784,254 @@ class HealthResponse(_Message):
             fitted=_get(wire, "fitted", bool),
             indexed_signatures=_get(wire, "indexed_signatures", int),
             corpus_size=_get(wire, "corpus_size", int),
+            uptime_s=_optional(wire, "uptime_s", float),
+            index_generation=_optional(wire, "index_generation", int),
+            in_flight_requests=_optional(wire, "in_flight_requests", int),
+        )
+
+
+# -- metrics ---------------------------------------------------------------------
+
+
+def _optional(wire: Mapping, key: str, kind: type):
+    """An optional typed field: absent or ``null`` parses as ``None``."""
+    if wire.get(key) is None:
+        return None
+    return _get(wire, key, kind)
+
+
+def _labels_from_wire(wire: Mapping) -> tuple[tuple[str, str], ...]:
+    labels = _get(wire, "labels", Mapping, default={})
+    pairs = []
+    for key, value in labels.items():
+        if not isinstance(key, str) or not isinstance(value, str):
+            raise _invalid("metric labels must map strings to strings")
+        pairs.append((key, value))
+    return tuple(sorted(pairs))
+
+
+def _normalize_labels(obj) -> None:
+    """Canonicalize a frozen message's label set to sorted string pairs
+    (a plain dict is accepted at construction for convenience)."""
+    labels = obj.labels
+    items = labels.items() if isinstance(labels, Mapping) else labels
+    pairs = tuple(sorted((str(k), str(v)) for k, v in items))
+    object.__setattr__(obj, "labels", pairs)
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One occurrence counter: a name, a label set, a running total.
+
+    ``labels`` is a sorted tuple of ``(key, value)`` string pairs —
+    hashable and order-independent, serialized as a JSON object.
+    """
+
+    name: str
+    value: int
+    labels: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self):
+        _normalize_labels(self)
+        if isinstance(self.value, bool) or not isinstance(self.value, int):
+            raise _invalid("counter value must be an integer")
+        if self.value < 0:
+            raise _invalid("counter value must be non-negative")
+
+    def to_wire(self) -> dict:
+        wire = {"name": self.name, "value": self.value}
+        if self.labels:
+            wire["labels"] = dict(self.labels)
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire) -> "CounterSample":
+        if not isinstance(wire, Mapping):
+            raise _invalid("counter must be a JSON object")
+        return cls(
+            name=_get(wire, "name", str),
+            value=_get(wire, "value", int),
+            labels=_labels_from_wire(wire),
+        )
+
+
+@dataclass(frozen=True)
+class EventRollup:
+    """One event stream's aggregate view at one instant.
+
+    ``count``/``rate_per_s``/``mean``/``min``/``max`` and the
+    ``stream_*`` quantiles cover the whole stream since the component
+    started; ``p50``/``p95``/``p99`` are *exact* over the retained
+    window of the most recent ``window`` events.  Every number is
+    finite — a stream exists only once it holds an event.
+    """
+
+    name: str
+    count: int
+    rate_per_s: float
+    mean: float
+    min: float
+    max: float
+    p50: float
+    p95: float
+    p99: float
+    stream_p50: float
+    stream_p95: float
+    stream_p99: float
+    window: int
+    labels: tuple[tuple[str, str], ...] = ()
+
+    _FLOAT_FIELDS = (
+        "rate_per_s",
+        "mean",
+        "min",
+        "max",
+        "p50",
+        "p95",
+        "p99",
+        "stream_p50",
+        "stream_p95",
+        "stream_p99",
+    )
+
+    def __post_init__(self):
+        _normalize_labels(self)
+        for field_name in ("count", "window"):
+            value = getattr(self, field_name)
+            if isinstance(value, bool) or not isinstance(value, int) or (
+                value < 1
+            ):
+                raise _invalid(
+                    f"rollup field {field_name!r} must be a positive integer"
+                )
+        for field_name in self._FLOAT_FIELDS:
+            if not math.isfinite(getattr(self, field_name)):
+                raise _invalid(
+                    f"rollup field {field_name!r} must be finite"
+                )
+
+    def to_wire(self) -> dict:
+        wire = {"name": self.name, "count": self.count, "window": self.window}
+        for field_name in self._FLOAT_FIELDS:
+            wire[field_name] = getattr(self, field_name)
+        if self.labels:
+            wire["labels"] = dict(self.labels)
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire) -> "EventRollup":
+        if not isinstance(wire, Mapping):
+            raise _invalid("event rollup must be a JSON object")
+        return cls(
+            name=_get(wire, "name", str),
+            count=_get(wire, "count", int),
+            window=_get(wire, "window", int),
+            labels=_labels_from_wire(wire),
+            **{
+                name: _get(wire, name, float)
+                for name in cls._FLOAT_FIELDS
+            },
+        )
+
+
+@dataclass(frozen=True)
+class SampledSeries:
+    """One sampled gauge's retained ring: fixed-interval points, oldest
+    first.  Aggregates (``last``, ``n``) derive from ``values`` — the
+    wire carries the data, not redundant summaries of it."""
+
+    name: str
+    interval_s: float
+    values: tuple[float, ...]
+
+    def __post_init__(self):
+        if not (
+            isinstance(self.interval_s, (int, float))
+            and not isinstance(self.interval_s, bool)
+            and self.interval_s > 0
+        ):
+            raise _invalid("series interval_s must be a positive number")
+        if not self.values:
+            raise _invalid("series must carry at least one sample")
+        if not all(math.isfinite(v) for v in self.values):
+            raise _invalid("series values must be finite")
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def last(self) -> float:
+        return self.values[-1]
+
+    def to_wire(self) -> dict:
+        return {
+            "name": self.name,
+            "interval_s": self.interval_s,
+            "values": list(self.values),
+        }
+
+    @classmethod
+    def from_wire(cls, wire) -> "SampledSeries":
+        if not isinstance(wire, Mapping):
+            raise _invalid("sampled series must be a JSON object")
+        values = _get(wire, "values", Sequence)
+        if isinstance(values, str):
+            raise _invalid("field 'values' must be a list of numbers")
+        parsed = []
+        for value in values:
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                raise _invalid("field 'values' must contain numbers only")
+            parsed.append(float(value))
+        return cls(
+            name=_get(wire, "name", str),
+            interval_s=_get(wire, "interval_s", float),
+            values=tuple(parsed),
+        )
+
+
+@dataclass(frozen=True)
+class MetricsResponse(_Message):
+    """The full observability snapshot served at ``GET /v1/metrics``.
+
+    Mirrors :meth:`repro.obs.MetricsHub.snapshot` one-for-one: the
+    counter table, per-stream event rollups, and the sampled rings.
+    The Prometheus exposition renders from exactly this wire form, so
+    the two formats can never drift apart.
+    """
+
+    uptime_s: float
+    counters: tuple[CounterSample, ...] = ()
+    events: tuple[EventRollup, ...] = ()
+    samples: tuple[SampledSeries, ...] = ()
+
+    def __post_init__(self):
+        if not math.isfinite(self.uptime_s) or self.uptime_s < 0:
+            raise _invalid("uptime_s must be a non-negative finite number")
+
+    def _payload(self) -> dict:
+        return {
+            "uptime_s": self.uptime_s,
+            "counters": [counter.to_wire() for counter in self.counters],
+            "events": [event.to_wire() for event in self.events],
+            "samples": [series.to_wire() for series in self.samples],
+        }
+
+    @classmethod
+    def _parse(cls, wire: Mapping) -> "MetricsResponse":
+        def sequence_of(key: str, parse) -> tuple:
+            values = _get(wire, key, Sequence, default=())
+            if isinstance(values, str):
+                raise _invalid(f"field {key!r} must be a list")
+            return tuple(parse(value) for value in values)
+
+        return cls(
+            uptime_s=_get(wire, "uptime_s", float),
+            counters=sequence_of("counters", CounterSample.from_wire),
+            events=sequence_of("events", EventRollup.from_wire),
+            samples=sequence_of("samples", SampledSeries.from_wire),
         )
 
 
@@ -777,7 +1045,8 @@ REQUEST_TYPES: dict[str, type] = {
     "reweight": ReweightRequest,
 }
 
-#: Operation name -> response type (healthz is GET-only, requestless).
+#: Operation name -> response type (healthz/metrics are GET-only,
+#: requestless).
 RESPONSE_TYPES: dict[str, type] = {
     "ingest": IngestResponse,
     "query": QueryResponse,
@@ -786,6 +1055,7 @@ RESPONSE_TYPES: dict[str, type] = {
     "snapshot": SnapshotResponse,
     "reweight": ReweightResponse,
     "healthz": HealthResponse,
+    "metrics": MetricsResponse,
 }
 
 #: Every versioned message type (for exhaustive protocol tests).

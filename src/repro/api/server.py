@@ -2,7 +2,9 @@
 
 One `ThreadingHTTPServer` exposes the protocol's operations as
 ``POST /v1/<op>`` (body and response are the versioned JSON envelopes
-from :mod:`repro.api.protocol`) plus ``GET /v1/healthz``.  The handler
+from :mod:`repro.api.protocol`) plus ``GET /v1/healthz`` and
+``GET /v1/metrics`` (JSON by default; ``?format=prometheus`` for the
+text exposition Prometheus scrapers speak).  The handler
 is deliberately thin: enforce the request-size limit, parse JSON, call
 :meth:`Dispatcher.dispatch`, stamp per-request timing, and serialize
 either the response or the structured error envelope with the HTTP
@@ -23,6 +25,7 @@ import json
 import sys
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
@@ -35,6 +38,7 @@ from repro.api.errors import (
     error_from_exception,
 )
 from repro.api.protocol import error_envelope
+from repro.obs import render_prometheus
 
 __all__ = ["DEFAULT_MAX_REQUEST_BYTES", "FmeterServer"]
 
@@ -48,6 +52,33 @@ DEFAULT_MAX_REQUEST_BYTES = 32 << 20
 _MAX_DRAIN_BYTES = 256 << 20
 
 
+class _InFlight:
+    """A thread-safe gauge of requests currently being handled.
+
+    Used as a context manager around each request; ``value`` feeds the
+    ``http.in_flight`` sampled series and the enriched healthz field
+    (both include the request doing the asking).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    def __enter__(self) -> "_InFlight":
+        with self._lock:
+            self._n += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self._lock:
+            self._n -= 1
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._n
+
+
 class _GatewayHandler(BaseHTTPRequestHandler):
     server_version = "FmeterServer/1"
     protocol_version = "HTTP/1.1"
@@ -59,39 +90,64 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     # -- request entry points ----------------------------------------------------
 
+    def setup(self) -> None:
+        super().setup()
+        self.server.dispatcher.obs.count("http.connections")
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         started = time.perf_counter()
-        try:
-            if self._route() != "healthz":
-                raise ApiError(
-                    UNKNOWN_OPERATION,
-                    f"no GET resource at {self.path!r} "
-                    "(operations are POST /v1/<op>; health is "
-                    "GET /v1/healthz)",
-                )
-            wire = self.server.dispatcher.healthz().to_wire()
-        except Exception as exc:
-            self._send_error(error_from_exception(exc), started)
-            return
-        self._send(200, wire, started)
+        self._op = "unknown"
+        with self.server.in_flight:
+            try:
+                op = self._route()
+                self._op = op
+                if op == "healthz":
+                    wire = self.server.dispatcher.healthz(
+                        in_flight=self.server.in_flight.value
+                    ).to_wire()
+                elif op == "metrics":
+                    fmt = self._metrics_format()
+                    response = self.server.dispatcher.metrics()
+                    if fmt == "prometheus":
+                        self._send_text(
+                            200,
+                            render_prometheus(response.to_wire()),
+                            started,
+                        )
+                        return
+                    wire = response.to_wire()
+                else:
+                    raise ApiError(
+                        UNKNOWN_OPERATION,
+                        f"no GET resource at {self.path!r} "
+                        "(operations are POST /v1/<op>; GET serves "
+                        "/v1/healthz and /v1/metrics)",
+                    )
+            except Exception as exc:
+                self._send_error(error_from_exception(exc), started)
+                return
+            self._send(200, wire, started)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         started = time.perf_counter()
+        self._op = "unknown"
         # Until the request body has been fully consumed, this
         # keep-alive connection cannot serve another request: leftover
         # body bytes would be parsed as the next request line.  Any
         # error raised before that point closes the connection.
         self._body_consumed = False
-        try:
-            op = self._route()
-            payload = self._read_json()
-            wire = self.server.dispatcher.dispatch(op, payload)
-        except Exception as exc:
-            if not self._body_consumed:
-                self.close_connection = True
-            self._send_error(error_from_exception(exc), started)
-            return
-        self._send(200, wire, started)
+        with self.server.in_flight:
+            try:
+                op = self._route()
+                self._op = op
+                payload = self._read_json()
+                wire = self.server.dispatcher.dispatch(op, payload)
+            except Exception as exc:
+                if not self._body_consumed:
+                    self.close_connection = True
+                self._send_error(error_from_exception(exc), started)
+                return
+            self._send(200, wire, started)
 
     # -- plumbing ----------------------------------------------------------------
 
@@ -148,12 +204,48 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 INVALID_REQUEST, f"request body is not valid JSON: {exc}"
             ) from exc
 
+    def _metrics_format(self) -> str:
+        query = urllib.parse.urlparse(self.path).query
+        values = urllib.parse.parse_qs(query).get("format", [])
+        fmt = values[-1] if values else "json"
+        if fmt not in ("json", "prometheus"):
+            raise ApiError(
+                INVALID_REQUEST,
+                f"unknown metrics format {fmt!r} "
+                "(expected 'json' or 'prometheus')",
+                detail={"format": fmt},
+            )
+        return fmt
+
+    def _record_elapsed(self, elapsed_ms: float) -> None:
+        # The gateway-observed latency (routing + body read + dispatch)
+        # as an event stream, not just write-only response decoration;
+        # the gap against the dispatcher's api.request_ms is queueing
+        # plus transport overhead.
+        self.server.dispatcher.obs.record(
+            "http.request_ms", elapsed_ms, op=self._op
+        )
+
     def _send(self, status: int, wire: dict, started: float) -> None:
         elapsed_ms = (time.perf_counter() - started) * 1e3
+        self._record_elapsed(elapsed_ms)
         wire["elapsed_ms"] = round(elapsed_ms, 3)
         data = json.dumps(wire).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Fmeter-Elapsed-Ms", f"{elapsed_ms:.3f}")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_text(self, status: int, text: str, started: float) -> None:
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        self._record_elapsed(elapsed_ms)
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
         self.send_header("Content-Length", str(len(data)))
         self.send_header("X-Fmeter-Elapsed-Ms", f"{elapsed_ms:.3f}")
         self.end_headers()
@@ -181,6 +273,7 @@ class _GatewayServer(ThreadingHTTPServer):
         self.dispatcher = dispatcher
         self.max_request_bytes = max_request_bytes
         self.verbose = verbose
+        self.in_flight = _InFlight()
         # Bound now (errors surface at construction, the OS-assigned
         # port is known) but NOT listening: until serve_forever runs,
         # clients get connection-refused — retryable and diagnosable —
@@ -231,6 +324,12 @@ class FmeterServer:
         self._httpd = _GatewayServer(
             (host, port), self.dispatcher, max_request_bytes, verbose
         )
+        # The gateway owns the only component that knows its own
+        # concurrency, so it contributes the transport-tier gauge; the
+        # sampler thread's lifecycle is tied to the accept loop's.
+        self.dispatcher.obs.gauge(
+            "http.in_flight", lambda: self._httpd.in_flight.value
+        )
         self._thread: threading.Thread | None = None
         self._activated = False
         self._activate_lock = threading.Lock()
@@ -261,6 +360,9 @@ class FmeterServer:
             if not self._activated:
                 self._httpd.server_activate()  # start listening only now
                 self._activated = True
+                # Sampled metrics tick for exactly as long as the
+                # gateway serves (stopped in close()).
+                self.dispatcher.obs.sampler.start()
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`close` (or ^C)."""
@@ -300,6 +402,7 @@ class FmeterServer:
         elif self._started.is_set():
             self._httpd.shutdown()
         self._httpd.server_close()
+        self.dispatcher.obs.sampler.stop()
 
     def __enter__(self) -> "FmeterServer":
         return self.start()

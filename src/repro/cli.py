@@ -228,6 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="print the wire-form JSON response "
                             "(stable keys) instead of prose")
+    stats.add_argument("--metrics", action="store_true",
+                       help="show the observability snapshot (request "
+                            "counters, latency p50/p95/p99 rollups, "
+                            "sampled series) instead of the status "
+                            "summary; same wire shape in-process and "
+                            "over --connect")
 
     experiment = _subparser(
         sub, "experiment", "regenerate a paper table or figure",
@@ -649,18 +655,27 @@ def _cmd_stats(args) -> int:
 
     if args.connect is not None:
         client = _make_client(args)
-        response = client.stats()
+        response = (
+            client.metrics() if args.metrics else client.stats()
+        )
         source = client.base_url
     else:
         from repro.api import Dispatcher, StatsRequest
 
         _require_state_dir(args)
         service, state_dir = _make_service(args, require_existing=True)
-        response = Dispatcher(service).handle(StatsRequest())
+        dispatcher = Dispatcher(service)
+        response = (
+            dispatcher.metrics()
+            if args.metrics
+            else dispatcher.handle(StatsRequest())
+        )
         source = str(state_dir)
     if args.json:
         print(json_module.dumps(response.to_wire(), indent=2))
         return 0
+    if args.metrics:
+        return _print_metrics(response, source)
     print(f"service snapshot {source}:")
     print(f"  corpus size:          {response.corpus_size}")
     print(f"  indexed signatures:   {response.indexed_signatures}")
@@ -682,6 +697,43 @@ def _cmd_stats(args) -> int:
         f"  verified watermark:   {response.snapshot_watermark_shards} "
         "full shard(s) skipped on re-snapshot"
     )
+    return 0
+
+
+def _print_metrics(response, source: str) -> int:
+    """The prose view of a MetricsResponse (same shape both transports)."""
+
+    def label_text(labels) -> str:
+        if not labels:
+            return ""
+        return "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+    print(f"metrics for {source} (uptime {response.uptime_s:.1f}s):")
+    print("counters:")
+    if not response.counters:
+        print("  none")
+    for counter in response.counters:
+        print(
+            f"  {counter.name}{label_text(counter.labels)}: {counter.value}"
+        )
+    print("events (window-exact p50/p95/p99 over the retained tail):")
+    if not response.events:
+        print("  none")
+    for event in response.events:
+        print(
+            f"  {event.name}{label_text(event.labels)}: "
+            f"n={event.count} rate={event.rate_per_s:.2f}/s "
+            f"p50={event.p50:.3f} p95={event.p95:.3f} "
+            f"p99={event.p99:.3f} max={event.max:.3f}"
+        )
+    print("sampled series (latest point):")
+    if not response.samples:
+        print("  none")
+    for series in response.samples:
+        print(
+            f"  {series.name}: {series.last:g} "
+            f"({series.n} point(s) @ {series.interval_s:g}s)"
+        )
     return 0
 
 

@@ -83,6 +83,7 @@ __all__ = [
     "SearchResult",
     "SignatureIndex",
     "auto_shard_count",
+    "scoring_pool_stats",
 ]
 
 #: Cap on the dense (queries × ids) score tile a single batch scoring
@@ -129,6 +130,25 @@ def _scoring_pool() -> ThreadPoolExecutor:
                 thread_name_prefix="fmeter-score",
             )
         return _pool
+
+
+def scoring_pool_stats() -> dict:
+    """Best-effort utilization of the process-wide scoring pool.
+
+    ``threads`` is how many workers the pool has spun up, ``queued`` how
+    many tile tasks are waiting for one.  Zeros before the pool's first
+    use.  Reads executor internals defensively (they are stdlib-private)
+    so a future Python can degrade this gauge to zeros rather than break
+    the sampler sweep.
+    """
+    with _pool_lock:
+        pool = _pool
+    if pool is None:
+        return {"threads": 0, "queued": 0}
+    threads = len(getattr(pool, "_threads", ()) or ())
+    queue = getattr(pool, "_work_queue", None)
+    queued = queue.qsize() if queue is not None else 0
+    return {"threads": threads, "queued": queued}
 
 
 def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:

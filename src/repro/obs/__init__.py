@@ -1,0 +1,44 @@
+"""``repro.obs`` — the three-tier observability subsystem.
+
+The always-on service (PR 3-5) can sustain ~1350 q/s but could only say
+"ok" about itself.  This package gives every layer a shared metrics
+vocabulary, following the FastSim/AsyncFlow three-tier taxonomy:
+
+- **Sampled** (:class:`~repro.obs.sampler.Sampler`) — fixed-interval
+  time-series of system properties (queue depth, live signatures, index
+  generation) in bounded ring buffers;
+- **Event** (:class:`~repro.obs.recorder.Recorder`) — values recorded
+  when something happens (request latency, fold time, batch size,
+  drift), with exact window quantiles and P² streaming estimators
+  (:mod:`~repro.obs.quantiles`, numpy-oracle pinned);
+- **Aggregated** — p50/p95/p99/max + rates computed on demand from the
+  raw streams, never pre-binned.
+
+:class:`~repro.obs.hub.MetricsHub` is the single handle components
+instrument against; :mod:`~repro.obs.prometheus` renders (and lints)
+the text exposition served at ``GET /v1/metrics?format=prometheus``.
+This package sits below :mod:`repro.api` — it imports nothing from the
+protocol layer, so the service tier can depend on it without cycles.
+"""
+
+from repro.obs.hub import MetricsHub
+from repro.obs.prometheus import (
+    lint_prometheus,
+    metric_name,
+    render_prometheus,
+)
+from repro.obs.quantiles import P2Quantile, exact_quantile, exact_quantiles
+from repro.obs.recorder import Recorder
+from repro.obs.sampler import Sampler
+
+__all__ = [
+    "MetricsHub",
+    "P2Quantile",
+    "Recorder",
+    "Sampler",
+    "exact_quantile",
+    "exact_quantiles",
+    "lint_prometheus",
+    "metric_name",
+    "render_prometheus",
+]

@@ -1,0 +1,107 @@
+"""The :class:`MetricsHub`: one handle over all three metric tiers.
+
+Every instrumented component — :class:`~repro.service.monitor.
+MonitorService`, the API dispatcher, the HTTP gateway — talks to one
+hub: ``record()`` for event values, ``count()`` for occurrences,
+``gauge()`` to register a sampled series, ``time()`` to bracket a code
+region.  ``snapshot()`` assembles the JSON-safe view the ``/v1/metrics``
+endpoint serializes (and the Prometheus renderer consumes): uptime, the
+counter table, per-stream event rollups, and the sampled rings.
+
+``enabled=False`` builds a hub whose record/count/time paths are no-op
+early returns, leaving every instrumented call site in place — that is
+how the benchmark suite measures (and CI asserts) the overhead of the
+instrumentation itself rather than guessing at it.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.obs.recorder import DEFAULT_WINDOW, Recorder
+from repro.obs.sampler import (
+    DEFAULT_CAPACITY,
+    DEFAULT_INTERVAL_S,
+    Sampler,
+)
+
+__all__ = ["MetricsHub"]
+
+
+class MetricsHub:
+    """Sampled + event + aggregated metrics behind one handle."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        window: int = DEFAULT_WINDOW,
+        sample_interval_s: float = DEFAULT_INTERVAL_S,
+        series_capacity: int = DEFAULT_CAPACITY,
+        clock=time.monotonic,
+    ):
+        self.enabled = enabled
+        self.clock = clock
+        self.started = clock()
+        self.recorder = Recorder(window=window, enabled=enabled, clock=clock)
+        self.sampler = Sampler(
+            interval_s=sample_interval_s,
+            capacity=series_capacity,
+            enabled=enabled,
+            clock=clock,
+        )
+
+    # -- instrumentation surface ---------------------------------------------------
+
+    def record(self, name: str, value: float, **labels) -> None:
+        """Fold one event value (latency, batch size, drift...)."""
+        self.recorder.record(name, value, **labels)
+
+    def count(self, name: str, n: int = 1, **labels) -> None:
+        """Bump an occurrence counter."""
+        self.recorder.count(name, n, **labels)
+
+    def gauge(self, name: str, fn) -> None:
+        """Register a sampled gauge callable on the sampler."""
+        self.sampler.register(name, fn)
+
+    @contextmanager
+    def time(self, name: str, **labels):
+        """Record the bracketed region's wall time as a ``*_ms`` event."""
+        if not self.enabled:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(
+                name, (time.perf_counter() - started) * 1e3, **labels
+            )
+
+    # -- reading -------------------------------------------------------------------
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since this hub (its owning component) was created."""
+        return max(self.clock() - self.started, 0.0)
+
+    def ensure_sampled(self) -> None:
+        """Guarantee at least one gauge sweep without starting a thread.
+
+        The gateway runs the sampler thread; in-process embedders (the
+        CLI's default transport) call this before a snapshot so sampled
+        series carry a point instead of being silently absent.  Also
+        covers a scrape racing a just-started thread's first tick.
+        """
+        if not self.sampler.running or not self.sampler.series():
+            self.sampler.sample_once()
+
+    def snapshot(self) -> dict:
+        """The full JSON-safe metrics view, computed now."""
+        return {
+            "uptime_s": self.uptime_s,
+            "counters": self.recorder.counters(),
+            "events": self.recorder.rollups(),
+            "samples": self.sampler.series(),
+        }

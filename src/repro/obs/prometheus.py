@@ -1,0 +1,283 @@
+"""Prometheus text exposition (version 0.0.4) for the metrics snapshot.
+
+:func:`render_prometheus` turns the hub's JSON-safe snapshot (the same
+mapping ``GET /v1/metrics`` serves as JSON) into the text format every
+Prometheus-compatible scraper speaks:
+
+- counters become ``counter`` families with the conventional ``_total``
+  suffix;
+- event streams become ``summary`` families — ``quantile``-labelled
+  sample lines carrying the window-exact p50/p95/p99 plus ``_sum`` and
+  ``_count`` over the whole stream;
+- sampled series become ``gauge`` families exposing the latest point
+  (scrapers build their own time series; shipping our ring would
+  double-store history).
+
+Metric names are sanitized into ``[a-zA-Z_:][a-zA-Z0-9_:]*`` under a
+``repro_`` namespace; label values are escaped per the spec (``\\``,
+``\"``, ``\n``).  :func:`lint_prometheus` is the matching validator —
+it re-parses an exposition and reports every violation (bad names,
+broken escapes, HELP/TYPE problems, samples outside a declared family).
+The test suite and the CI metrics-smoke step both run the lint against
+live gateway output, so "valid Prometheus" is a checked property, not
+an aspiration.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+__all__ = ["lint_prometheus", "metric_name", "render_prometheus"]
+
+#: Valid exposition metric names (the spec's grammar).
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+#: Valid label names (no colons, unlike metric names).
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+#: HELP text for the metric families the repo emits (fallback is a
+#: generated line, so unknown names still produce a well-formed HELP).
+_HELP: dict[str, str] = {
+    "repro_uptime_seconds": "Seconds since the instrumented service was created.",
+    "repro_api_request_ms": "Dispatcher-observed request latency per operation.",
+    "repro_api_requests_total": "Requests handled per operation.",
+    "repro_api_errors_total": "Requests failed per operation and error code.",
+    "repro_http_request_ms": "Gateway-observed request latency per operation.",
+    "repro_http_connections_total": "TCP connections accepted by the gateway.",
+    "repro_http_in_flight": "Requests currently being handled by the gateway.",
+    "repro_service_ingest_fold_ms": "Time folding one ingest batch into model and index.",
+    "repro_service_ingest_batch_size": "Documents per ingest batch.",
+    "repro_service_idf_drift": "Max |idf delta| caused by one ingest batch.",
+    "repro_service_lock_wait_ms": "Time spent waiting for the service lock.",
+    "repro_service_query_ms": "Service-side batch query latency.",
+    "repro_service_snapshot_ms": "Time writing one sharded snapshot.",
+    "repro_service_live_signatures": "Signatures in the live index.",
+    "repro_service_corpus_size": "Documents folded into the weighting model.",
+    "repro_service_index_generation": "Index mutation generation.",
+    "repro_service_index_shards": "Query shards in the scoring engine.",
+    "repro_service_ingest_queue_depth": "Collection jobs queued on the ingest pool.",
+    "repro_service_lock_held": "1 while the service lock is held.",
+    "repro_index_scoring_pool_threads": "Threads in the process-wide scoring pool.",
+    "repro_index_scoring_pool_queue": "Score tiles queued on the scoring pool.",
+}
+
+
+def metric_name(name: str) -> str:
+    """An internal metric name mapped into the exposition grammar."""
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _labels(labels: Mapping, extra: tuple = ()) -> str:
+    pairs = [
+        (str(k), str(v)) for k, v in sorted(labels.items())
+    ] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _number(value) -> str:
+    # repr() round-trips doubles exactly; integral floats shed their
+    # noise ('12.0' not '12.000000').
+    return repr(float(value))
+
+
+def _help_line(family: str, kind: str) -> list[str]:
+    text = _HELP.get(family, f"Fmeter {kind} metric {family}.")
+    return [f"# HELP {family} {_escape_help(text)}", f"# TYPE {family} {kind}"]
+
+
+def render_prometheus(snapshot: Mapping) -> str:
+    """The exposition text for one metrics snapshot (trailing newline)."""
+    lines: list[str] = []
+    lines += _help_line("repro_uptime_seconds", "gauge")
+    lines.append(
+        f"repro_uptime_seconds {_number(snapshot.get('uptime_s', 0.0))}"
+    )
+    # Counters: group label sets under one family declaration.
+    families: dict[str, list[str]] = {}
+    for counter in snapshot.get("counters", ()):
+        family = metric_name(counter["name"])
+        if not family.endswith("_total"):
+            family += "_total"
+        families.setdefault(family, []).append(
+            f"{family}{_labels(counter.get('labels', {}))} "
+            f"{int(counter['value'])}"
+        )
+    for family in sorted(families):
+        lines += _help_line(family, "counter")
+        lines += families[family]
+    # Events: summaries with window-exact quantiles + whole-stream
+    # _sum/_count.
+    summaries: dict[str, list[str]] = {}
+    for event in snapshot.get("events", ()):
+        family = metric_name(event["name"])
+        labels = event.get("labels", {})
+        samples = summaries.setdefault(family, [])
+        for suffix, q in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+            samples.append(
+                f"{family}{_labels(labels, (('quantile', q),))} "
+                f"{_number(event[suffix])}"
+            )
+        samples.append(
+            f"{family}_sum{_labels(labels)} "
+            f"{_number(event['mean'] * event['count'])}"
+        )
+        samples.append(
+            f"{family}_count{_labels(labels)} {int(event['count'])}"
+        )
+    for family in sorted(summaries):
+        lines += _help_line(family, "summary")
+        lines += summaries[family]
+    # Sampled series: the latest point as a gauge.
+    for series in snapshot.get("samples", ()):
+        family = metric_name(series["name"])
+        lines += _help_line(family, "gauge")
+        lines.append(f"{family} {_number(series['values'][-1])}")
+    return "\n".join(lines) + "\n"
+
+
+# -- lint ------------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?\Z"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+_VALID_TYPES = frozenset(
+    ["counter", "gauge", "summary", "histogram", "untyped"]
+)
+_ESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _lint_labels(body: str, problems: list[str], line_no: int) -> None:
+    pos = 0
+    first = True
+    while pos < len(body):
+        if not first:
+            if body[pos] != ",":
+                problems.append(
+                    f"line {line_no}: expected ',' between labels"
+                )
+                return
+            pos += 1
+        match = _LABEL_PAIR_RE.match(body, pos)
+        if match is None:
+            problems.append(
+                f"line {line_no}: malformed label at offset {pos}: "
+                f"{body[pos:pos + 20]!r}"
+            )
+            return
+        for escape in _ESCAPE_RE.finditer(match.group("value")):
+            if escape.group(1) not in ('\\', '"', 'n'):
+                problems.append(
+                    f"line {line_no}: invalid escape "
+                    f"'\\{escape.group(1)}' in label value"
+                )
+        pos = match.end()
+        first = False
+
+
+def _family_of(sample_name: str, declared: set[str]) -> str | None:
+    if sample_name in declared:
+        return sample_name
+    for suffix in ("_sum", "_count", "_bucket"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in declared:
+                return base
+    return None
+
+
+def lint_prometheus(text: str) -> list[str]:
+    """Every format violation in an exposition; empty means valid.
+
+    Checks: final newline; metric/label name grammar; HELP/TYPE shape,
+    known TYPE values, one declaration per family, TYPE preceding its
+    samples; label escape sequences; parseable sample values (including
+    the spec's ``+Inf``/``-Inf``/``NaN``).
+    """
+    problems: list[str] = []
+    if not text:
+        return ["exposition is empty"]
+    if not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+    typed: set[str] = set()
+    helped: set[str] = set()
+    sampled: set[str] = set()
+    for line_no, line in enumerate(text.split("\n")[:-1], start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" or parts[1] not in (
+                "HELP",
+                "TYPE",
+            ):
+                # Other comments are legal and ignored by parsers.
+                continue
+            keyword, family = parts[1], parts[2]
+            if not _METRIC_NAME_RE.match(family):
+                problems.append(
+                    f"line {line_no}: invalid metric name {family!r} "
+                    f"in {keyword}"
+                )
+            if keyword == "TYPE":
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in _VALID_TYPES:
+                    problems.append(
+                        f"line {line_no}: unknown TYPE {kind!r} "
+                        f"for {family}"
+                    )
+                if family in typed:
+                    problems.append(
+                        f"line {line_no}: duplicate TYPE for {family}"
+                    )
+                if family in sampled:
+                    problems.append(
+                        f"line {line_no}: TYPE for {family} appears "
+                        "after its samples"
+                    )
+                typed.add(family)
+            else:
+                if family in helped:
+                    problems.append(
+                        f"line {line_no}: duplicate HELP for {family}"
+                    )
+                helped.add(family)
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(
+                f"line {line_no}: unparseable sample line {line[:60]!r}"
+            )
+            continue
+        name = match.group("name")
+        family = _family_of(name, typed)
+        sampled.add(family if family is not None else name)
+        if match.group("labels") is not None:
+            _lint_labels(match.group("labels"), problems, line_no)
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                problems.append(
+                    f"line {line_no}: unparseable sample value {value!r}"
+                )
+    return problems

@@ -1,0 +1,169 @@
+"""Quantiles for the observability tier: exact over a window, P² over a stream.
+
+Two estimators with two honest contracts:
+
+- :func:`exact_quantiles` computes linear-interpolated quantiles over a
+  *bounded* sample (the recorder's event window) and is pinned **bitwise**
+  to ``numpy.percentile(values, 100 * q, method="linear")`` by a
+  hypothesis oracle suite — any stream, any quantile.  It replicates
+  numpy's branch-on-``t >= 0.5`` lerp (``b - (b - a) * (1 - t)``) rather
+  than the textbook ``a + t * (b - a)``, because the two differ in the
+  last ulp and the oracle tolerates neither.
+- :class:`P2Quantile` is the Jain & Chlamtac (1985) P² streaming
+  estimator: O(1) memory and O(1) per observation over an *unbounded*
+  stream.  It is exact (same bitwise oracle) while it still holds its
+  first five observations, and an estimate afterwards — always within
+  ``[min, max]`` of everything seen, converging on stationary streams.
+
+The recorder reports both: window-exact p50/p95/p99 for "what did recent
+requests look like", and the P² estimate for "what has this stream looked
+like since boot" — neither requires retaining the stream.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["P2Quantile", "exact_quantile", "exact_quantiles"]
+
+
+def exact_quantile(values: list[float], q: float) -> float:
+    """The ``q``-quantile (``0 <= q <= 1``) of a non-empty sample.
+
+    Linear interpolation between order statistics, bitwise-identical to
+    ``numpy.percentile(values, q * 100, method="linear")``.
+    """
+    return exact_quantiles(values, (q,))[0]
+
+
+def exact_quantiles(values, qs) -> list[float]:
+    """Quantiles of one sorted pass over ``values``; see :func:`exact_quantile`."""
+    if len(values) == 0:
+        raise ValueError("cannot take quantiles of an empty sample")
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+    out = []
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        # Virtual index into the order statistics, split into the lower
+        # integer index and the interpolation weight t in [0, 1).
+        h = q * (n - 1)
+        lower = math.floor(h)
+        t = h - lower
+        a = ordered[lower]
+        b = ordered[min(lower + 1, n - 1)]
+        # numpy's _lerp: the t >= 0.5 branch anchors on b so that
+        # t == 1.0 returns b exactly even when b - a underflows.
+        if t >= 0.5:
+            out.append(b - (b - a) * (1.0 - t))
+        else:
+            out.append(a + (b - a) * t)
+    return out
+
+
+class P2Quantile:
+    """Jain & Chlamtac's P² algorithm: one streaming quantile, O(1) state.
+
+    Five markers track the running minimum, the q/2, q and (1+q)/2
+    quantile estimates, and the running maximum; each observation moves
+    the middle markers by at most one position, adjusting their heights
+    with a piecewise-parabolic (hence P²) prediction, falling back to
+    linear interpolation when the parabola would break marker
+    monotonicity.  Until five observations have arrived the instance
+    simply holds them and :meth:`value` is the exact sample quantile.
+    """
+
+    __slots__ = ("q", "count", "_initial", "_heights", "_positions", "_desired")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"streaming quantile must be in (0, 1), got {q!r}")
+        self.q = q
+        self.count = 0
+        self._initial: list[float] = []
+        self._heights: list[float] | None = None
+        self._positions: list[float] | None = None
+        self._desired: list[float] | None = None
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the estimate."""
+        x = float(value)
+        self.count += 1
+        if self._heights is None:
+            self._initial.append(x)
+            if len(self._initial) == 5:
+                self._heights = sorted(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                q = self.q
+                self._desired = [
+                    1.0,
+                    1.0 + 2.0 * q,
+                    1.0 + 4.0 * q,
+                    3.0 + 2.0 * q,
+                    5.0,
+                ]
+                self._initial = []
+            return
+        h, n, d = self._heights, self._positions, self._desired
+        q = self.q
+        # Locate the marker cell the observation falls into, extending
+        # the extreme markers when it lands outside them.
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        # Desired positions drift by the quantile's increment per
+        # observation: (0, q/2, q, (1+q)/2, 1).
+        d[1] += q / 2.0
+        d[2] += q
+        d[3] += (1.0 + q) / 2.0
+        d[4] += 1.0
+        for i in (1, 2, 3):
+            delta = d[i] - n[i]
+            if (delta >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                delta <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step)
+            * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """The current estimate; exact while ``count < 5``.
+
+        Raises :class:`ValueError` on an empty stream — an estimator
+        with nothing to estimate has no honest number to return.
+        """
+        if self.count == 0:
+            raise ValueError("no observations yet")
+        if self._heights is None:
+            return exact_quantile(self._initial, self.q)
+        return self._heights[2]

@@ -1,0 +1,193 @@
+"""Event-tier metrics: the :class:`Recorder` and its on-demand rollups.
+
+An *event* metric is recorded at the moment something happens — a
+request finishes, an ingest batch folds, drift is measured — and the
+interesting questions about it are distributional: not "what was the
+mean latency" but "what were p95 and p99".  The recorder keeps, per
+``(name, labels)`` stream:
+
+- a bounded window of the most recent raw values (``deque(maxlen=...)``)
+  from which **exact** p50/p95/p99 are computed on demand
+  (:func:`~repro.obs.quantiles.exact_quantiles`, numpy-oracle pinned);
+- running aggregates (count, total, min, max) over the whole stream;
+- three :class:`~repro.obs.quantiles.P2Quantile` streaming estimators
+  covering everything since boot in O(1) memory.
+
+Recording is the hot path — it runs inside request handlers — so it is
+one short per-stream critical section: append to the window, bump four
+scalars, feed three estimators.  No allocation beyond the deque slot,
+no sorting; all ordering work happens at rollup time, which only the
+metrics endpoint pays.
+
+Counters are the degenerate event stream (occurrences, no value) and
+share the label model: ``count("api.requests", op="query")``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.obs.quantiles import P2Quantile, exact_quantiles
+
+__all__ = ["DEFAULT_WINDOW", "Recorder"]
+
+#: Raw values retained per event stream for window-exact quantiles.
+DEFAULT_WINDOW = 2048
+
+#: The quantiles every rollup reports, as (wire suffix, q) pairs.
+_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def _label_key(labels: dict) -> tuple[tuple[str, str], ...]:
+    """A hashable, order-independent identity for one label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _EventStream:
+    """One named stream's state; all mutation under its own small lock."""
+
+    __slots__ = (
+        "name",
+        "labels",
+        "lock",
+        "window",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "estimators",
+        "started",
+    )
+
+    def __init__(self, name: str, labels: tuple, window: int, started: float):
+        self.name = name
+        self.labels = labels
+        self.lock = threading.Lock()
+        self.window: deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.estimators = tuple(P2Quantile(q) for _, q in _QUANTILES)
+        self.started = started
+
+    def record(self, value: float) -> None:
+        with self.lock:
+            self.window.append(value)
+            self.count += 1
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+            for estimator in self.estimators:
+                estimator.add(value)
+
+    def rollup(self, now: float) -> dict | None:
+        with self.lock:
+            if self.count == 0:
+                # A concurrent record() registered this stream but has
+                # not folded its first value yet; nothing to roll up.
+                return None
+            values = list(self.window)
+            count = self.count
+            total = self.total
+            minimum = self.minimum
+            maximum = self.maximum
+            streamed = [e.value() for e in self.estimators]
+        exact = exact_quantiles(values, [q for _, q in _QUANTILES])
+        out = {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "count": count,
+            "rate_per_s": count / max(now - self.started, 1e-9),
+            "mean": total / count,
+            "min": minimum,
+            "max": maximum,
+            "window": len(values),
+        }
+        for (suffix, _), window_value, stream_value in zip(
+            _QUANTILES, exact, streamed
+        ):
+            out[suffix] = window_value
+            out["stream_" + suffix] = stream_value
+        return out
+
+
+class Recorder:
+    """Event values and counters, keyed by ``(name, labels)``.
+
+    ``enabled=False`` turns :meth:`record` and :meth:`count` into
+    near-free early returns — the A/B instrumentation-overhead benchmark
+    runs the identical call sites against a disabled recorder.  The
+    clock is injectable so rate arithmetic is testable deterministically.
+    """
+
+    def __init__(
+        self,
+        window: int = DEFAULT_WINDOW,
+        enabled: bool = True,
+        clock=time.monotonic,
+    ):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self.enabled = enabled
+        self.clock = clock
+        self._streams: dict[tuple, _EventStream] = {}
+        self._counters: dict[tuple, int] = {}
+        # Guards only the registries; per-stream mutation takes the
+        # stream's own lock, so hot streams never contend on a global.
+        self._registry_lock = threading.Lock()
+
+    # -- recording (the hot path) -----------------------------------------------
+
+    def record(self, name: str, value: float, **labels) -> None:
+        """Fold one event value into its stream."""
+        if not self.enabled:
+            return
+        key = (name, _label_key(labels))
+        stream = self._streams.get(key)
+        if stream is None:
+            with self._registry_lock:
+                stream = self._streams.setdefault(
+                    key,
+                    _EventStream(name, key[1], self.window, self.clock()),
+                )
+        stream.record(float(value))
+
+    def count(self, name: str, n: int = 1, **labels) -> None:
+        """Bump an occurrence counter."""
+        if not self.enabled:
+            return
+        key = (name, _label_key(labels))
+        with self._registry_lock:
+            self._counters[key] = self._counters.get(key, 0) + n
+
+    # -- reading (the metrics endpoint) -------------------------------------------
+
+    def counters(self) -> list[dict]:
+        """Every counter as ``{"name", "labels", "value"}``, sorted."""
+        with self._registry_lock:
+            items = sorted(self._counters.items())
+        return [
+            {"name": name, "labels": dict(labels), "value": value}
+            for (name, labels), value in items
+        ]
+
+    def rollups(self) -> list[dict]:
+        """Every event stream's aggregate view, computed now, sorted.
+
+        Each rollup carries the running aggregates (count, rate since
+        the stream's first event, mean/min/max), window-exact
+        ``p50/p95/p99`` over the retained tail, and the P² streaming
+        estimates (``stream_p50``...) covering the whole stream.  Every
+        value is finite — streams exist only once they hold an event.
+        """
+        with self._registry_lock:
+            streams = sorted(self._streams.items())
+        now = self.clock()
+        rollups = (stream.rollup(now) for _, stream in streams)
+        return [rollup for rollup in rollups if rollup is not None]

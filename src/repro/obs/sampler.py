@@ -1,0 +1,161 @@
+"""Sampled-tier metrics: the :class:`Sampler` and its bounded ring buffers.
+
+A *sampled* metric is a property of the system that exists whether or
+not anyone observes it — queue depth, live-signature count, index
+generation, in-flight requests.  Events can't capture these (nothing
+"happens" when a queue sits at depth 7), so the sampler polls registered
+gauge callables at a fixed interval and appends ``(t, value)`` points to
+bounded rings: memory stays O(capacity) however long the service runs.
+
+Two ways to drive a sweep:
+
+- :meth:`sample_once` — one synchronous pass, for deterministic tests
+  and the in-process CLI path (no background threads appear just
+  because a service object exists);
+- :meth:`start` / :meth:`stop` — a daemon thread sweeping every
+  ``interval_s``, owned by whoever owns the process's lifecycle (the
+  gateway starts it when it begins listening, stops it on close).
+
+Gauge callables run outside any service lock and must be cheap and
+non-blocking; one raising gauge skips its point rather than killing the
+sweep — observability must never take the observed system down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["DEFAULT_CAPACITY", "DEFAULT_INTERVAL_S", "Sampler"]
+
+#: Points retained per series: ~6 minutes of history at the default rate.
+DEFAULT_CAPACITY = 360
+
+#: Default sweep interval in seconds.
+DEFAULT_INTERVAL_S = 1.0
+
+
+class _Series:
+    """One gauge's bounded ring of (t, value) points."""
+
+    __slots__ = ("name", "fn", "times", "values", "capacity")
+
+    def __init__(self, name: str, fn, capacity: int):
+        self.name = name
+        self.fn = fn
+        self.capacity = capacity
+        self.times: deque[float] = deque(maxlen=capacity)
+        self.values: deque[float] = deque(maxlen=capacity)
+
+
+class Sampler:
+    """Fixed-interval gauge sampling into bounded rings."""
+
+    def __init__(
+        self,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        capacity: int = DEFAULT_CAPACITY,
+        enabled: bool = True,
+        clock=time.monotonic,
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.interval_s = interval_s
+        self.capacity = capacity
+        self.enabled = enabled
+        self.clock = clock
+        self._series: dict[str, _Series] = {}
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, name: str, fn) -> None:
+        """Register a gauge: a zero-argument callable returning a number.
+
+        Re-registering a name replaces the callable but keeps the ring —
+        a resumed component continues the series it left off.
+        """
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                self._series[name] = _Series(name, fn, self.capacity)
+            else:
+                series.fn = fn
+
+    # -- sampling ----------------------------------------------------------------
+
+    def sample_once(self) -> None:
+        """One synchronous sweep over every registered gauge."""
+        if not self.enabled:
+            return
+        with self._lock:
+            series = list(self._series.values())
+        now = self.clock()
+        for s in series:
+            try:
+                value = float(s.fn())
+            except Exception:
+                continue
+            with self._lock:
+                s.times.append(now)
+                s.values.append(value)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Begin periodic sweeps on a daemon thread; idempotent."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop = threading.Event()
+            self._thread = threading.Thread(
+                target=self._run, name="fmeter-sampler", daemon=True
+            )
+            self._thread.start()
+
+    def _run(self) -> None:
+        stop = self._stop
+        while not stop.wait(self.interval_s):
+            self.sample_once()
+
+    def stop(self) -> None:
+        """Stop the sweep thread (idempotent; restartable via start)."""
+        with self._lock:
+            thread, self._thread = self._thread, None
+            self._stop.set()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    # -- reading -----------------------------------------------------------------
+
+    def series(self) -> list[dict]:
+        """Every non-empty ring as a JSON-safe dict, sorted by name.
+
+        ``values`` is the retained window oldest-first; ``interval_s``
+        is the configured sweep period (actual spacing may jitter with
+        scheduler load — the rings store what was seen, not a promise).
+        """
+        with self._lock:
+            out = []
+            for name in sorted(self._series):
+                s = self._series[name]
+                if not s.values:
+                    continue
+                values = list(s.values)
+                out.append(
+                    {
+                        "name": name,
+                        "interval_s": self.interval_s,
+                        "values": values,
+                    }
+                )
+        return out

@@ -41,6 +41,7 @@ it.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -49,10 +50,11 @@ from pathlib import Path
 
 from repro.core.database import SignatureDatabase
 from repro.core.document import CountDocument, DocumentBatch
-from repro.core.index import IndexReadView, SearchResult
+from repro.core.index import IndexReadView, SearchResult, scoring_pool_stats
 from repro.core.pipeline import SignaturePipeline
 from repro.core.signature import Signature
 from repro.core.tfidf import TfIdfModel
+from repro.obs import MetricsHub
 
 __all__ = [
     "EmptyBatchError",
@@ -247,6 +249,7 @@ class MonitorService:
         baseline: SignatureDatabase | None = None,
         retain_documents: bool = False,
         shards: int | None = None,
+        obs: MetricsHub | None = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -273,6 +276,11 @@ class MonitorService:
         #: service would otherwise grow without bound, and only
         #: ``reweight`` consumes the retained documents.
         self.retain_documents = retain_documents
+        #: The service's observability hub (see :mod:`repro.obs`).  One
+        #: per service by default; embedders share it with the
+        #: dispatcher/gateway and may pass ``MetricsHub(enabled=False)``
+        #: to run the same call sites uninstrumented.
+        self.obs = obs if obs is not None else MetricsHub()
         self._lock = threading.Lock()
         #: Serializes snapshot disk I/O without blocking queries/ingest.
         self._snapshot_lock = threading.Lock()
@@ -320,6 +328,44 @@ class MonitorService:
                 shards=shards,
             )
             self._run_seed_counter = 0
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Expose the service's observable properties as sampled series.
+
+        Every callable is a cheap unsynchronized read of a counter or a
+        queue size — gauges must never wait on the service lock (the
+        sampler would then perturb exactly the contention it measures).
+        """
+        obs = self.obs
+        obs.gauge("service.live_signatures", lambda: len(self.database))
+        obs.gauge("service.corpus_size", lambda: self.model.corpus_size)
+        obs.gauge(
+            "service.index_generation",
+            lambda: self.database.index.generation,
+        )
+        obs.gauge("service.index_shards", lambda: self.database.index.shards)
+        obs.gauge(
+            "service.lock_held", lambda: 1.0 if self._lock.locked() else 0.0
+        )
+        obs.gauge("service.ingest_queue_depth", self._ingest_queue_depth)
+        obs.gauge(
+            "index.scoring_pool_threads",
+            lambda: scoring_pool_stats()["threads"],
+        )
+        obs.gauge(
+            "index.scoring_pool_queue",
+            lambda: scoring_pool_stats()["queued"],
+        )
+
+    def _ingest_queue_depth(self) -> int:
+        """Collection jobs waiting for an ingest-pool worker (0 if idle)."""
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None:
+            return 0
+        queue = getattr(pool, "_work_queue", None)
+        return queue.qsize() if queue is not None else 0
 
     # -- construction from snapshots -----------------------------------------------
 
@@ -332,6 +378,7 @@ class MonitorService:
         metric: str = "cosine",
         retain_documents: bool = False,
         shards: int | None = None,
+        obs: MetricsHub | None = None,
     ) -> "MonitorService":
         """Restart a service from a :meth:`snapshot` directory.
 
@@ -357,6 +404,7 @@ class MonitorService:
             baseline=database,
             retain_documents=retain_documents,
             shards=shards,
+            obs=obs,
         )
 
     # -- lifecycle ---------------------------------------------------------------
@@ -484,7 +532,13 @@ class MonitorService:
                 "are unlabeled; the service indexes labeled signatures only "
                 "(use query() to diagnose unlabeled documents)"
             )
+        lock_started = time.perf_counter()
         with self._lock:
+            self.obs.record(
+                "service.lock_wait_ms",
+                (time.perf_counter() - lock_started) * 1e3,
+            )
+            fold_started = time.perf_counter()
             # Drift falls out of the fold itself in O(batch support) —
             # the old full-vocabulary |idf - old_idf| scan per call was
             # the dominant cost of per-interval streaming ingest.  The
@@ -506,6 +560,15 @@ class MonitorService:
             if self._run_seed_counter < self.model.corpus_size:
                 self._run_seed_counter = self.model.corpus_size
             self._syndromes_stale = True
+            self.obs.record(
+                "service.ingest_fold_ms",
+                (time.perf_counter() - fold_started) * 1e3,
+            )
+            self.obs.record("service.ingest_batch_size", len(documents))
+            if math.isfinite(drift):
+                # The sentinel first-fit inf would poison every finite
+                # aggregate; it is visible as corpus_size going 0 -> n.
+                self.obs.record("service.idf_drift", drift)
             return IngestReport(
                 documents=len(documents),
                 by_label=dict(batch.label_counts),
@@ -596,7 +659,9 @@ class MonitorService:
         snapshot is a consistent point in time: signatures ingested
         after the capture are invisible to it.
         """
+        lock_started = time.perf_counter()
         with self._lock:
+            waited_ms = (time.perf_counter() - lock_started) * 1e3
             if not self.model.fitted:
                 raise NotFittedError(
                     "service has ingested nothing yet; nothing to query"
@@ -610,6 +675,9 @@ class MonitorService:
             )
             view = self.database.index.read_view()
             metric = self.metric
+        # Recorded after release: the capture is the hottest critical
+        # section in the service, and the recorder has its own lock.
+        self.obs.record("service.lock_wait_ms", waited_ms)
         return ReadSnapshot(model=model, view=view, metric=metric)
 
     def query(self, document: CountDocument, k: int = 5) -> QueryResult:
@@ -625,7 +693,12 @@ class MonitorService:
         :meth:`read_snapshot`, as a single vectorized index product —
         see :meth:`~repro.core.index.IndexReadView.search_batch`.
         """
-        return self.read_snapshot().query_batch(documents, k=k)
+        started = time.perf_counter()
+        results = self.read_snapshot().query_batch(documents, k=k)
+        self.obs.record(
+            "service.query_ms", (time.perf_counter() - started) * 1e3
+        )
+        return results
 
     # -- persistence ------------------------------------------------------------
 
@@ -657,6 +730,7 @@ class MonitorService:
         calls are serialized by a dedicated snapshot lock.
         """
         directory = Path(directory)
+        snapshot_started = time.perf_counter()
         with self._snapshot_lock:
             with self._lock:
                 if shard_size is None:
@@ -693,6 +767,10 @@ class MonitorService:
                     # can only have grown), so the next snapshot skips
                     # everything this one certified.
                     self.database._shard_hashes = list(view._shard_hashes)
+            self.obs.record(
+                "service.snapshot_ms",
+                (time.perf_counter() - snapshot_started) * 1e3,
+            )
             return written
 
     # -- introspection ------------------------------------------------------------
@@ -711,6 +789,7 @@ class MonitorService:
                 "fitted": self.model.fitted,
                 "indexed_signatures": len(self.database),
                 "corpus_size": self.model.corpus_size,
+                "index_generation": self.database.index.generation,
             }
         try:
             return {
@@ -718,6 +797,7 @@ class MonitorService:
                 "fitted": self.model.fitted,
                 "indexed_signatures": len(self.database),
                 "corpus_size": self.model.corpus_size,
+                "index_generation": self.database.index.generation,
             }
         finally:
             self._lock.release()

@@ -145,6 +145,85 @@ class TestRoundTrips:
         assert tuple(flat) == whole.diagnoses
 
 
+class TestObservability:
+    def test_healthz_enriched_over_http(self, client):
+        health = client.healthz()
+        assert health.uptime_s is not None and health.uptime_s >= 0
+        assert health.index_generation is not None
+        assert health.index_generation >= 1  # the fixture's ingest
+        # The healthz request itself is in flight while it is answered.
+        assert health.in_flight_requests >= 1
+
+    def test_metrics_json_covers_all_three_tiers(self, client, query_docs):
+        client.query_batch(query_docs, k=3)
+        metrics = client.metrics()
+        assert metrics.uptime_s > 0
+        counter_names = {c.name for c in metrics.counters}
+        assert "api.requests" in counter_names
+        assert "http.connections" in counter_names
+        event_keys = {(e.name, e.labels) for e in metrics.events}
+        assert (
+            "api.request_ms",
+            (("op", "query_batch"),),
+        ) in event_keys
+        sample_names = {s.name for s in metrics.samples}
+        assert "service.live_signatures" in sample_names
+        assert "service.index_generation" in sample_names
+
+    def test_gateway_and_dispatcher_latency_both_recorded(
+        self, client, query_docs
+    ):
+        client.query_batch(query_docs, k=3)
+        metrics = client.metrics()
+        by_key = {(e.name, e.labels): e for e in metrics.events}
+        http_side = by_key[("http.request_ms", (("op", "query_batch"),))]
+        api_side = by_key[("api.request_ms", (("op", "query_batch"),))]
+        # The gateway-observed time includes serialization + I/O, so it
+        # can never undercut what the dispatcher saw for the same work.
+        assert http_side.count == api_side.count == 1
+        assert http_side.max >= api_side.max
+
+    def test_metrics_prometheus_lints_clean(self, client, query_docs):
+        from repro.obs import lint_prometheus
+
+        client.query_batch(query_docs, k=3)
+        text = client.metrics_prometheus()
+        assert lint_prometheus(text) == []
+        assert "repro_uptime_seconds " in text
+        assert "# TYPE repro_api_request_ms summary" in text
+
+    def test_prometheus_content_type(self, gateway):
+        url = f"{gateway.url}/v1/metrics?format=prometheus"
+        with urllib.request.urlopen(url) as resp:
+            content_type = resp.headers["Content-Type"]
+            assert float(resp.headers["X-Fmeter-Elapsed-Ms"]) >= 0
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_unknown_metrics_format_rejected(self, gateway):
+        url = f"{gateway.url}/v1/metrics?format=xml"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(url)
+        assert excinfo.value.code == 400
+        envelope = json.loads(excinfo.value.read())
+        assert envelope["error"]["code"] == "invalid_request"
+
+    def test_both_formats_describe_the_same_families(self, client):
+        client.healthz()
+        metrics = client.metrics()
+        text = client.metrics_prometheus()
+        from repro.obs import metric_name
+
+        for event in metrics.events:
+            assert f"# TYPE {metric_name(event.name)} summary" in text
+
+    def test_wire_shape_matches_inprocess_dispatch(
+        self, client, fed_service
+    ):
+        over_http = set(client.metrics().to_wire())
+        in_process = set(Dispatcher(fed_service).metrics().to_wire())
+        assert over_http == in_process
+
+
 class TestErrors:
     def test_query_before_ingest(self, service, query_docs, tmp_path):
         with FmeterServer(service) as server:

@@ -83,6 +83,36 @@ def diagnosis_strategy(draw):
 document_tuples = st.lists(wire_documents(), max_size=3).map(tuple)
 count_strategy = st.integers(0, 10**6)
 
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+metric_labels = st.dictionaries(
+    st.text(min_size=1, max_size=8), st.text(max_size=8), max_size=2
+)
+counter_strategy = st.builds(
+    P.CounterSample,
+    name=st.text(min_size=1, max_size=16),
+    value=count_strategy,
+    labels=metric_labels,
+)
+
+
+@st.composite
+def event_rollups(draw):
+    return P.EventRollup(
+        name=draw(st.text(min_size=1, max_size=16)),
+        count=draw(st.integers(1, 10**6)),
+        window=draw(st.integers(1, 4096)),
+        labels=draw(metric_labels),
+        **{name: draw(finite_floats) for name in P.EventRollup._FLOAT_FIELDS},
+    )
+
+
+series_strategy = st.builds(
+    P.SampledSeries,
+    name=st.text(min_size=1, max_size=16),
+    interval_s=st.floats(1e-3, 60, allow_nan=False),
+    values=st.lists(finite_floats, min_size=1, max_size=5).map(tuple),
+)
+
 MESSAGE_STRATEGIES = {
     P.IngestRequest: st.builds(
         P.IngestRequest,
@@ -151,6 +181,17 @@ MESSAGE_STRATEGIES = {
         fitted=st.booleans(),
         indexed_signatures=count_strategy,
         corpus_size=count_strategy,
+        # Optional v1 enrichment (None = a server that predates it).
+        uptime_s=st.none() | st.floats(0, 1e6, allow_nan=False),
+        index_generation=st.none() | count_strategy,
+        in_flight_requests=st.none() | count_strategy,
+    ),
+    P.MetricsResponse: st.builds(
+        P.MetricsResponse,
+        uptime_s=st.floats(0, 1e6, allow_nan=False),
+        counters=st.lists(counter_strategy, max_size=3).map(tuple),
+        events=st.lists(event_rollups(), max_size=2).map(tuple),
+        samples=st.lists(series_strategy, max_size=2).map(tuple),
     ),
 }
 
@@ -307,6 +348,110 @@ class TestInfinityHandling:
         assert wire["idf_drift"] is None
         text = json.dumps(wire, allow_nan=False)  # strict JSON survives
         assert P.IngestResponse.from_wire(json.loads(text)) == response
+
+
+class TestHealthzEnrichment:
+    """The optional v1 health fields: absent, null, and present must all
+    parse; presence round-trips; older wire forms stay accepted."""
+
+    BASE = {
+        "v": P.PROTOCOL_VERSION,
+        "status": "ok",
+        "fitted": True,
+        "indexed_signatures": 3,
+        "corpus_size": 3,
+    }
+
+    def test_pre_enrichment_wire_parses_as_none(self):
+        response = P.HealthResponse.from_wire(dict(self.BASE))
+        assert response.uptime_s is None
+        assert response.index_generation is None
+        assert response.in_flight_requests is None
+
+    def test_null_optional_fields_parse_as_none(self):
+        wire = dict(
+            self.BASE,
+            uptime_s=None, index_generation=None, in_flight_requests=None,
+        )
+        response = P.HealthResponse.from_wire(wire)
+        assert response == P.HealthResponse.from_wire(dict(self.BASE))
+
+    def test_enriched_payload_round_trips(self):
+        response = P.HealthResponse(
+            status="ok", fitted=True, indexed_signatures=3, corpus_size=3,
+            uptime_s=12.5, index_generation=7, in_flight_requests=2,
+        )
+        wire = json.loads(json.dumps(response.to_wire()))
+        assert wire["uptime_s"] == 12.5
+        assert wire["index_generation"] == 7
+        assert wire["in_flight_requests"] == 2
+        assert P.HealthResponse.from_wire(wire) == response
+
+    def test_absent_optionals_stay_off_the_wire(self):
+        wire = P.HealthResponse(
+            status="ok", fitted=False, indexed_signatures=0, corpus_size=0
+        ).to_wire()
+        assert "uptime_s" not in wire
+        assert "index_generation" not in wire
+        assert "in_flight_requests" not in wire
+
+    def test_mistyped_optional_rejected(self):
+        wire = dict(self.BASE, uptime_s="fast")
+        with pytest.raises(ApiError) as excinfo:
+            P.HealthResponse.from_wire(wire)
+        assert excinfo.value.code == INVALID_REQUEST
+
+
+class TestMetricsValidation:
+    def test_counter_value_must_be_non_negative_int(self):
+        for bad in (-1, True, 1.5):
+            with pytest.raises(ApiError):
+                P.CounterSample(name="x", value=bad)
+
+    def test_rollup_requires_finite_floats(self):
+        kwargs = dict(
+            name="x", count=1, window=1,
+            **{f: 0.0 for f in P.EventRollup._FLOAT_FIELDS},
+        )
+        kwargs["p95"] = float("nan")
+        with pytest.raises(ApiError):
+            P.EventRollup(**kwargs)
+
+    def test_rollup_requires_positive_count_and_window(self):
+        for field in ("count", "window"):
+            kwargs = dict(
+                name="x", count=1, window=1,
+                **{f: 0.0 for f in P.EventRollup._FLOAT_FIELDS},
+            )
+            kwargs[field] = 0
+            with pytest.raises(ApiError):
+                P.EventRollup(**kwargs)
+
+    def test_series_must_be_non_empty_and_finite(self):
+        with pytest.raises(ApiError):
+            P.SampledSeries(name="x", interval_s=1.0, values=())
+        with pytest.raises(ApiError):
+            P.SampledSeries(
+                name="x", interval_s=1.0, values=(float("inf"),)
+            )
+
+    def test_labels_accept_mapping_and_sort(self):
+        counter = P.CounterSample(
+            name="x", value=1, labels={"op": "query", "code": "ok"}
+        )
+        assert counter.labels == (("code", "ok"), ("op", "query"))
+
+    def test_wire_labels_must_be_strings(self):
+        with pytest.raises(ApiError) as excinfo:
+            P.CounterSample.from_wire(
+                {"name": "x", "value": 1, "labels": {"op": 3}}
+            )
+        assert excinfo.value.code == INVALID_REQUEST
+
+    def test_metrics_response_uptime_must_be_finite(self):
+        for bad in (-1.0, float("inf"), float("nan")):
+            with pytest.raises(ApiError):
+                P.MetricsResponse(uptime_s=bad)
 
 
 class TestErrorEnvelope:

@@ -175,6 +175,57 @@ class TestJsonOutput:
         }
 
 
+class TestStatsMetrics:
+    WIRE_KEYS = {"v", "uptime_s", "counters", "events", "samples"}
+
+    def test_metrics_prose_in_process(self, snapshot_dir, capsys):
+        code = main(["stats", "--state-dir", str(snapshot_dir), "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics for" in out
+        assert "counters:" in out
+        # The scrape counts itself, so the table is never empty.
+        assert "api.requests{op=metrics}: 1" in out
+        # ensure_sampled: sampled gauges carry a point without a thread.
+        assert "service.live_signatures: 12" in out
+
+    def test_metrics_json_in_process(self, snapshot_dir, capsys):
+        import json
+
+        code = main([
+            "stats", "--state-dir", str(snapshot_dir), "--metrics", "--json",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert set(payload) == self.WIRE_KEYS
+        assert payload["uptime_s"] >= 0
+        names = {c["name"] for c in payload["counters"]}
+        assert "api.requests" in names
+
+    def test_metrics_json_same_shape_over_http(self, pipeline, capsys):
+        import json
+
+        from repro.api import FmeterServer
+        from repro.service import IngestJob, MonitorService
+        from repro.workloads.scp import ScpWorkload
+
+        service = MonitorService(pipeline, max_workers=1)
+        service.ingest([IngestJob(ScpWorkload(seed=21), 6, run_seed=1)])
+        with FmeterServer(service) as server:
+            address = f"{server.host}:{server.port}"
+            code = main(["stats", "--connect", address, "--metrics", "--json"])
+            assert code == 0
+            out = capsys.readouterr().out
+            payload = json.loads(out[out.index("{"):])
+            # Satellite contract: identical wire keys both transports.
+            assert set(payload) == self.WIRE_KEYS
+            assert main(["stats", "--connect", address, "--metrics"]) == 0
+            prose = capsys.readouterr().out
+            assert f"metrics for http://{address}" in prose
+            assert "events (window-exact p50/p95/p99" in prose
+
+
 class TestClientMode:
     @pytest.fixture()
     def gateway(self, pipeline):

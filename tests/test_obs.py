@@ -1,0 +1,239 @@
+"""Unit tests for ``repro.obs``: sampler, recorder, and the hub.
+
+The clock is injected everywhere, so rates, uptime and sampling are
+pinned deterministically — no sleeps, no wall-clock flake.  The one
+threaded test (the sampler's daemon sweep) polls with a generous bound
+rather than asserting on timing.
+"""
+
+import time
+
+import pytest
+
+from repro.obs import MetricsHub, Recorder, Sampler
+from repro.obs.quantiles import exact_quantile
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestRecorder:
+    def test_rollup_aggregates_and_quantiles(self):
+        clock = FakeClock()
+        recorder = Recorder(clock=clock)
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for value in values:
+            recorder.record("svc.latency_ms", value)
+        clock.advance(2.0)
+        (rollup,) = recorder.rollups()
+        assert rollup["name"] == "svc.latency_ms"
+        assert rollup["count"] == 5
+        assert rollup["window"] == 5
+        assert rollup["rate_per_s"] == pytest.approx(2.5)
+        assert rollup["mean"] == pytest.approx(3.0)
+        assert rollup["min"] == 1.0
+        assert rollup["max"] == 5.0
+        for suffix, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            assert rollup[suffix] == exact_quantile(values, q)
+            # At five observations P2 is already in marker mode; its
+            # bounded-estimate invariant is what holds here.
+            assert 1.0 <= rollup["stream_" + suffix] <= 5.0
+
+    def test_stream_quantiles_exact_below_five_events(self):
+        recorder = Recorder(clock=FakeClock())
+        values = [4.0, 1.0, 3.0]
+        for value in values:
+            recorder.record("m", value)
+        (rollup,) = recorder.rollups()
+        for suffix, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            assert rollup["stream_" + suffix] == exact_quantile(values, q)
+
+    def test_window_bounds_exact_quantiles_not_aggregates(self):
+        recorder = Recorder(window=4, clock=FakeClock())
+        for value in range(100):
+            recorder.record("m", float(value))
+        (rollup,) = recorder.rollups()
+        assert rollup["count"] == 100  # whole stream
+        assert rollup["window"] == 4  # retained tail
+        assert rollup["p50"] == exact_quantile([96.0, 97.0, 98.0, 99.0], 0.5)
+        assert rollup["min"] == 0.0 and rollup["max"] == 99.0
+
+    def test_labels_split_streams_order_independently(self):
+        recorder = Recorder(clock=FakeClock())
+        recorder.record("m", 1.0, op="query", code="ok")
+        recorder.record("m", 3.0, code="ok", op="query")  # same stream
+        recorder.record("m", 9.0, op="ingest")
+        rollups = recorder.rollups()
+        assert [(r["labels"], r["count"]) for r in rollups] == [
+            ({"code": "ok", "op": "query"}, 2),
+            ({"op": "ingest"}, 1),
+        ]
+
+    def test_counters_accumulate_and_sort(self):
+        recorder = Recorder(clock=FakeClock())
+        recorder.count("api.requests", op="query")
+        recorder.count("api.requests", 2, op="query")
+        recorder.count("api.errors", op="query", code="not_fitted")
+        assert recorder.counters() == [
+            {
+                "name": "api.errors",
+                "labels": {"code": "not_fitted", "op": "query"},
+                "value": 1,
+            },
+            {"name": "api.requests", "labels": {"op": "query"}, "value": 3},
+        ]
+
+    def test_disabled_recorder_is_a_no_op(self):
+        recorder = Recorder(enabled=False, clock=FakeClock())
+        recorder.record("m", 1.0)
+        recorder.count("c")
+        assert recorder.rollups() == []
+        assert recorder.counters() == []
+
+    def test_empty_recorder_rolls_up_empty(self):
+        assert Recorder(clock=FakeClock()).rollups() == []
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Recorder(window=0)
+
+
+class TestSampler:
+    def test_sample_once_appends_points(self):
+        clock = FakeClock()
+        sampler = Sampler(interval_s=0.5, clock=clock)
+        depth = [7]
+        sampler.register("queue.depth", lambda: depth[0])
+        sampler.sample_once()
+        depth[0] = 9
+        clock.advance(0.5)
+        sampler.sample_once()
+        (series,) = sampler.series()
+        assert series == {
+            "name": "queue.depth",
+            "interval_s": 0.5,
+            "values": [7.0, 9.0],
+        }
+
+    def test_capacity_bounds_the_ring(self):
+        sampler = Sampler(capacity=3, clock=FakeClock())
+        tick = [0]
+        sampler.register("g", lambda: tick[0])
+        for i in range(10):
+            tick[0] = i
+            sampler.sample_once()
+        (series,) = sampler.series()
+        assert series["values"] == [7.0, 8.0, 9.0]
+
+    def test_failing_gauge_skips_its_point_only(self):
+        sampler = Sampler(clock=FakeClock())
+        sampler.register("bad", lambda: 1 / 0)
+        sampler.register("good", lambda: 42)
+        sampler.sample_once()
+        assert [s["name"] for s in sampler.series()] == ["good"]
+
+    def test_reregister_replaces_fn_keeps_ring(self):
+        sampler = Sampler(clock=FakeClock())
+        sampler.register("g", lambda: 1)
+        sampler.sample_once()
+        sampler.register("g", lambda: 2)
+        sampler.sample_once()
+        (series,) = sampler.series()
+        assert series["values"] == [1.0, 2.0]
+
+    def test_empty_rings_stay_out_of_series(self):
+        sampler = Sampler(clock=FakeClock())
+        sampler.register("never_sampled", lambda: 0)
+        assert sampler.series() == []
+
+    def test_disabled_sampler_never_samples(self):
+        sampler = Sampler(enabled=False, clock=FakeClock())
+        sampler.register("g", lambda: 1)
+        sampler.sample_once()
+        sampler.start()
+        assert not sampler.running
+        assert sampler.series() == []
+
+    def test_thread_lifecycle(self):
+        sampler = Sampler(interval_s=0.01)
+        sampler.register("g", lambda: 1)
+        sampler.start()
+        assert sampler.running
+        sampler.start()  # idempotent
+        deadline = time.monotonic() + 5.0
+        while not sampler.series() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        sampler.stop()
+        assert not sampler.running
+        assert sampler.series()  # the thread swept at least once
+        sampler.stop()  # idempotent
+        sampler.start()  # restartable
+        assert sampler.running
+        sampler.stop()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Sampler(interval_s=0)
+        with pytest.raises(ValueError):
+            Sampler(capacity=0)
+
+
+class TestMetricsHub:
+    def test_snapshot_assembles_all_three_tiers(self):
+        clock = FakeClock()
+        hub = MetricsHub(clock=clock)
+        hub.count("api.requests", op="query")
+        hub.record("api.request_ms", 1.5, op="query")
+        hub.gauge("svc.depth", lambda: 3)
+        hub.sampler.sample_once()
+        clock.advance(10.0)
+        snapshot = hub.snapshot()
+        assert set(snapshot) == {"uptime_s", "counters", "events", "samples"}
+        assert snapshot["uptime_s"] == pytest.approx(10.0)
+        assert snapshot["counters"][0]["name"] == "api.requests"
+        assert snapshot["events"][0]["name"] == "api.request_ms"
+        assert snapshot["samples"][0]["values"] == [3.0]
+
+    def test_time_records_a_ms_event(self):
+        hub = MetricsHub(clock=FakeClock())
+        with hub.time("region_ms", op="x"):
+            pass
+        (rollup,) = hub.recorder.rollups()
+        assert rollup["name"] == "region_ms"
+        assert rollup["labels"] == {"op": "x"}
+        assert 0.0 <= rollup["max"] < 1000.0
+
+    def test_time_records_even_when_the_region_raises(self):
+        hub = MetricsHub(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with hub.time("region_ms"):
+                raise RuntimeError("boom")
+        assert len(hub.recorder.rollups()) == 1
+
+    def test_disabled_hub_stays_empty_at_identical_call_sites(self):
+        hub = MetricsHub(enabled=False, clock=FakeClock())
+        hub.count("c")
+        hub.record("e", 1.0)
+        with hub.time("t_ms"):
+            pass
+        hub.gauge("g", lambda: 1)
+        hub.ensure_sampled()
+        snapshot = hub.snapshot()
+        assert snapshot["counters"] == []
+        assert snapshot["events"] == []
+        assert snapshot["samples"] == []
+
+    def test_ensure_sampled_sweeps_when_thread_absent(self):
+        hub = MetricsHub(clock=FakeClock())
+        hub.gauge("g", lambda: 5)
+        assert hub.snapshot()["samples"] == []
+        hub.ensure_sampled()
+        assert hub.snapshot()["samples"][0]["values"] == [5.0]

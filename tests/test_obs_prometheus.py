@@ -1,0 +1,182 @@
+"""The Prometheus exposition: render and lint agree, and lint catches lies.
+
+``render_prometheus`` output must pass ``lint_prometheus`` for any
+snapshot the hub can produce (a property, driven here both with crafted
+snapshots and hypothesis-generated metric names).  The lint itself is
+tested against deliberately broken expositions — a validator that
+accepts everything proves nothing.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import (
+    MetricsHub,
+    lint_prometheus,
+    metric_name,
+    render_prometheus,
+)
+from repro.obs.prometheus import _METRIC_NAME_RE
+
+
+def rendered(snapshot: dict) -> str:
+    text = render_prometheus(snapshot)
+    assert lint_prometheus(text) == [], text
+    return text
+
+
+class TestRender:
+    def test_full_snapshot_renders_and_lints_clean(self):
+        hub = MetricsHub()
+        hub.count("api.requests", 3, op="query")
+        hub.count("api.errors", op="query", code="not_fitted")
+        for value in (1.0, 2.0, 3.0, 4.0, 50.0):
+            hub.record("api.request_ms", value, op="query")
+        hub.gauge("service.live_signatures", lambda: 42)
+        hub.ensure_sampled()
+        text = rendered(hub.snapshot())
+        assert "# TYPE repro_api_requests_total counter" in text
+        assert 'repro_api_requests_total{op="query"} 3' in text
+        assert "# TYPE repro_api_request_ms summary" in text
+        assert 'quantile="0.95"' in text
+        assert 'repro_api_request_ms_sum{op="query"} 60.0' in text
+        assert 'repro_api_request_ms_count{op="query"} 5' in text
+        assert "# TYPE repro_service_live_signatures gauge" in text
+        assert "repro_service_live_signatures 42.0" in text
+        assert text.endswith("\n")
+
+    def test_uptime_always_present(self):
+        text = rendered({"uptime_s": 1.5})
+        assert "repro_uptime_seconds 1.5" in text
+
+    def test_counter_families_get_total_suffix_once(self):
+        text = rendered(
+            {
+                "uptime_s": 0.0,
+                "counters": [
+                    {"name": "a.hits", "labels": {}, "value": 1},
+                    {"name": "b.hits_total", "labels": {}, "value": 2},
+                ],
+            }
+        )
+        assert "repro_a_hits_total 1" in text
+        assert "repro_b_hits_total 2" in text
+        assert "total_total" not in text
+
+    def test_label_values_escape_cleanly(self):
+        nasty = 'back\\slash "quoted"\nnewline'
+        text = rendered(
+            {
+                "uptime_s": 0.0,
+                "counters": [
+                    {"name": "c", "labels": {"msg": nasty}, "value": 1}
+                ],
+            }
+        )
+        line = next(
+            l for l in text.splitlines() if l.startswith("repro_c_total{")
+        )
+        assert '\\\\' in line and '\\"' in line and "\\n" in line
+        assert "\n" not in line  # the raw newline never leaks
+
+    def test_every_family_declares_help_and_type_before_samples(self):
+        hub = MetricsHub()
+        hub.count("x")
+        hub.record("y_ms", 1.0)
+        text = rendered(hub.snapshot())
+        seen: set = set()
+        for line in text.splitlines():
+            if line.startswith("# HELP") or line.startswith("# TYPE"):
+                seen.add(line.split(" ")[2])
+            elif line:
+                family = line.split("{")[0].split(" ")[0]
+                for suffix in ("_sum", "_count"):
+                    if family.endswith(suffix) and family not in seen:
+                        family = family[: -len(suffix)]
+                assert family in seen, line
+
+    @settings(max_examples=100, deadline=None)
+    @given(name=st.text(min_size=1, max_size=30))
+    def test_any_internal_name_maps_into_the_grammar(self, name):
+        assert _METRIC_NAME_RE.match(metric_name(name))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        name=st.text(min_size=1, max_size=12),
+        label_value=st.text(max_size=12),
+    )
+    def test_arbitrary_names_and_label_values_lint_clean(
+        self, name, label_value
+    ):
+        rendered(
+            {
+                "uptime_s": 0.0,
+                "counters": [
+                    {"name": name, "labels": {"l": label_value}, "value": 1}
+                ],
+            }
+        )
+
+
+class TestLintCatchesViolations:
+    def lint(self, text: str) -> list[str]:
+        problems = lint_prometheus(text)
+        assert problems, f"lint accepted: {text!r}"
+        return problems
+
+    def test_empty_exposition(self):
+        assert self.lint("") == ["exposition is empty"]
+
+    def test_missing_final_newline(self):
+        assert any("newline" in p for p in self.lint("m 1"))
+
+    def test_bad_metric_name_in_type(self):
+        problems = self.lint("# TYPE 9bad counter\n")
+        assert any("invalid metric name" in p for p in problems)
+
+    def test_unknown_type(self):
+        problems = self.lint("# TYPE m frequencies\n")
+        assert any("unknown TYPE" in p for p in problems)
+
+    def test_duplicate_type(self):
+        text = "# TYPE m counter\n# TYPE m counter\nm 1\n"
+        assert any("duplicate TYPE" in p for p in self.lint(text))
+
+    def test_type_after_samples(self):
+        text = "m 1\n# TYPE m counter\n"
+        assert any("after its samples" in p for p in self.lint(text))
+
+    def test_duplicate_help(self):
+        text = "# HELP m a\n# HELP m b\n# TYPE m gauge\nm 1\n"
+        assert any("duplicate HELP" in p for p in self.lint(text))
+
+    def test_invalid_escape_in_label_value(self):
+        text = '# TYPE m gauge\nm{l="a\\qb"} 1\n'
+        assert any("invalid escape" in p for p in self.lint(text))
+
+    def test_malformed_label_pair(self):
+        text = '# TYPE m gauge\nm{9l="x"} 1\n'
+        assert any("malformed label" in p for p in self.lint(text))
+
+    def test_missing_comma_between_labels(self):
+        text = '# TYPE m gauge\nm{a="1"b="2"} 1\n'
+        assert any("expected ','" in p for p in self.lint(text))
+
+    def test_unparseable_value(self):
+        text = "# TYPE m gauge\nm one\n"
+        assert any("unparseable sample value" in p for p in self.lint(text))
+
+    def test_unparseable_line(self):
+        assert any(
+            "unparseable sample line" in p for p in self.lint("{} {}\n")
+        )
+
+    def test_spec_infinities_are_legal(self):
+        text = "# TYPE m gauge\nm +Inf\nm2 -Inf\nm3 NaN\n"
+        assert lint_prometheus(text) == []
+
+    def test_summary_suffixes_attach_to_their_family(self):
+        text = (
+            "# HELP s x\n# TYPE s summary\n"
+            's{quantile="0.5"} 1\ns_sum 2\ns_count 3\n'
+        )
+        assert lint_prometheus(text) == []

@@ -69,7 +69,7 @@ def _src_env():
 
 
 @pytest.mark.parametrize(
-    "module_name", ["repro", "repro.service", "repro.api"]
+    "module_name", ["repro", "repro.service", "repro.api", "repro.obs"]
 )
 def test_all_is_curated_and_resolvable(module_name):
     """Every ``__all__`` name resolves, is sorted, and has no dupes."""
