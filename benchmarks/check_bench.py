@@ -78,6 +78,15 @@ EXPECTED: dict[str, set[str]] = {
         "record_ns",
         "latency_ms",
     },
+    "overload": {
+        "indexed_signatures",
+        "batch",
+        "read_limit",
+        "read_pending",
+        "uncontended",
+        "loads",
+        "drain",
+    },
 }
 
 #: Every ``latency_ms`` object anywhere in the artifact must carry the
@@ -92,6 +101,20 @@ QUERY_SCALING_SHARD_KEYS = {
     "peak_accumulator_bytes",
     "peak_concurrent_bytes",
 }
+
+#: keys every overload.loads cell (shedding and no_shedding alike) must
+#: carry — the cross-PR diff compares these pairwise per load multiple.
+OVERLOAD_CELL_KEYS = {
+    "threads",
+    "offered_qps",
+    "admitted_qps",
+    "shed_qps",
+    "shed_rate",
+    "latency_ms",
+}
+
+#: keys the overload.drain record must carry.
+OVERLOAD_DRAIN_KEYS = {"in_flight_readers", "drain_ms", "dropped", "incomplete"}
 
 
 def _check_latency_objects(node, path: str, problems: list[str]) -> None:
@@ -155,6 +178,27 @@ def check(path: Path) -> list[str]:
                 problems.append(
                     f"query_scaling.shards[{count!r}] lacks keys: {missing}"
                 )
+    overload = data.get("overload")
+    if isinstance(overload, dict):
+        loads = overload.get("loads")
+        if not isinstance(loads, dict) or not loads:
+            problems.append("overload.loads must map load multiples to cells")
+        else:
+            for multiple, pair in sorted(loads.items()):
+                for arm in ("shedding", "no_shedding"):
+                    cell = pair.get(arm) if isinstance(pair, dict) else None
+                    where = f"overload.loads[{multiple!r}].{arm}"
+                    if not isinstance(cell, dict):
+                        problems.append(f"{where} is missing")
+                        continue
+                    missing = sorted(OVERLOAD_CELL_KEYS - cell.keys())
+                    if missing:
+                        problems.append(f"{where} lacks keys: {missing}")
+        drain = overload.get("drain")
+        if isinstance(drain, dict):
+            missing = sorted(OVERLOAD_DRAIN_KEYS - drain.keys())
+            if missing:
+                problems.append(f"overload.drain lacks keys: {missing}")
     _check_latency_objects(data, "", problems)
     return problems
 

@@ -17,12 +17,17 @@ thin layers over :class:`~repro.service.monitor.MonitorService`:
 - :mod:`~repro.api.server` / :mod:`~repro.api.client` — the HTTP
   transport pair: a stdlib ``ThreadingHTTPServer`` gateway and a
   urllib client SDK with retries and batch helpers.
+- :mod:`~repro.api.admission` — overload control for the gateway:
+  :class:`AdmissionController` bounds per-endpoint-class concurrency,
+  sheds excess load with 429 + a measured ``Retry-After``, and sheds
+  deadline-doomed requests with 408 before they are scored.
 
 One API surface, two transports: the CLI (and any embedder) drives the
 same ``Dispatcher`` in-process or through ``FmeterClient`` over the
 network, with bit-identical scoring either way.
 """
 
+from repro.api.admission import AdmissionController
 from repro.api.client import FmeterClient
 from repro.api.dispatcher import Dispatcher
 from repro.api.errors import API_ERROR_CODES, ApiError, error_from_exception
@@ -53,6 +58,7 @@ from repro.api.server import FmeterServer
 
 __all__ = [
     "API_ERROR_CODES",
+    "AdmissionController",
     "ApiError",
     "CounterSample",
     "Diagnosis",

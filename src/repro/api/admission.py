@@ -1,0 +1,322 @@
+"""Admission control for the gateway: bounded concurrency, load shedding.
+
+The gateway is a thread-per-connection server; without a bound, a flood
+of requests spawns a thread apiece and every admitted request slows down
+together until clients time out — the worst possible degradation mode,
+because the server still pays full cost for answers nobody is waiting
+for.  The :class:`AdmissionController` sits between routing and
+dispatch and turns that cliff into a step:
+
+- Each operation belongs to an **endpoint class**.  *Writes* (``ingest``,
+  ``snapshot``, ``reweight``) serialize behind the service lock, so
+  extra concurrent writers buy nothing — their limit defaults to 1.
+  *Reads* (``query``, ``query_batch``, ``stats``) scale with index
+  shards, so their limit defaults to the shard count (floored at 2).
+  Control endpoints (``healthz``, ``metrics``) bypass admission
+  entirely: liveness probes and metric scrapes must answer precisely
+  when the service is too busy for anything else.
+- A request that finds a free slot is admitted immediately.  If all
+  slots are busy it waits in a **bounded pending queue**; beyond the
+  bound it is **shed** with :data:`~repro.api.errors.SERVICE_OVERLOADED`
+  (HTTP 429) and a ``Retry-After`` estimate, costing the server one
+  rejected envelope instead of one scored request.
+- The estimate is *measured*, not guessed: the obs recorder already
+  tracks per-op service time (``api.request_ms``), so the controller
+  projects when a slot frees as ``mean_service_s * (pending / limit
+  + 1)`` — the queue ahead of the caller drained at ``limit`` slots per
+  mean service time, plus one service time for the in-flight requests.
+- Deadline-carrying requests (see the ``X-Fmeter-Deadline-Ms`` header in
+  :mod:`repro.api.server`) are shed with
+  :data:`~repro.api.errors.DEADLINE_EXCEEDED` (HTTP 408) as soon as the
+  projected wait exceeds their remaining budget — a doomed request
+  should cost a rejection, not a scored answer nobody reads.
+
+All waiting happens on per-class condition variables; the controller
+never holds a lock while estimating or raising, and every shed/queue
+event is counted on the hub so overload is visible in ``/v1/metrics``
+(``http.shed`` counters, ``http.admission_wait_ms`` events, and the
+``http.admission_active`` / ``http.admission_pending`` sampled gauges
+registered by the server).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.api.errors import (
+    DEADLINE_EXCEEDED,
+    SERVICE_OVERLOADED,
+    ApiError,
+)
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_MAX_QUEUE_WAIT_S",
+    "READ_OPS",
+    "WRITE_OPS",
+    "classify_op",
+]
+
+#: Operations served from the (sharded, read-scalable) index.
+READ_OPS = frozenset({"query", "query_batch", "stats"})
+#: Operations that mutate service state behind the service lock.
+WRITE_OPS = frozenset({"ingest", "snapshot", "reweight"})
+#: Endpoints that bypass admission (liveness and observability).
+CONTROL_OPS = frozenset({"healthz", "metrics"})
+
+#: Upper bound on time a request may sit in the pending queue before it
+#: is shed anyway — a stuck handler must not pin queued requests forever.
+DEFAULT_MAX_QUEUE_WAIT_S = 30.0
+
+#: Retry-After fallback (seconds) before any service time is observed.
+_DEFAULT_SERVICE_S = 1.0
+#: Clamp for Retry-After estimates: never zero, never absurd.
+_RETRY_AFTER_MIN_S = 0.05
+_RETRY_AFTER_MAX_S = 60.0
+
+
+def classify_op(op: str) -> str | None:
+    """``"read"`` / ``"write"`` for admitted ops, ``None`` for control.
+
+    Unknown operations classify as reads: they fail fast in dispatch
+    with ``unknown_operation``, but a flood of garbage ops should be
+    bounded like any other flood.
+    """
+    if op in CONTROL_OPS:
+        return None
+    if op in WRITE_OPS:
+        return "write"
+    return "read"
+
+
+class _ClassGate:
+    """One endpoint class's slots, pending queue, and condition."""
+
+    __slots__ = ("name", "limit", "max_pending", "active", "pending", "cond")
+
+    def __init__(self, name: str, limit: int, max_pending: int):
+        if limit < 1:
+            raise ValueError(f"{name} limit must be at least 1")
+        if max_pending < 0:
+            raise ValueError(f"{name} max_pending must be >= 0")
+        self.name = name
+        self.limit = limit
+        self.max_pending = max_pending
+        self.active = 0
+        self.pending = 0
+        self.cond = threading.Condition()
+
+
+class _Slot:
+    """Context manager holding one admitted slot; release exactly once."""
+
+    __slots__ = ("_gate", "_released")
+
+    def __init__(self, gate: _ClassGate):
+        self._gate = gate
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        gate = self._gate
+        with gate.cond:
+            gate.active -= 1
+            gate.cond.notify()
+
+    def __enter__(self) -> "_Slot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Bounded per-class concurrency with measured-Retry-After shedding."""
+
+    def __init__(
+        self,
+        read_limit: int = 2,
+        write_limit: int = 1,
+        read_pending: int | None = None,
+        write_pending: int | None = None,
+        max_queue_wait_s: float = DEFAULT_MAX_QUEUE_WAIT_S,
+        obs=None,
+        clock=time.monotonic,
+    ):
+        if read_pending is None:
+            read_pending = max(8, 4 * read_limit)
+        if write_pending is None:
+            write_pending = max(4, 2 * write_limit)
+        self._gates = {
+            "read": _ClassGate("read", read_limit, read_pending),
+            "write": _ClassGate("write", write_limit, write_pending),
+        }
+        self.max_queue_wait_s = max_queue_wait_s
+        self.obs = obs
+        self.clock = clock
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def active_total(self) -> int:
+        """Requests currently holding a slot, across classes."""
+        return sum(g.active for g in self._gates.values())
+
+    @property
+    def pending_total(self) -> int:
+        """Requests currently queued for a slot, across classes."""
+        return sum(g.pending for g in self._gates.values())
+
+    def depth(self) -> int:
+        """Admitted plus queued requests — the admission queue depth."""
+        return self.active_total + self.pending_total
+
+    # -- estimation --------------------------------------------------------------
+
+    def _mean_service_s(self, op: str) -> float | None:
+        """Measured mean service time for ``op``, if observed yet.
+
+        ``api.request_ms`` is recorded by the dispatcher around the
+        handler proper — it excludes admission wait, so it stays an
+        unbiased service-time estimate even while the queue is deep.
+        """
+        if self.obs is None:
+            return None
+        stats = self.obs.stream_stats("api.request_ms", op=op)
+        if stats is None:
+            return None
+        return stats["mean"] / 1e3
+
+    def retry_after_s(self, op: str) -> float:
+        """Estimated seconds until a slot should free for ``op``.
+
+        ``mean_service_s * (pending / limit + 1)``: the queue ahead
+        drains at ``limit`` slots per mean service time, plus one mean
+        service time for the requests currently in flight.  Clamped to
+        a finite, sane band; defaults to 1s before any measurement.
+        """
+        gate = self._gates[classify_op(op) or "read"]
+        mean_s = self._mean_service_s(op)
+        if mean_s is None:
+            mean_s = _DEFAULT_SERVICE_S
+        estimate = mean_s * (gate.pending / gate.limit + 1.0)
+        return round(
+            min(max(estimate, _RETRY_AFTER_MIN_S), _RETRY_AFTER_MAX_S), 3
+        )
+
+    # -- admission ---------------------------------------------------------------
+
+    def admit(self, op: str, deadline: float | None = None) -> _Slot | None:
+        """Admit ``op`` (returning a held :class:`_Slot`) or shed it.
+
+        Returns ``None`` for control endpoints (no slot to release).
+        Raises :class:`ApiError` with ``service_overloaded`` when the
+        class's pending queue is full (or the queue wait bound expires),
+        and with ``deadline_exceeded`` when the request's remaining
+        deadline cannot cover the projected wait.
+        """
+        class_name = classify_op(op)
+        if class_name is None:
+            return None
+        gate = self._gates[class_name]
+        shed_code = None
+        waited_ms = 0.0
+        with gate.cond:
+            if gate.active < gate.limit and gate.pending == 0:
+                gate.active += 1
+                return _Slot(gate)
+            if gate.pending >= gate.max_pending:
+                shed_code = SERVICE_OVERLOADED
+            elif self._doomed(gate, op, deadline):
+                shed_code = DEADLINE_EXCEEDED
+            else:
+                shed_code, waited_ms = self._wait_for_slot(gate, deadline)
+                if shed_code is None:
+                    self._count_wait(op, waited_ms)
+                    return _Slot(gate)
+        # Shed paths: estimate and instrument outside the gate lock.
+        self._count_wait(op, waited_ms)
+        raise self._shed_error(shed_code, op, gate)
+
+    def _doomed(self, gate: _ClassGate, op: str, deadline) -> bool:
+        """True when the projected queue wait exceeds the deadline.
+
+        Only claims doom on a *measured* projection — with no service
+        time observed yet the request queues and the deadline itself
+        bounds the wait.
+        """
+        if deadline is None:
+            return False
+        remaining = deadline - self.clock()
+        if remaining <= 0:
+            return True
+        mean_s = self._mean_service_s(op)
+        if mean_s is None:
+            return False
+        projected = mean_s * (gate.pending + 1) / gate.limit
+        return projected > remaining
+
+    def _wait_for_slot(self, gate, deadline):
+        """Queue on the gate until a slot frees; called under its cond.
+
+        Returns ``(shed_code_or_None, waited_ms)``.
+        """
+        started = self.clock()
+        latest = started + self.max_queue_wait_s
+        if deadline is not None:
+            latest = min(latest, deadline)
+        gate.pending += 1
+        try:
+            while gate.active >= gate.limit:
+                timeout = latest - self.clock()
+                if timeout <= 0:
+                    code = (
+                        DEADLINE_EXCEEDED
+                        if deadline is not None and latest == deadline
+                        else SERVICE_OVERLOADED
+                    )
+                    return code, (self.clock() - started) * 1e3
+                gate.cond.wait(timeout)
+            gate.active += 1
+            return None, (self.clock() - started) * 1e3
+        finally:
+            gate.pending -= 1
+
+    # -- instrumentation helpers -------------------------------------------------
+
+    def _count_wait(self, op: str, waited_ms: float) -> None:
+        if self.obs is not None and waited_ms > 0:
+            self.obs.record("http.admission_wait_ms", waited_ms, op=op)
+
+    def _shed_error(self, code: str, op: str, gate: _ClassGate) -> ApiError:
+        retry_after = self.retry_after_s(op)
+        if self.obs is not None:
+            self.obs.count("http.shed", op=op, code=code)
+        if code == DEADLINE_EXCEEDED:
+            return ApiError(
+                DEADLINE_EXCEEDED,
+                f"deadline cannot cover the projected admission wait "
+                f"for {op!r}",
+                detail={
+                    "op": op,
+                    "pending": gate.pending,
+                    "limit": gate.limit,
+                    "retry_after_s": retry_after,
+                },
+            )
+        return ApiError(
+            SERVICE_OVERLOADED,
+            f"all {gate.limit} {gate.name} slots busy and the pending "
+            f"queue is full; retry after {retry_after}s",
+            detail={
+                "op": op,
+                "endpoint_class": gate.name,
+                "limit": gate.limit,
+                "pending": gate.pending,
+                "max_pending": gate.max_pending,
+                "retry_after_s": retry_after,
+            },
+        )

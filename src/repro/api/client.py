@@ -13,7 +13,20 @@ Transport behaviour:
   keep-alive sockets retry only for read-only operations
   (``query``/``query_batch``/``stats``/``healthz``) — a reset after an
   ``ingest`` was sent is ambiguous, and retrying could double-ingest.
-  Exhausted retries surface as code ``unavailable``.
+  Exhausted retries surface as code ``unavailable``.  Retry sleeps are
+  full-jitter exponential backoff capped at ``max_backoff_s`` — many
+  clients backing off from the same incident must not return in
+  lockstep.
+- **Server cooperation.**  A 429 (``service_overloaded``) or 503
+  (``shutting_down``) is the gateway refusing the request *before*
+  dispatch — unambiguous, so it retries for **all** operations,
+  including ingest.  The server's ``Retry-After`` estimate (header or
+  error detail) is honored, with jitter, in place of blind backoff.
+- **Deadlines.**  A ``deadline_ms`` budget (per client or per call)
+  rides to the server as the ``X-Fmeter-Deadline-Ms`` header and the
+  envelope's ``deadline_ms`` field, shrinking across retries; the
+  gateway sheds the request with ``deadline_exceeded`` once it is
+  doomed, and the client stops retrying when the budget is spent.
 - **Documents.**  Methods accept :class:`CountDocument` (converted to
   sparse wire form, with the vocabulary fingerprint attached
   automatically so build mismatches fail loudly) or pre-built
@@ -26,12 +39,19 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import Iterable, Sequence
 
-from repro.api.errors import ApiError, INTERNAL, UNAVAILABLE
+from repro.api.errors import (
+    ApiError,
+    DEADLINE_EXCEEDED,
+    INTERNAL,
+    UNAVAILABLE,
+    retry_after_s,
+)
 from repro.api.protocol import (
     HealthResponse,
     IngestRequest,
@@ -83,6 +103,24 @@ _INTERRUPTED = (
     http.client.BadStatusLine,
 )
 
+#: HTTP statuses that mean "the gateway refused this before dispatch".
+_BUSY_STATUSES = frozenset({429, 503})
+
+
+class _ServerBusy(Exception):
+    """Internal: a structured 429/503 refusal, safe to retry for any op.
+
+    Carries the parsed :class:`ApiError` (re-raised verbatim once
+    retries are exhausted) and the server's retry estimate —
+    ``detail["retry_after_s"]`` preferred, ``Retry-After`` header as
+    fallback (see :meth:`FmeterClient._advised_retry_after`).
+    """
+
+    def __init__(self, error: ApiError, retry_after: float | None):
+        super().__init__(error.message)
+        self.error = error
+        self.retry_after = retry_after
+
 
 class FmeterClient:
     """A typed HTTP client for one :class:`FmeterServer` gateway."""
@@ -94,12 +132,17 @@ class FmeterClient:
         timeout: float = 30.0,
         retries: int = 2,
         backoff_s: float = 0.05,
+        max_backoff_s: float = 5.0,
+        deadline_ms: float | None = None,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retries = retries
         self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        #: Default per-request deadline budget; ``None`` sends none.
+        self.deadline_ms = deadline_ms
 
     @property
     def base_url(self) -> str:
@@ -245,13 +288,36 @@ class FmeterClient:
         method: str = "POST",
         idempotent: bool = False,
         raw: bool = False,
+        deadline_ms: float | None = None,
     ):
         url = f"{self.base_url}/v1/{op}"
-        body = None if wire is None else json.dumps(wire).encode("utf-8")
+        if deadline_ms is None:
+            deadline_ms = self.deadline_ms
+        deadline = (
+            None
+            if deadline_ms is None
+            else time.monotonic() + deadline_ms / 1e3
+        )
+        static_body = None if wire is None else json.dumps(wire).encode("utf-8")
         attempt = 0
         while True:
+            remaining_ms = self._remaining_ms(op, deadline)
+            body = (
+                static_body
+                if remaining_ms is None
+                else self._body_with_deadline(wire, remaining_ms)
+            )
             try:
-                return self._once(url, body, method, raw=raw)
+                return self._once(
+                    url, body, method, raw=raw, deadline_ms=remaining_ms
+                )
+            except _ServerBusy as busy:
+                # The gateway refused this before dispatch (429/503):
+                # unambiguous, so every operation may retry — honoring
+                # the server's estimate of when to come back.
+                if attempt >= self.retries:
+                    raise busy.error from None
+                delay = self._busy_delay(busy.retry_after, attempt)
             except ApiError:
                 raise
             except Exception as exc:
@@ -262,17 +328,91 @@ class FmeterClient:
                         f"cannot reach the gateway at {self.base_url}: {exc}",
                         detail={"operation": op, "attempts": attempt + 1},
                     ) from exc
-                time.sleep(self.backoff_s * (2**attempt))
-                attempt += 1
+                delay = self._backoff_delay(attempt)
+            self._sleep_within_deadline(op, delay, deadline)
+            attempt += 1
+
+    # -- retry pacing ------------------------------------------------------------
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Full-jitter exponential backoff, capped at ``max_backoff_s``.
+
+        ``random() * min(cap, base * 2^attempt)``: the *range* grows
+        exponentially but each client draws uniformly inside it, so a
+        crowd of clients knocked back by the same incident spreads out
+        instead of returning in synchronized waves.
+        """
+        return random.random() * min(
+            self.max_backoff_s, self.backoff_s * (2**attempt)
+        )
+
+    def _busy_delay(self, retry_after: float | None, attempt: int) -> float:
+        """Sleep for a server-advised retry: jittered around the advice.
+
+        +/-25% jitter de-synchronizes the crowd the server just shed
+        (they all received near-identical estimates) while still
+        landing near the advised time; capped like any other backoff.
+        Falls back to blind backoff when the refusal carried no advice.
+        """
+        if retry_after is None:
+            return self._backoff_delay(attempt)
+        return min(
+            self.max_backoff_s,
+            retry_after * (0.75 + 0.5 * random.random()),
+        )
+
+    def _remaining_ms(self, op: str, deadline: float | None) -> float | None:
+        if deadline is None:
+            return None
+        remaining_ms = (deadline - time.monotonic()) * 1e3
+        if remaining_ms <= 0:
+            raise ApiError(
+                DEADLINE_EXCEEDED,
+                f"deadline exhausted before {op!r} completed",
+                detail={"operation": op},
+            )
+        return remaining_ms
+
+    def _sleep_within_deadline(
+        self, op: str, delay: float, deadline: float | None
+    ) -> None:
+        if deadline is not None and time.monotonic() + delay >= deadline:
+            # Sleeping through the deadline to retry is strictly worse
+            # than reporting the truth now.
+            raise ApiError(
+                DEADLINE_EXCEEDED,
+                f"deadline exhausted while backing off to retry {op!r}",
+                detail={"operation": op, "backoff_s": round(delay, 3)},
+            )
+        time.sleep(delay)
+
+    @staticmethod
+    def _body_with_deadline(wire: dict | None, remaining_ms: float) -> bytes | None:
+        """The envelope with its ``deadline_ms`` budget field refreshed.
+
+        Re-encoded per attempt so the budget shrinks across retries;
+        rides protocol v1's unknown-field tolerance (older gateways
+        ignore it).
+        """
+        if wire is None:
+            return None
+        wire = dict(wire)
+        wire["deadline_ms"] = round(remaining_ms, 3)
+        return json.dumps(wire).encode("utf-8")
 
     def _once(
-        self, url: str, body: bytes | None, method: str, raw: bool = False
+        self,
+        url: str,
+        body: bytes | None,
+        method: str,
+        raw: bool = False,
+        deadline_ms: float | None = None,
     ):
+        headers = {"Content-Type": "application/json"}
+        if deadline_ms is not None:
+            headers["X-Fmeter-Deadline-Ms"] = f"{deadline_ms:.3f}"
         request = urllib.request.Request(
-            url,
-            data=body,
-            method=method,
-            headers={"Content-Type": "application/json"},
+            url, data=body, method=method, headers=headers
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
@@ -287,10 +427,37 @@ class FmeterClient:
             # The gateway's errors are structured envelopes with
             # non-2xx statuses; surface the embedded ApiError.
             payload = self._parse_body(err.read(), err.code)
+            if err.code in _BUSY_STATUSES:
+                error = extract_error(payload)
+                if error is not None:
+                    raise _ServerBusy(
+                        error, self._advised_retry_after(err, error)
+                    ) from None
         error = extract_error(payload)
         if error is not None:
             raise error
         return payload
+
+    @staticmethod
+    def _advised_retry_after(
+        err: urllib.error.HTTPError, error: ApiError
+    ) -> float | None:
+        """The server's retry estimate for a 429/503 refusal.
+
+        Prefers the precise float in the error detail (our own
+        protocol); falls back to the integer-seconds ``Retry-After``
+        header (which any intermediary speaks).
+        """
+        advised = retry_after_s(error)
+        if advised is not None:
+            return advised
+        header = err.headers.get("Retry-After") if err.headers else None
+        if header is not None:
+            try:
+                return max(float(header.strip()), 0.0)
+            except ValueError:
+                return None
+        return None
 
     @staticmethod
     def _parse_body(body: bytes, status: int) -> dict:

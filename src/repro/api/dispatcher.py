@@ -24,6 +24,7 @@ from typing import Mapping
 
 from repro.api.errors import (
     ApiError,
+    DEADLINE_EXCEEDED,
     EMPTY_BATCH,
     UNKNOWN_OPERATION,
     VOCABULARY_MISMATCH,
@@ -50,6 +51,7 @@ from repro.api.protocol import (
     SnapshotResponse,
     StatsRequest,
     StatsResponse,
+    deadline_from_wire,
 )
 from repro.obs import MetricsHub
 from repro.service.monitor import MonitorService, QueryResult
@@ -90,11 +92,23 @@ class Dispatcher:
             SnapshotRequest: self.snapshot,
             ReweightRequest: self.reweight,
         }
+        #: Injectable for deadline tests; must match the transport's
+        #: clock when it passes absolute deadlines into :meth:`dispatch`.
+        self.clock = time.monotonic
 
     # -- wire-level entry point --------------------------------------------------
 
-    def dispatch(self, op: str, wire: Mapping) -> dict:
+    def dispatch(
+        self, op: str, wire: Mapping, deadline: float | None = None
+    ) -> dict:
         """Parse, handle, serialize: the full wire-in/wire-out path.
+
+        ``deadline`` is an absolute :attr:`clock` instant propagated by
+        the transport (the gateway's ``X-Fmeter-Deadline-Ms`` header);
+        the envelope's own optional ``deadline_ms`` budget tightens it
+        further.  An expired deadline is checked *before* the handler
+        runs, so a doomed request costs a ``deadline_exceeded`` error
+        instead of a scored answer nobody is waiting for.
 
         Raises :class:`ApiError` for anything that goes wrong; the
         transport turns that into its error envelope.
@@ -106,7 +120,22 @@ class Dispatcher:
                 f"unknown operation {op!r}",
                 detail={"operation": op, "known": sorted(REQUEST_TYPES)},
             )
+        budget_ms = deadline_from_wire(wire)
+        if budget_ms is not None:
+            envelope_deadline = self.clock() + budget_ms / 1e3
+            deadline = (
+                envelope_deadline
+                if deadline is None
+                else min(deadline, envelope_deadline)
+            )
         request = request_type.from_wire(wire)
+        if deadline is not None and self.clock() >= deadline:
+            self.obs.count("api.errors", op=op, code=DEADLINE_EXCEEDED)
+            raise ApiError(
+                DEADLINE_EXCEEDED,
+                f"deadline expired before {op!r} was dispatched",
+                detail={"op": op},
+            )
         return self.handle(request).to_wire()
 
     def handle(self, request):

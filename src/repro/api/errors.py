@@ -24,13 +24,17 @@ __all__ = [
     "API_ERROR_CODES",
     "ApiError",
     "BAD_SNAPSHOT",
+    "DEADLINE_EXCEEDED",
     "EMPTY_BATCH",
     "HTTP_STATUS",
     "INTERNAL",
     "INVALID_REQUEST",
     "NOT_FITTED",
     "PAYLOAD_TOO_LARGE",
+    "REQUEST_TIMEOUT",
     "RETENTION_REQUIRED",
+    "SERVICE_OVERLOADED",
+    "SHUTTING_DOWN",
     "UNAVAILABLE",
     "UNKNOWN_OPERATION",
     "UNLABELED_DOCUMENTS",
@@ -38,6 +42,7 @@ __all__ = [
     "VOCABULARY_MISMATCH",
     "WEIGHTING_CONFLICT",
     "error_from_exception",
+    "retry_after_s",
 ]
 
 #: The request could not be parsed: bad JSON, missing or mistyped fields.
@@ -64,6 +69,17 @@ WEIGHTING_CONFLICT = "weighting_conflict"
 BAD_SNAPSHOT = "bad_snapshot"
 #: The service was closed; collection operations refuse.
 SERVICE_CLOSED = "service_closed"
+#: Admission control shed the request: every concurrency slot for its
+#: endpoint class is busy and the pending queue is full.  The error's
+#: ``detail["retry_after_s"]`` (and the ``Retry-After`` response header)
+#: estimate when a slot should free, from measured service rates.
+SERVICE_OVERLOADED = "service_overloaded"
+#: The request's propagated deadline expired before it could be served.
+DEADLINE_EXCEEDED = "deadline_exceeded"
+#: The peer stalled mid-request and the gateway's socket timeout fired.
+REQUEST_TIMEOUT = "request_timeout"
+#: The gateway is draining toward shutdown and accepts no new work.
+SHUTTING_DOWN = "shutting_down"
 #: Client-side: the gateway could not be reached (after retries).
 UNAVAILABLE = "unavailable"
 #: An unexpected server-side failure.
@@ -85,6 +101,10 @@ HTTP_STATUS: dict[str, int] = {
     WEIGHTING_CONFLICT: 409,
     BAD_SNAPSHOT: 409,
     SERVICE_CLOSED: 409,
+    SERVICE_OVERLOADED: 429,
+    DEADLINE_EXCEEDED: 408,
+    REQUEST_TIMEOUT: 408,
+    SHUTTING_DOWN: 503,
     UNAVAILABLE: 503,
     INTERNAL: 500,
 }
@@ -154,3 +174,17 @@ def error_from_exception(exc: BaseException) -> ApiError:
     if isinstance(exc, ServiceError):
         return ApiError(exc.code, str(exc))
     return ApiError(INTERNAL, f"{type(exc).__name__}: {exc}")
+
+
+def retry_after_s(error: ApiError) -> float | None:
+    """The error's retry hint in seconds, if it carries a usable one.
+
+    Shed responses (``service_overloaded``, ``shutting_down``) embed the
+    estimate in ``detail["retry_after_s"]`` so it survives any transport
+    that drops the ``Retry-After`` header.  Returns ``None`` when absent
+    or non-numeric — callers fall back to their own backoff.
+    """
+    value = error.detail.get("retry_after_s")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return max(float(value), 0.0)
+    return None

@@ -13,7 +13,9 @@ malformed input.  The protocol rules:
   objects (documents, hits) are versioned by their enclosing message.
 - **Forward compatibility.**  Parsers ignore unknown fields, so a newer
   peer may add fields within a version without breaking older ones
-  (the transport uses this to inject per-request timing).  Removing or
+  (the transport uses this to inject per-request timing, and deadline
+  propagation rides the same tolerance via the optional envelope field
+  ``deadline_ms`` — see :func:`deadline_from_wire`).  Removing or
   re-typing a field requires a version bump.
 - **Exactness.**  Counts are integers and scores are IEEE doubles;
   Python's JSON round-trips both exactly, so results fetched over the
@@ -72,6 +74,7 @@ __all__ = [
     "WIRE_MESSAGES",
     "WireDocument",
     "check_version",
+    "deadline_from_wire",
     "error_envelope",
     "extract_error",
 ]
@@ -164,6 +167,39 @@ def extract_error(wire) -> ApiError | None:
     if isinstance(wire, Mapping) and "error" in wire:
         return ApiError.from_wire(wire["error"])
     return None
+
+
+def deadline_from_wire(wire) -> float | None:
+    """The envelope's optional ``deadline_ms`` budget, validated.
+
+    Deadline propagation rides protocol v1's unknown-field tolerance:
+    any request envelope may carry ``"deadline_ms"`` — the remaining
+    client budget in milliseconds, relative to the moment the request
+    was sent.  Parsers that predate the field ignore it; peers that
+    understand it shed doomed requests with ``deadline_exceeded``
+    instead of scoring them.  Returns the budget as a float or ``None``
+    when absent; a present-but-malformed budget is an invalid request
+    (fail loudly, never silently drop a deadline).
+    """
+    if not isinstance(wire, Mapping):
+        return None
+    value = wire.get("deadline_ms", _MISSING)
+    if value is _MISSING or value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _invalid(
+            f"field 'deadline_ms' must be a number, "
+            f"got {type(value).__name__}",
+            field="deadline_ms",
+        )
+    budget = float(value)
+    if not math.isfinite(budget) or budget <= 0:
+        raise _invalid(
+            f"field 'deadline_ms' must be a positive finite number, "
+            f"got {value!r}",
+            field="deadline_ms",
+        )
+    return budget
 
 
 class _Message:

@@ -10,18 +10,31 @@ is deliberately thin: enforce the request-size limit, parse JSON, call
 either the response or the structured error envelope with the HTTP
 status derived from the error code.
 
-Concurrency model: each request runs on its own thread (daemonized),
-and every query request scores against a lock-free read snapshot, so
+Concurrency model: each request runs on its own *tracked* thread, and
+every query request scores against a lock-free read snapshot, so
 concurrent readers scale with cores and never block ingest.  The
 per-request timing rides on the protocol's unknown-field tolerance —
 an ``elapsed_ms`` field injected into the response envelope (and
 mirrored in the ``X-Fmeter-Elapsed-Ms`` header) that older clients
 simply ignore.
+
+Overload behavior: between routing and dispatch sits an
+:class:`~repro.api.admission.AdmissionController` — per-endpoint-class
+concurrency limits with a bounded pending queue.  Excess load is shed
+with ``429 service_overloaded`` plus a ``Retry-After`` estimated from
+the obs recorder's measured per-op service rates; requests carrying an
+``X-Fmeter-Deadline-Ms`` header are shed with ``408 deadline_exceeded``
+as soon as they become doomed.  :meth:`FmeterServer.close` drains
+rather than abandons: new requests get ``503 shutting_down`` +
+``Retry-After`` while in-flight handlers finish (up to ``drain_s``),
+then lingering connections are force-closed and handler threads joined.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import socket
 import sys
 import threading
 import time
@@ -29,18 +42,26 @@ import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
+from repro.api.admission import AdmissionController
 from repro.api.dispatcher import Dispatcher
 from repro.api.errors import (
     ApiError,
     INVALID_REQUEST,
     PAYLOAD_TOO_LARGE,
+    REQUEST_TIMEOUT,
+    SHUTTING_DOWN,
     UNKNOWN_OPERATION,
     error_from_exception,
+    retry_after_s,
 )
 from repro.api.protocol import error_envelope
 from repro.obs import render_prometheus
 
-__all__ = ["DEFAULT_MAX_REQUEST_BYTES", "FmeterServer"]
+__all__ = [
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "DEFAULT_SOCKET_TIMEOUT_S",
+    "FmeterServer",
+]
 
 #: Generous for sparse documents (a 256-document ingest batch is well
 #: under 2 MiB) while bounding what one request can make a thread buffer.
@@ -51,46 +72,77 @@ DEFAULT_MAX_REQUEST_BYTES = 32 << 20
 #: error; anything larger gets the connection closed instead.
 _MAX_DRAIN_BYTES = 256 << 20
 
+#: Per-connection socket timeout default: a client that claims a
+#: Content-Length and then stalls mid-body (or idles a keep-alive
+#: socket) releases its handler thread instead of pinning it forever.
+DEFAULT_SOCKET_TIMEOUT_S = 60.0
+
+#: After the drain budget, handlers whose sockets were force-closed get
+#: this long to unwind before close() gives up on joining them.
+_FORCE_CLOSE_JOIN_S = 1.0
+
 
 class _InFlight:
     """A thread-safe gauge of requests currently being handled.
 
     Used as a context manager around each request; ``value`` feeds the
     ``http.in_flight`` sampled series and the enriched healthz field
-    (both include the request doing the asking).
+    (both include the request doing the asking).  Drain waits on the
+    gauge reaching zero via :meth:`wait_zero`.
     """
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._cond = threading.Condition()
         self._n = 0
 
     def __enter__(self) -> "_InFlight":
-        with self._lock:
+        with self._cond:
             self._n += 1
         return self
 
     def __exit__(self, *exc_info) -> None:
-        with self._lock:
+        with self._cond:
             self._n -= 1
+            if self._n == 0:
+                self._cond.notify_all()
 
     @property
     def value(self) -> int:
-        with self._lock:
+        with self._cond:
             return self._n
+
+    def wait_zero(self, timeout: float) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        deadline = time.monotonic() + max(timeout, 0.0)
+        with self._cond:
+            while self._n > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
 
 
 class _GatewayHandler(BaseHTTPRequestHandler):
     server_version = "FmeterServer/1"
     protocol_version = "HTTP/1.1"
-    #: Socket timeout per connection: a client that claims a
-    #: Content-Length and then stalls mid-body (or idles a keep-alive
-    #: socket) releases its handler thread instead of pinning it
-    #: forever.
-    timeout = 60.0
+    # The response goes out as two writes (header block, then body);
+    # without TCP_NODELAY, Nagle holds the body until the header
+    # segment is ACKed, which on a keep-alive connection costs a
+    # delayed-ACK round (~40ms) per response — dwarfing the service
+    # time itself.
+    disable_nagle_algorithm = True
+    #: Fallback socket timeout (see :data:`DEFAULT_SOCKET_TIMEOUT_S`);
+    #: :meth:`setup` overrides it per instance from the server's
+    #: configured value before the connection is configured.
+    timeout = DEFAULT_SOCKET_TIMEOUT_S
 
     # -- request entry points ----------------------------------------------------
 
     def setup(self) -> None:
+        # Instance attribute shadows the class default *before*
+        # StreamRequestHandler.setup() applies it to the connection.
+        self.timeout = self.server.socket_timeout_s
         super().setup()
         self.server.dispatcher.obs.count("http.connections")
 
@@ -140,8 +192,45 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             try:
                 op = self._route()
                 self._op = op
-                payload = self._read_json()
-                wire = self.server.dispatcher.dispatch(op, payload)
+                deadline = self._deadline()
+                if self.server.draining:
+                    raise self._shutting_down(op)
+                # Order matters for overload economics: consume the
+                # raw body first (a stalled sender costs a thread
+                # bounded by the socket timeout, never an admission
+                # slot), admit next, and only parse JSON *inside* the
+                # admitted slot — a shed request costs one socket read
+                # and a 429 envelope, not a decode of a payload nobody
+                # will score.
+                body = self._read_body()
+                slot = None
+                if self.server.admission is not None:
+                    slot = self.server.admission.admit(op, deadline=deadline)
+                try:
+                    payload = self._parse_json(body)
+                    wire = self.server.dispatcher.dispatch(
+                        op, payload, deadline=deadline
+                    )
+                finally:
+                    if slot is not None:
+                        slot.release()
+            except TimeoutError:
+                # The peer stalled mid-request past the socket timeout.
+                # Its fault, not ours: answer 408 (best effort — it may
+                # no longer be reading) and drop the connection, whose
+                # stream position is undefined.
+                self.close_connection = True
+                self._send_error(
+                    ApiError(
+                        REQUEST_TIMEOUT,
+                        "connection stalled mid-request past the "
+                        f"gateway's {self.server.socket_timeout_s}s "
+                        "socket timeout",
+                        detail={"timeout_s": self.server.socket_timeout_s},
+                    ),
+                    started,
+                )
+                return
             except Exception as exc:
                 if not self._body_consumed:
                     self.close_connection = True
@@ -161,7 +250,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             )
         return path[len(prefix):]
 
-    def _read_json(self):
+    def _read_body(self) -> bytes:
         length_header = self.headers.get("Content-Length")
         if length_header is None:
             raise ApiError(
@@ -197,12 +286,54 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             )
         body = self.rfile.read(length) if length > 0 else b""
         self._body_consumed = True
+        return body
+
+    @staticmethod
+    def _parse_json(body: bytes):
         try:
             return json.loads(body)
         except (ValueError, UnicodeDecodeError) as exc:
             raise ApiError(
                 INVALID_REQUEST, f"request body is not valid JSON: {exc}"
             ) from exc
+
+    def _deadline(self) -> float | None:
+        """The request's absolute deadline from ``X-Fmeter-Deadline-Ms``.
+
+        The header carries the client's remaining budget in
+        milliseconds; it is converted to an absolute ``time.monotonic``
+        instant here, once, so admission wait and dispatch all measure
+        against the same clock.  Malformed values are invalid requests
+        — a deadline must never be silently dropped.
+        """
+        raw = self.headers.get("X-Fmeter-Deadline-Ms")
+        if raw is None:
+            return None
+        try:
+            budget_ms = float(raw.strip())
+        except ValueError:
+            budget_ms = math.nan
+        if not math.isfinite(budget_ms) or budget_ms <= 0:
+            raise ApiError(
+                INVALID_REQUEST,
+                f"X-Fmeter-Deadline-Ms must be a positive finite "
+                f"number of milliseconds, got {raw!r}",
+                detail={"header": raw},
+            )
+        return time.monotonic() + budget_ms / 1e3
+
+    def _shutting_down(self, op: str) -> ApiError:
+        """The 503 shed error for requests arriving during drain."""
+        retry_after = self.server.drain_retry_after_s()
+        self.server.dispatcher.obs.count(
+            "http.shed", op=op, code=SHUTTING_DOWN
+        )
+        return ApiError(
+            SHUTTING_DOWN,
+            "gateway is draining toward shutdown and accepts no new "
+            "work; retry against a replacement instance",
+            detail={"op": op, "retry_after_s": retry_after},
+        )
 
     def _metrics_format(self) -> str:
         query = urllib.parse.urlparse(self.path).query
@@ -226,7 +357,13 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             "http.request_ms", elapsed_ms, op=self._op
         )
 
-    def _send(self, status: int, wire: dict, started: float) -> None:
+    def _send(
+        self,
+        status: int,
+        wire: dict,
+        started: float,
+        retry_after: float | None = None,
+    ) -> None:
         elapsed_ms = (time.perf_counter() - started) * 1e3
         self._record_elapsed(elapsed_ms)
         wire["elapsed_ms"] = round(elapsed_ms, 3)
@@ -235,6 +372,13 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
         self.send_header("X-Fmeter-Elapsed-Ms", f"{elapsed_ms:.3f}")
+        if retry_after is not None:
+            # The header speaks RFC 9110 integer seconds (rounded up,
+            # never zero); the precise float estimate travels in the
+            # error detail.
+            self.send_header(
+                "Retry-After", str(max(1, math.ceil(retry_after)))
+            )
         self.end_headers()
         self.wfile.write(data)
 
@@ -252,7 +396,12 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         self.wfile.write(data)
 
     def _send_error(self, error: ApiError, started: float) -> None:
-        self._send(error.http_status, error_envelope(error), started)
+        self._send(
+            error.http_status,
+            error_envelope(error),
+            started,
+            retry_after=retry_after_s(error),
+        )
 
     def log_message(self, format: str, *args) -> None:
         if self.server.verbose:  # pragma: no cover - debug aid
@@ -262,6 +411,10 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 class _GatewayServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
+    # Overload is bounded at admission (a structured 429), not at the
+    # TCP accept backlog (a silent reset): the socketserver default of
+    # 5 pending connections overflows under any real flood.
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -269,17 +422,109 @@ class _GatewayServer(ThreadingHTTPServer):
         dispatcher: Dispatcher,
         max_request_bytes: int,
         verbose: bool,
+        admission: AdmissionController | None,
+        socket_timeout_s: float,
     ):
         self.dispatcher = dispatcher
         self.max_request_bytes = max_request_bytes
         self.verbose = verbose
+        self.admission = admission
+        self.socket_timeout_s = socket_timeout_s
         self.in_flight = _InFlight()
+        #: Set by close() before the accept loop stops: POSTs arriving
+        #: while draining are shed with 503 shutting_down.
+        self.draining = False
+        #: Monotonic instant the drain budget expires; feeds the 503's
+        #: Retry-After.
+        self.drain_deadline: float | None = None
+        # Handler threads are tracked (thread -> connection socket) so
+        # close() can join them — and, past the drain budget, unblock
+        # them by force-closing their sockets — instead of abandoning
+        # daemonized threads mid-response.
+        self._handlers_lock = threading.Lock()
+        self._handler_threads: dict[threading.Thread, socket.socket] = {}
         # Bound now (errors surface at construction, the OS-assigned
         # port is known) but NOT listening: until serve_forever runs,
         # clients get connection-refused — retryable and diagnosable —
         # instead of handshaking into a backlog nobody is draining.
         super().__init__(address, _GatewayHandler, bind_and_activate=False)
         self.server_bind()
+
+    # -- handler thread tracking -------------------------------------------------
+
+    def process_request(self, request, client_address) -> None:
+        # Replaces ThreadingMixIn.process_request: same
+        # thread-per-connection model, but every thread is registered
+        # (with its socket) until it exits, so shutdown can drain.
+        thread = threading.Thread(
+            target=self._process_tracked,
+            args=(request, client_address),
+            name="fmeter-handler",
+            daemon=True,
+        )
+        with self._handlers_lock:
+            self._handler_threads[thread] = request
+        thread.start()
+
+    def _process_tracked(self, request, client_address) -> None:
+        try:
+            self.process_request_thread(request, client_address)
+        finally:
+            with self._handlers_lock:
+                self._handler_threads.pop(threading.current_thread(), None)
+
+    def handler_count(self) -> int:
+        """Live handler threads (in-flight requests + idle keep-alives)."""
+        with self._handlers_lock:
+            return sum(
+                1 for thread in self._handler_threads if thread.is_alive()
+            )
+
+    def join_handlers(self, timeout: float) -> bool:
+        """Wait up to ``timeout`` for every handler thread to finish."""
+        deadline = time.monotonic() + max(timeout, 0.0)
+        while True:
+            with self._handlers_lock:
+                thread = next(
+                    (t for t in self._handler_threads if t.is_alive()), None
+                )
+            if thread is None:
+                return True
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            thread.join(min(remaining, 0.05))
+
+    def force_close_connections(self) -> None:
+        """Shut down every tracked connection socket (drain cutoff).
+
+        Handlers blocked reading a request line or body see EOF and
+        unwind; anything mid-response is cut — callers only invoke this
+        once the drain budget is spent (or was zero).
+        """
+        with self._handlers_lock:
+            sockets = [
+                sock
+                for thread, sock in self._handler_threads.items()
+                if thread.is_alive()
+            ]
+        for sock in sockets:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def drain_retry_after_s(self) -> float:
+        """Retry-After for 503s during drain: the remaining budget + 1s.
+
+        By then this instance is gone; the +1s floor keeps the hint
+        finite and non-zero even at the end of the budget (the retry is
+        expected to land on a replacement instance).
+        """
+        remaining = 0.0
+        if self.drain_deadline is not None:
+            remaining = max(self.drain_deadline - time.monotonic(), 0.0)
+        return round(remaining + 1.0, 3)
 
     def handle_error(self, request, client_address) -> None:
         # Clients resetting, stalling past the socket timeout, or
@@ -304,6 +549,14 @@ class FmeterServer:
 
     Accepts either a raw :class:`MonitorService` (a dispatcher is built
     around it) or a pre-built :class:`Dispatcher`.
+
+    Admission control is on by default: ``admission="auto"`` builds an
+    :class:`AdmissionController` whose read limit scales with the
+    service's index shards (reads score against lock-free snapshots)
+    and whose write limit is 1 (writes serialize behind the service
+    lock; extra concurrent writers buy nothing).  Pass a pre-built
+    controller to tune limits, or ``admission=None`` to run unbounded —
+    the benchmark suite measures exactly that baseline degrading.
     """
 
     def __init__(
@@ -314,6 +567,8 @@ class FmeterServer:
         state_dir=None,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         verbose: bool = False,
+        admission: AdmissionController | None | str = "auto",
+        socket_timeout_s: float = DEFAULT_SOCKET_TIMEOUT_S,
     ):
         if isinstance(service, Dispatcher):
             self.dispatcher = service
@@ -321,15 +576,36 @@ class FmeterServer:
                 self.dispatcher.state_dir = Path(state_dir)
         else:
             self.dispatcher = Dispatcher(service, state_dir=state_dir)
+        if admission == "auto":
+            admission = AdmissionController(
+                read_limit=self._default_read_limit(),
+                write_limit=1,
+                obs=self.dispatcher.obs,
+            )
+        elif admission is not None and admission.obs is None:
+            admission.obs = self.dispatcher.obs
+        self.admission = admission
         self._httpd = _GatewayServer(
-            (host, port), self.dispatcher, max_request_bytes, verbose
+            (host, port),
+            self.dispatcher,
+            max_request_bytes,
+            verbose,
+            admission,
+            socket_timeout_s,
         )
         # The gateway owns the only component that knows its own
-        # concurrency, so it contributes the transport-tier gauge; the
+        # concurrency, so it contributes the transport-tier gauges; the
         # sampler thread's lifecycle is tied to the accept loop's.
         self.dispatcher.obs.gauge(
             "http.in_flight", lambda: self._httpd.in_flight.value
         )
+        if admission is not None:
+            self.dispatcher.obs.gauge(
+                "http.admission_active", lambda: admission.active_total
+            )
+            self.dispatcher.obs.gauge(
+                "http.admission_pending", lambda: admission.pending_total
+            )
         self._thread: threading.Thread | None = None
         self._activated = False
         self._activate_lock = threading.Lock()
@@ -338,6 +614,16 @@ class FmeterServer:
         #: it on a loop that never ran would block forever; calling it
         #: after the loop exited returns immediately).
         self._started = threading.Event()
+        self._close_lock = threading.Lock()
+        self._closed = False
+
+    def _default_read_limit(self) -> int:
+        """Reads scale with index shards; writes do not (see class doc)."""
+        try:
+            shards = int(self.dispatcher.service.database.index.shards)
+        except (AttributeError, TypeError, ValueError):
+            shards = 1
+        return max(2, shards)
 
     # -- addressing --------------------------------------------------------------
 
@@ -385,24 +671,60 @@ class FmeterServer:
         self._thread.start()
         return self
 
-    def close(self) -> None:
-        """Stop serving and release the socket (idempotent).
+    def close(self, drain_s: float = 0.0) -> None:
+        """Drain, then stop serving and release the socket (idempotent).
+
+        Shutdown is drain-then-stop: mark the gateway draining (new
+        POSTs are shed with ``503 shutting_down`` + Retry-After), wait
+        up to ``drain_s`` for in-flight requests to finish *while still
+        answering*, then stop the accept loop, force-close whatever
+        connections remain (idle keep-alives and over-budget
+        stragglers), and join every tracked handler thread — nothing is
+        abandoned mid-response within the budget.  The drain duration
+        lands in the hub as ``http.drain_ms``; a budget overrun bumps
+        ``http.drain_incomplete``.
 
         Safe to call at any point after :meth:`start`, including before
         the background thread has entered its accept loop (close waits
         for loop entry rather than racing it).  Must be called from a
         different thread than an inline :meth:`serve_forever`.
         """
-        if self._thread is not None:
-            self._started.wait(timeout=5.0)
-            if self._started.is_set():
+        with self._close_lock:
+            if self._closed:
+                return
+            started = time.perf_counter()
+            if self._thread is not None:
+                self._started.wait(timeout=5.0)
+            serving = self._started.is_set()
+            drained = True
+            if serving:
+                self._httpd.draining = True
+                self._httpd.drain_deadline = time.monotonic() + max(
+                    drain_s, 0.0
+                )
+                if drain_s > 0:
+                    # The accept loop keeps answering during the wait,
+                    # so late arrivals get a structured 503 instead of
+                    # a connection reset.
+                    drained = self._httpd.in_flight.wait_zero(drain_s)
                 self._httpd.shutdown()
-            self._thread.join(timeout=5.0)
-            self._thread = None
-        elif self._started.is_set():
-            self._httpd.shutdown()
-        self._httpd.server_close()
-        self.dispatcher.obs.sampler.stop()
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+                self._thread = None
+            # Whatever survived the budget — idle keep-alive
+            # connections parked in readline, or handlers that
+            # overran — is unblocked at the socket and joined.
+            self._httpd.force_close_connections()
+            joined = self._httpd.join_handlers(_FORCE_CLOSE_JOIN_S)
+            self._httpd.server_close()
+            self.dispatcher.obs.sampler.stop()
+            if serving:
+                self.dispatcher.obs.record(
+                    "http.drain_ms", (time.perf_counter() - started) * 1e3
+                )
+                if not (drained and joined):
+                    self.dispatcher.obs.count("http.drain_incomplete")
+            self._closed = True
 
     def __enter__(self) -> "FmeterServer":
         return self.start()

@@ -153,6 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="after the rounds, serve the /v1/* HTTP API here until "
              "interrupted (PORT 0 binds a free port and prints it)",
     )
+    serve.add_argument(
+        "--drain-s", type=_nonnegative_float, default=5.0,
+        help="graceful-shutdown budget: on SIGTERM or ^C the gateway "
+             "stops admitting new work (503 + Retry-After) and waits "
+             "up to this many seconds for in-flight requests to finish "
+             "before stopping (default %(default)s)",
+    )
     serve.add_argument("--intervals", type=_positive_int, default=10,
                        help="logging intervals per workload per round")
     serve.add_argument("--interval-seconds", type=_positive_float, default=10.0)
@@ -396,6 +403,13 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def _make_service(
     args,
     interval_s: float = 10.0,
@@ -516,6 +530,48 @@ def _cmd_serve(args) -> int:
             f"labels {', '.join(stats['labels']) or 'none'}"
         )
         if server is not None:
+            # A thread-per-request gateway convoys on the interpreter's
+            # default 5ms GIL switch interval: one CPU-bound handler can
+            # hold every other runnable thread for whole quanta, and the
+            # request tail inflates by an order of magnitude under load
+            # (measured in benchmarks/test_gateway_overload.py).  1ms
+            # trades a sliver of raw throughput for a bounded tail.
+            sys.setswitchinterval(1e-3)
+            # The warm index is long-lived and acyclic; freezing it
+            # keeps generational GC from re-walking millions of posting
+            # objects on every collection triggered by request-handling
+            # allocations (~100KB of parsed JSON per query) — those
+            # sweeps surface as multi-ms pauses in the admitted tail.
+            import gc
+
+            gc.collect()
+            gc.freeze()
+            # SIGTERM (the orchestrator's stop signal) triggers the
+            # same drain-then-stop path as ^C.  close() must not run on
+            # this thread — serve_forever blocks it, and the signal
+            # handler executes here too — so a helper thread drains
+            # while serve_forever keeps answering until shutdown.
+            import signal
+            import threading
+
+            def _drain_and_stop(signum, frame):
+                print("SIGTERM; draining", flush=True)
+                threading.Thread(
+                    target=server.close,
+                    kwargs={"drain_s": args.drain_s},
+                    name="fmeter-drain",
+                    daemon=True,
+                ).start()
+
+            # Signal handlers are a main-thread affair; embedders
+            # driving main() from a worker thread still get ^C/finally
+            # draining, just not SIGTERM.
+            on_main = threading.current_thread() is threading.main_thread()
+            previous_handler = (
+                signal.signal(signal.SIGTERM, _drain_and_stop)
+                if on_main
+                else None
+            )
             # The bound port is known once the socket exists — print it
             # (and flush) before blocking, so wrappers can parse it.
             print(f"gateway listening on http://{server.host}:{server.port}",
@@ -525,7 +581,9 @@ def _cmd_serve(args) -> int:
             except KeyboardInterrupt:
                 print("interrupted; shutting down")
             finally:
-                server.close()
+                if on_main:
+                    signal.signal(signal.SIGTERM, previous_handler)
+                server.close(drain_s=args.drain_s)
                 if service.model.fitted:
                     written = service.snapshot(state_dir)
                     print(

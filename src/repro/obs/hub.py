@@ -81,6 +81,14 @@ class MetricsHub:
 
     # -- reading -------------------------------------------------------------------
 
+    def stream_stats(self, name: str, **labels) -> dict | None:
+        """One stream's cheap running aggregates (no quantile work).
+
+        See :meth:`Recorder.stream_stats`; ``None`` when the stream has
+        no events yet or the hub is disabled.
+        """
+        return self.recorder.stream_stats(name, **labels)
+
     @property
     def uptime_s(self) -> float:
         """Seconds since this hub (its owning component) was created."""

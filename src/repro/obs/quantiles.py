@@ -49,10 +49,19 @@ def exact_quantiles(values, qs) -> list[float]:
         # Virtual index into the order statistics, split into the lower
         # integer index and the interpolation weight t in [0, 1).
         h = q * (n - 1)
-        lower = math.floor(h)
-        t = h - lower
-        a = ordered[lower]
-        b = ordered[min(lower + 1, n - 1)]
+        if h >= n - 1:
+            # numpy clamps an at-or-past-the-end virtual index to both
+            # bounds being the last element with t = 1, which resolves
+            # through the subtract branch below; a + (b - a) * 0 would
+            # instead turn a lone -0.0 into +0.0 and break the bitwise
+            # oracle.
+            a = b = ordered[-1]
+            t = 1.0
+        else:
+            lower = math.floor(h)
+            t = h - lower
+            a = ordered[lower]
+            b = ordered[lower + 1]
         # numpy's _lerp: the t >= 0.5 branch anchors on b so that
         # t == 1.0 returns b exactly even when b - a underflows.
         if t >= 0.5:

@@ -168,6 +168,36 @@ class Recorder:
 
     # -- reading (the metrics endpoint) -------------------------------------------
 
+    def stream_stats(self, name: str, **labels) -> dict | None:
+        """Cheap running aggregates for one stream, or ``None``.
+
+        Unlike :meth:`rollups` this touches a single stream and does no
+        quantile work — just the running count/mean/min/max under the
+        stream's lock.  It exists for decision paths that consult the
+        recorder while *rejecting* work (the gateway's shed path
+        estimates ``Retry-After`` from the observed mean service time),
+        where paying a sort per shed response would make overload worse.
+        """
+        key = (name, _label_key(labels))
+        stream = self._streams.get(key)
+        if stream is None:
+            return None
+        with stream.lock:
+            if stream.count == 0:
+                return None
+            count = stream.count
+            total = stream.total
+            minimum = stream.minimum
+            maximum = stream.maximum
+            started = stream.started
+        return {
+            "count": count,
+            "mean": total / count,
+            "min": minimum,
+            "max": maximum,
+            "rate_per_s": count / max(self.clock() - started, 1e-9),
+        }
+
     def counters(self) -> list[dict]:
         """Every counter as ``{"name", "labels", "value"}``, sorted."""
         with self._registry_lock:

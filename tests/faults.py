@@ -1,0 +1,287 @@
+"""Fault-injection harness for the HTTP gateway.
+
+Deliberately misbehaving clients, as plain functions over raw sockets —
+no urllib, no retries, no protocol helpers — so the tests control
+exactly which bytes hit the wire and when:
+
+- :func:`slowloris` — opens a connection and trickles (or stalls) the
+  request line, pinning a handler thread in ``readline`` until the
+  server's socket timeout fires.
+- :func:`stalled_body` — sends complete headers claiming a
+  Content-Length, then only part of the body, stalling the handler
+  mid-``read``.
+- :func:`mid_response_disconnect` — sends a complete valid request and
+  slams the connection shut without reading the response, so the
+  handler's write hits a broken pipe.
+- :func:`flood` — an open uncoordinated crowd: N threads each firing
+  sequential requests with no retries and no backoff, collecting
+  per-request status/latency so overload behavior can be asserted on.
+
+Everything returns structured results; nothing here asserts.  The
+scenarios are driven by ``tests/test_api_overload.py`` and reused by
+the overload benchmark.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import struct
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+def open_raw(host: str, port: int, timeout: float = 10.0) -> socket.socket:
+    """A plain connected TCP socket to the gateway."""
+    return socket.create_connection((host, port), timeout=timeout)
+
+
+def slowloris(host: str, port: int, partial: bytes = b"POST /v1/que"):
+    """Open a connection and send only a partial request line, then stall.
+
+    Returns the open socket; the caller decides when to close it.  The
+    handler thread sits in ``readline`` until the server-side socket
+    timeout releases it.
+    """
+    sock = open_raw(host, port)
+    if partial:
+        sock.sendall(partial)
+    return sock
+
+def stalled_body(
+    host: str,
+    port: int,
+    op: str = "query",
+    claimed_bytes: int = 4096,
+    sent_bytes: int = 16,
+):
+    """Claim a Content-Length, send ``sent_bytes`` of it, then stall.
+
+    Returns the open socket.  The handler passes routing, then blocks
+    in the body ``read`` until the socket timeout fires; the server
+    should answer 408 (best effort) and close.
+    """
+    if sent_bytes > claimed_bytes:
+        raise ValueError("cannot send more than the claimed length")
+    sock = open_raw(host, port)
+    head = (
+        f"POST /v1/{op} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {claimed_bytes}\r\n"
+        "\r\n"
+    ).encode("ascii")
+    sock.sendall(head + b"{" * sent_bytes)
+    return sock
+
+
+def read_response(sock: socket.socket, timeout: float) -> bytes:
+    """Everything the server sends until it closes (or the timeout)."""
+    sock.settimeout(timeout)
+    chunks = []
+    try:
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    except (TimeoutError, OSError):
+        pass
+    return b"".join(chunks)
+
+
+def mid_response_disconnect(
+    host: str, port: int, op: str, body: bytes, read_bytes: int = 1
+) -> None:
+    """Send a full request, read ``read_bytes`` of the response, vanish.
+
+    The abrupt close (SO_LINGER 0 sends RST rather than FIN) lands the
+    handler's remaining response writes on a dead connection.
+    """
+    sock = open_raw(host, port)
+    head = (
+        f"POST /v1/{op} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "\r\n"
+    ).encode("ascii")
+    sock.sendall(head + body)
+    if read_bytes > 0:
+        try:
+            sock.recv(read_bytes)
+        except OSError:
+            pass
+    # RST on close: a FIN would let the kernel buffer absorb the whole
+    # response and the server would never notice the disappearance.
+    sock.setsockopt(
+        socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+    )
+    sock.close()
+
+
+@dataclass
+class FloodResult:
+    """Per-request outcomes of one :func:`flood` run."""
+
+    #: HTTP status -> request count (0 = transport failure).
+    statuses: Counter = field(default_factory=Counter)
+    #: HTTP status -> wall-clock latencies (ms) of those requests.
+    latencies_ms: dict[int, list[float]] = field(default_factory=dict)
+    #: Parsed ``retry_after_s`` from every shed (429/503) error detail.
+    retry_after_s: list[float] = field(default_factory=list)
+    #: ``Retry-After`` header values from shed responses.
+    retry_after_headers: list[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return sum(self.statuses.values())
+
+    def merge(self, other: "FloodResult") -> None:
+        self.statuses.update(other.statuses)
+        for status, values in other.latencies_ms.items():
+            self.latencies_ms.setdefault(status, []).extend(values)
+        self.retry_after_s.extend(other.retry_after_s)
+        self.retry_after_headers.extend(other.retry_after_headers)
+
+
+def _flood_worker(
+    host: str,
+    port: int,
+    op: str,
+    body: bytes,
+    stop: threading.Event,
+    requests_each: int | None,
+    timeout: float,
+    out: FloodResult,
+    pace_s: float,
+    reuse_connection: bool,
+    start_delay_s: float,
+) -> None:
+    if start_delay_s > 0:
+        time.sleep(start_delay_s)
+    sent = 0
+    connection: http.client.HTTPConnection | None = None
+    while not stop.is_set():
+        if requests_each is not None and sent >= requests_each:
+            break
+        sent += 1
+        started = time.perf_counter()
+        status = 0
+        try:
+            if connection is None:
+                connection = http.client.HTTPConnection(
+                    host, port, timeout=timeout
+                )
+                connection.connect()
+                # Request = small header write + body write; without
+                # TCP_NODELAY, Nagle + delayed ACK can stall the body's
+                # tail a full ACK-timer round per request.
+                connection.sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+            try:
+                connection.request(
+                    "POST",
+                    f"/v1/{op}",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                status = response.status
+                payload = response.read()
+                if status in (429, 503):
+                    header = response.getheader("Retry-After")
+                    if header is not None:
+                        out.retry_after_headers.append(header)
+                    try:
+                        detail = json.loads(payload)["error"]["detail"]
+                        out.retry_after_s.append(
+                            float(detail["retry_after_s"])
+                        )
+                    except (ValueError, KeyError, TypeError):
+                        pass
+                if response.will_close or not reuse_connection:
+                    connection.close()
+                    connection = None
+            except BaseException:
+                connection.close()
+                connection = None
+                raise
+        except (OSError, http.client.HTTPException):
+            status = 0
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        out.statuses[status] += 1
+        out.latencies_ms.setdefault(status, []).append(elapsed_ms)
+        if pace_s > 0:
+            time.sleep(pace_s)
+    if connection is not None:
+        connection.close()
+
+
+def flood(
+    host: str,
+    port: int,
+    op: str,
+    wire: dict,
+    threads: int = 8,
+    requests_each: int | None = None,
+    duration_s: float | None = None,
+    timeout: float = 30.0,
+    pace_s: float = 0.0,
+    reuse_connections: bool = False,
+    ramp_s: float = 0.0,
+) -> FloodResult:
+    """Fire an uncoordinated crowd at the gateway; gather every outcome.
+
+    Each of ``threads`` workers sends ``requests_each`` sequential
+    requests (or loops until ``duration_s`` elapses), no retries,
+    optional fixed pacing between requests.  By default every request
+    opens its own connection (the rudest crowd); with
+    ``reuse_connections`` each worker keeps one keep-alive connection
+    across requests — including through 429 sheds, which the gateway
+    answers without dropping the connection — reconnecting only when
+    the server closes it.  ``ramp_s`` staggers worker start times
+    evenly across that many seconds, so a paced crowd measures its
+    steady state rather than the artificial all-at-once opening volley.
+    """
+    if (requests_each is None) == (duration_s is None):
+        raise ValueError("specify exactly one of requests_each/duration_s")
+    body = json.dumps(wire).encode("utf-8")
+    stop = threading.Event()
+    results = [FloodResult() for _ in range(threads)]
+    workers = [
+        threading.Thread(
+            target=_flood_worker,
+            args=(
+                host,
+                port,
+                op,
+                body,
+                stop,
+                requests_each,
+                timeout,
+                results[i],
+                pace_s,
+                reuse_connections,
+                (ramp_s * i / threads) if ramp_s > 0 else 0.0,
+            ),
+            name=f"flood-{i}",
+            daemon=True,
+        )
+        for i in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    if duration_s is not None:
+        time.sleep(duration_s)
+        stop.set()
+    for worker in workers:
+        worker.join()
+    merged = FloodResult()
+    for result in results:
+        merged.merge(result)
+    return merged

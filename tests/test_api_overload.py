@@ -1,0 +1,758 @@
+"""Overload, deadline, and shutdown behavior of the HTTP gateway.
+
+Drives the fault-injection harness (:mod:`tests.faults`) and the
+:class:`~repro.api.admission.AdmissionController` against real
+:class:`FmeterServer` instances, pinning the overload contract:
+
+- excess load is shed with ``429 service_overloaded`` carrying a
+  finite, *measured* ``Retry-After`` — and the admission gauges return
+  to zero afterwards;
+- deadline-carrying requests are shed with ``408`` instead of scored
+  once they are doomed;
+- shutdown drains: in-flight requests complete, late arrivals get
+  ``503 shutting_down`` + Retry-After, liveness keeps answering, and a
+  blown drain budget means a bounded forced stop — never a hang;
+- misbehaving connections (slowloris, stalled bodies, mid-response
+  disconnects) release their handler threads in about the socket
+  timeout without leaking the in-flight gauge;
+- the client cooperates: honors Retry-After on 429/503 for every
+  operation, with jittered, capped backoff.
+"""
+
+import http.client
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import ApiError, Dispatcher, FmeterClient, FmeterServer
+from repro.api.admission import (
+    AdmissionController,
+    classify_op,
+)
+from repro.api.errors import (
+    DEADLINE_EXCEEDED,
+    INVALID_REQUEST,
+    REQUEST_TIMEOUT,
+    SERVICE_OVERLOADED,
+    SHUTTING_DOWN,
+)
+from repro.api.protocol import StatsRequest
+from repro.service import MonitorService
+from repro.workloads.scp import ScpWorkload
+
+from faults import (
+    flood,
+    mid_response_disconnect,
+    read_response,
+    slowloris,
+    stalled_body,
+)
+
+
+def counter_value(hub, name, **labels) -> int:
+    """Sum of a counter across entries matching the given labels."""
+    total = 0
+    for entry in hub.recorder.counters():
+        if entry["name"] != name:
+            continue
+        if all(entry["labels"].get(k) == v for k, v in labels.items()):
+            total += entry["value"]
+    return total
+
+
+def quiet(fn):
+    """Run ``fn`` swallowing exceptions — for clients a test will cut off."""
+
+    def run():
+        try:
+            fn()
+        except Exception:
+            pass
+
+    return run
+
+
+def wait_until(predicate, timeout_s: float = 3.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class FakeHub:
+    """Just enough of MetricsHub for the controller: canned stream stats."""
+
+    def __init__(self, mean_ms: float | None = None):
+        self.mean_ms = mean_ms
+        self.counts: list[tuple] = []
+        self.events: list[tuple] = []
+
+    def stream_stats(self, name, **labels):
+        if self.mean_ms is None:
+            return None
+        return {
+            "count": 10,
+            "mean": self.mean_ms,
+            "min": self.mean_ms,
+            "max": self.mean_ms,
+            "rate_per_s": 1.0,
+        }
+
+    def count(self, name, n=1, **labels):
+        self.counts.append((name, n, labels))
+
+    def record(self, name, value, **labels):
+        self.events.append((name, value, labels))
+
+
+@pytest.fixture()
+def fed_service(pipeline):
+    service = MonitorService(pipeline, max_workers=2)
+    docs = pipeline.collect_documents(ScpWorkload(seed=21), 6, run_seed=1)
+    service.ingest_documents(docs)
+    return service
+
+
+def make_server(fed_service, tmp_path, **kwargs) -> FmeterServer:
+    return FmeterServer(fed_service, state_dir=tmp_path / "state", **kwargs)
+
+
+class BlockingDispatch:
+    """Wrap a dispatcher so chosen ops park until released.
+
+    Holding a request inside dispatch is how these tests occupy an
+    admission slot (or the in-flight gauge) deterministically.
+    """
+
+    def __init__(self, dispatcher, ops=("stats",)):
+        self.original = dispatcher.dispatch
+        self.ops = set(ops)
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        dispatcher.dispatch = self
+
+    def __call__(self, op, wire, deadline=None):
+        if op in self.ops:
+            self.entered.set()
+            self.release.wait(10.0)
+        return self.original(op, wire, deadline=deadline)
+
+
+# ---------------------------------------------------------------------------
+# Admission controller unit behavior
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionController:
+    def test_classify(self):
+        assert classify_op("query") == "read"
+        assert classify_op("ingest") == "write"
+        assert classify_op("healthz") is None
+        assert classify_op("metrics") is None
+        # Unknown ops are bounded like any other flood.
+        assert classify_op("no_such_op") == "read"
+
+    def test_control_ops_bypass(self):
+        controller = AdmissionController(read_limit=1, read_pending=0)
+        assert controller.admit("healthz") is None
+        assert controller.admit("metrics") is None
+        assert controller.depth() == 0
+
+    def test_admit_and_release(self):
+        controller = AdmissionController(read_limit=1)
+        slot = controller.admit("query")
+        assert controller.active_total == 1
+        slot.release()
+        slot.release()  # idempotent
+        assert controller.active_total == 0
+
+    def test_sheds_when_pending_full(self):
+        hub = FakeHub()
+        controller = AdmissionController(
+            read_limit=1, read_pending=0, obs=hub
+        )
+        held = controller.admit("query")
+        with pytest.raises(ApiError) as exc_info:
+            controller.admit("query")
+        error = exc_info.value
+        assert error.code == SERVICE_OVERLOADED
+        assert error.http_status == 429
+        assert error.detail["endpoint_class"] == "read"
+        assert error.detail["retry_after_s"] > 0
+        assert ("http.shed", 1, {"op": "query", "code": SERVICE_OVERLOADED}) in hub.counts
+        held.release()
+
+    def test_write_class_is_independent(self):
+        controller = AdmissionController(
+            read_limit=1, write_limit=1, read_pending=0, write_pending=0
+        )
+        held = controller.admit("query")
+        # A full read class must not shed writes.
+        write_slot = controller.admit("ingest")
+        assert write_slot is not None
+        write_slot.release()
+        held.release()
+
+    def test_retry_after_uses_measured_mean(self):
+        hub = FakeHub(mean_ms=200.0)
+        controller = AdmissionController(read_limit=2, obs=hub)
+        # Idle: one mean service time for the in-flight requests.
+        assert controller.retry_after_s("query") == pytest.approx(0.2)
+
+    def test_retry_after_scales_with_queue_depth(self):
+        hub = FakeHub(mean_ms=200.0)
+        controller = AdmissionController(read_limit=2, obs=hub)
+        gate = controller._gates["read"]
+        gate.pending = 4  # simulated queue: 4 / 2 slots + 1 = 3 means
+        assert controller.retry_after_s("query") == pytest.approx(0.6)
+        gate.pending = 0
+
+    def test_retry_after_defaults_and_clamps(self):
+        unmeasured = AdmissionController(read_limit=1, obs=FakeHub())
+        assert unmeasured.retry_after_s("query") == pytest.approx(1.0)
+        tiny = AdmissionController(read_limit=1, obs=FakeHub(mean_ms=0.001))
+        assert tiny.retry_after_s("query") == 0.05
+        huge = AdmissionController(read_limit=1, obs=FakeHub(mean_ms=1e9))
+        assert huge.retry_after_s("query") == 60.0
+
+    def test_expired_deadline_sheds_immediately(self):
+        controller = AdmissionController(read_limit=1, read_pending=4)
+        held = controller.admit("query")
+        with pytest.raises(ApiError) as exc_info:
+            controller.admit("query", deadline=time.monotonic() - 0.1)
+        assert exc_info.value.code == DEADLINE_EXCEEDED
+        assert exc_info.value.http_status == 408
+        held.release()
+
+    def test_doomed_projection_sheds_without_queueing(self):
+        # Measured mean 500ms, 1 slot: projected wait for the next
+        # request is >= 500ms, but only 100ms of budget remains.
+        hub = FakeHub(mean_ms=500.0)
+        controller = AdmissionController(
+            read_limit=1, read_pending=8, obs=hub
+        )
+        held = controller.admit("query")
+        started = time.monotonic()
+        with pytest.raises(ApiError) as exc_info:
+            controller.admit("query", deadline=time.monotonic() + 0.1)
+        elapsed = time.monotonic() - started
+        assert exc_info.value.code == DEADLINE_EXCEEDED
+        # Shed by projection, not by waiting out the deadline.
+        assert elapsed < 0.09
+        held.release()
+
+    def test_unmeasured_service_time_queues_instead_of_dooming(self):
+        # With no measurement the controller must not guess doom; the
+        # deadline itself bounds the wait.
+        controller = AdmissionController(
+            read_limit=1, read_pending=8, obs=FakeHub()
+        )
+        held = controller.admit("query")
+        with pytest.raises(ApiError) as exc_info:
+            controller.admit("query", deadline=time.monotonic() + 0.15)
+        assert exc_info.value.code == DEADLINE_EXCEEDED
+
+        held.release()
+
+    def test_queued_request_admitted_when_slot_frees(self):
+        hub = FakeHub()
+        controller = AdmissionController(read_limit=1, obs=hub)
+        held = controller.admit("query")
+        admitted = []
+
+        def waiter():
+            slot = controller.admit("query")
+            admitted.append(slot)
+            slot.release()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert wait_until(lambda: controller.pending_total == 1)
+        held.release()
+        thread.join(timeout=5.0)
+        assert len(admitted) == 1
+        assert controller.depth() == 0
+        # The wait was instrumented.
+        assert any(
+            name == "http.admission_wait_ms" and labels == {"op": "query"}
+            for name, _, labels in hub.events
+        )
+
+    def test_queue_wait_bound_sheds_as_overloaded(self):
+        controller = AdmissionController(
+            read_limit=1, read_pending=8, max_queue_wait_s=0.1
+        )
+        held = controller.admit("query")
+        with pytest.raises(ApiError) as exc_info:
+            controller.admit("query")
+        assert exc_info.value.code == SERVICE_OVERLOADED
+        held.release()
+
+
+# ---------------------------------------------------------------------------
+# Gateway shedding over the wire
+# ---------------------------------------------------------------------------
+
+
+class TestGatewayShedding:
+    def test_429_with_retry_after_and_clean_gauges(self, fed_service, tmp_path):
+        admission = AdmissionController(read_limit=1, read_pending=0)
+        with make_server(fed_service, tmp_path, admission=admission) as server:
+            blocker = BlockingDispatch(server.dispatcher)
+            holder = threading.Thread(
+                target=FmeterClient(server.host, server.port, retries=0).stats
+            )
+            holder.start()
+            try:
+                assert blocker.entered.wait(5.0)
+                request = urllib.request.Request(
+                    f"{server.url}/v1/stats",
+                    data=json.dumps(StatsRequest().to_wire()).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                with pytest.raises(urllib.error.HTTPError) as exc_info:
+                    urllib.request.urlopen(request, timeout=10.0)
+                shed = exc_info.value
+                assert shed.code == 429
+                assert int(shed.headers["Retry-After"]) >= 1
+                envelope = json.loads(shed.read())["error"]
+                assert envelope["code"] == SERVICE_OVERLOADED
+                retry_after = envelope["detail"]["retry_after_s"]
+                assert 0 < retry_after <= 60
+            finally:
+                blocker.release.set()
+                holder.join(timeout=5.0)
+            hub = server.dispatcher.obs
+            assert counter_value(hub, "http.shed", code=SERVICE_OVERLOADED) == 1
+            assert wait_until(lambda: admission.depth() == 0)
+            # The survivor's flow is untouched.
+            assert FmeterClient(server.host, server.port).stats().indexed_signatures == 6
+
+    def test_shed_keeps_the_connection_alive(self, fed_service, tmp_path):
+        """A 429 does not cost the client its TCP connection.
+
+        The gateway consumed the request body before shedding, so the
+        keep-alive stream is in a clean state — the advised retry can
+        ride the same connection instead of paying connection setup
+        while the server is, by definition, busy.
+        """
+        admission = AdmissionController(read_limit=1, read_pending=0)
+        with make_server(fed_service, tmp_path, admission=admission) as server:
+            blocker = BlockingDispatch(server.dispatcher)
+            holder = threading.Thread(
+                target=FmeterClient(server.host, server.port, retries=0).stats
+            )
+            holder.start()
+            connection = http.client.HTTPConnection(
+                server.host, server.port, timeout=10.0
+            )
+            body = json.dumps(StatsRequest().to_wire()).encode()
+            headers = {"Content-Type": "application/json"}
+            try:
+                assert blocker.entered.wait(5.0)
+                connection.request("POST", "/v1/stats", body=body, headers=headers)
+                shed = connection.getresponse()
+                envelope = json.loads(shed.read())
+                assert shed.status == 429
+                assert envelope["error"]["code"] == SERVICE_OVERLOADED
+                assert not shed.will_close
+                blocker.release.set()
+                holder.join(timeout=5.0)
+                # The retry, on the very same connection, succeeds.
+                connection.request("POST", "/v1/stats", body=body, headers=headers)
+                ok = connection.getresponse()
+                wire = json.loads(ok.read())
+                assert ok.status == 200
+                assert wire["indexed_signatures"] == 6
+            finally:
+                connection.close()
+                blocker.release.set()
+                holder.join(timeout=5.0)
+
+    def test_control_endpoints_answer_during_overload(
+        self, fed_service, tmp_path
+    ):
+        admission = AdmissionController(read_limit=1, read_pending=0)
+        with make_server(fed_service, tmp_path, admission=admission) as server:
+            blocker = BlockingDispatch(server.dispatcher)
+            client = FmeterClient(server.host, server.port, retries=0)
+            holder = threading.Thread(target=client.stats)
+            holder.start()
+            try:
+                assert blocker.entered.wait(5.0)
+                # Liveness and metrics bypass admission entirely.
+                assert client.healthz().status in ("ok", "busy")
+                snapshot = client.metrics()
+                assert snapshot.counters is not None
+            finally:
+                blocker.release.set()
+                holder.join(timeout=5.0)
+
+    def test_flood_sheds_structured_429s_and_recovers(
+        self, fed_service, tmp_path
+    ):
+        admission = AdmissionController(read_limit=1, read_pending=2)
+        with make_server(fed_service, tmp_path, admission=admission) as server:
+            original = server.dispatcher.dispatch
+
+            def slowed(op, wire, deadline=None):
+                if op == "stats":
+                    time.sleep(0.05)
+                return original(op, wire, deadline=deadline)
+
+            server.dispatcher.dispatch = slowed
+            result = flood(
+                server.host,
+                server.port,
+                "stats",
+                StatsRequest().to_wire(),
+                threads=8,
+                requests_each=4,
+            )
+            assert result.total == 32
+            # Only clean outcomes: scored or structured shed — never a
+            # reset, a timeout, or a 500.
+            assert set(result.statuses) <= {200, 429}
+            assert result.statuses[429] > 0
+            assert result.statuses[200] > 0
+            # Every shed carried finite advice in header and detail.
+            assert len(result.retry_after_headers) == result.statuses[429]
+            assert all(float(h) >= 1 for h in result.retry_after_headers)
+            assert all(0 < s <= 60 for s in result.retry_after_s)
+            assert wait_until(lambda: admission.depth() == 0)
+            assert server._httpd.in_flight.value == 0
+            hub = server.dispatcher.obs
+            assert counter_value(hub, "http.shed", code=SERVICE_OVERLOADED) == (
+                result.statuses[429]
+            )
+
+
+# ---------------------------------------------------------------------------
+# Deadlines over the wire
+# ---------------------------------------------------------------------------
+
+
+class TestDeadlines:
+    def test_expired_deadline_shed_before_dispatch(self, fed_service, tmp_path):
+        with make_server(fed_service, tmp_path) as server:
+            request = urllib.request.Request(
+                f"{server.url}/v1/stats",
+                data=json.dumps(StatsRequest().to_wire()).encode(),
+                headers={
+                    "Content-Type": "application/json",
+                    # Expires within microseconds: doomed by the time
+                    # the dispatcher looks at it.
+                    "X-Fmeter-Deadline-Ms": "0.001",
+                },
+            )
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(request, timeout=10.0)
+            assert exc_info.value.code == 408
+            envelope = json.loads(exc_info.value.read())["error"]
+            assert envelope["code"] == DEADLINE_EXCEEDED
+
+    def test_malformed_deadline_header_is_invalid_request(
+        self, fed_service, tmp_path
+    ):
+        with make_server(fed_service, tmp_path) as server:
+            for bad in ("nan", "-5", "soon"):
+                request = urllib.request.Request(
+                    f"{server.url}/v1/stats",
+                    data=json.dumps(StatsRequest().to_wire()).encode(),
+                    headers={
+                        "Content-Type": "application/json",
+                        "X-Fmeter-Deadline-Ms": bad,
+                    },
+                )
+                with pytest.raises(urllib.error.HTTPError) as exc_info:
+                    urllib.request.urlopen(request, timeout=10.0)
+                assert exc_info.value.code == 400
+                envelope = json.loads(exc_info.value.read())["error"]
+                assert envelope["code"] == INVALID_REQUEST
+
+    def test_envelope_deadline_checked_before_dispatch(self, fed_service):
+        dispatcher = Dispatcher(fed_service)
+        ticks = [0.0, 10.0, 10.0, 10.0]
+        dispatcher.clock = lambda: ticks.pop(0) if len(ticks) > 1 else ticks[0]
+        wire = StatsRequest().to_wire()
+        wire["deadline_ms"] = 5.0  # expires at t=0.005; clock jumps to 10
+        with pytest.raises(ApiError) as exc_info:
+            dispatcher.dispatch("stats", wire)
+        assert exc_info.value.code == DEADLINE_EXCEEDED
+
+    def test_envelope_deadline_malformed_is_invalid_request(self, fed_service):
+        dispatcher = Dispatcher(fed_service)
+        wire = StatsRequest().to_wire()
+        wire["deadline_ms"] = True
+        with pytest.raises(ApiError) as exc_info:
+            dispatcher.dispatch("stats", wire)
+        assert exc_info.value.code == INVALID_REQUEST
+
+    def test_client_sends_shrinking_deadline(self, fed_service, tmp_path):
+        with make_server(fed_service, tmp_path) as server:
+            client = FmeterClient(
+                server.host, server.port, deadline_ms=30_000.0
+            )
+            assert client.stats().indexed_signatures == 6
+            # A spent budget fails fast, client-side, without a request.
+            spent = FmeterClient(server.host, server.port, deadline_ms=0.0001)
+            time.sleep(0.01)
+            with pytest.raises(ApiError) as exc_info:
+                spent.stats()
+            assert exc_info.value.code == DEADLINE_EXCEEDED
+
+
+# ---------------------------------------------------------------------------
+# Drain-then-stop shutdown
+# ---------------------------------------------------------------------------
+
+
+class TestDrainThenStop:
+    def test_drain_completes_in_flight_and_sheds_late_arrivals(
+        self, fed_service, tmp_path
+    ):
+        server = make_server(fed_service, tmp_path).start()
+        blocker = BlockingDispatch(server.dispatcher)
+        outcome = {}
+
+        def slow_request():
+            try:
+                outcome["stats"] = FmeterClient(
+                    server.host, server.port, retries=0
+                ).stats()
+            except Exception as exc:  # pragma: no cover - failure detail
+                outcome["error"] = exc
+
+        in_flight = threading.Thread(target=slow_request)
+        in_flight.start()
+        assert blocker.entered.wait(5.0)
+
+        closer = threading.Thread(target=server.close, kwargs={"drain_s": 5.0})
+        closer.start()
+        assert wait_until(lambda: server._httpd.draining)
+
+        # A request arriving mid-drain: structured 503 + Retry-After.
+        request = urllib.request.Request(
+            f"{server.url}/v1/stats",
+            data=json.dumps(StatsRequest().to_wire()).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert exc_info.value.code == 503
+        assert int(exc_info.value.headers["Retry-After"]) >= 1
+        envelope = json.loads(exc_info.value.read())["error"]
+        assert envelope["code"] == SHUTTING_DOWN
+        assert envelope["detail"]["retry_after_s"] > 0
+
+        # Liveness still answers while draining.
+        with urllib.request.urlopen(
+            f"{server.url}/v1/healthz", timeout=10.0
+        ) as response:
+            assert response.status == 200
+
+        blocker.release.set()
+        in_flight.join(timeout=10.0)
+        closer.join(timeout=10.0)
+        assert not closer.is_alive()
+        # Zero dropped: the in-flight request completed during drain.
+        assert outcome.get("stats") is not None, outcome.get("error")
+        hub = server.dispatcher.obs
+        assert counter_value(hub, "http.drain_incomplete") == 0
+        assert counter_value(hub, "http.shed", code=SHUTTING_DOWN) == 1
+        assert hub.stream_stats("http.drain_ms")["count"] == 1
+
+    def test_blown_drain_budget_forces_bounded_stop(
+        self, fed_service, tmp_path
+    ):
+        server = make_server(fed_service, tmp_path).start()
+        blocker = BlockingDispatch(server.dispatcher)
+        stuck = threading.Thread(
+            # The forced stop cuts this client's socket mid-request;
+            # its unavailable error is the expected outcome.
+            target=quiet(
+                FmeterClient(server.host, server.port, retries=0).stats
+            )
+        )
+        stuck.start()
+        try:
+            assert blocker.entered.wait(5.0)
+            started = time.perf_counter()
+            server.close(drain_s=0.2)
+            elapsed = time.perf_counter() - started
+            # Budget (0.2s) + force-close join grace (1s) + slack — but
+            # decisively not the 10s the handler would block for.
+            assert elapsed < 5.0
+            assert counter_value(
+                server.dispatcher.obs, "http.drain_incomplete"
+            ) == 1
+        finally:
+            blocker.release.set()
+            stuck.join(timeout=10.0)
+
+    def test_close_without_drain_still_joins_handlers(
+        self, fed_service, tmp_path
+    ):
+        server = make_server(fed_service, tmp_path).start()
+        client = FmeterClient(server.host, server.port)
+        assert client.healthz().status == "ok"
+        server.close()
+        assert server._httpd.handler_count() == 0
+        server.close()  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: hostile connections
+# ---------------------------------------------------------------------------
+
+
+class TestFaultInjection:
+    def test_slowloris_released_by_socket_timeout(self, fed_service, tmp_path):
+        with make_server(
+            fed_service, tmp_path, socket_timeout_s=0.5
+        ) as server:
+            sock = slowloris(server.host, server.port)
+            try:
+                assert wait_until(lambda: server._httpd.handler_count() == 1)
+                # Never entered a handler body: no in-flight leak.
+                assert server._httpd.in_flight.value == 0
+                # The socket timeout releases the thread in ~timeout.
+                assert wait_until(
+                    lambda: server._httpd.handler_count() == 0, timeout_s=3.0
+                )
+                # Clean close: EOF, not a hang.
+                assert read_response(sock, timeout=2.0) == b""
+            finally:
+                sock.close()
+            assert server._httpd.in_flight.value == 0
+
+    def test_stalled_body_gets_408_and_releases_thread(
+        self, fed_service, tmp_path
+    ):
+        with make_server(
+            fed_service, tmp_path, socket_timeout_s=0.5
+        ) as server:
+            sock = stalled_body(server.host, server.port, op="query")
+            try:
+                started = time.perf_counter()
+                raw = read_response(sock, timeout=5.0)
+                elapsed = time.perf_counter() - started
+            finally:
+                sock.close()
+            # Released in about the socket timeout, not pinned forever.
+            assert elapsed < 4.0
+            assert b"408" in raw.split(b"\r\n", 1)[0]
+            assert REQUEST_TIMEOUT.encode() in raw
+            assert wait_until(lambda: server._httpd.handler_count() == 0)
+            assert server._httpd.in_flight.value == 0
+            hub = server.dispatcher.obs
+            assert hub.stream_stats("http.request_ms", op="query")["count"] == 1
+
+    def test_mid_response_disconnect_does_not_poison_server(
+        self, fed_service, tmp_path
+    ):
+        with make_server(fed_service, tmp_path) as server:
+            body = json.dumps(StatsRequest().to_wire()).encode()
+            for _ in range(3):
+                mid_response_disconnect(
+                    server.host, server.port, "stats", body
+                )
+            assert wait_until(lambda: server._httpd.in_flight.value == 0)
+            assert wait_until(lambda: server._httpd.handler_count() == 0)
+            # Subsequent well-behaved requests are unaffected.
+            client = FmeterClient(server.host, server.port)
+            assert client.stats().indexed_signatures == 6
+            if server.admission is not None:
+                assert server.admission.depth() == 0
+
+
+# ---------------------------------------------------------------------------
+# Client cooperation
+# ---------------------------------------------------------------------------
+
+
+class TestClientCooperation:
+    def test_client_retries_through_429(self, fed_service, tmp_path):
+        admission = AdmissionController(read_limit=1, read_pending=0)
+        with make_server(fed_service, tmp_path, admission=admission) as server:
+            blocker = BlockingDispatch(server.dispatcher)
+            holder = threading.Thread(
+                target=FmeterClient(server.host, server.port, retries=0).stats
+            )
+            holder.start()
+            assert blocker.entered.wait(5.0)
+            # Free the slot shortly; the cooperating client's retry
+            # (capped at 0.2s backoff) lands after it frees.
+            threading.Timer(0.25, blocker.release.set).start()
+            client = FmeterClient(
+                server.host, server.port, retries=5, max_backoff_s=0.2
+            )
+            response = client.stats()
+            holder.join(timeout=5.0)
+            assert response.indexed_signatures == 6
+            assert counter_value(
+                server.dispatcher.obs, "http.shed", code=SERVICE_OVERLOADED
+            ) >= 1
+
+    def test_exhausted_retries_surface_the_structured_429(
+        self, fed_service, tmp_path
+    ):
+        admission = AdmissionController(read_limit=1, read_pending=0)
+        with make_server(fed_service, tmp_path, admission=admission) as server:
+            blocker = BlockingDispatch(server.dispatcher)
+            holder = threading.Thread(
+                target=FmeterClient(server.host, server.port, retries=0).stats
+            )
+            holder.start()
+            try:
+                assert blocker.entered.wait(5.0)
+                client = FmeterClient(
+                    server.host, server.port, retries=1, max_backoff_s=0.05
+                )
+                with pytest.raises(ApiError) as exc_info:
+                    client.stats()
+                assert exc_info.value.code == SERVICE_OVERLOADED
+                assert exc_info.value.detail["retry_after_s"] > 0
+            finally:
+                blocker.release.set()
+                holder.join(timeout=5.0)
+
+
+class TestClientBackoff:
+    def test_full_jitter_range_and_cap(self, monkeypatch):
+        client = FmeterClient(backoff_s=0.05, max_backoff_s=5.0)
+        monkeypatch.setattr("repro.api.client.random.random", lambda: 1.0)
+        assert client._backoff_delay(0) == pytest.approx(0.05)
+        assert client._backoff_delay(3) == pytest.approx(0.4)
+        # The exponential range is capped, however deep the retries go.
+        assert client._backoff_delay(20) == pytest.approx(5.0)
+        monkeypatch.setattr("repro.api.client.random.random", lambda: 0.0)
+        assert client._backoff_delay(20) == 0.0  # full jitter reaches zero
+
+    def test_backoff_is_actually_jittered(self):
+        client = FmeterClient(backoff_s=1.0, max_backoff_s=10.0)
+        draws = {client._backoff_delay(3) for _ in range(20)}
+        assert len(draws) > 1
+        assert all(0.0 <= d <= 8.0 for d in draws)
+
+    def test_busy_delay_jitters_around_advice(self, monkeypatch):
+        client = FmeterClient(max_backoff_s=5.0)
+        monkeypatch.setattr("repro.api.client.random.random", lambda: 0.0)
+        assert client._busy_delay(2.0, attempt=0) == pytest.approx(1.5)
+        monkeypatch.setattr("repro.api.client.random.random", lambda: 1.0)
+        assert client._busy_delay(2.0, attempt=0) == pytest.approx(2.5)
+        # Advice is capped like any other backoff.
+        assert client._busy_delay(60.0, attempt=0) == 5.0
+
+    def test_busy_delay_falls_back_to_backoff_without_advice(
+        self, monkeypatch
+    ):
+        client = FmeterClient(backoff_s=0.05, max_backoff_s=5.0)
+        monkeypatch.setattr("repro.api.client.random.random", lambda: 1.0)
+        assert client._busy_delay(None, attempt=2) == client._backoff_delay(2)
